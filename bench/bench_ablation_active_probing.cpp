@@ -1,0 +1,133 @@
+// Ablation: active file-transfer probing (Section 3's extension).
+//
+// A *sparse* client fetches only a handful of large files per night —
+// so the instrumented log goes hours-stale between transfers.  We run
+// the same sparse workload with and without an ActiveProber (10 MB
+// tuned probes whenever the series is >2 h stale) and score predictions
+// of the real transfers in both worlds.  Probes are identified in the
+// log by their fixed 10 MB size; the sparse workload uses larger files
+// only, so the separation is exact.
+#include "common.hpp"
+
+#include "predict/extended.hpp"
+#include "workload/prober.hpp"
+
+namespace wadp::bench {
+namespace {
+
+workload::CampaignConfig sparse_config() {
+  workload::CampaignConfig config;
+  config.file_sizes = {100 * kMB, 250 * kMB, 500 * kMB, 1000 * kMB};
+  config.sleeps.min_sleep = 3600.0;      // >= 1 h between transfers
+  config.sleeps.short_cap = 7200.0;
+  config.sleeps.max_sleep = 36'000.0;
+  config.sleeps.short_bias = 0.3;
+  return config;
+}
+
+struct WorldResult {
+  std::vector<predict::Observation> all;       // transfers + probes
+  std::vector<predict::Observation> transfers; // the real (large) ones
+  std::size_t probes = 0;
+};
+
+WorldResult run_world(bool with_prober) {
+  workload::Testbed testbed(workload::Campaign::kAugust2001, kSeed);
+  workload::CampaignDriver driver(testbed, "anl", "lbl", sparse_config(),
+                                  kSeed ^ 0x5);
+  driver.start();
+  std::unique_ptr<workload::ActiveProber> prober;
+  if (with_prober) {
+    workload::ActiveProbeConfig probe_config;
+    probe_config.probe_size = 10 * kMB;
+    probe_config.check_period = 1800.0;
+    probe_config.staleness = 7200.0;
+    prober = std::make_unique<workload::ActiveProber>(testbed, "anl", "lbl",
+                                                      probe_config);
+  }
+  testbed.sim().run_until(driver.end_time() + 86400.0);
+  if (prober) prober->stop();
+
+  WorldResult result;
+  result.all = workload::observations_from_records(
+      testbed.server("lbl").log().records(),
+      {.remote_ip = testbed.client("anl").ip()});
+  for (const auto& o : result.all) {
+    if (o.file_size != 10 * kMB) result.transfers.push_back(o);
+  }
+  result.probes = result.all.size() - result.transfers.size();
+  return result;
+}
+
+/// Mean % error predicting the real transfers from the full visible
+/// history (probes included when present).
+double score(const WorldResult& world, const predict::Predictor& predictor) {
+  double error_sum = 0.0;
+  std::size_t count = 0;
+  for (const auto& target : world.transfers) {
+    // Visible history: everything logged strictly before this transfer.
+    std::vector<predict::Observation> visible;
+    for (const auto& o : world.all) {
+      if (o.time < target.time) visible.push_back(o);
+    }
+    if (visible.size() < 15) continue;  // paper training prefix
+    const auto p = predictor.predict(
+        visible, {.time = target.time, .file_size = target.file_size});
+    if (p) {
+      error_sum += util::percent_error(target.value, *p);
+      ++count;
+    }
+  }
+  return count ? error_sum / static_cast<double>(count) : -1.0;
+}
+
+void run() {
+  const auto without = run_world(false);
+  const auto with = run_world(true);
+  std::printf("sparse workload: %zu real transfers; prober added %zu probe "
+              "transfers\n\n",
+              with.transfers.size(), with.probes);
+
+  // Predictors that can exploit fresh cross-size samples vs one that
+  // cannot (classified mean ignores the 10 MB probes entirely for large
+  // queries).
+  const predict::MeanPredictor avg5hr(
+      "AVG5hr", predict::WindowSpec::last_duration(5 * 3600.0));
+  const predict::LastValuePredictor lv;
+  const predict::SizeRegressionPredictor sreg("SREG",
+                                              predict::WindowSpec::last_n(25));
+  const predict::ClassifiedPredictor avg15_fs(
+      std::make_shared<predict::MeanPredictor>(
+          "AVG15", predict::WindowSpec::last_n(15)),
+      predict::SizeClassifier::paper_classes());
+
+  util::TextTable table({"predictor", "%err without probes",
+                         "%err with probes"});
+  table.set_align(0, util::TextTable::Align::Left);
+  const auto row = [&](const predict::Predictor& p) {
+    table.add_row({p.name(), fmt(score(without, p)), fmt(score(with, p))});
+  };
+  row(lv);
+  row(avg5hr);
+  row(sreg);
+  row(avg15_fs);
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "reading: probes keep recency-based predictors (LV, AVG5hr) and the\n"
+      "size regression supplied with fresh samples; the class-filtered\n"
+      "mean ignores 10MB probes when predicting large transfers, so it\n"
+      "gains nothing — quantifying what the paper's proposed extension\n"
+      "buys and for whom.\n");
+}
+
+}  // namespace
+}  // namespace wadp::bench
+
+int main() {
+  wadp::bench::banner(
+      "Ablation: active file-transfer probing on a sparse workload "
+      "(Section 3 extension)",
+      "regular probes keep the log fresh between rare real transfers");
+  wadp::bench::run();
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Ablation / future work (Section 7): NWS-style dynamic predictor
+// selection over the paper's battery.
+//
+// Replays each link's series through a DynamicSelector that always
+// answers with the historically most accurate battery member, and
+// compares its online error against every fixed predictor's.
+#include "common.hpp"
+
+namespace wadp::bench {
+namespace {
+
+struct OnlineScore {
+  double error_sum = 0.0;
+  std::size_t count = 0;
+  double mean() const {
+    return count ? error_sum / static_cast<double>(count) : 0.0;
+  }
+};
+
+OnlineScore replay_selector(const std::vector<predict::Observation>& series,
+                            predict::DynamicSelector& selector,
+                            std::size_t training) {
+  OnlineScore score;
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    if (i >= training) {
+      const auto p = selector.predict(
+          {.time = series[i].time, .file_size = series[i].file_size});
+      if (p) {
+        score.error_sum += util::percent_error(series[i].value, *p);
+        ++score.count;
+      }
+    }
+    selector.observe(series[i]);
+  }
+  return score;
+}
+
+void run_link(const char* link,
+              const std::vector<predict::Observation>& series) {
+  const auto battery = predict::PredictorSuite::context_sensitive();
+  const predict::Evaluator evaluator;
+  const auto fixed = evaluator.run(series, battery.pointers());
+
+  std::printf("\n%s-ANL (n=%zu)\n", link, series.size());
+  util::TextTable table({"Predictor", "mean %err"});
+  double best_fixed = 1e18;
+  std::string best_name;
+  for (std::size_t p = 0; p < battery.size(); ++p) {
+    const double err = fixed.errors(p).mean();
+    if (err < best_fixed) {
+      best_fixed = err;
+      best_name = fixed.predictor_names()[p];
+    }
+    table.add_row({fixed.predictor_names()[p], fmt(err)});
+  }
+
+  predict::DynamicSelector selector("DYN", battery.predictors());
+  const auto dyn = replay_selector(series, selector, 15);
+  table.add_row({"DYN (dynamic selection)", fmt(dyn.mean())});
+  std::printf("%s", table.render().c_str());
+  std::printf("best fixed: %s at %.1f%%; DYN %.1f%% (final choice: %s)\n",
+              best_name.c_str(), best_fixed, dyn.mean(),
+              selector.current_choice().c_str());
+}
+
+}  // namespace
+}  // namespace wadp::bench
+
+int main() {
+  using namespace wadp::bench;
+  banner("Ablation: NWS-style dynamic predictor selection (Section 7)",
+         "dynamic selection should track the best fixed predictor without "
+         "knowing it in advance");
+  auto data = run_campaign(wadp::workload::Campaign::kAugust2001);
+  run_link("LBL", data.lbl);
+  run_link("ISI", data.isi);
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Ablation: is the paper's accuracy metric driving its conclusions?
+//
+// Section 6.2 scores with |measured - predicted| / measured * 100,
+// which is asymmetric: over-predicting a slow transfer can cost
+// hundreds of percent while under-predicting a fast one is capped at
+// 100.  We re-score the classified battery under the symmetric
+// log-accuracy ratio  |ln(predicted / measured)|  and compare the
+// rankings — if the orderings agree, the paper's findings are not an
+// artifact of its metric.
+#include "common.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wadp::bench {
+namespace {
+
+/// Spearman rank correlation between two orderings of the same names.
+double spearman(const std::vector<std::string>& a,
+                const std::vector<std::string>& b) {
+  const auto rank_of = [](const std::vector<std::string>& order) {
+    std::map<std::string, double> ranks;
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      ranks[order[i]] = static_cast<double>(i);
+    }
+    return ranks;
+  };
+  const auto ra = rank_of(a);
+  const auto rb = rank_of(b);
+  const auto n = static_cast<double>(a.size());
+  double d2 = 0.0;
+  for (const auto& [name, rank] : ra) {
+    const double d = rank - rb.at(name);
+    d2 += d * d;
+  }
+  return 1.0 - 6.0 * d2 / (n * (n * n - 1.0));
+}
+
+void run_link(const char* link,
+              const std::vector<predict::Observation>& series) {
+  const auto suite = predict::PredictorSuite::context_sensitive();
+  const predict::Evaluator evaluator;
+  const auto result = evaluator.run(series, suite.pointers());
+
+  struct Row {
+    std::string name;
+    double pct = 0.0;      // the paper's metric
+    double log_err = 0.0;  // |ln(pred/meas)|, mean
+  };
+  std::vector<Row> rows;
+  for (std::size_t p = 0; p < suite.size(); ++p) {
+    Row row;
+    row.name = result.predictor_names()[p];
+    row.pct = result.errors(p).mean();
+    double sum = 0.0;
+    std::size_t count = 0;
+    for (const auto& sample : result.samples()) {
+      const auto& prediction = sample.predictions[p];
+      if (!prediction || *prediction <= 0.0) continue;
+      sum += std::abs(std::log(*prediction / sample.measured));
+      ++count;
+    }
+    if (count == 0) continue;
+    row.log_err = sum / static_cast<double>(count);
+    rows.push_back(std::move(row));
+  }
+
+  auto by_pct = rows;
+  std::sort(by_pct.begin(), by_pct.end(),
+            [](const Row& a, const Row& b) { return a.pct < b.pct; });
+  auto by_log = rows;
+  std::sort(by_log.begin(), by_log.end(),
+            [](const Row& a, const Row& b) { return a.log_err < b.log_err; });
+
+  std::printf("\n%s-ANL (n=%zu)\n", link, series.size());
+  util::TextTable table({"predictor", "paper %err (rank)",
+                         "|ln ratio| (rank)"});
+  table.set_align(0, util::TextTable::Align::Left);
+  for (const auto& row : by_pct) {
+    const auto rank_in = [&](const std::vector<Row>& order) {
+      for (std::size_t i = 0; i < order.size(); ++i) {
+        if (order[i].name == row.name) return i + 1;
+      }
+      return std::size_t{0};
+    };
+    table.add_row({row.name,
+                   fmt(row.pct) + " (" + std::to_string(rank_in(by_pct)) + ")",
+                   fmt(row.log_err, 3) + " (" +
+                       std::to_string(rank_in(by_log)) + ")"});
+  }
+  std::printf("%s", table.render().c_str());
+
+  std::vector<std::string> pct_names, log_names;
+  for (const auto& row : by_pct) pct_names.push_back(row.name);
+  for (const auto& row : by_log) log_names.push_back(row.name);
+  std::printf("Spearman rank correlation between the metrics: %.2f\n",
+              spearman(pct_names, log_names));
+}
+
+}  // namespace
+}  // namespace wadp::bench
+
+int main() {
+  using namespace wadp::bench;
+  banner("Ablation: accuracy-metric sensitivity",
+         "do the paper's rankings survive a symmetric error metric?");
+  auto data = run_campaign(wadp::workload::Campaign::kAugust2001);
+  run_link("LBL", data.lbl);
+  run_link("ISI", data.isi);
+  std::printf(
+      "\nreading: a high rank correlation means the paper's conclusions\n"
+      "(which techniques win, roughly by how much) are not artifacts of\n"
+      "its asymmetric percentage metric.\n");
+  return 0;
+}

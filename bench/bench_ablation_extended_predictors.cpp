@@ -1,0 +1,71 @@
+// Ablation: the extended battery (Section 4 variants the paper names
+// but does not evaluate) against the paper's thirty.
+//
+//  * EWMA — "the amount of weight put on each value" (Section 4.1)
+//  * ADAPT — dynamically chosen window size (Section 4.2)
+//  * SREG — continuous size regression instead of discrete classes
+//           (Section 4.3's correlation used directly)
+#include "common.hpp"
+
+#include "predict/extended.hpp"
+
+namespace wadp::bench {
+namespace {
+
+void run_link(const char* link,
+              const std::vector<predict::Observation>& series) {
+  const auto suite = predict::extended_suite();
+  const predict::Evaluator evaluator;
+  const auto result = evaluator.run(series, suite.pointers());
+
+  // Rank everything; mark extensions.
+  std::vector<std::pair<double, std::string>> ranking;
+  for (std::size_t p = 0; p < suite.size(); ++p) {
+    if (result.errors(p).count == 0) continue;
+    ranking.emplace_back(result.errors(p).mean(),
+                         result.predictor_names()[p]);
+  }
+  std::sort(ranking.begin(), ranking.end());
+
+  std::printf("\n%s-ANL (n=%zu): top 12 of %zu predictors\n", link,
+              series.size(), ranking.size());
+  util::TextTable table({"rank", "predictor", "mean %err", "kind"});
+  table.set_align(1, util::TextTable::Align::Left);
+  table.set_align(3, util::TextTable::Align::Left);
+  const auto kind_of = [](const std::string& name) {
+    if (name.find("EWMA") != std::string::npos ||
+        name.find("SREG") != std::string::npos ||
+        name.find("ADAPT") != std::string::npos) {
+      return "extension";
+    }
+    return "paper";
+  };
+  for (std::size_t i = 0; i < ranking.size() && i < 12; ++i) {
+    table.add_row({std::to_string(i + 1), ranking[i].second,
+                   fmt(ranking[i].first), kind_of(ranking[i].second)});
+  }
+  std::printf("%s", table.render().c_str());
+
+  // Direct comparisons the taxonomy suggests.
+  const auto err = [&](const char* name) {
+    return result.errors(*result.index_of(name)).mean();
+  };
+  std::printf(
+      "head-to-head: AVG15/fs %.1f vs EWMA0.2/fs %.1f vs ADAPT/fs %.1f; "
+      "classification (AVG/fs %.1f) vs size regression (SREG %.1f)\n",
+      err("AVG15/fs"), err("EWMA0.2/fs"), err("ADAPT/fs"), err("AVG/fs"),
+      err("SREG"));
+}
+
+}  // namespace
+}  // namespace wadp::bench
+
+int main() {
+  using namespace wadp::bench;
+  banner("Ablation: extended predictor battery (EWMA / ADAPT / SREG)",
+         "the paper's named-but-unevaluated variants vs its battery");
+  auto data = run_campaign(wadp::workload::Campaign::kAugust2001);
+  run_link("LBL", data.lbl);
+  run_link("ISI", data.isi);
+  return 0;
+}

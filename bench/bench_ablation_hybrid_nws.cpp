@@ -1,0 +1,66 @@
+// Ablation / future work (Section 7): combining sporadic GridFTP
+// measurements with regular NWS probes "to overcome the drawbacks of
+// each approach in isolation".
+//
+// Runs a campaign with an NWS sensor alive on the same link, then
+// compares the hybrid ratio predictor against the pure-GridFTP battery
+// on the same transfers.  The hybrid should shine exactly where sparse
+// history hurts: long gaps since the last same-class transfer.
+#include "common.hpp"
+
+#include "nws/forecaster.hpp"
+#include "nws/sensor.hpp"
+
+namespace wadp::bench {
+namespace {
+
+void run_link(const char* src) {
+  workload::Testbed testbed(workload::Campaign::kAugust2001, kSeed);
+  auto* path = testbed.topology().find(src, "anl");
+  nws::NwsSensor sensor(testbed.sim(), testbed.engine(), *path, {});
+  workload::CampaignDriver driver(testbed, "anl", src, {}, kSeed ^ 0x31);
+  driver.start();
+  testbed.sim().run_until(driver.end_time() + 3600.0);
+  sensor.stop();
+
+  const auto series = workload::observations_from_records(
+      testbed.server(src).log().records(),
+      {.remote_ip = testbed.client("anl").ip()});
+
+  // Candidate set: hybrid + representative fixed predictors.
+  nws::HybridNwsPredictor hybrid("HYBRID", &sensor.series());
+  auto classified_avg15 = std::make_shared<predict::ClassifiedPredictor>(
+      std::make_shared<predict::MeanPredictor>("AVG15",
+                                               predict::WindowSpec::last_n(15)),
+      predict::SizeClassifier::paper_classes());
+  predict::LastValuePredictor lv;
+  predict::MeanPredictor avg("AVG", predict::WindowSpec::all());
+
+  const std::vector<const predict::Predictor*> predictors = {
+      &hybrid, classified_avg15.get(), &lv, &avg};
+  const predict::Evaluator evaluator;
+  const auto result = evaluator.run(series, predictors);
+
+  std::printf("\n%s-ANL: %zu transfers, %zu probes\n", src, series.size(),
+              sensor.series().size());
+  util::TextTable table({"Predictor", "mean %err", "answered"});
+  for (std::size_t p = 0; p < predictors.size(); ++p) {
+    table.add_row({result.predictor_names()[p],
+                   fmt(result.errors(p).mean()),
+                   std::to_string(result.relative(p).opportunities)});
+  }
+  std::printf("%s", table.render().c_str());
+}
+
+}  // namespace
+}  // namespace wadp::bench
+
+int main() {
+  using namespace wadp::bench;
+  banner("Ablation: hybrid GridFTP+NWS predictor (Section 7 future work)",
+         "regular probes supply the timing signal, sporadic transfers the "
+         "level; the hybrid competes with the fixed battery");
+  run_link("lbl");
+  run_link("isi");
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Ablation: how the background-load model drives predictability.
+//
+// The whole prediction problem exists because shared-path load varies;
+// this sweep re-runs the campaign with different competing-traffic
+// parameterizations and reports (a) the bandwidth spread and lag-1
+// autocorrelation of the measurement series and (b) classified-AVG15
+// error per class — showing which simulator knobs the headline numbers
+// are (and are not) sensitive to.
+#include "common.hpp"
+
+namespace wadp::bench {
+namespace {
+
+net::LoadParams calibrated() {
+  // Mirror workload/testbed.cpp's wan_load, the DESIGN.md §5 baseline.
+  net::LoadParams load;
+  load.base = 0.38;
+  load.diurnal_amplitude = 0.25;
+  load.diurnal_peak_hour = 14.0;
+  load.zone = util::kCdt;
+  load.ar_phi = 0.97;
+  load.ar_sigma = 0.035;
+  load.episode_rate_per_hour = 0.12;
+  load.episode_mean_minutes = 25.0;
+  load.episode_utilization = 0.25;
+  load.min_utilization = 0.14;
+  load.max_utilization = 0.82;
+  return load;
+}
+
+void run_variant(const std::string& label, const net::LoadParams& load,
+                 util::TextTable& table) {
+  workload::TestbedConfig config;
+  config.wan_load_override = load;
+  workload::Testbed testbed(workload::Campaign::kAugust2001, kSeed, config);
+  workload::CampaignDriver driver(testbed, "anl", "lbl", {}, kSeed ^ 0x9);
+  driver.start();
+  testbed.sim().run_until(driver.end_time() + 86400.0);
+
+  const auto series = workload::observations_from_records(
+      testbed.server("lbl").log().records(),
+      {.remote_ip = testbed.client("anl").ip()});
+  std::vector<double> values;
+  util::RunningStats bw;
+  for (const auto& o : series) {
+    values.push_back(o.value);
+    bw.add(to_mb_per_sec(o.value));
+  }
+  const auto lag1 = util::autocorrelation(values, 1);
+
+  const auto suite = predict::PredictorSuite::paper_suite();
+  const predict::Evaluator evaluator;
+  const auto result = evaluator.run(series, suite.pointers());
+  const auto avg15 = *result.index_of("AVG15/fs");
+
+  table.add_row({label, std::to_string(series.size()),
+                 fmt(bw.min(), 1) + "-" + fmt(bw.max(), 1),
+                 lag1 ? fmt(*lag1, 2) : "n/a",
+                 fmt(result.errors(avg15, 0).mean()),
+                 fmt(result.errors(avg15, 2).mean())});
+}
+
+void run() {
+  util::TextTable table({"load variant", "n", "bw MB/s", "lag-1 ac",
+                         "10MB %err", "500MB %err"});
+  table.set_align(0, util::TextTable::Align::Left);
+
+  run_variant("calibrated (DESIGN.md §5)", calibrated(), table);
+
+  auto quiet = calibrated();
+  quiet.ar_sigma = 0.005;
+  quiet.episode_rate_per_hour = 0.0;
+  run_variant("placid: tiny AR noise, no episodes", quiet, table);
+
+  auto noisy = calibrated();
+  noisy.ar_sigma = 0.08;
+  run_variant("noisy: ar_sigma 0.035 -> 0.08", noisy, table);
+
+  auto bursty = calibrated();
+  bursty.episode_rate_per_hour = 0.5;
+  bursty.episode_utilization = 0.35;
+  run_variant("bursty: 4x more congestion episodes", bursty, table);
+
+  auto sticky = calibrated();
+  sticky.ar_phi = 0.995;
+  run_variant("sticky: ar_phi 0.97 -> 0.995 (slow drift)", sticky, table);
+
+  auto flat = calibrated();
+  flat.diurnal_amplitude = 0.0;
+  run_variant("no diurnal cycle", flat, table);
+
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "reading: predictor error tracks the load's unpredictability —\n"
+      "placid worlds are easy, bursty/noisy ones hard.  Persistence\n"
+      "(sticky) raises lag-1 autocorrelation, which favours last-value\n"
+      "over the 15-sample mean whose window straddles the slow drift.\n"
+      "The headline shape (small class worst) survives every variant;\n"
+      "only magnitudes move.\n");
+}
+
+}  // namespace
+}  // namespace wadp::bench
+
+int main() {
+  wadp::bench::banner(
+      "Ablation: background-load sensitivity (competing-traffic model)",
+      "which simulator knobs the reproduced numbers depend on");
+  wadp::bench::run();
+  return 0;
+}

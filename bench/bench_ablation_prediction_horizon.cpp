@@ -1,0 +1,165 @@
+// Ablation: prediction horizon — does history go stale?
+//
+// For every evaluated transfer we measure the *gap* since the previous
+// same-class observation and relate it to prediction error, **within
+// each size class** (across classes the comparison is confounded:
+// rare classes have long gaps AND low error).  Two views per link:
+// gap-bucket means for the populous 10 MB class, and the per-class
+// Pearson correlation between gap and error.
+//
+// Expected shape given the load model (MODEL.md §3, correlation time
+// ~30-60 min): recency-based predictors (LV) show a positive gap-error
+// relationship over sub-hour gaps and flatten beyond, while wide-window
+// means barely care — they never tracked the instantaneous load.  This
+// staleness cliff is what limited cross-site replica selection on
+// symmetric links and what active probing attacks.
+#include "common.hpp"
+
+#include <cmath>
+
+namespace wadp::bench {
+namespace {
+
+struct GapSample {
+  double gap = 0.0;
+  double avg15_error = 0.0;
+  double lv_error = 0.0;
+  bool avg15_valid = false;
+  bool lv_valid = false;
+};
+
+std::vector<GapSample> collect(const std::vector<predict::Observation>& series,
+                               int wanted_class) {
+  const auto classifier = predict::SizeClassifier::paper_classes();
+  const predict::ClassifiedPredictor avg15(
+      std::make_shared<predict::MeanPredictor>(
+          "AVG15", predict::WindowSpec::last_n(15)),
+      classifier);
+  const predict::ClassifiedPredictor lv(
+      std::make_shared<predict::LastValuePredictor>(), classifier);
+
+  std::vector<GapSample> out;
+  for (std::size_t i = 15; i < series.size(); ++i) {
+    const auto& target = series[i];
+    const int cls = classifier.classify(target.file_size);
+    if (cls != wanted_class) continue;
+    double gap = -1.0;
+    for (std::size_t j = i; j-- > 0;) {
+      if (classifier.classify(series[j].file_size) == cls) {
+        gap = target.time - series[j].time;
+        break;
+      }
+    }
+    if (gap < 0.0) continue;
+
+    const auto history = std::span<const predict::Observation>(series).first(i);
+    const predict::Query query{.time = target.time,
+                               .file_size = target.file_size};
+    GapSample sample;
+    sample.gap = gap;
+    if (const auto p = avg15.predict(history, query)) {
+      sample.avg15_error = util::percent_error(target.value, *p);
+      sample.avg15_valid = true;
+    }
+    if (const auto p = lv.predict(history, query)) {
+      sample.lv_error = util::percent_error(target.value, *p);
+      sample.lv_valid = true;
+    }
+    out.push_back(sample);
+  }
+  return out;
+}
+
+/// Pearson r between gap and error over the valid samples.
+std::optional<double> gap_error_correlation(
+    const std::vector<GapSample>& samples, bool use_lv) {
+  std::vector<double> gaps, errors;
+  for (const auto& s : samples) {
+    if (use_lv ? s.lv_valid : s.avg15_valid) {
+      gaps.push_back(std::log10(std::max(s.gap, 60.0)));
+      errors.push_back(use_lv ? s.lv_error : s.avg15_error);
+    }
+  }
+  const auto fit = util::linear_fit(gaps, errors);
+  if (!fit) return std::nullopt;
+  const double r = std::sqrt(fit->r2);
+  return fit->slope < 0 ? -r : r;
+}
+
+void run_link(const char* link,
+              const std::vector<predict::Observation>& series) {
+  const auto classifier = predict::SizeClassifier::paper_classes();
+  std::printf("\n%s-ANL\n", link);
+
+  // View 1: gap buckets within the populous 10 MB class.
+  {
+    const auto samples = collect(series, 0);
+    struct Bucket {
+      const char* label;
+      double max_gap;
+      util::RunningStats avg15, lv;
+    } buckets[] = {
+        {"< 30 min", 1800.0, {}, {}},
+        {"30 min - 2 h", 7200.0, {}, {}},
+        {"2-12 h", 12 * 3600.0, {}, {}},
+        {"> 12 h", 1e18, {}, {}},
+    };
+    for (const auto& s : samples) {
+      for (auto& b : buckets) {
+        if (s.gap <= b.max_gap) {
+          if (s.avg15_valid) b.avg15.add(s.avg15_error);
+          if (s.lv_valid) b.lv.add(s.lv_error);
+          break;
+        }
+      }
+    }
+    util::TextTable table({"gap (10MB class only)", "n", "AVG15/fs %err",
+                           "LV/fs %err"});
+    table.set_align(0, util::TextTable::Align::Left);
+    for (const auto& b : buckets) {
+      table.add_row({b.label, std::to_string(b.lv.count()),
+                     fmt(b.avg15.mean()), fmt(b.lv.mean())});
+    }
+    std::printf("%s", table.render().c_str());
+  }
+
+  // View 2: per-class gap/error correlation.
+  {
+    util::TextTable table({"class", "n", "r(gap, AVG15 err)",
+                           "r(gap, LV err)"});
+    table.set_align(0, util::TextTable::Align::Left);
+    for (int cls = 0; cls < classifier.num_classes(); ++cls) {
+      const auto samples = collect(series, cls);
+      const auto r_avg = gap_error_correlation(samples, false);
+      const auto r_lv = gap_error_correlation(samples, true);
+      table.add_row({classifier.class_label(cls),
+                     std::to_string(samples.size()),
+                     r_avg ? fmt(*r_avg, 2) : "n/a",
+                     r_lv ? fmt(*r_lv, 2) : "n/a"});
+    }
+    std::printf("%s", table.render().c_str());
+  }
+}
+
+}  // namespace
+}  // namespace wadp::bench
+
+int main() {
+  using namespace wadp::bench;
+  banner("Ablation: prediction horizon (staleness of history)",
+         "within a class, does error grow with the gap since the last "
+         "observation?");
+  auto data = run_campaign(wadp::workload::Campaign::kAugust2001);
+  run_link("LBL", data.lbl);
+  run_link("ISI", data.isi);
+  std::printf(
+      "\nreading: in the >=100MB classes LV's error correlates positively\n"
+      "with gap (r ~ 0.33-0.37) — its only asset, recency, decays with\n"
+      "the load's correlation time — while the 15-sample mean barely\n"
+      "cares (|r| <= ~0.3, mostly ~0).  In the 10MB class slow-start\n"
+      "noise swamps the staleness signal entirely.  This is why the\n"
+      "paper saw no benefit from window tuning on its controlled\n"
+      "workload, and why active probing must sample faster than the\n"
+      "correlation time to add value.\n");
+  return 0;
+}

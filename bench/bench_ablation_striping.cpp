@@ -1,0 +1,98 @@
+// Ablation: striped transfers (the GridFTP extension described in the
+// paper's companion reference [2]).
+//
+// Striping aggregates *host/storage* bandwidth by serving slices of one
+// file from several data movers.  On the paper's testbed the 12.5 MB/s
+// wide-area links bind first, so striping buys nothing — which is why
+// the paper's experiments used a single server with parallel streams.
+// On a fat (OC-12-class) path with 2001-era disks, the disks bind and
+// striping scales until the network takes over.  Both regimes below.
+#include "common.hpp"
+
+#include "gridftp/client.hpp"
+
+namespace wadp::bench {
+namespace {
+
+storage::StorageParams disk(Bandwidth rate) {
+  storage::StorageParams p;
+  p.read_rate = rate;
+  p.write_rate = rate;
+  p.local_load.reset();
+  return p;
+}
+
+net::PathParams quiet_path(Bandwidth bottleneck) {
+  net::PathParams p;
+  p.bottleneck = bottleneck;
+  p.rtt = 0.055;
+  p.load.base = 0.0;
+  p.load.diurnal_amplitude = 0.0;
+  p.load.ar_sigma = 0.0;
+  p.load.episode_rate_per_hour = 0.0;
+  return p;
+}
+
+double measure(int stripe_count, Bandwidth path_bw, Bandwidth disk_bw) {
+  sim::Simulator sim(998'000'000.0);
+  net::FluidEngine engine(sim);
+  net::Topology topology;
+  topology.add_path("src", "dst", quiet_path(path_bw), 1, sim.now());
+  topology.add_path("dst", "src", quiet_path(path_bw), 2, sim.now());
+
+  storage::StorageSystem client_store("dst", disk(500e6), 99, sim.now());
+  gridftp::GridFtpClient client(sim, engine, topology, "dst", "10.0.0.9",
+                                &client_store);
+  std::vector<std::unique_ptr<storage::StorageSystem>> stores;
+  std::vector<std::unique_ptr<gridftp::GridFtpServer>> movers;
+  std::vector<gridftp::GridFtpServer*> stripes;
+  for (int i = 0; i < stripe_count; ++i) {
+    stores.push_back(std::make_unique<storage::StorageSystem>(
+        "src", disk(disk_bw), static_cast<std::uint64_t>(i) + 1, sim.now()));
+    gridftp::ServerConfig config;
+    config.site = "src";
+    config.host = "mover" + std::to_string(i) + ".src.org";
+    config.ip = "10.0.1." + std::to_string(i + 1);
+    movers.push_back(
+        std::make_unique<gridftp::GridFtpServer>(config, *stores.back()));
+    movers.back()->fs().add_volume("/data");
+    movers.back()->fs().add_file("/data/big", 500'000'000);
+    stripes.push_back(movers.back().get());
+  }
+
+  double bandwidth = 0.0;
+  client.striped_get(stripes, "/data/big", {},
+                     [&](const gridftp::TransferOutcome& outcome) {
+                       if (outcome.ok) bandwidth = outcome.record.bandwidth();
+                     });
+  sim.run();
+  return bandwidth;
+}
+
+void run() {
+  util::TextTable table({"stripes", "paper link (12.5 MB/s, 60 MB/s disks)",
+                         "fat link (80 MB/s, 10 MB/s disks)"});
+  for (const int stripes : {1, 2, 4, 8}) {
+    table.add_row({std::to_string(stripes),
+                   fmt(to_mb_per_sec(measure(stripes, 12.5e6, 60e6)), 2),
+                   fmt(to_mb_per_sec(measure(stripes, 80e6, 10e6)), 2)});
+  }
+  std::printf("achieved bandwidth (MB/s) for a striped 500 MB retrieval\n\n%s\n",
+              table.render().c_str());
+  std::printf(
+      "reading: on the paper's links the WAN binds and stripes are moot\n"
+      "(single-server parallel streams suffice, as the paper configured);\n"
+      "once the network outruns a single mover's storage, striping scales\n"
+      "until it saturates the path — the regime striped GridFTP targets.\n");
+}
+
+}  // namespace
+}  // namespace wadp::bench
+
+int main() {
+  wadp::bench::banner("Ablation: striped transfers (GridFTP striping, ref [2])",
+                      "striping aggregates storage bandwidth; irrelevant when "
+                      "the WAN binds");
+  wadp::bench::run();
+  return 0;
+}

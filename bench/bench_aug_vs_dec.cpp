@@ -1,0 +1,69 @@
+// Section 6.2 claim: "there was no statistical significance between the
+// two data sets" (August vs December 2001) — the paper therefore shows
+// only August results.
+//
+// Regenerates both campaigns and compares bandwidth distributions and
+// predictor error profiles across them.
+#include "common.hpp"
+
+#include <cmath>
+
+namespace wadp::bench {
+namespace {
+
+util::RunningStats bandwidth_stats(
+    const std::vector<predict::Observation>& series) {
+  util::RunningStats stats;
+  for (const auto& o : series) stats.add(to_mb_per_sec(o.value));
+  return stats;
+}
+
+void run() {
+  auto aug = run_campaign(workload::Campaign::kAugust2001);
+  auto dec = run_campaign(workload::Campaign::kDecember2001);
+
+  util::TextTable dist({"Link/Campaign", "n", "mean MB/s", "stddev",
+                        "min", "max"});
+  for (const auto& [label, series] :
+       std::vector<std::pair<std::string, const std::vector<predict::Observation>*>>{
+           {"LBL Aug", &aug.lbl},
+           {"LBL Dec", &dec.lbl},
+           {"ISI Aug", &aug.isi},
+           {"ISI Dec", &dec.isi}}) {
+    const auto s = bandwidth_stats(*series);
+    dist.add_row({label, std::to_string(s.count()), fmt(s.mean(), 2),
+                  fmt(s.stddev(), 2), fmt(s.min(), 2), fmt(s.max(), 2)});
+  }
+  std::printf("%s\n", dist.render().c_str());
+
+  std::printf("mean-difference z: LBL %.2f, ISI %.2f "
+              "(|z| < ~2 => not significant at 5%%)\n\n",
+              util::two_sample_z(bandwidth_stats(aug.lbl),
+                                 bandwidth_stats(dec.lbl)),
+              util::two_sample_z(bandwidth_stats(aug.isi),
+                                 bandwidth_stats(dec.isi)));
+
+  // Predictor error profiles across campaigns.
+  const auto suite = predict::PredictorSuite::context_sensitive();
+  const predict::Evaluator evaluator;
+  const auto aug_eval = evaluator.run(aug.lbl, suite.pointers());
+  const auto dec_eval = evaluator.run(dec.lbl, suite.pointers());
+  util::TextTable errs({"Predictor", "LBL Aug %err", "LBL Dec %err"});
+  for (std::size_t p = 0; p < suite.size(); ++p) {
+    errs.add_row({aug_eval.predictor_names()[p],
+                  fmt(aug_eval.errors(p).mean()),
+                  fmt(dec_eval.errors(p).mean())});
+  }
+  std::printf("%s\n", errs.render().c_str());
+}
+
+}  // namespace
+}  // namespace wadp::bench
+
+int main() {
+  wadp::bench::banner(
+      "Aug vs Dec 2001 datasets (Section 6.2 equivalence claim)",
+      "no statistically significant difference between campaigns");
+  wadp::bench::run();
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Figure 7: total GridFTP transfers and per-size-class counts for the
+// August and December 2001 datasets, per link.
+#include "common.hpp"
+
+namespace wadp::bench {
+namespace {
+
+void run() {
+  const auto classifier = predict::SizeClassifier::paper_classes();
+  auto aug = run_campaign(workload::Campaign::kAugust2001);
+  auto dec = run_campaign(workload::Campaign::kDecember2001);
+
+  util::TextTable table({"Class", "Link", "August", "December"});
+  table.set_align(1, util::TextTable::Align::Left);
+  const auto counts = [&](const CampaignData& d, const std::string& site) {
+    return workload::count_by_class(d.link(site), classifier);
+  };
+  const auto add_rows = [&](const std::string& label, int cls) {
+    for (const std::string site : {"lbl", "isi"}) {
+      const auto a = counts(aug, site);
+      const auto d = counts(dec, site);
+      const auto value = [&](const workload::ClassCounts& c) {
+        return cls < 0 ? c.total : c.per_class[static_cast<std::size_t>(cls)];
+      };
+      table.add_row({label, site == "lbl" ? "LBL" : "ISI",
+                     std::to_string(value(a)), std::to_string(value(d))});
+    }
+  };
+  add_rows("All", -1);
+  for (int cls = 0; cls < classifier.num_classes(); ++cls) {
+    add_rows(classifier.class_label(cls), cls);
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "paper (Fig. 7): All LBL 450/365, ISI 432/334; class populations\n"
+      "follow the {6,3,3,1}/13 size-draw partition; each log ~350-450\n"
+      "transfers over two weeks.\n");
+}
+
+}  // namespace
+}  // namespace wadp::bench
+
+int main() {
+  wadp::bench::banner(
+      "Figure 7: transfer counts by file-size class, Aug & Dec 2001",
+      "~350-450 transfers per link per campaign; 10MB class largest");
+  wadp::bench::run();
+  return 0;
+}

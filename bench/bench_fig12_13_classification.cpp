@@ -1,0 +1,52 @@
+// Figures 12-13: impact of file-size classification on percent error,
+// LBL-ANL (Fig. 12) and ISI-ANL (Fig. 13).
+//
+// For each of the fifteen techniques, compares the mean error of the
+// context-insensitive predictor against the same technique applied to
+// size-partitioned history.  Section 4.3 reports a 5-10% average
+// improvement from classification.
+#include "common.hpp"
+
+namespace wadp::bench {
+namespace {
+
+void run_link(const char* figure, const char* link,
+              const std::vector<predict::Observation>& series) {
+  const auto suite = predict::PredictorSuite::paper_suite();
+  const predict::Evaluator evaluator;
+  const auto result = evaluator.run(series, suite.pointers());
+
+  std::printf("\n%s: %s-ANL\n", figure, link);
+  util::TextTable table(
+      {"Predictor", "plain %err", "classified %err", "reduction"});
+  double total_plain = 0.0, total_classified = 0.0;
+  for (const auto& name : predict::PredictorSuite::figure4_names()) {
+    const double plain = result.errors(*result.index_of(name)).mean();
+    const double classified =
+        result.errors(*result.index_of(name + "/fs")).mean();
+    total_plain += plain;
+    total_classified += classified;
+    table.add_row({name, fmt(plain), fmt(classified),
+                   fmt(plain - classified)});
+  }
+  std::printf("%s", table.render().c_str());
+  const auto n = static_cast<double>(
+      predict::PredictorSuite::figure4_names().size());
+  std::printf("mean across predictors: plain %.1f%%, classified %.1f%%, "
+              "average reduction %.1f points\n",
+              total_plain / n, total_classified / n,
+              (total_plain - total_classified) / n);
+}
+
+}  // namespace
+}  // namespace wadp::bench
+
+int main() {
+  using namespace wadp::bench;
+  banner("Figures 12-13: impact of file-size classification (Aug 2001)",
+         "classification reduces error ~5-10% on average");
+  auto data = run_campaign(wadp::workload::Campaign::kAugust2001);
+  run_link("Figure 12", "LBL", data.lbl);
+  run_link("Figure 13", "ISI", data.isi);
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Figures 14-21: relative performance of the fifteen predictors —
+// per transfer, which predictor was best and which was worst — for
+// ISI-ANL (Figs. 14-17) and LBL-ANL (Figs. 18-21), one figure per
+// file-size class.
+//
+// The paper's reading: predictors that win often also lose often
+// (nullifying the gain), median-based predictors vary more, and ARIMA
+// does not earn its extra cost on irregular data.
+#include "common.hpp"
+
+namespace wadp::bench {
+namespace {
+
+void run_link(const char* link, int first_figure,
+              const std::vector<predict::Observation>& series) {
+  // The relative contest is run within the context-sensitive battery,
+  // one class at a time (the figures are per size class).
+  const auto suite = predict::PredictorSuite::context_sensitive();
+  const predict::Evaluator evaluator;
+  const auto result = evaluator.run(series, suite.pointers());
+  const auto classifier = predict::SizeClassifier::paper_classes();
+
+  for (int cls = 0; cls < classifier.num_classes(); ++cls) {
+    std::printf("\nFigure %d: relative performance, %s-ANL, %s class\n",
+                first_figure + cls, link,
+                classifier.class_label(cls).c_str());
+    util::TextTable table({"Predictor", "best %", "worst %", "n"});
+    for (std::size_t p = 0; p < suite.size(); ++p) {
+      const auto& rel = result.relative(p, cls);
+      table.add_row({result.predictor_names()[p], fmt(rel.best_pct()),
+                     fmt(rel.worst_pct()),
+                     std::to_string(rel.opportunities)});
+    }
+    std::printf("%s", table.render().c_str());
+  }
+}
+
+void summarize(const std::vector<predict::Observation>& lbl,
+               const std::vector<predict::Observation>& isi) {
+  // The paper's correlation claim: high best% tends to come with high
+  // worst% (LV being the archetype).
+  const auto suite = predict::PredictorSuite::context_sensitive();
+  const predict::Evaluator evaluator;
+  double lv_best = 0.0, lv_worst = 0.0, avg_best = 0.0, avg_worst = 0.0;
+  for (const auto* series : {&lbl, &isi}) {
+    const auto result = evaluator.run(*series, suite.pointers());
+    const auto lv = *result.index_of("LV/fs");
+    const auto avg = *result.index_of("AVG15/fs");
+    lv_best += result.relative(lv).best_pct() / 2;
+    lv_worst += result.relative(lv).worst_pct() / 2;
+    avg_best += result.relative(avg).best_pct() / 2;
+    avg_worst += result.relative(avg).worst_pct() / 2;
+  }
+  std::printf(
+      "\npaper shape check (both links averaged):\n"
+      "  LV     best %.1f%%, worst %.1f%%  (wins often, loses often)\n"
+      "  AVG15  best %.1f%%, worst %.1f%%  (rarely extreme)\n",
+      lv_best, lv_worst, avg_best, avg_worst);
+}
+
+}  // namespace
+}  // namespace wadp::bench
+
+int main() {
+  using namespace wadp::bench;
+  banner("Figures 14-21: relative best/worst performance of predictors",
+         "high best%% correlates with high worst%%; medians vary more; "
+         "ARIMA not better");
+  auto data = run_campaign(wadp::workload::Campaign::kAugust2001);
+  run_link("ISI", 14, data.isi);
+  run_link("LBL", 18, data.lbl);
+  summarize(data.lbl, data.isi);
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Section 4.1 cost claim: the ARIMA technique "can have a much greater
+// computational cost" than mean/median predictors.
+//
+// Google-benchmark comparison of one prediction over histories of
+// 100-3200 observations for each technique, plain and classified.
+#include <benchmark/benchmark.h>
+
+#include "predict/suite.hpp"
+#include "util/rng.hpp"
+
+namespace wadp::predict {
+namespace {
+
+std::vector<Observation> synthetic_history(std::size_t n) {
+  util::Rng rng(5);
+  const std::vector<Bytes> sizes = {1 * kMB,   10 * kMB,  100 * kMB,
+                                    500 * kMB, 1000 * kMB};
+  std::vector<Observation> out;
+  double t = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back({.time = t,
+                   .value = rng.uniform(2e6, 9e6),
+                   .file_size = sizes[static_cast<std::size_t>(rng.uniform_int(
+                       0, static_cast<std::int64_t>(sizes.size()) - 1))]});
+    t += rng.uniform(60.0, 1800.0);
+  }
+  return out;
+}
+
+void run_predictor(benchmark::State& state, const std::string& name) {
+  static const auto suite = PredictorSuite::paper_suite();
+  const auto* predictor = suite.find(name);
+  const auto history = synthetic_history(static_cast<std::size_t>(state.range(0)));
+  const Query query{.time = history.back().time + 60.0,
+                    .file_size = 500 * kMB};
+  for (auto _ : state) {
+    auto prediction = predictor->predict(history, query);
+    benchmark::DoNotOptimize(prediction);
+  }
+  state.counters["history"] = static_cast<double>(state.range(0));
+}
+
+void BM_Avg(benchmark::State& s) { run_predictor(s, "AVG"); }
+void BM_Avg25(benchmark::State& s) { run_predictor(s, "AVG25"); }
+void BM_Med(benchmark::State& s) { run_predictor(s, "MED"); }
+void BM_Med25(benchmark::State& s) { run_predictor(s, "MED25"); }
+void BM_Lv(benchmark::State& s) { run_predictor(s, "LV"); }
+void BM_Ar(benchmark::State& s) { run_predictor(s, "AR"); }
+void BM_AvgClassified(benchmark::State& s) { run_predictor(s, "AVG/fs"); }
+void BM_ArClassified(benchmark::State& s) { run_predictor(s, "AR/fs"); }
+
+BENCHMARK(BM_Avg)->Arg(100)->Arg(400)->Arg(3200);
+BENCHMARK(BM_Avg25)->Arg(100)->Arg(400)->Arg(3200);
+BENCHMARK(BM_Med)->Arg(100)->Arg(400)->Arg(3200);
+BENCHMARK(BM_Med25)->Arg(100)->Arg(400)->Arg(3200);
+BENCHMARK(BM_Lv)->Arg(100)->Arg(400)->Arg(3200);
+BENCHMARK(BM_Ar)->Arg(100)->Arg(400)->Arg(3200);
+BENCHMARK(BM_AvgClassified)->Arg(100)->Arg(400)->Arg(3200);
+BENCHMARK(BM_ArClassified)->Arg(100)->Arg(400)->Arg(3200);
+
+}  // namespace
+}  // namespace wadp::predict
+
+BENCHMARK_MAIN();

@@ -1,0 +1,101 @@
+// Section 5.1 claim: "a log of approximately 100 KB, around 700 log
+// entries, took the information provider approximately 1 to 2 seconds
+// to filter, classify the entries into object classes, and compute
+// predictions."
+//
+// Measures our provider on logs of 175-2800 entries (the paper's 700 in
+// the middle).  The paper's figure reflects LDAP shell-backend scripts
+// forking per query; an in-process provider should be orders of
+// magnitude faster while doing the same filtering/classification work.
+#include <benchmark/benchmark.h>
+
+#include "mds/gridftp_provider.hpp"
+#include "util/rng.hpp"
+
+namespace wadp::mds {
+namespace {
+
+storage::StorageParams dedicated() {
+  storage::StorageParams p;
+  p.local_load.reset();
+  return p;
+}
+
+void fill_log(gridftp::GridFtpServer& server, int entries) {
+  util::Rng rng(7);
+  const std::vector<Bytes> sizes = {1 * kMB,   10 * kMB,  100 * kMB,
+                                    500 * kMB, 1000 * kMB};
+  const std::vector<std::string> remotes = {"140.221.65.69", "128.9.160.100",
+                                            "131.243.2.91"};
+  double t = 1000.0;
+  for (int i = 0; i < entries; ++i) {
+    const Bytes size = sizes[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(sizes.size()) - 1))];
+    const auto& remote = remotes[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(remotes.size()) - 1))];
+    const double duration =
+        static_cast<double>(size) / rng.uniform(2e6, 9e6);
+    server.record_transfer(remote, "/home/ftp/f", size, t, t + duration,
+                           rng.uniform() < 0.8 ? gridftp::Operation::kRead
+                                               : gridftp::Operation::kWrite,
+                           8, 1'000'000);
+    t += rng.uniform(60.0, 1800.0);
+  }
+}
+
+void BM_ProviderProvide(benchmark::State& state) {
+  storage::StorageSystem storage("lbl", dedicated(), 1, 0.0);
+  gridftp::GridFtpServer server(
+      {.site = "lbl", .host = "dpsslx04.lbl.gov", .ip = "131.243.2.91"},
+      storage);
+  server.fs().add_volume("/home/ftp");
+  fill_log(server, static_cast<int>(state.range(0)));
+  GridFtpInfoProvider provider(
+      server,
+      {.base = *Dn::parse("hostname=dpsslx04.lbl.gov, dc=lbl, o=grid")});
+  for (auto _ : state) {
+    auto entries = provider.provide(1e9);
+    benchmark::DoNotOptimize(entries);
+  }
+  state.counters["log_entries"] = static_cast<double>(state.range(0));
+  state.SetLabel("paper: ~700 entries in 1-2 s via LDAP shell scripts");
+}
+BENCHMARK(BM_ProviderProvide)->Arg(175)->Arg(350)->Arg(700)->Arg(1400)->Arg(2800);
+
+void BM_GrisSearchWithCache(benchmark::State& state) {
+  storage::StorageSystem storage("lbl", dedicated(), 1, 0.0);
+  gridftp::GridFtpServer server(
+      {.site = "lbl", .host = "dpsslx04.lbl.gov", .ip = "131.243.2.91"},
+      storage);
+  server.fs().add_volume("/home/ftp");
+  fill_log(server, 700);
+  GridFtpInfoProvider provider(
+      server,
+      {.base = *Dn::parse("hostname=dpsslx04.lbl.gov, dc=lbl, o=grid")});
+  Gris gris("lbl-gris", *Dn::parse("dc=lbl, o=grid"));
+  gris.register_provider(&provider, 1e12);  // cache never expires
+  const auto filter =
+      Filter::parse("(&(objectclass=GridFTPPerfInfo)(avgrdbandwidth>=3000))");
+  gris.search(0.0, *filter);  // warm the cache
+  for (auto _ : state) {
+    auto results = gris.search(1.0, *filter);
+    benchmark::DoNotOptimize(results);
+  }
+}
+BENCHMARK(BM_GrisSearchWithCache);
+
+void BM_FilterParse(benchmark::State& state) {
+  const std::string text =
+      "(&(objectclass=GridFTPPerfInfo)(|(hostname=*.lbl.gov)"
+      "(hostname=*.anl.gov))(!(avgrdbandwidth<=1000)))";
+  for (auto _ : state) {
+    auto filter = Filter::parse(text);
+    benchmark::DoNotOptimize(filter);
+  }
+}
+BENCHMARK(BM_FilterParse);
+
+}  // namespace
+}  // namespace wadp::mds
+
+BENCHMARK_MAIN();

@@ -1,0 +1,164 @@
+// End-to-end replica selection study (Section 1 motivation, [41]).
+//
+// Two panels:
+//  * SYMMETRIC — the paper's calibrated testbed, where LBL and ISI are
+//    statistically identical.  Cross-site selection then has little
+//    signal (history is hours stale relative to the load's correlation
+//    time), mirroring the paper's own "inconclusive" tone.
+//  * HETEROGENEOUS — ISI's connectivity to ANL degraded to 7 MB/s
+//    (the paper's premise: sites differ in storage architecture and
+//    connectivity).  Here published predictions identify the better
+//    site decisively.
+//
+// Ground truth is counterfactual: per decision instant, twin testbeds
+// (identical seeds, hence identical background load) actually run the
+// transfer from each site.
+#include "common.hpp"
+
+#include "mds/gridftp_provider.hpp"
+
+namespace wadp::bench {
+namespace {
+
+constexpr Bytes kFileSize = 500 * kMB;
+
+double counterfactual_bandwidth(const workload::TestbedConfig& config,
+                                const char* src, SimTime t) {
+  workload::Testbed twin(workload::Campaign::kAugust2001, kSeed, config);
+  twin.sim().run_until(t);
+  double bandwidth = 0.0;
+  twin.client("anl").get(twin.server(src), workload::paper_file_path(kFileSize),
+                         {},
+                         [&](const gridftp::TransferOutcome& outcome) {
+                           if (outcome.ok) {
+                             bandwidth = outcome.record.bandwidth();
+                           }
+                         });
+  twin.sim().run_until(t + 4 * 3600.0);
+  return bandwidth;
+}
+
+void run_panel(const char* title, const workload::TestbedConfig& config) {
+  // Campaign on the configured testbed.
+  workload::Testbed testbed(workload::Campaign::kAugust2001, kSeed, config);
+  workload::CampaignDriver lbl_driver(testbed, "anl", "lbl", {}, kSeed ^ 1);
+  workload::CampaignDriver isi_driver(testbed, "anl", "isi", {}, kSeed ^ 2);
+  lbl_driver.start();
+  isi_driver.start();
+  testbed.sim().run_until(lbl_driver.end_time() + 86400.0);
+  const auto client_ip = testbed.client("anl").ip();
+
+  // Delivery stack over the logs.
+  mds::GridFtpInfoProvider lbl_provider(
+      testbed.server("lbl"),
+      {.base = *mds::Dn::parse("hostname=dpsslx04.lbl.gov, dc=lbl, o=grid")});
+  mds::GridFtpInfoProvider isi_provider(
+      testbed.server("isi"),
+      {.base = *mds::Dn::parse("hostname=jet.isi.edu, dc=isi, o=grid")});
+  mds::Gris lbl_gris("lbl-gris", *mds::Dn::parse("dc=lbl, o=grid"));
+  mds::Gris isi_gris("isi-gris", *mds::Dn::parse("dc=isi, o=grid"));
+  lbl_gris.register_provider(&lbl_provider, 300.0);
+  isi_gris.register_provider(&isi_provider, 300.0);
+  mds::Giis giis("top");
+
+  replica::ReplicaCatalog catalog;
+  const auto path = workload::paper_file_path(kFileSize);
+  // ISI first so the "first" baseline is an arbitrary-order policy.
+  catalog.add_replica("lfn://data", {.site = "isi",
+                                     .server_host = "jet.isi.edu",
+                                     .path = path});
+  catalog.add_replica("lfn://data", {.site = "lbl",
+                                     .server_host = "dpsslx04.lbl.gov",
+                                     .path = path});
+
+  struct Tally {
+    double reward_sum = 0.0;
+    std::size_t decisions = 0;
+    std::size_t optimal = 0;
+  };
+  std::map<std::string, Tally> tallies;
+  std::vector<std::unique_ptr<replica::ReplicaBroker>> brokers;
+  for (const auto policy :
+       {replica::SelectionPolicy::kPredictedBest,
+        replica::SelectionPolicy::kRandom,
+        replica::SelectionPolicy::kRoundRobin,
+        replica::SelectionPolicy::kFirst}) {
+    brokers.push_back(std::make_unique<replica::ReplicaBroker>(
+        catalog, giis, policy, kSeed));
+  }
+
+  // Decisions every 90 minutes inside the nightly windows, after two
+  // days of history accumulation.
+  const SimTime start = testbed.start_time() + 2 * 86400.0;
+  const SimTime end = testbed.sim().now() - 86400.0;
+  std::size_t points = 0;
+  for (SimTime t = start; t < end; t += 90 * 60.0) {
+    if (!util::in_daily_window(t, testbed.zone(), 19, 7)) continue;
+    ++points;
+    giis.register_gris(lbl_gris, t, 2 * 3600.0);  // soft-state renewal
+    giis.register_gris(isi_gris, t, 2 * 3600.0);
+
+    const double lbl_truth = counterfactual_bandwidth(config, "lbl", t);
+    const double isi_truth = counterfactual_bandwidth(config, "isi", t);
+    const double best_truth = std::max(lbl_truth, isi_truth);
+    if (best_truth <= 0.0) continue;
+
+    for (auto& broker : brokers) {
+      const auto selection = broker->select("lfn://data", client_ip,
+                                            kFileSize, t);
+      if (!selection) continue;
+      const double reward =
+          selection->replica.site == "lbl" ? lbl_truth : isi_truth;
+      auto& tally = tallies[to_string(broker->policy())];
+      tally.reward_sum += reward;
+      ++tally.decisions;
+      if (reward >= best_truth * 0.999) ++tally.optimal;
+    }
+    auto& oracle = tallies["oracle"];
+    oracle.reward_sum += best_truth;
+    ++oracle.decisions;
+    ++oracle.optimal;
+  }
+
+  std::printf("\n--- %s (%zu decision points) ---\n", title, points);
+  util::TextTable table({"policy", "decisions", "mean delivered MB/s",
+                         "optimal choices %"});
+  table.set_align(0, util::TextTable::Align::Left);
+  for (const auto& name :
+       {"oracle", "predicted-best", "round-robin", "random", "first"}) {
+    const auto it = tallies.find(name);
+    if (it == tallies.end()) continue;
+    const auto& tally = it->second;
+    table.add_row(
+        {name, std::to_string(tally.decisions),
+         fmt(to_mb_per_sec(tally.reward_sum /
+                           static_cast<double>(tally.decisions)), 2),
+         fmt(100.0 * static_cast<double>(tally.optimal) /
+             static_cast<double>(tally.decisions))});
+  }
+  std::printf("%s", table.render().c_str());
+}
+
+}  // namespace
+}  // namespace wadp::bench
+
+int main() {
+  using namespace wadp::bench;
+  banner("Replica selection end-to-end (Section 1 motivation)",
+         "predicted-best vs random/round-robin/first vs oracle, 500 MB "
+         "class, symmetric and heterogeneous sites");
+
+  run_panel("SYMMETRIC sites (paper-calibrated testbed)", {});
+
+  wadp::workload::TestbedConfig heterogeneous;
+  heterogeneous.bottleneck_overrides["isi->anl"] = 7'000'000.0;
+  run_panel("HETEROGENEOUS sites (ISI->ANL degraded to 7 MB/s)",
+            heterogeneous);
+
+  std::printf(
+      "\nreading: with symmetric sites, stale history cannot separate the\n"
+      "links and every policy is near-oracle; once sites actually differ\n"
+      "(the paper's premise), published predictions find the better site\n"
+      "almost every time while order/chance baselines pay the full cost.\n");
+  return 0;
+}

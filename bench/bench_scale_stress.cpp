@@ -1,0 +1,131 @@
+// Scalability stress: how far past the paper's 3-site testbed the
+// simulator carries.
+//
+// Builds an N-site grid with a full directed mesh of loaded paths, runs
+// a week of Poisson transfer traffic between random pairs, and reports
+// wall-clock time, transfers completed, and throughput of the
+// simulation itself.  This is the substrate headroom for Data-Grid-
+// scale studies (the intro's tiered architecture has dozens of sites).
+#include "common.hpp"
+
+#include <chrono>
+
+namespace wadp::bench {
+namespace {
+
+struct StressResult {
+  std::size_t sites = 0;
+  std::size_t transfers = 0;
+  double sim_days = 0.0;
+  double wall_seconds = 0.0;
+};
+
+StressResult run_scale(int site_count, int transfers_per_site_day) {
+  const SimTime origin = 1'000'000'000.0;
+  sim::Simulator sim(origin);
+  net::FluidEngine engine(sim);
+  net::Topology topology;
+  util::Rng rng(kSeed);
+
+  // Sites, storage, servers, clients.
+  std::vector<std::string> sites;
+  std::vector<std::unique_ptr<storage::StorageSystem>> stores;
+  std::vector<std::unique_ptr<gridftp::GridFtpServer>> servers;
+  std::vector<std::unique_ptr<gridftp::GridFtpClient>> clients;
+  for (int i = 0; i < site_count; ++i) {
+    sites.push_back("site" + std::to_string(i));
+    storage::StorageParams storage_params;
+    storage_params.local_load.reset();
+    stores.push_back(std::make_unique<storage::StorageSystem>(
+        sites.back(), storage_params, rng.next_u64(), origin));
+    gridftp::ServerConfig config;
+    config.site = sites.back();
+    config.host = sites.back() + ".example.org";
+    config.ip = "10.1." + std::to_string(i / 250) + "." +
+                std::to_string(i % 250 + 1);
+    servers.push_back(
+        std::make_unique<gridftp::GridFtpServer>(config, *stores.back()));
+    servers.back()->fs().add_volume("/data");
+    servers.back()->fs().add_file("/data/file", 100 * kMB);
+    clients.push_back(std::make_unique<gridftp::GridFtpClient>(
+        sim, engine, topology, sites.back(), config.ip, stores.back().get()));
+  }
+
+  // Full directed mesh with loaded paths.
+  for (int a = 0; a < site_count; ++a) {
+    for (int b = 0; b < site_count; ++b) {
+      if (a == b) continue;
+      net::PathParams params;
+      params.bottleneck = rng.uniform(8e6, 20e6);
+      params.rtt = rng.uniform(0.02, 0.12);
+      params.load.base = 0.3;
+      params.load.ar_sigma = 0.03;
+      topology.add_path(sites[static_cast<std::size_t>(a)],
+                        sites[static_cast<std::size_t>(b)], params,
+                        rng.next_u64(), origin);
+    }
+  }
+
+  // Poisson traffic: each site issues gets from random peers.
+  const double sim_days = 7.0;
+  const double rate_per_second =
+      transfers_per_site_day * site_count / util::kSecondsPerDay;
+  std::size_t completed = 0;
+  SimTime t = origin;
+  std::size_t scheduled = 0;
+  while (true) {
+    t += rng.exponential(1.0 / rate_per_second);
+    if (t >= origin + sim_days * util::kSecondsPerDay) break;
+    const auto src = static_cast<std::size_t>(
+        rng.uniform_int(0, site_count - 1));
+    auto dst = static_cast<std::size_t>(rng.uniform_int(0, site_count - 1));
+    if (dst == src) dst = (dst + 1) % static_cast<std::size_t>(site_count);
+    ++scheduled;
+    sim.schedule_at(t, [&, src, dst] {
+      clients[dst]->get(*servers[src], "/data/file", {},
+                        [&](const gridftp::TransferOutcome& outcome) {
+                          if (outcome.ok) ++completed;
+                        });
+    });
+  }
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  sim.run();
+  const auto wall_end = std::chrono::steady_clock::now();
+
+  StressResult result;
+  result.sites = static_cast<std::size_t>(site_count);
+  result.transfers = completed;
+  result.sim_days = sim_days;
+  result.wall_seconds =
+      std::chrono::duration<double>(wall_end - wall_start).count();
+  return result;
+}
+
+void run() {
+  util::TextTable table({"sites", "paths", "transfers done",
+                         "sim-days", "wall s", "transfers/s (wall)"});
+  for (const int sites : {3, 10, 20, 40}) {
+    const auto r = run_scale(sites, /*transfers_per_site_day=*/40);
+    table.add_row({std::to_string(r.sites),
+                   std::to_string(r.sites * (r.sites - 1)),
+                   std::to_string(r.transfers), fmt(r.sim_days, 0),
+                   fmt(r.wall_seconds, 2),
+                   fmt(static_cast<double>(r.transfers) /
+                       std::max(r.wall_seconds, 1e-9), 0)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("reading: event count scales with transfers x (ramp events +\n"
+              "load-grid wakes during each transfer), so cost grows with\n"
+              "traffic and concurrency, not with idle topology size.\n");
+}
+
+}  // namespace
+}  // namespace wadp::bench
+
+int main() {
+  wadp::bench::banner("Scalability stress: beyond the 3-site testbed",
+                      "Data-Grid-scale meshes on the fluid simulator");
+  wadp::bench::run();
+  return 0;
+}

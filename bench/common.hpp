@@ -1,0 +1,73 @@
+// Shared plumbing for the paper-reproduction benches.
+//
+// Every bench binary regenerates one exhibit (table or figure) of the
+// paper.  The helpers here run the standard campaigns, extract per-link
+// observation series, and print consistent headers so outputs are easy
+// to diff against EXPERIMENTS.md.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/wadp.hpp"
+#include "util/stats.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace wadp::bench {
+
+/// Deterministic seed used by every exhibit unless a sweep varies it.
+inline constexpr std::uint64_t kSeed = 42;
+
+/// Prints the exhibit banner.
+inline void banner(const std::string& exhibit, const std::string& paper_claim) {
+  std::printf("=============================================================\n");
+  std::printf("%s\n", exhibit.c_str());
+  std::printf("paper: %s\n", paper_claim.c_str());
+  std::printf("=============================================================\n");
+}
+
+/// One campaign's observation series for both links, plus the campaign
+/// handle (kept alive for log/provider access).
+struct CampaignData {
+  workload::CampaignResult result;
+  std::vector<predict::Observation> lbl;  ///< LBL->ANL reads
+  std::vector<predict::Observation> isi;  ///< ISI->ANL reads
+
+  const std::vector<predict::Observation>& link(const std::string& site) const {
+    return site == "lbl" ? lbl : isi;
+  }
+};
+
+/// Runs the standard two-week campaign and extracts both link series.
+inline CampaignData run_campaign(workload::Campaign campaign,
+                                 std::uint64_t seed = kSeed,
+                                 workload::CampaignConfig config = {}) {
+  CampaignData data{
+      .result = workload::run_paper_campaign(campaign, seed, config)};
+  const auto anl_ip = data.result.testbed->client("anl").ip();
+  data.lbl = workload::observations_from_records(
+      data.result.testbed->server("lbl").log().records(),
+      {.remote_ip = anl_ip});
+  data.isi = workload::observations_from_records(
+      data.result.testbed->server("isi").log().records(),
+      {.remote_ip = anl_ip});
+  return data;
+}
+
+/// The figure-order names of the 15 predictors, optionally suffixed for
+/// the context-sensitive variants.
+inline std::vector<std::string> predictor_names(bool classified) {
+  std::vector<std::string> names;
+  for (const auto& name : predict::PredictorSuite::figure4_names()) {
+    names.push_back(classified ? name + "/fs" : name);
+  }
+  return names;
+}
+
+inline std::string fmt(double v, int precision = 1) {
+  return util::format("%.*f", precision, v);
+}
+
+}  // namespace wadp::bench

@@ -1,0 +1,56 @@
+// Regenerate the paper's trace archive (its reference [15], long dead):
+// both two-week campaigns' instrumented logs as ULM files on disk, one
+// per (campaign, serving site), plus a manifest summarizing each.
+//
+// Run:  ./build/examples/generate_traces [output-dir]
+#include <cstdio>
+#include <filesystem>
+
+#include "core/wadp.hpp"
+#include "util/stats.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace wadp;
+
+  const std::string out_dir = argc > 1 ? argv[1] : "traces";
+  std::error_code ec;
+  std::filesystem::create_directories(out_dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "cannot create %s: %s\n", out_dir.c_str(),
+                 ec.message().c_str());
+    return 1;
+  }
+
+  util::TextTable manifest({"file", "records", "bytes", "bw MB/s (min/mean/max)"});
+  manifest.set_align(0, util::TextTable::Align::Left);
+
+  for (const auto campaign :
+       {workload::Campaign::kAugust2001, workload::Campaign::kDecember2001}) {
+    auto result = workload::run_paper_campaign(campaign, /*seed=*/42, {});
+    const char* tag =
+        campaign == workload::Campaign::kAugust2001 ? "aug2001" : "dec2001";
+    for (const char* site : {"lbl", "isi"}) {
+      const auto& log = result.testbed->server(site).log();
+      const auto path =
+          out_dir + "/gridftp-" + site + "-anl-" + tag + ".ulm";
+      const auto saved = log.save(path);
+      if (!saved.ok()) {
+        std::fprintf(stderr, "write failed: %s\n", saved.error().c_str());
+        return 1;
+      }
+      util::RunningStats bw;
+      for (const auto& r : log.records()) bw.add(to_mb_per_sec(r.bandwidth()));
+      manifest.add_row(
+          {path, std::to_string(log.size()),
+           std::to_string(std::filesystem::file_size(path)),
+           util::format("%.2f / %.2f / %.2f", bw.min(), bw.mean(), bw.max())});
+    }
+  }
+
+  std::printf("%s\n", manifest.render().c_str());
+  std::printf("Analyze any of these with:  ./build/examples/trace_analysis "
+              "%s/<file>\n", out_dir.c_str());
+  return 0;
+}

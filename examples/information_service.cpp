@@ -1,0 +1,97 @@
+// The delivery infrastructure on its own (Section 5 / Fig. 5): three
+// site GRIS servers with GridFTP performance providers register into a
+// GIIS via the soft-state protocol; a user issues LDAP-style inquiries.
+//
+// Run:  ./build/examples/information_service
+#include <cstdio>
+
+#include "core/wadp.hpp"
+#include "util/strings.hpp"
+
+int main() {
+  using namespace wadp;
+
+  workload::CampaignConfig config;
+  config.days = 5;
+  auto campaign = workload::run_paper_campaign(
+      workload::Campaign::kAugust2001, /*seed=*/3, config);
+  auto& testbed = *campaign.testbed;
+  const SimTime now = testbed.sim().now();
+
+  // One GRIS + provider per site, all registered into one GIIS.
+  struct Site {
+    std::string name;
+    std::string host;
+    std::string suffix;
+  };
+  const std::vector<Site> sites = {
+      {"anl", "mirage.anl.gov", "dc=anl, dc=gov, o=grid"},
+      {"isi", "jet.isi.edu", "dc=isi, dc=edu, o=grid"},
+      {"lbl", "dpsslx04.lbl.gov", "dc=lbl, dc=gov, o=grid"},
+  };
+  std::vector<std::unique_ptr<mds::GridFtpInfoProvider>> providers;
+  std::vector<std::unique_ptr<mds::Gris>> gris_servers;
+  mds::Giis giis("grid-giis");
+  for (const auto& site : sites) {
+    providers.push_back(std::make_unique<mds::GridFtpInfoProvider>(
+        testbed.server(site.name),
+        mds::GridFtpProviderConfig{
+            .base = *mds::Dn::parse("hostname=" + site.host + ", " +
+                                    site.suffix)}));
+    gris_servers.push_back(std::make_unique<mds::Gris>(
+        site.name + "-gris", *mds::Dn::parse(site.suffix)));
+    gris_servers.back()->register_provider(providers.back().get(), 300.0);
+    giis.register_gris(*gris_servers.back(), now, 1800.0);
+  }
+  std::printf("GIIS '%s': %zu live GRIS registrations (soft state, 1800 s "
+              "TTL)\n\n",
+              giis.name().c_str(), giis.live_registrations(now));
+
+  // Inquiry 1: every GridFTP server on the grid.
+  const auto servers = giis.search(
+      now, *mds::Filter::parse("(objectclass=GridFTPServerInfo)"));
+  std::printf("inquiry (objectclass=GridFTPServerInfo): %zu servers\n",
+              servers.size());
+  for (const auto& entry : servers) {
+    std::printf("  %-20s %s  transfers=%s\n",
+                std::string(*entry.get("hostname")).c_str(),
+                std::string(*entry.get("gridftpurl")).c_str(),
+                std::string(*entry.get("numtransfers")).c_str());
+  }
+
+  // Inquiry 2: who has fast recent reads toward the ANL client?
+  const auto anl_ip = testbed.client("anl").ip();
+  const auto fast = giis.search(
+      now, *mds::Filter::parse(util::format(
+               "(&(objectclass=GridFTPPerfInfo)(cn=%s)"
+               "(predictedrdbandwidthfivehundredmbrange>=5000))",
+               anl_ip.c_str())));
+  std::printf("\ninquiry: predicted 500MB-class read bandwidth to %s >= "
+              "5000 KB/s:\n", anl_ip.c_str());
+  for (const auto& entry : fast) {
+    std::printf("  %-20s predicted=%sK avg=%sK over %s transfers\n",
+                std::string(*entry.get("hostname")).c_str(),
+                std::string(*entry.get("predictedrdbandwidthfivehundredmbrange"))
+                    .c_str(),
+                std::string(*entry.get("avgrdbandwidth")).c_str(),
+                std::string(*entry.get("numrdtransfers")).c_str());
+  }
+
+  // Inquiry 3: full LDIF for one entry (the Fig. 6 fragment).
+  const auto lbl_entry = giis.search(
+      now, *mds::Filter::parse(util::format(
+               "(&(objectclass=GridFTPPerfInfo)(hostname=dpsslx04.lbl.gov)"
+               "(cn=%s))", anl_ip.c_str())));
+  if (!lbl_entry.empty()) {
+    std::printf("\nLDIF of the LBL entry (cf. paper Fig. 6):\n%s",
+                lbl_entry.front().to_ldif().c_str());
+  }
+
+  // Soft state: let the registrations lapse and show the GIIS empties.
+  const SimTime later = now + 7200.0;
+  std::printf("\nafter 2 h without renewal: %zu live registrations, "
+              "inquiry returns %zu entries\n",
+              giis.live_registrations(later),
+              giis.search(later, mds::Filter::match_all()).size());
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Quickstart: the whole framework in one page.
+//
+// 1. Build the paper's three-site testbed and run a short measurement
+//    campaign over the LBL->ANL link (controlled nightly GridFTP
+//    transfers, 8 streams, 1 MB buffers).
+// 2. Feed the instrumented server's log into a PredictionService.
+// 3. Ask for a prediction and compare predictors on the collected data.
+//
+// Run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "core/wadp.hpp"
+#include "util/stats.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace wadp;
+
+  // --- 1. Collect measurements on the simulated testbed ------------------
+  workload::CampaignConfig config;
+  config.days = 7;  // one week is plenty for a demo
+  auto campaign = workload::run_paper_campaign(
+      workload::Campaign::kAugust2001, /*seed=*/42, config);
+
+  auto& lbl_server = campaign.testbed->server("lbl");
+  std::printf("campaign finished: %zu transfers logged at %s (%zu failed)\n",
+              static_cast<std::size_t>(lbl_server.transfers_logged()),
+              lbl_server.config().host.c_str(),
+              campaign.lbl_to_anl->failed());
+
+  // --- 2. Ingest the log ---------------------------------------------------
+  core::PredictionService service;
+  service.ingest_log(lbl_server.log());
+
+  const core::SeriesKey key{
+      .host = lbl_server.config().host,
+      .remote_ip = campaign.testbed->client("anl").ip(),
+      .op = gridftp::Operation::kRead,
+  };
+  const auto* series = service.series(key);
+  if (series == nullptr) {
+    std::printf("no series collected — nothing to predict\n");
+    return 1;
+  }
+
+  util::RunningStats bw;
+  for (const auto& o : *series) bw.add(to_mb_per_sec(o.value));
+  std::printf("series %s: %zu observations, bandwidth %.2f..%.2f MB/s "
+              "(mean %.2f)\n\n",
+              key.to_string().c_str(), series->size(), bw.min(), bw.max(),
+              bw.mean());
+
+  // --- 3. Predict and evaluate ---------------------------------------------
+  const SimTime now = campaign.testbed->sim().now();
+  const Bytes upcoming = 500 * kMB;
+  if (const auto predicted = service.predict(key, upcoming, now)) {
+    std::printf("predicted bandwidth for a 500 MB transfer now: %.2f MB/s "
+                "(predictor %s)\n\n",
+                to_mb_per_sec(*predicted),
+                service.config().default_predictor.c_str());
+  }
+
+  if (const auto evaluation = service.evaluate(key)) {
+    util::TextTable table({"predictor", "mean % error", "best %", "worst %"});
+    for (const auto& name : predict::PredictorSuite::figure4_names()) {
+      const auto index = evaluation->index_of(name);
+      if (!index) continue;
+      const auto& errors = evaluation->errors(*index);
+      const auto& relative = evaluation->relative(*index);
+      table.add_row({name, util::format("%.1f", errors.mean()),
+                     util::format("%.1f", relative.best_pct()),
+                     util::format("%.1f", relative.worst_pct())});
+    }
+    std::printf("%s\n", table.render().c_str());
+  }
+  return 0;
+}

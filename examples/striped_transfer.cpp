@@ -1,0 +1,106 @@
+// Striped retrieval: aggregate several data movers' storage bandwidth
+// (the GridFTP striping extension described in the paper's companion
+// reference [2], Allcock et al.).
+//
+// A site exposes one logical file through four movers with 2001-era
+// 10 MB/s disks behind a fat (OC-12-class) wide-area path; the client
+// fetches it once from a single mover, then striped across all four,
+// and prints both logs — per-stripe entries land in each mover's
+// instrumented log exactly like ordinary transfers.
+//
+// Run:  ./build/examples/striped_transfer
+#include <cstdio>
+
+#include "core/wadp.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace wadp;
+
+storage::StorageParams disk(Bandwidth rate) {
+  storage::StorageParams p;
+  p.read_rate = rate;
+  p.write_rate = rate;
+  p.local_load.reset();
+  return p;
+}
+
+net::PathParams fat_path() {
+  net::PathParams p;
+  p.bottleneck = 80'000'000.0;
+  p.rtt = 0.055;
+  p.load.base = 0.1;
+  p.load.diurnal_amplitude = 0.0;
+  p.load.ar_sigma = 0.0;
+  p.load.episode_rate_per_hour = 0.0;
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  sim::Simulator sim(998'000'000.0);
+  net::FluidEngine engine(sim);
+  net::Topology topology;
+  topology.add_path("src", "dst", fat_path(), 1, sim.now());
+  topology.add_path("dst", "src", fat_path(), 2, sim.now());
+
+  storage::StorageSystem client_store("dst", disk(500e6), 99, sim.now());
+  gridftp::GridFtpClient client(sim, engine, topology, "dst", "10.0.0.9",
+                                &client_store);
+
+  std::vector<std::unique_ptr<storage::StorageSystem>> stores;
+  std::vector<std::unique_ptr<gridftp::GridFtpServer>> movers;
+  std::vector<gridftp::GridFtpServer*> stripes;
+  for (int i = 0; i < 4; ++i) {
+    stores.push_back(std::make_unique<storage::StorageSystem>(
+        "src", disk(10e6), static_cast<std::uint64_t>(i) + 1, sim.now()));
+    gridftp::ServerConfig config;
+    config.site = "src";
+    config.host = "mover" + std::to_string(i) + ".src.org";
+    config.ip = "10.0.1." + std::to_string(i + 1);
+    movers.push_back(
+        std::make_unique<gridftp::GridFtpServer>(config, *stores.back()));
+    movers.back()->fs().add_volume("/data");
+    movers.back()->fs().add_file("/data/big", 500'000'000);
+    stripes.push_back(movers.back().get());
+  }
+
+  // --- single mover ---------------------------------------------------------
+  double single_bw = 0.0;
+  client.get(*stripes.front(), "/data/big", {},
+             [&](const gridftp::TransferOutcome& o) {
+               if (o.ok) single_bw = o.record.bandwidth();
+             });
+  sim.run();
+  std::printf("single mover : %.2f MB/s (disk-bound at ~10 MB/s)\n",
+              to_mb_per_sec(single_bw));
+
+  // --- striped across four --------------------------------------------------
+  double striped_bw = 0.0;
+  client.striped_get(stripes, "/data/big", {},
+                     [&](const gridftp::TransferOutcome& o) {
+                       if (o.ok) striped_bw = o.record.bandwidth();
+                     });
+  sim.run();
+  std::printf("4-way striped: %.2f MB/s (%.1fx)\n\n",
+              to_mb_per_sec(striped_bw), striped_bw / single_bw);
+
+  // --- the movers' instrumented logs ---------------------------------------
+  util::TextTable table({"mover", "entries", "last slice", "slice MB/s"});
+  table.set_align(0, util::TextTable::Align::Left);
+  for (const auto* mover : stripes) {
+    const auto& record = mover->log().records().back();
+    table.add_row({std::string(mover->config().host),
+                   std::to_string(mover->log().size()),
+                   util::format_bytes(record.file_size),
+                   util::format("%.2f", to_mb_per_sec(record.bandwidth()))});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("each mover logged its slice exactly like an ordinary\n"
+              "transfer, so the prediction pipeline sees striped traffic\n"
+              "with no special cases.\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Offline trace analysis: the "bring your own log" workflow.
+//
+// A site operator has a ULM transfer log on disk (here we generate one
+// by campaign and save it, standing in for a real instrumented server's
+// file).  The tool loads it, summarizes the series per remote endpoint,
+// evaluates the full predictor battery, and prints which predictor to
+// deploy — exactly the postmortem the paper runs in Section 6.
+//
+// Run:  ./build/examples/trace_analysis [log.ulm]
+#include <cstdio>
+
+#include "core/wadp.hpp"
+#include "util/stats.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+std::string generate_sample_log(const std::string& path) {
+  wadp::workload::CampaignConfig config;
+  config.days = 10;
+  auto campaign = wadp::workload::run_paper_campaign(
+      wadp::workload::Campaign::kAugust2001, /*seed=*/21, config);
+  const auto saved = campaign.testbed->server("lbl").log().save(path);
+  if (!saved.ok()) {
+    std::fprintf(stderr, "cannot write sample log: %s\n",
+                 saved.error().c_str());
+    std::exit(1);
+  }
+  return path;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace wadp;
+
+  const std::string path =
+      argc > 1 ? argv[1] : generate_sample_log("/tmp/wadp_sample_log.ulm");
+  auto loaded = gridftp::TransferLog::load(path);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "cannot load %s: %s\n", path.c_str(),
+                 loaded.error().c_str());
+    return 1;
+  }
+  const auto& log = loaded.value();
+  std::printf("loaded %s: %zu transfer records\n\n", path.c_str(), log.size());
+
+  core::PredictionService service;
+  service.ingest_log(log);
+
+  for (const auto& key : service.series_keys()) {
+    const auto* series = service.series(key);
+    util::RunningStats bw;
+    for (const auto& o : *series) bw.add(to_mb_per_sec(o.value));
+    std::printf("series %s: %zu observations, %.2f..%.2f MB/s (mean %.2f)\n",
+                key.to_string().c_str(), series->size(), bw.min(), bw.max(),
+                bw.mean());
+
+    const auto evaluation = service.evaluate(key);
+    if (!evaluation) {
+      std::printf("  (too short to evaluate)\n\n");
+      continue;
+    }
+
+    // Rank the battery by overall error; print the leaders.
+    std::vector<std::pair<double, std::string>> ranking;
+    for (std::size_t p = 0; p < evaluation->predictor_names().size(); ++p) {
+      const auto& errors = evaluation->errors(p);
+      if (errors.count == 0) continue;
+      ranking.emplace_back(errors.mean(), evaluation->predictor_names()[p]);
+    }
+    std::sort(ranking.begin(), ranking.end());
+    util::TextTable table({"rank", "predictor", "mean % error"});
+    table.set_align(1, util::TextTable::Align::Left);
+    for (std::size_t i = 0; i < ranking.size() && i < 5; ++i) {
+      table.add_row({std::to_string(i + 1), ranking[i].second,
+                     util::format("%.1f", ranking[i].first)});
+    }
+    std::printf("%s", table.render().c_str());
+    std::printf("  recommendation: deploy %s for this series\n\n",
+                ranking.front().second.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,93 @@
+#include "core/information_fabric.hpp"
+
+#include "util/error.hpp"
+
+namespace wadp::core {
+
+InformationFabric::InformationFabric(workload::Testbed& testbed,
+                                     FabricConfig config)
+    : testbed_(testbed), config_(std::move(config)) {
+  giis_ = std::make_unique<mds::Giis>("giis", config_.registration_ttl);
+  for (const auto& site : testbed_.sites()) {
+    const auto& server = testbed_.server(site);
+    mds::GridFtpProviderConfig provider_config;
+    provider_config.base = site_suffix(site).child(
+        mds::Rdn{"hostname", server.config().host});
+    provider_config.classifier = config_.classifier;
+    providers_.emplace(site, std::make_unique<mds::GridFtpInfoProvider>(
+                                 server, provider_config));
+    gris_.emplace(site, std::make_unique<mds::Gris>(site + "-gris",
+                                                    site_suffix(site)));
+    gris_.at(site)->register_provider(providers_.at(site).get(),
+                                      config_.provider_cache_ttl);
+    giis_->register_gris(*gris_.at(site), testbed_.sim().now(),
+                         config_.registration_ttl);
+  }
+
+  if (config_.deploy_nws) {
+    // Per-site probe memory + provider...
+    for (const auto& site : testbed_.sites()) {
+      memories_.emplace(site, std::make_unique<nws::NwsMemory>());
+      nws::NwsProviderConfig provider_config;
+      provider_config.base = site_suffix(site).child(
+          mds::Rdn{"hostname", "nws." + testbed_.server(site).config().host});
+      nws_providers_.emplace(site, std::make_unique<nws::NwsInfoProvider>(
+                                       *memories_.at(site), provider_config));
+      gris_.at(site)->register_provider(nws_providers_.at(site).get(),
+                                        config_.provider_cache_ttl);
+    }
+    // ...and one sensor per directed path, feeding the source's memory.
+    for (const auto* path : testbed_.topology().paths()) {
+      SensorFeed feed;
+      feed.site = path->source_site();
+      feed.experiment =
+          "bandwidth." + path->source_site() + "." + path->sink_site();
+      feed.sensor = std::make_unique<nws::NwsSensor>(
+          testbed_.sim(), testbed_.engine(),
+          *testbed_.topology().find(path->source_site(), path->sink_site()),
+          config_.probe_config);
+      sensors_.push_back(std::move(feed));
+    }
+  }
+}
+
+nws::NwsMemory& InformationFabric::probe_memory(const std::string& site) {
+  const auto it = memories_.find(site);
+  WADP_CHECK_MSG(it != memories_.end(),
+                 "no probe memory (deploy_nws off or unknown site)");
+  return *it->second;
+}
+
+void InformationFabric::absorb_probes() {
+  for (auto& feed : sensors_) {
+    memories_.at(feed.site)->absorb(feed.experiment, *feed.sensor);
+  }
+}
+
+mds::Dn InformationFabric::site_suffix(const std::string& site) const {
+  const auto dn = mds::Dn::parse("dc=" + site + ", " + config_.organization);
+  WADP_CHECK_MSG(dn.has_value(), "bad organization suffix");
+  return *dn;
+}
+
+mds::Gris& InformationFabric::gris(const std::string& site) {
+  const auto it = gris_.find(site);
+  WADP_CHECK_MSG(it != gris_.end(), "unknown site");
+  return *it->second;
+}
+
+mds::GridFtpInfoProvider& InformationFabric::provider(
+    const std::string& site) {
+  const auto it = providers_.find(site);
+  WADP_CHECK_MSG(it != providers_.end(), "unknown site");
+  return *it->second;
+}
+
+void InformationFabric::renew(SimTime now) {
+  absorb_probes();
+  for (auto& [site, gris] : gris_) {
+    giis_->register_gris(*gris, now, config_.registration_ttl);
+  }
+}
+
+}  // namespace wadp::core

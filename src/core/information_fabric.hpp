@@ -1,0 +1,88 @@
+// InformationFabric: the paper's Fig. 5 deployment, pre-wired.
+//
+// Every replica site runs a GridFTP information provider registered
+// with its local GRIS, and every GRIS registers (soft state) with a
+// GIIS.  Assembling that by hand is ~40 lines per program; this helper
+// owns the whole arrangement for a Testbed so examples, benches, and
+// applications can go straight to inquiries and broker decisions.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mds/giis.hpp"
+#include "mds/gridftp_provider.hpp"
+#include "nws/mds_provider.hpp"
+#include "nws/memory.hpp"
+#include "nws/sensor.hpp"
+#include "workload/testbed.hpp"
+
+namespace wadp::core {
+
+struct FabricConfig {
+  Duration provider_cache_ttl = 300.0;    ///< GRIS cache of provider output
+  Duration registration_ttl = 3600.0;     ///< GRIS -> GIIS soft-state TTL
+  std::string organization = "o=grid";    ///< directory root
+  predict::SizeClassifier classifier = predict::SizeClassifier::paper_classes();
+  /// Also run an NWS sensor on every directed inter-site path and
+  /// publish probe statistics/forecasts (nwsNetwork entries) from each
+  /// source site's GRIS — the combined GridFTP+NWS information plane
+  /// Section 7 proposes.
+  bool deploy_nws = false;
+  nws::ProbeConfig probe_config;
+};
+
+class InformationFabric {
+ public:
+  /// Builds a provider + GRIS per testbed site and registers all of
+  /// them with the fabric's GIIS at the testbed's current time.  The
+  /// testbed must outlive the fabric.
+  explicit InformationFabric(workload::Testbed& testbed,
+                             FabricConfig config = {});
+
+  /// The top-level index to point brokers and inquiries at.
+  mds::Giis& giis() { return *giis_; }
+
+  /// Site-level components, for tests and finer-grained wiring.
+  mds::Gris& gris(const std::string& site);
+  mds::GridFtpInfoProvider& provider(const std::string& site);
+
+  /// Renews every GRIS registration (call periodically, or before
+  /// inquiries that happen long after construction — registrations are
+  /// soft state and lapse otherwise).  Also drains NWS sensors into the
+  /// site memories when deploy_nws is on.
+  void renew(SimTime now);
+
+  /// Directory suffix used for a site's subtree.
+  mds::Dn site_suffix(const std::string& site) const;
+
+  /// Probe memory of a site (deploy_nws only); experiments are named
+  /// "bandwidth.<src>.<dst>".
+  nws::NwsMemory& probe_memory(const std::string& site);
+
+  /// Pulls everything the sensors measured so far into the memories
+  /// (renew() does this too).
+  void absorb_probes();
+
+ private:
+  workload::Testbed& testbed_;
+  FabricConfig config_;
+  std::unique_ptr<mds::Giis> giis_;
+  std::map<std::string, std::unique_ptr<mds::GridFtpInfoProvider>> providers_;
+  std::map<std::string, std::unique_ptr<mds::Gris>> gris_;
+  // NWS plane (deploy_nws): per-site memory + provider, one sensor per
+  // directed path, each feeding experiment "bandwidth.<src>.<dst>" of
+  // the source site's memory.
+  std::map<std::string, std::unique_ptr<nws::NwsMemory>> memories_;
+  std::map<std::string, std::unique_ptr<nws::NwsInfoProvider>> nws_providers_;
+  struct SensorFeed {
+    std::string site;
+    std::string experiment;
+    std::unique_ptr<nws::NwsSensor> sensor;
+  };
+  std::vector<SensorFeed> sensors_;
+};
+
+}  // namespace wadp::core

@@ -1,0 +1,109 @@
+#include "core/prediction_service.hpp"
+
+#include <algorithm>
+
+#include "predict/extended.hpp"
+#include "util/error.hpp"
+
+namespace wadp::core {
+
+std::string SeriesKey::to_string() const {
+  return host + "/" + remote_ip + "/" + gridftp::to_string(op);
+}
+
+PredictionService::PredictionService(ServiceConfig config)
+    : config_(std::move(config)),
+      suite_(config_.use_extended_battery
+                 ? predict::extended_suite(config_.classifier)
+                 : predict::PredictorSuite::paper_suite(config_.classifier)) {
+  WADP_CHECK_MSG(suite_.find(config_.default_predictor) != nullptr,
+                 "default predictor not in the battery");
+}
+
+void PredictionService::ingest(const gridftp::TransferRecord& record) {
+  auto& series = series_[SeriesKey{
+      .host = record.host, .remote_ip = record.source_ip, .op = record.op}];
+  predict::Observation obs{.time = record.end_time,
+                           .value = record.bandwidth(),
+                           .file_size = record.file_size};
+  // Logs from one server arrive ordered; merged logs may interleave, so
+  // keep the series sorted by insertion at the right place.
+  if (series.empty() || series.back().time <= obs.time) {
+    series.push_back(obs);
+    return;
+  }
+  const auto pos = std::upper_bound(
+      series.begin(), series.end(), obs,
+      [](const predict::Observation& a, const predict::Observation& b) {
+        return a.time < b.time;
+      });
+  series.insert(pos, obs);
+}
+
+void PredictionService::ingest_log(const gridftp::TransferLog& log) {
+  for (const auto& record : log.records()) ingest(record);
+}
+
+std::optional<Bandwidth> PredictionService::predict(
+    const SeriesKey& key, Bytes size, SimTime now,
+    std::string_view predictor_name) const {
+  const auto* series = this->series(key);
+  if (series == nullptr || series->size() < config_.training_count) {
+    return std::nullopt;
+  }
+  const auto* predictor = suite_.find(
+      predictor_name.empty() ? config_.default_predictor : predictor_name);
+  if (predictor == nullptr) return std::nullopt;
+  return predictor->predict(*series,
+                            predict::Query{.time = now, .file_size = size});
+}
+
+std::vector<std::pair<std::string, std::optional<Bandwidth>>>
+PredictionService::predict_all(const SeriesKey& key, Bytes size,
+                               SimTime now) const {
+  std::vector<std::pair<std::string, std::optional<Bandwidth>>> out;
+  const auto* series = this->series(key);
+  for (const auto& predictor : suite_.predictors()) {
+    std::optional<Bandwidth> value;
+    if (series != nullptr && series->size() >= config_.training_count) {
+      value = predictor->predict(*series,
+                                 predict::Query{.time = now, .file_size = size});
+    }
+    out.emplace_back(predictor->name(), value);
+  }
+  return out;
+}
+
+std::optional<predict::EvaluationResult> PredictionService::evaluate(
+    const SeriesKey& key) const {
+  const auto* series = this->series(key);
+  if (series == nullptr || series->size() <= config_.training_count) {
+    return std::nullopt;
+  }
+  predict::EvalConfig eval_config;
+  eval_config.training_count = config_.training_count;
+  eval_config.classifier = config_.classifier;
+  const predict::Evaluator evaluator(eval_config);
+  return evaluator.run(*series, suite_.pointers());
+}
+
+const std::vector<predict::Observation>* PredictionService::series(
+    const SeriesKey& key) const {
+  const auto it = series_.find(key);
+  return it == series_.end() ? nullptr : &it->second;
+}
+
+std::vector<SeriesKey> PredictionService::series_keys() const {
+  std::vector<SeriesKey> out;
+  out.reserve(series_.size());
+  for (const auto& [key, series] : series_) out.push_back(key);
+  return out;
+}
+
+std::size_t PredictionService::total_observations() const {
+  std::size_t total = 0;
+  for (const auto& [key, series] : series_) total += series.size();
+  return total;
+}
+
+}  // namespace wadp::core

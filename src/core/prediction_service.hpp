@@ -1,0 +1,90 @@
+// PredictionService: the predictive framework's front door.
+//
+// Ties the paper's three elements together behind one object: feed it
+// instrumented transfer records (element 1), and it maintains per-
+// (host, remote, direction) measurement series, answers prediction
+// queries with any predictor from the Section 4 battery (element 2),
+// and exposes everything the information provider / broker need to
+// publish (element 3 lives in mds/ and replica/, both of which can be
+// driven from the same service).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "gridftp/log.hpp"
+#include "gridftp/record.hpp"
+#include "predict/evaluator.hpp"
+#include "predict/suite.hpp"
+
+namespace wadp::core {
+
+struct ServiceConfig {
+  predict::SizeClassifier classifier = predict::SizeClassifier::paper_classes();
+  std::size_t training_count = 15;  ///< Section 6.1 training prefix
+  /// Predictor answering predict() when none is named.  AVG15 with
+  /// file-size classification is one of the paper's stronger simple
+  /// choices (Figs. 12-13).
+  std::string default_predictor = "AVG15/fs";
+  /// Use the extended battery (paper's 30 plus EWMA / SREG / ADAPT
+  /// variants from predict/extended.hpp) instead of the paper's 30.
+  bool use_extended_battery = false;
+};
+
+/// Identifies one measurement series: transfers served by `host` to/from
+/// `remote_ip` in direction `op`.
+struct SeriesKey {
+  std::string host;
+  std::string remote_ip;
+  gridftp::Operation op = gridftp::Operation::kRead;
+
+  std::string to_string() const;
+  auto operator<=>(const SeriesKey&) const = default;
+};
+
+class PredictionService {
+ public:
+  explicit PredictionService(ServiceConfig config = {});
+
+  /// Feeds one instrumented record.  Records may arrive from multiple
+  /// logs; each series is kept time-ordered internally.
+  void ingest(const gridftp::TransferRecord& record);
+
+  /// Feeds every record of a server log.
+  void ingest_log(const gridftp::TransferLog& log);
+
+  /// Predicted bandwidth (bytes/s) for a `size`-byte transfer on the
+  /// series at time `now`, using `predictor_name` (default predictor
+  /// when empty).  nullopt when the series is shorter than the training
+  /// count, the predictor is unknown, or it cannot produce a value.
+  std::optional<Bandwidth> predict(const SeriesKey& key, Bytes size,
+                                   SimTime now,
+                                   std::string_view predictor_name = "") const;
+
+  /// Every battery member's answer, in suite order (for comparison UIs
+  /// and the information provider's extended attributes).
+  std::vector<std::pair<std::string, std::optional<Bandwidth>>> predict_all(
+      const SeriesKey& key, Bytes size, SimTime now) const;
+
+  /// Runs the paper's evaluation (percentage error, relative
+  /// performance) over a stored series with the full battery.  nullopt
+  /// when the series is too short to evaluate anything.
+  std::optional<predict::EvaluationResult> evaluate(const SeriesKey& key) const;
+
+  const std::vector<predict::Observation>* series(const SeriesKey& key) const;
+  std::vector<SeriesKey> series_keys() const;
+  std::size_t total_observations() const;
+
+  const predict::PredictorSuite& suite() const { return suite_; }
+  const ServiceConfig& config() const { return config_; }
+
+ private:
+  ServiceConfig config_;
+  predict::PredictorSuite suite_;
+  std::map<SeriesKey, std::vector<predict::Observation>> series_;
+};
+
+}  // namespace wadp::core

@@ -1,0 +1,565 @@
+#include "gridftp/client.hpp"
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "gridftp/protocol.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace wadp::gridftp {
+namespace {
+
+/// Everything needed to run one data movement once control channels are
+/// up.  Reads are logged at the reading server, writes at the writing
+/// server; a third-party transfer populates both.
+struct DataPlan {
+  GridFtpServer* read_logger = nullptr;   ///< server performing the read
+  GridFtpServer* write_logger = nullptr;  ///< server performing the write
+  std::string read_path;
+  std::string write_path;
+  std::string read_remote_ip;   ///< peer address in the read record
+  std::string write_remote_ip;  ///< peer address in the write record
+  net::CapacityProvider* reader_port = nullptr;
+  net::CapacityProvider* writer_port = nullptr;
+  std::string src_site;
+  std::string dst_site;
+  Bytes bytes = 0;
+  bool create_file_on_write = false;
+  Operation primary_op = Operation::kRead;  ///< which record the outcome carries
+  /// Control sessions to close out with 226 when the data phase ends.
+  std::vector<std::shared_ptr<ServerSession>> sessions;
+};
+
+/// The scripted prologue every client invocation performs on a control
+/// channel: GSSAPI authentication, login, and transfer-parameter
+/// negotiation (TYPE/SBUF/parallelism/PASV).  Returns the failing reply,
+/// or nullopt when the session reaches kReady with options applied.
+std::optional<Reply> login_and_negotiate(ServerSession& session,
+                                         const TransferOptions& options) {
+  const std::string script[] = {
+      "AUTH GSSAPI",
+      "ADAT c2ltdWxhdGVkLXRva2Vu",
+      "USER :globus-mapping:",
+      "PASS dummy",
+      "TYPE I",
+      util::format("SBUF %llu", static_cast<unsigned long long>(options.buffer)),
+      util::format("OPTS RETR Parallelism=%d;", options.streams),
+      "PASV",
+  };
+  for (const auto& line : script) {
+    const Reply reply = session.handle_line(line);
+    if (!reply.ok()) return reply;
+  }
+  return std::nullopt;
+}
+
+/// Emits GridFTP performance markers (112 replies) for one flow.  Each
+/// scheduled handler holds the only shared_ptr to the loop, so the loop
+/// lives exactly until the tick that finds the flow gone — and is only
+/// ever destroyed after its handler returns (no self-destruction from
+/// inside the body, which completion callbacks could otherwise trigger).
+class MarkerLoop : public std::enable_shared_from_this<MarkerLoop> {
+ public:
+  MarkerLoop(sim::Simulator& sim, net::FluidEngine& engine, net::FlowId flow,
+             Duration interval, ProgressCallback on_marker)
+      : sim_(sim),
+        engine_(engine),
+        flow_(flow),
+        interval_(interval),
+        on_marker_(std::move(on_marker)) {}
+
+  void arm() {
+    sim_.schedule_after(interval_,
+                        [self = shared_from_this()] { self->fire(); });
+  }
+
+ private:
+  void fire() {
+    // progress() may complete flows (including this one) as a side
+    // effect of advancing bookkeeping; a vanished flow ends the loop.
+    const auto progress = engine_.progress(flow_);
+    if (!progress) return;
+    on_marker_(progress->moved, progress->total, sim_.now());
+    arm();
+  }
+
+  sim::Simulator& sim_;
+  net::FluidEngine& engine_;
+  net::FlowId flow_;
+  Duration interval_;
+  ProgressCallback on_marker_;
+};
+
+}  // namespace
+
+GridFtpClient::GridFtpClient(sim::Simulator& sim, net::FluidEngine& engine,
+                             net::Topology& topology, std::string site,
+                             std::string ip,
+                             storage::StorageSystem* local_storage,
+                             ProtocolCosts costs)
+    : sim_(sim),
+      engine_(engine),
+      topology_(topology),
+      site_(std::move(site)),
+      ip_(std::move(ip)),
+      local_storage_(local_storage),
+      costs_(costs) {}
+
+Duration GridFtpClient::control_rtt(const std::string& server_site) const {
+  // Control traffic client->server; fall back to the reverse direction
+  // when only one direction is registered (RTT is symmetric anyway).
+  if (const auto* path = topology_.find(site_, server_site)) return path->rtt();
+  if (const auto* path = topology_.find(server_site, site_)) return path->rtt();
+  return 0.05;  // conservative wide-area default
+}
+
+void GridFtpClient::fail(TransferCallback& callback, std::string error,
+                         Duration overhead) {
+  if (!callback) return;
+  TransferOutcome outcome;
+  outcome.ok = false;
+  outcome.error = std::move(error);
+  outcome.control_overhead = overhead;
+  callback(outcome);
+}
+
+namespace {
+
+/// Runs the data phase of `plan` on the fluid engine and delivers the
+/// outcome.  Free function so every public operation shares one code
+/// path for timing, logging, and callback delivery.
+void execute_plan(sim::Simulator& sim, net::FluidEngine& engine,
+                  net::Topology& topology, DataPlan plan,
+                  TransferOptions options, Duration control_overhead,
+                  TransferCallback callback) {
+  net::PathModel* path = topology.find(plan.src_site, plan.dst_site);
+  if (path == nullptr) {
+    if (callback) {
+      TransferOutcome outcome;
+      outcome.ok = false;
+      outcome.error =
+          "no path " + plan.src_site + " -> " + plan.dst_site + " in topology";
+      outcome.control_overhead = control_overhead;
+      callback(outcome);
+    }
+    return;
+  }
+
+  // The timed window opens when the transfer operation begins: data
+  // channels are set up inside it, as in the instrumented server.
+  const SimTime timed_start = sim.now();
+  const Duration data_setup =
+      ProtocolCosts{}.data_setup_rtts * path->rtt();
+
+  sim.schedule_after(data_setup, [&sim, &engine, path, plan = std::move(plan),
+                                  options, control_overhead, timed_start,
+                                  callback = std::move(callback)]() mutable {
+    net::FlowSpec spec;
+    spec.path = path;
+    spec.streams = options.streams;
+    spec.buffer = options.buffer;
+    spec.size = plan.bytes;
+    if (plan.reader_port != nullptr) spec.extra_resources.push_back(plan.reader_port);
+    if (plan.writer_port != nullptr) spec.extra_resources.push_back(plan.writer_port);
+
+    spec.on_complete = [&sim, plan, options, control_overhead, timed_start,
+                        callback](const net::FlowStats& stats) {
+      TransferRecord primary;
+      Duration logging_overhead = 0.0;
+
+      if (plan.read_logger != nullptr) {
+        const TransferRecord r = plan.read_logger->record_transfer(
+            plan.read_remote_ip, plan.read_path, plan.bytes, timed_start,
+            stats.end, Operation::kRead, options.streams, options.buffer);
+        logging_overhead =
+            std::max(logging_overhead, plan.read_logger->config().logging_overhead);
+        if (plan.primary_op == Operation::kRead) primary = r;
+      }
+      if (plan.write_logger != nullptr) {
+        if (plan.create_file_on_write) {
+          plan.write_logger->fs().add_file(plan.write_path, plan.bytes);
+        }
+        const TransferRecord r = plan.write_logger->record_transfer(
+            plan.write_remote_ip, plan.write_path, plan.bytes, timed_start,
+            stats.end, Operation::kWrite, options.streams, options.buffer);
+        logging_overhead = std::max(logging_overhead,
+                                    plan.write_logger->config().logging_overhead);
+        if (plan.primary_op == Operation::kWrite) primary = r;
+      }
+
+      // Close out the control sessions: the servers send their 226s.
+      for (const auto& session : plan.sessions) {
+        const Reply reply = session->complete_transfer(true);
+        WADP_CHECK(reply.positive_completion());
+      }
+
+      if (callback) {
+        TransferOutcome outcome;
+        outcome.ok = true;
+        outcome.record = primary;
+        outcome.control_overhead = control_overhead;
+        // The 226 reply reaches the client after the server's logging
+        // work (Section 3's ~25 ms) completes.
+        sim.schedule_after(logging_overhead,
+                           [callback, outcome] { callback(outcome); });
+      }
+    };
+
+    const net::FlowId flow = engine.start_flow(std::move(spec));
+    if (options.marker_interval > 0.0 && options.on_marker) {
+      std::make_shared<MarkerLoop>(sim, engine, flow, options.marker_interval,
+                                   options.on_marker)
+          ->arm();
+    }
+  });
+}
+
+}  // namespace
+
+void GridFtpClient::get(GridFtpServer& server, std::string remote_path,
+                        const TransferOptions& options,
+                        TransferCallback callback) {
+  const Duration rtt = control_rtt(server.site());
+  const Duration overhead = costs_.control_setup_rtts * rtt + costs_.auth_cpu;
+  sim_.schedule_after(
+      overhead, [this, &server, remote_path = std::move(remote_path), options,
+                 overhead, callback = std::move(callback)]() mutable {
+        auto session = std::make_shared<ServerSession>(server);
+        if (const auto denied = login_and_negotiate(*session, options)) {
+          fail(callback, denied->to_line(), overhead);
+          return;
+        }
+        const Reply reply =
+            session->handle({.verb = "RETR", .argument = remote_path});
+        if (!reply.ok()) {
+          fail(callback, reply.to_line(), overhead);
+          return;
+        }
+        const auto data = session->take_pending_data();
+        WADP_CHECK(data.has_value() && data->length.has_value());
+
+        DataPlan plan;
+        plan.read_logger = &server;
+        plan.read_path = remote_path;
+        plan.read_remote_ip = ip_;
+        plan.reader_port = &server.storage().read_port();
+        plan.writer_port =
+            local_storage_ != nullptr ? &local_storage_->write_port() : nullptr;
+        plan.src_site = server.site();
+        plan.dst_site = site_;
+        plan.bytes = *data->length;
+        plan.primary_op = Operation::kRead;
+        plan.sessions.push_back(std::move(session));
+        execute_plan(sim_, engine_, topology_, std::move(plan), options,
+                     overhead, std::move(callback));
+      });
+}
+
+void GridFtpClient::get_partial(GridFtpServer& server, std::string remote_path,
+                                Bytes offset, Bytes length,
+                                const TransferOptions& options,
+                                TransferCallback callback) {
+  const Duration rtt = control_rtt(server.site());
+  const Duration overhead = costs_.control_setup_rtts * rtt + costs_.auth_cpu;
+  sim_.schedule_after(
+      overhead, [this, &server, remote_path = std::move(remote_path), offset,
+                 length, options, overhead,
+                 callback = std::move(callback)]() mutable {
+        auto session = std::make_shared<ServerSession>(server);
+        if (const auto denied = login_and_negotiate(*session, options)) {
+          fail(callback, denied->to_line(), overhead);
+          return;
+        }
+        if (length == 0) {
+          fail(callback, "551 invalid byte range", overhead);
+          return;
+        }
+        const Reply reply = session->handle(
+            {.verb = "ERET",
+             .argument = util::format("P %llu %llu %s",
+                                      static_cast<unsigned long long>(offset),
+                                      static_cast<unsigned long long>(length),
+                                      remote_path.c_str())});
+        if (!reply.ok()) {
+          fail(callback, reply.to_line(), overhead);
+          return;
+        }
+        const auto data = session->take_pending_data();
+        WADP_CHECK(data.has_value());
+
+        DataPlan plan;
+        plan.read_logger = &server;
+        plan.read_path = remote_path;
+        plan.read_remote_ip = ip_;
+        plan.reader_port = &server.storage().read_port();
+        plan.writer_port =
+            local_storage_ != nullptr ? &local_storage_->write_port() : nullptr;
+        plan.src_site = server.site();
+        plan.dst_site = site_;
+        plan.bytes = length;  // the log records bytes actually moved
+        plan.primary_op = Operation::kRead;
+        plan.sessions.push_back(std::move(session));
+        execute_plan(sim_, engine_, topology_, std::move(plan), options,
+                     overhead, std::move(callback));
+      });
+}
+
+void GridFtpClient::put(GridFtpServer& server, std::string remote_path,
+                        Bytes size, const TransferOptions& options,
+                        TransferCallback callback) {
+  const Duration rtt = control_rtt(server.site());
+  const Duration overhead = costs_.control_setup_rtts * rtt + costs_.auth_cpu;
+  sim_.schedule_after(
+      overhead, [this, &server, remote_path = std::move(remote_path), size,
+                 options, overhead, callback = std::move(callback)]() mutable {
+        if (size == 0) {
+          fail(callback, "552 refusing zero-length store", overhead);
+          return;
+        }
+        auto session = std::make_shared<ServerSession>(server);
+        if (const auto denied = login_and_negotiate(*session, options)) {
+          fail(callback, denied->to_line(), overhead);
+          return;
+        }
+        (void)session->handle(
+            {.verb = "ALLO", .argument = std::to_string(size)});
+        const Reply reply =
+            session->handle({.verb = "STOR", .argument = remote_path});
+        if (!reply.ok()) {
+          fail(callback, reply.to_line(), overhead);
+          return;
+        }
+        (void)session->take_pending_data();
+
+        DataPlan plan;
+        plan.write_logger = &server;
+        plan.write_path = remote_path;
+        plan.write_remote_ip = ip_;
+        plan.reader_port =
+            local_storage_ != nullptr ? &local_storage_->read_port() : nullptr;
+        plan.writer_port = &server.storage().write_port();
+        plan.src_site = site_;
+        plan.dst_site = server.site();
+        plan.bytes = size;
+        plan.create_file_on_write = true;
+        plan.primary_op = Operation::kWrite;
+        plan.sessions.push_back(std::move(session));
+        execute_plan(sim_, engine_, topology_, std::move(plan), options,
+                     overhead, std::move(callback));
+      });
+}
+
+void GridFtpClient::third_party(GridFtpServer& source,
+                                GridFtpServer& destination,
+                                std::string source_path,
+                                std::string destination_path,
+                                const TransferOptions& options,
+                                TransferCallback callback) {
+  // Both control channels are brought up concurrently; the slower one
+  // gates the transfer.
+  const Duration rtt = std::max(control_rtt(source.site()),
+                                control_rtt(destination.site()));
+  const Duration overhead = costs_.control_setup_rtts * rtt + costs_.auth_cpu;
+  sim_.schedule_after(
+      overhead,
+      [this, &source, &destination, source_path = std::move(source_path),
+       destination_path = std::move(destination_path), options, overhead,
+       callback = std::move(callback)]() mutable {
+        auto source_session = std::make_shared<ServerSession>(source);
+        auto dest_session = std::make_shared<ServerSession>(destination);
+        for (const auto& session : {source_session, dest_session}) {
+          if (const auto denied = login_and_negotiate(*session, options)) {
+            fail(callback, denied->to_line(), overhead);
+            return;
+          }
+        }
+        // The source must know the size before the destination ALLOs.
+        const Reply size_reply = source_session->handle(
+            {.verb = "SIZE", .argument = source_path});
+        if (!size_reply.ok()) {
+          fail(callback, size_reply.to_line(), overhead);
+          return;
+        }
+        const auto size = util::parse_int(size_reply.text);
+        WADP_CHECK(size.has_value() && *size > 0);
+
+        (void)dest_session->handle(
+            {.verb = "ALLO", .argument = std::to_string(*size)});
+        const Reply stor_reply = dest_session->handle(
+            {.verb = "STOR", .argument = destination_path});
+        if (!stor_reply.ok()) {
+          fail(callback, stor_reply.to_line(), overhead);
+          return;
+        }
+        const Reply retr_reply = source_session->handle(
+            {.verb = "RETR", .argument = source_path});
+        if (!retr_reply.ok()) {
+          // Roll the destination back: its data phase never starts.
+          (void)dest_session->complete_transfer(false);
+          fail(callback, retr_reply.to_line(), overhead);
+          return;
+        }
+        (void)source_session->take_pending_data();
+        (void)dest_session->take_pending_data();
+
+        DataPlan plan;
+        plan.read_logger = &source;
+        plan.read_path = source_path;
+        plan.read_remote_ip = destination.config().ip;
+        plan.write_logger = &destination;
+        plan.write_path = destination_path;
+        plan.write_remote_ip = source.config().ip;
+        plan.reader_port = &source.storage().read_port();
+        plan.writer_port = &destination.storage().write_port();
+        plan.src_site = source.site();
+        plan.dst_site = destination.site();
+        plan.bytes = static_cast<Bytes>(*size);
+        plan.create_file_on_write = true;
+        plan.primary_op = Operation::kRead;
+        plan.sessions.push_back(std::move(source_session));
+        plan.sessions.push_back(std::move(dest_session));
+        execute_plan(sim_, engine_, topology_, std::move(plan), options,
+                     overhead, std::move(callback));
+      });
+}
+
+void GridFtpClient::striped_get(std::vector<GridFtpServer*> stripes,
+                                std::string remote_path,
+                                const TransferOptions& options,
+                                TransferCallback callback) {
+  if (stripes.empty()) {
+    fail(callback, "500 no stripes given", 0.0);
+    return;
+  }
+  for (GridFtpServer* stripe : stripes) {
+    WADP_CHECK(stripe != nullptr);
+  }
+  const Duration rtt = control_rtt(stripes.front()->site());
+  const Duration overhead = costs_.control_setup_rtts * rtt + costs_.auth_cpu;
+  sim_.schedule_after(overhead, [this, stripes = std::move(stripes),
+                                 remote_path = std::move(remote_path), options,
+                                 overhead,
+                                 callback = std::move(callback)]() mutable {
+    // Control phase: one session per stripe (SPAS opens one listener
+    // per data mover); every stripe must grant the retrieve.
+    const auto& site = stripes.front()->site();
+    std::vector<std::shared_ptr<ServerSession>> sessions;
+    std::optional<Bytes> size;
+    for (GridFtpServer* stripe : stripes) {
+      if (stripe->site() != site) {
+        fail(callback, "501 stripes span sites: " + stripe->site() +
+                           " != " + site,
+             overhead);
+        return;
+      }
+      auto session = std::make_shared<ServerSession>(*stripe);
+      if (const auto denied = login_and_negotiate(*session, options)) {
+        fail(callback, denied->to_line(), overhead);
+        return;
+      }
+      const auto stripe_size = stripe->fs().file_size(remote_path);
+      if (!stripe_size) {
+        fail(callback, "550 no such file: " + remote_path, overhead);
+        return;
+      }
+      if (size && *size != *stripe_size) {
+        fail(callback, "551 stripe size mismatch for " + remote_path,
+             overhead);
+        return;
+      }
+      size = stripe_size;
+      sessions.push_back(std::move(session));
+    }
+
+    net::PathModel* path = topology_.find(site, site_);
+    if (path == nullptr) {
+      fail(callback, "no path " + site + " -> " + site_ + " in topology",
+           overhead);
+      return;
+    }
+
+    // Each stripe serves a contiguous slice via ERET (how striped
+    // GridFTP partitions a file across movers).
+    const auto stripe_count = static_cast<Bytes>(sessions.size());
+    const Bytes base_slice = *size / stripe_count;
+    const SimTime timed_start = sim_.now();
+    const Duration data_setup = costs_.data_setup_rtts * path->rtt();
+
+    struct StripeProgress {
+      std::size_t remaining;
+      SimTime last_end = 0.0;
+      TransferRecord first_record;
+      bool failed = false;
+    };
+    auto progress = std::make_shared<StripeProgress>();
+    progress->remaining = sessions.size();
+
+    sim_.schedule_after(data_setup, [this, sessions = std::move(sessions),
+                                     stripes, remote_path, options, overhead,
+                                     timed_start, path, size = *size,
+                                     base_slice, progress,
+                                     callback = std::move(callback)]() mutable {
+      for (std::size_t i = 0; i < sessions.size(); ++i) {
+        const Bytes offset = static_cast<Bytes>(i) * base_slice;
+        const Bytes slice = i + 1 == sessions.size()
+                                ? size - offset  // last stripe: remainder
+                                : base_slice;
+        const Reply reply = sessions[i]->handle(
+            {.verb = "ERET",
+             .argument = util::format(
+                 "P %llu %llu %s", static_cast<unsigned long long>(offset),
+                 static_cast<unsigned long long>(slice), remote_path.c_str())});
+        if (!reply.ok()) {
+          // A stripe refusing after negotiation is a programming error
+          // in this simulation (sizes were validated above).
+          WADP_CHECK_MSG(false, "stripe refused granted retrieve");
+        }
+        (void)sessions[i]->take_pending_data();
+
+        net::FlowSpec spec;
+        spec.path = path;
+        spec.streams = options.streams;
+        spec.buffer = options.buffer;
+        spec.size = slice;
+        spec.extra_resources.push_back(&stripes[i]->storage().read_port());
+        if (local_storage_ != nullptr) {
+          spec.extra_resources.push_back(&local_storage_->write_port());
+        }
+        spec.on_complete = [this, session = sessions[i], stripe = stripes[i],
+                            remote_path, slice, timed_start, options, size,
+                            overhead, progress,
+                            callback](const net::FlowStats& stats) {
+          const TransferRecord record = stripe->record_transfer(
+              ip_, remote_path, slice, timed_start, stats.end,
+              Operation::kRead, options.streams, options.buffer);
+          (void)session->complete_transfer(true);
+          progress->last_end = std::max(progress->last_end, stats.end);
+          if (progress->first_record.host.empty()) {
+            progress->first_record = record;
+          }
+          if (--progress->remaining > 0) return;
+
+          // All stripes done: synthesize the whole-file outcome over
+          // the full window.
+          TransferOutcome outcome;
+          outcome.ok = true;
+          outcome.control_overhead = overhead;
+          outcome.record = progress->first_record;
+          outcome.record.file_size = size;
+          outcome.record.start_time = timed_start;
+          outcome.record.end_time = progress->last_end;
+          if (callback) {
+            sim_.schedule_after(
+                stripe->config().logging_overhead,
+                [callback, outcome] { callback(outcome); });
+          }
+        };
+        engine_.start_flow(std::move(spec));
+      }
+    });
+  });
+}
+
+}  // namespace wadp::gridftp

@@ -1,0 +1,131 @@
+// GridFTP client module: get / put / partial / third-party transfers.
+//
+// The client orchestrates the protocol phases the paper's server
+// implements — control-channel establishment with authentication,
+// parallel data-channel setup, the data movement itself (run on the
+// fluid engine), and the server's post-transfer logging — and reports
+// an end-to-end outcome.  The *timed* window of the logged record spans
+// the data transfer operation (data-channel setup through last byte),
+// matching the paper's "we merely record the data and time the transfer
+// operation"; authentication happens before the timed window, exactly
+// as in the real server's transfer log.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "gridftp/server.hpp"
+#include "net/fabric.hpp"
+#include "net/path.hpp"
+#include "sim/simulator.hpp"
+#include "storage/storage.hpp"
+#include "util/types.hpp"
+
+namespace wadp::gridftp {
+
+/// GridFTP performance-marker callback (the protocol's 112 replies):
+/// bytes moved so far, total bytes, and the simulated instant.
+using ProgressCallback =
+    std::function<void(Bytes moved, Bytes total, SimTime at)>;
+
+struct TransferOptions {
+  int streams = 8;                   ///< the paper's experiments used 8
+  Bytes buffer = net::kTunedTcpBuffer;  ///< and 1 MB buffers (Section 6.1)
+  /// > 0: emit performance markers every this many seconds during the
+  /// data phase (plain get/put/partial/third-party operations).
+  Duration marker_interval = 0.0;
+  ProgressCallback on_marker;  ///< invoked from simulator context
+};
+
+struct TransferOutcome {
+  bool ok = false;
+  std::string error;                  ///< set when !ok
+  TransferRecord record;              ///< as logged by the serving host
+  Duration control_overhead = 0.0;    ///< auth + command time before data
+};
+
+using TransferCallback = std::function<void(const TransferOutcome&)>;
+
+/// Protocol timing constants (round trips on the control path).
+struct ProtocolCosts {
+  int control_setup_rtts = 3;   ///< TCP + GSI handshake round trips
+  Duration auth_cpu = 0.4;      ///< GSI public-key operations (seconds)
+  int data_setup_rtts = 2;      ///< PASV/PORT exchange + channel connect
+};
+
+class GridFtpClient {
+ public:
+  /// `local_storage` may be null for a client whose disk never binds
+  /// (e.g. a memory sink used for probe transfers).
+  GridFtpClient(sim::Simulator& sim, net::FluidEngine& engine,
+                net::Topology& topology, std::string site, std::string ip,
+                storage::StorageSystem* local_storage = nullptr,
+                ProtocolCosts costs = {});
+
+  const std::string& site() const { return site_; }
+  const std::string& ip() const { return ip_; }
+
+  /// Retrieves `remote_path` from `server`.  The callback fires when the
+  /// control channel closes (after server-side logging overhead).
+  void get(GridFtpServer& server, std::string remote_path,
+           const TransferOptions& options, TransferCallback callback);
+
+  /// Partial retrieval: `length` bytes starting at `offset` (GridFTP's
+  /// partial-file-transfer extension).  Logged with the bytes moved.
+  void get_partial(GridFtpServer& server, std::string remote_path,
+                   Bytes offset, Bytes length, const TransferOptions& options,
+                   TransferCallback callback);
+
+  /// Stores a new file of `size` bytes at `remote_path` on `server`.
+  void put(GridFtpServer& server, std::string remote_path, Bytes size,
+           const TransferOptions& options, TransferCallback callback);
+
+  /// Third-party transfer: data flows source -> destination directly;
+  /// this client only drives the two control channels.  Both servers
+  /// log (read at the source, write at the destination); the outcome
+  /// carries the source's record.
+  void third_party(GridFtpServer& source, GridFtpServer& destination,
+                   std::string source_path, std::string destination_path,
+                   const TransferOptions& options, TransferCallback callback);
+
+  /// Striped retrieval (the GridFTP SPAS/SPOR extension the paper's
+  /// companion [2] describes): `stripes` are data movers at one site,
+  /// each holding `remote_path`; every stripe serves an equal slice
+  /// concurrently through its own storage, aggregating host bandwidth.
+  /// Each stripe logs its slice; the outcome's record summarizes the
+  /// whole file over the full timed window (host = first stripe's).
+  /// All stripes must be at the same site and the file identical on
+  /// each; violations fail the transfer.
+  void striped_get(std::vector<GridFtpServer*> stripes,
+                   std::string remote_path, const TransferOptions& options,
+                   TransferCallback callback);
+
+ private:
+  struct Endpoints {
+    std::string data_src_site;
+    std::string data_dst_site;
+  };
+
+  /// Shared implementation; `op` is the serving host's perspective.
+  void run_transfer(GridFtpServer& logging_server,
+                    GridFtpServer* secondary_server, std::string path,
+                    std::string secondary_path, std::optional<Bytes> length,
+                    Operation op, Endpoints endpoints, std::string remote_ip,
+                    const TransferOptions& options, TransferCallback callback);
+
+  void fail(TransferCallback& callback, std::string error, Duration overhead);
+
+  Duration control_rtt(const std::string& server_site) const;
+
+  sim::Simulator& sim_;
+  net::FluidEngine& engine_;
+  net::Topology& topology_;
+  std::string site_;
+  std::string ip_;
+  storage::StorageSystem* local_storage_;
+  ProtocolCosts costs_;
+};
+
+}  // namespace wadp::gridftp

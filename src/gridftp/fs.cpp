@@ -1,0 +1,69 @@
+#include "gridftp/fs.hpp"
+
+#include <algorithm>
+
+#include "util/strings.hpp"
+
+namespace wadp::gridftp {
+namespace {
+
+/// True when `path` is inside the directory `root` (not merely sharing
+/// a string prefix: "/data2/x" is not under "/data").
+bool under_volume(std::string_view path, std::string_view root) {
+  if (!util::starts_with(path, root)) return false;
+  if (path.size() == root.size()) return false;  // the root itself is not a file
+  return path[root.size()] == '/' || root.back() == '/';
+}
+
+}  // namespace
+
+void VirtualFs::add_volume(std::string root) {
+  if (!root.empty() && root.size() > 1 && root.back() == '/') root.pop_back();
+  const auto it = std::lower_bound(volumes_.begin(), volumes_.end(), root);
+  if (it != volumes_.end() && *it == root) return;
+  volumes_.insert(it, std::move(root));
+}
+
+bool VirtualFs::add_file(std::string path, Bytes size) {
+  if (path.empty() || path.front() != '/') return false;
+  if (!volume_of(path)) return false;
+  files_[std::move(path)] = size;
+  return true;
+}
+
+bool VirtualFs::remove_file(std::string_view path) {
+  const auto it = files_.find(path);
+  if (it == files_.end()) return false;
+  files_.erase(it);
+  return true;
+}
+
+bool VirtualFs::exists(std::string_view path) const {
+  return files_.contains(path);
+}
+
+std::optional<Bytes> VirtualFs::file_size(std::string_view path) const {
+  const auto it = files_.find(path);
+  if (it == files_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<std::string> VirtualFs::volume_of(std::string_view path) const {
+  std::optional<std::string> best;
+  for (const auto& root : volumes_) {
+    if (under_volume(path, root)) {
+      if (!best || root.size() > best->size()) best = root;
+    }
+  }
+  return best;
+}
+
+std::vector<std::string> VirtualFs::list_volume(std::string_view root) const {
+  std::vector<std::string> out;
+  for (const auto& [path, size] : files_) {
+    if (under_volume(path, root)) out.push_back(path);
+  }
+  return out;
+}
+
+}  // namespace wadp::gridftp

@@ -1,0 +1,49 @@
+// Virtual filesystem for simulated GridFTP servers.
+//
+// Servers expose files organized under logical volumes (the "Volume"
+// column of the Fig. 3 log).  Only metadata matters to the simulation:
+// path -> size.  Writes create or replace entries.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace wadp::gridftp {
+
+class VirtualFs {
+ public:
+  /// Registers a volume root, e.g. "/home/ftp".  Files must live under
+  /// a registered volume.  Registering the same volume twice is a no-op.
+  void add_volume(std::string root);
+
+  /// Creates or replaces a file.  The path must be absolute and fall
+  /// under a registered volume; returns false otherwise.
+  bool add_file(std::string path, Bytes size);
+
+  /// Removes a file; false when absent.
+  bool remove_file(std::string_view path);
+
+  bool exists(std::string_view path) const;
+  std::optional<Bytes> file_size(std::string_view path) const;
+
+  /// Longest registered volume root that prefixes `path`; nullopt when
+  /// none does.
+  std::optional<std::string> volume_of(std::string_view path) const;
+
+  /// All files under a volume root, sorted by path.
+  std::vector<std::string> list_volume(std::string_view root) const;
+
+  std::size_t file_count() const { return files_.size(); }
+  const std::vector<std::string>& volumes() const { return volumes_; }
+
+ private:
+  std::vector<std::string> volumes_;        // sorted, no duplicates
+  std::map<std::string, Bytes, std::less<>> files_;
+};
+
+}  // namespace wadp::gridftp

@@ -1,0 +1,129 @@
+#include "gridftp/log.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/ulm.hpp"
+
+namespace wadp::gridftp {
+
+void TransferLog::append(TransferRecord record) {
+  if (line_sink_) line_sink_(record);
+  records_.push_back(std::move(record));
+  apply_trim();
+}
+
+Expected<bool> TransferLog::stream_to(const std::string& path) {
+  if (path.empty()) {
+    line_sink_ = nullptr;
+    stream_handle_.reset();
+    return true;
+  }
+  auto stream = std::make_shared<std::ofstream>(path, std::ios::app);
+  if (!*stream) return Expected<bool>::failure("cannot open for append: " + path);
+  stream_handle_ = stream;
+  line_sink_ = [stream](const TransferRecord& record) {
+    *stream << record.to_ulm().to_line() << '\n';
+    stream->flush();  // instrumentation must survive a crash
+  };
+  return true;
+}
+
+Expected<bool> TransferLog::flush_to_file(const std::string& path) {
+  // Probe writability up front so misconfiguration surfaces immediately.
+  {
+    std::ofstream probe(path, std::ios::app);
+    if (!probe) return Expected<bool>::failure("cannot open for append: " + path);
+  }
+  set_flush_sink([path](std::span<const TransferRecord> batch) {
+    std::ofstream out(path, std::ios::app);
+    for (const auto& record : batch) {
+      out << record.to_ulm().to_line() << '\n';
+    }
+  });
+  return true;
+}
+
+void TransferLog::apply_trim() {
+  switch (trim_.policy) {
+    case TrimPolicy::kUnbounded:
+      return;
+    case TrimPolicy::kRunningWindow: {
+      // Age bound is relative to the newest entry (simulated time flows
+      // only through records, keeping the log independent of the clock).
+      std::size_t drop = 0;
+      if (trim_.max_age != kNeverTime && !records_.empty()) {
+        const SimTime horizon = records_.back().end_time - trim_.max_age;
+        while (drop < records_.size() && records_[drop].end_time < horizon) {
+          ++drop;
+        }
+      }
+      if (records_.size() - drop > trim_.max_entries) {
+        drop = records_.size() - trim_.max_entries;
+      }
+      if (drop > 0) {
+        records_.erase(records_.begin(),
+                       records_.begin() + static_cast<std::ptrdiff_t>(drop));
+      }
+      return;
+    }
+    case TrimPolicy::kFlushRestart:
+      if (records_.size() >= trim_.max_entries) {
+        if (flush_sink_) {
+          flush_sink_(records_);
+        } else {
+          archived_.insert(archived_.end(),
+                           std::make_move_iterator(records_.begin()),
+                           std::make_move_iterator(records_.end()));
+        }
+        records_.clear();
+      }
+      return;
+  }
+}
+
+std::string TransferLog::to_ulm_text() const {
+  std::string out;
+  for (const auto& record : records_) {
+    out += record.to_ulm().to_line();
+    out += '\n';
+  }
+  return out;
+}
+
+TransferLog::ParsedLog TransferLog::parse_ulm_text(std::string_view text) {
+  ParsedLog parsed;
+  const auto ulm = util::parse_ulm_log(text);
+  parsed.skipped = ulm.skipped_lines;
+  for (const auto& record : ulm.records) {
+    if (auto transfer = TransferRecord::from_ulm(record)) {
+      parsed.records.push_back(std::move(*transfer));
+    } else {
+      ++parsed.skipped;
+    }
+  }
+  return parsed;
+}
+
+Expected<bool> TransferLog::save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return Expected<bool>::failure("cannot open for write: " + path);
+  out << to_ulm_text();
+  if (!out) return Expected<bool>::failure("write failed: " + path);
+  return true;
+}
+
+Expected<TransferLog> TransferLog::load(const std::string& path,
+                                        TrimConfig trim) {
+  std::ifstream in(path);
+  if (!in) return Expected<TransferLog>::failure("cannot open: " + path);
+  std::ostringstream body;
+  body << in.rdbuf();
+  TransferLog log(trim);
+  for (auto& record : parse_ulm_text(body.str()).records) {
+    log.append(std::move(record));
+  }
+  return log;
+}
+
+}  // namespace wadp::gridftp

@@ -1,0 +1,97 @@
+// The instrumented server's transfer log.
+//
+// Section 3: entries are ULM lines, "well under 512 bytes" each, written
+// to a single log per server.  Busy sites must bound log growth; the
+// paper names two strategies it was exploring, both implemented here:
+//   * a running window (as in NWS) — old entries are trimmed by count
+//     and/or age, since "old data has less relevance to predictions";
+//   * flush-and-restart (as in NetLogger) — when the log fills, the
+//     whole body is flushed to an archive and logging restarts empty.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "gridftp/record.hpp"
+#include "util/error.hpp"
+#include "util/types.hpp"
+
+namespace wadp::gridftp {
+
+enum class TrimPolicy {
+  kUnbounded,      ///< keep everything (default; fine for 2-week campaigns)
+  kRunningWindow,  ///< drop entries beyond max_entries / older than max_age
+  kFlushRestart,   ///< archive the whole log when it reaches max_entries
+};
+
+struct TrimConfig {
+  TrimPolicy policy = TrimPolicy::kUnbounded;
+  std::size_t max_entries = 10'000;
+  Duration max_age = kNeverTime;  ///< running-window age bound (seconds)
+};
+
+class TransferLog {
+ public:
+  explicit TransferLog(TrimConfig trim = {}) : trim_(trim) {}
+
+  /// Appends one record and applies the trim policy.
+  void append(TransferRecord record);
+
+  /// Live entries, oldest first.
+  std::span<const TransferRecord> records() const { return records_; }
+
+  /// Entries evicted by kFlushRestart, oldest first (a NetLogger-style
+  /// consumer would read these from persistent storage).  Empty when a
+  /// flush sink is installed — flushed batches go to the sink instead.
+  std::span<const TransferRecord> archived() const { return archived_; }
+
+  /// Streams every appended record as one ULM line to `path`
+  /// (append mode) — the real instrumented server's behaviour of
+  /// writing "to a standard location in the file system hierarchy".
+  /// Call with an empty path to stop streaming.
+  Expected<bool> stream_to(const std::string& path);
+  bool streaming() const { return line_sink_ != nullptr; }
+
+  /// Redirects kFlushRestart batches: instead of accumulating in
+  /// archived(), each flushed batch is handed to `sink` (NetLogger's
+  /// "flush the logs to persistent storage and restart logging").
+  using FlushSink = std::function<void(std::span<const TransferRecord>)>;
+  void set_flush_sink(FlushSink sink) { flush_sink_ = std::move(sink); }
+
+  /// Convenience flush sink: append flushed batches as ULM to a file.
+  Expected<bool> flush_to_file(const std::string& path);
+
+  std::size_t size() const { return records_.size(); }
+  bool empty() const { return records_.empty(); }
+  const TrimConfig& trim_config() const { return trim_; }
+
+  /// Whole live log as ULM text, one line per record.
+  std::string to_ulm_text() const;
+
+  /// Parses ULM text into records; malformed or non-transfer lines are
+  /// counted in `skipped`, matching a tolerant log consumer.
+  struct ParsedLog {
+    std::vector<TransferRecord> records;
+    std::size_t skipped = 0;
+  };
+  static ParsedLog parse_ulm_text(std::string_view text);
+
+  /// File round-trip for interoperating with external tools.
+  Expected<bool> save(const std::string& path) const;
+  static Expected<TransferLog> load(const std::string& path, TrimConfig trim = {});
+
+ private:
+  void apply_trim();
+
+  TrimConfig trim_;
+  std::vector<TransferRecord> records_;
+  std::vector<TransferRecord> archived_;
+  std::function<void(const TransferRecord&)> line_sink_;
+  FlushSink flush_sink_;
+  std::shared_ptr<void> stream_handle_;  // keeps the stream alive, type-erased
+};
+
+}  // namespace wadp::gridftp

@@ -1,0 +1,313 @@
+#include "gridftp/protocol.hpp"
+
+#include <cctype>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace wadp::gridftp {
+
+std::optional<CommandMessage> CommandMessage::parse(std::string_view line) {
+  const auto trimmed = util::trim(line);
+  if (trimmed.empty()) return std::nullopt;
+  const auto space = trimmed.find(' ');
+  std::string_view verb = space == std::string_view::npos
+                              ? trimmed
+                              : trimmed.substr(0, space);
+  if (verb.size() < 3 || verb.size() > 4) return std::nullopt;
+  CommandMessage message;
+  for (char c : verb) {
+    if (!std::isalpha(static_cast<unsigned char>(c))) return std::nullopt;
+    message.verb += static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  }
+  if (space != std::string_view::npos) {
+    message.argument = std::string(util::trim(trimmed.substr(space + 1)));
+  }
+  return message;
+}
+
+std::string CommandMessage::to_line() const {
+  return argument.empty() ? verb : verb + ' ' + argument;
+}
+
+std::optional<Reply> Reply::parse(std::string_view line) {
+  const auto trimmed = util::trim(line);
+  if (trimmed.size() < 3) return std::nullopt;
+  int code = 0;
+  for (int i = 0; i < 3; ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(trimmed[static_cast<std::size_t>(i)]))) {
+      return std::nullopt;
+    }
+    code = code * 10 + (trimmed[static_cast<std::size_t>(i)] - '0');
+  }
+  if (code < 100) return std::nullopt;
+  Reply reply;
+  reply.code = code;
+  if (trimmed.size() > 3) {
+    if (trimmed[3] != ' ') return std::nullopt;
+    reply.text = std::string(trimmed.substr(4));
+  }
+  return reply;
+}
+
+std::string Reply::to_line() const {
+  WADP_CHECK(code >= 100 && code <= 599);
+  return util::format("%03d %s", code, text.c_str());
+}
+
+const char* to_string(SessionState state) {
+  switch (state) {
+    case SessionState::kAwaitingAuth:
+      return "awaiting-auth";
+    case SessionState::kAwaitingAdat:
+      return "awaiting-adat";
+    case SessionState::kAwaitingUser:
+      return "awaiting-user";
+    case SessionState::kAwaitingPass:
+      return "awaiting-pass";
+    case SessionState::kReady:
+      return "ready";
+    case SessionState::kTransferring:
+      return "transferring";
+    case SessionState::kClosed:
+      return "closed";
+  }
+  return "?";
+}
+
+ServerSession::ServerSession(GridFtpServer& server)
+    : server_(server), state_(SessionState::kAwaitingAuth) {}
+
+Reply ServerSession::handle_line(std::string_view line) {
+  const auto command = CommandMessage::parse(line);
+  if (!command) return {500, "syntax error, command unrecognized"};
+  return handle(*command);
+}
+
+Reply ServerSession::handle(const CommandMessage& command) {
+  // Availability gates every command: a drained server turns clients
+  // away at the control channel (the 421 the paper's tools would see).
+  if (!server_.accepting()) {
+    state_ = SessionState::kClosed;
+    return {421, "service not available: " + server_.config().host};
+  }
+  if (state_ == SessionState::kClosed) {
+    return {421, "control connection closed"};
+  }
+
+  const auto& verb = command.verb;
+  if (verb == "QUIT") {
+    state_ = SessionState::kClosed;
+    return {221, "goodbye"};
+  }
+  if (verb == "NOOP") return {200, "ok"};
+
+  switch (state_) {
+    case SessionState::kAwaitingAuth:
+      if (verb == "AUTH") {
+        if (!util::iequals(command.argument, "GSSAPI")) {
+          return {504, "only GSSAPI is supported"};
+        }
+        state_ = SessionState::kAwaitingAdat;
+        return {334, "GSSAPI accepted; security data required"};
+      }
+      return {530, "please authenticate with AUTH GSSAPI first"};
+
+    case SessionState::kAwaitingAdat:
+      if (verb == "ADAT") {
+        if (command.argument.empty()) return {535, "empty security token"};
+        state_ = SessionState::kAwaitingUser;
+        return {235, "security context established"};
+      }
+      return {503, "bad sequence: ADAT expected"};
+
+    case SessionState::kAwaitingUser:
+      if (verb == "USER") {
+        if (command.argument.empty()) return {501, "missing user name"};
+        user_ = command.argument;
+        state_ = SessionState::kAwaitingPass;
+        return {331, "password (or delegated credential) required"};
+      }
+      return {503, "bad sequence: USER expected"};
+
+    case SessionState::kAwaitingPass:
+      if (verb == "PASS") {
+        state_ = SessionState::kReady;
+        return {230, "user " + user_ + " logged in"};
+      }
+      return {503, "bad sequence: PASS expected"};
+
+    case SessionState::kReady:
+      return dispatch_ready(command);
+
+    case SessionState::kTransferring:
+      return {503, "transfer in progress"};
+
+    case SessionState::kClosed:
+      break;  // unreachable: handled above
+  }
+  return {421, "control connection closed"};
+}
+
+Reply ServerSession::dispatch_ready(const CommandMessage& command) {
+  const auto& verb = command.verb;
+  const auto& arg = command.argument;
+
+  if (verb == "SYST") return {215, "UNIX Type: L8 (wadp simulated)"};
+  if (verb == "FEAT") {
+    return {211, "features: AUTH GSSAPI; SBUF; PARALLEL; ERET; REST STREAM;"
+                 " SIZE"};
+  }
+  if (verb == "PWD") return {257, "\"/\" is the current directory"};
+
+  if (verb == "TYPE") {
+    if (arg == "I" || arg == "A") {
+      options_.type = arg[0];
+      return {200, std::string("type set to ") + arg};
+    }
+    return {504, "unsupported type: " + arg};
+  }
+  if (verb == "MODE") {
+    if (arg == "S" || arg == "E") {
+      options_.mode = arg[0];
+      return {200, std::string("mode set to ") + arg};
+    }
+    return {504, "unsupported mode: " + arg};
+  }
+  if (verb == "SBUF") {
+    const auto bytes = util::parse_int(arg);
+    if (!bytes || *bytes <= 0) return {501, "bad buffer size: " + arg};
+    options_.buffer = static_cast<Bytes>(*bytes);
+    return {200, "socket buffer set to " + arg};
+  }
+  if (verb == "OPTS") {
+    // "OPTS RETR Parallelism=n;" — the GridFTP parallelism option.
+    const auto parts = util::split_whitespace(arg);
+    if (parts.size() == 2 && util::iequals(parts[0], "RETR") &&
+        util::starts_with(util::to_lower(parts[1]), "parallelism=")) {
+      auto value = parts[1].substr(std::string("parallelism=").size());
+      if (!value.empty() && value.back() == ';') value.pop_back();
+      const auto n = util::parse_int(value);
+      if (!n || *n < 1 || *n > 64) return {501, "bad parallelism: " + arg};
+      options_.parallelism = static_cast<int>(*n);
+      return {200, "parallelism set to " + value};
+    }
+    return {501, "unsupported option: " + arg};
+  }
+  if (verb == "PASV" || verb == "SPAS") {
+    options_.passive = true;
+    // The simulated data channel has no real endpoint; report a
+    // conventional placeholder.
+    return {227, "entering passive mode (0,0,0,0,20,40)"};
+  }
+  if (verb == "PORT" || verb == "SPOR") {
+    options_.passive = false;
+    return {200, "port command successful"};
+  }
+  if (verb == "ALLO") {
+    const auto bytes = util::parse_int(arg);
+    if (!bytes || *bytes < 0) return {501, "bad allocation size: " + arg};
+    allo_size_ = static_cast<Bytes>(*bytes);
+    return {200, "allocation noted"};
+  }
+  if (verb == "REST") {
+    const auto offset = util::parse_int(arg);
+    if (!offset || *offset < 0) return {501, "bad restart offset: " + arg};
+    options_.restart_offset = static_cast<Bytes>(*offset);
+    return {350, "restart marker accepted"};
+  }
+  if (verb == "SIZE") {
+    const auto size = server_.fs().file_size(arg);
+    if (!size) return {550, "no such file: " + arg};
+    return {213, std::to_string(*size)};
+  }
+  if (verb == "DELE") {
+    if (!server_.fs().remove_file(arg)) {
+      return {550, "no such file: " + arg};
+    }
+    return {250, "file deleted"};
+  }
+  if (verb == "RETR") {
+    return begin_retrieve(arg, options_.restart_offset, std::nullopt);
+  }
+  if (verb == "ERET") {
+    // GridFTP partial retrieve: "ERET P <offset> <length> <path>".
+    const auto parts = util::split_whitespace(arg);
+    if (parts.size() < 4 || !util::iequals(parts[0], "P")) {
+      return {501, "expected: ERET P <offset> <length> <path>"};
+    }
+    const auto offset = util::parse_int(parts[1]);
+    const auto length = util::parse_int(parts[2]);
+    if (!offset || !length || *offset < 0 || *length <= 0) {
+      return {501, "bad partial range"};
+    }
+    // Path may contain spaces (Fig. 3!): rejoin the remainder.
+    std::string path = parts[3];
+    for (std::size_t i = 4; i < parts.size(); ++i) path += " " + parts[i];
+    return begin_retrieve(path, static_cast<Bytes>(*offset),
+                          static_cast<Bytes>(*length));
+  }
+  if (verb == "STOR") {
+    return begin_store(arg);
+  }
+  return {502, "command not implemented: " + verb};
+}
+
+Reply ServerSession::begin_retrieve(const std::string& path,
+                                    std::optional<Bytes> offset,
+                                    std::optional<Bytes> length) {
+  const auto size = server_.fs().file_size(path);
+  if (!size) return {550, "no such file: " + path};
+  const Bytes start = offset.value_or(0);
+  if (length) {
+    if (*length == 0 || start + *length > *size) {
+      return {551, "invalid byte range"};
+    }
+  } else if (start >= *size && *size > 0) {
+    return {551, "restart offset beyond end of file"};
+  }
+
+  DataCommand data;
+  data.kind = DataCommand::Kind::kRetrieve;
+  data.path = path;
+  data.offset = start;
+  data.length = length ? length : std::optional<Bytes>(*size - start);
+  data.streams = options_.parallelism;
+  data.buffer = options_.buffer;
+  pending_ = std::move(data);
+  options_.restart_offset.reset();
+  state_ = SessionState::kTransferring;
+  return {150, "opening data connection for " + path};
+}
+
+Reply ServerSession::begin_store(const std::string& path) {
+  if (!server_.fs().volume_of(path)) {
+    return {553, "path outside any volume: " + path};
+  }
+  DataCommand data;
+  data.kind = DataCommand::Kind::kStore;
+  data.path = path;
+  data.store_size = allo_size_;
+  data.streams = options_.parallelism;
+  data.buffer = options_.buffer;
+  pending_ = std::move(data);
+  allo_size_.reset();
+  state_ = SessionState::kTransferring;
+  return {150, "opening data connection for " + path};
+}
+
+std::optional<DataCommand> ServerSession::take_pending_data() {
+  auto pending = std::move(pending_);
+  pending_.reset();
+  return pending;
+}
+
+Reply ServerSession::complete_transfer(bool ok) {
+  WADP_CHECK_MSG(state_ == SessionState::kTransferring,
+                 "no transfer outstanding");
+  state_ = SessionState::kReady;
+  if (ok) return {226, "transfer complete"};
+  return {426, "connection closed; transfer aborted"};
+}
+
+}  // namespace wadp::gridftp

@@ -1,0 +1,86 @@
+#include "gridftp/record.hpp"
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+#include "util/time.hpp"
+
+namespace wadp::gridftp {
+
+const char* to_string(Operation op) {
+  return op == Operation::kRead ? "read" : "write";
+}
+
+std::optional<Operation> operation_from_string(std::string_view s) {
+  if (util::iequals(s, "read")) return Operation::kRead;
+  if (util::iequals(s, "write")) return Operation::kWrite;
+  return std::nullopt;
+}
+
+double TransferRecord::bandwidth_kb_per_sec() const {
+  return to_kb_per_sec(bandwidth());
+}
+
+Bandwidth TransferRecord::bandwidth() const {
+  const Duration t = total_time();
+  WADP_CHECK_MSG(t > 0.0, "record with non-positive duration");
+  return static_cast<double>(file_size) / t;
+}
+
+util::UlmRecord TransferRecord::to_ulm() const {
+  util::UlmRecord ulm;
+  ulm.set("DATE", util::format_ulm_date(start_time));
+  ulm.set("HOST", host);
+  ulm.set("PROG", "wadp-gridftp");
+  ulm.set("NL.EVNT", "FTP_INFO");
+  ulm.set("SOURCE", source_ip);
+  ulm.set("FILE", file_name);
+  ulm.set_int("SIZE", static_cast<std::int64_t>(file_size));
+  ulm.set("VOLUME", volume);
+  ulm.set_double("START", start_time, 3);
+  ulm.set_double("END", end_time, 3);
+  ulm.set_double("TIME", total_time(), 3);
+  ulm.set_double("BW", bandwidth_kb_per_sec(), 3);
+  ulm.set("OP", to_string(op));
+  ulm.set_int("STREAMS", streams);
+  ulm.set_int("BUFFER", static_cast<std::int64_t>(tcp_buffer));
+  return ulm;
+}
+
+std::optional<TransferRecord> TransferRecord::from_ulm(
+    const util::UlmRecord& ulm) {
+  TransferRecord r;
+  const auto host = ulm.get("HOST");
+  const auto source = ulm.get("SOURCE");
+  const auto file = ulm.get("FILE");
+  const auto size = ulm.get_int("SIZE");
+  const auto volume = ulm.get("VOLUME");
+  const auto start = ulm.get_double("START");
+  const auto end = ulm.get_double("END");
+  const auto op_str = ulm.get("OP");
+  const auto streams = ulm.get_int("STREAMS");
+  const auto buffer = ulm.get_int("BUFFER");
+
+  if (!host || !source || !file || !size || !volume || !start || !end ||
+      !op_str || !streams || !buffer) {
+    return std::nullopt;
+  }
+  const auto op = operation_from_string(*op_str);
+  if (!op) return std::nullopt;
+  if (*size <= 0 || *end <= *start || *streams < 1 || *buffer <= 0) {
+    return std::nullopt;
+  }
+
+  r.host = std::string(*host);
+  r.source_ip = std::string(*source);
+  r.file_name = std::string(*file);
+  r.file_size = static_cast<Bytes>(*size);
+  r.volume = std::string(*volume);
+  r.start_time = *start;
+  r.end_time = *end;
+  r.op = *op;
+  r.streams = static_cast<int>(*streams);
+  r.tcp_buffer = static_cast<Bytes>(*buffer);
+  return r;
+}
+
+}  // namespace wadp::gridftp

@@ -1,0 +1,36 @@
+#include "gridftp/server.hpp"
+
+#include "util/strings.hpp"
+
+namespace wadp::gridftp {
+
+GridFtpServer::GridFtpServer(ServerConfig config,
+                             storage::StorageSystem& storage)
+    : config_(std::move(config)), storage_(storage), log_(config_.trim) {}
+
+std::string GridFtpServer::url() const {
+  return util::format("gsiftp://%s:%d", config_.host.c_str(), config_.port);
+}
+
+TransferRecord GridFtpServer::record_transfer(const std::string& remote_ip,
+                                              const std::string& path,
+                                              Bytes bytes_moved, SimTime start,
+                                              SimTime end, Operation op,
+                                              int streams, Bytes buffer) {
+  TransferRecord record;
+  record.host = config_.host;
+  record.source_ip = remote_ip;
+  record.file_name = path;
+  record.file_size = bytes_moved;
+  record.volume = fs_.volume_of(path).value_or("/");
+  record.start_time = start;
+  record.end_time = end;
+  record.op = op;
+  record.streams = streams;
+  record.tcp_buffer = buffer;
+  log_.append(record);
+  ++transfers_logged_;
+  return record;
+}
+
+}  // namespace wadp::gridftp

@@ -1,0 +1,58 @@
+#include "mds/directory.hpp"
+
+#include "util/strings.hpp"
+
+namespace wadp::mds {
+
+std::string Directory::key_of(const Dn& dn) {
+  // Case-insensitive DN equality -> lower-cased canonical text as key.
+  return util::to_lower(dn.to_string());
+}
+
+void Directory::upsert(Entry entry) {
+  entries_[key_of(entry.dn())] = std::move(entry);
+}
+
+bool Directory::remove(const Dn& dn) { return entries_.erase(key_of(dn)) > 0; }
+
+std::size_t Directory::remove_subtree(const Dn& root) {
+  std::size_t removed = 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->second.dn().under(root)) {
+      it = entries_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+const Entry* Directory::lookup(const Dn& dn) const {
+  const auto it = entries_.find(key_of(dn));
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+std::vector<Entry> Directory::search(const Dn& base, Scope scope,
+                                     const Filter& filter) const {
+  std::vector<Entry> out;
+  for (const auto& [key, entry] : entries_) {
+    const Dn& dn = entry.dn();
+    bool in_scope = false;
+    switch (scope) {
+      case Scope::kBase:
+        in_scope = dn == base;
+        break;
+      case Scope::kOneLevel:
+        in_scope = dn.depth() == base.depth() + 1 && dn.under(base);
+        break;
+      case Scope::kSubtree:
+        in_scope = dn.under(base);
+        break;
+    }
+    if (in_scope && filter.matches(entry)) out.push_back(entry);
+  }
+  return out;
+}
+
+}  // namespace wadp::mds

@@ -1,0 +1,49 @@
+// In-memory LDAP-style directory: DN-keyed entries with scoped,
+// filtered search — the storage inside a GRIS or GIIS.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "mds/filter.hpp"
+#include "mds/ldap.hpp"
+
+namespace wadp::mds {
+
+class Directory {
+ public:
+  enum class Scope {
+    kBase,      ///< the base entry only
+    kOneLevel,  ///< direct children of the base
+    kSubtree,   ///< base and all descendants
+  };
+
+  /// Inserts or replaces the entry at its DN.
+  void upsert(Entry entry);
+
+  /// Removes one entry; false when absent.
+  bool remove(const Dn& dn);
+
+  /// Removes every entry at or under `root`; returns how many.
+  std::size_t remove_subtree(const Dn& root);
+
+  /// nullptr when absent.  The pointer is invalidated by any mutation.
+  const Entry* lookup(const Dn& dn) const;
+
+  /// Entries in `scope` of `base` matching `filter`, in DN order.
+  /// Results are copies: a GRIS may refresh the underlying entries at
+  /// any time, so handing out references would be a lifetime trap.
+  std::vector<Entry> search(const Dn& base, Scope scope,
+                            const Filter& filter) const;
+
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+ private:
+  static std::string key_of(const Dn& dn);
+
+  std::map<std::string, Entry> entries_;  // key: normalized DN
+};
+
+}  // namespace wadp::mds

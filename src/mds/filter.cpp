@@ -1,0 +1,263 @@
+#include "mds/filter.hpp"
+
+#include <cctype>
+#include <vector>
+
+#include "util/strings.hpp"
+
+namespace wadp::mds {
+
+struct Filter::Node {
+  enum class Kind { kAnd, kOr, kNot, kEquality, kPresence, kGreaterEq, kLessEq };
+  Kind kind;
+  std::vector<std::shared_ptr<const Node>> children;  // composites
+  std::string attr;                                   // items
+  std::string value;                                  // items (may hold '*')
+};
+
+// --- matching ---------------------------------------------------------------
+
+namespace {
+
+/// Case-insensitive wildcard match: '*' matches any run of characters.
+bool wildcard_match(std::string_view pattern, std::string_view text) {
+  // Iterative two-pointer algorithm with backtracking on the last '*'.
+  std::size_t p = 0, t = 0;
+  std::size_t star = std::string_view::npos, star_t = 0;
+  const auto eq = [](char a, char b) {
+    return std::tolower(static_cast<unsigned char>(a)) ==
+           std::tolower(static_cast<unsigned char>(b));
+  };
+  while (t < text.size()) {
+    if (p < pattern.size() && pattern[p] == '*') {
+      star = p++;
+      star_t = t;
+    } else if (p < pattern.size() && eq(pattern[p], text[t])) {
+      ++p;
+      ++t;
+    } else if (star != std::string_view::npos) {
+      p = star + 1;
+      t = ++star_t;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '*') ++p;
+  return p == pattern.size();
+}
+
+/// Numeric when both sides parse; lexicographic otherwise.
+int compare_values(std::string_view a, std::string_view b) {
+  const auto na = util::parse_double(a);
+  const auto nb = util::parse_double(b);
+  if (na && nb) {
+    if (*na < *nb) return -1;
+    if (*na > *nb) return 1;
+    return 0;
+  }
+  return a.compare(b) < 0 ? -1 : (a == b ? 0 : 1);
+}
+
+bool node_matches(const Filter::Node& node, const Entry& entry);
+
+bool item_matches(const Filter::Node& node, const Entry& entry) {
+  const auto values = entry.get_all(node.attr);
+  switch (node.kind) {
+    case Filter::Node::Kind::kPresence:
+      return !values.empty();
+    case Filter::Node::Kind::kEquality:
+      for (const auto v : values) {
+        if (wildcard_match(node.value, v)) return true;
+      }
+      return false;
+    case Filter::Node::Kind::kGreaterEq:
+      for (const auto v : values) {
+        if (compare_values(v, node.value) >= 0) return true;
+      }
+      return false;
+    case Filter::Node::Kind::kLessEq:
+      for (const auto v : values) {
+        if (compare_values(v, node.value) <= 0) return true;
+      }
+      return false;
+    default:
+      return false;
+  }
+}
+
+bool node_matches(const Filter::Node& node, const Entry& entry) {
+  switch (node.kind) {
+    case Filter::Node::Kind::kAnd:
+      for (const auto& child : node.children) {
+        if (!node_matches(*child, entry)) return false;
+      }
+      return true;
+    case Filter::Node::Kind::kOr:
+      for (const auto& child : node.children) {
+        if (node_matches(*child, entry)) return true;
+      }
+      return false;
+    case Filter::Node::Kind::kNot:
+      return !node_matches(*node.children.front(), entry);
+    default:
+      return item_matches(node, entry);
+  }
+}
+
+// --- parsing ---------------------------------------------------------------
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  std::shared_ptr<const Filter::Node> parse() {
+    skip_ws();
+    auto node = parse_filter();
+    skip_ws();
+    if (node == nullptr || pos_ != text_.size()) return nullptr;
+    return node;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  std::shared_ptr<const Filter::Node> parse_filter() {
+    skip_ws();
+    if (!consume('(')) return nullptr;
+    std::shared_ptr<const Filter::Node> node;
+    skip_ws();
+    if (peek() == '&' || peek() == '|') {
+      const bool is_and = peek() == '&';
+      ++pos_;
+      auto composite = std::make_shared<Filter::Node>();
+      composite->kind = is_and ? Filter::Node::Kind::kAnd
+                               : Filter::Node::Kind::kOr;
+      skip_ws();
+      while (peek() == '(') {
+        auto child = parse_filter();
+        if (child == nullptr) return nullptr;
+        composite->children.push_back(std::move(child));
+        skip_ws();
+      }
+      if (composite->children.empty()) return nullptr;
+      node = composite;
+    } else if (peek() == '!') {
+      ++pos_;
+      auto child = parse_filter();
+      if (child == nullptr) return nullptr;
+      auto negation = std::make_shared<Filter::Node>();
+      negation->kind = Filter::Node::Kind::kNot;
+      negation->children.push_back(std::move(child));
+      node = negation;
+    } else {
+      node = parse_item();
+      if (node == nullptr) return nullptr;
+    }
+    skip_ws();
+    if (!consume(')')) return nullptr;
+    return node;
+  }
+
+  std::shared_ptr<const Filter::Node> parse_item() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() && text_[pos_] != '=' && text_[pos_] != '>' &&
+           text_[pos_] != '<' && text_[pos_] != ')' && text_[pos_] != '(') {
+      ++pos_;
+    }
+    std::string attr(util::trim(text_.substr(start, pos_ - start)));
+    if (attr.empty()) return nullptr;
+
+    auto node = std::make_shared<Filter::Node>();
+    node->attr = std::move(attr);
+    if (consume('>')) {
+      if (!consume('=')) return nullptr;
+      node->kind = Filter::Node::Kind::kGreaterEq;
+    } else if (consume('<')) {
+      if (!consume('=')) return nullptr;
+      node->kind = Filter::Node::Kind::kLessEq;
+    } else if (consume('=')) {
+      node->kind = Filter::Node::Kind::kEquality;
+    } else {
+      return nullptr;
+    }
+
+    const std::size_t vstart = pos_;
+    while (pos_ < text_.size() && text_[pos_] != ')' && text_[pos_] != '(') {
+      ++pos_;
+    }
+    node->value = std::string(util::trim(text_.substr(vstart, pos_ - vstart)));
+    if (node->kind == Filter::Node::Kind::kEquality && node->value == "*") {
+      node->kind = Filter::Node::Kind::kPresence;
+      node->value.clear();
+    }
+    if (node->kind != Filter::Node::Kind::kPresence && node->value.empty()) {
+      return nullptr;
+    }
+    return node;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+std::string node_to_string(const Filter::Node& node) {
+  using Kind = Filter::Node::Kind;
+  switch (node.kind) {
+    case Kind::kAnd:
+    case Kind::kOr: {
+      std::string out = "(";
+      out += node.kind == Kind::kAnd ? '&' : '|';
+      for (const auto& child : node.children) out += node_to_string(*child);
+      out += ')';
+      return out;
+    }
+    case Kind::kNot:
+      return "(!" + node_to_string(*node.children.front()) + ")";
+    case Kind::kPresence:
+      return "(" + node.attr + "=*)";
+    case Kind::kEquality:
+      return "(" + node.attr + "=" + node.value + ")";
+    case Kind::kGreaterEq:
+      return "(" + node.attr + ">=" + node.value + ")";
+    case Kind::kLessEq:
+      return "(" + node.attr + "<=" + node.value + ")";
+  }
+  return "";
+}
+
+}  // namespace
+
+std::optional<Filter> Filter::parse(std::string_view text) {
+  Parser parser(text);
+  auto root = parser.parse();
+  if (root == nullptr) return std::nullopt;
+  return Filter(std::move(root));
+}
+
+Filter Filter::match_all() {
+  auto node = std::make_shared<Node>();
+  node->kind = Node::Kind::kPresence;
+  node->attr = "objectclass";
+  return Filter(std::move(node));
+}
+
+bool Filter::matches(const Entry& entry) const {
+  return node_matches(*root_, entry);
+}
+
+std::string Filter::to_string() const { return node_to_string(*root_); }
+
+}  // namespace wadp::mds

@@ -1,0 +1,44 @@
+// LDAP search-filter subset (RFC 2254 style) used by the inquiry
+// protocol: and/or/not composites, equality with '*' wildcards,
+// presence, and ordering comparisons.
+//
+//   (objectclass=GridFTPPerfInfo)
+//   (&(hostname=*.lbl.gov)(avgrdbandwidth>=5000))
+//   (|(cn=140.221.65.69)(!(op=write)))
+//
+// Ordering comparisons are numeric when both operands parse as numbers,
+// lexicographic otherwise; equality is case-insensitive.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "mds/ldap.hpp"
+
+namespace wadp::mds {
+
+class Filter {
+ public:
+  /// AST node; public so the implementation's free parsing/matching
+  /// helpers can traverse it, but only Filter constructs them.
+  struct Node;
+
+  /// Parses the textual form.  nullopt on syntax errors (unbalanced
+  /// parentheses, empty composites, missing operators).
+  static std::optional<Filter> parse(std::string_view text);
+
+  /// A filter matching every entry: "(objectclass=*)" equivalent.
+  static Filter match_all();
+
+  bool matches(const Entry& entry) const;
+
+  std::string to_string() const;
+
+ private:
+  explicit Filter(std::shared_ptr<const Node> root) : root_(std::move(root)) {}
+  std::shared_ptr<const Node> root_;
+};
+
+}  // namespace wadp::mds

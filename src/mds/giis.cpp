@@ -1,0 +1,107 @@
+#include "mds/giis.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace wadp::mds {
+namespace {
+
+/// RAII re-entrancy flag for the cycle guard.
+class InquiryScope {
+ public:
+  explicit InquiryScope(bool& flag) : flag_(flag) { flag_ = true; }
+  ~InquiryScope() { flag_ = false; }
+
+ private:
+  bool& flag_;
+};
+
+}  // namespace
+
+Giis::Giis(std::string name, Duration default_registration_ttl)
+    : name_(std::move(name)), default_ttl_(default_registration_ttl) {
+  WADP_CHECK(default_ttl_ > 0.0);
+}
+
+void Giis::register_service(Registrant& service, SimTime now, Duration ttl) {
+  WADP_CHECK_MSG(&service != this, "a GIIS cannot register with itself");
+  if (ttl <= 0.0) ttl = default_ttl_;
+  for (auto& reg : registrations_) {
+    if (reg.service == &service) {
+      reg.expires = now + ttl;  // renewal refreshes the soft state
+      return;
+    }
+  }
+  registrations_.push_back(
+      Registration{.service = &service, .expires = now + ttl});
+}
+
+bool Giis::deregister(const Registrant& service) {
+  const auto it = std::find_if(
+      registrations_.begin(), registrations_.end(),
+      [&service](const Registration& reg) { return reg.service == &service; });
+  if (it == registrations_.end()) return false;
+  registrations_.erase(it);
+  return true;
+}
+
+void Giis::prune(SimTime now) {
+  std::erase_if(registrations_,
+                [now](const Registration& reg) { return reg.expires <= now; });
+}
+
+std::size_t Giis::live_registrations(SimTime now) const {
+  return static_cast<std::size_t>(std::count_if(
+      registrations_.begin(), registrations_.end(),
+      [now](const Registration& reg) { return reg.expires > now; }));
+}
+
+std::vector<Entry> Giis::search(SimTime now, const Filter& filter) {
+  if (inquiring_) return {};  // registration cycle: stop here
+  const InquiryScope scope(inquiring_);
+  prune(now);
+  std::vector<Entry> merged;
+  for (auto& reg : registrations_) {
+    auto results = reg.service->inquire_all(now, filter);
+    merged.insert(merged.end(), std::make_move_iterator(results.begin()),
+                  std::make_move_iterator(results.end()));
+  }
+  return merged;
+}
+
+std::vector<Entry> Giis::search(SimTime now, const Dn& base,
+                                Directory::Scope scope, const Filter& filter) {
+  if (inquiring_) return {};
+  const InquiryScope guard(inquiring_);
+  prune(now);
+  std::vector<Entry> merged;
+  for (auto& reg : registrations_) {
+    if (!reg.service->covers(base)) continue;
+    auto results = reg.service->inquire(now, base, scope, filter);
+    merged.insert(merged.end(), std::make_move_iterator(results.begin()),
+                  std::make_move_iterator(results.end()));
+  }
+  return merged;
+}
+
+bool Giis::covers(const Dn& base) const {
+  if (inquiring_) return false;  // registration cycle: claim nothing
+  const InquiryScope guard(inquiring_);
+  return std::any_of(registrations_.begin(), registrations_.end(),
+                     [&base](const Registration& reg) {
+                       return reg.service->covers(base);
+                     });
+}
+
+std::vector<Entry> Giis::inquire(SimTime now, const Dn& base,
+                                 Directory::Scope scope,
+                                 const Filter& filter) {
+  return search(now, base, scope, filter);
+}
+
+std::vector<Entry> Giis::inquire_all(SimTime now, const Filter& filter) {
+  return search(now, filter);
+}
+
+}  // namespace wadp::mds

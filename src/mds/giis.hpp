@@ -1,0 +1,79 @@
+// Grid Index Information Service (GIIS).
+//
+// Section 5 / Fig. 5: GRIS servers announce themselves to a GIIS via a
+// *soft-state* registration protocol — a registration carries a TTL and
+// lapses unless renewed — and the GIIS answers inquiries by merging
+// what it obtains from its currently live registrants.  A GIIS is
+// itself a Registrant, so index servers stack into the hierarchy the
+// figure sketches: site GRIS -> regional GIIS -> top-level GIIS.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mds/gris.hpp"
+#include "mds/registrant.hpp"
+#include "util/types.hpp"
+
+namespace wadp::mds {
+
+class Giis final : public Registrant {
+ public:
+  explicit Giis(std::string name, Duration default_registration_ttl = 600.0);
+
+  /// Registers (or renews) any registrant — a GRIS or a child GIIS.
+  /// `ttl` of 0 uses the default.  The service must outlive its
+  /// registration.
+  void register_service(Registrant& service, SimTime now, Duration ttl = 0.0);
+
+  /// Convenience aliases matching the protocol's usual phrasing.
+  void register_gris(Gris& gris, SimTime now, Duration ttl = 0.0) {
+    register_service(gris, now, ttl);
+  }
+  void register_giis(Giis& child, SimTime now, Duration ttl = 0.0) {
+    register_service(child, now, ttl);
+  }
+
+  /// Explicit deregistration (the protocol also allows this).
+  bool deregister(const Registrant& service);
+  bool deregister_gris(const Gris& gris) { return deregister(gris); }
+
+  /// Registrations that have not lapsed by `now`.
+  std::size_t live_registrations(SimTime now) const;
+
+  /// Inquiry: merged search across live registrants; lapsed
+  /// registrations are pruned.
+  std::vector<Entry> search(SimTime now, const Filter& filter);
+
+  /// Inquiry restricted to one subtree; only registrants covering the
+  /// base are consulted.
+  std::vector<Entry> search(SimTime now, const Dn& base,
+                            Directory::Scope scope, const Filter& filter);
+
+  // Registrant: a GIIS can register into a parent GIIS.  A re-entrancy
+  // guard makes accidental registration cycles terminate (returning no
+  // extra results) instead of recursing forever.
+  const std::string& registrant_name() const override { return name_; }
+  bool covers(const Dn& base) const override;
+  std::vector<Entry> inquire(SimTime now, const Dn& base,
+                             Directory::Scope scope,
+                             const Filter& filter) override;
+  std::vector<Entry> inquire_all(SimTime now, const Filter& filter) override;
+
+  const std::string& name() const { return name_; }
+
+ private:
+  void prune(SimTime now);
+
+  struct Registration {
+    Registrant* service;
+    SimTime expires;
+  };
+
+  std::string name_;
+  Duration default_ttl_;
+  std::vector<Registration> registrations_;
+  mutable bool inquiring_ = false;  // cycle guard (also used by covers)
+};
+
+}  // namespace wadp::mds

@@ -1,0 +1,160 @@
+#include "mds/gridftp_provider.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "predict/observation.hpp"
+#include "util/stats.hpp"
+#include "util/strings.hpp"
+
+namespace wadp::mds {
+namespace {
+
+using gridftp::Operation;
+using gridftp::TransferRecord;
+using predict::Observation;
+
+/// Per-(remote, direction) accumulation extracted from the log.
+struct EndpointStats {
+  std::vector<Observation> observations;  // time-ordered (log order)
+  util::RunningStats bandwidth;           // bytes/s
+};
+
+std::string kb_value(double bytes_per_sec) {
+  return util::format("%.0f", to_kb_per_sec(bytes_per_sec));
+}
+
+}  // namespace
+
+GridFtpInfoProvider::GridFtpInfoProvider(const gridftp::GridFtpServer& server,
+                                         GridFtpProviderConfig config)
+    : server_(server), config_(std::move(config)) {}
+
+std::string GridFtpInfoProvider::provider_name() const {
+  return "gridftp-perf:" + server_.config().host;
+}
+
+std::string GridFtpInfoProvider::range_fragment(
+    const predict::SizeClassifier& classifier, int cls) {
+  if (classifier.boundaries() ==
+      std::vector<Bytes>{50 * kMB, 250 * kMB, 750 * kMB}) {
+    static const char* kNames[] = {"tenmbrange", "hundredmbrange",
+                                   "fivehundredmbrange", "onegbrange"};
+    return kNames[cls];
+  }
+  return util::format("class%drange", cls);
+}
+
+Schema GridFtpInfoProvider::schema() {
+  Schema schema;
+  schema.define(ObjectClassDef{
+      .name = "GridFTPPerfInfo",
+      .required = {"cn", "hostname", "gridftpurl"},
+      .optional = {"numrdtransfers",  "minrdbandwidth", "maxrdbandwidth",
+                   "avgrdbandwidth",  "numwrtransfers", "minwrbandwidth",
+                   "maxwrbandwidth",  "avgwrbandwidth", "lastupdate"},
+  });
+  schema.define(ObjectClassDef{
+      .name = "GridFTPServerInfo",
+      .required = {"hostname", "gridftpurl", "numtransfers"},
+      .optional = {"port", "volumes", "lastupdate"},
+  });
+  return schema;
+}
+
+std::vector<Entry> GridFtpInfoProvider::provide(SimTime now) {
+  // Group the live log by (remote endpoint, direction).  This is the
+  // log filtering the paper's provider scripts performed on request.
+  std::map<std::string, EndpointStats> reads;
+  std::map<std::string, EndpointStats> writes;
+  for (const TransferRecord& r : server_.log().records()) {
+    auto& bucket =
+        (r.op == Operation::kRead ? reads : writes)[r.source_ip];
+    bucket.observations.push_back(Observation{
+        .time = r.end_time, .value = r.bandwidth(), .file_size = r.file_size});
+    bucket.bandwidth.add(r.bandwidth());
+  }
+
+  std::vector<Entry> entries;
+
+  // Server summary entry at the suffix itself.
+  {
+    Entry server_entry(config_.base);
+    server_entry.add("objectclass", "GridFTPServerInfo");
+    server_entry.set("hostname", server_.config().host);
+    server_entry.set("gridftpurl", server_.url());
+    server_entry.set("port", std::to_string(server_.config().port));
+    server_entry.set("numtransfers",
+                     std::to_string(server_.transfers_logged()));
+    for (const auto& volume : server_.fs().volumes()) {
+      server_entry.add("volumes", volume);
+    }
+    server_entry.set("lastupdate", util::format("%.0f", now));
+    entries.push_back(std::move(server_entry));
+  }
+
+  // One entry per remote endpoint, read and write stats combined.
+  std::map<std::string, Entry> per_remote;
+  const auto endpoint_entry = [&](const std::string& remote) -> Entry& {
+    auto it = per_remote.find(remote);
+    if (it == per_remote.end()) {
+      Entry entry(config_.base.child(Rdn{"cn", remote}));
+      entry.add("objectclass", "GridFTPPerfInfo");
+      entry.set("cn", remote);
+      entry.set("hostname", server_.config().host);
+      entry.set("gridftpurl", server_.url());
+      entry.set("lastupdate", util::format("%.0f", now));
+      it = per_remote.emplace(remote, std::move(entry)).first;
+    }
+    return it->second;
+  };
+
+  const auto publish_direction = [&](const std::string& prefix,
+                                     const std::string& remote,
+                                     const EndpointStats& stats) {
+    Entry& entry = endpoint_entry(remote);
+    entry.set("num" + prefix + "transfers",
+              std::to_string(stats.bandwidth.count()));
+    entry.set("min" + prefix + "bandwidth", kb_value(stats.bandwidth.min()));
+    entry.set("max" + prefix + "bandwidth", kb_value(stats.bandwidth.max()));
+    entry.set("avg" + prefix + "bandwidth", kb_value(stats.bandwidth.mean()));
+
+    // Per-class averages and predictions (Fig. 6's
+    // "avgrdbandwidthtenmbrange" style attributes).
+    const auto& classifier = config_.classifier;
+    const predict::ClassifiedPredictor predictor(
+        std::make_shared<predict::MeanPredictor>(
+            "AVG" + std::to_string(config_.prediction_window),
+            predict::WindowSpec::last_n(config_.prediction_window)),
+        classifier);
+    for (int cls = 0; cls < classifier.num_classes(); ++cls) {
+      std::vector<double> in_class;
+      for (const auto& o : stats.observations) {
+        if (classifier.classify(o.file_size) == cls) in_class.push_back(o.value);
+      }
+      const std::string fragment = range_fragment(classifier, cls);
+      if (const auto avg = util::mean(in_class)) {
+        entry.set("avg" + prefix + "bandwidth" + fragment, kb_value(*avg));
+      }
+      const predict::Query query{
+          .time = now, .file_size = classifier.representative_size(cls)};
+      if (const auto predicted = predictor.predict(stats.observations, query)) {
+        entry.set("predicted" + prefix + "bandwidth" + fragment,
+                  kb_value(*predicted));
+      }
+    }
+  };
+
+  for (const auto& [remote, stats] : reads) {
+    publish_direction("rd", remote, stats);
+  }
+  for (const auto& [remote, stats] : writes) {
+    publish_direction("wr", remote, stats);
+  }
+  for (auto& [remote, entry] : per_remote) {
+    entries.push_back(std::move(entry));
+  }
+  return entries;
+}
+
+}  // namespace wadp::mds

@@ -1,0 +1,59 @@
+// GridFTP performance information provider (Section 5.1, Fig. 6).
+//
+// The provider is the bridge between the instrumented server's log and
+// the information service: when the GRIS asks, it filters the log,
+// groups transfers by remote endpoint, computes summary statistics
+// (min/max/avg bandwidth, per size class) and current predictions, and
+// publishes the result as entries of the GridFTPPerfInfo object class —
+// the role the paper's "LDAP shell-backend scripts" played.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "gridftp/server.hpp"
+#include "mds/gris.hpp"
+#include "mds/ldap.hpp"
+#include "predict/classifier.hpp"
+#include "predict/predictors.hpp"
+
+namespace wadp::mds {
+
+struct GridFtpProviderConfig {
+  /// Directory suffix under which entries are published, e.g.
+  /// "hostname=dpsslx04.lbl.gov, dc=lbl, dc=gov, o=grid".
+  Dn base;
+  predict::SizeClassifier classifier = predict::SizeClassifier::paper_classes();
+  /// Prediction published per class: mean over this many most recent
+  /// same-class transfers (AVG15-with-classification, one of the
+  /// paper's stronger simple predictors).
+  std::size_t prediction_window = 15;
+};
+
+class GridFtpInfoProvider final : public InformationProvider {
+ public:
+  GridFtpInfoProvider(const gridftp::GridFtpServer& server,
+                      GridFtpProviderConfig config);
+
+  std::string provider_name() const override;
+
+  /// One entry per distinct remote endpoint seen in the log, plus one
+  /// summary entry for the server itself.
+  std::vector<Entry> provide(SimTime now) override;
+
+  /// Schema the published entries conform to (the paper's [16]).
+  static Schema schema();
+
+  /// Attribute-name fragment for a size class with the paper's
+  /// Fig. 6 vocabulary: "tenmbrange", "hundredmbrange",
+  /// "fivehundredmbrange", "onegbrange" (generic "classNrange"
+  /// otherwise).
+  static std::string range_fragment(const predict::SizeClassifier& classifier,
+                                    int cls);
+
+ private:
+  const gridftp::GridFtpServer& server_;
+  GridFtpProviderConfig config_;
+};
+
+}  // namespace wadp::mds

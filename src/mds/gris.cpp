@@ -1,0 +1,62 @@
+#include "mds/gris.hpp"
+
+#include "util/error.hpp"
+
+namespace wadp::mds {
+
+Gris::Gris(std::string name, Dn suffix)
+    : name_(std::move(name)), suffix_(std::move(suffix)) {}
+
+void Gris::register_provider(InformationProvider* provider,
+                             Duration cache_ttl) {
+  WADP_CHECK(provider != nullptr);
+  WADP_CHECK(cache_ttl >= 0.0);
+  providers_.push_back(Registered{
+      .provider = provider,
+      .ttl = cache_ttl,
+      .last_refresh = -kNeverTime,  // never: refresh on first search
+      .cached_dns = {},
+  });
+}
+
+void Gris::refresh_stale(SimTime now) {
+  for (auto& reg : providers_) {
+    if (now - reg.last_refresh < reg.ttl) continue;
+    // Replace this provider's previous entries wholesale: providers own
+    // disjoint DN sets by convention, and stale DNs must not linger.
+    for (const auto& dn : reg.cached_dns) directory_.remove(dn);
+    reg.cached_dns.clear();
+    for (auto& entry : reg.provider->provide(now)) {
+      reg.cached_dns.push_back(entry.dn());
+      directory_.upsert(std::move(entry));
+    }
+    reg.last_refresh = now;
+    ++refresh_count_;
+  }
+}
+
+std::vector<Entry> Gris::search(SimTime now, const Dn& base,
+                                Directory::Scope scope, const Filter& filter) {
+  refresh_stale(now);
+  return directory_.search(base, scope, filter);
+}
+
+std::vector<Entry> Gris::search(SimTime now, const Filter& filter) {
+  return search(now, suffix_, Directory::Scope::kSubtree, filter);
+}
+
+bool Gris::covers(const Dn& base) const {
+  return base.under(suffix_) || suffix_.under(base);
+}
+
+std::vector<Entry> Gris::inquire(SimTime now, const Dn& base,
+                                 Directory::Scope scope,
+                                 const Filter& filter) {
+  return search(now, base, scope, filter);
+}
+
+std::vector<Entry> Gris::inquire_all(SimTime now, const Filter& filter) {
+  return search(now, filter);
+}
+
+}  // namespace wadp::mds

@@ -1,0 +1,82 @@
+// Grid Resource Information Service (GRIS).
+//
+// Section 5 / Fig. 5: a GRIS is the configurable information-provider
+// component running at each resource (each replica site runs one next
+// to its GridFTP server).  Providers plug in through a well-defined
+// API; the GRIS caches each provider's entries for a TTL and serves
+// LDAP-style searches against the merged view.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mds/directory.hpp"
+#include "mds/registrant.hpp"
+#include "util/types.hpp"
+
+namespace wadp::mds {
+
+/// The well-defined API a sensor implements to feed a GRIS.
+class InformationProvider {
+ public:
+  virtual ~InformationProvider() = default;
+
+  /// Stable name for diagnostics and cache bookkeeping.
+  virtual std::string provider_name() const = 0;
+
+  /// Produces the provider's current entries.  Called by the GRIS when
+  /// its cached copy is older than the provider's TTL.
+  virtual std::vector<Entry> provide(SimTime now) = 0;
+};
+
+class Gris final : public Registrant {
+ public:
+  /// `suffix` is the directory suffix this GRIS serves, e.g.
+  /// "dc=lbl, dc=gov, o=grid".
+  Gris(std::string name, Dn suffix);
+
+  /// Plugs in a provider; entries it produces are cached for
+  /// `cache_ttl` seconds.  The provider must outlive the GRIS.
+  void register_provider(InformationProvider* provider, Duration cache_ttl);
+
+  /// Searches the merged provider view, refreshing any stale caches
+  /// first (this lazy refresh is how MDS GRIS back-ends behave).
+  std::vector<Entry> search(SimTime now, const Dn& base, Directory::Scope scope,
+                            const Filter& filter);
+
+  /// Searches with this GRIS's own suffix as base, subtree scope.
+  std::vector<Entry> search(SimTime now, const Filter& filter);
+
+  // Registrant: lets a GIIS hold GRIS and child-GIIS registrations
+  // uniformly (Fig. 5's hierarchy).
+  const std::string& registrant_name() const override { return name_; }
+  bool covers(const Dn& base) const override;
+  std::vector<Entry> inquire(SimTime now, const Dn& base,
+                             Directory::Scope scope,
+                             const Filter& filter) override;
+  std::vector<Entry> inquire_all(SimTime now, const Filter& filter) override;
+
+  const std::string& name() const { return name_; }
+  const Dn& suffix() const { return suffix_; }
+  std::size_t provider_count() const { return providers_.size(); }
+  std::uint64_t refresh_count() const { return refresh_count_; }
+  std::size_t entry_count() const { return directory_.size(); }
+
+ private:
+  void refresh_stale(SimTime now);
+
+  struct Registered {
+    InformationProvider* provider;
+    Duration ttl;
+    SimTime last_refresh;
+    std::vector<Dn> cached_dns;  // for replacing on refresh
+  };
+
+  std::string name_;
+  Dn suffix_;
+  std::vector<Registered> providers_;
+  Directory directory_;
+  std::uint64_t refresh_count_ = 0;
+};
+
+}  // namespace wadp::mds

@@ -1,0 +1,214 @@
+#include "mds/ldap.hpp"
+
+#include "util/strings.hpp"
+
+namespace wadp::mds {
+
+bool Rdn::operator==(const Rdn& other) const {
+  return util::iequals(attr, other.attr) && util::iequals(value, other.value);
+}
+
+std::optional<Dn> Dn::parse(std::string_view text) {
+  std::vector<Rdn> rdns;
+  for (const auto& part : util::split(text, ',')) {
+    const auto component = util::trim(part);
+    if (component.empty()) return std::nullopt;
+    const auto eq = component.find('=');
+    if (eq == std::string_view::npos || eq == 0) return std::nullopt;
+    Rdn rdn;
+    rdn.attr = std::string(util::trim(component.substr(0, eq)));
+    rdn.value = std::string(util::trim(component.substr(eq + 1)));
+    if (rdn.value.empty()) return std::nullopt;
+    rdns.push_back(std::move(rdn));
+  }
+  if (rdns.empty()) return std::nullopt;
+  return Dn(std::move(rdns));
+}
+
+Dn Dn::parent() const {
+  if (rdns_.empty()) return {};
+  return Dn(std::vector<Rdn>(rdns_.begin() + 1, rdns_.end()));
+}
+
+Dn Dn::child(Rdn rdn) const {
+  std::vector<Rdn> rdns;
+  rdns.reserve(rdns_.size() + 1);
+  rdns.push_back(std::move(rdn));
+  rdns.insert(rdns.end(), rdns_.begin(), rdns_.end());
+  return Dn(std::move(rdns));
+}
+
+bool Dn::under(const Dn& ancestor) const {
+  if (ancestor.rdns_.size() > rdns_.size()) return false;
+  const std::size_t offset = rdns_.size() - ancestor.rdns_.size();
+  for (std::size_t i = 0; i < ancestor.rdns_.size(); ++i) {
+    if (!(rdns_[offset + i] == ancestor.rdns_[i])) return false;
+  }
+  return true;
+}
+
+bool Dn::operator==(const Dn& other) const {
+  return rdns_.size() == other.rdns_.size() && under(other);
+}
+
+std::string Dn::to_string() const {
+  std::string out;
+  for (std::size_t i = 0; i < rdns_.size(); ++i) {
+    if (i) out += ", ";
+    out += rdns_[i].attr;
+    out += '=';
+    out += rdns_[i].value;
+  }
+  return out;
+}
+
+Attribute* Entry::find(std::string_view name) {
+  for (auto& a : attributes_) {
+    if (util::iequals(a.name, name)) return &a;
+  }
+  return nullptr;
+}
+
+const Attribute* Entry::find(std::string_view name) const {
+  for (const auto& a : attributes_) {
+    if (util::iequals(a.name, name)) return &a;
+  }
+  return nullptr;
+}
+
+void Entry::add(std::string_view name, std::string value) {
+  if (auto* a = find(name)) {
+    a->values.push_back(std::move(value));
+    return;
+  }
+  attributes_.push_back(Attribute{std::string(name), {std::move(value)}});
+}
+
+void Entry::set(std::string_view name, std::string value) {
+  if (auto* a = find(name)) {
+    a->values.clear();
+    a->values.push_back(std::move(value));
+    return;
+  }
+  attributes_.push_back(Attribute{std::string(name), {std::move(value)}});
+}
+
+bool Entry::has(std::string_view name) const { return find(name) != nullptr; }
+
+std::optional<std::string_view> Entry::get(std::string_view name) const {
+  const auto* a = find(name);
+  if (a == nullptr || a->values.empty()) return std::nullopt;
+  return a->values.front();
+}
+
+std::vector<std::string_view> Entry::get_all(std::string_view name) const {
+  std::vector<std::string_view> out;
+  if (const auto* a = find(name)) {
+    out.assign(a->values.begin(), a->values.end());
+  }
+  return out;
+}
+
+std::optional<double> Entry::get_double(std::string_view name) const {
+  const auto v = get(name);
+  if (!v) return std::nullopt;
+  return util::parse_double(*v);
+}
+
+std::string Entry::to_ldif() const {
+  std::string out = "dn: " + dn_.to_string() + '\n';
+  for (const auto& a : attributes_) {
+    for (const auto& v : a.values) {
+      out += a.name;
+      out += ": ";
+      out += v;
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+std::optional<Entry> Entry::from_ldif(std::string_view block) {
+  Entry entry;
+  bool saw_dn = false;
+  for (const auto& raw_line : util::split(block, '\n')) {
+    const auto line = util::trim(raw_line);
+    if (line.empty()) continue;
+    const auto colon = line.find(':');
+    if (colon == std::string_view::npos || colon == 0) return std::nullopt;
+    const auto name = util::trim(line.substr(0, colon));
+    const auto value = util::trim(line.substr(colon + 1));
+    if (!saw_dn) {
+      if (!util::iequals(name, "dn")) return std::nullopt;
+      const auto dn = Dn::parse(value);
+      if (!dn) return std::nullopt;
+      entry.set_dn(*dn);
+      saw_dn = true;
+      continue;
+    }
+    if (util::iequals(name, "dn")) return std::nullopt;  // duplicate dn
+    entry.add(name, std::string(value));
+  }
+  if (!saw_dn) return std::nullopt;
+  return entry;
+}
+
+LdifParseResult parse_ldif(std::string_view text) {
+  LdifParseResult result;
+  std::string block;
+  const auto flush = [&] {
+    if (util::trim(block).empty()) {
+      block.clear();
+      return;
+    }
+    if (auto entry = Entry::from_ldif(block)) {
+      result.entries.push_back(std::move(*entry));
+    } else {
+      ++result.skipped_blocks;
+    }
+    block.clear();
+  };
+  for (const auto& line : util::split(text, '\n')) {
+    if (util::trim(line).empty()) {
+      flush();
+    } else {
+      block += line;
+      block += '\n';
+    }
+  }
+  flush();
+  return result;
+}
+
+void Schema::define(ObjectClassDef object_class) {
+  WADP_CHECK_MSG(find(object_class.name) == nullptr,
+                 "duplicate object class in schema");
+  classes_.push_back(std::move(object_class));
+}
+
+const ObjectClassDef* Schema::find(std::string_view name) const {
+  for (const auto& c : classes_) {
+    if (util::iequals(c.name, name)) return &c;
+  }
+  return nullptr;
+}
+
+std::string Schema::validate(const Entry& entry) const {
+  const auto object_classes = entry.object_classes();
+  if (object_classes.empty()) return "entry has no objectclass attribute";
+  for (const auto oc_name : object_classes) {
+    const auto* oc = find(oc_name);
+    if (oc == nullptr) {
+      return "unknown object class: " + std::string(oc_name);
+    }
+    for (const auto& required : oc->required) {
+      if (!entry.has(required)) {
+        return "missing required attribute '" + required + "' for class " +
+               oc->name;
+      }
+    }
+  }
+  return "";
+}
+
+}  // namespace wadp::mds

@@ -1,0 +1,147 @@
+// LDAP-flavoured data model for the MDS-2 style information service.
+//
+// MDS-2 (Section 5) publishes information as LDAP entries: each entry
+// has a distinguished name (DN) — an ordered list of attr=value RDNs,
+// most specific first — and a set of attributes categorized by object
+// classes defined in a schema.  We implement the data model in-memory;
+// attribute names are case-insensitive, values are strings (numeric
+// comparisons are attempted when both sides parse as numbers, matching
+// LDAP integer syntax behaviour).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace wadp::mds {
+
+/// One relative distinguished name component, e.g. {"hostname",
+/// "dpsslx04.lbl.gov"}.
+struct Rdn {
+  std::string attr;
+  std::string value;
+  bool operator==(const Rdn& other) const;
+};
+
+/// Distinguished name: RDNs ordered most-specific-first, as in
+/// "cn=x, hostname=h, dc=lbl, dc=gov, o=grid".
+class Dn {
+ public:
+  Dn() = default;
+  explicit Dn(std::vector<Rdn> rdns) : rdns_(std::move(rdns)) {}
+
+  /// Parses "attr=value,attr=value,..." (whitespace around commas is
+  /// ignored).  nullopt on empty components or missing '='.
+  static std::optional<Dn> parse(std::string_view text);
+
+  const std::vector<Rdn>& rdns() const { return rdns_; }
+  bool empty() const { return rdns_.empty(); }
+  std::size_t depth() const { return rdns_.size(); }
+
+  /// DN with the most-specific RDN removed; empty DN at the root.
+  Dn parent() const;
+
+  /// New DN with `rdn` prepended as the most-specific component.
+  Dn child(Rdn rdn) const;
+
+  /// True when `this` equals or lies under `ancestor` (suffix match,
+  /// case-insensitive attrs, case-sensitive values like OpenLDAP default
+  /// for directoryString would be case-insensitive — we match values
+  /// case-insensitively, LDAP's common configuration).
+  bool under(const Dn& ancestor) const;
+
+  bool operator==(const Dn& other) const;
+
+  std::string to_string() const;
+
+ private:
+  std::vector<Rdn> rdns_;
+};
+
+/// Attribute: name plus one or more values (LDAP attributes are
+/// multi-valued).
+struct Attribute {
+  std::string name;
+  std::vector<std::string> values;
+};
+
+/// Directory entry.
+class Entry {
+ public:
+  Entry() = default;
+  explicit Entry(Dn dn) : dn_(std::move(dn)) {}
+
+  const Dn& dn() const { return dn_; }
+  void set_dn(Dn dn) { dn_ = std::move(dn); }
+
+  /// Appends a value (creates the attribute if needed).
+  void add(std::string_view name, std::string value);
+  /// Replaces all values of the attribute.
+  void set(std::string_view name, std::string value);
+
+  bool has(std::string_view name) const;
+  /// First value, or nullopt.  Lookup is case-insensitive.
+  std::optional<std::string_view> get(std::string_view name) const;
+  std::vector<std::string_view> get_all(std::string_view name) const;
+  std::optional<double> get_double(std::string_view name) const;
+
+  const std::vector<Attribute>& attributes() const { return attributes_; }
+
+  /// Convention: the "objectclass" attribute values.
+  std::vector<std::string_view> object_classes() const {
+    return get_all("objectclass");
+  }
+
+  /// LDIF-ish rendering ("dn: ...\nattr: value\n..."), used by the
+  /// Fig. 6 bench and for debugging.
+  std::string to_ldif() const;
+
+  /// Parses one LDIF block (the inverse of to_ldif): first non-blank
+  /// line must be "dn: <dn>", each following line "attr: value".
+  /// nullopt on a missing/invalid dn or a malformed attribute line.
+  static std::optional<Entry> from_ldif(std::string_view block);
+
+ private:
+  Attribute* find(std::string_view name);
+  const Attribute* find(std::string_view name) const;
+
+  Dn dn_;
+  std::vector<Attribute> attributes_;
+};
+
+/// Parses a multi-entry LDIF body; entries are separated by blank
+/// lines.  Malformed blocks are skipped and counted.
+struct LdifParseResult {
+  std::vector<Entry> entries;
+  std::size_t skipped_blocks = 0;
+};
+LdifParseResult parse_ldif(std::string_view text);
+
+/// Schema: object classes with required/optional attributes; entries
+/// can be validated against it (the paper built schemas for the
+/// GridFTP provider data [16]).
+struct ObjectClassDef {
+  std::string name;
+  std::vector<std::string> required;
+  std::vector<std::string> optional;
+};
+
+class Schema {
+ public:
+  void define(ObjectClassDef object_class);
+  const ObjectClassDef* find(std::string_view name) const;
+
+  /// Empty string when valid; otherwise a diagnostic: unknown object
+  /// class, or a missing required attribute.
+  std::string validate(const Entry& entry) const;
+
+  std::size_t size() const { return classes_.size(); }
+
+ private:
+  std::vector<ObjectClassDef> classes_;
+};
+
+}  // namespace wadp::mds

@@ -1,0 +1,39 @@
+// The soft-state registration protocol's participant interface.
+//
+// Fig. 5's architecture is hierarchical: a GRIS registers with a GIIS,
+// and a GIIS can itself register with a higher-level GIIS ("index
+// servers ... with registered resources"), forming the tiered index of
+// a Data Grid.  Anything registrable must answer inquiries and say
+// which directory subtrees it can speak for — that is this interface,
+// implemented by both Gris and Giis.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mds/directory.hpp"
+#include "util/types.hpp"
+
+namespace wadp::mds {
+
+class Registrant {
+ public:
+  virtual ~Registrant() = default;
+
+  /// Stable name for diagnostics.
+  virtual const std::string& registrant_name() const = 0;
+
+  /// True when an inquiry with this base could find entries here (used
+  /// by scoped searches to skip irrelevant registrants).
+  virtual bool covers(const Dn& base) const = 0;
+
+  /// Scoped, filtered inquiry.
+  virtual std::vector<Entry> inquire(SimTime now, const Dn& base,
+                                     Directory::Scope scope,
+                                     const Filter& filter) = 0;
+
+  /// Whole-view inquiry (everything this service can serve).
+  virtual std::vector<Entry> inquire_all(SimTime now, const Filter& filter) = 0;
+};
+
+}  // namespace wadp::mds

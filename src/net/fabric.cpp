@@ -1,0 +1,256 @@
+#include "net/fabric.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace wadp::net {
+namespace {
+
+/// Residual fluid below which a flow counts as finished (half a byte —
+/// far below anything observable at wide-area rates).
+constexpr double kCompletionEpsilon = 0.5;
+
+/// Minimum forward step the engine schedules.  SimTime is an epoch-
+/// seconds double (~1e9), whose ulp is ~1.2e-7 s: steps below the ulp
+/// would schedule a wake at an *unchanged* timestamp and spin forever.
+/// One microsecond is comfortably above the ulp and far below anything
+/// a wide-area transfer can resolve.
+constexpr double kTimeQuantum = 1e-6;
+
+}  // namespace
+
+Bandwidth FluidEngine::flow_cap(const Flow& f, SimTime t) const {
+  const PathModel& path = *f.spec.path;
+  const Duration elapsed = t - f.start;
+  return static_cast<double>(f.spec.streams) *
+         ramp_rate_cap(path.tcp(), f.spec.buffer, f.rtt, elapsed);
+}
+
+FlowId FluidEngine::start_flow(FlowSpec spec) {
+  WADP_CHECK_MSG(spec.path != nullptr, "flow needs a path");
+  WADP_CHECK_MSG(spec.size > 0, "flow needs bytes to move");
+  WADP_CHECK_MSG(spec.streams >= 1, "flow needs at least one stream");
+  WADP_CHECK_MSG(spec.buffer > 0, "flow needs a socket buffer");
+
+  advance_to(sim_.now());
+
+  const FlowId id = next_id_++;
+  Flow flow;
+  flow.start = sim_.now();
+  flow.remaining = static_cast<double>(spec.size);
+  flow.ramp_rtts_total = rtts_to_fill_window(spec.path->tcp(), spec.buffer);
+  flow.rtt = spec.path->effective_rtt(sim_.now());
+  flow.spec = std::move(spec);
+  flows_.emplace(id, std::move(flow));
+
+  reallocate(sim_.now());
+  schedule_next();
+  return id;
+}
+
+bool FluidEngine::cancel_flow(FlowId id) {
+  advance_to(sim_.now());
+  const auto it = flows_.find(id);
+  if (it == flows_.end()) return false;
+  flows_.erase(it);
+  reallocate(sim_.now());
+  schedule_next();
+  return true;
+}
+
+Bandwidth FluidEngine::current_rate(FlowId id) const {
+  const auto it = flows_.find(id);
+  return it == flows_.end() ? 0.0 : it->second.rate;
+}
+
+std::optional<FluidEngine::FlowProgress> FluidEngine::progress(FlowId id) {
+  advance_to(sim_.now());
+  const auto it = flows_.find(id);
+  if (it == flows_.end()) return std::nullopt;
+  const Flow& f = it->second;
+  FlowProgress p;
+  p.total = f.spec.size;
+  const auto remaining = static_cast<Bytes>(f.remaining);
+  p.moved = f.spec.size > remaining ? f.spec.size - remaining : 0;
+  p.rate = f.rate;
+  return p;
+}
+
+void FluidEngine::advance_to(SimTime t) {
+  if (flows_.empty()) {
+    last_update_ = t;
+    return;
+  }
+  const Duration elapsed = t - last_update_;
+  WADP_CHECK(elapsed >= 0.0);
+  last_update_ = t;
+  if (elapsed == 0.0) return;
+
+  struct Completion {
+    FlowStats stats;
+    std::function<void(const FlowStats&)> callback;
+  };
+  std::vector<Completion> done;
+
+  for (auto it = flows_.begin(); it != flows_.end();) {
+    Flow& f = it->second;
+    f.remaining -= f.rate * elapsed;
+    // A flow also completes when its residue would drain within one
+    // time quantum — the engine cannot schedule anything finer.
+    if (f.remaining <= kCompletionEpsilon ||
+        f.remaining <= f.rate * kTimeQuantum) {
+      FlowStats stats;
+      stats.id = it->first;
+      stats.start = f.start;
+      stats.end = t;
+      stats.bytes = f.spec.size;
+      done.push_back({stats, std::move(f.spec.on_complete)});
+      it = flows_.erase(it);
+      ++completed_;
+    } else {
+      ++it;
+    }
+  }
+
+  // Callbacks run after bookkeeping so they can start new flows safely.
+  for (auto& c : done) {
+    if (c.callback) c.callback(c.stats);
+  }
+}
+
+void FluidEngine::reallocate(SimTime t) {
+  if (flows_.empty()) return;
+
+  // Collect the distinct resources touched by active flows.
+  std::vector<CapacityProvider*> resources;
+  const auto resource_index = [&](CapacityProvider* r) {
+    for (std::size_t i = 0; i < resources.size(); ++i) {
+      if (resources[i] == r) return i;
+    }
+    resources.push_back(r);
+    return resources.size() - 1;
+  };
+
+  struct Member {
+    std::size_t resource;
+    double weight;
+  };
+  struct Entry {
+    Flow* flow;
+    double cap;                 // TCP ramp/window ceiling
+    std::vector<Member> members;
+    bool fixed = false;
+  };
+  std::vector<Entry> entries;
+  entries.reserve(flows_.size());
+  for (auto& [id, flow] : flows_) {
+    Entry e;
+    e.flow = &flow;
+    e.cap = flow_cap(flow, t);
+    e.members.push_back(
+        {resource_index(flow.spec.path), static_cast<double>(flow.spec.streams)});
+    for (CapacityProvider* extra : flow.spec.extra_resources) {
+      e.members.push_back({resource_index(extra), 1.0});
+    }
+    entries.push_back(std::move(e));
+  }
+
+  std::vector<double> residual(resources.size());
+  for (std::size_t i = 0; i < resources.size(); ++i) {
+    residual[i] = std::max(0.0, resources[i]->capacity_at(t));
+  }
+
+  // Weighted max-min: repeatedly find the most constrained flow, fix it,
+  // and release its resource consumption from the pools.
+  std::size_t unfixed = entries.size();
+  while (unfixed > 0) {
+    std::vector<double> pool_weight(resources.size(), 0.0);
+    for (const Entry& e : entries) {
+      if (e.fixed) continue;
+      for (const Member& m : e.members) pool_weight[m.resource] += m.weight;
+    }
+
+    double min_tentative = std::numeric_limits<double>::infinity();
+    for (Entry& e : entries) {
+      if (e.fixed) continue;
+      double share = std::numeric_limits<double>::infinity();
+      for (const Member& m : e.members) {
+        WADP_CHECK(pool_weight[m.resource] > 0.0);
+        share = std::min(share,
+                         residual[m.resource] * m.weight / pool_weight[m.resource]);
+      }
+      const double tentative = std::min(e.cap, share);
+      min_tentative = std::min(min_tentative, tentative);
+      e.flow->rate = tentative;  // provisional; final for fixed flows below
+    }
+
+    // Fix every flow at the minimum (ties fix together), release capacity.
+    const double threshold = min_tentative * (1.0 + 1e-12) + 1e-9;
+    bool fixed_any = false;
+    for (Entry& e : entries) {
+      if (e.fixed || e.flow->rate > threshold) continue;
+      e.fixed = true;
+      fixed_any = true;
+      --unfixed;
+      for (const Member& m : e.members) {
+        residual[m.resource] = std::max(0.0, residual[m.resource] - e.flow->rate);
+      }
+    }
+    WADP_CHECK_MSG(fixed_any, "max-min allocation failed to converge");
+  }
+}
+
+void FluidEngine::schedule_next() {
+  if (pending_wake_ != 0) {
+    sim_.cancel(pending_wake_);
+    pending_wake_ = 0;
+  }
+  if (flows_.empty()) return;
+
+  const SimTime now = sim_.now();
+  SimTime next = kNeverTime;
+
+  std::vector<const CapacityProvider*> seen;
+  for (const auto& [id, f] : flows_) {
+    // Earliest completion at current rate (never below the quantum).
+    if (f.rate > 0.0) {
+      next = std::min(next, now + std::max(f.remaining / f.rate, kTimeQuantum));
+    }
+    // Next slow-start doubling (only while ramping).
+    const Duration elapsed = now - f.start;
+    const Duration rtt = f.rtt;
+    const int rtts_done = elapsed_rtts(rtt, elapsed);
+    if (rtts_done < f.ramp_rtts_total) {
+      const SimTime ramp_next = f.start + (rtts_done + 1) * rtt;
+      if (ramp_next > now) next = std::min(next, ramp_next);
+    }
+    // Resource load-grid changes.
+    const auto consider = [&](const CapacityProvider* r) {
+      for (const CapacityProvider* s : seen) {
+        if (s == r) return;
+      }
+      seen.push_back(r);
+      next = std::min(next, r->next_change_after(now));
+    };
+    consider(f.spec.path);
+    for (const CapacityProvider* extra : f.spec.extra_resources) consider(extra);
+  }
+
+  if (next == kNeverTime) return;
+  // Guard against zero-length self-wake loops from float coincidences.
+  if (next <= now + kTimeQuantum) next = now + kTimeQuantum;
+  pending_wake_ = sim_.schedule_at(next, [this] {
+    pending_wake_ = 0;
+    wake();
+  });
+}
+
+void FluidEngine::wake() {
+  advance_to(sim_.now());
+  reallocate(sim_.now());
+  schedule_next();
+}
+
+}  // namespace wadp::net

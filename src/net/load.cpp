@@ -1,0 +1,68 @@
+#include "net/load.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "util/error.hpp"
+
+namespace wadp::net {
+
+LoadProcess::LoadProcess(LoadParams params, std::uint64_t seed, SimTime origin)
+    : params_(params), origin_(origin), rng_(seed) {
+  WADP_CHECK(params_.grid_step > 0.0);
+  WADP_CHECK(params_.max_utilization > 0.0 && params_.max_utilization <= 1.0);
+  WADP_CHECK(params_.min_utilization >= 0.0 &&
+             params_.min_utilization <= params_.max_utilization);
+  WADP_CHECK(params_.ar_phi >= 0.0 && params_.ar_phi < 1.0);
+}
+
+void LoadProcess::extend_to(std::size_t index) const {
+  const double step_hours = params_.grid_step / util::kSecondsPerHour;
+  const double episode_prob =
+      1.0 - std::exp(-params_.episode_rate_per_hour * step_hours);
+  const double mean_episode_steps =
+      std::max(1.0, params_.episode_mean_minutes * 60.0 / params_.grid_step);
+
+  while (grid_.size() <= index) {
+    // AR(1) fluctuation around zero.
+    ar_state_ = params_.ar_phi * ar_state_ + rng_.normal(0.0, params_.ar_sigma);
+
+    // Congestion episodes: memoryless arrival, geometric duration.
+    if (episode_steps_left_ > 0) {
+      --episode_steps_left_;
+    } else if (rng_.uniform() < episode_prob) {
+      episode_steps_left_ = static_cast<std::size_t>(
+          std::ceil(rng_.exponential(mean_episode_steps)));
+    }
+    const double episode =
+        episode_steps_left_ > 0 ? params_.episode_utilization : 0.0;
+
+    const SimTime t = origin_ + static_cast<double>(grid_.size()) * params_.grid_step;
+    const double local_hour =
+        util::seconds_into_local_day(t, params_.zone) / util::kSecondsPerHour;
+    const double phase = 2.0 * std::numbers::pi *
+                         (local_hour - params_.diurnal_peak_hour) / 24.0;
+    const double diurnal = params_.diurnal_amplitude * std::cos(phase);
+
+    const double total = params_.base + diurnal + ar_state_ + episode;
+    grid_.push_back(
+        std::clamp(total, params_.min_utilization, params_.max_utilization));
+  }
+}
+
+double LoadProcess::utilization(SimTime t) const {
+  double offset = (t - origin_) / params_.grid_step;
+  if (offset < 0.0) offset = 0.0;
+  const auto index = static_cast<std::size_t>(offset);
+  extend_to(index);
+  return grid_[index];
+}
+
+SimTime LoadProcess::next_change_after(SimTime t) const {
+  if (t < origin_) return origin_;
+  const double steps = std::floor((t - origin_) / params_.grid_step) + 1.0;
+  return origin_ + steps * params_.grid_step;
+}
+
+}  // namespace wadp::net

@@ -1,0 +1,76 @@
+// Background (cross-traffic) load on a wide-area path.
+//
+// The paper's predictors exist precisely because shared links carry
+// competing traffic whose load varies "in unpredictable ways" (Section
+// 2).  LoadProcess models the utilization a path experiences from that
+// competing traffic as the sum of three components, evaluated on a
+// fixed grid:
+//
+//   1. a diurnal sinusoid peaking in the local business afternoon — the
+//      reason the paper's controlled transfers ran 6 pm to 8 am;
+//   2. a mean-reverting AR(1) component for short-term fluctuation;
+//   3. sporadic congestion episodes (Poisson arrivals, geometric
+//      duration) adding a utilization step — the "one additional flow
+//      is no longer insignificant" effect of Section 3.
+//
+// The process is a deterministic function of (seed, t): grid values are
+// extended lazily but always in sequence, so any query order yields the
+// same series.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/time.hpp"
+#include "util/types.hpp"
+
+namespace wadp::net {
+
+struct LoadParams {
+  double base = 0.35;            ///< long-run mean utilization
+  double diurnal_amplitude = 0.25;  ///< peak-to-mean swing of the daily cycle
+  double diurnal_peak_hour = 14.0;  ///< local hour of maximum load
+  util::TimeZone zone = util::kUtc; ///< zone governing the diurnal phase
+  double ar_phi = 0.97;          ///< AR(1) persistence per grid step
+  double ar_sigma = 0.04;        ///< AR(1) innovation std-dev per step
+  double episode_rate_per_hour = 0.12;  ///< congestion-episode arrivals
+  double episode_mean_minutes = 25.0;   ///< mean episode duration
+  double episode_utilization = 0.30;    ///< extra load during an episode
+  double min_utilization = 0.0;  ///< clamp: shared links are never idle
+  double max_utilization = 0.95; ///< clamp: links never fully starve
+  Duration grid_step = 60.0;     ///< evaluation grid (seconds)
+};
+
+class LoadProcess {
+ public:
+  /// `origin` anchors grid index 0; queries before origin clamp to it.
+  LoadProcess(LoadParams params, std::uint64_t seed, SimTime origin);
+
+  /// Utilization in [0, max_utilization] at time t.
+  double utilization(SimTime t) const;
+
+  /// Convenience: fraction of capacity left for our transfers.
+  double availability(SimTime t) const { return 1.0 - utilization(t); }
+
+  /// Next instant strictly after t at which utilization may change
+  /// (the next grid point).  The fluid engine re-evaluates rates there.
+  SimTime next_change_after(SimTime t) const;
+
+  const LoadParams& params() const { return params_; }
+
+ private:
+  void extend_to(std::size_t index) const;
+
+  LoadParams params_;
+  SimTime origin_;
+  // Lazily extended grid state; mutable because utilization() is
+  // logically const.  Extension is strictly sequential, so results do
+  // not depend on query order.
+  mutable util::Rng rng_;
+  mutable std::vector<double> grid_;   // total utilization per step
+  mutable double ar_state_ = 0.0;
+  mutable std::size_t episode_steps_left_ = 0;
+};
+
+}  // namespace wadp::net

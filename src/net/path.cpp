@@ -1,0 +1,77 @@
+#include "net/path.hpp"
+
+#include "util/error.hpp"
+
+namespace wadp::net {
+namespace {
+
+std::string pair_key(std::string_view source, std::string_view sink) {
+  std::string key;
+  key.reserve(source.size() + 1 + sink.size());
+  key.append(source);
+  key.push_back('|');
+  key.append(sink);
+  return key;
+}
+
+}  // namespace
+
+PathModel::PathModel(std::string source_site, std::string sink_site,
+                     PathParams params, std::uint64_t seed, SimTime origin)
+    : source_(std::move(source_site)),
+      sink_(std::move(sink_site)),
+      name_("path:" + source_ + "->" + sink_),
+      params_(params),
+      load_(params.load, seed, origin) {
+  WADP_CHECK(params_.bottleneck > 0.0);
+  WADP_CHECK(params_.rtt > 0.0);
+}
+
+Bandwidth PathModel::capacity_at(SimTime t) const {
+  return params_.bottleneck * load_.availability(t);
+}
+
+SimTime PathModel::next_change_after(SimTime t) const {
+  return load_.next_change_after(t);
+}
+
+Duration PathModel::effective_rtt(SimTime t) const {
+  return params_.rtt *
+         (1.0 + params_.queueing_rtt_factor * load_.utilization(t));
+}
+
+PathModel& Topology::add_path(std::string source_site, std::string sink_site,
+                              PathParams params, std::uint64_t seed,
+                              SimTime origin) {
+  WADP_CHECK_MSG(source_site.find('|') == std::string::npos &&
+                     sink_site.find('|') == std::string::npos,
+                 "site names must not contain '|'");
+  auto key = pair_key(source_site, sink_site);
+  auto path = std::make_unique<PathModel>(std::move(source_site),
+                                          std::move(sink_site), params, seed,
+                                          origin);
+  auto [it, inserted] = paths_.emplace(std::move(key), std::move(path));
+  WADP_CHECK_MSG(inserted, "duplicate path for site pair");
+  return *it->second;
+}
+
+PathModel* Topology::find(std::string_view source_site,
+                          std::string_view sink_site) {
+  const auto it = paths_.find(pair_key(source_site, sink_site));
+  return it == paths_.end() ? nullptr : it->second.get();
+}
+
+const PathModel* Topology::find(std::string_view source_site,
+                                std::string_view sink_site) const {
+  const auto it = paths_.find(pair_key(source_site, sink_site));
+  return it == paths_.end() ? nullptr : it->second.get();
+}
+
+std::vector<const PathModel*> Topology::paths() const {
+  std::vector<const PathModel*> out;
+  out.reserve(paths_.size());
+  for (const auto& [key, path] : paths_) out.push_back(path.get());
+  return out;
+}
+
+}  // namespace wadp::net

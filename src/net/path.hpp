@@ -1,0 +1,84 @@
+// Wide-area path model and site topology.
+//
+// A PathModel is one *direction* of a site pair (the paper's links are
+// written source->sink: "LBL to ANL", "ISI to ANL").  It combines a
+// bottleneck capacity, a round-trip time, TCP parameters, and a
+// LoadProcess describing competing traffic.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "net/load.hpp"
+#include "net/provider.hpp"
+#include "net/tcp.hpp"
+#include "util/types.hpp"
+
+namespace wadp::net {
+
+struct PathParams {
+  Bandwidth bottleneck = 12'500'000;  ///< bytes/s (~100 Mb/s, the paper's links)
+  Duration rtt = 0.055;               ///< base (unloaded) round-trip time
+  /// Queueing inflation: effective RTT = rtt * (1 + factor * utilization).
+  /// Cross traffic fills router queues, stretching round trips — the
+  /// dominant source of variability for slow-start-bound probes (the NWS
+  /// series in Figs. 1-2) and a minor ramp effect for large transfers.
+  double queueing_rtt_factor = 0.5;
+  TcpParams tcp;
+  LoadParams load;
+};
+
+class PathModel final : public CapacityProvider {
+ public:
+  PathModel(std::string source_site, std::string sink_site, PathParams params,
+            std::uint64_t seed, SimTime origin);
+
+  // CapacityProvider: bottleneck minus competing traffic.
+  Bandwidth capacity_at(SimTime t) const override;
+  SimTime next_change_after(SimTime t) const override;
+  std::string_view resource_name() const override { return name_; }
+
+  const std::string& source_site() const { return source_; }
+  const std::string& sink_site() const { return sink_; }
+  Duration rtt() const { return params_.rtt; }
+
+  /// RTT including queueing delay from the instantaneous background
+  /// load (see PathParams::queueing_rtt_factor).
+  Duration effective_rtt(SimTime t) const;
+  Bandwidth bottleneck() const { return params_.bottleneck; }
+  const TcpParams& tcp() const { return params_.tcp; }
+  const LoadProcess& load() const { return load_; }
+
+ private:
+  std::string source_;
+  std::string sink_;
+  std::string name_;
+  PathParams params_;
+  LoadProcess load_;
+};
+
+/// Directed site-pair -> path registry.  Owns the paths.
+class Topology {
+ public:
+  /// Registers the path for source->sink; at most one per ordered pair.
+  PathModel& add_path(std::string source_site, std::string sink_site,
+                      PathParams params, std::uint64_t seed, SimTime origin);
+
+  /// nullptr when no such directed path exists.
+  PathModel* find(std::string_view source_site, std::string_view sink_site);
+  const PathModel* find(std::string_view source_site,
+                        std::string_view sink_site) const;
+
+  std::vector<const PathModel*> paths() const;
+  std::size_t size() const { return paths_.size(); }
+
+ private:
+  // Keyed by "source|sink"; '|' cannot appear in site names (checked on add).
+  std::map<std::string, std::unique_ptr<PathModel>, std::less<>> paths_;
+};
+
+}  // namespace wadp::net

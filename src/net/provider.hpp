@@ -1,0 +1,34 @@
+// Abstract capacity provider: anything a data flow can be limited by.
+//
+// The fluid engine (fabric.hpp) allocates rates across a set of shared
+// resources.  Network paths (net/path.hpp) and storage systems
+// (storage/storage.hpp) both implement this interface, which is what
+// lets the simulator reproduce the paper's premise that the *end-to-end*
+// path — network AND storage AND server — governs transfer performance
+// (Section 3).
+#pragma once
+
+#include <string_view>
+
+#include "util/types.hpp"
+
+namespace wadp::net {
+
+class CapacityProvider {
+ public:
+  virtual ~CapacityProvider() = default;
+
+  /// Instantaneous capacity available to wadp flows, bytes/sec.  Must be
+  /// strictly positive (starved-but-alive is modelled by small values).
+  virtual Bandwidth capacity_at(SimTime t) const = 0;
+
+  /// Next instant strictly after `t` at which capacity_at may change,
+  /// or kNeverTime for static resources.  The fluid engine re-evaluates
+  /// allocations at these instants.
+  virtual SimTime next_change_after(SimTime t) const = 0;
+
+  /// Stable diagnostic name ("path:lbl->anl", "storage:anl/read").
+  virtual std::string_view resource_name() const = 0;
+};
+
+}  // namespace wadp::net

@@ -1,0 +1,86 @@
+#include "net/tcp.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace wadp::net {
+
+Bytes cwnd_after_rtts(const TcpParams& tcp, Bytes buffer, int rtts) {
+  WADP_CHECK(rtts >= 0);
+  WADP_CHECK(tcp.initial_window > 0);
+  // Doubling with overflow guard: stop as soon as the cap is reached.
+  Bytes cwnd = tcp.initial_window;
+  for (int i = 0; i < rtts && cwnd < buffer; ++i) {
+    cwnd = std::min(buffer, cwnd * 2);
+  }
+  return std::min(cwnd, buffer);
+}
+
+int rtts_to_fill_window(const TcpParams& tcp, Bytes buffer) {
+  WADP_CHECK(tcp.initial_window > 0);
+  int rtts = 0;
+  Bytes cwnd = tcp.initial_window;
+  while (cwnd < buffer) {
+    cwnd *= 2;
+    ++rtts;
+  }
+  return rtts;
+}
+
+Bandwidth window_limited_rate(Bytes buffer, Duration rtt) {
+  WADP_CHECK(rtt > 0.0);
+  return static_cast<double>(buffer) / rtt;
+}
+
+Bandwidth ramp_rate_cap(const TcpParams& tcp, Bytes buffer, Duration rtt,
+                        Duration elapsed) {
+  WADP_CHECK(rtt > 0.0);
+  if (elapsed < 0.0) elapsed = 0.0;
+  return static_cast<double>(
+             cwnd_after_rtts(tcp, buffer, elapsed_rtts(rtt, elapsed))) /
+         rtt;
+}
+
+int elapsed_rtts(Duration rtt, Duration elapsed) {
+  WADP_CHECK(rtt > 0.0);
+  if (elapsed < 0.0) return 0;
+  // Epoch-seconds doubles carry ~1e-7 s of rounding; without the
+  // tolerance a wake scheduled exactly at start + k*rtt can observe
+  // elapsed/rtt = k - 1e-9 and never advance the window.
+  return static_cast<int>(elapsed / rtt + 1e-4);
+}
+
+Duration unconstrained_transfer_time(const TcpParams& tcp, Bytes size,
+                                     Bytes buffer, Duration rtt) {
+  WADP_CHECK(rtt > 0.0);
+  WADP_CHECK(buffer > 0);
+  if (size == 0) return 0.0;
+
+  // Walk the slow-start rounds: in round k the stream moves cwnd_k bytes
+  // in one RTT.
+  Bytes sent = 0;
+  Bytes cwnd = std::min(tcp.initial_window, buffer);
+  Duration t = 0.0;
+  while (cwnd < buffer) {
+    if (sent + cwnd >= size) {
+      // Finishes inside this round; charge the fraction of the RTT.
+      const auto remaining = static_cast<double>(size - sent);
+      return t + rtt * remaining / static_cast<double>(cwnd);
+    }
+    sent += cwnd;
+    t += rtt;
+    cwnd = std::min(buffer, cwnd * 2);
+  }
+  // Window-limited cruise at buffer/rtt.
+  const auto remaining = static_cast<double>(size - sent);
+  return t + remaining / window_limited_rate(buffer, rtt);
+}
+
+Bandwidth achieved_bandwidth(Bytes size, Duration time) {
+  WADP_CHECK_MSG(time > 0.0, "zero-duration transfer");
+  return static_cast<double>(size) / time;
+}
+
+}  // namespace wadp::net

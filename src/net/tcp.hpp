@@ -1,0 +1,70 @@
+// TCP throughput arithmetic used by the fluid-flow engine and by the
+// NWS probe analysis.
+//
+// The paper's central empirical observation (Section 4.3, Figs. 1–2) is
+// that transfer bandwidth depends strongly on file size, "primarily due
+// to the startup overhead associated with the TCP start mechanism".  We
+// model each stream's congestion window as doubling once per RTT from
+// an initial window until it hits the socket-buffer cap (slow start; no
+// loss events are modelled individually — loss shows up as background
+// load on the path), after which the stream sustains
+//
+//     steady rate = buffer / RTT      (window-limited)
+//
+// subject to its fair share of bottleneck capacity.
+#pragma once
+
+#include <cstdint>
+
+#include "util/types.hpp"
+
+namespace wadp::net {
+
+struct TcpParams {
+  Bytes mss = 1460;              ///< maximum segment size
+  Bytes initial_window = 2 * 1460;  ///< RFC 2581 initial cwnd (2 segments)
+
+  bool operator==(const TcpParams&) const = default;
+};
+
+/// Widely deployed default socket buffer circa 2001; what the paper
+/// means by NWS using "standard TCP buffer sizes".
+inline constexpr Bytes kDefaultTcpBuffer = 32 * kKiB;
+
+/// The tuned buffer the paper's experiments used (Section 6.1).
+inline constexpr Bytes kTunedTcpBuffer = 1'000'000;
+
+/// Congestion window after `rtts` whole round trips of slow start,
+/// capped at `buffer`.
+Bytes cwnd_after_rtts(const TcpParams& tcp, Bytes buffer, int rtts);
+
+/// Number of whole RTTs of slow start needed before the window reaches
+/// `buffer` (0 when the initial window already does).
+int rtts_to_fill_window(const TcpParams& tcp, Bytes buffer);
+
+/// Window-limited steady-state rate of one stream: buffer / rtt.
+Bandwidth window_limited_rate(Bytes buffer, Duration rtt);
+
+/// Instantaneous per-stream rate cap `elapsed` seconds after the stream
+/// started, combining the slow-start ramp with the window cap.  The ramp
+/// is discretized per whole RTT, matching how the fluid engine schedules
+/// re-evaluations.
+Bandwidth ramp_rate_cap(const TcpParams& tcp, Bytes buffer, Duration rtt,
+                        Duration elapsed);
+
+/// Whole round trips completed after `elapsed` seconds, with a small
+/// tolerance so an event scheduled exactly at a round-trip boundary
+/// counts that round despite floating-point rounding of epoch times.
+int elapsed_rtts(Duration rtt, Duration elapsed);
+
+/// Analytic single-stream transfer time on an *unloaded* path whose
+/// capacity never binds: slow-start rounds followed by window-limited
+/// cruise.  Used for closed-form cross-checks in tests and for the NWS
+/// probe-theory bench; the fluid engine computes the loaded general case.
+Duration unconstrained_transfer_time(const TcpParams& tcp, Bytes size,
+                                     Bytes buffer, Duration rtt);
+
+/// Bandwidth formula the paper applies to its logs: size / time.
+Bandwidth achieved_bandwidth(Bytes size, Duration time);
+
+}  // namespace wadp::net

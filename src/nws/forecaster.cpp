@@ -1,0 +1,100 @@
+#include "nws/forecaster.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace wadp::nws {
+
+predict::PredictorSuite nws_forecaster_battery() {
+  using predict::WindowSpec;
+  predict::PredictorSuite suite;
+  suite.add(std::make_shared<predict::MeanPredictor>("nws.AVG",
+                                                     WindowSpec::all()));
+  suite.add(std::make_shared<predict::MeanPredictor>("nws.AVG10",
+                                                     WindowSpec::last_n(10)));
+  suite.add(std::make_shared<predict::MeanPredictor>("nws.AVG30",
+                                                     WindowSpec::last_n(30)));
+  suite.add(std::make_shared<predict::MedianPredictor>("nws.MED",
+                                                       WindowSpec::all()));
+  suite.add(std::make_shared<predict::MedianPredictor>("nws.MED10",
+                                                       WindowSpec::last_n(10)));
+  suite.add(std::make_shared<predict::MedianPredictor>("nws.MED30",
+                                                       WindowSpec::last_n(30)));
+  suite.add(std::make_shared<predict::LastValuePredictor>("nws.LV"));
+  return suite;
+}
+
+NwsForecaster::NwsForecaster() : battery_(nws_forecaster_battery()) {
+  selector_ = std::make_unique<predict::DynamicSelector>(
+      "nws.DYN", battery_.predictors());
+}
+
+void NwsForecaster::observe(const ProbeMeasurement& measurement) {
+  selector_->observe(predict::Observation{
+      .time = measurement.time,
+      .value = measurement.value,
+      .file_size = 0,  // probes have a fixed size; classification unused
+  });
+}
+
+std::optional<Bandwidth> NwsForecaster::forecast(SimTime t) const {
+  return selector_->predict(predict::Query{.time = t, .file_size = 0});
+}
+
+const std::string& NwsForecaster::current_choice() const {
+  return selector_->current_choice();
+}
+
+HybridNwsPredictor::HybridNwsPredictor(
+    std::string name, const std::vector<ProbeMeasurement>* probes,
+    std::size_t ratio_window, Duration probe_level_window)
+    : Predictor(std::move(name)),
+      probes_(probes),
+      ratio_window_(ratio_window),
+      probe_level_window_(probe_level_window) {
+  WADP_CHECK(probes_ != nullptr);
+  WADP_CHECK(ratio_window_ >= 1);
+  WADP_CHECK(probe_level_window_ > 0.0);
+}
+
+std::optional<Bandwidth> HybridNwsPredictor::probe_level(SimTime t) const {
+  // Mean probe bandwidth over [t - window, t]; only probes already
+  // completed by t are visible (no lookahead).
+  const auto end = std::lower_bound(
+      probes_->begin(), probes_->end(), t,
+      [](const ProbeMeasurement& m, SimTime s) { return m.time <= s; });
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (auto it = end; it != probes_->begin();) {
+    --it;
+    if (it->time < t - probe_level_window_) break;
+    sum += it->value;
+    ++n;
+  }
+  if (n == 0) return std::nullopt;
+  return sum / static_cast<double>(n);
+}
+
+std::optional<Bandwidth> HybridNwsPredictor::predict(
+    std::span<const predict::Observation> history,
+    const predict::Query& query) const {
+  const auto now_level = probe_level(query.time);
+  if (!now_level || *now_level <= 0.0) return std::nullopt;
+
+  std::vector<double> ratios;
+  for (std::size_t i = history.size(); i-- > 0 && ratios.size() < ratio_window_;) {
+    const auto& obs = history[i];
+    const auto then_level = probe_level(obs.time);
+    if (then_level && *then_level > 0.0 && obs.value > 0.0) {
+      ratios.push_back(obs.value / *then_level);
+    }
+  }
+  if (ratios.empty()) return std::nullopt;
+  // Median ratio: robust to the occasional GridFTP transfer that raced
+  // a congestion episode the probes missed.
+  return *util::median(ratios) * *now_level;
+}
+
+}  // namespace wadp::nws

@@ -1,0 +1,53 @@
+#include "nws/mds_provider.hpp"
+
+#include "util/strings.hpp"
+
+namespace wadp::nws {
+
+NwsInfoProvider::NwsInfoProvider(const NwsMemory& memory,
+                                 NwsProviderConfig config)
+    : memory_(memory), config_(std::move(config)) {}
+
+std::string NwsInfoProvider::provider_name() const {
+  return "nws:" + config_.base.to_string();
+}
+
+mds::Schema NwsInfoProvider::schema() {
+  mds::Schema schema;
+  schema.define(mds::ObjectClassDef{
+      .name = "nwsNetwork",
+      .required = {"experiment", "measurements"},
+      .optional = {"latestbandwidth", "latesttime", "forecastbandwidth",
+                   "lastupdate"},
+  });
+  return schema;
+}
+
+std::vector<mds::Entry> NwsInfoProvider::provide(SimTime now) {
+  std::vector<mds::Entry> entries;
+  for (const auto& experiment : memory_.experiments()) {
+    const auto series = memory_.series(experiment);
+    mds::Entry entry(config_.base.child(mds::Rdn{"nwsexp", experiment}));
+    entry.add("objectclass", "nwsNetwork");
+    entry.set("experiment", experiment);
+    entry.set("measurements", std::to_string(series.size()));
+    entry.set("lastupdate", util::format("%.0f", now));
+    if (!series.empty()) {
+      entry.set("latestbandwidth",
+                util::format("%.1f", to_kb_per_sec(series.back().value)));
+      entry.set("latesttime", util::format("%.0f", series.back().time));
+
+      // Dynamic-selection forecast over everything observed so far.
+      NwsForecaster forecaster;
+      for (const auto& m : series) forecaster.observe(m);
+      if (const auto forecast = forecaster.forecast(now)) {
+        entry.set("forecastbandwidth",
+                  util::format("%.1f", to_kb_per_sec(*forecast)));
+      }
+    }
+    entries.push_back(std::move(entry));
+  }
+  return entries;
+}
+
+}  // namespace wadp::nws

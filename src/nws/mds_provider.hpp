@@ -1,0 +1,44 @@
+// NWS information provider for the MDS.
+//
+// Real Grid deployments published NWS measurements and forecasts into
+// MDS alongside everything else — the paper's Section 7 plan of
+// "combining basic predictions on the sporadic data with more regular
+// NWS measurements" presumes exactly that plumbing.  This provider
+// publishes, per experiment series in an NwsMemory, the latest probe
+// reading and the dynamic-selection forecast, under the nwsNetwork
+// object class.
+#pragma once
+
+#include <string>
+
+#include "mds/gris.hpp"
+#include "nws/forecaster.hpp"
+#include "nws/memory.hpp"
+
+namespace wadp::nws {
+
+struct NwsProviderConfig {
+  /// Directory suffix, e.g. "hostname=nws.lbl.gov, dc=lbl, o=grid".
+  mds::Dn base;
+};
+
+class NwsInfoProvider final : public mds::InformationProvider {
+ public:
+  /// Publishes `memory`'s series; the memory must outlive the provider.
+  NwsInfoProvider(const NwsMemory& memory, NwsProviderConfig config);
+
+  std::string provider_name() const override;
+
+  /// One entry per experiment: objectclass nwsNetwork; attributes
+  /// experiment, measurements, latestbandwidth / latesttime, and
+  /// forecastbandwidth (dynamic selection over the battery), all KB/s.
+  std::vector<mds::Entry> provide(SimTime now) override;
+
+  static mds::Schema schema();
+
+ private:
+  const NwsMemory& memory_;
+  NwsProviderConfig config_;
+};
+
+}  // namespace wadp::nws

@@ -1,0 +1,107 @@
+#include "nws/memory.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace wadp::nws {
+
+void NwsMemory::store(const std::string& experiment,
+                      const ProbeMeasurement& m) {
+  auto& series = series_[experiment];
+  WADP_CHECK_MSG(series.empty() || m.time >= series.back().time,
+                 "measurements must arrive in time order");
+  series.push_back(m);
+  if (max_measurements_ > 0 && series.size() > max_measurements_) {
+    series.erase(series.begin());
+  }
+}
+
+void NwsMemory::absorb(const std::string& experiment,
+                       const NwsSensor& sensor) {
+  auto& cursor = absorbed_[experiment];
+  const auto& measurements = sensor.series();
+  for (; cursor < measurements.size(); ++cursor) {
+    store(experiment, measurements[cursor]);
+  }
+}
+
+std::span<const ProbeMeasurement> NwsMemory::series(
+    const std::string& experiment) const {
+  const auto it = series_.find(experiment);
+  if (it == series_.end()) return {};
+  return it->second;
+}
+
+std::vector<std::string> NwsMemory::experiments() const {
+  std::vector<std::string> out;
+  out.reserve(series_.size());
+  for (const auto& [name, series] : series_) out.push_back(name);
+  return out;
+}
+
+std::size_t NwsMemory::total_measurements() const {
+  std::size_t total = 0;
+  for (const auto& [name, series] : series_) total += series.size();
+  return total;
+}
+
+std::string NwsMemory::to_trace_text(const std::string& experiment) const {
+  std::string out;
+  for (const auto& m : series(experiment)) {
+    out += util::format("%.3f %.3f\n", m.time, m.value);
+  }
+  return out;
+}
+
+std::vector<ProbeMeasurement> NwsMemory::parse_trace_text(
+    std::string_view text) {
+  std::vector<ProbeMeasurement> out;
+  for (const auto& line : util::split(text, '\n')) {
+    const auto fields = util::split_whitespace(line);
+    if (fields.size() < 2) continue;
+    const auto time = util::parse_double(fields[0]);
+    const auto value = util::parse_double(fields[1]);
+    if (!time || !value) continue;
+    out.push_back(ProbeMeasurement{.time = *time, .value = *value,
+                                   .duration = 0.0});
+  }
+  return out;
+}
+
+Expected<bool> NwsMemory::save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return Expected<bool>::failure("cannot open for write: " + path);
+  for (const auto& [name, series] : series_) {
+    out << "# experiment: " << name << '\n';
+    out << to_trace_text(name);
+  }
+  if (!out) return Expected<bool>::failure("write failed: " + path);
+  return true;
+}
+
+Expected<NwsMemory> NwsMemory::load(const std::string& path,
+                                    std::size_t max_measurements) {
+  std::ifstream in(path);
+  if (!in) return Expected<NwsMemory>::failure("cannot open: " + path);
+  std::ostringstream body;
+  body << in.rdbuf();
+
+  NwsMemory memory(max_measurements);
+  std::string experiment = "default";
+  for (const auto& line : util::split(body.str(), '\n')) {
+    const auto trimmed = util::trim(line);
+    if (trimmed.empty()) continue;
+    if (util::starts_with(trimmed, "# experiment:")) {
+      experiment = std::string(
+          util::trim(trimmed.substr(std::string("# experiment:").size())));
+      continue;
+    }
+    const auto parsed = parse_trace_text(std::string(trimmed) + "\n");
+    for (const auto& m : parsed) memory.store(experiment, m);
+  }
+  return memory;
+}
+
+}  // namespace wadp::nws

@@ -1,0 +1,60 @@
+// NWS-style persistent measurement memory.
+//
+// The real Network Weather Service splits sensing from storage: sensors
+// stream measurements to a "memory" process that persists bounded
+// series per (resource, source, destination) and serves them to
+// forecasters.  This module is that store for probe series: bounded
+// retention, text persistence (one "time value" pair per line, the
+// NWS trace format), and lookup by experiment name.
+#pragma once
+
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "nws/sensor.hpp"
+#include "util/error.hpp"
+
+namespace wadp::nws {
+
+class NwsMemory {
+ public:
+  /// `max_measurements` bounds each series (oldest dropped first), the
+  /// way NWS memories cap their circular files.  0 = unbounded.
+  explicit NwsMemory(std::size_t max_measurements = 2000)
+      : max_measurements_(max_measurements) {}
+
+  /// Appends one measurement to the named experiment's series.  Series
+  /// names follow the NWS convention "bandwidth.<src>.<dst>".
+  void store(const std::string& experiment, const ProbeMeasurement& m);
+
+  /// Convenience: drains everything a sensor has collected so far into
+  /// the experiment's series (idempotent per measurement index).
+  void absorb(const std::string& experiment, const NwsSensor& sensor);
+
+  /// Time-ordered series; empty when unknown.
+  std::span<const ProbeMeasurement> series(const std::string& experiment) const;
+
+  std::vector<std::string> experiments() const;
+  std::size_t total_measurements() const;
+
+  /// One experiment as NWS trace text: "<time> <value>\n" per line.
+  std::string to_trace_text(const std::string& experiment) const;
+
+  /// Parses trace text into a series (skipping malformed lines).
+  static std::vector<ProbeMeasurement> parse_trace_text(std::string_view text);
+
+  /// Whole-memory file round trip (one file per experiment would match
+  /// NWS exactly; we bundle with experiment headers for convenience).
+  Expected<bool> save(const std::string& path) const;
+  static Expected<NwsMemory> load(const std::string& path,
+                                  std::size_t max_measurements = 2000);
+
+ private:
+  std::size_t max_measurements_;
+  std::map<std::string, std::vector<ProbeMeasurement>> series_;
+  std::map<std::string, std::size_t> absorbed_;  // per-experiment cursor
+};
+
+}  // namespace wadp::nws

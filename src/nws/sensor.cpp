@@ -1,0 +1,48 @@
+#include "nws/sensor.hpp"
+
+#include "util/error.hpp"
+
+namespace wadp::nws {
+
+NwsSensor::NwsSensor(sim::Simulator& sim, net::FluidEngine& engine,
+                     net::PathModel& path, ProbeConfig config)
+    : sim_(sim), engine_(engine), path_(path), config_(config) {
+  WADP_CHECK(config_.probe_size > 0);
+  WADP_CHECK(config_.period > 0.0);
+  task_ = std::make_unique<sim::PeriodicTask>(
+      sim_, config_.period, [this] { launch_probe(); }, /*immediate=*/true);
+}
+
+void NwsSensor::stop() { task_->stop(); }
+
+void NwsSensor::launch_probe() {
+  // NWS sensors are strictly sequential; if a probe is somehow still in
+  // flight when the next tick fires (a pathologically loaded path), the
+  // tick is skipped rather than stacking probes.
+  if (probe_in_flight_) return;
+  probe_in_flight_ = true;
+
+  net::FlowSpec spec;
+  spec.path = &path_;
+  spec.streams = config_.streams;
+  spec.buffer = config_.buffer;
+  spec.size = config_.probe_size;
+  spec.on_complete = [this](const net::FlowStats& stats) {
+    probe_in_flight_ = false;
+    series_.push_back(ProbeMeasurement{
+        .time = stats.end,
+        .value = stats.bandwidth(),
+        .duration = stats.duration(),
+    });
+  };
+  engine_.start_flow(std::move(spec));
+}
+
+Bandwidth NwsSensor::theoretical_idle_probe_bandwidth(
+    const net::PathModel& path, const ProbeConfig& config) {
+  const Duration t = net::unconstrained_transfer_time(
+      path.tcp(), config.probe_size, config.buffer, path.rtt());
+  return net::achieved_bandwidth(config.probe_size, t);
+}
+
+}  // namespace wadp::nws

@@ -1,0 +1,71 @@
+// Network Weather Service style probe sensor.
+//
+// Section 2: the NWS measures network performance with small periodic
+// probes — 64 KB by default, standard TCP buffers, every five minutes
+// in the paper's comparison (Figs. 1–2).  Our sensor runs exactly that
+// workload through the same fluid engine the GridFTP transfers use, so
+// the probe and transfer series disagree for the same physical reason
+// they disagree in the paper: a 64 KB single-stream probe lives
+// entirely inside TCP slow start and never samples the path's steady
+// throughput.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "net/fabric.hpp"
+#include "net/path.hpp"
+#include "net/tcp.hpp"
+#include "sim/simulator.hpp"
+#include "util/types.hpp"
+
+namespace wadp::nws {
+
+struct ProbeConfig {
+  Bytes probe_size = 64 * kKiB;            ///< NWS default probe
+  Bytes buffer = net::kDefaultTcpBuffer;   ///< "standard TCP buffer sizes"
+  int streams = 1;                         ///< probes are single-stream
+  Duration period = 300.0;                 ///< every 5 minutes (Figs. 1-2)
+};
+
+struct ProbeMeasurement {
+  SimTime time = 0.0;       ///< probe completion time
+  Bandwidth value = 0.0;    ///< probe_size / duration
+  Duration duration = 0.0;  ///< wire time of the probe
+};
+
+class NwsSensor {
+ public:
+  /// Starts probing `path` immediately and then every period.  The
+  /// sensor must not outlive the simulator, engine, or path.
+  NwsSensor(sim::Simulator& sim, net::FluidEngine& engine,
+            net::PathModel& path, ProbeConfig config = {});
+
+  NwsSensor(const NwsSensor&) = delete;
+  NwsSensor& operator=(const NwsSensor&) = delete;
+
+  void stop();
+
+  const std::vector<ProbeMeasurement>& series() const { return series_; }
+  const ProbeConfig& config() const { return config_; }
+  const net::PathModel& path() const { return path_; }
+
+  /// Closed-form expectation for one probe on an otherwise idle path —
+  /// the "why NWS undershoots" arithmetic, used by tests and the
+  /// Fig. 1/2 bench commentary.
+  static Bandwidth theoretical_idle_probe_bandwidth(const net::PathModel& path,
+                                                    const ProbeConfig& config);
+
+ private:
+  void launch_probe();
+
+  sim::Simulator& sim_;
+  net::FluidEngine& engine_;
+  net::PathModel& path_;
+  ProbeConfig config_;
+  std::vector<ProbeMeasurement> series_;
+  std::unique_ptr<sim::PeriodicTask> task_;
+  bool probe_in_flight_ = false;
+};
+
+}  // namespace wadp::nws

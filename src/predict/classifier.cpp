@@ -1,0 +1,64 @@
+#include "predict/classifier.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace wadp::predict {
+
+SizeClassifier::SizeClassifier(std::vector<Bytes> boundaries)
+    : boundaries_(std::move(boundaries)) {
+  WADP_CHECK_MSG(std::is_sorted(boundaries_.begin(), boundaries_.end()),
+                 "class boundaries must ascend");
+  WADP_CHECK_MSG(std::adjacent_find(boundaries_.begin(), boundaries_.end()) ==
+                     boundaries_.end(),
+                 "class boundaries must be distinct");
+}
+
+SizeClassifier SizeClassifier::paper_classes() {
+  return SizeClassifier({50 * kMB, 250 * kMB, 750 * kMB});
+}
+
+int SizeClassifier::classify(Bytes file_size) const {
+  // Upper bounds are inclusive: a 50 MB file belongs to the 0-50 MB class.
+  const auto it =
+      std::lower_bound(boundaries_.begin(), boundaries_.end(), file_size);
+  return static_cast<int>(it - boundaries_.begin());
+}
+
+std::string SizeClassifier::class_name(int cls) const {
+  WADP_CHECK(cls >= 0 && cls < num_classes());
+  const auto mb = [](Bytes b) {
+    return util::format("%llu", static_cast<unsigned long long>(b / kMB));
+  };
+  if (cls == static_cast<int>(boundaries_.size())) {
+    return ">" + mb(boundaries_.back()) + "MB";
+  }
+  const Bytes lo = cls == 0 ? 0 : boundaries_[static_cast<std::size_t>(cls) - 1];
+  return mb(lo) + "-" + mb(boundaries_[static_cast<std::size_t>(cls)]) + "MB";
+}
+
+std::string SizeClassifier::class_label(int cls) const {
+  WADP_CHECK(cls >= 0 && cls < num_classes());
+  // The paper labels its four classes by the representative transfer
+  // sizes inside them (Figs. 8-21); other boundary sets fall back to
+  // the range name.
+  if (boundaries_ == std::vector<Bytes>{50 * kMB, 250 * kMB, 750 * kMB}) {
+    static const char* kLabels[] = {"10MB", "100MB", "500MB", "1GB"};
+    return kLabels[cls];
+  }
+  return class_name(cls);
+}
+
+Bytes SizeClassifier::representative_size(int cls) const {
+  WADP_CHECK(cls >= 0 && cls < num_classes());
+  if (cls == static_cast<int>(boundaries_.size())) {
+    return boundaries_.back() + boundaries_.back() / 3;
+  }
+  const Bytes lo = cls == 0 ? 0 : boundaries_[static_cast<std::size_t>(cls) - 1];
+  const Bytes hi = boundaries_[static_cast<std::size_t>(cls)];
+  return lo + (hi - lo + 1) / 2;
+}
+
+}  // namespace wadp::predict

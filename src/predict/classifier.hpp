@@ -1,0 +1,57 @@
+// File-size classification (the paper's context-sensitive factor).
+//
+// Section 4.3: transfer rates correlate strongly with file size (TCP
+// startup overhead penalizes small transfers), so filtering the history
+// to transfers of similar size improves predictions by 5–10%.  The
+// paper's testbed classes are 0–50 MB, 50–250 MB, 250–750 MB, >750 MB;
+// its figures label them by representative sizes 10 MB, 100 MB, 500 MB,
+// 1 GB.  Boundaries are configurable because the paper itself notes the
+// classes "apply to the set of hosts for our testbed only".
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace wadp::predict {
+
+class SizeClassifier {
+ public:
+  /// `boundaries` are ascending upper bounds; class i holds sizes in
+  /// (boundaries[i-1], boundaries[i]], and the last class is open-ended.
+  /// Class count = boundaries.size() + 1.
+  explicit SizeClassifier(std::vector<Bytes> boundaries);
+
+  /// The paper's testbed classes (Section 4.3).
+  static SizeClassifier paper_classes();
+
+  int num_classes() const { return static_cast<int>(boundaries_.size()) + 1; }
+
+  /// Class index in [0, num_classes) for a file size.
+  int classify(Bytes file_size) const;
+
+  /// True when both sizes fall in the same class.
+  bool same_class(Bytes a, Bytes b) const {
+    return classify(a) == classify(b);
+  }
+
+  /// Range label, e.g. "0-50MB", "50-250MB", ">750MB".
+  std::string class_name(int cls) const;
+
+  /// The paper's figure label for the class ("10MB", "100MB", "500MB",
+  /// "1GB" for the default classes; midpoint-based otherwise).
+  std::string class_label(int cls) const;
+
+  /// Some file size guaranteed to classify into `cls` (class midpoint;
+  /// 4/3 of the top boundary for the open-ended class).  Used when a
+  /// caller needs to query "a transfer of this class" generically.
+  Bytes representative_size(int cls) const;
+
+  const std::vector<Bytes>& boundaries() const { return boundaries_; }
+
+ private:
+  std::vector<Bytes> boundaries_;
+};
+
+}  // namespace wadp::predict

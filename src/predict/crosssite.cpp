@@ -1,0 +1,119 @@
+#include "predict/crosssite.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace wadp::predict {
+
+void CrossSiteEstimator::observe(const std::string& source_site,
+                                 const std::string& sink_site,
+                                 Bandwidth value) {
+  WADP_CHECK_MSG(value > 0.0, "bandwidth must be positive");
+  auto& stats = pairs_[{source_site, sink_site}];
+  stats.log_sum += std::log(value);
+  ++stats.count;
+  ++total_observations_;
+  dirty_ = true;
+}
+
+std::optional<Bandwidth> CrossSiteEstimator::observed_mean(
+    const std::string& source_site, const std::string& sink_site) const {
+  const auto it = pairs_.find({source_site, sink_site});
+  if (it == pairs_.end()) return std::nullopt;
+  return std::exp(it->second.mean_log());
+}
+
+void CrossSiteEstimator::fit() const {
+  if (!dirty_) return;
+  dirty_ = false;
+  source_effects_.clear();
+  sink_effects_.clear();
+  if (pairs_.empty()) {
+    mu_ = 0.0;
+    return;
+  }
+
+  // Initialize factors at zero; mu at the grand weighted mean.
+  double weighted_sum = 0.0;
+  double weight = 0.0;
+  for (const auto& [key, stats] : pairs_) {
+    weighted_sum += stats.log_sum;
+    weight += static_cast<double>(stats.count);
+    source_effects_[key.first];  // default-insert 0.0
+    sink_effects_[key.second];
+  }
+  mu_ = weighted_sum / weight;
+
+  // Alternating least squares; each sweep solves one factor family
+  // exactly given the others, so the objective is non-increasing and
+  // converges in a handful of sweeps for these tiny systems.
+  for (int sweep = 0; sweep < 50; ++sweep) {
+    double max_delta = 0.0;
+    for (auto& [site, effect] : source_effects_) {
+      double num = 0.0, den = 0.0;
+      for (const auto& [key, stats] : pairs_) {
+        if (key.first != site) continue;
+        const double w = static_cast<double>(stats.count);
+        num += w * (stats.mean_log() - mu_ - sink_effects_[key.second]);
+        den += w;
+      }
+      const double updated = den > 0.0 ? num / den : 0.0;
+      max_delta = std::max(max_delta, std::abs(updated - effect));
+      effect = updated;
+    }
+    for (auto& [site, effect] : sink_effects_) {
+      double num = 0.0, den = 0.0;
+      for (const auto& [key, stats] : pairs_) {
+        if (key.second != site) continue;
+        const double w = static_cast<double>(stats.count);
+        num += w * (stats.mean_log() - mu_ - source_effects_[key.first]);
+        den += w;
+      }
+      const double updated = den > 0.0 ? num / den : 0.0;
+      max_delta = std::max(max_delta, std::abs(updated - effect));
+      effect = updated;
+    }
+    if (max_delta < 1e-12) break;
+  }
+
+  // Re-center: move the factor means into mu (sum-to-zero constraints).
+  const auto center = [](std::map<std::string, double>& effects) {
+    double mean = 0.0;
+    for (const auto& [site, e] : effects) mean += e;
+    mean /= static_cast<double>(effects.size());
+    for (auto& [site, e] : effects) e -= mean;
+    return mean;
+  };
+  mu_ += center(source_effects_);
+  mu_ += center(sink_effects_);
+}
+
+std::optional<Bandwidth> CrossSiteEstimator::estimate(
+    const std::string& source_site, const std::string& sink_site) const {
+  fit();
+  const auto src = source_effects_.find(source_site);
+  const auto dst = sink_effects_.find(sink_site);
+  if (src == source_effects_.end() || dst == sink_effects_.end()) {
+    return std::nullopt;
+  }
+  return std::exp(mu_ + src->second + dst->second);
+}
+
+std::optional<double> CrossSiteEstimator::source_factor(
+    const std::string& site) const {
+  fit();
+  const auto it = source_effects_.find(site);
+  if (it == source_effects_.end()) return std::nullopt;
+  return std::exp(it->second);
+}
+
+std::optional<double> CrossSiteEstimator::sink_factor(
+    const std::string& site) const {
+  fit();
+  const auto it = sink_effects_.find(site);
+  if (it == sink_effects_.end()) return std::nullopt;
+  return std::exp(it->second);
+}
+
+}  // namespace wadp::predict

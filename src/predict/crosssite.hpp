@@ -1,0 +1,72 @@
+// Cross-site extrapolation: predicting pairs never observed.
+//
+// Section 7 names as future work "techniques that will let us
+// extrapolate data when there is no previous transfer data between two
+// sites", citing Faerman et al.'s adaptive regression [13].  This
+// module implements the natural first such technique: a multiplicative
+// site-factor model.  Each site contributes a source capability and a
+// sink capability, and
+//
+//     log bw(s -> d)  ~=  mu + a_s + b_d
+//
+// is fit by alternating least squares over every observed pair (with
+// sum(a) = sum(b) = 0 for identifiability).  A pair nobody has ever
+// transferred over can then be estimated from its endpoints' factors,
+// provided each endpoint was seen in that role on some other pair.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace wadp::predict {
+
+class CrossSiteEstimator {
+ public:
+  /// Records one measured transfer on source -> sink.
+  void observe(const std::string& source_site, const std::string& sink_site,
+               Bandwidth value);
+
+  /// Estimated bandwidth for the (possibly unobserved) pair.  nullopt
+  /// when the source was never seen sending or the sink never seen
+  /// receiving anywhere.
+  std::optional<Bandwidth> estimate(const std::string& source_site,
+                                    const std::string& sink_site) const;
+
+  /// Direct per-pair geometric-mean estimate; nullopt for unobserved
+  /// pairs.  estimate() should agree with this on observed pairs up to
+  /// model residual — tests rely on that.
+  std::optional<Bandwidth> observed_mean(const std::string& source_site,
+                                         const std::string& sink_site) const;
+
+  std::size_t observed_pairs() const { return pairs_.size(); }
+  std::size_t observations() const { return total_observations_; }
+
+  /// Fitted factors (for diagnostics): multiplicative source / sink
+  /// capability relative to the grid mean.  nullopt for unknown sites.
+  std::optional<double> source_factor(const std::string& site) const;
+  std::optional<double> sink_factor(const std::string& site) const;
+
+ private:
+  struct PairStats {
+    double log_sum = 0.0;
+    std::size_t count = 0;
+    double mean_log() const { return log_sum / static_cast<double>(count); }
+  };
+
+  void fit() const;
+
+  std::map<std::pair<std::string, std::string>, PairStats> pairs_;
+  std::size_t total_observations_ = 0;
+
+  // Lazily recomputed on estimate()/factor access after new data.
+  mutable bool dirty_ = true;
+  mutable double mu_ = 0.0;
+  mutable std::map<std::string, double> source_effects_;
+  mutable std::map<std::string, double> sink_effects_;
+};
+
+}  // namespace wadp::predict

@@ -1,0 +1,197 @@
+#include "predict/evaluator.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <limits>
+#include <thread>
+
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace wadp::predict {
+
+void ErrorStats::add(double error) {
+  if (count == 0) {
+    min = max = error;
+  } else {
+    min = std::min(min, error);
+    max = std::max(max, error);
+  }
+  ++count;
+  sum += error;
+  sum_sq += error * error;
+}
+
+double ErrorStats::stddev() const {
+  if (count < 2) return 0.0;
+  const double m = mean();
+  const double var = sum_sq / static_cast<double>(count) - m * m;
+  return var > 0.0 ? std::sqrt(var) : 0.0;
+}
+
+EvaluationResult::EvaluationResult(std::vector<std::string> predictor_names,
+                                   int num_classes)
+    : names_(std::move(predictor_names)), num_classes_(num_classes) {
+  WADP_CHECK(num_classes_ >= 1);
+  const std::size_t slots =
+      names_.size() * (static_cast<std::size_t>(num_classes_) + 1);
+  errors_.resize(slots);
+  relative_.resize(slots);
+  transfers_per_class_.assign(static_cast<std::size_t>(num_classes_) + 1, 0);
+}
+
+std::size_t EvaluationResult::slot(std::size_t predictor, int cls) const {
+  WADP_CHECK(predictor < names_.size());
+  WADP_CHECK(cls >= kAllClasses && cls < num_classes_);
+  const std::size_t class_slot = static_cast<std::size_t>(cls + 1);  // -1 -> 0
+  return predictor * (static_cast<std::size_t>(num_classes_) + 1) + class_slot;
+}
+
+const ErrorStats& EvaluationResult::errors(std::size_t predictor,
+                                           int cls) const {
+  return errors_[slot(predictor, cls)];
+}
+
+const RelativeStats& EvaluationResult::relative(std::size_t predictor,
+                                                int cls) const {
+  return relative_[slot(predictor, cls)];
+}
+
+std::size_t EvaluationResult::evaluated_transfers(int cls) const {
+  WADP_CHECK(cls >= kAllClasses && cls < num_classes_);
+  return transfers_per_class_[static_cast<std::size_t>(cls + 1)];
+}
+
+std::optional<std::size_t> EvaluationResult::index_of(
+    std::string_view name) const {
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return i;
+  }
+  return std::nullopt;
+}
+
+std::vector<double> error_values(const EvaluationResult& result,
+                                 std::size_t predictor, int cls) {
+  WADP_CHECK(predictor < result.predictor_names().size());
+  std::vector<double> out;
+  for (const auto& sample : result.samples()) {
+    if (cls != EvaluationResult::kAllClasses && sample.size_class != cls) {
+      continue;
+    }
+    const auto& prediction = sample.predictions[predictor];
+    if (!prediction) continue;
+    out.push_back(util::percent_error(sample.measured, *prediction));
+  }
+  return out;
+}
+
+EvaluationResult Evaluator::run(
+    std::span<const Observation> series,
+    const std::vector<const Predictor*>& predictors) const {
+  std::vector<std::string> names;
+  names.reserve(predictors.size());
+  for (const auto* p : predictors) {
+    WADP_CHECK(p != nullptr);
+    names.push_back(p->name());
+  }
+  EvaluationResult result(std::move(names), config_.classifier.num_classes());
+
+  // Phase 1: the prediction matrix.  Each predictor's column depends
+  // only on the (shared, read-only) series, so columns compute in
+  // parallel; aggregation below stays serial and order-deterministic,
+  // making the parallel run bit-identical to the serial one.
+  const std::size_t evaluated =
+      series.size() > config_.training_count
+          ? series.size() - config_.training_count
+          : 0;
+  std::vector<std::vector<std::optional<Bandwidth>>> matrix(predictors.size());
+  const auto compute_column = [&](std::size_t p) {
+    auto& column = matrix[p];
+    column.resize(evaluated);
+    for (std::size_t i = config_.training_count; i < series.size(); ++i) {
+      const Observation& actual = series[i];
+      column[i - config_.training_count] = predictors[p]->predict(
+          series.first(i),
+          Query{.time = actual.time, .file_size = actual.file_size});
+    }
+  };
+  const unsigned workers =
+      std::min<unsigned>(config_.threads,
+                         static_cast<unsigned>(predictors.size()));
+  if (workers <= 1) {
+    for (std::size_t p = 0; p < predictors.size(); ++p) compute_column(p);
+  } else {
+    std::atomic<std::size_t> next{0};
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w) {
+      pool.emplace_back([&] {
+        for (std::size_t p = next.fetch_add(1); p < matrix.size();
+             p = next.fetch_add(1)) {
+          compute_column(p);
+        }
+      });
+    }
+    for (auto& worker : pool) worker.join();
+  }
+
+  // Ties within this relative tolerance share best/worst credit.
+  constexpr double kTieEpsilon = 1e-9;
+
+  for (std::size_t i = config_.training_count; i < series.size(); ++i) {
+    const Observation& actual = series[i];
+    WADP_CHECK_MSG(actual.value > 0.0, "non-positive measured bandwidth");
+    const int cls = config_.classifier.classify(actual.file_size);
+
+    ++result.transfers_per_class_[0];
+    ++result.transfers_per_class_[static_cast<std::size_t>(cls) + 1];
+
+    EvalSample sample;
+    if (config_.keep_samples) {
+      sample.time = actual.time;
+      sample.file_size = actual.file_size;
+      sample.size_class = cls;
+      sample.measured = actual.value;
+      sample.predictions.resize(predictors.size());
+    }
+
+    std::vector<double> errors(predictors.size(),
+                               std::numeric_limits<double>::quiet_NaN());
+    double best = std::numeric_limits<double>::infinity();
+    double worst = -std::numeric_limits<double>::infinity();
+    for (std::size_t p = 0; p < predictors.size(); ++p) {
+      const auto prediction = matrix[p][i - config_.training_count];
+      if (config_.keep_samples) sample.predictions[p] = prediction;
+      if (!prediction) continue;
+      const double err = util::percent_error(actual.value, *prediction);
+      errors[p] = err;
+      best = std::min(best, err);
+      worst = std::max(worst, err);
+      result.errors_[result.slot(p, EvaluationResult::kAllClasses)].add(err);
+      result.errors_[result.slot(p, cls)].add(err);
+    }
+
+    for (std::size_t p = 0; p < predictors.size(); ++p) {
+      if (std::isnan(errors[p])) continue;
+      auto& overall = result.relative_[result.slot(p, EvaluationResult::kAllClasses)];
+      auto& in_class = result.relative_[result.slot(p, cls)];
+      ++overall.opportunities;
+      ++in_class.opportunities;
+      if (errors[p] <= best + kTieEpsilon) {
+        ++overall.best;
+        ++in_class.best;
+      }
+      if (errors[p] >= worst - kTieEpsilon) {
+        ++overall.worst;
+        ++in_class.worst;
+      }
+    }
+
+    if (config_.keep_samples) result.samples_.push_back(std::move(sample));
+  }
+
+  return result;
+}
+
+}  // namespace wadp::predict

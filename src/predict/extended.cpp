@@ -1,0 +1,129 @@
+#include "predict/extended.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace wadp::predict {
+
+EwmaPredictor::EwmaPredictor(std::string name, double alpha, WindowSpec window)
+    : Predictor(std::move(name)), alpha_(alpha), window_(window) {
+  WADP_CHECK(alpha_ > 0.0 && alpha_ <= 1.0);
+}
+
+std::optional<Bandwidth> EwmaPredictor::predict(
+    std::span<const Observation> history, const Query& query) const {
+  const auto window = window_.apply(history, query.time);
+  if (window.empty()) return std::nullopt;
+  double smoothed = window.front().value;
+  for (std::size_t i = 1; i < window.size(); ++i) {
+    smoothed = alpha_ * window[i].value + (1.0 - alpha_) * smoothed;
+  }
+  return smoothed;
+}
+
+SizeRegressionPredictor::SizeRegressionPredictor(std::string name,
+                                                 WindowSpec window,
+                                                 std::size_t min_samples)
+    : Predictor(std::move(name)), window_(window), min_samples_(min_samples) {
+  WADP_CHECK(min_samples_ >= 2);
+}
+
+std::optional<Bandwidth> SizeRegressionPredictor::predict(
+    std::span<const Observation> history, const Query& query) const {
+  const auto window = window_.apply(history, query.time);
+  if (window.size() < min_samples_) return std::nullopt;
+
+  std::vector<double> log_sizes, values;
+  log_sizes.reserve(window.size());
+  values.reserve(window.size());
+  for (const auto& o : window) {
+    if (o.file_size == 0) continue;
+    log_sizes.push_back(std::log10(static_cast<double>(o.file_size)));
+    values.push_back(o.value);
+  }
+  if (log_sizes.size() < min_samples_) return std::nullopt;
+
+  if (const auto fit = util::linear_fit(log_sizes, values)) {
+    const double x = std::log10(static_cast<double>(std::max<Bytes>(query.file_size, 1)));
+    return std::max(0.0, fit->intercept + fit->slope * x);
+  }
+  // Constant regressor (all files the same size): plain mean.
+  return util::mean(values);
+}
+
+AdaptiveWindowPredictor::AdaptiveWindowPredictor(
+    std::string name, std::vector<std::size_t> candidate_windows,
+    std::size_t holdout)
+    : Predictor(std::move(name)),
+      candidates_(std::move(candidate_windows)),
+      holdout_(holdout) {
+  WADP_CHECK(!candidates_.empty());
+  WADP_CHECK(holdout_ >= 1);
+  for (const auto n : candidates_) WADP_CHECK(n >= 1);
+}
+
+std::optional<std::size_t> AdaptiveWindowPredictor::chosen_window(
+    std::span<const Observation> history) const {
+  // Score each candidate on the last `holdout` observations: predict
+  // history[i] from history[0..i) with a last-N mean.
+  if (history.size() < 2) return std::nullopt;
+  const std::size_t first =
+      history.size() > holdout_ ? history.size() - holdout_ : 1;
+
+  std::size_t best = candidates_.front();
+  double best_error = std::numeric_limits<double>::infinity();
+  for (const std::size_t n : candidates_) {
+    double error_sum = 0.0;
+    std::size_t count = 0;
+    for (std::size_t i = first; i < history.size(); ++i) {
+      const auto prior = history.first(i);
+      const std::size_t take = std::min(n, prior.size());
+      double sum = 0.0;
+      for (std::size_t j = prior.size() - take; j < prior.size(); ++j) {
+        sum += prior[j].value;
+      }
+      const double predicted = sum / static_cast<double>(take);
+      if (history[i].value > 0.0) {
+        error_sum += util::percent_error(history[i].value, predicted);
+        ++count;
+      }
+    }
+    if (count == 0) continue;
+    const double mean_error = error_sum / static_cast<double>(count);
+    if (mean_error < best_error) {
+      best_error = mean_error;
+      best = n;
+    }
+  }
+  if (!std::isfinite(best_error)) return std::nullopt;
+  return best;
+}
+
+std::optional<Bandwidth> AdaptiveWindowPredictor::predict(
+    std::span<const Observation> history, const Query& query) const {
+  if (history.empty()) return std::nullopt;
+  const auto window = chosen_window(history);
+  const std::size_t n = window.value_or(candidates_.front());
+  return MeanPredictor("tmp", WindowSpec::last_n(n)).predict(history, query);
+}
+
+PredictorSuite extended_suite(SizeClassifier classifier) {
+  PredictorSuite suite = PredictorSuite::paper_suite(classifier);
+  const auto add_both = [&](std::shared_ptr<const Predictor> p) {
+    suite.add(std::make_shared<ClassifiedPredictor>(p, classifier));
+    suite.add(std::move(p));
+  };
+  add_both(std::make_shared<EwmaPredictor>("EWMA0.2", 0.2));
+  add_both(std::make_shared<EwmaPredictor>("EWMA0.5", 0.5));
+  suite.add(std::make_shared<SizeRegressionPredictor>("SREG"));
+  suite.add(std::make_shared<SizeRegressionPredictor>(
+      "SREG25", WindowSpec::last_n(25)));
+  add_both(std::make_shared<AdaptiveWindowPredictor>("ADAPT"));
+  return suite;
+}
+
+}  // namespace wadp::predict

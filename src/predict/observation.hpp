@@ -1,0 +1,26 @@
+// The data a predictor consumes and the question it answers.
+//
+// Observations are past transfer measurements (from the instrumented
+// GridFTP log) reduced to what prediction needs: when, how fast, and —
+// for the paper's context-sensitive filtering — how large the file was.
+// A Query describes the upcoming transfer being predicted.
+#pragma once
+
+#include "util/types.hpp"
+
+namespace wadp::predict {
+
+struct Observation {
+  SimTime time = 0.0;      ///< completion time of the measured transfer
+  Bandwidth value = 0.0;   ///< achieved end-to-end bandwidth, bytes/s
+  Bytes file_size = 0;     ///< size of the transferred file
+
+  bool operator==(const Observation&) const = default;
+};
+
+struct Query {
+  SimTime time = 0.0;   ///< "now": the instant the prediction is made
+  Bytes file_size = 0;  ///< size of the transfer being predicted
+};
+
+}  // namespace wadp::predict

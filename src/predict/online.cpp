@@ -1,0 +1,84 @@
+#include "predict/online.hpp"
+
+#include <limits>
+
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace wadp::predict {
+
+HistoryPredictor::HistoryPredictor(std::shared_ptr<const Predictor> base)
+    : OnlinePredictor(base->name()), base_(std::move(base)) {}
+
+void HistoryPredictor::observe(const Observation& observation) {
+  WADP_CHECK_MSG(history_.empty() || observation.time >= history_.back().time,
+                 "observations must arrive in time order");
+  history_.push_back(observation);
+}
+
+std::optional<Bandwidth> HistoryPredictor::predict(const Query& query) const {
+  return base_->predict(history_, query);
+}
+
+DynamicSelector::DynamicSelector(
+    std::string name, std::vector<std::shared_ptr<const Predictor>> candidates)
+    : OnlinePredictor(std::move(name)), candidates_(std::move(candidates)) {
+  WADP_CHECK_MSG(!candidates_.empty(), "selector needs candidates");
+  for (const auto& c : candidates_) WADP_CHECK(c != nullptr);
+  error_sum_.assign(candidates_.size(), 0.0);
+  error_count_.assign(candidates_.size(), 0);
+}
+
+void DynamicSelector::observe(const Observation& observation) {
+  WADP_CHECK_MSG(history_.empty() || observation.time >= history_.back().time,
+                 "observations must arrive in time order");
+  // Score every candidate on this measurement *before* absorbing it —
+  // exactly the postmortem NWS runs on each new sensor reading.
+  if (observation.value > 0.0) {
+    const Query query{.time = observation.time,
+                      .file_size = observation.file_size};
+    for (std::size_t i = 0; i < candidates_.size(); ++i) {
+      if (const auto p = candidates_[i]->predict(history_, query)) {
+        error_sum_[i] += util::percent_error(observation.value, *p);
+        ++error_count_[i];
+      }
+    }
+  }
+  history_.push_back(observation);
+}
+
+std::size_t DynamicSelector::best_index() const {
+  std::size_t best = 0;
+  double best_mean = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < candidates_.size(); ++i) {
+    if (error_count_[i] == 0) continue;
+    const double mean = error_sum_[i] / static_cast<double>(error_count_[i]);
+    if (mean < best_mean) {
+      best_mean = mean;
+      best = i;
+    }
+  }
+  return best;  // index 0 until anyone has a track record
+}
+
+std::optional<Bandwidth> DynamicSelector::predict(const Query& query) const {
+  return candidates_[best_index()]->predict(history_, query);
+}
+
+const std::string& DynamicSelector::current_choice() const {
+  return candidates_[best_index()]->name();
+}
+
+std::vector<std::pair<std::string, double>> DynamicSelector::scores() const {
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(candidates_.size());
+  for (std::size_t i = 0; i < candidates_.size(); ++i) {
+    const double mean =
+        error_count_[i] ? error_sum_[i] / static_cast<double>(error_count_[i])
+                        : std::numeric_limits<double>::quiet_NaN();
+    out.emplace_back(candidates_[i]->name(), mean);
+  }
+  return out;
+}
+
+}  // namespace wadp::predict

@@ -1,0 +1,81 @@
+// Online prediction: stateful predictors fed one measurement at a time.
+//
+// Two uses: (1) live services (the MDS information provider, the
+// replica broker) that keep a rolling history and answer queries as
+// transfers arrive; (2) the paper's named future work — NWS-style
+// *dynamic* predictor selection, where the forecaster that has been
+// most accurate so far answers the next query (Wolski 1998, cited as
+// [42]).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "predict/observation.hpp"
+#include "predict/predictors.hpp"
+
+namespace wadp::predict {
+
+class OnlinePredictor {
+ public:
+  virtual ~OnlinePredictor() = default;
+  const std::string& name() const { return name_; }
+
+  /// Feeds one measurement (must be time-ordered across calls).
+  virtual void observe(const Observation& observation) = 0;
+
+  /// Predicts for `query` from everything observed so far.
+  virtual std::optional<Bandwidth> predict(const Query& query) const = 0;
+
+ protected:
+  explicit OnlinePredictor(std::string name) : name_(std::move(name)) {}
+
+ private:
+  std::string name_;
+};
+
+/// Adapts a stateless Predictor by accumulating its history.
+class HistoryPredictor final : public OnlinePredictor {
+ public:
+  explicit HistoryPredictor(std::shared_ptr<const Predictor> base);
+
+  void observe(const Observation& observation) override;
+  std::optional<Bandwidth> predict(const Query& query) const override;
+
+  const std::vector<Observation>& history() const { return history_; }
+
+ private:
+  std::shared_ptr<const Predictor> base_;
+  std::vector<Observation> history_;
+};
+
+/// NWS-style dynamic selection over a battery of stateless predictors:
+/// before absorbing each measurement, every candidate is scored on it;
+/// predict() delegates to the candidate with the lowest mean percentage
+/// error so far (the first candidate until any has a track record).
+class DynamicSelector final : public OnlinePredictor {
+ public:
+  DynamicSelector(std::string name,
+                  std::vector<std::shared_ptr<const Predictor>> candidates);
+
+  void observe(const Observation& observation) override;
+  std::optional<Bandwidth> predict(const Query& query) const override;
+
+  /// Name of the candidate predict() currently delegates to.
+  const std::string& current_choice() const;
+
+  /// Mean percentage error accumulated per candidate (test/diagnostics).
+  std::vector<std::pair<std::string, double>> scores() const;
+
+ private:
+  std::size_t best_index() const;
+
+  std::vector<std::shared_ptr<const Predictor>> candidates_;
+  std::vector<Observation> history_;
+  std::vector<double> error_sum_;
+  std::vector<std::size_t> error_count_;
+};
+
+}  // namespace wadp::predict

@@ -1,0 +1,115 @@
+// The predictor battery (Section 4).
+//
+// A Predictor is a pure function of the (time-ordered) measurement
+// history and a query: it returns the expected bandwidth of the next
+// transfer, or nullopt when the history it is allowed to see is too
+// thin.  Three mathematical families (Section 4.1) — mean-based,
+// median-based, and the degenerate ARIMA regression Y_t = a + b*Y_{t-1}
+// — are each combined with a history window (Section 4.2), and any
+// predictor can be wrapped in file-size classification (Section 4.3).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "predict/classifier.hpp"
+#include "predict/observation.hpp"
+#include "predict/window.hpp"
+#include "util/types.hpp"
+
+namespace wadp::predict {
+
+class Predictor {
+ public:
+  virtual ~Predictor() = default;
+
+  /// Short stable name ("AVG25", "MED5", "AR10d"), as in Fig. 4.
+  const std::string& name() const { return name_; }
+
+  /// Predicted bandwidth (bytes/s) for `query` given `history`, which
+  /// must be ordered by Observation::time.  nullopt when the usable
+  /// subset of the history is insufficient for this technique.
+  virtual std::optional<Bandwidth> predict(
+      std::span<const Observation> history, const Query& query) const = 0;
+
+ protected:
+  explicit Predictor(std::string name) : name_(std::move(name)) {}
+
+ private:
+  std::string name_;
+};
+
+/// Arithmetic mean over a window (AVG, AVG5/15/25, AVG5hr/15hr/25hr).
+class MeanPredictor final : public Predictor {
+ public:
+  MeanPredictor(std::string name, WindowSpec window);
+  std::optional<Bandwidth> predict(std::span<const Observation> history,
+                                   const Query& query) const override;
+  const WindowSpec& window() const { return window_; }
+
+ private:
+  WindowSpec window_;
+};
+
+/// Median over a window (MED, MED5/15/25).  Robust to asymmetric
+/// outliers, jittery on smooth data (Section 4.1).
+class MedianPredictor final : public Predictor {
+ public:
+  MedianPredictor(std::string name, WindowSpec window);
+  std::optional<Bandwidth> predict(std::span<const Observation> history,
+                                   const Query& query) const override;
+  const WindowSpec& window() const { return window_; }
+
+ private:
+  WindowSpec window_;
+};
+
+/// The degenerate sliding-window case: the last measurement (LV).
+class LastValuePredictor final : public Predictor {
+ public:
+  explicit LastValuePredictor(std::string name = "LV");
+  std::optional<Bandwidth> predict(std::span<const Observation> history,
+                                   const Query& query) const override;
+};
+
+/// The paper's ARIMA-model technique: ordinary least squares on
+/// (Y_{t-1}, Y_t) pairs in the window, predicting a + b*Y_last.
+/// Needs min_samples history points (the paper notes the technique
+/// really wants >= 50 equally spaced samples; we enforce only a small
+/// floor and let the evaluation show the consequences, as the paper's
+/// does).  Predictions are clamped to be non-negative.
+class ArPredictor final : public Predictor {
+ public:
+  ArPredictor(std::string name, WindowSpec window, std::size_t min_samples = 3);
+  std::optional<Bandwidth> predict(std::span<const Observation> history,
+                                   const Query& query) const override;
+  const WindowSpec& window() const { return window_; }
+
+ private:
+  WindowSpec window_;
+  std::size_t min_samples_;
+};
+
+/// Context-sensitive wrapper: filters the history to observations in
+/// the same size class as the query, then delegates.  This is the
+/// "file-size classification" of Section 4.3 applied to any base
+/// technique.
+class ClassifiedPredictor final : public Predictor {
+ public:
+  /// Named "<base>/fs" by default ("fs" = filtered by file size).
+  ClassifiedPredictor(std::shared_ptr<const Predictor> base,
+                      SizeClassifier classifier);
+  std::optional<Bandwidth> predict(std::span<const Observation> history,
+                                   const Query& query) const override;
+  const Predictor& base() const { return *base_; }
+  const SizeClassifier& classifier() const { return classifier_; }
+
+ private:
+  std::shared_ptr<const Predictor> base_;
+  SizeClassifier classifier_;
+};
+
+}  // namespace wadp::predict

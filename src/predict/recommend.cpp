@@ -1,0 +1,30 @@
+#include "predict/recommend.hpp"
+
+#include <algorithm>
+
+namespace wadp::predict {
+
+std::optional<Recommendation> recommend(std::span<const Observation> series,
+                                        const PredictorSuite& suite,
+                                        const EvalConfig& config) {
+  EvalConfig eval_config = config;
+  eval_config.keep_samples = false;  // ranking only needs aggregates
+  const Evaluator evaluator(eval_config);
+  const auto result = evaluator.run(series, suite.pointers());
+
+  Recommendation recommendation;
+  for (std::size_t p = 0; p < suite.size(); ++p) {
+    const auto& errors = result.errors(p);
+    if (errors.count == 0) continue;
+    recommendation.ranking.emplace_back(result.predictor_names()[p],
+                                        errors.mean());
+  }
+  if (recommendation.ranking.empty()) return std::nullopt;
+  std::sort(recommendation.ranking.begin(), recommendation.ranking.end(),
+            [](const auto& a, const auto& b) { return a.second < b.second; });
+  recommendation.predictor = recommendation.ranking.front().first;
+  recommendation.mean_error = recommendation.ranking.front().second;
+  return recommendation;
+}
+
+}  // namespace wadp::predict

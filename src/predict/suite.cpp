@@ -1,0 +1,94 @@
+#include "predict/suite.hpp"
+
+#include "util/error.hpp"
+#include "util/time.hpp"
+
+namespace wadp::predict {
+namespace {
+
+using util::kSecondsPerDay;
+using util::kSecondsPerHour;
+
+std::vector<std::shared_ptr<const Predictor>> build_base_fifteen() {
+  std::vector<std::shared_ptr<const Predictor>> out;
+  // Mean-based (Fig. 4 column 1).
+  out.push_back(std::make_shared<MeanPredictor>("AVG", WindowSpec::all()));
+  out.push_back(std::make_shared<LastValuePredictor>("LV"));
+  out.push_back(std::make_shared<MeanPredictor>("AVG5", WindowSpec::last_n(5)));
+  out.push_back(std::make_shared<MeanPredictor>("AVG15", WindowSpec::last_n(15)));
+  out.push_back(std::make_shared<MeanPredictor>("AVG25", WindowSpec::last_n(25)));
+  out.push_back(std::make_shared<MeanPredictor>(
+      "AVG5hr", WindowSpec::last_duration(5 * kSecondsPerHour)));
+  out.push_back(std::make_shared<MeanPredictor>(
+      "AVG15hr", WindowSpec::last_duration(15 * kSecondsPerHour)));
+  out.push_back(std::make_shared<MeanPredictor>(
+      "AVG25hr", WindowSpec::last_duration(25 * kSecondsPerHour)));
+  // Median-based (column 2).
+  out.push_back(std::make_shared<MedianPredictor>("MED", WindowSpec::all()));
+  out.push_back(std::make_shared<MedianPredictor>("MED5", WindowSpec::last_n(5)));
+  out.push_back(std::make_shared<MedianPredictor>("MED15", WindowSpec::last_n(15)));
+  out.push_back(std::make_shared<MedianPredictor>("MED25", WindowSpec::last_n(25)));
+  // ARIMA model (column 3).
+  out.push_back(std::make_shared<ArPredictor>("AR", WindowSpec::all()));
+  out.push_back(std::make_shared<ArPredictor>(
+      "AR5d", WindowSpec::last_duration(5 * kSecondsPerDay)));
+  out.push_back(std::make_shared<ArPredictor>(
+      "AR10d", WindowSpec::last_duration(10 * kSecondsPerDay)));
+  return out;
+}
+
+}  // namespace
+
+void PredictorSuite::add(std::shared_ptr<const Predictor> predictor) {
+  WADP_CHECK(predictor != nullptr);
+  WADP_CHECK_MSG(find(predictor->name()) == nullptr,
+                 "duplicate predictor name in suite");
+  predictors_.push_back(std::move(predictor));
+}
+
+PredictorSuite PredictorSuite::context_insensitive() {
+  PredictorSuite suite;
+  for (auto& p : build_base_fifteen()) suite.add(std::move(p));
+  return suite;
+}
+
+PredictorSuite PredictorSuite::context_sensitive(SizeClassifier classifier) {
+  PredictorSuite suite;
+  for (auto& p : build_base_fifteen()) {
+    suite.add(std::make_shared<ClassifiedPredictor>(std::move(p), classifier));
+  }
+  return suite;
+}
+
+PredictorSuite PredictorSuite::paper_suite(SizeClassifier classifier) {
+  PredictorSuite suite;
+  for (auto& p : build_base_fifteen()) suite.add(std::move(p));
+  for (auto& p : build_base_fifteen()) {
+    suite.add(std::make_shared<ClassifiedPredictor>(std::move(p), classifier));
+  }
+  return suite;
+}
+
+const Predictor* PredictorSuite::find(std::string_view name) const {
+  for (const auto& p : predictors_) {
+    if (p->name() == name) return p.get();
+  }
+  return nullptr;
+}
+
+std::vector<const Predictor*> PredictorSuite::pointers() const {
+  std::vector<const Predictor*> out;
+  out.reserve(predictors_.size());
+  for (const auto& p : predictors_) out.push_back(p.get());
+  return out;
+}
+
+const std::vector<std::string>& PredictorSuite::figure4_names() {
+  static const std::vector<std::string> kNames = {
+      "AVG",    "LV",      "AVG5",    "AVG15", "AVG25",
+      "AVG5hr", "AVG15hr", "AVG25hr", "MED",   "MED5",
+      "MED15",  "MED25",   "AR",      "AR5d",  "AR10d"};
+  return kNames;
+}
+
+}  // namespace wadp::predict

@@ -1,0 +1,53 @@
+// The paper's predictor set (Fig. 4 / Section 4.4): fifteen
+// context-insensitive predictors, and the same fifteen applied to
+// history partitioned by file size — thirty in total.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "predict/classifier.hpp"
+#include "predict/predictors.hpp"
+
+namespace wadp::predict {
+
+class PredictorSuite {
+ public:
+  /// Builds the thirty predictors of Section 4.4 using `classifier` for
+  /// the context-sensitive half.
+  static PredictorSuite paper_suite(
+      SizeClassifier classifier = SizeClassifier::paper_classes());
+
+  /// Only the fifteen context-insensitive predictors of Fig. 4.
+  static PredictorSuite context_insensitive();
+
+  /// The context-sensitive fifteen ("<name>/fs").
+  static PredictorSuite context_sensitive(
+      SizeClassifier classifier = SizeClassifier::paper_classes());
+
+  /// An empty suite to assemble custom batteries.
+  PredictorSuite() = default;
+
+  void add(std::shared_ptr<const Predictor> predictor);
+
+  const std::vector<std::shared_ptr<const Predictor>>& predictors() const {
+    return predictors_;
+  }
+  std::size_t size() const { return predictors_.size(); }
+
+  /// Lookup by Fig. 4 name ("AVG15", "MED5/fs"); nullptr when absent.
+  const Predictor* find(std::string_view name) const;
+
+  /// Raw pointers in suite order, for the evaluator API.
+  std::vector<const Predictor*> pointers() const;
+
+  /// The fifteen Fig. 4 names in figure order.
+  static const std::vector<std::string>& figure4_names();
+
+ private:
+  std::vector<std::shared_ptr<const Predictor>> predictors_;
+};
+
+}  // namespace wadp::predict

@@ -1,0 +1,67 @@
+#include "predict/window.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+#include "util/time.hpp"
+
+namespace wadp::predict {
+
+WindowSpec WindowSpec::all() { return WindowSpec(Kind::kAll, 0, 0.0); }
+
+WindowSpec WindowSpec::last_n(std::size_t n) {
+  WADP_CHECK(n >= 1);
+  return WindowSpec(Kind::kLastN, n, 0.0);
+}
+
+WindowSpec WindowSpec::last_duration(Duration d) {
+  WADP_CHECK(d > 0.0);
+  return WindowSpec(Kind::kLastDuration, 0, d);
+}
+
+std::span<const Observation> WindowSpec::apply(
+    std::span<const Observation> history, SimTime now) const {
+  switch (kind_) {
+    case Kind::kAll:
+      return history;
+    case Kind::kLastN: {
+      const std::size_t keep = std::min(n_, history.size());
+      return history.subspan(history.size() - keep);
+    }
+    case Kind::kLastDuration: {
+      const SimTime cutoff = now - duration_;
+      // History is time-ordered: binary-search the first kept element.
+      const auto first =
+          std::lower_bound(history.begin(), history.end(), cutoff,
+                           [](const Observation& o, SimTime t) { return o.time < t; });
+      return history.subspan(static_cast<std::size_t>(first - history.begin()));
+    }
+  }
+  return history;  // unreachable
+}
+
+std::string WindowSpec::describe() const {
+  switch (kind_) {
+    case Kind::kAll:
+      return "all";
+    case Kind::kLastN:
+      return util::format("last %zu", n_);
+    case Kind::kLastDuration:
+      if (duration_ >= util::kSecondsPerDay &&
+          duration_ == std::floor(duration_ / util::kSecondsPerDay) *
+                           util::kSecondsPerDay) {
+        return util::format("last %.0fd", duration_ / util::kSecondsPerDay);
+      }
+      if (duration_ >= util::kSecondsPerHour &&
+          duration_ == std::floor(duration_ / util::kSecondsPerHour) *
+                           util::kSecondsPerHour) {
+        return util::format("last %.0fhr", duration_ / util::kSecondsPerHour);
+      }
+      return util::format("last %.0fs", duration_);
+  }
+  return "?";
+}
+
+}  // namespace wadp::predict

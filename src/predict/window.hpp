@@ -1,0 +1,51 @@
+// History-selection windows (the paper's context-insensitive factors).
+//
+// Section 4.2 distinguishes fixed-length (sliding) windows — the last N
+// measurements — from temporal windows — measurements within the last T
+// time units, which suit irregularly spaced data because they track
+// recent fluctuation regardless of sampling density.  WindowSpec
+// captures both, plus the trivial "all data" window.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "predict/observation.hpp"
+#include "util/types.hpp"
+
+namespace wadp::predict {
+
+class WindowSpec {
+ public:
+  enum class Kind { kAll, kLastN, kLastDuration };
+
+  static WindowSpec all();
+  static WindowSpec last_n(std::size_t n);
+  static WindowSpec last_duration(Duration d);
+
+  Kind kind() const { return kind_; }
+  std::size_t n() const { return n_; }
+  Duration duration() const { return duration_; }
+
+  /// The suffix of `history` (assumed time-ordered) selected by this
+  /// window at query time `now`.  Temporal windows keep observations
+  /// with time >= now - duration.
+  std::span<const Observation> apply(std::span<const Observation> history,
+                                     SimTime now) const;
+
+  /// "all", "last 5", "last 15hr", "last 10d" — used to build Fig. 4
+  /// predictor names.
+  std::string describe() const;
+
+  bool operator==(const WindowSpec&) const = default;
+
+ private:
+  WindowSpec(Kind kind, std::size_t n, Duration d)
+      : kind_(kind), n_(n), duration_(d) {}
+
+  Kind kind_;
+  std::size_t n_;
+  Duration duration_;
+};
+
+}  // namespace wadp::predict

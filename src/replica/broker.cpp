@@ -1,0 +1,111 @@
+#include "replica/broker.hpp"
+
+#include "mds/filter.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace wadp::replica {
+
+const char* to_string(SelectionPolicy policy) {
+  switch (policy) {
+    case SelectionPolicy::kPredictedBest:
+      return "predicted-best";
+    case SelectionPolicy::kRandom:
+      return "random";
+    case SelectionPolicy::kRoundRobin:
+      return "round-robin";
+    case SelectionPolicy::kFirst:
+      return "first";
+  }
+  return "?";
+}
+
+ReplicaBroker::ReplicaBroker(const ReplicaCatalog& catalog, mds::Giis& giis,
+                             SelectionPolicy policy, std::uint64_t seed,
+                             predict::SizeClassifier classifier)
+    : catalog_(catalog),
+      giis_(giis),
+      policy_(policy),
+      rng_(seed),
+      classifier_(std::move(classifier)) {}
+
+std::optional<Bandwidth> ReplicaBroker::predicted_for(
+    const PhysicalReplica& replica, const std::string& client_ip, Bytes size,
+    SimTime now) {
+  // Inquiry: the performance entry this replica's site published about
+  // past transfers to this client.
+  const auto filter = mds::Filter::parse(util::format(
+      "(&(objectclass=GridFTPPerfInfo)(cn=%s)(hostname=%s))",
+      client_ip.c_str(), replica.server_host.c_str()));
+  WADP_CHECK(filter.has_value());
+  const auto entries = giis_.search(now, *filter);
+  if (entries.empty()) return std::nullopt;
+
+  const int cls = classifier_.classify(size);
+  const std::string attr =
+      "predictedrdbandwidth" +
+      mds::GridFtpInfoProvider::range_fragment(classifier_, cls);
+  for (const auto& entry : entries) {
+    if (const auto kb = entry.get_double(attr)) {
+      return *kb * static_cast<double>(kKB);  // published in KB/s
+    }
+  }
+  // No same-class prediction yet: fall back to the overall average.
+  for (const auto& entry : entries) {
+    if (const auto kb = entry.get_double("avgrdbandwidth")) {
+      return *kb * static_cast<double>(kKB);
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Selection> ReplicaBroker::select(
+    const std::string& logical_name, const std::string& client_ip, Bytes size,
+    SimTime now, std::span<const PhysicalReplica> exclude) {
+  std::vector<PhysicalReplica> replicas;
+  for (const auto& replica : catalog_.replicas(logical_name)) {
+    const bool excluded =
+        std::find(exclude.begin(), exclude.end(), replica) != exclude.end();
+    if (!excluded) replicas.push_back(replica);
+  }
+  if (replicas.empty()) return std::nullopt;
+
+  Selection selection;
+  switch (policy_) {
+    case SelectionPolicy::kFirst:
+      selection.replica = replicas.front();
+      return selection;
+    case SelectionPolicy::kRandom:
+      selection.replica = replicas[static_cast<std::size_t>(rng_.uniform_int(
+          0, static_cast<std::int64_t>(replicas.size()) - 1))];
+      return selection;
+    case SelectionPolicy::kRoundRobin:
+      selection.replica = replicas[round_robin_next_ % replicas.size()];
+      ++round_robin_next_;
+      return selection;
+    case SelectionPolicy::kPredictedBest:
+      break;
+  }
+
+  std::optional<Bandwidth> best_bw;
+  const PhysicalReplica* best = nullptr;
+  for (const auto& replica : replicas) {
+    const auto bw = predicted_for(replica, client_ip, size, now);
+    if (bw && (!best_bw || *bw > *best_bw)) {
+      best_bw = bw;
+      best = &replica;
+    }
+  }
+  if (best == nullptr) {
+    // No information published yet: fall back, flagged as uninformed.
+    selection.replica = replicas.front();
+    selection.informed = false;
+    return selection;
+  }
+  selection.replica = *best;
+  selection.predicted_bandwidth = best_bw;
+  selection.informed = true;
+  return selection;
+}
+
+}  // namespace wadp::replica

@@ -1,0 +1,78 @@
+// Replica selection broker.
+//
+// Closes the paper's loop: a broker acting for a client (1) resolves a
+// logical file through the catalog, (2) inquires at the GIIS for
+// GridFTPPerfInfo entries describing past transfers from each candidate
+// site to this client, (3) reads the published per-size-class
+// prediction, and (4) picks the replica with the highest predicted
+// bandwidth.  Baseline policies (random, round-robin, first) exist so
+// benchmarks can quantify what prediction buys — the comparison behind
+// the paper's claim that replica selection benefits from performance
+// information (Section 1, citing [41]).
+#pragma once
+
+#include <optional>
+#include <algorithm>
+#include <span>
+#include <string>
+
+#include "mds/giis.hpp"
+#include "mds/gridftp_provider.hpp"
+#include "predict/classifier.hpp"
+#include "replica/catalog.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace wadp::replica {
+
+enum class SelectionPolicy {
+  kPredictedBest,  ///< highest published predicted bandwidth
+  kRandom,         ///< uniform choice (baseline)
+  kRoundRobin,     ///< rotate through replicas (baseline)
+  kFirst,          ///< always the first registered replica (baseline)
+};
+
+const char* to_string(SelectionPolicy policy);
+
+struct Selection {
+  PhysicalReplica replica;
+  /// Predicted bandwidth backing the choice (bytes/s); nullopt for
+  /// baselines and for predictive choices made without any data.
+  std::optional<Bandwidth> predicted_bandwidth;
+  /// True when the predictive policy had usable predictions; false
+  /// means it fell back to the first replica.
+  bool informed = false;
+};
+
+class ReplicaBroker {
+ public:
+  ReplicaBroker(const ReplicaCatalog& catalog, mds::Giis& giis,
+                SelectionPolicy policy, std::uint64_t seed = 1,
+                predict::SizeClassifier classifier =
+                    predict::SizeClassifier::paper_classes());
+
+  /// Chooses a replica for `client_ip` to fetch `logical_name` of
+  /// `size` bytes at time `now`.  `exclude` lists replicas to skip
+  /// (failover: pass the ones that just returned 421).  nullopt when no
+  /// eligible replica remains.
+  std::optional<Selection> select(const std::string& logical_name,
+                                  const std::string& client_ip, Bytes size,
+                                  SimTime now,
+                                  std::span<const PhysicalReplica> exclude = {});
+
+  SelectionPolicy policy() const { return policy_; }
+
+ private:
+  std::optional<Bandwidth> predicted_for(const PhysicalReplica& replica,
+                                         const std::string& client_ip,
+                                         Bytes size, SimTime now);
+
+  const ReplicaCatalog& catalog_;
+  mds::Giis& giis_;
+  SelectionPolicy policy_;
+  util::Rng rng_;
+  predict::SizeClassifier classifier_;
+  std::size_t round_robin_next_ = 0;
+};
+
+}  // namespace wadp::replica

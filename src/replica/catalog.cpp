@@ -1,0 +1,40 @@
+#include "replica/catalog.hpp"
+
+#include <algorithm>
+
+namespace wadp::replica {
+
+void ReplicaCatalog::add_replica(const std::string& logical_name,
+                                 PhysicalReplica replica) {
+  auto& list = entries_[logical_name];
+  if (std::find(list.begin(), list.end(), replica) != list.end()) return;
+  list.push_back(std::move(replica));
+}
+
+bool ReplicaCatalog::remove_replica(const std::string& logical_name,
+                                    const PhysicalReplica& replica) {
+  const auto it = entries_.find(logical_name);
+  if (it == entries_.end()) return false;
+  auto& list = it->second;
+  const auto pos = std::find(list.begin(), list.end(), replica);
+  if (pos == list.end()) return false;
+  list.erase(pos);
+  if (list.empty()) entries_.erase(it);
+  return true;
+}
+
+std::span<const PhysicalReplica> ReplicaCatalog::replicas(
+    const std::string& logical_name) const {
+  const auto it = entries_.find(logical_name);
+  if (it == entries_.end()) return {};
+  return it->second;
+}
+
+std::vector<std::string> ReplicaCatalog::logical_names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, list] : entries_) out.push_back(name);
+  return out;
+}
+
+}  // namespace wadp::replica

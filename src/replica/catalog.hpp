@@ -1,0 +1,48 @@
+// Replica catalog: logical file name -> physical replica locations.
+//
+// The paper's motivating problem (Section 1) is replica selection in a
+// tiered Data Grid where any data set "is likely to have replicas
+// located at multiple sites".  The catalog is the naming layer the
+// broker consults before asking the information service which location
+// will transfer fastest.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace wadp::replica {
+
+struct PhysicalReplica {
+  std::string site;         ///< topology site name ("lbl")
+  std::string server_host;  ///< GridFTP host ("dpsslx04.lbl.gov")
+  std::string path;         ///< file path on that server
+
+  bool operator==(const PhysicalReplica&) const = default;
+};
+
+class ReplicaCatalog {
+ public:
+  /// Registers a replica of `logical_name`.  Duplicate (site, path)
+  /// registrations are ignored.
+  void add_replica(const std::string& logical_name, PhysicalReplica replica);
+
+  bool remove_replica(const std::string& logical_name,
+                      const PhysicalReplica& replica);
+
+  /// All replicas of the logical file (empty span when unknown).
+  std::span<const PhysicalReplica> replicas(
+      const std::string& logical_name) const;
+
+  std::vector<std::string> logical_names() const;
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  std::map<std::string, std::vector<PhysicalReplica>> entries_;
+};
+
+}  // namespace wadp::replica

@@ -1,0 +1,112 @@
+#include "sim/simulator.hpp"
+
+#include "util/error.hpp"
+
+namespace wadp::sim {
+
+EventId Simulator::schedule_at(SimTime when, Handler handler) {
+  WADP_CHECK_MSG(when >= now_, "cannot schedule into the past");
+  WADP_CHECK(handler != nullptr);
+  const EventId id = next_id_++;
+  queue_.push(Event{.when = when, .seq = next_seq_++, .id = id});
+  handlers_.emplace(id, std::move(handler));
+  return id;
+}
+
+EventId Simulator::schedule_after(Duration delay, Handler handler) {
+  WADP_CHECK_MSG(delay >= 0.0, "negative delay");
+  return schedule_at(now_ + delay, std::move(handler));
+}
+
+bool Simulator::cancel(EventId id) {
+  const auto it = handlers_.find(id);
+  if (it == handlers_.end()) return false;
+  handlers_.erase(it);
+  ++cancelled_pending_;
+  return true;
+}
+
+bool Simulator::fire_next() {
+  while (!queue_.empty()) {
+    const Event ev = queue_.top();
+    queue_.pop();
+    const auto it = handlers_.find(ev.id);
+    if (it == handlers_.end()) {
+      --cancelled_pending_;  // was cancelled; skip silently
+      continue;
+    }
+    now_ = ev.when;
+    // Move the handler out before invoking: the handler may schedule or
+    // cancel events, invalidating iterators.
+    Handler handler = std::move(it->second);
+    handlers_.erase(it);
+    handler();
+    return true;
+  }
+  return false;
+}
+
+std::size_t Simulator::run() {
+  std::size_t executed = 0;
+  while (fire_next()) ++executed;
+  return executed;
+}
+
+std::size_t Simulator::run_until(SimTime deadline) {
+  WADP_CHECK(deadline >= now_);
+  std::size_t executed = 0;
+  for (;;) {
+    // Peek past cancelled entries to find the next live event time.
+    bool fired = false;
+    while (!queue_.empty()) {
+      const Event& top = queue_.top();
+      if (!handlers_.contains(top.id)) {
+        queue_.pop();
+        --cancelled_pending_;
+        continue;
+      }
+      if (top.when > deadline) break;
+      fire_next();
+      ++executed;
+      fired = true;
+      break;
+    }
+    if (!fired) break;
+  }
+  now_ = deadline;
+  return executed;
+}
+
+bool Simulator::step() { return fire_next(); }
+
+PeriodicTask::PeriodicTask(Simulator& sim, Duration period,
+                           std::function<void()> body, bool immediate)
+    : sim_(sim), period_(period), body_(std::move(body)) {
+  WADP_CHECK(period_ > 0.0);
+  WADP_CHECK(body_ != nullptr);
+  if (immediate) {
+    pending_ = sim_.schedule_after(0.0, [this] {
+      body_();
+      if (running_) arm();
+    });
+  } else {
+    arm();
+  }
+}
+
+PeriodicTask::~PeriodicTask() { stop(); }
+
+void PeriodicTask::arm() {
+  pending_ = sim_.schedule_after(period_, [this] {
+    body_();
+    if (running_) arm();
+  });
+}
+
+void PeriodicTask::stop() {
+  if (!running_) return;
+  running_ = false;
+  if (pending_ != 0) sim_.cancel(pending_);
+}
+
+}  // namespace wadp::sim

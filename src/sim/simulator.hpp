@@ -1,0 +1,111 @@
+// Discrete-event simulation engine.
+//
+// A Simulator owns a virtual clock (SimTime, epoch seconds) and a
+// priority queue of scheduled events.  Everything dynamic in wadp —
+// GridFTP transfers, NWS probes, the workload driver's sleeps, MDS
+// soft-state expiry — runs as events on one Simulator, which makes whole
+// campaigns deterministic and independent of wall time.
+//
+// Events scheduled for the same instant fire in scheduling order (a
+// monotone sequence number breaks ties), which keeps runs reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace wadp::sim {
+
+/// Identifies a scheduled event so it can be cancelled.
+using EventId = std::uint64_t;
+
+class Simulator {
+ public:
+  using Handler = std::function<void()>;
+
+  /// Starts the clock at `start` (e.g. midnight of the campaign's first
+  /// day).  The clock never runs backward.
+  explicit Simulator(SimTime start = 0.0) : now_(start) {}
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimTime now() const { return now_; }
+
+  /// Schedules `handler` at absolute time `when` (>= now).
+  EventId schedule_at(SimTime when, Handler handler);
+
+  /// Schedules `handler` after `delay` (>= 0) simulated seconds.
+  EventId schedule_after(Duration delay, Handler handler);
+
+  /// Cancels a pending event.  Returns false when the event already
+  /// fired, was cancelled, or never existed.
+  bool cancel(EventId id);
+
+  /// Runs events until the queue empties.  Returns events executed.
+  std::size_t run();
+
+  /// Runs events with time <= `deadline`, then advances the clock to
+  /// `deadline` (even if idle).  Returns events executed.
+  std::size_t run_until(SimTime deadline);
+
+  /// Executes only the next event, if any.  Returns false when idle.
+  bool step();
+
+  std::size_t pending_events() const { return queue_.size() - cancelled_pending_; }
+
+ private:
+  struct Event {
+    SimTime when;
+    std::uint64_t seq;  // tie-break: FIFO among same-time events
+    EventId id;
+    // Ordered as a min-heap via operator> in the priority_queue.
+    bool operator>(const Event& other) const {
+      if (when != other.when) return when > other.when;
+      return seq > other.seq;
+    }
+  };
+
+  bool fire_next();
+
+  SimTime now_;
+  std::uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  // Handlers live outside the queue so cancel() is O(1); a cancelled id
+  // simply has no handler when popped.
+  std::unordered_map<EventId, Handler> handlers_;
+  std::size_t cancelled_pending_ = 0;
+};
+
+/// Periodic task helper: re-schedules itself every `period` seconds
+/// until stop() is called.  Used by NWS sensors and GIIS refresh.
+class PeriodicTask {
+ public:
+  /// `body` runs at start + period, start + 2*period, ...  When
+  /// `immediate` is true it also runs once at `start`.
+  PeriodicTask(Simulator& sim, Duration period, std::function<void()> body,
+               bool immediate = false);
+  ~PeriodicTask();
+
+  PeriodicTask(const PeriodicTask&) = delete;
+  PeriodicTask& operator=(const PeriodicTask&) = delete;
+
+  void stop();
+  bool running() const { return running_; }
+
+ private:
+  void arm();
+
+  Simulator& sim_;
+  Duration period_;
+  std::function<void()> body_;
+  bool running_ = true;
+  EventId pending_ = 0;
+};
+
+}  // namespace wadp::sim

@@ -1,0 +1,36 @@
+#include "storage/storage.hpp"
+
+#include "util/error.hpp"
+
+namespace wadp::storage {
+
+StorageSystem::Port::Port(std::string name, Bandwidth rate,
+                          const std::optional<net::LoadParams>& load,
+                          std::uint64_t seed, SimTime origin)
+    : name_(std::move(name)), rate_(rate) {
+  WADP_CHECK(rate_ > 0.0);
+  if (load) load_.emplace(*load, seed, origin);
+}
+
+Bandwidth StorageSystem::Port::capacity_at(SimTime t) const {
+  if (!load_) return rate_;
+  return rate_ * load_->availability(t);
+}
+
+SimTime StorageSystem::Port::next_change_after(SimTime t) const {
+  if (!load_) return kNeverTime;
+  return load_->next_change_after(t);
+}
+
+StorageSystem::StorageSystem(std::string site, StorageParams params,
+                             std::uint64_t seed, SimTime origin)
+    : site_(std::move(site)), params_(params) {
+  read_port_ = std::make_unique<Port>("storage:" + site_ + "/read",
+                                      params_.read_rate, params_.local_load,
+                                      seed ^ 0x1d, origin);
+  write_port_ = std::make_unique<Port>("storage:" + site_ + "/write",
+                                       params_.write_rate, params_.local_load,
+                                       seed ^ 0x2e, origin);
+}
+
+}  // namespace wadp::storage

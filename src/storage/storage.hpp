@@ -1,0 +1,68 @@
+// Storage-system model.
+//
+// Section 3 of the paper singles storage out: unlike wide-area links,
+// storage systems are "less amenable to law-of-large-numbers arguments"
+// — a single extra flow visibly dents performance.  We model a site's
+// storage as two capacity ports (read and write), each optionally
+// perturbed by its own LoadProcess (competing local I/O), shared
+// max-min among the flows crossing them.  A GridFTP read transfer
+// crosses the source site's read port and the sink site's write port.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "net/load.hpp"
+#include "net/provider.hpp"
+#include "util/types.hpp"
+
+namespace wadp::storage {
+
+struct StorageParams {
+  Bandwidth read_rate = 60 * kMB;   ///< aggregate sequential read, bytes/s
+  Bandwidth write_rate = 45 * kMB;  ///< aggregate sequential write, bytes/s
+  /// Competing local I/O; nullopt = dedicated storage.
+  std::optional<net::LoadParams> local_load;
+};
+
+class StorageSystem {
+ public:
+  /// `seed`/`origin` parameterize the local-load processes (ignored for
+  /// dedicated storage).
+  StorageSystem(std::string site, StorageParams params, std::uint64_t seed,
+                SimTime origin);
+
+  const std::string& site() const { return site_; }
+  const StorageParams& params() const { return params_; }
+
+  /// Capacity ports usable as fluid-engine resources.
+  net::CapacityProvider& read_port() { return *read_port_; }
+  net::CapacityProvider& write_port() { return *write_port_; }
+  const net::CapacityProvider& read_port() const { return *read_port_; }
+  const net::CapacityProvider& write_port() const { return *write_port_; }
+
+ private:
+  class Port final : public net::CapacityProvider {
+   public:
+    Port(std::string name, Bandwidth rate,
+         const std::optional<net::LoadParams>& load, std::uint64_t seed,
+         SimTime origin);
+    Bandwidth capacity_at(SimTime t) const override;
+    SimTime next_change_after(SimTime t) const override;
+    std::string_view resource_name() const override { return name_; }
+
+   private:
+    std::string name_;
+    Bandwidth rate_;
+    std::optional<net::LoadProcess> load_;
+  };
+
+  std::string site_;
+  StorageParams params_;
+  std::unique_ptr<Port> read_port_;
+  std::unique_ptr<Port> write_port_;
+};
+
+}  // namespace wadp::storage

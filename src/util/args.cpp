@@ -1,0 +1,79 @@
+#include "util/args.hpp"
+
+#include "util/strings.hpp"
+
+namespace wadp::util {
+
+void ArgParser::add_option(const std::string& name, bool is_boolean) {
+  WADP_CHECK_MSG(!name.empty() && name[0] != '-',
+                 "declare option names without dashes");
+  known_.insert(name);
+  if (is_boolean) boolean_.insert(name);
+}
+
+Expected<bool> ArgParser::parse(const std::vector<std::string>& args) {
+  bool options_done = false;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const auto& arg = args[i];
+    if (options_done || !starts_with(arg, "--")) {
+      positionals_.push_back(arg);
+      continue;
+    }
+    if (arg == "--") {
+      options_done = true;
+      continue;
+    }
+    std::string name = arg.substr(2);
+    std::optional<std::string> value;
+    if (const auto eq = name.find('='); eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+    }
+    if (!known_.contains(name)) {
+      return Expected<bool>::failure("unknown option: --" + name);
+    }
+    if (values_.contains(name)) {
+      return Expected<bool>::failure("duplicate option: --" + name);
+    }
+    if (boolean_.contains(name)) {
+      if (value) {
+        return Expected<bool>::failure("--" + name + " takes no value");
+      }
+      values_[name] = "true";
+      continue;
+    }
+    if (!value) {
+      if (i + 1 >= args.size()) {
+        return Expected<bool>::failure("--" + name + " needs a value");
+      }
+      value = args[++i];
+    }
+    values_[name] = *value;
+  }
+  return true;
+}
+
+std::optional<std::string> ArgParser::get(const std::string& name) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string ArgParser::get_or(const std::string& name,
+                              const std::string& fallback) const {
+  return get(name).value_or(fallback);
+}
+
+std::optional<std::int64_t> ArgParser::get_int(const std::string& name) const {
+  const auto value = get(name);
+  if (!value) return std::nullopt;
+  return parse_int(*value);
+}
+
+std::optional<double> ArgParser::get_double(const std::string& name) const {
+  const auto value = get(name);
+  if (!value) return std::nullopt;
+  return parse_double(*value);
+}
+
+}  // namespace wadp::util

@@ -1,0 +1,44 @@
+// Minimal command-line argument parser for the wadp tools.
+//
+// Grammar: positionals and options may interleave; options are
+// "--name=value", "--name value", or boolean "--name".  "--" ends
+// option parsing.  Unknown options are an error so typos fail loudly.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace wadp::util {
+
+class ArgParser {
+ public:
+  /// Declare options up front; parsing rejects anything undeclared.
+  /// Boolean options take no value.
+  void add_option(const std::string& name, bool is_boolean = false);
+
+  /// Parses argv (excluding argv[0]).  Returns an error string on
+  /// unknown options, missing values, or duplicate occurrences.
+  Expected<bool> parse(const std::vector<std::string>& args);
+
+  const std::vector<std::string>& positionals() const { return positionals_; }
+
+  bool has(const std::string& name) const { return values_.contains(name); }
+  std::optional<std::string> get(const std::string& name) const;
+  std::string get_or(const std::string& name,
+                     const std::string& fallback) const;
+  std::optional<std::int64_t> get_int(const std::string& name) const;
+  std::optional<double> get_double(const std::string& name) const;
+
+ private:
+  std::set<std::string> known_;
+  std::set<std::string> boolean_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positionals_;
+};
+
+}  // namespace wadp::util

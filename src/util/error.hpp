@@ -1,0 +1,65 @@
+// Minimal error-handling vocabulary.
+//
+// Expected failures (parse errors, missing data, empty histories) travel
+// through return values — either std::optional or Expected<T> below.
+// Programmer errors and unrecoverable states abort via WADP_CHECK, which
+// prints the failing condition and location; it is active in all build
+// types because the library is also a simulator whose invariants guard
+// result validity.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace wadp {
+
+/// A value or a human-readable error string.  Lightweight stand-in for
+/// std::expected (not yet available on the target toolchain).
+template <typename T>
+class Expected {
+ public:
+  Expected(T value) : data_(std::move(value)) {}           // NOLINT(google-explicit-constructor)
+  static Expected failure(std::string message) {
+    Expected e{Error{std::move(message)}};
+    return e;
+  }
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& { return std::get<T>(data_); }
+  T& value() & { return std::get<T>(data_); }
+  T&& value() && { return std::get<T>(std::move(data_)); }
+
+  const std::string& error() const { return std::get<Error>(data_).message; }
+
+ private:
+  struct Error {
+    std::string message;
+  };
+  explicit Expected(Error e) : data_(std::move(e)) {}
+  std::variant<T, Error> data_;
+};
+
+[[noreturn]] inline void check_failed(const char* cond, const char* file, int line,
+                                      const char* msg) {
+  std::fprintf(stderr, "WADP_CHECK failed: %s at %s:%d%s%s\n", cond, file, line,
+               msg[0] ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace wadp
+
+/// Invariant check: aborts with location info when `cond` is false.
+#define WADP_CHECK(cond)                                              \
+  do {                                                                \
+    if (!(cond)) ::wadp::check_failed(#cond, __FILE__, __LINE__, ""); \
+  } while (false)
+
+#define WADP_CHECK_MSG(cond, msg)                                      \
+  do {                                                                 \
+    if (!(cond)) ::wadp::check_failed(#cond, __FILE__, __LINE__, msg); \
+  } while (false)

@@ -1,0 +1,74 @@
+// Deterministic random-number generation for the simulator.
+//
+// All stochastic behaviour in wadp (background load, workload sleeps,
+// file-size draws) flows through Rng so that a campaign is reproducible
+// from a single seed.  The engine is xoshiro256**, which is fast, has a
+// 256-bit state, and — unlike std::mt19937 seeded from a single word —
+// gives well-decorrelated streams via split().
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace wadp::util {
+
+class Rng {
+ public:
+  /// Seeds the four 64-bit state words from `seed` via splitmix64, the
+  /// initialization recommended by the xoshiro authors.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Raw 64 uniform bits.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Log-uniform double in [lo, hi): uniform in log-space, so each decade
+  /// is equally likely.  Used for the paper's 1 min – 10 h sleep draws.
+  double log_uniform(double lo, double hi);
+
+  /// Standard normal via Marsaglia polar method.
+  double normal();
+
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev);
+
+  /// Exponential with the given mean (= 1/rate).
+  double exponential(double mean);
+
+  /// Uniformly chosen element of a non-empty span.
+  template <typename T>
+  const T& pick(std::span<const T> choices) {
+    return choices[static_cast<std::size_t>(
+        uniform_int(0, static_cast<std::int64_t>(choices.size()) - 1))];
+  }
+
+  /// A new Rng whose stream is decorrelated from this one.  Children of
+  /// distinct calls are mutually decorrelated, so each simulated entity
+  /// (one link's load process, one campaign's sleeps) owns its own child.
+  Rng split();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+/// Fisher–Yates shuffle using the supplied Rng.
+template <typename T>
+void shuffle(std::vector<T>& v, Rng& rng) {
+  for (std::size_t i = v.size(); i > 1; --i) {
+    const auto j = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(i) - 1));
+    using std::swap;
+    swap(v[i - 1], v[j]);
+  }
+}
+
+}  // namespace wadp::util

@@ -1,0 +1,144 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace wadp::util {
+
+std::optional<double> mean(std::span<const double> xs) {
+  if (xs.empty()) return std::nullopt;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+std::optional<double> median(std::span<const double> xs) {
+  if (xs.empty()) return std::nullopt;
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const std::size_t t = sorted.size();
+  if (t % 2 == 1) return sorted[t / 2];
+  return 0.5 * (sorted[t / 2 - 1] + sorted[t / 2]);
+}
+
+std::optional<double> variance(std::span<const double> xs) {
+  if (xs.empty()) return std::nullopt;
+  const double m = *mean(xs);
+  double sq = 0.0;
+  for (double x : xs) sq += (x - m) * (x - m);
+  return sq / static_cast<double>(xs.size());
+}
+
+std::optional<double> stddev(std::span<const double> xs) {
+  const auto v = variance(xs);
+  if (!v) return std::nullopt;
+  return std::sqrt(*v);
+}
+
+std::optional<double> quantile(std::span<const double> xs, double q) {
+  if (xs.empty()) return std::nullopt;
+  WADP_CHECK(q >= 0.0 && q <= 1.0);
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted.front();
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+std::optional<double> min_value(std::span<const double> xs) {
+  if (xs.empty()) return std::nullopt;
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+std::optional<double> max_value(std::span<const double> xs) {
+  if (xs.empty()) return std::nullopt;
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+std::optional<LinearFit> linear_fit(std::span<const double> xs,
+                                    std::span<const double> ys) {
+  WADP_CHECK(xs.size() == ys.size());
+  const std::size_t n = xs.size();
+  if (n < 2) return std::nullopt;
+
+  const double mx = *mean(xs);
+  const double my = *mean(ys);
+  double sxx = 0.0, sxy = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0) return std::nullopt;  // constant regressor: slope undefined
+
+  LinearFit fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  fit.r2 = (syy == 0.0) ? 1.0 : (sxy * sxy) / (sxx * syy);
+  return fit;
+}
+
+std::optional<LinearFit> ar1_fit(std::span<const double> series) {
+  if (series.size() < 3) return std::nullopt;
+  std::vector<double> lagged(series.begin(), series.end() - 1);
+  std::vector<double> current(series.begin() + 1, series.end());
+  if (auto fit = linear_fit(lagged, current)) return fit;
+  // Constant series: Y_t = const exactly; represent as intercept-only model.
+  return LinearFit{.intercept = series.back(), .slope = 0.0, .r2 = 1.0};
+}
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double percent_error(double measured, double predicted) {
+  WADP_CHECK_MSG(measured != 0.0, "percent error undefined for zero measurement");
+  return std::abs(measured - predicted) / std::abs(measured) * 100.0;
+}
+
+std::optional<double> autocorrelation(std::span<const double> xs,
+                                      std::size_t lag) {
+  if (xs.size() < lag + 2) return std::nullopt;
+  const double m = *mean(xs);
+  double denom = 0.0;
+  for (const double x : xs) denom += (x - m) * (x - m);
+  if (denom == 0.0) return std::nullopt;  // constant series
+  double num = 0.0;
+  for (std::size_t i = 0; i + lag < xs.size(); ++i) {
+    num += (xs[i] - m) * (xs[i + lag] - m);
+  }
+  return num / denom;
+}
+
+double two_sample_z(const RunningStats& a, const RunningStats& b) {
+  WADP_CHECK(a.count() > 0 && b.count() > 0);
+  const double se = std::sqrt(a.variance() / static_cast<double>(a.count()) +
+                              b.variance() / static_cast<double>(b.count()));
+  WADP_CHECK_MSG(se > 0.0, "both samples are constant and equal-width");
+  return std::abs(a.mean() - b.mean()) / se;
+}
+
+}  // namespace wadp::util

@@ -1,0 +1,94 @@
+// Descriptive statistics and simple regression used by the predictors
+// (src/predict) and by the evaluation harness.
+//
+// Everything operates on spans of doubles; callers own the storage.
+// Empty-input behaviour is explicit: functions that need at least one
+// (or two) samples return std::nullopt rather than NaN, so predictor
+// code can distinguish "no history yet" from a genuine value.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace wadp::util {
+
+/// Arithmetic mean; nullopt on empty input.
+std::optional<double> mean(std::span<const double> xs);
+
+/// Median per the paper's definition (Section 4.1): for an ordered list
+/// of t values, odd t takes the middle element; even t averages the two
+/// middle elements.  Input need not be sorted.  nullopt on empty input.
+std::optional<double> median(std::span<const double> xs);
+
+/// Population variance; nullopt when fewer than one sample.
+std::optional<double> variance(std::span<const double> xs);
+
+/// Standard deviation (population).
+std::optional<double> stddev(std::span<const double> xs);
+
+/// Linear-interpolated quantile, q in [0,1]; nullopt on empty input.
+std::optional<double> quantile(std::span<const double> xs, double q);
+
+/// Smallest / largest element; nullopt on empty input.
+std::optional<double> min_value(std::span<const double> xs);
+std::optional<double> max_value(std::span<const double> xs);
+
+/// Result of an ordinary-least-squares fit of y = a + b*x.
+struct LinearFit {
+  double intercept = 0.0;  ///< a
+  double slope = 0.0;      ///< b
+  double r2 = 0.0;         ///< coefficient of determination
+};
+
+/// OLS fit; requires xs.size() == ys.size() >= 2 and non-constant xs.
+/// nullopt otherwise (a vertical or undefined line is not a usable fit).
+std::optional<LinearFit> linear_fit(std::span<const double> xs,
+                                    std::span<const double> ys);
+
+/// Fit of the paper's degenerate ARIMA model  Y_t = a + b * Y_{t-1}
+/// over a series: regresses each sample on its predecessor.  Requires at
+/// least 3 samples (2 lag pairs).  When the series is constant the model
+/// collapses to a = const, b = 0, which is returned explicitly.
+std::optional<LinearFit> ar1_fit(std::span<const double> series);
+
+/// One-pass accumulator for streaming mean/variance (Welford).
+class RunningStats {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return mean_; }
+  /// Population variance; 0 for fewer than 2 samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Absolute percentage error, the paper's accuracy metric (Section 6.2):
+///   |measured - predicted| / measured * 100
+/// Requires measured != 0 (bandwidths are positive in valid logs).
+double percent_error(double measured, double predicted);
+
+/// Two-sample z statistic for a difference in means (Welch-style
+/// standard error).  Used to check the paper's "no statistical
+/// significance between the two data sets" claim; |z| < ~1.96 means not
+/// significant at the 5% level for the large samples involved.
+/// Requires both samples non-empty and at least one with variance.
+double two_sample_z(const RunningStats& a, const RunningStats& b);
+
+/// Sample autocorrelation of xs at the given lag (biased estimator,
+/// normalized by the lag-0 variance).  nullopt when fewer than lag + 2
+/// samples or when the series is constant.  The predictability analysis
+/// uses this: last-value prediction works exactly as far as lag-1
+/// autocorrelation carries.
+std::optional<double> autocorrelation(std::span<const double> xs, std::size_t lag);
+
+}  // namespace wadp::util

@@ -1,0 +1,113 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace wadp::util {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  WADP_CHECK(!headers_.empty());
+  aligns_.assign(headers_.size(), Align::Right);
+  aligns_[0] = Align::Left;
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  WADP_CHECK_MSG(cells.size() == headers_.size(), "row arity mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::set_align(std::size_t column, Align align) {
+  WADP_CHECK(column < aligns_.size());
+  aligns_[column] = align;
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  const auto emit_row = [&](const std::vector<std::string>& row, std::string& out) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) out += "  ";
+      const std::size_t pad = widths[c] - row[c].size();
+      if (aligns_[c] == Align::Right) out.append(pad, ' ');
+      out += row[c];
+      if (aligns_[c] == Align::Left && c + 1 < row.size()) out.append(pad, ' ');
+    }
+    out += '\n';
+  };
+
+  std::string out;
+  emit_row(headers_, out);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) total += widths[c] + (c ? 2 : 0);
+  out.append(total, '-');
+  out += '\n';
+  for (const auto& row : rows_) emit_row(row, out);
+  return out;
+}
+
+std::string render_log_strip_chart(const std::vector<SeriesPoint>& a,
+                                   const std::string& a_label,
+                                   const std::vector<SeriesPoint>& b,
+                                   const std::string& b_label, int width,
+                                   int height) {
+  WADP_CHECK(width > 10 && height > 3);
+  constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+  double xmin = kNan, xmax = kNan, ymin = kNan, ymax = kNan;
+  const auto scan = [&](const std::vector<SeriesPoint>& s) {
+    for (const auto& p : s) {
+      if (p.y <= 0) continue;  // log axis
+      if (std::isnan(xmin) || p.x < xmin) xmin = p.x;
+      if (std::isnan(xmax) || p.x > xmax) xmax = p.x;
+      if (std::isnan(ymin) || p.y < ymin) ymin = p.y;
+      if (std::isnan(ymax) || p.y > ymax) ymax = p.y;
+    }
+  };
+  scan(a);
+  scan(b);
+  if (std::isnan(xmin) || xmin == xmax) return "(no data)\n";
+  if (ymin == ymax) ymax = ymin * 2;
+
+  const double ly_min = std::log10(ymin);
+  const double ly_max = std::log10(ymax);
+  std::vector<std::string> grid(static_cast<std::size_t>(height),
+                                std::string(static_cast<std::size_t>(width), ' '));
+  const auto plot = [&](const std::vector<SeriesPoint>& s, char mark) {
+    for (const auto& p : s) {
+      if (p.y <= 0) continue;
+      const int col = static_cast<int>((p.x - xmin) / (xmax - xmin) * (width - 1));
+      const int row = static_cast<int>((std::log10(p.y) - ly_min) /
+                                       (ly_max - ly_min) * (height - 1));
+      auto& cell = grid[static_cast<std::size_t>(height - 1 - row)]
+                       [static_cast<std::size_t>(col)];
+      // Later series overwrite only blanks so both remain visible.
+      if (cell == ' ') cell = mark;
+    }
+  };
+  plot(a, '*');
+  plot(b, 'o');
+
+  std::string out = format("  y (log scale): %.4g .. %.4g   [*] %s   [o] %s\n",
+                           ymin, ymax, a_label.c_str(), b_label.c_str());
+  for (const auto& line : grid) {
+    out += "  |";
+    out += line;
+    out += '\n';
+  }
+  out += "  +";
+  out.append(static_cast<std::size_t>(width), '-');
+  out += format("\n   x: %.4g .. %.4g\n", xmin, xmax);
+  return out;
+}
+
+}  // namespace wadp::util

@@ -1,0 +1,49 @@
+// Plain-text table rendering for the benchmark harness.
+//
+// Every bench binary regenerates a paper table or figure as rows of
+// text; TextTable keeps those outputs aligned and diff-friendly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace wadp::util {
+
+class TextTable {
+ public:
+  enum class Align { Left, Right };
+
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Adds one row; must match the header arity.
+  void add_row(std::vector<std::string> cells);
+
+  /// Per-column alignment; defaults to Left for col 0 and Right elsewhere
+  /// (labels left, numbers right), which fits every paper table.
+  void set_align(std::size_t column, Align align);
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Renders with a header underline and two-space column gaps.
+  std::string render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<Align> aligns_;
+};
+
+/// Renders a series of (x, y) points as a coarse ASCII strip chart with a
+/// logarithmic y-axis — the rendering used for Figs. 1 and 2, whose whole
+/// point is the visual gap between the NWS and GridFTP series.
+struct SeriesPoint {
+  double x;
+  double y;
+};
+std::string render_log_strip_chart(const std::vector<SeriesPoint>& a,
+                                   const std::string& a_label,
+                                   const std::vector<SeriesPoint>& b,
+                                   const std::string& b_label, int width = 100,
+                                   int height = 18);
+
+}  // namespace wadp::util

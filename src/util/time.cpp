@@ -1,0 +1,102 @@
+#include "util/time.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/error.hpp"
+
+namespace wadp::util {
+
+std::int64_t days_from_civil(int y, int m, int d) {
+  // Hinnant's algorithm, http://howardhinnant.github.io/date_algorithms.html
+  y -= m <= 2;
+  const std::int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);             // [0,399]
+  const unsigned doy = (153u * static_cast<unsigned>(m + (m > 2 ? -3 : 9)) + 2) / 5 +
+                       static_cast<unsigned>(d) - 1;                     // [0,365]
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;            // [0,146096]
+  return era * 146097 + static_cast<std::int64_t>(doe) - 719468;
+}
+
+void civil_from_days(std::int64_t z, int& year, int& month, int& day) {
+  z += 719468;
+  const std::int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);          // [0,146096]
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const std::int64_t y = static_cast<std::int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);          // [0,365]
+  const unsigned mp = (5 * doy + 2) / 153;                               // [0,11]
+  day = static_cast<int>(doy - (153 * mp + 2) / 5 + 1);                  // [1,31]
+  month = static_cast<int>(mp + (mp < 10 ? 3 : -9));                     // [1,12]
+  year = static_cast<int>(y + (month <= 2));
+}
+
+std::int64_t to_epoch(const CivilTime& ct, const TimeZone& zone) {
+  WADP_CHECK(ct.month >= 1 && ct.month <= 12);
+  WADP_CHECK(ct.day >= 1 && ct.day <= 31);
+  const std::int64_t days = days_from_civil(ct.year, ct.month, ct.day);
+  const std::int64_t local =
+      days * 86400 + ct.hour * 3600LL + ct.minute * 60LL + ct.second;
+  return local - zone.offset_seconds();
+}
+
+CivilTime to_civil(std::int64_t epoch_seconds, const TimeZone& zone) {
+  const std::int64_t local = epoch_seconds + zone.offset_seconds();
+  std::int64_t days = local / 86400;
+  std::int64_t sod = local % 86400;
+  if (sod < 0) {
+    sod += 86400;
+    --days;
+  }
+  CivilTime ct;
+  civil_from_days(days, ct.year, ct.month, ct.day);
+  ct.hour = static_cast<int>(sod / 3600);
+  ct.minute = static_cast<int>((sod % 3600) / 60);
+  ct.second = static_cast<int>(sod % 60);
+  return ct;
+}
+
+double seconds_into_local_day(SimTime t, const TimeZone& zone) {
+  const double local = t + static_cast<double>(zone.offset_seconds());
+  const double day = std::floor(local / kSecondsPerDay) * kSecondsPerDay;
+  return local - day;
+}
+
+bool in_daily_window(SimTime t, const TimeZone& zone, int start_hour, int end_hour) {
+  WADP_CHECK(start_hour >= 0 && start_hour <= 24);
+  WADP_CHECK(end_hour >= 0 && end_hour <= 24);
+  const double sod = seconds_into_local_day(t, zone);
+  const double start = start_hour * kSecondsPerHour;
+  const double end = end_hour * kSecondsPerHour;
+  if (start == end) return true;  // 24h window
+  if (start < end) return sod >= start && sod < end;
+  return sod >= start || sod < end;  // wraps midnight, e.g. 18:00 -> 08:00
+}
+
+SimTime next_local_hour(SimTime t, const TimeZone& zone, int hour) {
+  WADP_CHECK(hour >= 0 && hour < 24);
+  const double local = t + static_cast<double>(zone.offset_seconds());
+  const double day_start = std::floor(local / kSecondsPerDay) * kSecondsPerDay;
+  double candidate = day_start + hour * kSecondsPerHour;
+  if (candidate < local) candidate += kSecondsPerDay;
+  return candidate - static_cast<double>(zone.offset_seconds());
+}
+
+std::string format_time(SimTime t, const TimeZone& zone) {
+  const CivilTime ct = to_civil(static_cast<std::int64_t>(std::floor(t)), zone);
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%04d-%02d-%02d %02d:%02d:%02d %s", ct.year,
+                ct.month, ct.day, ct.hour, ct.minute, ct.second,
+                zone.name()[0] ? zone.name() : "UTC");
+  return buf;
+}
+
+std::string format_ulm_date(SimTime t) {
+  const CivilTime ct = to_civil(static_cast<std::int64_t>(std::floor(t)), kUtc);
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%04d%02d%02d%02d%02d%02d", ct.year, ct.month,
+                ct.day, ct.hour, ct.minute, ct.second);
+  return buf;
+}
+
+}  // namespace wadp::util

@@ -1,0 +1,85 @@
+// Simulated-time calendar arithmetic.
+//
+// The paper's campaigns are anchored to civil time: transfers ran daily
+// from 6 pm to 8 am *Central* time, August (CDT, UTC-5) and December
+// (CST, UTC-6) 2001.  This header provides epoch<->civil conversion
+// (proleptic Gregorian, Hinnant's algorithm), fixed-offset zones, and
+// the wrap-around daily-window test the workload driver needs.
+//
+// Library code never reads the wall clock; all SimTime values originate
+// from the simulator or from test fixtures.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/types.hpp"
+
+namespace wadp::util {
+
+/// A civil (calendar) date-time, second resolution.
+struct CivilTime {
+  int year = 1970;
+  int month = 1;  ///< 1..12
+  int day = 1;    ///< 1..31
+  int hour = 0;   ///< 0..23
+  int minute = 0;
+  int second = 0;
+
+  bool operator==(const CivilTime&) const = default;
+};
+
+/// Fixed UTC-offset zone.  Wide-area Grid testbeds in the paper span one
+/// DST regime per campaign, so a fixed offset per campaign suffices.
+class TimeZone {
+ public:
+  /// `offset_seconds` is the zone's offset east of UTC (CDT = -5*3600).
+  constexpr explicit TimeZone(std::int64_t offset_seconds, const char* name = "")
+      : offset_(offset_seconds), name_(name) {}
+
+  std::int64_t offset_seconds() const { return offset_; }
+  const char* name() const { return name_; }
+
+ private:
+  std::int64_t offset_;
+  const char* name_;
+};
+
+inline constexpr TimeZone kUtc{0, "UTC"};
+inline constexpr TimeZone kCdt{-5 * 3600, "CDT"};  ///< Aug 2001 campaign
+inline constexpr TimeZone kCst{-6 * 3600, "CST"};  ///< Dec 2001 campaign
+
+/// Days since the epoch for a civil date (proleptic Gregorian).
+std::int64_t days_from_civil(int year, int month, int day);
+
+/// Inverse of days_from_civil.
+void civil_from_days(std::int64_t days, int& year, int& month, int& day);
+
+/// Epoch seconds for a civil time interpreted in `zone`.
+std::int64_t to_epoch(const CivilTime& ct, const TimeZone& zone = kUtc);
+
+/// Civil time in `zone` for the given epoch seconds.
+CivilTime to_civil(std::int64_t epoch_seconds, const TimeZone& zone = kUtc);
+
+/// Seconds since local midnight in `zone` for the given instant.
+double seconds_into_local_day(SimTime t, const TimeZone& zone);
+
+/// True when `t` falls inside the daily window [start_hour, end_hour)
+/// local to `zone`.  Windows may wrap midnight: the paper's window is
+/// start 18, end 8 (6 pm through 8 am next morning).
+bool in_daily_window(SimTime t, const TimeZone& zone, int start_hour, int end_hour);
+
+/// Next instant at-or-after `t` whose local hour equals `hour`:00:00.
+SimTime next_local_hour(SimTime t, const TimeZone& zone, int hour);
+
+/// "YYYY-MM-DD HH:MM:SS ZZZ" rendering, for logs and bench output.
+std::string format_time(SimTime t, const TimeZone& zone = kUtc);
+
+/// Compact "YYYYMMDDHHMMSS" rendering used in ULM DATE fields.
+std::string format_ulm_date(SimTime t);
+
+inline constexpr double kSecondsPerMinute = 60.0;
+inline constexpr double kSecondsPerHour = 3600.0;
+inline constexpr double kSecondsPerDay = 86400.0;
+
+}  // namespace wadp::util

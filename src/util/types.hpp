@@ -1,0 +1,45 @@
+// Fundamental value types shared by every wadp module.
+//
+// The whole library runs on a simulated clock.  Times are seconds since
+// the Unix epoch stored as double (sub-millisecond resolution is ample
+// for wide-area transfers, and doubles keep event arithmetic simple).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace wadp {
+
+/// Seconds since the Unix epoch on the *simulated* clock.
+using SimTime = double;
+
+/// A span of simulated seconds.
+using Duration = double;
+
+/// Payload sizes.  64-bit: the paper's transfers reach 1 GB.
+using Bytes = std::uint64_t;
+
+/// Throughput in bytes per second.
+using Bandwidth = double;
+
+/// Sentinel for "no/never" time.
+inline constexpr SimTime kNeverTime = std::numeric_limits<SimTime>::infinity();
+
+/// Common byte-size literals used throughout the paper's workloads.
+inline constexpr Bytes kKB = 1000;           ///< paper logs use decimal KB (Fig. 3)
+inline constexpr Bytes kMB = 1000 * kKB;
+inline constexpr Bytes kGB = 1000 * kMB;
+inline constexpr Bytes kKiB = 1024;
+inline constexpr Bytes kMiB = 1024 * kKiB;
+
+/// Convert a bandwidth in bytes/sec to the paper's logging unit (KB/sec).
+constexpr double to_kb_per_sec(Bandwidth bytes_per_sec) {
+  return bytes_per_sec / static_cast<double>(kKB);
+}
+
+/// Convert bytes/sec to MB/sec (the unit of Figs. 1 and 2).
+constexpr double to_mb_per_sec(Bandwidth bytes_per_sec) {
+  return bytes_per_sec / static_cast<double>(kMB);
+}
+
+}  // namespace wadp

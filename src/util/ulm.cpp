@@ -1,0 +1,144 @@
+#include "util/ulm.hpp"
+
+#include <cctype>
+
+#include "util/strings.hpp"
+
+namespace wadp::util {
+namespace {
+
+bool needs_quoting(std::string_view value) {
+  if (value.empty()) return true;
+  for (char c : value) {
+    if (std::isspace(static_cast<unsigned char>(c)) || c == '"' || c == '\\') {
+      return true;
+    }
+  }
+  return false;
+}
+
+void append_quoted(std::string& out, std::string_view value) {
+  out += '"';
+  for (char c : value) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+}
+
+}  // namespace
+
+void UlmRecord::set(std::string key, std::string value) {
+  for (auto& [k, v] : fields_) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  fields_.emplace_back(std::move(key), std::move(value));
+}
+
+void UlmRecord::set_int(std::string key, std::int64_t value) {
+  set(std::move(key), std::to_string(value));
+}
+
+void UlmRecord::set_double(std::string key, double value, int precision) {
+  set(std::move(key), format("%.*f", precision, value));
+}
+
+std::optional<std::string_view> UlmRecord::get(std::string_view key) const {
+  std::optional<std::string_view> result;
+  for (const auto& [k, v] : fields_) {
+    if (k == key) result = v;  // last occurrence wins
+  }
+  return result;
+}
+
+std::optional<std::int64_t> UlmRecord::get_int(std::string_view key) const {
+  const auto v = get(key);
+  if (!v) return std::nullopt;
+  return parse_int(*v);
+}
+
+std::optional<double> UlmRecord::get_double(std::string_view key) const {
+  const auto v = get(key);
+  if (!v) return std::nullopt;
+  return parse_double(*v);
+}
+
+std::string UlmRecord::to_line() const {
+  std::string out;
+  for (std::size_t i = 0; i < fields_.size(); ++i) {
+    if (i) out += ' ';
+    out += fields_[i].first;
+    out += '=';
+    if (needs_quoting(fields_[i].second)) {
+      append_quoted(out, fields_[i].second);
+    } else {
+      out += fields_[i].second;
+    }
+  }
+  return out;
+}
+
+std::optional<UlmRecord> UlmRecord::parse(std::string_view line) {
+  UlmRecord record;
+  std::size_t i = 0;
+  const auto skip_ws = [&] {
+    while (i < line.size() && std::isspace(static_cast<unsigned char>(line[i]))) ++i;
+  };
+  skip_ws();
+  while (i < line.size()) {
+    // Key: up to '='.
+    const std::size_t key_start = i;
+    while (i < line.size() && line[i] != '=' &&
+           !std::isspace(static_cast<unsigned char>(line[i]))) {
+      ++i;
+    }
+    if (i >= line.size() || line[i] != '=' || i == key_start) return std::nullopt;
+    std::string key(line.substr(key_start, i - key_start));
+    ++i;  // consume '='
+
+    std::string value;
+    if (i < line.size() && line[i] == '"') {
+      ++i;  // opening quote
+      bool closed = false;
+      while (i < line.size()) {
+        const char c = line[i++];
+        if (c == '\\') {
+          if (i >= line.size()) return std::nullopt;  // dangling escape
+          value += line[i++];
+        } else if (c == '"') {
+          closed = true;
+          break;
+        } else {
+          value += c;
+        }
+      }
+      if (!closed) return std::nullopt;
+    } else {
+      const std::size_t val_start = i;
+      while (i < line.size() && !std::isspace(static_cast<unsigned char>(line[i]))) ++i;
+      value.assign(line.substr(val_start, i - val_start));
+    }
+    record.set(std::move(key), std::move(value));
+    skip_ws();
+  }
+  return record;
+}
+
+UlmParseResult parse_ulm_log(std::string_view body) {
+  UlmParseResult result;
+  for (const auto& line : split(body, '\n')) {
+    const auto trimmed = trim(line);
+    if (trimmed.empty()) continue;
+    if (auto record = UlmRecord::parse(trimmed); record && !record->empty()) {
+      result.records.push_back(std::move(*record));
+    } else {
+      ++result.skipped_lines;
+    }
+  }
+  return result;
+}
+
+}  // namespace wadp::util

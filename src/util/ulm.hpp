@@ -1,0 +1,63 @@
+// Universal Logger Message (ULM) "Keyword=Value" codec.
+//
+// The paper logs each GridFTP transfer as one ULM record (Section 3,
+// citing draft-abela-ulm-05): a single line of space-separated
+// KEY=VALUE fields.  Values containing spaces are double-quoted with
+// backslash escaping so the paper's file names ("/home/ftp/vazhkuda/10
+// MB") round-trip.  Keys are case-sensitive; duplicate keys keep the
+// last occurrence on parse.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace wadp::util {
+
+/// One ULM record: ordered key=value pairs (order is preserved so that
+/// emitted logs are stable and diffable).
+class UlmRecord {
+ public:
+  UlmRecord() = default;
+
+  /// Appends or overwrites `key`.
+  void set(std::string key, std::string value);
+  void set_int(std::string key, std::int64_t value);
+  void set_double(std::string key, double value, int precision = 6);
+
+  /// Last value for `key`, or nullopt.
+  std::optional<std::string_view> get(std::string_view key) const;
+  std::optional<std::int64_t> get_int(std::string_view key) const;
+  std::optional<double> get_double(std::string_view key) const;
+
+  bool has(std::string_view key) const { return get(key).has_value(); }
+  std::size_t size() const { return fields_.size(); }
+  bool empty() const { return fields_.empty(); }
+
+  const std::vector<std::pair<std::string, std::string>>& fields() const {
+    return fields_;
+  }
+
+  /// Serializes to one line (no trailing newline).
+  std::string to_line() const;
+
+  /// Parses one line.  Returns nullopt on malformed input (bad quoting,
+  /// missing '=', empty key).  Blank lines parse to an empty record.
+  static std::optional<UlmRecord> parse(std::string_view line);
+
+ private:
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+/// Serializes records to lines / parses a multi-line log body.  Lines
+/// that fail to parse are skipped and counted, mirroring how a log
+/// consumer must tolerate torn writes on a busy server.
+struct UlmParseResult {
+  std::vector<UlmRecord> records;
+  std::size_t skipped_lines = 0;
+};
+UlmParseResult parse_ulm_log(std::string_view body);
+
+}  // namespace wadp::util

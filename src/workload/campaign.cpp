@@ -1,0 +1,93 @@
+#include "workload/campaign.hpp"
+
+#include "util/error.hpp"
+#include "util/time.hpp"
+
+namespace wadp::workload {
+
+Duration SleepDistribution::sample(util::Rng& rng) const {
+  WADP_CHECK(min_sleep > 0.0 && min_sleep < short_cap && short_cap < max_sleep);
+  if (rng.uniform() < short_bias) {
+    return rng.log_uniform(min_sleep, short_cap);
+  }
+  return rng.log_uniform(short_cap, max_sleep);
+}
+
+CampaignDriver::CampaignDriver(Testbed& testbed, std::string client_site,
+                               std::string server_site, CampaignConfig config,
+                               std::uint64_t seed)
+    : testbed_(testbed),
+      client_site_(std::move(client_site)),
+      server_site_(std::move(server_site)),
+      config_(std::move(config)),
+      rng_(seed) {
+  WADP_CHECK(!config_.file_sizes.empty());
+  WADP_CHECK(config_.days >= 1);
+}
+
+SimTime CampaignDriver::first_window_time() const {
+  return align_to_window(testbed_.start_time());
+}
+
+SimTime CampaignDriver::end_time() const {
+  return testbed_.start_time() + config_.days * util::kSecondsPerDay;
+}
+
+SimTime CampaignDriver::align_to_window(SimTime t) const {
+  if (util::in_daily_window(t, testbed_.zone(), config_.window_start_hour,
+                            config_.window_end_hour)) {
+    return t;
+  }
+  return util::next_local_hour(t, testbed_.zone(), config_.window_start_hour);
+}
+
+void CampaignDriver::start() { schedule_transfer_at(first_window_time()); }
+
+void CampaignDriver::schedule_transfer_at(SimTime when) {
+  when = align_to_window(when);
+  if (when >= end_time()) {
+    finished_ = true;
+    return;
+  }
+  const SimTime now = testbed_.sim().now();
+  WADP_CHECK(when >= now);
+  testbed_.sim().schedule_at(when, [this] { issue_transfer(); });
+}
+
+void CampaignDriver::issue_transfer() {
+  const Bytes size = config_.file_sizes[static_cast<std::size_t>(rng_.uniform_int(
+      0, static_cast<std::int64_t>(config_.file_sizes.size()) - 1))];
+  auto& client = testbed_.client(client_site_);
+  auto& server = testbed_.server(server_site_);
+  client.get(server, paper_file_path(size), config_.options,
+             [this](const gridftp::TransferOutcome& outcome) {
+               if (outcome.ok) {
+                 outcomes_.push_back(outcome);
+               } else {
+                 ++failed_;
+               }
+               const Duration sleep = config_.sleeps.sample(rng_);
+               schedule_transfer_at(testbed_.sim().now() + sleep);
+             });
+}
+
+CampaignResult run_paper_campaign(Campaign campaign, std::uint64_t seed,
+                                  CampaignConfig config) {
+  CampaignResult result;
+  result.testbed = std::make_unique<Testbed>(campaign, seed);
+  // Workload randomness is independent per campaign: the paper's August
+  // and December logs are distinct draws of the same procedure.
+  util::Rng seeder(seed ^ 0xc0ffee ^
+                   (campaign == Campaign::kAugust2001 ? 0xa00u : 0xd00u));
+  result.lbl_to_anl = std::make_unique<CampaignDriver>(
+      *result.testbed, "anl", "lbl", config, seeder.next_u64());
+  result.isi_to_anl = std::make_unique<CampaignDriver>(
+      *result.testbed, "anl", "isi", config, seeder.next_u64());
+  result.lbl_to_anl->start();
+  result.isi_to_anl->start();
+  result.testbed->sim().run_until(result.lbl_to_anl->end_time() +
+                                  util::kSecondsPerDay);
+  return result;
+}
+
+}  // namespace wadp::workload

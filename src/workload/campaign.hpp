@@ -1,0 +1,101 @@
+// Controlled-experiment campaign driver (Section 6.1).
+//
+// Reproduces the paper's log-generation procedure: daily from 6 pm to
+// 8 am Central time, a client repeatedly (1) picks a file size at
+// random from the 13-size set, (2) fetches that file from the remote
+// server with 8 parallel streams and 1 MB buffers, and (3) sleeps a
+// random interval before the next transfer.  Transfers whose start
+// would fall outside the nightly window wait for the next window.
+//
+// The paper states sleeps were "randomly ... from 1 minute to 10
+// hours" and that each two-week log holds ~350-450 transfers.  A plain
+// log-uniform draw on [1 min, 10 h] yields only ~125 transfers in 14
+// nightly windows, so we use a short-biased mixture over the same
+// range, calibrated so campaigns land in the paper's count band
+// (documented substitution; see DESIGN.md).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "gridftp/client.hpp"
+#include "util/rng.hpp"
+#include "workload/testbed.hpp"
+
+namespace wadp::workload {
+
+struct SleepDistribution {
+  Duration min_sleep = 60.0;        ///< 1 minute
+  Duration max_sleep = 36'000.0;    ///< 10 hours
+  Duration short_cap = 1'200.0;     ///< "short" draws stay under 20 min
+  double short_bias = 0.82;         ///< probability of a short draw
+
+  /// Log-uniform within the chosen regime.
+  Duration sample(util::Rng& rng) const;
+};
+
+struct CampaignConfig {
+  int days = 14;
+  int window_start_hour = 18;  ///< 6 pm local
+  int window_end_hour = 8;     ///< 8 am local (wraps midnight)
+  std::vector<Bytes> file_sizes = paper_file_sizes();
+  SleepDistribution sleeps;
+  gridftp::TransferOptions options{.streams = 8,
+                                   .buffer = net::kTunedTcpBuffer};
+};
+
+/// Drives one wide-area link: `client_site` fetching from `server_site`.
+class CampaignDriver {
+ public:
+  CampaignDriver(Testbed& testbed, std::string client_site,
+                 std::string server_site, CampaignConfig config,
+                 std::uint64_t seed);
+
+  /// Schedules the first transfer; run the testbed simulator afterwards.
+  void start();
+
+  /// Completed transfer outcomes, in completion order.
+  const std::vector<gridftp::TransferOutcome>& outcomes() const {
+    return outcomes_;
+  }
+  std::size_t completed() const { return outcomes_.size(); }
+  std::size_t failed() const { return failed_; }
+  bool finished() const { return finished_; }
+
+  const std::string& client_site() const { return client_site_; }
+  const std::string& server_site() const { return server_site_; }
+
+  /// First instant >= campaign start inside the nightly window.
+  SimTime first_window_time() const;
+  /// Campaign end: start + days.
+  SimTime end_time() const;
+
+ private:
+  void schedule_transfer_at(SimTime when);
+  void issue_transfer();
+  SimTime align_to_window(SimTime t) const;
+
+  Testbed& testbed_;
+  std::string client_site_;
+  std::string server_site_;
+  CampaignConfig config_;
+  util::Rng rng_;
+  std::vector<gridftp::TransferOutcome> outcomes_;
+  std::size_t failed_ = 0;
+  bool finished_ = false;
+};
+
+/// Runs the paper's full campaign on a fresh testbed: LBL->ANL and
+/// ISI->ANL drivers concurrently, simulated to the end.  Returns the
+/// testbed (whose server logs now hold the measurement series) plus
+/// the drivers' outcome lists.
+struct CampaignResult {
+  std::unique_ptr<Testbed> testbed;
+  std::unique_ptr<CampaignDriver> lbl_to_anl;
+  std::unique_ptr<CampaignDriver> isi_to_anl;
+};
+CampaignResult run_paper_campaign(Campaign campaign, std::uint64_t seed,
+                                  CampaignConfig config = {});
+
+}  // namespace wadp::workload

@@ -1,0 +1,54 @@
+#include "workload/prober.hpp"
+
+#include "util/error.hpp"
+
+namespace wadp::workload {
+
+ActiveProber::ActiveProber(Testbed& testbed, std::string client_site,
+                           std::string server_site, ActiveProbeConfig config)
+    : testbed_(testbed),
+      client_site_(std::move(client_site)),
+      server_site_(std::move(server_site)),
+      config_(config) {
+  WADP_CHECK(config_.check_period > 0.0);
+  WADP_CHECK(config_.staleness > 0.0);
+  WADP_CHECK_MSG(
+      testbed_.server(server_site_).fs().exists(
+          paper_file_path(config_.probe_size)),
+      "probe file not staged on server");
+  task_ = std::make_unique<sim::PeriodicTask>(
+      testbed_.sim(), config_.check_period, [this] { check(); });
+}
+
+void ActiveProber::stop() { task_->stop(); }
+
+SimTime ActiveProber::last_sample_time() const {
+  const auto& client_ip = testbed_.client(client_site_).ip();
+  SimTime newest = -kNeverTime;
+  for (const auto& record : testbed_.server(server_site_).log().records()) {
+    if (record.source_ip == client_ip &&
+        record.op == gridftp::Operation::kRead) {
+      newest = std::max(newest, record.end_time);
+    }
+  }
+  return newest;
+}
+
+void ActiveProber::check() {
+  if (probe_in_flight_) return;
+  const SimTime now = testbed_.sim().now();
+  if (now - last_sample_time() < config_.staleness) {
+    ++checks_skipped_;
+    return;
+  }
+  probe_in_flight_ = true;
+  ++probes_issued_;
+  testbed_.client(client_site_)
+      .get(testbed_.server(server_site_), paper_file_path(config_.probe_size),
+           config_.options, [this](const gridftp::TransferOutcome& outcome) {
+             probe_in_flight_ = false;
+             if (!outcome.ok) ++failures_;
+           });
+}
+
+}  // namespace wadp::workload

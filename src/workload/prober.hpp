@@ -1,0 +1,61 @@
+// Active file-transfer probing (Section 3's proposed extension).
+//
+// The instrumented log's weakness is that "we have no control over the
+// intervals at which data is collected" — a quiet link goes dark.  The
+// paper suggests the system "could be extended to perform file transfer
+// probes at regular intervals for the sake of gathering data about the
+// performance".  ActiveProber is that extension: it watches a server's
+// transfer log and, whenever the measurement series for its client has
+// gone stale, issues a real (tuned) GridFTP transfer of a fixed probe
+// file so the log keeps carrying fresh end-to-end samples.
+#pragma once
+
+#include <memory>
+
+#include "gridftp/client.hpp"
+#include "sim/simulator.hpp"
+#include "workload/testbed.hpp"
+
+namespace wadp::workload {
+
+struct ActiveProbeConfig {
+  Bytes probe_size = 10 * kMB;   ///< probe file (a real transfer, not 64 KB)
+  Duration check_period = 1800.0;  ///< how often staleness is evaluated
+  Duration staleness = 7200.0;   ///< probe when no sample is younger than this
+  gridftp::TransferOptions options{.streams = 8,
+                                   .buffer = net::kTunedTcpBuffer};
+};
+
+class ActiveProber {
+ public:
+  /// Probes `server_site` from `client_site`'s client.  The probe file
+  /// must exist on the server (the paper file set includes 10 MB).
+  ActiveProber(Testbed& testbed, std::string client_site,
+               std::string server_site, ActiveProbeConfig config = {});
+
+  ActiveProber(const ActiveProber&) = delete;
+  ActiveProber& operator=(const ActiveProber&) = delete;
+
+  void stop();
+
+  std::size_t probes_issued() const { return probes_issued_; }
+  std::size_t checks_skipped() const { return checks_skipped_; }
+  std::size_t failures() const { return failures_; }
+
+ private:
+  void check();
+  /// Newest log entry for our (client, read) series, or -infinity.
+  SimTime last_sample_time() const;
+
+  Testbed& testbed_;
+  std::string client_site_;
+  std::string server_site_;
+  ActiveProbeConfig config_;
+  std::unique_ptr<sim::PeriodicTask> task_;
+  bool probe_in_flight_ = false;
+  std::size_t probes_issued_ = 0;
+  std::size_t checks_skipped_ = 0;
+  std::size_t failures_ = 0;
+};
+
+}  // namespace wadp::workload

@@ -1,0 +1,101 @@
+// The paper's three-site testbed, in simulation.
+//
+// Section 6 evaluates on ANL, ISI, and LBL, with transfers over the
+// LBL->ANL and ISI->ANL wide-area links during two two-week campaigns
+// (August and December 2001).  A Testbed owns the whole simulated
+// world: event simulator, fluid engine, topology, per-site storage,
+// GridFTP servers (with the paper's file set staged), and clients.
+//
+// Calibration targets (DESIGN.md Section 5): ~12.5 MB/s bottlenecks
+// (Fig. 6's maxrdbandwidth of 12800 KB/s), 55-75 ms RTTs, and a
+// background-load process that leaves tuned 8-stream transfers between
+// ~1.5 and ~10 MB/s depending on time of day — the Figs. 1-2 range.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "gridftp/client.hpp"
+#include "gridftp/server.hpp"
+#include "net/fabric.hpp"
+#include "net/path.hpp"
+#include "sim/simulator.hpp"
+#include "storage/storage.hpp"
+#include "util/time.hpp"
+
+namespace wadp::workload {
+
+/// The two measurement campaigns of Section 6.1.
+enum class Campaign { kAugust2001, kDecember2001 };
+
+/// Campaign start (midnight local of the first day) and its zone.
+SimTime campaign_start(Campaign campaign);
+util::TimeZone campaign_zone(Campaign campaign);
+const char* campaign_name(Campaign campaign);
+
+/// The 13 file sizes of Section 6.1: 1M ... 1G.
+const std::vector<Bytes>& paper_file_sizes();
+
+/// Path under which the paper's files are staged, matching Fig. 3
+/// ("/home/ftp/vazhkuda/10 MB" etc.).
+std::string paper_file_path(Bytes size);
+
+/// Optional deviations from the calibrated paper testbed, for
+/// heterogeneity studies (Section 1: "different sites may have varying
+/// performance characteristics because of diverse storage system
+/// architectures, network connectivity features, or load
+/// characteristics").
+struct TestbedConfig {
+  /// Replace a site's storage parameters ("anl"/"isi"/"lbl").
+  std::map<std::string, storage::StorageParams> storage_overrides;
+  /// Replace a directed link's bottleneck, keyed "src->dst".
+  std::map<std::string, Bandwidth> bottleneck_overrides;
+  /// Replace the background-load parameterization of every wide-area
+  /// link (sensitivity studies on the competing-traffic model).
+  std::optional<net::LoadParams> wan_load_override;
+};
+
+class Testbed {
+ public:
+  /// Builds the three-site world for `campaign`.  `seed` controls all
+  /// stochastic behaviour (load processes); workload randomness is
+  /// seeded separately by the campaign driver.
+  Testbed(Campaign campaign, std::uint64_t seed, TestbedConfig config = {});
+
+  Testbed(const Testbed&) = delete;
+  Testbed& operator=(const Testbed&) = delete;
+
+  sim::Simulator& sim() { return sim_; }
+  net::FluidEngine& engine() { return engine_; }
+  net::Topology& topology() { return topology_; }
+
+  Campaign campaign() const { return campaign_; }
+  SimTime start_time() const { return start_; }
+  util::TimeZone zone() const { return zone_; }
+
+  /// Site accessors; sites are "anl", "isi", "lbl".
+  gridftp::GridFtpServer& server(const std::string& site);
+  gridftp::GridFtpClient& client(const std::string& site);
+  storage::StorageSystem& storage(const std::string& site);
+  std::vector<std::string> sites() const;
+
+ private:
+  void add_site(const std::string& site, const std::string& host,
+                const std::string& ip, std::uint64_t seed,
+                const TestbedConfig& config);
+
+  Campaign campaign_;
+  SimTime start_;
+  util::TimeZone zone_;
+  sim::Simulator sim_;
+  net::FluidEngine engine_;
+  net::Topology topology_;
+  std::map<std::string, std::unique_ptr<storage::StorageSystem>> storages_;
+  std::map<std::string, std::unique_ptr<gridftp::GridFtpServer>> servers_;
+  std::map<std::string, std::unique_ptr<gridftp::GridFtpClient>> clients_;
+};
+
+}  // namespace wadp::workload

@@ -1,0 +1,94 @@
+// The combined GridFTP + NWS information plane (Section 7's proposal),
+// as deployed by InformationFabric with deploy_nws on.
+#include <gtest/gtest.h>
+
+#include "core/information_fabric.hpp"
+#include "workload/campaign.hpp"
+
+namespace wadp::core {
+namespace {
+
+FabricConfig nws_config() {
+  FabricConfig config;
+  config.deploy_nws = true;
+  return config;
+}
+
+TEST(FabricNwsTest, SensorsProbeEveryDirectedPath) {
+  workload::Testbed testbed(workload::Campaign::kAugust2001, 1);
+  InformationFabric fabric(testbed, nws_config());
+  testbed.sim().run_until(testbed.start_time() + 3600.0);
+  fabric.absorb_probes();
+  // Six directed paths; every source site's memory holds its outgoing
+  // experiments with ~12 probes each (every 5 minutes for an hour).
+  std::size_t experiments = 0;
+  for (const auto& site : testbed.sites()) {
+    for (const auto& name : fabric.probe_memory(site).experiments()) {
+      ++experiments;
+      EXPECT_GE(fabric.probe_memory(site).series(name).size(), 10u) << name;
+    }
+  }
+  EXPECT_EQ(experiments, 6u);
+}
+
+TEST(FabricNwsTest, NwsEntriesQueryableThroughGiis) {
+  workload::Testbed testbed(workload::Campaign::kAugust2001, 2);
+  InformationFabric fabric(testbed, nws_config());
+  testbed.sim().run_until(testbed.start_time() + 7200.0);
+  const auto now = testbed.sim().now();
+  fabric.renew(now);
+
+  const auto probes = fabric.giis().search(
+      now, *mds::Filter::parse("(objectclass=nwsNetwork)"));
+  EXPECT_EQ(probes.size(), 6u);
+  for (const auto& entry : probes) {
+    EXPECT_TRUE(entry.has("forecastbandwidth")) << entry.to_ldif();
+    // Probe forecasts sit far below GridFTP levels: < 300 KB/s.
+    EXPECT_LT(*entry.get_double("forecastbandwidth"), 300.0);
+  }
+}
+
+TEST(FabricNwsTest, BothPlanesCoexistInOneDirectory) {
+  workload::Testbed testbed(workload::Campaign::kAugust2001, 3);
+  workload::CampaignConfig campaign;
+  campaign.days = 2;
+  workload::CampaignDriver driver(testbed, "anl", "lbl", campaign, 5);
+  driver.start();
+  InformationFabric fabric(testbed, nws_config());
+  testbed.sim().run_until(driver.end_time() + 3600.0);
+  const auto now = testbed.sim().now();
+  fabric.renew(now);
+
+  const auto gridftp = fabric.giis().search(
+      now, *mds::Filter::parse("(objectclass=GridFTPPerfInfo)"));
+  const auto probes = fabric.giis().search(
+      now, *mds::Filter::parse("(objectclass=nwsNetwork)"));
+  EXPECT_GE(gridftp.size(), 1u);   // LBL served the campaign
+  EXPECT_EQ(probes.size(), 6u);
+
+  // The Figs. 1-2 gap, straight out of the directory: LBL's GridFTP
+  // average vs the lbl->anl probe forecast.
+  const auto lbl_gridftp = fabric.giis().search(
+      now, *mds::Filter::parse("(&(objectclass=GridFTPPerfInfo)"
+                               "(avgrdbandwidth=*))"));
+  ASSERT_FALSE(lbl_gridftp.empty());
+  const auto lbl_probe = fabric.giis().search(
+      now, *mds::Filter::parse("(&(objectclass=nwsNetwork)"
+                               "(experiment=bandwidth.lbl.anl))"));
+  ASSERT_EQ(lbl_probe.size(), 1u);
+  EXPECT_GT(*lbl_gridftp[0].get_double("avgrdbandwidth"),
+            10.0 * *lbl_probe[0].get_double("latestbandwidth"));
+}
+
+TEST(FabricNwsTest, OffByDefault) {
+  workload::Testbed testbed(workload::Campaign::kAugust2001, 4);
+  InformationFabric fabric(testbed);
+  EXPECT_DEATH(fabric.probe_memory("lbl"), "deploy_nws");
+  testbed.sim().run_until(testbed.start_time() + 3600.0);
+  const auto entries = fabric.giis().search(
+      testbed.sim().now(), *mds::Filter::parse("(objectclass=nwsNetwork)"));
+  EXPECT_TRUE(entries.empty());
+}
+
+}  // namespace
+}  // namespace wadp::core

@@ -1,0 +1,92 @@
+#include "core/information_fabric.hpp"
+
+#include <gtest/gtest.h>
+
+#include "replica/broker.hpp"
+#include "workload/campaign.hpp"
+
+namespace wadp::core {
+namespace {
+
+TEST(InformationFabricTest, BuildsOneGrisPerSite) {
+  workload::Testbed testbed(workload::Campaign::kAugust2001, 1);
+  InformationFabric fabric(testbed);
+  EXPECT_EQ(fabric.giis().live_registrations(testbed.sim().now()), 3u);
+  for (const auto& site : testbed.sites()) {
+    EXPECT_EQ(fabric.gris(site).provider_count(), 1u);
+    EXPECT_EQ(fabric.gris(site).suffix(), fabric.site_suffix(site));
+  }
+}
+
+TEST(InformationFabricTest, SiteSuffixUsesOrganization) {
+  workload::Testbed testbed(workload::Campaign::kAugust2001, 1);
+  FabricConfig config;
+  config.organization = "dc=doe, o=science";
+  InformationFabric fabric(testbed, config);
+  EXPECT_EQ(fabric.site_suffix("lbl").to_string(), "dc=lbl, dc=doe, o=science");
+}
+
+TEST(InformationFabricTest, ServesCampaignStatistics) {
+  workload::CampaignConfig config;
+  config.days = 3;
+  auto campaign = workload::run_paper_campaign(
+      workload::Campaign::kAugust2001, 3, config);
+  InformationFabric fabric(*campaign.testbed);
+  const auto now = campaign.testbed->sim().now();
+  fabric.renew(now);
+  const auto entries = fabric.giis().search(
+      now, *mds::Filter::parse("(objectclass=GridFTPPerfInfo)"));
+  // LBL and ISI logged transfers toward ANL; ANL logged none.
+  EXPECT_EQ(entries.size(), 2u);
+  for (const auto& entry : entries) {
+    EXPECT_TRUE(entry.has("avgrdbandwidth"));
+  }
+}
+
+TEST(InformationFabricTest, RegistrationsLapseAndRenew) {
+  workload::Testbed testbed(workload::Campaign::kAugust2001, 2);
+  FabricConfig config;
+  config.registration_ttl = 600.0;
+  InformationFabric fabric(testbed, config);
+  const auto start = testbed.sim().now();
+  EXPECT_EQ(fabric.giis().live_registrations(start + 599.0), 3u);
+  EXPECT_EQ(fabric.giis().live_registrations(start + 601.0), 0u);
+  fabric.renew(start + 601.0);
+  EXPECT_EQ(fabric.giis().live_registrations(start + 602.0), 3u);
+}
+
+TEST(InformationFabricTest, DrivesABrokerEndToEnd) {
+  workload::CampaignConfig campaign_config;
+  campaign_config.days = 3;
+  auto campaign = workload::run_paper_campaign(
+      workload::Campaign::kAugust2001, 7, campaign_config);
+  auto& testbed = *campaign.testbed;
+  InformationFabric fabric(testbed);
+  const auto now = testbed.sim().now();
+  fabric.renew(now);
+
+  replica::ReplicaCatalog catalog;
+  const auto path = workload::paper_file_path(500 * kMB);
+  for (const auto& site : {"lbl", "isi"}) {
+    catalog.add_replica("lfn://f", {.site = site,
+                                    .server_host =
+                                        testbed.server(site).config().host,
+                                    .path = path});
+  }
+  replica::ReplicaBroker broker(catalog, fabric.giis(),
+                                replica::SelectionPolicy::kPredictedBest);
+  const auto selection =
+      broker.select("lfn://f", testbed.client("anl").ip(), 500 * kMB, now);
+  ASSERT_TRUE(selection.has_value());
+  EXPECT_TRUE(selection->informed);
+  EXPECT_TRUE(selection->predicted_bandwidth.has_value());
+}
+
+TEST(InformationFabricTest, UnknownSiteAborts) {
+  workload::Testbed testbed(workload::Campaign::kAugust2001, 1);
+  InformationFabric fabric(testbed);
+  EXPECT_DEATH(fabric.gris("cern"), "unknown site");
+}
+
+}  // namespace
+}  // namespace wadp::core

@@ -1,0 +1,163 @@
+#include "core/prediction_service.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wadp::core {
+namespace {
+
+using gridftp::Operation;
+using gridftp::TransferRecord;
+
+TransferRecord record(double end, double bw_mb, Bytes size,
+                      const std::string& remote = "140.221.65.69",
+                      Operation op = Operation::kRead) {
+  TransferRecord r;
+  r.host = "dpsslx04.lbl.gov";
+  r.source_ip = remote;
+  r.file_name = "/v/f";
+  r.file_size = size;
+  r.volume = "/v";
+  const double duration = static_cast<double>(size) / (bw_mb * 1e6);
+  r.start_time = end - duration;
+  r.end_time = end;
+  r.op = op;
+  r.streams = 8;
+  r.tcp_buffer = 1'000'000;
+  return r;
+}
+
+SeriesKey lbl_to_anl() {
+  return {.host = "dpsslx04.lbl.gov",
+          .remote_ip = "140.221.65.69",
+          .op = Operation::kRead};
+}
+
+TEST(PredictionServiceTest, IngestGroupsBySeries) {
+  PredictionService service;
+  service.ingest(record(100.0, 5.0, 10 * kMB));
+  service.ingest(record(200.0, 5.0, 10 * kMB, "1.2.3.4"));
+  service.ingest(record(300.0, 5.0, 10 * kMB, "140.221.65.69",
+                        Operation::kWrite));
+  EXPECT_EQ(service.series_keys().size(), 3u);
+  EXPECT_EQ(service.total_observations(), 3u);
+  ASSERT_NE(service.series(lbl_to_anl()), nullptr);
+  EXPECT_EQ(service.series(lbl_to_anl())->size(), 1u);
+}
+
+TEST(PredictionServiceTest, NoPredictionBeforeTraining) {
+  PredictionService service;  // training_count defaults to 15
+  for (int i = 0; i < 14; ++i) {
+    service.ingest(record(100.0 + i * 50, 5.0, 10 * kMB));
+  }
+  EXPECT_FALSE(service.predict(lbl_to_anl(), 10 * kMB, 2000.0).has_value());
+  service.ingest(record(900.0, 5.0, 10 * kMB));
+  EXPECT_TRUE(service.predict(lbl_to_anl(), 10 * kMB, 2000.0).has_value());
+}
+
+TEST(PredictionServiceTest, DefaultPredictorIsClassified) {
+  PredictionService service;
+  // 20 small transfers at 2 MB/s, 20 large at 8 MB/s.
+  for (int i = 0; i < 20; ++i) {
+    service.ingest(record(100.0 + i * 100, 2.0, 10 * kMB));
+    service.ingest(record(150.0 + i * 100, 8.0, 900 * kMB));
+  }
+  const auto small = service.predict(lbl_to_anl(), 10 * kMB, 5000.0);
+  const auto large = service.predict(lbl_to_anl(), 900 * kMB, 5000.0);
+  ASSERT_TRUE(small && large);
+  EXPECT_NEAR(*small, 2e6, 1e4);
+  EXPECT_NEAR(*large, 8e6, 1e4);
+}
+
+TEST(PredictionServiceTest, NamedPredictorSelection) {
+  PredictionService service;
+  for (int i = 0; i < 20; ++i) {
+    service.ingest(record(100.0 + i * 100, i < 19 ? 4.0 : 6.0, 10 * kMB));
+  }
+  const auto lv = service.predict(lbl_to_anl(), 10 * kMB, 5000.0, "LV");
+  ASSERT_TRUE(lv.has_value());
+  EXPECT_NEAR(*lv, 6e6, 1e4);
+  EXPECT_FALSE(
+      service.predict(lbl_to_anl(), 10 * kMB, 5000.0, "NOPE").has_value());
+}
+
+TEST(PredictionServiceTest, UnknownSeriesHasNoPrediction) {
+  PredictionService service;
+  EXPECT_FALSE(service
+                   .predict({.host = "x", .remote_ip = "y",
+                             .op = Operation::kRead},
+                            kMB, 0.0)
+                   .has_value());
+  EXPECT_EQ(service.series({.host = "x", .remote_ip = "y",
+                            .op = Operation::kRead}),
+            nullptr);
+}
+
+TEST(PredictionServiceTest, PredictAllCoversBattery) {
+  PredictionService service;
+  for (int i = 0; i < 30; ++i) {
+    service.ingest(record(100.0 + i * 100, 5.0, 10 * kMB));
+  }
+  const auto all = service.predict_all(lbl_to_anl(), 10 * kMB, 5000.0);
+  EXPECT_EQ(all.size(), 30u);
+  std::size_t answered = 0;
+  for (const auto& [name, value] : all) {
+    if (value) {
+      ++answered;
+      EXPECT_NEAR(*value, 5e6, 1e4) << name;
+    }
+  }
+  EXPECT_GT(answered, 20u);
+}
+
+TEST(PredictionServiceTest, OutOfOrderIngestKeepsSeriesSorted) {
+  PredictionService service;
+  service.ingest(record(300.0, 5.0, kMB));
+  service.ingest(record(100.0, 4.0, kMB));
+  service.ingest(record(200.0, 3.0, kMB));
+  const auto* series = service.series(lbl_to_anl());
+  ASSERT_NE(series, nullptr);
+  ASSERT_EQ(series->size(), 3u);
+  EXPECT_DOUBLE_EQ((*series)[0].time, 100.0);
+  EXPECT_DOUBLE_EQ((*series)[1].time, 200.0);
+  EXPECT_DOUBLE_EQ((*series)[2].time, 300.0);
+}
+
+TEST(PredictionServiceTest, IngestLogPullsEveryRecord) {
+  gridftp::TransferLog log;
+  for (int i = 0; i < 5; ++i) log.append(record(100.0 + i * 10, 5.0, kMB));
+  PredictionService service;
+  service.ingest_log(log);
+  EXPECT_EQ(service.total_observations(), 5u);
+}
+
+TEST(PredictionServiceTest, EvaluateRunsPaperBattery) {
+  PredictionService service;
+  for (int i = 0; i < 60; ++i) {
+    service.ingest(record(100.0 + i * 100, 4.0 + (i % 5) * 0.5, 10 * kMB));
+  }
+  const auto evaluation = service.evaluate(lbl_to_anl());
+  ASSERT_TRUE(evaluation.has_value());
+  EXPECT_EQ(evaluation->predictor_names().size(), 30u);
+  EXPECT_EQ(evaluation->evaluated_transfers(), 45u);
+  // Errors are bounded on this tame series.
+  EXPECT_LT(evaluation->errors(*evaluation->index_of("AVG15")).mean(), 25.0);
+}
+
+TEST(PredictionServiceTest, EvaluateTooShortSeriesIsNullopt) {
+  PredictionService service;
+  for (int i = 0; i < 15; ++i) service.ingest(record(100.0 + i, 5.0, kMB));
+  EXPECT_FALSE(service.evaluate(lbl_to_anl()).has_value());
+}
+
+TEST(PredictionServiceTest, SeriesKeyToString) {
+  EXPECT_EQ(lbl_to_anl().to_string(), "dpsslx04.lbl.gov/140.221.65.69/read");
+}
+
+TEST(PredictionServiceDeathTest, BadDefaultPredictorAborts) {
+  ServiceConfig config;
+  config.default_predictor = "NOPE";
+  EXPECT_DEATH(PredictionService{config}, "default predictor");
+}
+
+}  // namespace
+}  // namespace wadp::core

@@ -1,0 +1,141 @@
+// Failure injection: server availability and broker failover.
+#include <gtest/gtest.h>
+
+#include "mds/gridftp_provider.hpp"
+#include "replica/broker.hpp"
+#include "workload/testbed.hpp"
+
+namespace wadp::gridftp {
+namespace {
+
+TEST(AvailabilityTest, RejectedWithFourTwentyOneWhileDown) {
+  workload::Testbed testbed(workload::Campaign::kAugust2001, 1);
+  auto& server = testbed.server("lbl");
+  server.set_accepting(false);
+
+  std::optional<TransferOutcome> outcome;
+  testbed.client("anl").get(server, workload::paper_file_path(10 * kMB), {},
+                            [&](const TransferOutcome& o) { outcome = o; });
+  testbed.sim().run_until(testbed.start_time() + 3600.0);
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_FALSE(outcome->ok);
+  EXPECT_NE(outcome->error.find("421"), std::string::npos);
+  EXPECT_TRUE(server.log().empty());
+}
+
+TEST(AvailabilityTest, RecoversAfterMaintenance) {
+  workload::Testbed testbed(workload::Campaign::kAugust2001, 2);
+  auto& server = testbed.server("lbl");
+  server.set_accepting(false);
+  server.set_accepting(true);
+
+  std::optional<TransferOutcome> outcome;
+  testbed.client("anl").get(server, workload::paper_file_path(10 * kMB), {},
+                            [&](const TransferOutcome& o) { outcome = o; });
+  testbed.sim().run_until(testbed.start_time() + 3600.0);
+  ASSERT_TRUE(outcome && outcome->ok);
+}
+
+TEST(AvailabilityTest, PutAndPartialAndThirdPartyAlsoRejected) {
+  workload::Testbed testbed(workload::Campaign::kAugust2001, 3);
+  auto& lbl = testbed.server("lbl");
+  auto& isi = testbed.server("isi");
+  lbl.set_accepting(false);
+  auto& client = testbed.client("anl");
+
+  int rejected = 0;
+  const auto expect_421 = [&](const TransferOutcome& o) {
+    EXPECT_FALSE(o.ok);
+    EXPECT_NE(o.error.find("421"), std::string::npos);
+    ++rejected;
+  };
+  client.put(lbl, "/home/ftp/up", 1000, {}, expect_421);
+  client.get_partial(lbl, workload::paper_file_path(10 * kMB), 0, 100, {},
+                     expect_421);
+  client.third_party(lbl, isi, workload::paper_file_path(10 * kMB),
+                     "/home/ftp/c", {}, expect_421);
+  client.third_party(isi, lbl, workload::paper_file_path(10 * kMB),
+                     "/home/ftp/c", {}, expect_421);
+  testbed.sim().run_until(testbed.start_time() + 3600.0);
+  EXPECT_EQ(rejected, 4);
+}
+
+TEST(AvailabilityTest, BrokerFailoverViaExcludeList) {
+  workload::Testbed testbed(workload::Campaign::kAugust2001, 4);
+  // Minimal delivery stack with no history: broker falls back to the
+  // first non-excluded replica.
+  mds::Giis giis("top");
+  replica::ReplicaCatalog catalog;
+  const replica::PhysicalReplica lbl{.site = "lbl",
+                                     .server_host = "dpsslx04.lbl.gov",
+                                     .path = "/p"};
+  const replica::PhysicalReplica isi{.site = "isi",
+                                     .server_host = "jet.isi.edu",
+                                     .path = "/p"};
+  catalog.add_replica("f", lbl);
+  catalog.add_replica("f", isi);
+  replica::ReplicaBroker broker(catalog, giis,
+                                replica::SelectionPolicy::kPredictedBest);
+
+  const auto first_try = broker.select("f", "1.2.3.4", kMB, 0.0);
+  ASSERT_TRUE(first_try.has_value());
+  EXPECT_EQ(first_try->replica, lbl);
+
+  // LBL returned 421: retry excluding it.
+  const std::vector<replica::PhysicalReplica> exclude = {lbl};
+  const auto second_try = broker.select("f", "1.2.3.4", kMB, 0.0, exclude);
+  ASSERT_TRUE(second_try.has_value());
+  EXPECT_EQ(second_try->replica, isi);
+
+  // Everything excluded: no selection.
+  const std::vector<replica::PhysicalReplica> all = {lbl, isi};
+  EXPECT_FALSE(broker.select("f", "1.2.3.4", kMB, 0.0, all).has_value());
+}
+
+TEST(AvailabilityTest, EndToEndFailoverFetchSucceeds) {
+  workload::Testbed testbed(workload::Campaign::kAugust2001, 5);
+  testbed.server("lbl").set_accepting(false);
+
+  mds::Giis giis("top");
+  replica::ReplicaCatalog catalog;
+  const auto path = workload::paper_file_path(10 * kMB);
+  catalog.add_replica("f", {.site = "lbl", .server_host = "dpsslx04.lbl.gov",
+                            .path = path});
+  catalog.add_replica("f", {.site = "isi", .server_host = "jet.isi.edu",
+                            .path = path});
+  replica::ReplicaBroker broker(catalog, giis,
+                                replica::SelectionPolicy::kFirst);
+
+  auto& client = testbed.client("anl");
+  std::optional<TransferOutcome> final_outcome;
+  std::vector<replica::PhysicalReplica> tried;
+
+  // Select -> fetch -> on 421 retry with the failed replica excluded.
+  std::function<void()> attempt = [&] {
+    const auto selection = broker.select("f", client.ip(), 10 * kMB,
+                                         testbed.sim().now(), tried);
+    ASSERT_TRUE(selection.has_value());
+    tried.push_back(selection->replica);
+    client.get(testbed.server(selection->replica.site),
+               selection->replica.path, {},
+               [&](const TransferOutcome& outcome) {
+                 if (!outcome.ok &&
+                     outcome.error.find("421") != std::string::npos &&
+                     tried.size() < 2) {
+                   attempt();
+                   return;
+                 }
+                 final_outcome = outcome;
+               });
+  };
+  attempt();
+  testbed.sim().run_until(testbed.start_time() + 7200.0);
+  ASSERT_TRUE(final_outcome.has_value());
+  EXPECT_TRUE(final_outcome->ok) << final_outcome->error;
+  EXPECT_EQ(tried.size(), 2u);
+  EXPECT_EQ(tried[0].site, "lbl");
+  EXPECT_EQ(tried[1].site, "isi");
+}
+
+}  // namespace
+}  // namespace wadp::gridftp

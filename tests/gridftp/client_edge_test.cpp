@@ -1,0 +1,134 @@
+// Client edge cases: missing topology entries, control-RTT fallback,
+// and option plumbing through the protocol layer.
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "gridftp/client.hpp"
+#include "gridftp/server.hpp"
+#include "net/fabric.hpp"
+#include "sim/simulator.hpp"
+#include "storage/storage.hpp"
+
+namespace wadp::gridftp {
+namespace {
+
+storage::StorageParams dedicated() {
+  storage::StorageParams p;
+  p.local_load.reset();
+  return p;
+}
+
+net::PathParams quiet() {
+  net::PathParams p;
+  p.bottleneck = 10e6;
+  p.rtt = 0.05;
+  p.load.base = 0.0;
+  p.load.diurnal_amplitude = 0.0;
+  p.load.ar_sigma = 0.0;
+  p.load.episode_rate_per_hour = 0.0;
+  return p;
+}
+
+TEST(ClientEdgeTest, MissingDataPathReportsTopologyError) {
+  sim::Simulator sim(0.0);
+  net::FluidEngine engine(sim);
+  net::Topology topology;
+  // Only the control direction exists; data (src->dst) is missing.
+  topology.add_path("dst", "src", quiet(), 1, 0.0);
+  storage::StorageSystem store("src", dedicated(), 1, 0.0);
+  GridFtpServer server({.site = "src", .host = "h", .ip = "1.1.1.1"}, store);
+  server.fs().add_volume("/v");
+  server.fs().add_file("/v/f", kMB);
+  GridFtpClient client(sim, engine, topology, "dst", "2.2.2.2");
+
+  std::optional<TransferOutcome> outcome;
+  client.get(server, "/v/f", {}, [&](const TransferOutcome& o) { outcome = o; });
+  sim.run();
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_FALSE(outcome->ok);
+  EXPECT_NE(outcome->error.find("no path"), std::string::npos);
+}
+
+TEST(ClientEdgeTest, ControlRttFallsBackToReverseDirection) {
+  // Only src->dst exists: the client's control channel (dst->src)
+  // borrows the reverse path's RTT; the transfer still completes.
+  sim::Simulator sim(0.0);
+  net::FluidEngine engine(sim);
+  net::Topology topology;
+  topology.add_path("src", "dst", quiet(), 1, 0.0);
+  storage::StorageSystem store("src", dedicated(), 1, 0.0);
+  GridFtpServer server({.site = "src", .host = "h", .ip = "1.1.1.1"}, store);
+  server.fs().add_volume("/v");
+  server.fs().add_file("/v/f", 5 * kMB);
+  GridFtpClient client(sim, engine, topology, "dst", "2.2.2.2");
+
+  std::optional<TransferOutcome> outcome;
+  client.get(server, "/v/f", {}, [&](const TransferOutcome& o) { outcome = o; });
+  sim.run();
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_TRUE(outcome->ok) << outcome->error;
+}
+
+TEST(ClientEdgeTest, NoPathsAtAllStillGetsDefaultControlRtt) {
+  // Neither direction registered: control overhead uses the 50 ms
+  // default; the data phase then fails with the topology error.
+  sim::Simulator sim(0.0);
+  net::FluidEngine engine(sim);
+  net::Topology topology;
+  storage::StorageSystem store("src", dedicated(), 1, 0.0);
+  GridFtpServer server({.site = "src", .host = "h", .ip = "1.1.1.1"}, store);
+  server.fs().add_volume("/v");
+  server.fs().add_file("/v/f", kMB);
+  GridFtpClient client(sim, engine, topology, "dst", "2.2.2.2");
+
+  std::optional<TransferOutcome> outcome;
+  client.get(server, "/v/f", {}, [&](const TransferOutcome& o) { outcome = o; });
+  sim.run();
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_FALSE(outcome->ok);
+  EXPECT_GT(outcome->control_overhead, 0.0);
+}
+
+TEST(ClientEdgeTest, CustomProtocolCostsShiftControlOverhead) {
+  sim::Simulator sim(0.0);
+  net::FluidEngine engine(sim);
+  net::Topology topology;
+  topology.add_path("src", "dst", quiet(), 1, 0.0);
+  topology.add_path("dst", "src", quiet(), 2, 0.0);
+  storage::StorageSystem store("src", dedicated(), 1, 0.0);
+  GridFtpServer server({.site = "src", .host = "h", .ip = "1.1.1.1"}, store);
+  server.fs().add_volume("/v");
+  server.fs().add_file("/v/f", kMB);
+
+  ProtocolCosts slow;
+  slow.control_setup_rtts = 10;
+  slow.auth_cpu = 2.0;
+  GridFtpClient client(sim, engine, topology, "dst", "2.2.2.2", nullptr, slow);
+  std::optional<TransferOutcome> outcome;
+  client.get(server, "/v/f", {}, [&](const TransferOutcome& o) { outcome = o; });
+  sim.run();
+  ASSERT_TRUE(outcome && outcome->ok);
+  EXPECT_NEAR(outcome->control_overhead, 10 * 0.05 + 2.0, 1e-9);
+}
+
+TEST(ClientEdgeTest, ClientWithoutLocalStorageStillTransfers) {
+  sim::Simulator sim(0.0);
+  net::FluidEngine engine(sim);
+  net::Topology topology;
+  topology.add_path("src", "dst", quiet(), 1, 0.0);
+  topology.add_path("dst", "src", quiet(), 2, 0.0);
+  storage::StorageSystem store("src", dedicated(), 1, 0.0);
+  GridFtpServer server({.site = "src", .host = "h", .ip = "1.1.1.1"}, store);
+  server.fs().add_volume("/v");
+  server.fs().add_file("/v/f", 10 * kMB);
+  GridFtpClient client(sim, engine, topology, "dst", "2.2.2.2",
+                       /*local_storage=*/nullptr);
+  std::optional<TransferOutcome> outcome;
+  client.get(server, "/v/f", {}, [&](const TransferOutcome& o) { outcome = o; });
+  sim.run();
+  ASSERT_TRUE(outcome && outcome->ok);
+}
+
+}  // namespace
+}  // namespace wadp::gridftp

@@ -1,0 +1,224 @@
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "gridftp/client.hpp"
+#include "gridftp/server.hpp"
+#include "net/fabric.hpp"
+#include "sim/simulator.hpp"
+#include "storage/storage.hpp"
+
+namespace wadp::gridftp {
+namespace {
+
+/// Two-site world with quiet, deterministic paths.
+struct World {
+  sim::Simulator sim{998'000'000.0};
+  net::FluidEngine engine{sim};
+  net::Topology topology;
+  storage::StorageSystem src_storage{"src", dedicated(), 1, 998'000'000.0};
+  storage::StorageSystem dst_storage{"dst", dedicated(), 2, 998'000'000.0};
+  GridFtpServer server;
+  GridFtpServer dst_server;
+  GridFtpClient client;
+
+  static storage::StorageParams dedicated() {
+    storage::StorageParams p;
+    p.local_load.reset();
+    return p;
+  }
+
+  static net::PathParams quiet() {
+    net::PathParams p;
+    p.bottleneck = 10'000'000.0;
+    p.rtt = 0.05;
+    p.load.base = 0.0;
+    p.load.diurnal_amplitude = 0.0;
+    p.load.ar_sigma = 0.0;
+    p.load.episode_rate_per_hour = 0.0;
+    return p;
+  }
+
+  World()
+      : server({.site = "src", .host = "ftp.src.org", .ip = "10.0.0.1"},
+               src_storage),
+        dst_server({.site = "dst", .host = "ftp.dst.org", .ip = "10.0.0.2"},
+                   dst_storage),
+        client(sim, engine, topology, "dst", "10.0.0.2", &dst_storage) {
+    topology.add_path("src", "dst", quiet(), 1, sim.now());
+    topology.add_path("dst", "src", quiet(), 2, sim.now());
+    server.fs().add_volume("/home/ftp");
+    server.fs().add_file("/home/ftp/data/100 MB", 100'000'000);
+    dst_server.fs().add_volume("/home/ftp");
+  }
+};
+
+TEST(ClientServerTest, GetTransfersAndLogs) {
+  World w;
+  std::optional<TransferOutcome> outcome;
+  w.client.get(w.server, "/home/ftp/data/100 MB", {},
+               [&](const TransferOutcome& o) { outcome = o; });
+  w.sim.run();
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_TRUE(outcome->ok) << outcome->error;
+  EXPECT_EQ(w.server.log().size(), 1u);
+  const auto& record = w.server.log().records().front();
+  EXPECT_EQ(record, outcome->record);
+  EXPECT_EQ(record.file_size, 100'000'000u);
+  EXPECT_EQ(record.source_ip, "10.0.0.2");
+  EXPECT_EQ(record.host, "ftp.src.org");
+  EXPECT_EQ(record.volume, "/home/ftp");
+  EXPECT_EQ(record.op, Operation::kRead);
+  EXPECT_EQ(record.streams, 8);
+  EXPECT_EQ(record.tcp_buffer, net::kTunedTcpBuffer);
+  // ~10 MB/s quiet path: 100 MB in a bit over 10 s.
+  EXPECT_GT(record.total_time(), 9.0);
+  EXPECT_LT(record.total_time(), 14.0);
+}
+
+TEST(ClientServerTest, ControlOverheadExcludedFromTimedWindow) {
+  World w;
+  std::optional<TransferOutcome> outcome;
+  const SimTime issued = w.sim.now();
+  w.client.get(w.server, "/home/ftp/data/100 MB", {},
+               [&](const TransferOutcome& o) { outcome = o; });
+  w.sim.run();
+  ASSERT_TRUE(outcome && outcome->ok);
+  EXPECT_GT(outcome->control_overhead, 0.0);
+  // Auth happened before the logged window opened.
+  EXPECT_GE(outcome->record.start_time, issued + outcome->control_overhead);
+}
+
+TEST(ClientServerTest, GetMissingFileFails) {
+  World w;
+  std::optional<TransferOutcome> outcome;
+  w.client.get(w.server, "/home/ftp/none", {},
+               [&](const TransferOutcome& o) { outcome = o; });
+  w.sim.run();
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_FALSE(outcome->ok);
+  EXPECT_NE(outcome->error.find("550"), std::string::npos);
+  EXPECT_TRUE(w.server.log().empty());  // nothing to instrument
+}
+
+TEST(ClientServerTest, PartialTransferLogsBytesMoved) {
+  World w;
+  std::optional<TransferOutcome> outcome;
+  w.client.get_partial(w.server, "/home/ftp/data/100 MB", 10'000'000,
+                       5'000'000, {},
+                       [&](const TransferOutcome& o) { outcome = o; });
+  w.sim.run();
+  ASSERT_TRUE(outcome && outcome->ok);
+  EXPECT_EQ(outcome->record.file_size, 5'000'000u);
+}
+
+TEST(ClientServerTest, PartialRangeValidation) {
+  World w;
+  std::optional<TransferOutcome> outcome;
+  w.client.get_partial(w.server, "/home/ftp/data/100 MB", 99'000'000,
+                       5'000'000, {},
+                       [&](const TransferOutcome& o) { outcome = o; });
+  w.sim.run();
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_FALSE(outcome->ok);
+  EXPECT_NE(outcome->error.find("551"), std::string::npos);
+}
+
+TEST(ClientServerTest, PutCreatesFileAndLogsWrite) {
+  World w;
+  std::optional<TransferOutcome> outcome;
+  w.client.put(w.server, "/home/ftp/upload/new", 30'000'000, {},
+               [&](const TransferOutcome& o) { outcome = o; });
+  w.sim.run();
+  ASSERT_TRUE(outcome && outcome->ok);
+  EXPECT_EQ(outcome->record.op, Operation::kWrite);
+  EXPECT_EQ(*w.server.fs().file_size("/home/ftp/upload/new"), 30'000'000u);
+}
+
+TEST(ClientServerTest, PutOutsideVolumeFails) {
+  World w;
+  std::optional<TransferOutcome> outcome;
+  w.client.put(w.server, "/etc/passwd", 1000, {},
+               [&](const TransferOutcome& o) { outcome = o; });
+  w.sim.run();
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_FALSE(outcome->ok);
+  EXPECT_NE(outcome->error.find("553"), std::string::npos);
+}
+
+TEST(ClientServerTest, PutZeroBytesFails) {
+  World w;
+  std::optional<TransferOutcome> outcome;
+  w.client.put(w.server, "/home/ftp/zero", 0, {},
+               [&](const TransferOutcome& o) { outcome = o; });
+  w.sim.run();
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_FALSE(outcome->ok);
+}
+
+TEST(ClientServerTest, ThirdPartyLogsAtBothEnds) {
+  World w;
+  std::optional<TransferOutcome> outcome;
+  w.client.third_party(w.server, w.dst_server, "/home/ftp/data/100 MB",
+                       "/home/ftp/copy", {},
+                       [&](const TransferOutcome& o) { outcome = o; });
+  w.sim.run();
+  ASSERT_TRUE(outcome && outcome->ok);
+  EXPECT_EQ(w.server.log().size(), 1u);
+  EXPECT_EQ(w.dst_server.log().size(), 1u);
+  EXPECT_EQ(w.server.log().records().front().op, Operation::kRead);
+  EXPECT_EQ(w.dst_server.log().records().front().op, Operation::kWrite);
+  // The read record names the destination server as the remote peer.
+  EXPECT_EQ(w.server.log().records().front().source_ip, "10.0.0.2");
+  EXPECT_TRUE(w.dst_server.fs().exists("/home/ftp/copy"));
+}
+
+TEST(ClientServerTest, TransferOptionsReachTheLog) {
+  World w;
+  TransferOptions options{.streams = 4, .buffer = 256 * 1024};
+  std::optional<TransferOutcome> outcome;
+  w.client.get(w.server, "/home/ftp/data/100 MB", options,
+               [&](const TransferOutcome& o) { outcome = o; });
+  w.sim.run();
+  ASSERT_TRUE(outcome && outcome->ok);
+  EXPECT_EQ(outcome->record.streams, 4);
+  EXPECT_EQ(outcome->record.tcp_buffer, 256u * 1024u);
+}
+
+TEST(ClientServerTest, SequentialTransfersAccumulateInLog) {
+  World w;
+  int done = 0;
+  const TransferCallback next = [&](const TransferOutcome& o) {
+    ASSERT_TRUE(o.ok);
+    ++done;
+  };
+  w.client.get(w.server, "/home/ftp/data/100 MB", {},
+               [&](const TransferOutcome& o) {
+                 next(o);
+                 w.client.get(w.server, "/home/ftp/data/100 MB", {}, next);
+               });
+  w.sim.run();
+  EXPECT_EQ(done, 2);
+  EXPECT_EQ(w.server.log().size(), 2u);
+  // Entries are time-ordered.
+  const auto records = w.server.log().records();
+  EXPECT_LE(records[0].end_time, records[1].start_time);
+}
+
+TEST(ClientServerTest, ServerUrlFormat) {
+  World w;
+  EXPECT_EQ(w.server.url(), "gsiftp://ftp.src.org:2811");
+}
+
+TEST(ClientServerTest, ThirdPartySourceMissingFileFails) {
+  World w;
+  std::optional<TransferOutcome> outcome;
+  w.client.third_party(w.server, w.dst_server, "/home/ftp/none", "/home/ftp/c",
+                       {}, [&](const TransferOutcome& o) { outcome = o; });
+  w.sim.run();
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_FALSE(outcome->ok);
+}
+
+}  // namespace
+}  // namespace wadp::gridftp

@@ -1,0 +1,98 @@
+#include "gridftp/fs.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wadp::gridftp {
+namespace {
+
+TEST(VirtualFsTest, AddFileRequiresVolume) {
+  VirtualFs fs;
+  EXPECT_FALSE(fs.add_file("/home/ftp/x", 100));
+  fs.add_volume("/home/ftp");
+  EXPECT_TRUE(fs.add_file("/home/ftp/x", 100));
+  EXPECT_TRUE(fs.exists("/home/ftp/x"));
+  EXPECT_EQ(*fs.file_size("/home/ftp/x"), 100u);
+}
+
+TEST(VirtualFsTest, RelativePathsRejected) {
+  VirtualFs fs;
+  fs.add_volume("/data");
+  EXPECT_FALSE(fs.add_file("data/x", 1));
+  EXPECT_FALSE(fs.add_file("", 1));
+}
+
+TEST(VirtualFsTest, PrefixIsNotContainment) {
+  VirtualFs fs;
+  fs.add_volume("/data");
+  EXPECT_FALSE(fs.add_file("/data2/x", 1));  // shares prefix, not a child
+  EXPECT_TRUE(fs.add_file("/data/x", 1));
+}
+
+TEST(VirtualFsTest, VolumeOfPicksLongestMatch) {
+  VirtualFs fs;
+  fs.add_volume("/home");
+  fs.add_volume("/home/ftp");
+  fs.add_file("/home/ftp/file", 1);
+  EXPECT_EQ(*fs.volume_of("/home/ftp/file"), "/home/ftp");
+  EXPECT_EQ(*fs.volume_of("/home/other"), "/home");
+  EXPECT_FALSE(fs.volume_of("/tmp/file").has_value());
+}
+
+TEST(VirtualFsTest, VolumeItselfIsNotAFilePath) {
+  VirtualFs fs;
+  fs.add_volume("/home/ftp");
+  EXPECT_FALSE(fs.volume_of("/home/ftp").has_value());
+}
+
+TEST(VirtualFsTest, TrailingSlashVolumeNormalized) {
+  VirtualFs fs;
+  fs.add_volume("/data/");
+  EXPECT_TRUE(fs.add_file("/data/x", 1));
+  EXPECT_EQ(fs.volumes().front(), "/data");
+}
+
+TEST(VirtualFsTest, DuplicateVolumeIsNoOp) {
+  VirtualFs fs;
+  fs.add_volume("/data");
+  fs.add_volume("/data");
+  EXPECT_EQ(fs.volumes().size(), 1u);
+}
+
+TEST(VirtualFsTest, OverwriteUpdatesSize) {
+  VirtualFs fs;
+  fs.add_volume("/d");
+  fs.add_file("/d/x", 10);
+  fs.add_file("/d/x", 20);
+  EXPECT_EQ(*fs.file_size("/d/x"), 20u);
+  EXPECT_EQ(fs.file_count(), 1u);
+}
+
+TEST(VirtualFsTest, RemoveFile) {
+  VirtualFs fs;
+  fs.add_volume("/d");
+  fs.add_file("/d/x", 10);
+  EXPECT_TRUE(fs.remove_file("/d/x"));
+  EXPECT_FALSE(fs.remove_file("/d/x"));
+  EXPECT_FALSE(fs.exists("/d/x"));
+}
+
+TEST(VirtualFsTest, ListVolumeSortedAndScoped) {
+  VirtualFs fs;
+  fs.add_volume("/a");
+  fs.add_volume("/b");
+  fs.add_file("/a/z", 1);
+  fs.add_file("/a/m", 1);
+  fs.add_file("/b/q", 1);
+  const auto listing = fs.list_volume("/a");
+  ASSERT_EQ(listing.size(), 2u);
+  EXPECT_EQ(listing[0], "/a/m");
+  EXPECT_EQ(listing[1], "/a/z");
+}
+
+TEST(VirtualFsTest, MissingFileSizeIsNullopt) {
+  VirtualFs fs;
+  EXPECT_FALSE(fs.file_size("/nope").has_value());
+}
+
+}  // namespace
+}  // namespace wadp::gridftp

@@ -1,0 +1,117 @@
+// Streaming and flush sinks: the Section 3 persistence strategies
+// ("log data to a standard location in the file system" and NetLogger's
+// "flush the logs to persistent storage and restart logging").
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "gridftp/log.hpp"
+
+namespace wadp::gridftp {
+namespace {
+
+TransferRecord record_at(SimTime end) {
+  TransferRecord r;
+  r.host = "h";
+  r.source_ip = "1.2.3.4";
+  r.file_name = "/v/f";
+  r.file_size = 10 * kMB;
+  r.volume = "/v";
+  r.start_time = end - 5.0;
+  r.end_time = end;
+  r.op = Operation::kRead;
+  r.streams = 8;
+  r.tcp_buffer = 1'000'000;
+  return r;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream body;
+  body << in.rdbuf();
+  return body.str();
+}
+
+TEST(LogStreamTest, EveryAppendReachesTheFile) {
+  const std::string path = ::testing::TempDir() + "/wadp_stream_test.ulm";
+  std::remove(path.c_str());
+  TransferLog log;
+  ASSERT_TRUE(log.stream_to(path).ok());
+  EXPECT_TRUE(log.streaming());
+  for (int i = 0; i < 5; ++i) log.append(record_at(1000.0 + i));
+
+  const auto parsed = TransferLog::parse_ulm_text(slurp(path));
+  EXPECT_EQ(parsed.records.size(), 5u);
+  EXPECT_EQ(parsed.skipped, 0u);
+  EXPECT_EQ(parsed.records[2], log.records()[2]);
+  std::remove(path.c_str());
+}
+
+TEST(LogStreamTest, StreamSurvivesTrimming) {
+  // The on-disk stream keeps everything even when the in-memory window
+  // trims — the whole point of the standard-location log file.
+  const std::string path = ::testing::TempDir() + "/wadp_stream_trim_test.ulm";
+  std::remove(path.c_str());
+  TransferLog log({.policy = TrimPolicy::kRunningWindow, .max_entries = 3});
+  ASSERT_TRUE(log.stream_to(path).ok());
+  for (int i = 0; i < 10; ++i) log.append(record_at(1000.0 + i));
+  EXPECT_EQ(log.size(), 3u);
+  EXPECT_EQ(TransferLog::parse_ulm_text(slurp(path)).records.size(), 10u);
+  std::remove(path.c_str());
+}
+
+TEST(LogStreamTest, EmptyPathStopsStreaming) {
+  const std::string path = ::testing::TempDir() + "/wadp_stream_stop_test.ulm";
+  std::remove(path.c_str());
+  TransferLog log;
+  ASSERT_TRUE(log.stream_to(path).ok());
+  log.append(record_at(1000.0));
+  ASSERT_TRUE(log.stream_to("").ok());
+  EXPECT_FALSE(log.streaming());
+  log.append(record_at(1001.0));
+  EXPECT_EQ(TransferLog::parse_ulm_text(slurp(path)).records.size(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(LogStreamTest, UnwritablePathFails) {
+  TransferLog log;
+  EXPECT_FALSE(log.stream_to("/no/such/dir/x.ulm").ok());
+  EXPECT_FALSE(log.streaming());
+}
+
+TEST(FlushSinkTest, FlushedBatchesGoToSinkNotArchive) {
+  TransferLog log({.policy = TrimPolicy::kFlushRestart, .max_entries = 4});
+  std::size_t flushed = 0;
+  std::size_t batches = 0;
+  log.set_flush_sink([&](std::span<const TransferRecord> batch) {
+    flushed += batch.size();
+    ++batches;
+  });
+  for (int i = 0; i < 10; ++i) log.append(record_at(1000.0 + i));
+  EXPECT_EQ(batches, 2u);
+  EXPECT_EQ(flushed, 8u);
+  EXPECT_EQ(log.size(), 2u);
+  EXPECT_TRUE(log.archived().empty());
+}
+
+TEST(FlushSinkTest, FlushToFileAccumulatesUlm) {
+  const std::string path = ::testing::TempDir() + "/wadp_flush_test.ulm";
+  std::remove(path.c_str());
+  TransferLog log({.policy = TrimPolicy::kFlushRestart, .max_entries = 3});
+  ASSERT_TRUE(log.flush_to_file(path).ok());
+  for (int i = 0; i < 7; ++i) log.append(record_at(1000.0 + i));
+  // Two flushes of 3; one live entry remains in memory.
+  EXPECT_EQ(TransferLog::parse_ulm_text(slurp(path)).records.size(), 6u);
+  EXPECT_EQ(log.size(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(FlushSinkTest, FlushToUnwritableFileFailsEagerly) {
+  TransferLog log({.policy = TrimPolicy::kFlushRestart, .max_entries = 3});
+  EXPECT_FALSE(log.flush_to_file("/no/such/dir/x.ulm").ok());
+}
+
+}  // namespace
+}  // namespace wadp::gridftp

@@ -1,0 +1,112 @@
+#include "gridftp/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+namespace wadp::gridftp {
+namespace {
+
+TransferRecord record_at(SimTime end, Bytes size = 10'000'000) {
+  TransferRecord r;
+  r.host = "h";
+  r.source_ip = "1.2.3.4";
+  r.file_name = "/v/f";
+  r.file_size = size;
+  r.volume = "/v";
+  r.start_time = end - 10.0;
+  r.end_time = end;
+  r.op = Operation::kRead;
+  r.streams = 8;
+  r.tcp_buffer = 1'000'000;
+  return r;
+}
+
+TEST(TransferLogTest, UnboundedKeepsEverything) {
+  TransferLog log;
+  for (int i = 0; i < 100; ++i) log.append(record_at(1000.0 + i));
+  EXPECT_EQ(log.size(), 100u);
+  EXPECT_TRUE(log.archived().empty());
+}
+
+TEST(TransferLogTest, RunningWindowByCount) {
+  TransferLog log({.policy = TrimPolicy::kRunningWindow, .max_entries = 10});
+  for (int i = 0; i < 25; ++i) log.append(record_at(1000.0 + i));
+  EXPECT_EQ(log.size(), 10u);
+  // Oldest retained entry is #15 (0-indexed).
+  EXPECT_DOUBLE_EQ(log.records().front().end_time, 1015.0);
+}
+
+TEST(TransferLogTest, RunningWindowByAge) {
+  TransferLog log({.policy = TrimPolicy::kRunningWindow,
+                   .max_entries = 1000,
+                   .max_age = 50.0});
+  for (int i = 0; i < 100; ++i) log.append(record_at(1000.0 + i));
+  // Newest is 1099; horizon 1049; entries 1049..1099 remain.
+  EXPECT_EQ(log.size(), 51u);
+  EXPECT_GE(log.records().front().end_time, 1049.0);
+}
+
+TEST(TransferLogTest, FlushRestartArchivesWholeLog) {
+  TransferLog log({.policy = TrimPolicy::kFlushRestart, .max_entries = 10});
+  for (int i = 0; i < 25; ++i) log.append(record_at(1000.0 + i));
+  // Flushes at 10 and 20; 5 live entries remain.
+  EXPECT_EQ(log.size(), 5u);
+  EXPECT_EQ(log.archived().size(), 20u);
+  // Archive preserves order.
+  EXPECT_DOUBLE_EQ(log.archived().front().end_time, 1000.0);
+  EXPECT_DOUBLE_EQ(log.archived().back().end_time, 1019.0);
+}
+
+TEST(TransferLogTest, UlmTextRoundTrip) {
+  TransferLog log;
+  log.append(record_at(1000.0, 5'000'000));
+  log.append(record_at(1010.0, 25'000'000));
+  const auto text = log.to_ulm_text();
+  const auto parsed = TransferLog::parse_ulm_text(text);
+  EXPECT_EQ(parsed.skipped, 0u);
+  ASSERT_EQ(parsed.records.size(), 2u);
+  EXPECT_EQ(parsed.records[0], log.records()[0]);
+  EXPECT_EQ(parsed.records[1], log.records()[1]);
+}
+
+TEST(TransferLogTest, ParseSkipsGarbageLines) {
+  const auto parsed = TransferLog::parse_ulm_text(
+      "not a ulm line\nDATE=x HOST=h\n");
+  EXPECT_EQ(parsed.records.size(), 0u);
+  EXPECT_EQ(parsed.skipped, 2u);  // malformed + non-transfer record
+}
+
+TEST(TransferLogTest, SaveAndLoadRoundTrip) {
+  TransferLog log;
+  for (int i = 0; i < 5; ++i) log.append(record_at(2000.0 + i * 7));
+  const std::string path = ::testing::TempDir() + "/wadp_log_test.ulm";
+  const auto saved = log.save(path);
+  ASSERT_TRUE(saved.ok()) << saved.error();
+  const auto loaded = TransferLog::load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.error();
+  ASSERT_EQ(loaded.value().size(), 5u);
+  EXPECT_EQ(loaded.value().records()[3], log.records()[3]);
+  std::remove(path.c_str());
+}
+
+TEST(TransferLogTest, LoadMissingFileFails) {
+  const auto loaded = TransferLog::load("/nonexistent/dir/x.ulm");
+  EXPECT_FALSE(loaded.ok());
+}
+
+TEST(TransferLogTest, LoadAppliesTrimPolicy) {
+  TransferLog log;
+  for (int i = 0; i < 30; ++i) log.append(record_at(1000.0 + i));
+  const std::string path = ::testing::TempDir() + "/wadp_log_trim_test.ulm";
+  ASSERT_TRUE(log.save(path).ok());
+  const auto loaded = TransferLog::load(
+      path, {.policy = TrimPolicy::kRunningWindow, .max_entries = 5});
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().size(), 5u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace wadp::gridftp

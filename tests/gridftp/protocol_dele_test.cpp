@@ -1,0 +1,33 @@
+#include <gtest/gtest.h>
+
+#include "gridftp/protocol.hpp"
+
+namespace wadp::gridftp {
+namespace {
+
+storage::StorageParams dedicated() {
+  storage::StorageParams p;
+  p.local_load.reset();
+  return p;
+}
+
+TEST(ProtocolDeleTest, DeletesThroughTheControlChannel) {
+  storage::StorageSystem store{"s", dedicated(), 1, 0.0};
+  GridFtpServer server{{.site = "s", .host = "h", .ip = "1.1.1.1"}, store};
+  server.fs().add_volume("/v");
+  server.fs().add_file("/v/doomed", kMB);
+
+  ServerSession session(server);
+  session.handle_line("AUTH GSSAPI");
+  session.handle_line("ADAT x");
+  session.handle_line("USER u");
+  session.handle_line("PASS p");
+
+  EXPECT_EQ(session.handle_line("DELE /v/doomed").code, 250);
+  EXPECT_FALSE(server.fs().exists("/v/doomed"));
+  EXPECT_EQ(session.handle_line("DELE /v/doomed").code, 550);
+  EXPECT_EQ(session.handle_line("RETR /v/doomed").code, 550);
+}
+
+}  // namespace
+}  // namespace wadp::gridftp

@@ -1,0 +1,288 @@
+#include "gridftp/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wadp::gridftp {
+namespace {
+
+// --- codecs -----------------------------------------------------------------
+
+TEST(CommandMessageTest, ParseBasics) {
+  const auto c = CommandMessage::parse("RETR /home/ftp/vazhkuda/10 MB");
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->verb, "RETR");
+  EXPECT_EQ(c->argument, "/home/ftp/vazhkuda/10 MB");  // spaces preserved
+}
+
+TEST(CommandMessageTest, VerbUppercased) {
+  const auto c = CommandMessage::parse("retr /x");
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->verb, "RETR");
+}
+
+TEST(CommandMessageTest, NoArgument) {
+  const auto c = CommandMessage::parse("PASV");
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->verb, "PASV");
+  EXPECT_TRUE(c->argument.empty());
+}
+
+TEST(CommandMessageTest, RejectsMalformed) {
+  EXPECT_FALSE(CommandMessage::parse("").has_value());
+  EXPECT_FALSE(CommandMessage::parse("   ").has_value());
+  EXPECT_FALSE(CommandMessage::parse("AB x").has_value());      // too short
+  EXPECT_FALSE(CommandMessage::parse("TOOLONG x").has_value()); // too long
+  EXPECT_FALSE(CommandMessage::parse("R2TR /x").has_value());   // non-alpha
+}
+
+TEST(CommandMessageTest, LineRoundTrip) {
+  const CommandMessage c{.verb = "ERET", .argument = "P 0 100 /a b"};
+  EXPECT_EQ(*CommandMessage::parse(c.to_line()), c);
+  const CommandMessage bare{.verb = "QUIT", .argument = ""};
+  EXPECT_EQ(bare.to_line(), "QUIT");
+}
+
+TEST(ReplyTest, ParseAndFormat) {
+  const auto r = Reply::parse("226 transfer complete");
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->code, 226);
+  EXPECT_EQ(r->text, "transfer complete");
+  EXPECT_EQ(r->to_line(), "226 transfer complete");
+}
+
+TEST(ReplyTest, CodeClasses) {
+  EXPECT_TRUE((Reply{150, ""}).positive_preliminary());
+  EXPECT_TRUE((Reply{226, ""}).positive_completion());
+  EXPECT_TRUE((Reply{350, ""}).positive_intermediate());
+  EXPECT_TRUE((Reply{421, ""}).transient_error());
+  EXPECT_TRUE((Reply{550, ""}).permanent_error());
+  EXPECT_TRUE((Reply{150, ""}).ok());
+  EXPECT_FALSE((Reply{550, ""}).ok());
+}
+
+TEST(ReplyTest, ParseRejectsMalformed) {
+  EXPECT_FALSE(Reply::parse("").has_value());
+  EXPECT_FALSE(Reply::parse("ok").has_value());
+  EXPECT_FALSE(Reply::parse("22").has_value());
+  EXPECT_FALSE(Reply::parse("226transfer").has_value());  // no space
+  EXPECT_FALSE(Reply::parse("2a6 x").has_value());
+}
+
+// --- session fixture ---------------------------------------------------------
+
+storage::StorageParams dedicated() {
+  storage::StorageParams p;
+  p.local_load.reset();
+  return p;
+}
+
+struct SessionFixture : ::testing::Test {
+  storage::StorageSystem store{"lbl", dedicated(), 1, 0.0};
+  GridFtpServer server{
+      {.site = "lbl", .host = "dpsslx04.lbl.gov", .ip = "1.1.1.1"}, store};
+  ServerSession session{server};
+
+  void SetUp() override {
+    server.fs().add_volume("/home/ftp");
+    server.fs().add_file("/home/ftp/vazhkuda/10 MB", 10 * kMB);
+  }
+
+  void login() {
+    EXPECT_EQ(session.handle_line("AUTH GSSAPI").code, 334);
+    EXPECT_EQ(session.handle_line("ADAT dG9rZW4=").code, 235);
+    EXPECT_EQ(session.handle_line("USER alice").code, 331);
+    EXPECT_EQ(session.handle_line("PASS x").code, 230);
+    EXPECT_EQ(session.state(), SessionState::kReady);
+  }
+};
+
+TEST_F(SessionFixture, FullLoginSequence) {
+  EXPECT_EQ(session.state(), SessionState::kAwaitingAuth);
+  login();
+  EXPECT_EQ(session.authenticated_user(), "alice");
+}
+
+TEST_F(SessionFixture, CommandsBeforeAuthRejected) {
+  EXPECT_EQ(session.handle_line("RETR /home/ftp/vazhkuda/10 MB").code, 530);
+  EXPECT_EQ(session.handle_line("USER alice").code, 530);
+}
+
+TEST_F(SessionFixture, OnlyGssapiAccepted) {
+  EXPECT_EQ(session.handle_line("AUTH TLS").code, 504);
+  EXPECT_EQ(session.handle_line("AUTH GSSAPI").code, 334);
+}
+
+TEST_F(SessionFixture, BadSequenceDuringLogin) {
+  session.handle_line("AUTH GSSAPI");
+  EXPECT_EQ(session.handle_line("USER alice").code, 503);  // ADAT expected
+  session.handle_line("ADAT x");
+  EXPECT_EQ(session.handle_line("PASS x").code, 503);  // USER expected
+}
+
+TEST_F(SessionFixture, EmptyAdatRejected) {
+  session.handle_line("AUTH GSSAPI");
+  EXPECT_EQ(session.handle_line("ADAT").code, 535);
+}
+
+TEST_F(SessionFixture, NegotiationUpdatesOptions) {
+  login();
+  EXPECT_EQ(session.handle_line("TYPE I").code, 200);
+  EXPECT_EQ(session.handle_line("MODE E").code, 200);
+  EXPECT_EQ(session.handle_line("SBUF 1000000").code, 200);
+  EXPECT_EQ(session.handle_line("OPTS RETR Parallelism=8;").code, 200);
+  EXPECT_EQ(session.handle_line("PASV").code, 227);
+  EXPECT_EQ(session.options().type, 'I');
+  EXPECT_EQ(session.options().mode, 'E');
+  EXPECT_EQ(session.options().buffer, 1'000'000u);
+  EXPECT_EQ(session.options().parallelism, 8);
+  EXPECT_TRUE(session.options().passive);
+}
+
+TEST_F(SessionFixture, BadNegotiationArguments) {
+  login();
+  EXPECT_EQ(session.handle_line("TYPE X").code, 504);
+  EXPECT_EQ(session.handle_line("MODE Q").code, 504);
+  EXPECT_EQ(session.handle_line("SBUF -5").code, 501);
+  EXPECT_EQ(session.handle_line("SBUF lots").code, 501);
+  EXPECT_EQ(session.handle_line("OPTS RETR Parallelism=0;").code, 501);
+  EXPECT_EQ(session.handle_line("OPTS PASV Weird=1;").code, 501);
+}
+
+TEST_F(SessionFixture, SizeQuery) {
+  login();
+  const auto reply = session.handle_line("SIZE /home/ftp/vazhkuda/10 MB");
+  EXPECT_EQ(reply.code, 213);
+  EXPECT_EQ(reply.text, std::to_string(10 * kMB));
+  EXPECT_EQ(session.handle_line("SIZE /nope").code, 550);
+}
+
+TEST_F(SessionFixture, RetrArmsDataCommand) {
+  login();
+  session.handle_line("SBUF 1000000");
+  session.handle_line("OPTS RETR Parallelism=8;");
+  const auto reply = session.handle_line("RETR /home/ftp/vazhkuda/10 MB");
+  EXPECT_EQ(reply.code, 150);
+  EXPECT_EQ(session.state(), SessionState::kTransferring);
+  const auto data = session.take_pending_data();
+  ASSERT_TRUE(data.has_value());
+  EXPECT_EQ(data->kind, DataCommand::Kind::kRetrieve);
+  EXPECT_EQ(data->path, "/home/ftp/vazhkuda/10 MB");
+  EXPECT_EQ(data->offset, 0u);
+  EXPECT_EQ(*data->length, 10 * kMB);
+  EXPECT_EQ(data->streams, 8);
+  EXPECT_EQ(data->buffer, 1'000'000u);
+  EXPECT_EQ(session.complete_transfer(true).code, 226);
+  EXPECT_EQ(session.state(), SessionState::kReady);
+}
+
+TEST_F(SessionFixture, RetrMissingFile) {
+  login();
+  EXPECT_EQ(session.handle_line("RETR /home/ftp/none").code, 550);
+  EXPECT_EQ(session.state(), SessionState::kReady);
+  EXPECT_FALSE(session.take_pending_data().has_value());
+}
+
+TEST_F(SessionFixture, RestOffsetsRetrieve) {
+  login();
+  EXPECT_EQ(session.handle_line("REST 4000000").code, 350);
+  session.handle_line("RETR /home/ftp/vazhkuda/10 MB");
+  const auto data = session.take_pending_data();
+  ASSERT_TRUE(data.has_value());
+  EXPECT_EQ(data->offset, 4'000'000u);
+  EXPECT_EQ(*data->length, 6'000'000u);
+  // REST is one-shot: the next RETR starts from zero.
+  session.complete_transfer(true);
+  session.handle_line("RETR /home/ftp/vazhkuda/10 MB");
+  EXPECT_EQ(session.take_pending_data()->offset, 0u);
+}
+
+TEST_F(SessionFixture, RestBeyondEndRejected) {
+  login();
+  session.handle_line("REST 99000000");
+  EXPECT_EQ(session.handle_line("RETR /home/ftp/vazhkuda/10 MB").code, 551);
+}
+
+TEST_F(SessionFixture, EretPartialRetrieve) {
+  login();
+  const auto reply =
+      session.handle_line("ERET P 1000000 2000000 /home/ftp/vazhkuda/10 MB");
+  EXPECT_EQ(reply.code, 150);
+  const auto data = session.take_pending_data();
+  ASSERT_TRUE(data.has_value());
+  EXPECT_EQ(data->offset, 1'000'000u);
+  EXPECT_EQ(*data->length, 2'000'000u);
+  EXPECT_EQ(data->path, "/home/ftp/vazhkuda/10 MB");  // spaces rejoined
+}
+
+TEST_F(SessionFixture, EretValidation) {
+  login();
+  EXPECT_EQ(session.handle_line("ERET P 9000000 2000000 "
+                                "/home/ftp/vazhkuda/10 MB").code, 551);
+  EXPECT_EQ(session.handle_line("ERET P 0 0 /x").code, 501);
+  EXPECT_EQ(session.handle_line("ERET X 0 10 /x").code, 501);
+  EXPECT_EQ(session.handle_line("ERET P 0").code, 501);
+}
+
+TEST_F(SessionFixture, StorValidatesVolume) {
+  login();
+  EXPECT_EQ(session.handle_line("STOR /etc/passwd").code, 553);
+  session.handle_line("ALLO 5000000");
+  const auto reply = session.handle_line("STOR /home/ftp/upload");
+  EXPECT_EQ(reply.code, 150);
+  const auto data = session.take_pending_data();
+  ASSERT_TRUE(data.has_value());
+  EXPECT_EQ(data->kind, DataCommand::Kind::kStore);
+  EXPECT_EQ(*data->store_size, 5'000'000u);
+}
+
+TEST_F(SessionFixture, CommandsDuringTransferRejected) {
+  login();
+  session.handle_line("RETR /home/ftp/vazhkuda/10 MB");
+  EXPECT_EQ(session.handle_line("RETR /home/ftp/vazhkuda/10 MB").code, 503);
+  EXPECT_EQ(session.handle_line("SIZE /home/ftp/vazhkuda/10 MB").code, 503);
+}
+
+TEST_F(SessionFixture, FailedTransferEmits426) {
+  login();
+  session.handle_line("RETR /home/ftp/vazhkuda/10 MB");
+  (void)session.take_pending_data();
+  EXPECT_EQ(session.complete_transfer(false).code, 426);
+  EXPECT_EQ(session.state(), SessionState::kReady);
+}
+
+TEST_F(SessionFixture, QuitClosesSession) {
+  login();
+  EXPECT_EQ(session.handle_line("QUIT").code, 221);
+  EXPECT_EQ(session.state(), SessionState::kClosed);
+  EXPECT_EQ(session.handle_line("NOOP").code, 421);
+}
+
+TEST_F(SessionFixture, DrainedServerReturns421) {
+  server.set_accepting(false);
+  EXPECT_EQ(session.handle_line("AUTH GSSAPI").code, 421);
+  EXPECT_EQ(session.state(), SessionState::kClosed);
+}
+
+TEST_F(SessionFixture, UnknownCommandIs502) {
+  login();
+  EXPECT_EQ(session.handle_line("MKD /x").code, 502);
+}
+
+TEST_F(SessionFixture, GarbageLineIs500) {
+  EXPECT_EQ(session.handle_line("!!!").code, 500);
+}
+
+TEST_F(SessionFixture, SystFeatPwdInformational) {
+  login();
+  EXPECT_EQ(session.handle_line("SYST").code, 215);
+  EXPECT_EQ(session.handle_line("FEAT").code, 211);
+  EXPECT_EQ(session.handle_line("PWD").code, 257);
+}
+
+TEST_F(SessionFixture, NoopAndQuitWorkBeforeAuth) {
+  EXPECT_EQ(session.handle_line("NOOP").code, 200);
+  EXPECT_EQ(session.handle_line("QUIT").code, 221);
+}
+
+}  // namespace
+}  // namespace wadp::gridftp

@@ -1,0 +1,94 @@
+#include "gridftp/record.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wadp::gridftp {
+namespace {
+
+TransferRecord sample_record() {
+  // The first row of Fig. 3.
+  TransferRecord r;
+  r.host = "dpsslx04.lbl.gov";
+  r.source_ip = "140.221.65.69";
+  r.file_name = "/home/ftp/vazhkuda/10 MB";
+  r.file_size = 10'240'000;
+  r.volume = "/home/ftp";
+  r.start_time = 998'988'165.0;
+  r.end_time = 998'988'169.0;
+  r.op = Operation::kRead;
+  r.streams = 8;
+  r.tcp_buffer = 1'000'000;
+  return r;
+}
+
+TEST(OperationTest, StringRoundTrip) {
+  EXPECT_STREQ(to_string(Operation::kRead), "read");
+  EXPECT_STREQ(to_string(Operation::kWrite), "write");
+  EXPECT_EQ(*operation_from_string("read"), Operation::kRead);
+  EXPECT_EQ(*operation_from_string("WRITE"), Operation::kWrite);
+  EXPECT_FALSE(operation_from_string("append").has_value());
+}
+
+TEST(TransferRecordTest, BandwidthUsesPaperFormula) {
+  // Fig. 3 row 1: 10240000 bytes / 4 s = 2560 KB/s.
+  const auto r = sample_record();
+  EXPECT_DOUBLE_EQ(r.total_time(), 4.0);
+  EXPECT_DOUBLE_EQ(r.bandwidth_kb_per_sec(), 2560.0);
+  EXPECT_DOUBLE_EQ(r.bandwidth(), 2'560'000.0);
+}
+
+TEST(TransferRecordTest, UlmRoundTrip) {
+  const auto original = sample_record();
+  const auto parsed = TransferRecord::from_ulm(original.to_ulm());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, original);
+}
+
+TEST(TransferRecordTest, UlmCarriesFig3Fields) {
+  const auto ulm = sample_record().to_ulm();
+  EXPECT_EQ(*ulm.get("SOURCE"), "140.221.65.69");
+  EXPECT_EQ(*ulm.get("FILE"), "/home/ftp/vazhkuda/10 MB");
+  EXPECT_EQ(*ulm.get_int("SIZE"), 10'240'000);
+  EXPECT_EQ(*ulm.get("VOLUME"), "/home/ftp");
+  EXPECT_EQ(*ulm.get("OP"), "read");
+  EXPECT_EQ(*ulm.get_int("STREAMS"), 8);
+  EXPECT_EQ(*ulm.get_int("BUFFER"), 1'000'000);
+  EXPECT_DOUBLE_EQ(*ulm.get_double("TIME"), 4.0);
+  EXPECT_DOUBLE_EQ(*ulm.get_double("BW"), 2560.0);
+}
+
+TEST(TransferRecordTest, FromUlmRejectsMissingFields) {
+  auto ulm = sample_record().to_ulm();
+  util::UlmRecord incomplete;
+  for (const auto& [k, v] : ulm.fields()) {
+    if (k != "SIZE") incomplete.set(k, v);
+  }
+  EXPECT_FALSE(TransferRecord::from_ulm(incomplete).has_value());
+}
+
+TEST(TransferRecordTest, FromUlmRejectsInvertedTimes) {
+  auto ulm = sample_record().to_ulm();
+  ulm.set_double("END", sample_record().start_time - 1.0, 3);
+  EXPECT_FALSE(TransferRecord::from_ulm(ulm).has_value());
+}
+
+TEST(TransferRecordTest, FromUlmRejectsZeroSize) {
+  auto ulm = sample_record().to_ulm();
+  ulm.set_int("SIZE", 0);
+  EXPECT_FALSE(TransferRecord::from_ulm(ulm).has_value());
+}
+
+TEST(TransferRecordTest, FromUlmRejectsBadStreams) {
+  auto ulm = sample_record().to_ulm();
+  ulm.set_int("STREAMS", 0);
+  EXPECT_FALSE(TransferRecord::from_ulm(ulm).has_value());
+}
+
+TEST(TransferRecordTest, FromUlmRejectsUnknownOperation) {
+  auto ulm = sample_record().to_ulm();
+  ulm.set("OP", "mkdir");
+  EXPECT_FALSE(TransferRecord::from_ulm(ulm).has_value());
+}
+
+}  // namespace
+}  // namespace wadp::gridftp

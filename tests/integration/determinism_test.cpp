@@ -1,0 +1,68 @@
+// Whole-system determinism: identical seeds must reproduce campaigns
+// bit-for-bit, down to the serialized ULM log text.  This is the
+// property every reproduction claim in EXPERIMENTS.md rests on.
+#include <gtest/gtest.h>
+
+#include "core/wadp.hpp"
+
+namespace wadp {
+namespace {
+
+TEST(DeterminismTest, CampaignLogsSerializeIdentically) {
+  workload::CampaignConfig config;
+  config.days = 4;
+  auto a = workload::run_paper_campaign(workload::Campaign::kAugust2001, 77,
+                                        config);
+  auto b = workload::run_paper_campaign(workload::Campaign::kAugust2001, 77,
+                                        config);
+  for (const char* site : {"lbl", "isi"}) {
+    EXPECT_EQ(a.testbed->server(site).log().to_ulm_text(),
+              b.testbed->server(site).log().to_ulm_text())
+        << site;
+  }
+}
+
+TEST(DeterminismTest, NwsPlaneReproduces) {
+  const auto run_once = [](std::uint64_t seed) {
+    workload::Testbed testbed(workload::Campaign::kAugust2001, seed);
+    core::FabricConfig config;
+    config.deploy_nws = true;
+    core::InformationFabric fabric(testbed, config);
+    testbed.sim().run_until(testbed.start_time() + 86400.0);
+    fabric.absorb_probes();
+    std::string out;
+    for (const auto& site : {"anl", "isi", "lbl"}) {
+      for (const auto& experiment :
+           fabric.probe_memory(site).experiments()) {
+        out += fabric.probe_memory(site).to_trace_text(experiment);
+      }
+    }
+    return out;
+  };
+  EXPECT_EQ(run_once(5), run_once(5));
+  EXPECT_NE(run_once(5), run_once(6));
+}
+
+TEST(DeterminismTest, EvaluationIsPureGivenTheSeries) {
+  workload::CampaignConfig config;
+  config.days = 4;
+  auto campaign = workload::run_paper_campaign(
+      workload::Campaign::kAugust2001, 9, config);
+  core::PredictionService x, y;
+  x.ingest_log(campaign.testbed->server("lbl").log());
+  y.ingest_log(campaign.testbed->server("lbl").log());
+  const core::SeriesKey key{
+      .host = campaign.testbed->server("lbl").config().host,
+      .remote_ip = campaign.testbed->client("anl").ip(),
+      .op = gridftp::Operation::kRead};
+  const auto ex = x.evaluate(key);
+  const auto ey = y.evaluate(key);
+  ASSERT_TRUE(ex && ey);
+  for (std::size_t p = 0; p < ex->predictor_names().size(); ++p) {
+    EXPECT_DOUBLE_EQ(ex->errors(p).mean(), ey->errors(p).mean());
+    EXPECT_EQ(ex->relative(p).best, ey->relative(p).best);
+  }
+}
+
+}  // namespace
+}  // namespace wadp

@@ -1,0 +1,99 @@
+#include "mds/directory.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wadp::mds {
+namespace {
+
+Entry make_entry(const std::string& dn_text, const std::string& cn) {
+  Entry e(*Dn::parse(dn_text));
+  e.add("objectclass", "Thing");
+  e.set("cn", cn);
+  return e;
+}
+
+struct DirectoryFixture : ::testing::Test {
+  Directory dir;
+  void SetUp() override {
+    dir.upsert(make_entry("o=grid", "root"));
+    dir.upsert(make_entry("dc=lbl, o=grid", "lbl"));
+    dir.upsert(make_entry("cn=a, dc=lbl, o=grid", "a"));
+    dir.upsert(make_entry("cn=b, dc=lbl, o=grid", "b"));
+    dir.upsert(make_entry("dc=anl, o=grid", "anl"));
+    dir.upsert(make_entry("cn=c, dc=anl, o=grid", "c"));
+  }
+};
+
+TEST_F(DirectoryFixture, LookupByDn) {
+  const auto* e = dir.lookup(*Dn::parse("cn=a, dc=lbl, o=grid"));
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(*e->get("cn"), "a");
+  EXPECT_EQ(dir.lookup(*Dn::parse("cn=zz, o=grid")), nullptr);
+}
+
+TEST_F(DirectoryFixture, LookupIsCaseInsensitive) {
+  EXPECT_NE(dir.lookup(*Dn::parse("CN=A, DC=LBL, O=GRID")), nullptr);
+}
+
+TEST_F(DirectoryFixture, UpsertReplaces) {
+  auto e = make_entry("cn=a, dc=lbl, o=grid", "replaced");
+  dir.upsert(e);
+  EXPECT_EQ(dir.size(), 6u);
+  EXPECT_EQ(*dir.lookup(e.dn())->get("cn"), "replaced");
+}
+
+TEST_F(DirectoryFixture, BaseScopeReturnsOnlyBase) {
+  const auto results = dir.search(*Dn::parse("dc=lbl, o=grid"),
+                                  Directory::Scope::kBase, Filter::match_all());
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(*results[0].get("cn"), "lbl");
+}
+
+TEST_F(DirectoryFixture, OneLevelScopeReturnsDirectChildren) {
+  const auto results =
+      dir.search(*Dn::parse("dc=lbl, o=grid"), Directory::Scope::kOneLevel,
+                 Filter::match_all());
+  EXPECT_EQ(results.size(), 2u);  // cn=a and cn=b, not dc=lbl itself
+}
+
+TEST_F(DirectoryFixture, SubtreeScopeIncludesBaseAndDescendants) {
+  const auto results = dir.search(*Dn::parse("dc=lbl, o=grid"),
+                                  Directory::Scope::kSubtree,
+                                  Filter::match_all());
+  EXPECT_EQ(results.size(), 3u);
+  const auto all = dir.search(*Dn::parse("o=grid"),
+                              Directory::Scope::kSubtree, Filter::match_all());
+  EXPECT_EQ(all.size(), 6u);
+}
+
+TEST_F(DirectoryFixture, SearchAppliesFilter) {
+  const auto filter = Filter::parse("(cn=b)");
+  const auto results = dir.search(*Dn::parse("o=grid"),
+                                  Directory::Scope::kSubtree, *filter);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].dn().to_string(), "cn=b, dc=lbl, o=grid");
+}
+
+TEST_F(DirectoryFixture, RemoveSingle) {
+  EXPECT_TRUE(dir.remove(*Dn::parse("cn=a, dc=lbl, o=grid")));
+  EXPECT_FALSE(dir.remove(*Dn::parse("cn=a, dc=lbl, o=grid")));
+  EXPECT_EQ(dir.size(), 5u);
+}
+
+TEST_F(DirectoryFixture, RemoveSubtree) {
+  EXPECT_EQ(dir.remove_subtree(*Dn::parse("dc=lbl, o=grid")), 3u);
+  EXPECT_EQ(dir.size(), 3u);
+  EXPECT_EQ(dir.lookup(*Dn::parse("cn=a, dc=lbl, o=grid")), nullptr);
+  EXPECT_NE(dir.lookup(*Dn::parse("cn=c, dc=anl, o=grid")), nullptr);
+}
+
+TEST(DirectoryTest, EmptyDirectory) {
+  Directory dir;
+  EXPECT_TRUE(dir.empty());
+  EXPECT_TRUE(dir.search(*Dn::parse("o=grid"), Directory::Scope::kSubtree,
+                         Filter::match_all())
+                  .empty());
+}
+
+}  // namespace
+}  // namespace wadp::mds

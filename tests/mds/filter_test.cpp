@@ -1,0 +1,136 @@
+#include "mds/filter.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wadp::mds {
+namespace {
+
+Entry perf_entry() {
+  Entry e(*Dn::parse("cn=140.221.65.69, hostname=dpsslx04.lbl.gov, o=grid"));
+  e.add("objectclass", "GridFTPPerfInfo");
+  e.set("cn", "140.221.65.69");
+  e.set("hostname", "dpsslx04.lbl.gov");
+  e.set("avgrdbandwidth", "6062");
+  e.set("minrdbandwidth", "1462");
+  return e;
+}
+
+bool matches(const std::string& filter_text, const Entry& entry) {
+  const auto filter = Filter::parse(filter_text);
+  EXPECT_TRUE(filter.has_value()) << filter_text;
+  return filter && filter->matches(entry);
+}
+
+TEST(FilterTest, SimpleEquality) {
+  EXPECT_TRUE(matches("(cn=140.221.65.69)", perf_entry()));
+  EXPECT_FALSE(matches("(cn=1.1.1.1)", perf_entry()));
+}
+
+TEST(FilterTest, EqualityIsCaseInsensitive) {
+  EXPECT_TRUE(matches("(hostname=DPSSLX04.LBL.GOV)", perf_entry()));
+  EXPECT_TRUE(matches("(OBJECTCLASS=gridftpperfinfo)", perf_entry()));
+}
+
+TEST(FilterTest, Presence) {
+  EXPECT_TRUE(matches("(avgrdbandwidth=*)", perf_entry()));
+  EXPECT_FALSE(matches("(maxwrbandwidth=*)", perf_entry()));
+}
+
+TEST(FilterTest, WildcardMatching) {
+  EXPECT_TRUE(matches("(hostname=*.lbl.gov)", perf_entry()));
+  EXPECT_TRUE(matches("(hostname=dpsslx*)", perf_entry()));
+  EXPECT_TRUE(matches("(hostname=*lbl*)", perf_entry()));
+  EXPECT_FALSE(matches("(hostname=*.anl.gov)", perf_entry()));
+  EXPECT_TRUE(matches("(cn=140.*.65.*)", perf_entry()));
+}
+
+TEST(FilterTest, NumericComparisons) {
+  EXPECT_TRUE(matches("(avgrdbandwidth>=5000)", perf_entry()));
+  EXPECT_FALSE(matches("(avgrdbandwidth>=7000)", perf_entry()));
+  EXPECT_TRUE(matches("(avgrdbandwidth<=7000)", perf_entry()));
+  EXPECT_TRUE(matches("(avgrdbandwidth>=6062)", perf_entry()));  // inclusive
+}
+
+TEST(FilterTest, LexicographicComparisonFallback) {
+  Entry e;
+  e.set("name", "beta");
+  EXPECT_TRUE(matches("(name>=alpha)", e));
+  EXPECT_FALSE(matches("(name>=gamma)", e));
+}
+
+TEST(FilterTest, AndComposite) {
+  EXPECT_TRUE(matches(
+      "(&(objectclass=GridFTPPerfInfo)(avgrdbandwidth>=5000))", perf_entry()));
+  EXPECT_FALSE(matches(
+      "(&(objectclass=GridFTPPerfInfo)(avgrdbandwidth>=9000))", perf_entry()));
+}
+
+TEST(FilterTest, OrComposite) {
+  EXPECT_TRUE(matches("(|(cn=wrong)(hostname=dpsslx04.lbl.gov))", perf_entry()));
+  EXPECT_FALSE(matches("(|(cn=wrong)(hostname=wrong))", perf_entry()));
+}
+
+TEST(FilterTest, NotComposite) {
+  EXPECT_TRUE(matches("(!(cn=1.1.1.1))", perf_entry()));
+  EXPECT_FALSE(matches("(!(cn=140.221.65.69))", perf_entry()));
+}
+
+TEST(FilterTest, NestedComposites) {
+  EXPECT_TRUE(matches(
+      "(&(objectclass=*)(|(hostname=*.anl.gov)(hostname=*.lbl.gov))"
+      "(!(avgrdbandwidth<=1000)))",
+      perf_entry()));
+}
+
+TEST(FilterTest, MultiValuedAttributeAnyMatch) {
+  Entry e;
+  e.add("volumes", "/home/ftp");
+  e.add("volumes", "/data");
+  EXPECT_TRUE(matches("(volumes=/data)", e));
+  EXPECT_TRUE(matches("(volumes=/home/*)", e));
+  EXPECT_FALSE(matches("(volumes=/tmp)", e));
+}
+
+TEST(FilterTest, MissingAttributeNeverMatches) {
+  Entry e;
+  EXPECT_FALSE(matches("(anything=x)", e));
+  EXPECT_FALSE(matches("(anything>=1)", e));
+}
+
+TEST(FilterTest, MatchAllMatchesAnyEntryWithObjectClass) {
+  const auto all = Filter::match_all();
+  EXPECT_TRUE(all.matches(perf_entry()));
+  Entry classless;
+  classless.set("x", "1");
+  EXPECT_FALSE(all.matches(classless));
+}
+
+TEST(FilterTest, ParseErrors) {
+  EXPECT_FALSE(Filter::parse("").has_value());
+  EXPECT_FALSE(Filter::parse("cn=x").has_value());        // no parens
+  EXPECT_FALSE(Filter::parse("(cn=x").has_value());       // unbalanced
+  EXPECT_FALSE(Filter::parse("(&)").has_value());         // empty composite
+  EXPECT_FALSE(Filter::parse("(cn)").has_value());        // no operator
+  EXPECT_FALSE(Filter::parse("(cn=)").has_value());       // empty value
+  EXPECT_FALSE(Filter::parse("(>=5)").has_value());       // no attribute
+  EXPECT_FALSE(Filter::parse("(cn=x))").has_value());     // trailing junk
+  EXPECT_FALSE(Filter::parse("(cn>5)").has_value());      // bare '>'
+}
+
+TEST(FilterTest, ToStringRoundTrip) {
+  const std::string text = "(&(objectclass=GridFTPPerfInfo)(!(cn=x))"
+                           "(|(a>=1)(b<=2)(c=*)))";
+  const auto filter = Filter::parse(text);
+  ASSERT_TRUE(filter.has_value());
+  const auto reparsed = Filter::parse(filter->to_string());
+  ASSERT_TRUE(reparsed.has_value());
+  EXPECT_EQ(filter->to_string(), reparsed->to_string());
+}
+
+TEST(FilterTest, WhitespaceTolerated) {
+  EXPECT_TRUE(matches("( & ( cn=140.221.65.69 ) ( hostname=* ) )",
+                      perf_entry()));
+}
+
+}  // namespace
+}  // namespace wadp::mds

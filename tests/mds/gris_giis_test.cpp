@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include "mds/giis.hpp"
+#include "mds/gris.hpp"
+
+namespace wadp::mds {
+namespace {
+
+/// Scriptable provider: counts provide() calls and serves entries under
+/// a fixed base.
+class FakeProvider final : public InformationProvider {
+ public:
+  FakeProvider(std::string name, Dn base)
+      : name_(std::move(name)), base_(std::move(base)) {}
+
+  std::string provider_name() const override { return name_; }
+
+  std::vector<Entry> provide(SimTime now) override {
+    ++calls_;
+    std::vector<Entry> out;
+    for (int i = 0; i < entry_count_; ++i) {
+      Entry e(base_.child({"cn", name_ + std::to_string(i)}));
+      e.add("objectclass", "Fake");
+      e.set("cn", name_ + std::to_string(i));
+      e.set("generation", std::to_string(calls_));
+      e.set("asof", std::to_string(now));
+      out.push_back(std::move(e));
+    }
+    return out;
+  }
+
+  int calls() const { return calls_; }
+  void set_entry_count(int n) { entry_count_ = n; }
+
+ private:
+  std::string name_;
+  Dn base_;
+  int calls_ = 0;
+  int entry_count_ = 2;
+};
+
+Dn lbl_suffix() { return *Dn::parse("dc=lbl, dc=gov, o=grid"); }
+Dn anl_suffix() { return *Dn::parse("dc=anl, dc=gov, o=grid"); }
+
+TEST(GrisTest, LazyRefreshOnFirstSearch) {
+  Gris gris("lbl-gris", lbl_suffix());
+  FakeProvider provider("p", lbl_suffix());
+  gris.register_provider(&provider, 60.0);
+  EXPECT_EQ(provider.calls(), 0);
+  const auto results = gris.search(100.0, Filter::match_all());
+  EXPECT_EQ(provider.calls(), 1);
+  EXPECT_EQ(results.size(), 2u);
+}
+
+TEST(GrisTest, CacheServesWithinTtl) {
+  Gris gris("g", lbl_suffix());
+  FakeProvider provider("p", lbl_suffix());
+  gris.register_provider(&provider, 60.0);
+  gris.search(100.0, Filter::match_all());
+  gris.search(130.0, Filter::match_all());  // within TTL
+  EXPECT_EQ(provider.calls(), 1);
+  gris.search(161.0, Filter::match_all());  // expired
+  EXPECT_EQ(provider.calls(), 2);
+}
+
+TEST(GrisTest, RefreshReplacesStaleEntries) {
+  Gris gris("g", lbl_suffix());
+  FakeProvider provider("p", lbl_suffix());
+  gris.register_provider(&provider, 10.0);
+  auto first = gris.search(0.0, Filter::match_all());
+  EXPECT_EQ(*first[0].get("generation"), "1");
+  provider.set_entry_count(1);  // provider now publishes fewer entries
+  auto second = gris.search(20.0, Filter::match_all());
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_EQ(*second[0].get("generation"), "2");
+  EXPECT_EQ(gris.entry_count(), 1u);  // the dropped DN is gone
+}
+
+TEST(GrisTest, MultipleProvidersMerge) {
+  Gris gris("g", lbl_suffix());
+  FakeProvider a("a", lbl_suffix());
+  FakeProvider b("b", lbl_suffix());
+  gris.register_provider(&a, 60.0);
+  gris.register_provider(&b, 60.0);
+  EXPECT_EQ(gris.provider_count(), 2u);
+  EXPECT_EQ(gris.search(0.0, Filter::match_all()).size(), 4u);
+}
+
+TEST(GrisTest, SearchWithFilterAndScope) {
+  Gris gris("g", lbl_suffix());
+  FakeProvider provider("p", lbl_suffix());
+  gris.register_provider(&provider, 60.0);
+  const auto filter = Filter::parse("(cn=p1)");
+  const auto results = gris.search(0.0, lbl_suffix(),
+                                   Directory::Scope::kSubtree, *filter);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(*results[0].get("cn"), "p1");
+}
+
+TEST(GiisTest, SoftStateRegistrationExpires) {
+  Giis giis("top");
+  Gris gris("g", lbl_suffix());
+  FakeProvider provider("p", lbl_suffix());
+  gris.register_provider(&provider, 60.0);
+  giis.register_gris(gris, /*now=*/0.0, /*ttl=*/100.0);
+  EXPECT_EQ(giis.live_registrations(50.0), 1u);
+  EXPECT_EQ(giis.search(50.0, Filter::match_all()).size(), 2u);
+  // Registration lapses without renewal.
+  EXPECT_EQ(giis.live_registrations(150.0), 0u);
+  EXPECT_TRUE(giis.search(150.0, Filter::match_all()).empty());
+}
+
+TEST(GiisTest, RenewalExtendsRegistration) {
+  Giis giis("top");
+  Gris gris("g", lbl_suffix());
+  giis.register_gris(gris, 0.0, 100.0);
+  giis.register_gris(gris, 90.0, 100.0);  // renewal, not duplicate
+  EXPECT_EQ(giis.live_registrations(150.0), 1u);
+  EXPECT_EQ(giis.live_registrations(250.0), 0u);
+}
+
+TEST(GiisTest, ExplicitDeregistration) {
+  Giis giis("top");
+  Gris gris("g", lbl_suffix());
+  giis.register_gris(gris, 0.0, 1000.0);
+  EXPECT_TRUE(giis.deregister_gris(gris));
+  EXPECT_FALSE(giis.deregister_gris(gris));
+  EXPECT_EQ(giis.live_registrations(1.0), 0u);
+}
+
+TEST(GiisTest, MergesAcrossSites) {
+  Giis giis("top");
+  Gris lbl("lbl-gris", lbl_suffix());
+  Gris anl("anl-gris", anl_suffix());
+  FakeProvider lbl_p("lbl", lbl_suffix());
+  FakeProvider anl_p("anl", anl_suffix());
+  lbl.register_provider(&lbl_p, 60.0);
+  anl.register_provider(&anl_p, 60.0);
+  giis.register_gris(lbl, 0.0);
+  giis.register_gris(anl, 0.0);
+  EXPECT_EQ(giis.search(1.0, Filter::match_all()).size(), 4u);
+}
+
+TEST(GiisTest, ScopedInquiryRoutesToMatchingSuffix) {
+  Giis giis("top");
+  Gris lbl("lbl-gris", lbl_suffix());
+  Gris anl("anl-gris", anl_suffix());
+  FakeProvider lbl_p("lbl", lbl_suffix());
+  FakeProvider anl_p("anl", anl_suffix());
+  lbl.register_provider(&lbl_p, 60.0);
+  anl.register_provider(&anl_p, 60.0);
+  giis.register_gris(lbl, 0.0);
+  giis.register_gris(anl, 0.0);
+  const auto results = giis.search(1.0, lbl_suffix(),
+                                   Directory::Scope::kSubtree,
+                                   Filter::match_all());
+  EXPECT_EQ(results.size(), 2u);
+  // Only the LBL provider should have been consulted.
+  EXPECT_EQ(lbl_p.calls(), 1);
+  EXPECT_EQ(anl_p.calls(), 0);
+}
+
+TEST(GiisTest, DefaultTtlApplies) {
+  Giis giis("top", 600.0);
+  Gris gris("g", lbl_suffix());
+  giis.register_gris(gris, 0.0);  // ttl = default 600
+  EXPECT_EQ(giis.live_registrations(599.0), 1u);
+  EXPECT_EQ(giis.live_registrations(601.0), 0u);
+}
+
+}  // namespace
+}  // namespace wadp::mds

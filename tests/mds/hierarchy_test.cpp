@@ -1,0 +1,122 @@
+// Hierarchical GIIS tests: GIIS-into-GIIS registration (Fig. 5's tiered
+// index servers) and cycle safety.
+#include <gtest/gtest.h>
+
+#include "mds/giis.hpp"
+
+namespace wadp::mds {
+namespace {
+
+class CountingProvider final : public InformationProvider {
+ public:
+  CountingProvider(std::string name, Dn base)
+      : name_(std::move(name)), base_(std::move(base)) {}
+  std::string provider_name() const override { return name_; }
+  std::vector<Entry> provide(SimTime) override {
+    Entry e(base_.child({"cn", name_}));
+    e.add("objectclass", "Thing");
+    e.set("cn", name_);
+    return {e};
+  }
+
+ private:
+  std::string name_;
+  Dn base_;
+};
+
+struct Hierarchy {
+  // site GRIS -> regional GIIS -> top GIIS, two regions.
+  Gris lbl_gris{"lbl-gris", *Dn::parse("dc=lbl, dc=gov, o=grid")};
+  Gris anl_gris{"anl-gris", *Dn::parse("dc=anl, dc=gov, o=grid")};
+  Gris isi_gris{"isi-gris", *Dn::parse("dc=isi, dc=edu, o=grid")};
+  CountingProvider lbl_p{"lbl", *Dn::parse("dc=lbl, dc=gov, o=grid")};
+  CountingProvider anl_p{"anl", *Dn::parse("dc=anl, dc=gov, o=grid")};
+  CountingProvider isi_p{"isi", *Dn::parse("dc=isi, dc=edu, o=grid")};
+  Giis doe{"doe-giis"};   // region 1: lbl + anl
+  Giis edu{"edu-giis"};   // region 2: isi
+  Giis top{"top-giis"};
+
+  Hierarchy() {
+    lbl_gris.register_provider(&lbl_p, 60.0);
+    anl_gris.register_provider(&anl_p, 60.0);
+    isi_gris.register_provider(&isi_p, 60.0);
+    // Leaf registrations are long-lived; only doe's registration at the
+    // top has the short TTL that MidTierExpiryDropsItsBranch exercises.
+    doe.register_gris(lbl_gris, 0.0, 10'000.0);
+    doe.register_gris(anl_gris, 0.0, 10'000.0);
+    edu.register_gris(isi_gris, 0.0, 10'000.0);
+    top.register_giis(doe, 0.0, 1000.0);
+    top.register_giis(edu, 0.0, 10'000.0);
+  }
+};
+
+TEST(GiisHierarchyTest, TopLevelSeesEverything) {
+  Hierarchy h;
+  EXPECT_EQ(h.top.search(1.0, Filter::match_all()).size(), 3u);
+}
+
+TEST(GiisHierarchyTest, ScopedInquiryRoutesThroughTheRightBranch) {
+  Hierarchy h;
+  const auto results = h.top.search(1.0, *Dn::parse("dc=isi, dc=edu, o=grid"),
+                                    Directory::Scope::kSubtree,
+                                    Filter::match_all());
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(*results[0].get("cn"), "isi");
+}
+
+TEST(GiisHierarchyTest, CoversDelegatesThroughTheTree) {
+  Hierarchy h;
+  EXPECT_TRUE(h.top.covers(*Dn::parse("dc=lbl, dc=gov, o=grid")));
+  EXPECT_TRUE(h.doe.covers(*Dn::parse("dc=anl, dc=gov, o=grid")));
+  EXPECT_FALSE(h.doe.covers(*Dn::parse("dc=isi, dc=edu, o=grid")));
+}
+
+TEST(GiisHierarchyTest, MidTierExpiryDropsItsBranch) {
+  Hierarchy h;
+  // doe's registration at top lapses at t=1000; its sites disappear
+  // from the top-level view while edu's remain.
+  EXPECT_EQ(h.top.search(1500.0, Filter::match_all()).size(), 1u);
+  // Re-registering restores the branch.
+  h.top.register_giis(h.doe, 1500.0, 1000.0);
+  EXPECT_EQ(h.top.search(1501.0, Filter::match_all()).size(), 3u);
+}
+
+TEST(GiisHierarchyTest, RegistrationCycleTerminates) {
+  Giis a{"a"};
+  Giis b{"b"};
+  Gris gris{"g", *Dn::parse("dc=x, o=grid")};
+  CountingProvider p{"x", *Dn::parse("dc=x, o=grid")};
+  gris.register_provider(&p, 60.0);
+  a.register_gris(gris, 0.0, 1000.0);
+  a.register_giis(b, 0.0, 1000.0);
+  b.register_giis(a, 0.0, 1000.0);  // cycle!
+  // Must terminate and still return the real entries exactly once from
+  // a's own perspective.
+  const auto results = a.search(1.0, Filter::match_all());
+  EXPECT_EQ(results.size(), 1u);
+  EXPECT_TRUE(a.covers(*Dn::parse("dc=x, o=grid")));
+}
+
+TEST(GiisHierarchyTest, SelfRegistrationAborts) {
+  Giis a{"a"};
+  EXPECT_DEATH(a.register_giis(a, 0.0), "itself");
+}
+
+TEST(GiisHierarchyTest, ThreeLevelChain) {
+  Gris gris{"g", *Dn::parse("dc=x, o=grid")};
+  CountingProvider p{"x", *Dn::parse("dc=x, o=grid")};
+  gris.register_provider(&p, 60.0);
+  Giis site{"site"};
+  Giis region{"region"};
+  Giis root{"root"};
+  site.register_gris(gris, 0.0, 1000.0);
+  region.register_giis(site, 0.0, 1000.0);
+  root.register_giis(region, 0.0, 1000.0);
+  const auto results = root.search(1.0, *Dn::parse("dc=x, o=grid"),
+                                   Directory::Scope::kSubtree,
+                                   Filter::match_all());
+  EXPECT_EQ(results.size(), 1u);
+}
+
+}  // namespace
+}  // namespace wadp::mds

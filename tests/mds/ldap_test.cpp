@@ -1,0 +1,155 @@
+#include "mds/ldap.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wadp::mds {
+namespace {
+
+TEST(DnTest, ParseSimple) {
+  const auto dn = Dn::parse("cn=x, dc=lbl, dc=gov, o=grid");
+  ASSERT_TRUE(dn.has_value());
+  EXPECT_EQ(dn->depth(), 4u);
+  EXPECT_EQ(dn->rdns()[0].attr, "cn");
+  EXPECT_EQ(dn->rdns()[0].value, "x");
+  EXPECT_EQ(dn->rdns()[3].attr, "o");
+}
+
+TEST(DnTest, ParseToleratesWhitespace) {
+  const auto dn = Dn::parse("  cn = x ,dc=gov ");
+  ASSERT_TRUE(dn.has_value());
+  EXPECT_EQ(dn->rdns()[0].value, "x");
+}
+
+TEST(DnTest, ParseRejectsMalformed) {
+  EXPECT_FALSE(Dn::parse("").has_value());
+  EXPECT_FALSE(Dn::parse("noequals").has_value());
+  EXPECT_FALSE(Dn::parse("cn=x,,dc=gov").has_value());
+  EXPECT_FALSE(Dn::parse("=x").has_value());
+  EXPECT_FALSE(Dn::parse("cn=").has_value());
+}
+
+TEST(DnTest, ToStringRoundTrip) {
+  const auto dn = Dn::parse("cn=a, dc=b");
+  EXPECT_EQ(dn->to_string(), "cn=a, dc=b");
+  EXPECT_EQ(Dn::parse(dn->to_string()), *dn);
+}
+
+TEST(DnTest, ParentDropsMostSpecific) {
+  const auto dn = *Dn::parse("cn=x, dc=gov");
+  EXPECT_EQ(dn.parent().to_string(), "dc=gov");
+  EXPECT_TRUE(dn.parent().parent().empty());
+}
+
+TEST(DnTest, ChildPrepends) {
+  const auto base = *Dn::parse("dc=lbl, o=grid");
+  const auto child = base.child({"cn", "1.2.3.4"});
+  EXPECT_EQ(child.to_string(), "cn=1.2.3.4, dc=lbl, o=grid");
+  EXPECT_EQ(child.parent(), base);
+}
+
+TEST(DnTest, UnderIsSuffixMatch) {
+  const auto root = *Dn::parse("o=grid");
+  const auto mid = *Dn::parse("dc=lbl, o=grid");
+  const auto leaf = *Dn::parse("cn=x, dc=lbl, o=grid");
+  EXPECT_TRUE(leaf.under(root));
+  EXPECT_TRUE(leaf.under(mid));
+  EXPECT_TRUE(leaf.under(leaf));
+  EXPECT_FALSE(mid.under(leaf));
+  EXPECT_FALSE(leaf.under(*Dn::parse("dc=anl, o=grid")));
+}
+
+TEST(DnTest, ComparisonIsCaseInsensitive) {
+  EXPECT_EQ(*Dn::parse("CN=X, O=Grid"), *Dn::parse("cn=x, o=grid"));
+}
+
+TEST(DnTest, EmptyDnIsAncestorOfAll) {
+  EXPECT_TRUE(Dn::parse("cn=x")->under(Dn{}));
+}
+
+TEST(EntryTest, AddAndGet) {
+  Entry e(*Dn::parse("cn=x"));
+  e.add("objectclass", "GridFTPPerfInfo");
+  e.add("cn", "x");
+  EXPECT_TRUE(e.has("CN"));  // case-insensitive
+  EXPECT_EQ(*e.get("cn"), "x");
+  EXPECT_FALSE(e.get("missing").has_value());
+}
+
+TEST(EntryTest, MultiValuedAttributes) {
+  Entry e;
+  e.add("volumes", "/home/ftp");
+  e.add("volumes", "/data");
+  const auto all = e.get_all("volumes");
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0], "/home/ftp");
+  EXPECT_EQ(*e.get("volumes"), "/home/ftp");  // first value
+}
+
+TEST(EntryTest, SetReplacesValues) {
+  Entry e;
+  e.add("a", "1");
+  e.add("a", "2");
+  e.set("a", "3");
+  EXPECT_EQ(e.get_all("a").size(), 1u);
+  EXPECT_EQ(*e.get("a"), "3");
+}
+
+TEST(EntryTest, GetDouble) {
+  Entry e;
+  e.set("avgrdbandwidth", "6062");
+  e.set("hostname", "x.gov");
+  EXPECT_DOUBLE_EQ(*e.get_double("avgrdbandwidth"), 6062.0);
+  EXPECT_FALSE(e.get_double("hostname").has_value());
+  EXPECT_FALSE(e.get_double("missing").has_value());
+}
+
+TEST(EntryTest, ObjectClasses) {
+  Entry e;
+  e.add("objectclass", "A");
+  e.add("ObjectClass", "B");  // case-insensitive merge
+  EXPECT_EQ(e.object_classes().size(), 2u);
+}
+
+TEST(EntryTest, LdifRendering) {
+  Entry e(*Dn::parse("cn=x, o=grid"));
+  e.add("cn", "x");
+  const auto ldif = e.to_ldif();
+  EXPECT_NE(ldif.find("dn: cn=x, o=grid"), std::string::npos);
+  EXPECT_NE(ldif.find("cn: x"), std::string::npos);
+}
+
+TEST(SchemaTest, ValidatesRequiredAttributes) {
+  Schema schema;
+  schema.define({.name = "PerfInfo",
+                 .required = {"cn", "hostname"},
+                 .optional = {"avgrdbandwidth"}});
+  Entry good;
+  good.add("objectclass", "PerfInfo");
+  good.set("cn", "x");
+  good.set("hostname", "h");
+  EXPECT_EQ(schema.validate(good), "");
+
+  Entry missing;
+  missing.add("objectclass", "PerfInfo");
+  missing.set("cn", "x");
+  EXPECT_NE(schema.validate(missing).find("hostname"), std::string::npos);
+}
+
+TEST(SchemaTest, RejectsUnknownClassAndMissingClass) {
+  Schema schema;
+  Entry no_class;
+  EXPECT_NE(schema.validate(no_class), "");
+  Entry unknown;
+  unknown.add("objectclass", "Mystery");
+  EXPECT_NE(schema.validate(unknown).find("Mystery"), std::string::npos);
+}
+
+TEST(SchemaTest, LookupIsCaseInsensitive) {
+  Schema schema;
+  schema.define({.name = "PerfInfo"});
+  EXPECT_NE(schema.find("perfinfo"), nullptr);
+  EXPECT_EQ(schema.find("other"), nullptr);
+}
+
+}  // namespace
+}  // namespace wadp::mds

@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include "mds/ldap.hpp"
+
+namespace wadp::mds {
+namespace {
+
+Entry sample_entry() {
+  Entry e(*Dn::parse("cn=140.221.65.69, hostname=dpsslx04.lbl.gov, o=grid"));
+  e.add("objectclass", "GridFTPPerfInfo");
+  e.set("cn", "140.221.65.69");
+  e.set("avgrdbandwidth", "6062");
+  e.add("volumes", "/home/ftp");
+  e.add("volumes", "/data");
+  return e;
+}
+
+TEST(LdifTest, RoundTripPreservesEverything) {
+  const auto original = sample_entry();
+  const auto parsed = Entry::from_ldif(original.to_ldif());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->dn(), original.dn());
+  EXPECT_EQ(*parsed->get("cn"), "140.221.65.69");
+  EXPECT_EQ(*parsed->get_double("avgrdbandwidth"), 6062.0);
+  ASSERT_EQ(parsed->get_all("volumes").size(), 2u);
+  EXPECT_EQ(parsed->get_all("volumes")[1], "/data");
+  EXPECT_EQ(parsed->object_classes().size(), 1u);
+}
+
+TEST(LdifTest, RejectsMalformedBlocks) {
+  EXPECT_FALSE(Entry::from_ldif("").has_value());
+  EXPECT_FALSE(Entry::from_ldif("cn: x\n").has_value());       // no dn first
+  EXPECT_FALSE(Entry::from_ldif("dn: \n").has_value());        // empty dn
+  EXPECT_FALSE(Entry::from_ldif("dn: notadn\n").has_value());  // bad dn
+  EXPECT_FALSE(Entry::from_ldif("dn: cn=x\nnocolon\n").has_value());
+  EXPECT_FALSE(
+      Entry::from_ldif("dn: cn=x\ndn: cn=y\n").has_value());   // dup dn
+}
+
+TEST(LdifTest, ValuesMayContainColons) {
+  const auto parsed =
+      Entry::from_ldif("dn: cn=x\ngridftpurl: gsiftp://h:2811\n");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed->get("gridftpurl"), "gsiftp://h:2811");
+}
+
+TEST(LdifTest, ParseMultiEntryBody) {
+  const std::string body =
+      "dn: cn=a, o=grid\n"
+      "objectclass: T\n"
+      "\n"
+      "garbage block without dn\n"
+      "\n"
+      "dn: cn=b, o=grid\n"
+      "objectclass: T\n";
+  const auto result = parse_ldif(body);
+  EXPECT_EQ(result.entries.size(), 2u);
+  EXPECT_EQ(result.skipped_blocks, 1u);
+  EXPECT_EQ(*result.entries[1].get("objectclass"), "T");
+}
+
+TEST(LdifTest, EmptyBody) {
+  const auto result = parse_ldif("\n\n   \n");
+  EXPECT_TRUE(result.entries.empty());
+  EXPECT_EQ(result.skipped_blocks, 0u);
+}
+
+TEST(LdifTest, ProviderOutputStyleRoundTrip) {
+  // Multi-entry rendering concatenated with blank lines parses back.
+  Entry a = sample_entry();
+  Entry b(*Dn::parse("cn=other, o=grid"));
+  b.add("objectclass", "GridFTPPerfInfo");
+  b.set("cn", "other");
+  const auto body = a.to_ldif() + "\n" + b.to_ldif();
+  const auto result = parse_ldif(body);
+  ASSERT_EQ(result.entries.size(), 2u);
+  EXPECT_EQ(result.entries[0].dn(), a.dn());
+  EXPECT_EQ(result.entries[1].dn(), b.dn());
+}
+
+}  // namespace
+}  // namespace wadp::mds

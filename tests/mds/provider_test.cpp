@@ -1,0 +1,156 @@
+#include "mds/gridftp_provider.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mds/giis.hpp"
+
+namespace wadp::mds {
+namespace {
+
+using gridftp::GridFtpServer;
+using gridftp::Operation;
+
+storage::StorageParams dedicated() {
+  storage::StorageParams p;
+  p.local_load.reset();
+  return p;
+}
+
+/// Server with a hand-written log: reads to ANL at known bandwidths in
+/// two size classes, plus one write.
+struct ProviderFixture : ::testing::Test {
+  storage::StorageSystem store{"lbl", dedicated(), 1, 0.0};
+  GridFtpServer server{
+      {.site = "lbl", .host = "dpsslx04.lbl.gov", .ip = "131.243.2.91",
+       .port = 61000},
+      store};
+  const std::string anl_ip = "140.221.65.69";
+
+  void SetUp() override {
+    server.fs().add_volume("/home/ftp");
+    server.fs().add_file("/home/ftp/vazhkuda/10 MB", 10 * kMB);
+    server.fs().add_file("/home/ftp/vazhkuda/1 GB", 1000 * kMB);
+    double t = 1000.0;
+    // 10 MB reads at 2 MB/s (class 0): sizes 10 MB / 2 MB/s = 5 s.
+    for (int i = 0; i < 4; ++i) {
+      server.record_transfer(anl_ip, "/home/ftp/vazhkuda/10 MB", 10 * kMB, t,
+                             t + 5.0, Operation::kRead, 8, 1'000'000);
+      t += 100.0;
+    }
+    // 1 GB reads at 8 MB/s (class 3): 125 s.
+    for (int i = 0; i < 3; ++i) {
+      server.record_transfer(anl_ip, "/home/ftp/vazhkuda/1 GB", 1000 * kMB, t,
+                             t + 125.0, Operation::kRead, 8, 1'000'000);
+      t += 300.0;
+    }
+    // One write from another host.
+    server.record_transfer("128.9.160.100", "/home/ftp/up", 50 * kMB, t,
+                           t + 10.0, Operation::kWrite, 8, 1'000'000);
+  }
+
+  GridFtpProviderConfig config() {
+    return {.base = *Dn::parse(
+                "hostname=dpsslx04.lbl.gov, dc=lbl, dc=gov, o=grid")};
+  }
+};
+
+TEST_F(ProviderFixture, PublishesServerAndEndpointEntries) {
+  GridFtpInfoProvider provider(server, config());
+  const auto entries = provider.provide(5000.0);
+  // Server summary + ANL endpoint + ISI endpoint.
+  ASSERT_EQ(entries.size(), 3u);
+}
+
+TEST_F(ProviderFixture, Figure6AttributesPresent) {
+  GridFtpInfoProvider provider(server, config());
+  const auto entries = provider.provide(5000.0);
+  const Entry* anl = nullptr;
+  for (const auto& e : entries) {
+    if (e.get("cn") && *e.get("cn") == anl_ip) anl = &e;
+  }
+  ASSERT_NE(anl, nullptr);
+  EXPECT_EQ(*anl->get("hostname"), "dpsslx04.lbl.gov");
+  EXPECT_EQ(*anl->get("gridftpurl"), "gsiftp://dpsslx04.lbl.gov:61000");
+  // 10 MB at 2 MB/s = 2000 KB/s; 1 GB at 8 MB/s = 8000 KB/s.
+  EXPECT_DOUBLE_EQ(*anl->get_double("minrdbandwidth"), 2000.0);
+  EXPECT_DOUBLE_EQ(*anl->get_double("maxrdbandwidth"), 8000.0);
+  // Mean of {2000 x4, 8000 x3} = (8000 + 24000) / 7.
+  EXPECT_NEAR(*anl->get_double("avgrdbandwidth"), 32000.0 / 7.0, 1.0);
+  // Per-class attributes use Fig. 6 naming.
+  EXPECT_DOUBLE_EQ(*anl->get_double("avgrdbandwidthtenmbrange"), 2000.0);
+  EXPECT_DOUBLE_EQ(*anl->get_double("avgrdbandwidthonegbrange"), 8000.0);
+  EXPECT_FALSE(anl->has("avgrdbandwidthhundredmbrange"));  // no such data
+  // Predictions are published per class.
+  EXPECT_DOUBLE_EQ(*anl->get_double("predictedrdbandwidthtenmbrange"), 2000.0);
+  EXPECT_DOUBLE_EQ(*anl->get_double("predictedrdbandwidthonegbrange"), 8000.0);
+  EXPECT_EQ(*anl->get("numrdtransfers"), "7");
+}
+
+TEST_F(ProviderFixture, WriteDirectionPublishedSeparately) {
+  GridFtpInfoProvider provider(server, config());
+  const auto entries = provider.provide(5000.0);
+  const Entry* isi = nullptr;
+  for (const auto& e : entries) {
+    if (e.get("cn") && *e.get("cn") == "128.9.160.100") isi = &e;
+  }
+  ASSERT_NE(isi, nullptr);
+  EXPECT_TRUE(isi->has("avgwrbandwidth"));
+  EXPECT_FALSE(isi->has("avgrdbandwidth"));  // never read toward ISI
+  EXPECT_DOUBLE_EQ(*isi->get_double("avgwrbandwidth"), 5000.0);
+}
+
+TEST_F(ProviderFixture, EntriesValidateAgainstSchema) {
+  GridFtpInfoProvider provider(server, config());
+  const auto schema = GridFtpInfoProvider::schema();
+  for (const auto& entry : provider.provide(5000.0)) {
+    EXPECT_EQ(schema.validate(entry), "") << entry.to_ldif();
+  }
+}
+
+TEST_F(ProviderFixture, DnsLieUnderConfiguredBase) {
+  GridFtpInfoProvider provider(server, config());
+  const auto base = config().base;
+  for (const auto& entry : provider.provide(5000.0)) {
+    EXPECT_TRUE(entry.dn().under(base)) << entry.dn().to_string();
+  }
+}
+
+TEST_F(ProviderFixture, WorksEndToEndThroughGrisAndGiis) {
+  GridFtpInfoProvider provider(server, config());
+  Gris gris("lbl-gris", *Dn::parse("dc=lbl, dc=gov, o=grid"));
+  gris.register_provider(&provider, 300.0);
+  Giis giis("top");
+  giis.register_gris(gris, 0.0, 3600.0);
+
+  const auto filter = Filter::parse(
+      "(&(objectclass=GridFTPPerfInfo)(cn=140.221.65.69))");
+  const auto results = giis.search(10.0, *filter);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_DOUBLE_EQ(*results[0].get_double("maxrdbandwidth"), 8000.0);
+}
+
+TEST(ProviderTest, EmptyLogPublishesOnlyServerEntry) {
+  storage::StorageSystem store{"x", dedicated(), 1, 0.0};
+  GridFtpServer server{{.site = "x", .host = "h.x.org", .ip = "1.1.1.1"},
+                       store};
+  GridFtpInfoProvider provider(server,
+                               {.base = *Dn::parse("hostname=h.x.org, o=grid")});
+  const auto entries = provider.provide(0.0);
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(*entries[0].get("numtransfers"), "0");
+}
+
+TEST(ProviderTest, RangeFragmentsMatchFig6Vocabulary) {
+  const auto classifier = predict::SizeClassifier::paper_classes();
+  EXPECT_EQ(GridFtpInfoProvider::range_fragment(classifier, 0), "tenmbrange");
+  EXPECT_EQ(GridFtpInfoProvider::range_fragment(classifier, 1),
+            "hundredmbrange");
+  EXPECT_EQ(GridFtpInfoProvider::range_fragment(classifier, 2),
+            "fivehundredmbrange");
+  EXPECT_EQ(GridFtpInfoProvider::range_fragment(classifier, 3), "onegbrange");
+  const predict::SizeClassifier custom({10 * kMB});
+  EXPECT_EQ(GridFtpInfoProvider::range_fragment(custom, 1), "class1range");
+}
+
+}  // namespace
+}  // namespace wadp::mds

@@ -1,0 +1,154 @@
+// Property tests for the fluid engine: invariants that must hold for
+// ANY flow mix, checked over randomized scenarios.
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "net/fabric.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace wadp::net {
+namespace {
+
+PathParams random_path(util::Rng& rng) {
+  PathParams p;
+  p.bottleneck = rng.uniform(2e6, 50e6);
+  p.rtt = rng.uniform(0.01, 0.2);
+  p.load.base = rng.uniform(0.0, 0.5);
+  p.load.diurnal_amplitude = rng.uniform(0.0, 0.2);
+  p.load.ar_sigma = rng.uniform(0.0, 0.05);
+  p.load.episode_rate_per_hour = rng.uniform(0.0, 0.3);
+  p.load.max_utilization = 0.9;
+  return p;
+}
+
+class FabricPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FabricPropertyTest, AllBytesDeliveredExactlyOnce) {
+  util::Rng rng(GetParam());
+  sim::Simulator sim(1'000'000'000.0);
+  FluidEngine engine(sim);
+  Topology topology;
+  auto& path = topology.add_path("a", "b", random_path(rng), rng.next_u64(),
+                                 sim.now());
+
+  const int flows = static_cast<int>(rng.uniform_int(1, 12));
+  Bytes requested = 0;
+  Bytes delivered = 0;
+  std::size_t completions = 0;
+  for (int i = 0; i < flows; ++i) {
+    const Bytes size = static_cast<Bytes>(rng.uniform(1e5, 2e8));
+    requested += size;
+    const Duration start_delay = rng.uniform(0.0, 300.0);
+    sim.schedule_after(start_delay, [&, size] {
+      engine.start_flow({.path = &path,
+                         .streams = static_cast<int>(rng.uniform_int(1, 8)),
+                         .buffer = static_cast<Bytes>(rng.uniform(3e4, 2e6)),
+                         .size = size,
+                         .on_complete = [&](const FlowStats& stats) {
+                           delivered += stats.bytes;
+                           ++completions;
+                         }});
+    });
+  }
+  sim.run();
+  EXPECT_EQ(delivered, requested);
+  EXPECT_EQ(completions, static_cast<std::size_t>(flows));
+  EXPECT_EQ(engine.active_flows(), 0u);
+}
+
+TEST_P(FabricPropertyTest, NoFlowExceedsItsWindowCap) {
+  util::Rng rng(GetParam() ^ 0xbeef);
+  sim::Simulator sim(1'000'000'000.0);
+  FluidEngine engine(sim);
+  Topology topology;
+  PathParams params = random_path(rng);
+  params.queueing_rtt_factor = 0.0;  // fixed RTT: the cap is exact
+  auto& path = topology.add_path("a", "b", params, rng.next_u64(), sim.now());
+
+  const int streams = static_cast<int>(rng.uniform_int(1, 8));
+  const Bytes buffer = static_cast<Bytes>(rng.uniform(3e4, 2e6));
+  const Bytes size = static_cast<Bytes>(rng.uniform(1e6, 1e8));
+  std::optional<FlowStats> stats;
+  engine.start_flow({.path = &path,
+                     .streams = streams,
+                     .buffer = buffer,
+                     .size = size,
+                     .on_complete = [&](const FlowStats& s) { stats = s; }});
+  sim.run();
+  ASSERT_TRUE(stats.has_value());
+  const double window_cap =
+      static_cast<double>(streams) * window_limited_rate(buffer, path.rtt());
+  EXPECT_LE(stats->bandwidth(), window_cap * (1.0 + 1e-9));
+}
+
+TEST_P(FabricPropertyTest, AggregateNeverExceedsBottleneck) {
+  util::Rng rng(GetParam() ^ 0xcafe);
+  sim::Simulator sim(1'000'000'000.0);
+  FluidEngine engine(sim);
+  Topology topology;
+  PathParams params = random_path(rng);
+  params.load.base = 0.0;  // full bottleneck available
+  params.load.diurnal_amplitude = 0.0;
+  params.load.ar_sigma = 0.0;
+  params.load.episode_rate_per_hour = 0.0;
+  auto& path = topology.add_path("a", "b", params, 1, sim.now());
+
+  const Bytes each = 20'000'000;
+  const int flows = static_cast<int>(rng.uniform_int(2, 10));
+  SimTime first_end = kNeverTime;
+  for (int i = 0; i < flows; ++i) {
+    engine.start_flow({.path = &path,
+                       .streams = 8,
+                       .buffer = 1'000'000,
+                       .size = each,
+                       .on_complete = [&](const FlowStats& s) {
+                         first_end = std::min(first_end, s.end);
+                       }});
+  }
+  sim.run();
+  // Until the first completion every flow was concurrent: total bytes
+  // moved by then cannot exceed bottleneck * elapsed (plus ramp slack).
+  const double elapsed = first_end - 1'000'000'000.0;
+  EXPECT_GE(elapsed, static_cast<double>(each) * flows /
+                         path.bottleneck() * 0.99 / flows);
+  // Stronger global check: total time >= total bytes / bottleneck.
+  // (All flows finished by sim.now() == last completion.)
+  const double total_elapsed = sim.now() - 1'000'000'000.0;
+  EXPECT_GE(total_elapsed * path.bottleneck() * (1.0 + 1e-9),
+            static_cast<double>(each) * flows);
+}
+
+TEST_P(FabricPropertyTest, EqualFlowsFinishTogether) {
+  util::Rng rng(GetParam() ^ 0xfeed);
+  sim::Simulator sim(1'000'000'000.0);
+  FluidEngine engine(sim);
+  Topology topology;
+  PathParams params = random_path(rng);
+  auto& path = topology.add_path("a", "b", params, rng.next_u64(), sim.now());
+
+  // Identical flows started at the same instant must complete at the
+  // same instant (max-min fairness with equal weights and demands).
+  std::vector<SimTime> ends;
+  for (int i = 0; i < 4; ++i) {
+    engine.start_flow({.path = &path,
+                       .streams = 4,
+                       .buffer = 500'000,
+                       .size = 30'000'000,
+                       .on_complete = [&](const FlowStats& s) {
+                         ends.push_back(s.end);
+                       }});
+  }
+  sim.run();
+  ASSERT_EQ(ends.size(), 4u);
+  for (const SimTime end : ends) {
+    EXPECT_NEAR(end, ends.front(), 1e-3);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomScenarios, FabricPropertyTest,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace wadp::net

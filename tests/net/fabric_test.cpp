@@ -1,0 +1,230 @@
+#include "net/fabric.hpp"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "sim/simulator.hpp"
+
+namespace wadp::net {
+namespace {
+
+/// A flat, dedicated path: no background load, so expectations are
+/// closed-form.
+PathParams quiet_path(Bandwidth bottleneck = 10'000'000.0,
+                      Duration rtt = 0.05) {
+  PathParams p;
+  p.bottleneck = bottleneck;
+  p.rtt = rtt;
+  p.load.base = 0.0;
+  p.load.diurnal_amplitude = 0.0;
+  p.load.ar_sigma = 0.0;
+  p.load.episode_rate_per_hour = 0.0;
+  p.load.max_utilization = 0.95;
+  return p;
+}
+
+/// A constant-capacity resource for storage-style caps in tests.
+class FixedResource final : public CapacityProvider {
+ public:
+  explicit FixedResource(Bandwidth capacity) : capacity_(capacity) {}
+  Bandwidth capacity_at(SimTime) const override { return capacity_; }
+  SimTime next_change_after(SimTime) const override { return kNeverTime; }
+  std::string_view resource_name() const override { return "fixed"; }
+
+ private:
+  Bandwidth capacity_;
+};
+
+struct Harness {
+  sim::Simulator sim{1'000'000'000.0};  // epoch-magnitude start (regression)
+  FluidEngine engine{sim};
+  Topology topology;
+  PathModel* path = nullptr;
+
+  explicit Harness(PathParams params = quiet_path()) {
+    path = &topology.add_path("src", "dst", params, 1, sim.now());
+  }
+
+  std::optional<FlowStats> run_one(FlowSpec spec) {
+    std::optional<FlowStats> result;
+    spec.path = path;
+    spec.on_complete = [&](const FlowStats& s) { result = s; };
+    engine.start_flow(std::move(spec));
+    sim.run();
+    return result;
+  }
+};
+
+TEST(FluidEngineTest, SingleFlowMatchesAnalyticTransferTime) {
+  Harness h;
+  const Bytes size = 50'000'000;
+  const Bytes buffer = 1'000'000;
+  const auto stats = h.run_one({.streams = 1, .buffer = buffer, .size = size});
+  ASSERT_TRUE(stats.has_value());
+  // Single stream, window 1 MB / 50 ms = 20 MB/s > bottleneck 10 MB/s:
+  // bottleneck-limited after the ramp.  Sanity band around the analytic
+  // unconstrained time (which ignores the bottleneck -> lower bound).
+  const auto lower =
+      unconstrained_transfer_time(h.path->tcp(), size, buffer, h.path->rtt());
+  EXPECT_GE(stats->duration(), lower * 0.99);
+  EXPECT_LT(stats->duration(), lower * 3.0);
+  EXPECT_NEAR(stats->bandwidth(), 10'000'000.0, 1'500'000.0);
+}
+
+TEST(FluidEngineTest, WindowLimitedFlowUsesBufferOverRtt) {
+  Harness h(quiet_path(100'000'000.0, 0.1));  // fat link, window binds
+  const Bytes buffer = 100'000;               // 100 KB / 0.1 s = 1 MB/s
+  const auto stats =
+      h.run_one({.streams = 1, .buffer = buffer, .size = 10'000'000});
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_NEAR(stats->bandwidth(), 1'000'000.0, 100'000.0);
+}
+
+TEST(FluidEngineTest, ParallelStreamsBeatSingleStreamWhenWindowBound) {
+  Harness h(quiet_path(100'000'000.0, 0.1));
+  const Bytes buffer = 100'000;
+  const auto one =
+      h.run_one({.streams = 1, .buffer = buffer, .size = 10'000'000});
+  Harness h2(quiet_path(100'000'000.0, 0.1));
+  const auto eight =
+      h2.run_one({.streams = 8, .buffer = buffer, .size = 10'000'000});
+  ASSERT_TRUE(one && eight);
+  EXPECT_GT(eight->bandwidth(), 6.0 * one->bandwidth());
+}
+
+TEST(FluidEngineTest, SmallTransfersAchieveLowerBandwidth) {
+  // Slow-start effect end to end (paper Section 4.3).
+  double last_bw = 0.0;
+  for (const Bytes size :
+       {1'000'000ull, 10'000'000ull, 100'000'000ull, 1'000'000'000ull}) {
+    Harness h;
+    const auto stats = h.run_one({.streams = 8, .buffer = 1'000'000, .size = size});
+    ASSERT_TRUE(stats.has_value());
+    EXPECT_GT(stats->bandwidth(), last_bw) << "size=" << size;
+    last_bw = stats->bandwidth();
+  }
+}
+
+TEST(FluidEngineTest, TwoFlowsShareBottleneckFairly) {
+  Harness h;
+  std::optional<FlowStats> a, b;
+  FlowSpec spec_a{.path = h.path, .streams = 1, .buffer = 1'000'000,
+                  .size = 40'000'000,
+                  .on_complete = [&](const FlowStats& s) { a = s; }};
+  FlowSpec spec_b = spec_a;
+  spec_b.on_complete = [&](const FlowStats& s) { b = s; };
+  h.engine.start_flow(std::move(spec_a));
+  h.engine.start_flow(std::move(spec_b));
+  h.sim.run();
+  ASSERT_TRUE(a && b);
+  // Equal demands, equal weights: both should finish together at half
+  // the bottleneck each.
+  EXPECT_NEAR(a->bandwidth(), 5'000'000.0, 750'000.0);
+  EXPECT_NEAR(a->end, b->end, 0.5);
+}
+
+TEST(FluidEngineTest, StreamsActAsWeightsUnderContention) {
+  Harness h;
+  std::optional<FlowStats> heavy, light;
+  // Both large enough that they overlap for most of their lifetime.
+  h.engine.start_flow({.path = h.path, .streams = 8, .buffer = 1'000'000,
+                       .size = 80'000'000,
+                       .on_complete = [&](const FlowStats& s) { heavy = s; }});
+  h.engine.start_flow({.path = h.path, .streams = 1, .buffer = 1'000'000,
+                       .size = 80'000'000,
+                       .on_complete = [&](const FlowStats& s) { light = s; }});
+  h.sim.run();
+  ASSERT_TRUE(heavy && light);
+  // During the overlap the 8-stream flow gets ~8/9 of the link, so it
+  // finishes well first; the 1-stream flow then speeds up, which caps
+  // its *average* disadvantage below the instantaneous 8x.
+  EXPECT_LT(heavy->end, light->end);
+  EXPECT_GT(heavy->bandwidth(), 1.5 * light->bandwidth());
+}
+
+TEST(FluidEngineTest, ExtraResourceCapsFlow) {
+  Harness h;  // 10 MB/s bottleneck
+  FixedResource slow_disk(2'000'000.0);
+  FlowSpec spec{.streams = 8, .buffer = 1'000'000, .size = 20'000'000};
+  spec.extra_resources.push_back(&slow_disk);
+  const auto stats = h.run_one(std::move(spec));
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_NEAR(stats->bandwidth(), 2'000'000.0, 300'000.0);
+}
+
+TEST(FluidEngineTest, CancelPreventsCompletionCallback) {
+  Harness h;
+  bool completed = false;
+  const auto id = h.engine.start_flow(
+      {.path = h.path, .streams = 1, .buffer = 1'000'000, .size = 100'000'000,
+       .on_complete = [&](const FlowStats&) { completed = true; }});
+  h.sim.run_until(h.sim.now() + 0.5);
+  EXPECT_TRUE(h.engine.cancel_flow(id));
+  h.sim.run();
+  EXPECT_FALSE(completed);
+  EXPECT_EQ(h.engine.active_flows(), 0u);
+}
+
+TEST(FluidEngineTest, CancelUnknownFlowReturnsFalse) {
+  Harness h;
+  EXPECT_FALSE(h.engine.cancel_flow(12345));
+}
+
+TEST(FluidEngineTest, CompletionCallbackCanStartNextFlow) {
+  Harness h;
+  std::optional<FlowStats> second;
+  h.engine.start_flow(
+      {.path = h.path, .streams = 1, .buffer = 1'000'000, .size = 1'000'000,
+       .on_complete = [&](const FlowStats&) {
+         h.engine.start_flow({.path = h.path, .streams = 1,
+                              .buffer = 1'000'000, .size = 1'000'000,
+                              .on_complete =
+                                  [&](const FlowStats& s) { second = s; }});
+       }});
+  h.sim.run();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(h.engine.completed_flows(), 2u);
+}
+
+TEST(FluidEngineTest, CurrentRateVisibleWhileActive) {
+  Harness h;
+  const auto id = h.engine.start_flow(
+      {.path = h.path, .streams = 8, .buffer = 1'000'000, .size = 100'000'000});
+  h.sim.run_until(h.sim.now() + 2.0);
+  EXPECT_GT(h.engine.current_rate(id), 0.0);
+  h.sim.run();
+  EXPECT_DOUBLE_EQ(h.engine.current_rate(id), 0.0);  // finished
+}
+
+TEST(FluidEngineTest, ByteConservationAcrossManyFlows) {
+  // All bytes asked for are delivered exactly once.
+  Harness h;
+  Bytes delivered = 0;
+  const Bytes each = 3'000'000;
+  for (int i = 0; i < 20; ++i) {
+    h.engine.start_flow({.path = h.path, .streams = 2, .buffer = 500'000,
+                         .size = each,
+                         .on_complete = [&](const FlowStats& s) {
+                           delivered += s.bytes;
+                         }});
+  }
+  h.sim.run();
+  EXPECT_EQ(delivered, 20 * each);
+  EXPECT_EQ(h.engine.active_flows(), 0u);
+}
+
+TEST(FluidEngineTest, LoadedPathSlowsTransfers) {
+  PathParams loaded = quiet_path();
+  loaded.load.base = 0.6;
+  Harness quiet_h;
+  Harness loaded_h(loaded);
+  const FlowSpec spec{.streams = 8, .buffer = 1'000'000, .size = 50'000'000};
+  const auto fast = quiet_h.run_one(spec);
+  const auto slow = loaded_h.run_one(spec);
+  ASSERT_TRUE(fast && slow);
+  EXPECT_GT(fast->bandwidth(), 1.9 * slow->bandwidth());
+}
+
+}  // namespace
+}  // namespace wadp::net

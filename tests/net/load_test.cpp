@@ -1,0 +1,143 @@
+#include "net/load.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace wadp::net {
+namespace {
+
+LoadParams default_params() {
+  LoadParams p;
+  p.base = 0.4;
+  p.diurnal_amplitude = 0.2;
+  p.zone = util::kCdt;
+  return p;
+}
+
+TEST(LoadProcessTest, UtilizationWithinBounds) {
+  LoadProcess load(default_params(), 1, 0.0);
+  for (double t = 0.0; t < 7 * 86400.0; t += 137.0) {
+    const double u = load.utilization(t);
+    EXPECT_GE(u, 0.0);
+    EXPECT_LE(u, default_params().max_utilization);
+  }
+}
+
+TEST(LoadProcessTest, MinUtilizationClampApplies) {
+  LoadParams p = default_params();
+  p.base = 0.0;
+  p.diurnal_amplitude = 0.0;
+  p.ar_sigma = 0.001;
+  p.min_utilization = 0.25;
+  LoadProcess load(p, 2, 0.0);
+  for (double t = 0.0; t < 86400.0; t += 600.0) {
+    EXPECT_GE(load.utilization(t), 0.25);
+  }
+}
+
+TEST(LoadProcessTest, DeterministicForSameSeed) {
+  LoadProcess a(default_params(), 7, 0.0);
+  LoadProcess b(default_params(), 7, 0.0);
+  for (double t = 0.0; t < 86400.0; t += 61.0) {
+    EXPECT_DOUBLE_EQ(a.utilization(t), b.utilization(t));
+  }
+}
+
+TEST(LoadProcessTest, QueryOrderDoesNotChangeValues) {
+  LoadProcess forward(default_params(), 9, 0.0);
+  LoadProcess backward(default_params(), 9, 0.0);
+  std::vector<double> fwd;
+  for (double t = 0.0; t <= 3600.0; t += 60.0) {
+    fwd.push_back(forward.utilization(t));
+  }
+  // Query the second instance newest-first; values must match exactly.
+  std::vector<double> bwd;
+  for (double t = 3600.0; t >= 0.0; t -= 60.0) {
+    bwd.push_back(backward.utilization(t));
+  }
+  for (std::size_t i = 0; i < fwd.size(); ++i) {
+    EXPECT_DOUBLE_EQ(fwd[i], bwd[bwd.size() - 1 - i]);
+  }
+}
+
+TEST(LoadProcessTest, ConstantWithinGridStep) {
+  LoadProcess load(default_params(), 11, 0.0);
+  const double u = load.utilization(120.0);
+  EXPECT_DOUBLE_EQ(load.utilization(120.0 + 30.0), u);
+  EXPECT_DOUBLE_EQ(load.utilization(120.0 + 59.9), u);
+}
+
+TEST(LoadProcessTest, QueriesBeforeOriginClampToFirstValue) {
+  LoadProcess load(default_params(), 13, 1000.0);
+  EXPECT_DOUBLE_EQ(load.utilization(0.0), load.utilization(1000.0));
+}
+
+TEST(LoadProcessTest, NextChangeIsGridAligned) {
+  LoadProcess load(default_params(), 17, 1000.0);
+  EXPECT_DOUBLE_EQ(load.next_change_after(1000.0), 1060.0);
+  EXPECT_DOUBLE_EQ(load.next_change_after(1059.0), 1060.0);
+  EXPECT_DOUBLE_EQ(load.next_change_after(1060.0), 1120.0);
+  EXPECT_DOUBLE_EQ(load.next_change_after(500.0), 1000.0);
+}
+
+TEST(LoadProcessTest, AvailabilityComplementsUtilization) {
+  LoadProcess load(default_params(), 19, 0.0);
+  for (double t = 0.0; t < 3600.0; t += 60.0) {
+    EXPECT_DOUBLE_EQ(load.availability(t), 1.0 - load.utilization(t));
+  }
+}
+
+TEST(LoadProcessTest, DiurnalPeakIsLoadedThanTrough) {
+  // Average over many days: local 14:00 (peak) must exceed local 02:00.
+  LoadParams p = default_params();
+  p.ar_sigma = 0.01;  // suppress noise so the cycle dominates
+  p.episode_rate_per_hour = 0.0;
+  LoadProcess load(p, 23, 0.0);
+  double peak_sum = 0.0, trough_sum = 0.0;
+  const double cdt_offset = 5 * 3600.0;  // kCdt is UTC-5
+  for (int day = 0; day < 20; ++day) {
+    const double midnight_local = day * 86400.0 + cdt_offset;
+    peak_sum += load.utilization(midnight_local + 14 * 3600.0);
+    trough_sum += load.utilization(midnight_local + 2 * 3600.0);
+  }
+  EXPECT_GT(peak_sum, trough_sum + 0.1 * 20);
+}
+
+TEST(LoadProcessTest, EpisodesRaiseLoad) {
+  // With huge episode probability, mean load must exceed the no-episode
+  // configuration's mean.
+  LoadParams base = default_params();
+  base.episode_rate_per_hour = 0.0;
+  LoadParams episodic = base;
+  episodic.episode_rate_per_hour = 20.0;
+  episodic.episode_utilization = 0.3;
+  LoadProcess quiet(base, 31, 0.0);
+  LoadProcess busy(episodic, 31, 0.0);
+  double quiet_sum = 0.0, busy_sum = 0.0;
+  for (double t = 0.0; t < 86400.0; t += 60.0) {
+    quiet_sum += quiet.utilization(t);
+    busy_sum += busy.utilization(t);
+  }
+  EXPECT_GT(busy_sum, quiet_sum);
+}
+
+TEST(LoadProcessTest, ArPersistenceCreatesAutocorrelation) {
+  // Adjacent steps should correlate far more than steps a day apart.
+  LoadParams p = default_params();
+  p.diurnal_amplitude = 0.0;  // isolate the AR component
+  p.episode_rate_per_hour = 0.0;
+  LoadProcess load(p, 37, 0.0);
+  double adjacent = 0.0, distant = 0.0;
+  int n = 0;
+  for (double t = 0.0; t < 5 * 86400.0; t += 60.0) {
+    const double a = load.utilization(t) - p.base;
+    adjacent += a * (load.utilization(t + 60.0) - p.base);
+    distant += a * (load.utilization(t + 86400.0) - p.base);
+    ++n;
+  }
+  EXPECT_GT(adjacent / n, distant / n);
+}
+
+}  // namespace
+}  // namespace wadp::net

@@ -1,0 +1,82 @@
+#include "net/path.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wadp::net {
+namespace {
+
+PathParams flat(Bandwidth bottleneck, double base_load) {
+  PathParams p;
+  p.bottleneck = bottleneck;
+  p.load.base = base_load;
+  p.load.diurnal_amplitude = 0.0;
+  p.load.ar_sigma = 0.0;
+  p.load.episode_rate_per_hour = 0.0;
+  return p;
+}
+
+TEST(PathModelTest, CapacityIsBottleneckMinusLoad) {
+  PathModel path("a", "b", flat(10'000'000.0, 0.3), 1, 0.0);
+  EXPECT_NEAR(path.capacity_at(0.0), 7'000'000.0, 1.0);
+}
+
+TEST(PathModelTest, NamesAndAccessors) {
+  PathModel path("lbl", "anl", flat(12'500'000.0, 0.0), 1, 0.0);
+  EXPECT_EQ(path.source_site(), "lbl");
+  EXPECT_EQ(path.sink_site(), "anl");
+  EXPECT_EQ(path.resource_name(), "path:lbl->anl");
+  EXPECT_DOUBLE_EQ(path.bottleneck(), 12'500'000.0);
+}
+
+TEST(PathModelTest, NextChangeFollowsLoadGrid) {
+  PathModel path("a", "b", flat(1e7, 0.1), 1, 1000.0);
+  EXPECT_DOUBLE_EQ(path.next_change_after(1000.0), 1060.0);
+}
+
+TEST(TopologyTest, FindReturnsRegisteredPath) {
+  Topology topo;
+  topo.add_path("lbl", "anl", flat(1e7, 0.0), 1, 0.0);
+  ASSERT_NE(topo.find("lbl", "anl"), nullptr);
+  EXPECT_EQ(topo.find("anl", "lbl"), nullptr);  // directed
+  EXPECT_EQ(topo.find("isi", "anl"), nullptr);
+}
+
+TEST(TopologyTest, BothDirectionsAreIndependentPaths) {
+  Topology topo;
+  auto& fwd = topo.add_path("a", "b", flat(1e7, 0.0), 1, 0.0);
+  auto& rev = topo.add_path("b", "a", flat(2e7, 0.0), 2, 0.0);
+  EXPECT_NE(&fwd, &rev);
+  EXPECT_DOUBLE_EQ(topo.find("a", "b")->bottleneck(), 1e7);
+  EXPECT_DOUBLE_EQ(topo.find("b", "a")->bottleneck(), 2e7);
+}
+
+TEST(TopologyTest, PathsListsAll) {
+  Topology topo;
+  topo.add_path("a", "b", flat(1e7, 0.0), 1, 0.0);
+  topo.add_path("b", "c", flat(1e7, 0.0), 2, 0.0);
+  EXPECT_EQ(topo.paths().size(), 2u);
+  EXPECT_EQ(topo.size(), 2u);
+}
+
+TEST(TopologyTest, ConstFindWorks) {
+  Topology topo;
+  topo.add_path("a", "b", flat(1e7, 0.0), 1, 0.0);
+  const Topology& ctopo = topo;
+  EXPECT_NE(ctopo.find("a", "b"), nullptr);
+}
+
+TEST(TopologyDeathTest, DuplicatePathAborts) {
+  Topology topo;
+  topo.add_path("a", "b", flat(1e7, 0.0), 1, 0.0);
+  EXPECT_DEATH(topo.add_path("a", "b", flat(1e7, 0.0), 2, 0.0),
+               "duplicate path");
+}
+
+TEST(TopologyDeathTest, PipeInSiteNameAborts) {
+  Topology topo;
+  EXPECT_DEATH(topo.add_path("a|x", "b", flat(1e7, 0.0), 1, 0.0),
+               "site names");
+}
+
+}  // namespace
+}  // namespace wadp::net

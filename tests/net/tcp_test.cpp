@@ -1,0 +1,150 @@
+#include "net/tcp.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wadp::net {
+namespace {
+
+TEST(CwndTest, StartsAtInitialWindow) {
+  TcpParams tcp;
+  EXPECT_EQ(cwnd_after_rtts(tcp, 1'000'000, 0), tcp.initial_window);
+}
+
+TEST(CwndTest, DoublesPerRtt) {
+  TcpParams tcp;
+  EXPECT_EQ(cwnd_after_rtts(tcp, 1'000'000, 1), 2 * tcp.initial_window);
+  EXPECT_EQ(cwnd_after_rtts(tcp, 1'000'000, 3), 8 * tcp.initial_window);
+}
+
+TEST(CwndTest, CapsAtBuffer) {
+  TcpParams tcp;
+  EXPECT_EQ(cwnd_after_rtts(tcp, 10'000, 100), 10'000u);
+}
+
+TEST(CwndTest, SmallBufferCapsImmediately) {
+  TcpParams tcp;
+  EXPECT_EQ(cwnd_after_rtts(tcp, 1000, 0), 1000u);
+}
+
+TEST(RttsToFillTest, ZeroWhenInitialWindowSuffices) {
+  TcpParams tcp;
+  EXPECT_EQ(rtts_to_fill_window(tcp, tcp.initial_window), 0);
+  EXPECT_EQ(rtts_to_fill_window(tcp, 1), 0);
+}
+
+TEST(RttsToFillTest, LogarithmicGrowth) {
+  TcpParams tcp{.mss = 1000, .initial_window = 1000};
+  EXPECT_EQ(rtts_to_fill_window(tcp, 8000), 3);   // 1k->2k->4k->8k
+  EXPECT_EQ(rtts_to_fill_window(tcp, 8001), 4);   // one more doubling
+}
+
+TEST(RttsToFillTest, PaperTunedBufferTakesAboutNineRtts) {
+  TcpParams tcp;  // init 2920
+  const int rtts = rtts_to_fill_window(tcp, kTunedTcpBuffer);
+  EXPECT_GE(rtts, 8);
+  EXPECT_LE(rtts, 10);
+}
+
+TEST(WindowLimitedRateTest, BufferOverRtt) {
+  EXPECT_DOUBLE_EQ(window_limited_rate(1'000'000, 0.05), 20'000'000.0);
+}
+
+TEST(RampRateCapTest, GrowsThenSaturates) {
+  TcpParams tcp;
+  const Bytes buffer = 1'000'000;
+  const Duration rtt = 0.05;
+  const auto r0 = ramp_rate_cap(tcp, buffer, rtt, 0.0);
+  const auto r1 = ramp_rate_cap(tcp, buffer, rtt, rtt);
+  const auto r_late = ramp_rate_cap(tcp, buffer, rtt, 100.0);
+  EXPECT_DOUBLE_EQ(r0, tcp.initial_window / rtt);
+  EXPECT_DOUBLE_EQ(r1, 2 * tcp.initial_window / rtt);
+  EXPECT_DOUBLE_EQ(r_late, window_limited_rate(buffer, rtt));
+}
+
+TEST(RampRateCapTest, NegativeElapsedClampsToStart) {
+  TcpParams tcp;
+  EXPECT_DOUBLE_EQ(ramp_rate_cap(tcp, 1'000'000, 0.05, -1.0),
+                   tcp.initial_window / 0.05);
+}
+
+TEST(ElapsedRttsTest, ToleratesEpochFloatRounding) {
+  // The regression that stalled every transfer at its initial window:
+  // elapsed computed as k*rtt minus one ulp must still count k rounds.
+  const Duration rtt = 0.055;
+  const SimTime start = 998'956'965.0;
+  const SimTime wake = start + rtt;  // rounded at 1e9 magnitude
+  EXPECT_EQ(elapsed_rtts(rtt, wake - start), 1);
+  EXPECT_EQ(elapsed_rtts(rtt, (start + 5 * rtt) - start), 5);
+}
+
+TEST(ElapsedRttsTest, BasicCounts) {
+  EXPECT_EQ(elapsed_rtts(0.05, 0.0), 0);
+  EXPECT_EQ(elapsed_rtts(0.05, 0.049), 0);
+  EXPECT_EQ(elapsed_rtts(0.05, 0.051), 1);
+  EXPECT_EQ(elapsed_rtts(0.05, -5.0), 0);
+}
+
+TEST(UnconstrainedTransferTimeTest, ZeroBytesZeroTime) {
+  TcpParams tcp;
+  EXPECT_DOUBLE_EQ(unconstrained_transfer_time(tcp, 0, 1'000'000, 0.05), 0.0);
+}
+
+TEST(UnconstrainedTransferTimeTest, TinyTransferFractionOfRtt) {
+  TcpParams tcp{.mss = 1000, .initial_window = 2000};
+  // 1000 bytes with a 2000-byte window: half an RTT.
+  EXPECT_DOUBLE_EQ(unconstrained_transfer_time(tcp, 1000, 1'000'000, 0.1),
+                   0.05);
+}
+
+TEST(UnconstrainedTransferTimeTest, SlowStartAccounting) {
+  TcpParams tcp{.mss = 1000, .initial_window = 1000};
+  const Bytes buffer = 4000;
+  const Duration rtt = 0.1;
+  // Rounds move 1000, 2000 bytes; then window-limited at 40 KB/s.
+  // 7000 bytes: 2 rounds (3000 B) + 4000 B at 40 KB/s = 0.2 + 0.1.
+  EXPECT_NEAR(unconstrained_transfer_time(tcp, 7000, buffer, rtt), 0.3, 1e-12);
+}
+
+TEST(UnconstrainedTransferTimeTest, LargeTransferApproachesWindowRate) {
+  TcpParams tcp;
+  const Bytes size = 1'000'000'000;  // 1 GB
+  const Bytes buffer = 1'000'000;
+  const Duration rtt = 0.055;
+  const auto t = unconstrained_transfer_time(tcp, size, buffer, rtt);
+  const auto bw = achieved_bandwidth(size, t);
+  EXPECT_NEAR(bw, window_limited_rate(buffer, rtt), 0.01 * bw);
+}
+
+TEST(UnconstrainedTransferTimeTest, SmallFilesGetLowerBandwidth) {
+  // The paper's Section 4.3 phenomenon, in its purest form.
+  TcpParams tcp;
+  const Bytes buffer = kTunedTcpBuffer;
+  const Duration rtt = 0.055;
+  double last_bw = 0.0;
+  for (const Bytes size : {1'000'000ull, 10'000'000ull, 100'000'000ull,
+                           1'000'000'000ull}) {
+    const auto t = unconstrained_transfer_time(tcp, size, buffer, rtt);
+    const auto bw = achieved_bandwidth(size, t);
+    EXPECT_GT(bw, last_bw) << "size=" << size;
+    last_bw = bw;
+  }
+}
+
+TEST(NwsProbeTheoryTest, DefaultProbeStaysInSlowStart) {
+  // A 64 KB probe with standard buffers never exits slow start on a
+  // wide-area RTT -> measured bandwidth far below the window rate.
+  TcpParams tcp;
+  const Duration rtt = 0.055;
+  const auto t = unconstrained_transfer_time(tcp, 64 * kKiB,
+                                             kDefaultTcpBuffer, rtt);
+  const auto bw = achieved_bandwidth(64 * kKiB, t);
+  EXPECT_LT(bw, 300'000.0);  // the paper's "< 0.3 MB/sec" observation
+}
+
+TEST(AchievedBandwidthTest, PaperFormula) {
+  // BW = file size / transfer time (Fig. 3 caption).
+  EXPECT_DOUBLE_EQ(achieved_bandwidth(10'240'000, 4.0), 2'560'000.0);
+}
+
+}  // namespace
+}  // namespace wadp::net

@@ -1,0 +1,114 @@
+#include "nws/forecaster.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wadp::nws {
+namespace {
+
+ProbeMeasurement probe(double t, double value) {
+  return {.time = t, .value = value, .duration = 0.3};
+}
+
+TEST(NwsForecasterBatteryTest, HasClassicMembers) {
+  const auto battery = nws_forecaster_battery();
+  EXPECT_GE(battery.size(), 5u);
+  EXPECT_NE(battery.find("nws.LV"), nullptr);
+  EXPECT_NE(battery.find("nws.MED10"), nullptr);
+  EXPECT_NE(battery.find("nws.AVG"), nullptr);
+}
+
+TEST(NwsForecasterTest, EmptyHasNoForecast) {
+  NwsForecaster forecaster;
+  EXPECT_FALSE(forecaster.forecast(0.0).has_value());
+}
+
+TEST(NwsForecasterTest, ForecastsConstantSeriesExactly) {
+  NwsForecaster forecaster;
+  for (int i = 0; i < 20; ++i) forecaster.observe(probe(i * 300.0, 250'000.0));
+  const auto f = forecaster.forecast(6300.0);
+  ASSERT_TRUE(f.has_value());
+  EXPECT_NEAR(*f, 250'000.0, 1.0);
+}
+
+TEST(NwsForecasterTest, DynamicSelectionAdapts) {
+  // Jumpy series with a persistent level change: windowed forecasters
+  // beat the all-history mean; the forecaster must not stay glued to it.
+  NwsForecaster forecaster;
+  for (int i = 0; i < 30; ++i) forecaster.observe(probe(i * 300.0, 100'000.0));
+  for (int i = 30; i < 60; ++i) forecaster.observe(probe(i * 300.0, 220'000.0));
+  const auto f = forecaster.forecast(60 * 300.0);
+  ASSERT_TRUE(f.has_value());
+  // A pure all-history mean would sit at 160k; adaptation pulls higher.
+  EXPECT_GT(*f, 180'000.0);
+}
+
+TEST(HybridNwsPredictorTest, ScalesNwsLevelByObservedRatio) {
+  // Probes tick at a level of 200 KB/s while GridFTP transfers achieve
+  // 8 MB/s (a 40x ratio); when the probe level halves, the hybrid
+  // prediction should halve too.
+  std::vector<ProbeMeasurement> probes;
+  for (int i = 0; i < 50; ++i) probes.push_back(probe(i * 300.0, 200'000.0));
+  for (int i = 50; i < 100; ++i) probes.push_back(probe(i * 300.0, 100'000.0));
+
+  std::vector<predict::Observation> gridftp;
+  for (int i = 0; i < 10; ++i) {
+    gridftp.push_back({.time = 3000.0 + i * 900.0,
+                       .value = 8'000'000.0,
+                       .file_size = 500 * kMB});
+  }
+
+  HybridNwsPredictor hybrid("HYB", &probes);
+  const auto late = hybrid.predict(
+      gridftp, {.time = 90 * 300.0, .file_size = 500 * kMB});
+  ASSERT_TRUE(late.has_value());
+  EXPECT_NEAR(*late, 4'000'000.0, 400'000.0);  // half the old level
+}
+
+TEST(HybridNwsPredictorTest, NoProbesMeansNoPrediction) {
+  std::vector<ProbeMeasurement> probes;
+  std::vector<predict::Observation> gridftp = {
+      {.time = 100.0, .value = 5e6, .file_size = kMB}};
+  HybridNwsPredictor hybrid("HYB", &probes);
+  EXPECT_FALSE(hybrid.predict(gridftp, {.time = 200.0, .file_size = kMB})
+                   .has_value());
+}
+
+TEST(HybridNwsPredictorTest, NoGridFtpHistoryMeansNoPrediction) {
+  std::vector<ProbeMeasurement> probes = {probe(0.0, 1e5), probe(300.0, 1e5)};
+  HybridNwsPredictor hybrid("HYB", &probes);
+  EXPECT_FALSE(
+      hybrid.predict({}, {.time = 400.0, .file_size = kMB}).has_value());
+}
+
+TEST(HybridNwsPredictorTest, NoLookaheadIntoFutureProbes) {
+  // Query at t=1000 must ignore probes after t=1000.
+  std::vector<ProbeMeasurement> probes = {probe(500.0, 1e5),
+                                          probe(2000.0, 9e9)};
+  std::vector<predict::Observation> gridftp = {
+      {.time = 600.0, .value = 4e6, .file_size = kMB},
+      {.time = 700.0, .value = 4e6, .file_size = kMB}};
+  HybridNwsPredictor hybrid("HYB", &probes);
+  const auto p = hybrid.predict(gridftp, {.time = 1000.0, .file_size = kMB});
+  ASSERT_TRUE(p.has_value());
+  EXPECT_NEAR(*p, 4e6, 1e5);  // ratio 40x against the 1e5 level
+}
+
+TEST(HybridNwsPredictorTest, MedianRatioRejectsOneOffOutlier) {
+  std::vector<ProbeMeasurement> probes;
+  for (int i = 0; i < 40; ++i) probes.push_back(probe(i * 100.0, 1e5));
+  std::vector<predict::Observation> gridftp;
+  for (int i = 0; i < 9; ++i) {
+    gridftp.push_back({.time = 500.0 + i * 300.0,
+                       .value = 4e6,
+                       .file_size = kMB});
+  }
+  // One transfer that raced a congestion episode the probes missed.
+  gridftp.push_back({.time = 3300.0, .value = 4e4, .file_size = kMB});
+  HybridNwsPredictor hybrid("HYB", &probes);
+  const auto p = hybrid.predict(gridftp, {.time = 3900.0, .file_size = kMB});
+  ASSERT_TRUE(p.has_value());
+  EXPECT_NEAR(*p, 4e6, 2e5);
+}
+
+}  // namespace
+}  // namespace wadp::nws

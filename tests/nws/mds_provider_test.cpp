@@ -1,0 +1,80 @@
+#include "nws/mds_provider.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mds/giis.hpp"
+
+namespace wadp::nws {
+namespace {
+
+ProbeMeasurement probe(double t, double value) {
+  return {.time = t, .value = value, .duration = 0.3};
+}
+
+NwsProviderConfig config() {
+  return {.base = *mds::Dn::parse("hostname=nws.lbl.gov, dc=lbl, o=grid")};
+}
+
+TEST(NwsInfoProviderTest, PublishesOneEntryPerExperiment) {
+  NwsMemory memory;
+  for (int i = 0; i < 10; ++i) {
+    memory.store("bandwidth.lbl.anl", probe(i * 300.0, 2e5));
+    memory.store("bandwidth.isi.anl", probe(i * 300.0 + 1, 1.5e5));
+  }
+  NwsInfoProvider provider(memory, config());
+  const auto entries = provider.provide(3000.0);
+  ASSERT_EQ(entries.size(), 2u);
+  for (const auto& entry : entries) {
+    EXPECT_EQ(entry.object_classes().front(), "nwsNetwork");
+    EXPECT_TRUE(entry.has("latestbandwidth"));
+    EXPECT_TRUE(entry.has("forecastbandwidth"));
+  }
+}
+
+TEST(NwsInfoProviderTest, ForecastMatchesConstantSeries) {
+  NwsMemory memory;
+  for (int i = 0; i < 20; ++i) {
+    memory.store("bandwidth.lbl.anl", probe(i * 300.0, 200'000.0));
+  }
+  NwsInfoProvider provider(memory, config());
+  const auto entries = provider.provide(6300.0);
+  ASSERT_EQ(entries.size(), 1u);
+  // 200000 B/s = 200 KB/s.
+  EXPECT_NEAR(*entries[0].get_double("forecastbandwidth"), 200.0, 0.5);
+  EXPECT_NEAR(*entries[0].get_double("latestbandwidth"), 200.0, 0.5);
+  EXPECT_EQ(*entries[0].get("measurements"), "20");
+}
+
+TEST(NwsInfoProviderTest, EntriesValidateAgainstSchema) {
+  NwsMemory memory;
+  memory.store("bandwidth.lbl.anl", probe(0.0, 2e5));
+  NwsInfoProvider provider(memory, config());
+  const auto schema = NwsInfoProvider::schema();
+  for (const auto& entry : provider.provide(100.0)) {
+    EXPECT_EQ(schema.validate(entry), "") << entry.to_ldif();
+  }
+}
+
+TEST(NwsInfoProviderTest, WorksThroughGrisInquiry) {
+  NwsMemory memory;
+  for (int i = 0; i < 5; ++i) {
+    memory.store("bandwidth.lbl.anl", probe(i * 300.0, 2.5e5));
+  }
+  NwsInfoProvider provider(memory, config());
+  mds::Gris gris("lbl-gris", *mds::Dn::parse("dc=lbl, o=grid"));
+  gris.register_provider(&provider, 300.0);
+  const auto results = gris.search(
+      1500.0, *mds::Filter::parse(
+                  "(&(objectclass=nwsNetwork)(latestbandwidth>=200))"));
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(*results[0].get("experiment"), "bandwidth.lbl.anl");
+}
+
+TEST(NwsInfoProviderTest, EmptyMemoryPublishesNothing) {
+  NwsMemory memory;
+  NwsInfoProvider provider(memory, config());
+  EXPECT_TRUE(provider.provide(0.0).empty());
+}
+
+}  // namespace
+}  // namespace wadp::nws

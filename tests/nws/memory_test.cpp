@@ -1,0 +1,117 @@
+#include "nws/memory.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "net/fabric.hpp"
+#include "sim/simulator.hpp"
+
+namespace wadp::nws {
+namespace {
+
+ProbeMeasurement probe(double t, double value) {
+  return {.time = t, .value = value, .duration = 0.3};
+}
+
+TEST(NwsMemoryTest, StoreAndLookup) {
+  NwsMemory memory;
+  memory.store("bandwidth.lbl.anl", probe(1.0, 2e5));
+  memory.store("bandwidth.lbl.anl", probe(2.0, 3e5));
+  memory.store("bandwidth.isi.anl", probe(1.5, 1e5));
+  EXPECT_EQ(memory.series("bandwidth.lbl.anl").size(), 2u);
+  EXPECT_EQ(memory.series("bandwidth.isi.anl").size(), 1u);
+  EXPECT_TRUE(memory.series("bandwidth.unknown").empty());
+  EXPECT_EQ(memory.total_measurements(), 3u);
+  EXPECT_EQ(memory.experiments().size(), 2u);
+}
+
+TEST(NwsMemoryTest, BoundedRetentionDropsOldest) {
+  NwsMemory memory(/*max_measurements=*/3);
+  for (int i = 0; i < 6; ++i) {
+    memory.store("x", probe(static_cast<double>(i), 1e5 + i));
+  }
+  const auto series = memory.series("x");
+  ASSERT_EQ(series.size(), 3u);
+  EXPECT_DOUBLE_EQ(series.front().time, 3.0);
+  EXPECT_DOUBLE_EQ(series.back().time, 5.0);
+}
+
+TEST(NwsMemoryTest, UnboundedWhenZero) {
+  NwsMemory memory(0);
+  for (int i = 0; i < 5000; ++i) {
+    memory.store("x", probe(static_cast<double>(i), 1e5));
+  }
+  EXPECT_EQ(memory.series("x").size(), 5000u);
+}
+
+TEST(NwsMemoryTest, OutOfOrderStoreAborts) {
+  NwsMemory memory;
+  memory.store("x", probe(10.0, 1e5));
+  EXPECT_DEATH(memory.store("x", probe(5.0, 1e5)), "time order");
+}
+
+TEST(NwsMemoryTest, AbsorbIsIncremental) {
+  sim::Simulator sim(0.0);
+  net::FluidEngine engine(sim);
+  net::Topology topology;
+  net::PathParams params;
+  params.load.base = 0.0;
+  params.load.diurnal_amplitude = 0.0;
+  params.load.ar_sigma = 0.0;
+  params.load.episode_rate_per_hour = 0.0;
+  auto& path = topology.add_path("a", "b", params, 1, 0.0);
+  NwsSensor sensor(sim, engine, path, {.period = 100.0});
+  NwsMemory memory;
+
+  sim.run_until(350.0);
+  memory.absorb("bandwidth.a.b", sensor);
+  const auto first_count = memory.series("bandwidth.a.b").size();
+  EXPECT_GE(first_count, 3u);
+
+  sim.run_until(700.0);
+  memory.absorb("bandwidth.a.b", sensor);
+  EXPECT_GT(memory.series("bandwidth.a.b").size(), first_count);
+  // Absorbing again without new probes adds nothing.
+  const auto count = memory.series("bandwidth.a.b").size();
+  memory.absorb("bandwidth.a.b", sensor);
+  EXPECT_EQ(memory.series("bandwidth.a.b").size(), count);
+}
+
+TEST(NwsMemoryTest, TraceTextRoundTrip) {
+  NwsMemory memory;
+  memory.store("x", probe(100.5, 212'345.678));
+  memory.store("x", probe(400.25, 190'000.0));
+  const auto text = memory.to_trace_text("x");
+  const auto parsed = NwsMemory::parse_trace_text(text);
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_NEAR(parsed[0].time, 100.5, 1e-3);
+  EXPECT_NEAR(parsed[0].value, 212'345.678, 1e-2);
+}
+
+TEST(NwsMemoryTest, ParseSkipsGarbage) {
+  const auto parsed = NwsMemory::parse_trace_text(
+      "100 2e5\nnot a line\n200\n300 1e5\n");
+  EXPECT_EQ(parsed.size(), 2u);
+}
+
+TEST(NwsMemoryTest, FileRoundTripPreservesExperiments) {
+  NwsMemory memory;
+  memory.store("bandwidth.lbl.anl", probe(1.0, 2e5));
+  memory.store("bandwidth.lbl.anl", probe(2.0, 2.1e5));
+  memory.store("bandwidth.isi.anl", probe(1.0, 1.5e5));
+  const std::string path = ::testing::TempDir() + "/nws_memory_test.txt";
+  ASSERT_TRUE(memory.save(path).ok());
+  const auto loaded = NwsMemory::load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.error();
+  EXPECT_EQ(loaded.value().series("bandwidth.lbl.anl").size(), 2u);
+  EXPECT_EQ(loaded.value().series("bandwidth.isi.anl").size(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(NwsMemoryTest, LoadMissingFileFails) {
+  EXPECT_FALSE(NwsMemory::load("/no/such/file").ok());
+}
+
+}  // namespace
+}  // namespace wadp::nws

@@ -1,0 +1,124 @@
+#include "nws/sensor.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wadp::nws {
+namespace {
+
+net::PathParams quiet_path() {
+  net::PathParams p;
+  p.bottleneck = 12'500'000.0;
+  p.rtt = 0.055;
+  p.load.base = 0.0;
+  p.load.diurnal_amplitude = 0.0;
+  p.load.ar_sigma = 0.0;
+  p.load.episode_rate_per_hour = 0.0;
+  return p;
+}
+
+struct Harness {
+  sim::Simulator sim{998'000'000.0};
+  net::FluidEngine engine{sim};
+  net::Topology topology;
+  net::PathModel* path;
+
+  explicit Harness(net::PathParams params = quiet_path()) {
+    path = &topology.add_path("a", "b", params, 1, sim.now());
+  }
+};
+
+TEST(NwsSensorTest, ProbesEveryPeriod) {
+  Harness h;
+  NwsSensor sensor(h.sim, h.engine, *h.path, {.period = 300.0});
+  h.sim.run_until(h.sim.now() + 3600.0);
+  sensor.stop();
+  // Immediate probe + one each 300 s: 13 received within the hour.
+  EXPECT_GE(sensor.series().size(), 12u);
+  EXPECT_LE(sensor.series().size(), 13u);
+}
+
+TEST(NwsSensorTest, ProbeBandwidthFarBelowSteadyRate) {
+  // The Figs. 1-2 phenomenon: a 64 KB probe with a default buffer never
+  // exits slow start and reads out well under 0.3 MB/s while the link
+  // itself can carry 12.5 MB/s.
+  Harness h;
+  NwsSensor sensor(h.sim, h.engine, *h.path, {});
+  h.sim.run_until(h.sim.now() + 1800.0);
+  sensor.stop();
+  ASSERT_FALSE(sensor.series().empty());
+  for (const auto& m : sensor.series()) {
+    EXPECT_LT(m.value, 300'000.0);
+    EXPECT_GT(m.value, 10'000.0);
+  }
+}
+
+TEST(NwsSensorTest, MeasurementMatchesClosedForm) {
+  Harness h;
+  const ProbeConfig config;
+  NwsSensor sensor(h.sim, h.engine, *h.path, config);
+  h.sim.run_until(h.sim.now() + 400.0);
+  sensor.stop();
+  ASSERT_FALSE(sensor.series().empty());
+  const auto theoretical =
+      NwsSensor::theoretical_idle_probe_bandwidth(*h.path, config);
+  // Idle quiet path: the fluid engine should land near the analytic
+  // slow-start value (it discretizes the ramp identically).
+  EXPECT_NEAR(sensor.series().front().value, theoretical, 0.2 * theoretical);
+}
+
+TEST(NwsSensorTest, SeriesTimesAreMonotone) {
+  Harness h;
+  NwsSensor sensor(h.sim, h.engine, *h.path, {.period = 100.0});
+  h.sim.run_until(h.sim.now() + 2000.0);
+  sensor.stop();
+  const auto& series = sensor.series();
+  ASSERT_GE(series.size(), 2u);
+  for (std::size_t i = 1; i < series.size(); ++i) {
+    EXPECT_GT(series[i].time, series[i - 1].time);
+  }
+}
+
+TEST(NwsSensorTest, StopEndsProbing) {
+  Harness h;
+  NwsSensor sensor(h.sim, h.engine, *h.path, {.period = 100.0});
+  h.sim.run_until(h.sim.now() + 500.0);
+  sensor.stop();
+  // A probe already in flight may still complete and be recorded, but
+  // no new probes launch after stop().
+  h.sim.run_until(h.sim.now() + 5000.0);
+  const auto count = sensor.series().size();
+  h.sim.run_until(h.sim.now() + 5000.0);
+  EXPECT_EQ(sensor.series().size(), count);
+  EXPECT_LE(count, 7u);  // ~6 ticks before stop, plus at most one tail
+}
+
+TEST(NwsSensorTest, LoadedPathLowersProbeBandwidth) {
+  net::PathParams loaded = quiet_path();
+  loaded.load.base = 0.6;
+  Harness quiet_h;
+  Harness loaded_h(loaded);
+  NwsSensor quiet_sensor(quiet_h.sim, quiet_h.engine, *quiet_h.path, {});
+  NwsSensor loaded_sensor(loaded_h.sim, loaded_h.engine, *loaded_h.path, {});
+  quiet_h.sim.run_until(quiet_h.sim.now() + 600.0);
+  loaded_h.sim.run_until(loaded_h.sim.now() + 600.0);
+  ASSERT_FALSE(quiet_sensor.series().empty());
+  ASSERT_FALSE(loaded_sensor.series().empty());
+  // Slow-start-bound probes react to load only mildly, but the loaded
+  // value must not exceed the idle value.
+  EXPECT_LE(loaded_sensor.series().front().value,
+            quiet_sensor.series().front().value + 1.0);
+}
+
+TEST(NwsSensorTest, ProbeDurationRecorded) {
+  Harness h;
+  NwsSensor sensor(h.sim, h.engine, *h.path, {});
+  h.sim.run_until(h.sim.now() + 400.0);
+  sensor.stop();
+  ASSERT_FALSE(sensor.series().empty());
+  const auto& m = sensor.series().front();
+  EXPECT_GT(m.duration, 0.0);
+  EXPECT_NEAR(m.value, 64.0 * 1024.0 / m.duration, 1.0);
+}
+
+}  // namespace
+}  // namespace wadp::nws

@@ -1,0 +1,87 @@
+#include "predict/classifier.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wadp::predict {
+namespace {
+
+TEST(SizeClassifierTest, PaperClassBoundaries) {
+  const auto c = SizeClassifier::paper_classes();
+  EXPECT_EQ(c.num_classes(), 4);
+  EXPECT_EQ(c.classify(1 * kMB), 0);
+  EXPECT_EQ(c.classify(50 * kMB), 0);   // inclusive upper bound
+  EXPECT_EQ(c.classify(50 * kMB + 1), 1);
+  EXPECT_EQ(c.classify(250 * kMB), 1);
+  EXPECT_EQ(c.classify(500 * kMB), 2);
+  EXPECT_EQ(c.classify(750 * kMB), 2);
+  EXPECT_EQ(c.classify(1000 * kMB), 3);
+}
+
+TEST(SizeClassifierTest, PaperThirteenSizesSplitAsExpected) {
+  // {1,2,5,10,25,50} | {100,150,250} | {400,500,750} | {1000} — the
+  // partition implied by Fig. 7's equal 100MB/500MB class counts.
+  const auto c = SizeClassifier::paper_classes();
+  int counts[4] = {0, 0, 0, 0};
+  for (const Bytes mb : {1, 2, 5, 10, 25, 50, 100, 150, 250, 400, 500, 750, 1000}) {
+    ++counts[c.classify(static_cast<Bytes>(mb) * kMB)];
+  }
+  EXPECT_EQ(counts[0], 6);
+  EXPECT_EQ(counts[1], 3);
+  EXPECT_EQ(counts[2], 3);
+  EXPECT_EQ(counts[3], 1);
+}
+
+TEST(SizeClassifierTest, ZeroByteFileIsSmallest) {
+  EXPECT_EQ(SizeClassifier::paper_classes().classify(0), 0);
+}
+
+TEST(SizeClassifierTest, ClassNames) {
+  const auto c = SizeClassifier::paper_classes();
+  EXPECT_EQ(c.class_name(0), "0-50MB");
+  EXPECT_EQ(c.class_name(1), "50-250MB");
+  EXPECT_EQ(c.class_name(2), "250-750MB");
+  EXPECT_EQ(c.class_name(3), ">750MB");
+}
+
+TEST(SizeClassifierTest, PaperFigureLabels) {
+  const auto c = SizeClassifier::paper_classes();
+  EXPECT_EQ(c.class_label(0), "10MB");
+  EXPECT_EQ(c.class_label(1), "100MB");
+  EXPECT_EQ(c.class_label(2), "500MB");
+  EXPECT_EQ(c.class_label(3), "1GB");
+}
+
+TEST(SizeClassifierTest, CustomBoundaries) {
+  const SizeClassifier c({10 * kMB});
+  EXPECT_EQ(c.num_classes(), 2);
+  EXPECT_EQ(c.classify(10 * kMB), 0);
+  EXPECT_EQ(c.classify(11 * kMB), 1);
+  EXPECT_EQ(c.class_name(0), "0-10MB");
+  EXPECT_EQ(c.class_name(1), ">10MB");
+  // Non-paper boundaries fall back to range names for labels.
+  EXPECT_EQ(c.class_label(0), "0-10MB");
+}
+
+TEST(SizeClassifierTest, SameClassHelper) {
+  const auto c = SizeClassifier::paper_classes();
+  EXPECT_TRUE(c.same_class(1 * kMB, 50 * kMB));
+  EXPECT_FALSE(c.same_class(50 * kMB, 51 * kMB));
+}
+
+TEST(SizeClassifierTest, RepresentativeSizeClassifiesIntoItsClass) {
+  const auto c = SizeClassifier::paper_classes();
+  for (int cls = 0; cls < c.num_classes(); ++cls) {
+    EXPECT_EQ(c.classify(c.representative_size(cls)), cls) << "cls=" << cls;
+  }
+}
+
+TEST(SizeClassifierDeathTest, UnsortedBoundariesAbort) {
+  EXPECT_DEATH(SizeClassifier({250 * kMB, 50 * kMB}), "ascend");
+}
+
+TEST(SizeClassifierDeathTest, DuplicateBoundariesAbort) {
+  EXPECT_DEATH(SizeClassifier({50 * kMB, 50 * kMB}), "distinct");
+}
+
+}  // namespace
+}  // namespace wadp::predict

@@ -1,0 +1,132 @@
+#include "predict/crosssite.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace wadp::predict {
+namespace {
+
+TEST(CrossSiteTest, EmptyEstimatorKnowsNothing) {
+  CrossSiteEstimator estimator;
+  EXPECT_FALSE(estimator.estimate("a", "b").has_value());
+  EXPECT_EQ(estimator.observed_pairs(), 0u);
+}
+
+TEST(CrossSiteTest, SinglePairReproducesItsMean) {
+  CrossSiteEstimator estimator;
+  estimator.observe("lbl", "anl", 4e6);
+  estimator.observe("lbl", "anl", 9e6);
+  const auto estimate = estimator.estimate("lbl", "anl");
+  ASSERT_TRUE(estimate.has_value());
+  // Geometric mean of 4e6 and 9e6 = 6e6.
+  EXPECT_NEAR(*estimate, 6e6, 1.0);
+  EXPECT_NEAR(*estimator.observed_mean("lbl", "anl"), 6e6, 1.0);
+}
+
+TEST(CrossSiteTest, RecoversExactMultiplicativeModel) {
+  // bw(s->d) = G * src(s) * dst(d) with known factors; observe three of
+  // the four pairs, predict the held-out one exactly.
+  const double G = 5e6;
+  const std::map<std::string, double> src = {{"lbl", 2.0}, {"isi", 0.5}};
+  const std::map<std::string, double> dst = {{"anl", 1.0}, {"ucsd", 0.25}};
+  CrossSiteEstimator estimator;
+  estimator.observe("lbl", "anl", G * src.at("lbl") * dst.at("anl"));
+  estimator.observe("isi", "anl", G * src.at("isi") * dst.at("anl"));
+  estimator.observe("lbl", "ucsd", G * src.at("lbl") * dst.at("ucsd"));
+  // isi->ucsd never observed.
+  const auto estimate = estimator.estimate("isi", "ucsd");
+  ASSERT_TRUE(estimate.has_value());
+  const double truth = G * src.at("isi") * dst.at("ucsd");
+  EXPECT_NEAR(*estimate, truth, truth * 1e-9);
+}
+
+TEST(CrossSiteTest, UnknownEndpointsAreNullopt) {
+  CrossSiteEstimator estimator;
+  estimator.observe("lbl", "anl", 5e6);
+  EXPECT_FALSE(estimator.estimate("mars", "anl").has_value());
+  EXPECT_FALSE(estimator.estimate("lbl", "mars").has_value());
+  // A site seen only as a sink is not a known source.
+  EXPECT_FALSE(estimator.estimate("anl", "lbl").has_value());
+}
+
+TEST(CrossSiteTest, EstimateAgreesWithObservedMeanOnConsistentData) {
+  // When the data is exactly multiplicative, fitted estimates reproduce
+  // every observed pair's geometric mean.
+  CrossSiteEstimator estimator;
+  const double G = 1e6;
+  for (const auto& [s, fs] :
+       std::map<std::string, double>{{"a", 1.0}, {"b", 3.0}, {"c", 0.5}}) {
+    for (const auto& [d, fd] :
+         std::map<std::string, double>{{"x", 2.0}, {"y", 0.8}}) {
+      estimator.observe(s, d, G * fs * fd);
+    }
+  }
+  for (const std::string s : {"a", "b", "c"}) {
+    for (const std::string d : {"x", "y"}) {
+      EXPECT_NEAR(*estimator.estimate(s, d), *estimator.observed_mean(s, d),
+                  1.0)
+          << s << "->" << d;
+    }
+  }
+}
+
+TEST(CrossSiteTest, FactorsReflectRelativeCapability) {
+  CrossSiteEstimator estimator;
+  // lbl consistently 4x faster as a source than isi, to two sinks.
+  estimator.observe("lbl", "anl", 8e6);
+  estimator.observe("isi", "anl", 2e6);
+  estimator.observe("lbl", "ucsd", 4e6);
+  estimator.observe("isi", "ucsd", 1e6);
+  const auto lbl = estimator.source_factor("lbl");
+  const auto isi = estimator.source_factor("isi");
+  ASSERT_TRUE(lbl && isi);
+  EXPECT_NEAR(*lbl / *isi, 4.0, 1e-6);
+  EXPECT_FALSE(estimator.source_factor("nowhere").has_value());
+}
+
+TEST(CrossSiteTest, RobustToNoisyObservations) {
+  // Multiplicative truth + lognormal noise: held-out estimate lands
+  // within ~15% of truth given enough samples.
+  util::Rng rng(11);
+  const double G = 5e6;
+  const std::map<std::string, double> src = {
+      {"s1", 1.5}, {"s2", 0.7}, {"s3", 1.0}};
+  const std::map<std::string, double> dst = {
+      {"d1", 1.2}, {"d2", 0.6}, {"d3", 1.0}};
+  CrossSiteEstimator estimator;
+  for (const auto& [s, fs] : src) {
+    for (const auto& [d, fd] : dst) {
+      if (s == "s2" && d == "d3") continue;  // held out
+      for (int i = 0; i < 40; ++i) {
+        const double noise = std::exp(rng.normal(0.0, 0.2));
+        estimator.observe(s, d, G * fs * fd * noise);
+      }
+    }
+  }
+  const auto estimate = estimator.estimate("s2", "d3");
+  ASSERT_TRUE(estimate.has_value());
+  const double truth = G * src.at("s2") * dst.at("d3");
+  EXPECT_NEAR(*estimate, truth, 0.15 * truth);
+}
+
+TEST(CrossSiteTest, NewObservationsRefreshTheFit) {
+  CrossSiteEstimator estimator;
+  estimator.observe("a", "b", 1e6);
+  EXPECT_NEAR(*estimator.estimate("a", "b"), 1e6, 1.0);
+  for (int i = 0; i < 99; ++i) estimator.observe("a", "b", 1e6);
+  estimator.observe("a", "b", 2e6);
+  // 100 obs at 1e6, one at 2e6: geometric mean shifts slightly up.
+  EXPECT_GT(*estimator.estimate("a", "b"), 1e6);
+  EXPECT_EQ(estimator.observations(), 101u);
+}
+
+TEST(CrossSiteDeathTest, NonPositiveBandwidthAborts) {
+  CrossSiteEstimator estimator;
+  EXPECT_DEATH(estimator.observe("a", "b", 0.0), "positive");
+}
+
+}  // namespace
+}  // namespace wadp::predict

@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "predict/evaluator.hpp"
+#include "util/stats.hpp"
+
+namespace wadp::predict {
+namespace {
+
+TEST(ErrorValuesTest, MatchesAggregatedStats) {
+  // Rising series: LV's per-transfer errors are recomputable by hand.
+  std::vector<Observation> series;
+  for (int i = 0; i < 25; ++i) {
+    series.push_back({.time = i * 100.0,
+                      .value = 10.0 + i,
+                      .file_size = i % 2 == 0 ? 10 * kMB : 900 * kMB});
+  }
+  LastValuePredictor lv;
+  const auto result = Evaluator().run(series, {&lv});
+
+  const auto values = error_values(result, 0);
+  ASSERT_EQ(values.size(), result.errors(0).count);
+  EXPECT_NEAR(*util::mean(values), result.errors(0).mean(), 1e-12);
+  EXPECT_DOUBLE_EQ(*util::max_value(values), result.errors(0).max);
+  EXPECT_DOUBLE_EQ(*util::min_value(values), result.errors(0).min);
+}
+
+TEST(ErrorValuesTest, ClassFilterMatchesPerClassStats) {
+  std::vector<Observation> series;
+  for (int i = 0; i < 30; ++i) {
+    series.push_back({.time = i * 100.0,
+                      .value = 5.0 + (i % 3),
+                      .file_size = i % 2 == 0 ? 10 * kMB : 900 * kMB});
+  }
+  MeanPredictor avg("AVG", WindowSpec::all());
+  const auto result = Evaluator().run(series, {&avg});
+  for (int cls = 0; cls < 4; ++cls) {
+    const auto values = error_values(result, 0, cls);
+    EXPECT_EQ(values.size(), result.errors(0, cls).count) << cls;
+    if (!values.empty()) {
+      EXPECT_NEAR(*util::mean(values), result.errors(0, cls).mean(), 1e-12);
+    }
+  }
+}
+
+TEST(ErrorValuesTest, QuantilesExposeTheTail) {
+  // One huge outlier: the mean moves, the median barely does — the
+  // reason the paper pairs means with best/worst tallies.
+  std::vector<Observation> series;
+  for (int i = 0; i < 40; ++i) {
+    series.push_back({.time = i * 100.0,
+                      .value = i == 30 ? 100.0 : 10.0,
+                      .file_size = kMB});
+  }
+  LastValuePredictor lv;
+  const auto result = Evaluator().run(series, {&lv});
+  const auto values = error_values(result, 0);
+  const auto p50 = *util::quantile(values, 0.5);
+  const auto p95 = *util::quantile(values, 0.95);
+  EXPECT_LT(p50, 1.0);  // almost always exact
+  // The outlier contributes two errors (900% predicting after it, 90%
+  // predicting it); interpolated p95 lands between the bulk and them.
+  EXPECT_GT(p95, 50.0);
+  EXPECT_GT(*util::max_value(values), 800.0);
+}
+
+TEST(ErrorValuesTest, EmptyWithoutSamples) {
+  std::vector<Observation> series;
+  for (int i = 0; i < 20; ++i) {
+    series.push_back({.time = i * 100.0, .value = 5.0, .file_size = kMB});
+  }
+  MeanPredictor avg("AVG", WindowSpec::all());
+  EvalConfig config;
+  config.keep_samples = false;
+  const auto result = Evaluator(config).run(series, {&avg});
+  EXPECT_TRUE(error_values(result, 0).empty());
+}
+
+}  // namespace
+}  // namespace wadp::predict

@@ -1,0 +1,213 @@
+#include "predict/evaluator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "predict/suite.hpp"
+#include "util/rng.hpp"
+
+namespace wadp::predict {
+namespace {
+
+std::vector<Observation> constant_series(std::size_t n, double value,
+                                         Bytes size = kMB) {
+  std::vector<Observation> out;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back({.time = static_cast<double>(i) * 100.0,
+                   .value = value,
+                   .file_size = size});
+  }
+  return out;
+}
+
+TEST(ErrorStatsTest, Accumulates) {
+  ErrorStats s;
+  s.add(10.0);
+  s.add(30.0);
+  EXPECT_EQ(s.count, 2u);
+  EXPECT_DOUBLE_EQ(s.mean(), 20.0);
+  EXPECT_DOUBLE_EQ(s.min, 10.0);
+  EXPECT_DOUBLE_EQ(s.max, 30.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 10.0);
+}
+
+TEST(ErrorStatsTest, EmptyMeanIsZero) {
+  ErrorStats s;
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(RelativeStatsTest, Percentages) {
+  RelativeStats r{.best = 3, .worst = 1, .opportunities = 10};
+  EXPECT_DOUBLE_EQ(r.best_pct(), 30.0);
+  EXPECT_DOUBLE_EQ(r.worst_pct(), 10.0);
+  EXPECT_DOUBLE_EQ(RelativeStats{}.best_pct(), 0.0);
+}
+
+TEST(EvaluatorTest, PerfectPredictorOnConstantSeries) {
+  const auto series = constant_series(30, 5.0);
+  MeanPredictor avg("AVG", WindowSpec::all());
+  const Evaluator evaluator;
+  const auto result = evaluator.run(series, {&avg});
+  EXPECT_EQ(result.evaluated_transfers(), 15u);  // 30 - 15 training
+  EXPECT_DOUBLE_EQ(result.errors(0).mean(), 0.0);
+}
+
+TEST(EvaluatorTest, TrainingPrefixExcluded) {
+  const auto series = constant_series(20, 5.0);
+  MeanPredictor avg("AVG", WindowSpec::all());
+  EvalConfig config;
+  config.training_count = 10;
+  const auto result = Evaluator(config).run(series, {&avg});
+  EXPECT_EQ(result.evaluated_transfers(), 10u);
+}
+
+TEST(EvaluatorTest, SeriesShorterThanTrainingEvaluatesNothing) {
+  const auto series = constant_series(10, 5.0);
+  MeanPredictor avg("AVG", WindowSpec::all());
+  const auto result = Evaluator().run(series, {&avg});
+  EXPECT_EQ(result.evaluated_transfers(), 0u);
+  EXPECT_EQ(result.errors(0).count, 0u);
+}
+
+TEST(EvaluatorTest, KnownErrorValue) {
+  // History all 4.0, each new observation 5.0: AVG predicts 4.0 at the
+  // first evaluated point -> |5-4|/5 = 20%.
+  auto series = constant_series(15, 4.0);
+  series.push_back({.time = 1600.0, .value = 5.0, .file_size = kMB});
+  MeanPredictor avg("AVG", WindowSpec::all());
+  const auto result = Evaluator().run(series, {&avg});
+  ASSERT_EQ(result.errors(0).count, 1u);
+  EXPECT_DOUBLE_EQ(result.errors(0).mean(), 20.0);
+}
+
+TEST(EvaluatorTest, PerClassAggregation) {
+  // Small-class measurements at 2.0, large-class at 8.0, alternating.
+  std::vector<Observation> series;
+  for (int i = 0; i < 40; ++i) {
+    const bool small = i % 2 == 0;
+    series.push_back({.time = i * 100.0,
+                      .value = small ? 2.0 : 8.0,
+                      .file_size = small ? 10 * kMB : 900 * kMB});
+  }
+  auto base = std::make_shared<MeanPredictor>("AVG", WindowSpec::all());
+  const ClassifiedPredictor classified(base, SizeClassifier::paper_classes());
+  const auto result = Evaluator().run(series, {&classified});
+  // Classified predictor is exact in both classes.
+  EXPECT_DOUBLE_EQ(result.errors(0, 0).mean(), 0.0);
+  EXPECT_DOUBLE_EQ(result.errors(0, 3).mean(), 0.0);
+  EXPECT_GT(result.errors(0, 0).count, 0u);
+  EXPECT_GT(result.errors(0, 3).count, 0u);
+  EXPECT_EQ(result.errors(0, 1).count, 0u);  // no 100MB-class transfers
+  // Class counts add up.
+  EXPECT_EQ(result.evaluated_transfers(0) + result.evaluated_transfers(3),
+            result.evaluated_transfers());
+}
+
+TEST(EvaluatorTest, BestWorstCredit) {
+  // Two predictors: LV is exact on a two-valued alternating series from
+  // one step ago?  Use a simpler construction: series rises linearly,
+  // LV lags by one step, AVG lags more -> LV always best, AVG always worst.
+  std::vector<Observation> series;
+  for (int i = 0; i < 30; ++i) {
+    series.push_back(
+        {.time = i * 100.0, .value = 10.0 + i, .file_size = kMB});
+  }
+  LastValuePredictor lv;
+  MeanPredictor avg("AVG", WindowSpec::all());
+  const auto result = Evaluator().run(series, {&lv, &avg});
+  EXPECT_DOUBLE_EQ(result.relative(0).best_pct(), 100.0);
+  EXPECT_DOUBLE_EQ(result.relative(0).worst_pct(), 0.0);
+  EXPECT_DOUBLE_EQ(result.relative(1).best_pct(), 0.0);
+  EXPECT_DOUBLE_EQ(result.relative(1).worst_pct(), 100.0);
+}
+
+TEST(EvaluatorTest, TiesShareCredit) {
+  const auto series = constant_series(20, 5.0);
+  MeanPredictor a("A", WindowSpec::all());
+  MeanPredictor b("B", WindowSpec::all());
+  const auto result = Evaluator().run(series, {&a, &b});
+  // Identical predictors: both are simultaneously best and worst.
+  EXPECT_DOUBLE_EQ(result.relative(0).best_pct(), 100.0);
+  EXPECT_DOUBLE_EQ(result.relative(1).best_pct(), 100.0);
+  EXPECT_DOUBLE_EQ(result.relative(0).worst_pct(), 100.0);
+}
+
+TEST(EvaluatorTest, PredictorWithNoAnswerGetsNoOpportunities) {
+  const auto series = constant_series(20, 5.0, 10 * kMB);
+  // Classified predictor queried for a class with no history never
+  // answers -> zero opportunities, while AVG answers everything.
+  auto base = std::make_shared<MeanPredictor>("AVG", WindowSpec::all());
+  const ClassifiedPredictor classified(base, SizeClassifier::paper_classes());
+  MeanPredictor avg("AVGx", WindowSpec::all());
+  // Query sizes are the series sizes (10 MB), so classified *does*
+  // answer here; construct the no-answer case with an AR needing more
+  // data than exists.
+  ArPredictor ar("AR", WindowSpec::last_duration(1.0));  // empty window
+  const auto result = Evaluator().run(series, {&avg, &ar});
+  EXPECT_EQ(result.relative(1).opportunities, 0u);
+  EXPECT_EQ(result.errors(1).count, 0u);
+  EXPECT_GT(result.relative(0).opportunities, 0u);
+  (void)classified;
+}
+
+TEST(EvaluatorTest, SamplesRecordPredictionMatrix) {
+  const auto series = constant_series(18, 5.0);
+  MeanPredictor avg("AVG", WindowSpec::all());
+  LastValuePredictor lv;
+  EvalConfig config;
+  config.keep_samples = true;
+  const auto result = Evaluator(config).run(series, {&avg, &lv});
+  ASSERT_EQ(result.samples().size(), 3u);
+  const auto& sample = result.samples().front();
+  EXPECT_DOUBLE_EQ(sample.measured, 5.0);
+  ASSERT_EQ(sample.predictions.size(), 2u);
+  EXPECT_DOUBLE_EQ(*sample.predictions[0], 5.0);
+  EXPECT_DOUBLE_EQ(*sample.predictions[1], 5.0);
+}
+
+TEST(EvaluatorTest, KeepSamplesOffLeavesEmpty) {
+  const auto series = constant_series(18, 5.0);
+  MeanPredictor avg("AVG", WindowSpec::all());
+  EvalConfig config;
+  config.keep_samples = false;
+  const auto result = Evaluator(config).run(series, {&avg});
+  EXPECT_TRUE(result.samples().empty());
+  EXPECT_GT(result.errors(0).count, 0u);  // aggregation still happens
+}
+
+TEST(EvaluatorTest, IndexOfFindsNames) {
+  MeanPredictor avg("AVG", WindowSpec::all());
+  LastValuePredictor lv;
+  const auto result = Evaluator().run(constant_series(16, 1.0), {&avg, &lv});
+  EXPECT_EQ(*result.index_of("AVG"), 0u);
+  EXPECT_EQ(*result.index_of("LV"), 1u);
+  EXPECT_FALSE(result.index_of("NOPE").has_value());
+}
+
+TEST(EvaluatorTest, FullPaperSuiteRunsOnSyntheticSeries) {
+  util::Rng rng(99);
+  std::vector<Observation> series;
+  const std::vector<Bytes> sizes = {1 * kMB,  10 * kMB,  100 * kMB,
+                                    500 * kMB, 1000 * kMB};
+  double t = 0.0;
+  for (int i = 0; i < 120; ++i) {
+    const Bytes size = sizes[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(sizes.size()) - 1))];
+    series.push_back({.time = t,
+                      .value = rng.uniform(2e6, 9e6),
+                      .file_size = size});
+    t += rng.uniform(60.0, 3600.0);
+  }
+  const auto suite = PredictorSuite::paper_suite();
+  const auto result = Evaluator().run(series, suite.pointers());
+  EXPECT_EQ(result.predictor_names().size(), 30u);
+  EXPECT_EQ(result.evaluated_transfers(), 105u);
+  // Every context-insensitive predictor must answer everything after
+  // training (the big windows are never empty).
+  const auto avg_index = *result.index_of("AVG");
+  EXPECT_EQ(result.relative(avg_index).opportunities, 105u);
+}
+
+}  // namespace
+}  // namespace wadp::predict

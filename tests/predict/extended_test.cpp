@@ -1,0 +1,197 @@
+#include "predict/extended.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace wadp::predict {
+namespace {
+
+std::vector<Observation> make_series(std::initializer_list<double> values,
+                                     Bytes size = kMB) {
+  std::vector<Observation> out;
+  double t = 1000.0;
+  for (double v : values) {
+    out.push_back({.time = t, .value = v, .file_size = size});
+    t += 100.0;
+  }
+  return out;
+}
+
+Query query_at(double t, Bytes size = kMB) {
+  return {.time = t, .file_size = size};
+}
+
+TEST(EwmaPredictorTest, AlphaOneIsLastValue) {
+  EwmaPredictor p("EWMA1", 1.0);
+  const auto series = make_series({2.0, 4.0, 9.0});
+  EXPECT_DOUBLE_EQ(*p.predict(series, query_at(2000.0)), 9.0);
+}
+
+TEST(EwmaPredictorTest, KnownRecurrence) {
+  // s = ((2*0.5 + 0.5*2) ... explicit: s0=2, s1=.5*4+.5*2=3, s2=.5*8+.5*3=5.5
+  EwmaPredictor p("EWMA0.5", 0.5);
+  const auto series = make_series({2.0, 4.0, 8.0});
+  EXPECT_DOUBLE_EQ(*p.predict(series, query_at(2000.0)), 5.5);
+}
+
+TEST(EwmaPredictorTest, ConstantSeriesIsExact) {
+  EwmaPredictor p("EWMA0.2", 0.2);
+  const auto series = make_series({5.0, 5.0, 5.0, 5.0});
+  EXPECT_DOUBLE_EQ(*p.predict(series, query_at(2000.0)), 5.0);
+}
+
+TEST(EwmaPredictorTest, EmptyHistoryIsNullopt) {
+  EwmaPredictor p("EWMA0.2", 0.2);
+  EXPECT_FALSE(p.predict({}, query_at(0.0)).has_value());
+}
+
+TEST(EwmaPredictorTest, WeightsRecentMoreThanMean) {
+  // After a level shift the EWMA sits closer to the new level than the
+  // all-history mean does.
+  EwmaPredictor ewma("EWMA0.5", 0.5);
+  MeanPredictor avg("AVG", WindowSpec::all());
+  std::vector<double> values(20, 2.0);
+  values.insert(values.end(), 5, 10.0);
+  std::vector<Observation> series;
+  double t = 0.0;
+  for (double v : values) {
+    series.push_back({.time = t, .value = v, .file_size = kMB});
+    t += 100.0;
+  }
+  EXPECT_GT(*ewma.predict(series, query_at(t)),
+            *avg.predict(series, query_at(t)));
+}
+
+TEST(EwmaPredictorDeathTest, InvalidAlphaAborts) {
+  EXPECT_DEATH(EwmaPredictor("E", 0.0), "alpha");
+  EXPECT_DEATH(EwmaPredictor("E", 1.5), "alpha");
+}
+
+TEST(SizeRegressionPredictorTest, LearnsLogSizeLine) {
+  // bandwidth = 1e6 * log10(size/1MB) + 2e6 exactly.
+  std::vector<Observation> series;
+  double t = 0.0;
+  for (const Bytes size : {1 * kMB, 10 * kMB, 100 * kMB, 1000 * kMB,
+                           10 * kMB, 100 * kMB}) {
+    const double bw =
+        1e6 * std::log10(static_cast<double>(size) / 1e6) + 2e6;
+    series.push_back({.time = t, .value = bw, .file_size = size});
+    t += 100.0;
+  }
+  SizeRegressionPredictor p("SREG");
+  // Interpolation at an unseen size inside the range.
+  const auto mid = p.predict(series, query_at(t, 50 * kMB));
+  ASSERT_TRUE(mid.has_value());
+  EXPECT_NEAR(*mid, 1e6 * std::log10(50.0) + 2e6, 1e3);
+}
+
+TEST(SizeRegressionPredictorTest, PredictsUnseenClass) {
+  // Only small files in history, query for 1 GB: classification would
+  // return nullopt; regression extrapolates.
+  std::vector<Observation> series;
+  double t = 0.0;
+  for (const Bytes size : {1 * kMB, 2 * kMB, 5 * kMB, 10 * kMB, 25 * kMB}) {
+    const double bw = 1e6 + 0.5e6 * std::log10(static_cast<double>(size) / 1e6);
+    series.push_back({.time = t, .value = bw, .file_size = size});
+    t += 100.0;
+  }
+  SizeRegressionPredictor reg("SREG");
+  auto base = std::make_shared<MeanPredictor>("AVG", WindowSpec::all());
+  ClassifiedPredictor classified(base, SizeClassifier::paper_classes());
+  EXPECT_FALSE(
+      classified.predict(series, query_at(t, 1000 * kMB)).has_value());
+  const auto extrapolated = reg.predict(series, query_at(t, 1000 * kMB));
+  ASSERT_TRUE(extrapolated.has_value());
+  EXPECT_NEAR(*extrapolated, 1e6 + 0.5e6 * 3.0, 1e4);
+}
+
+TEST(SizeRegressionPredictorTest, ConstantSizesFallBackToMean) {
+  SizeRegressionPredictor p("SREG");
+  const auto series = make_series({2.0, 4.0, 6.0, 8.0, 10.0}, 10 * kMB);
+  EXPECT_DOUBLE_EQ(*p.predict(series, query_at(2000.0, 10 * kMB)), 6.0);
+}
+
+TEST(SizeRegressionPredictorTest, NeedsMinimumSamples) {
+  SizeRegressionPredictor p("SREG", WindowSpec::all(), 5);
+  const auto series = make_series({1.0, 2.0, 3.0, 4.0});
+  EXPECT_FALSE(p.predict(series, query_at(2000.0)).has_value());
+}
+
+TEST(SizeRegressionPredictorTest, NeverNegative) {
+  // Steeply decreasing line extrapolated far out stays clamped at 0.
+  std::vector<Observation> series;
+  double t = 0.0;
+  for (const Bytes size : {1 * kMB, 10 * kMB, 100 * kMB}) {
+    for (int rep = 0; rep < 3; ++rep) {
+      const double bw =
+          5e6 - 2.4e6 * std::log10(static_cast<double>(size) / 1e6);
+      series.push_back({.time = t, .value = bw, .file_size = size});
+      t += 100.0;
+    }
+  }
+  SizeRegressionPredictor p("SREG");
+  const auto far = p.predict(series, query_at(t, 1000 * kGB));
+  ASSERT_TRUE(far.has_value());
+  EXPECT_GE(*far, 0.0);
+}
+
+TEST(AdaptiveWindowPredictorTest, PicksShortWindowAfterLevelShift) {
+  // 30 samples at 2.0 then 15 at 8.0: a short window predicts the tail
+  // far better than a long one.
+  std::vector<Observation> series;
+  double t = 0.0;
+  for (int i = 0; i < 30; ++i) {
+    series.push_back({.time = t, .value = 2.0, .file_size = kMB});
+    t += 100.0;
+  }
+  for (int i = 0; i < 15; ++i) {
+    series.push_back({.time = t, .value = 8.0, .file_size = kMB});
+    t += 100.0;
+  }
+  AdaptiveWindowPredictor p("ADAPT", {1, 5, 40});
+  const auto window = p.chosen_window(series);
+  ASSERT_TRUE(window.has_value());
+  EXPECT_LE(*window, 5u);
+  EXPECT_NEAR(*p.predict(series, query_at(t)), 8.0, 1e-9);
+}
+
+TEST(AdaptiveWindowPredictorTest, PicksLongWindowOnNoisyStationarySeries) {
+  // Alternating 4/6 around a stable mean of 5: wider windows average
+  // the noise out, last-value is maximally wrong.
+  std::vector<Observation> series;
+  double t = 0.0;
+  for (int i = 0; i < 60; ++i) {
+    series.push_back({.time = t, .value = i % 2 ? 6.0 : 4.0,
+                      .file_size = kMB});
+    t += 100.0;
+  }
+  AdaptiveWindowPredictor p("ADAPT", {1, 2, 20});
+  const auto window = p.chosen_window(series);
+  ASSERT_TRUE(window.has_value());
+  // Any even window averages the alternation out exactly; last-value is
+  // always maximally wrong and must lose.
+  EXPECT_GT(*window, 1u);
+  EXPECT_NEAR(*p.predict(series, query_at(6000.0)), 5.0, 1e-9);
+}
+
+TEST(AdaptiveWindowPredictorTest, TinyHistoryStillAnswers) {
+  AdaptiveWindowPredictor p("ADAPT");
+  const auto series = make_series({3.0});
+  EXPECT_TRUE(p.predict(series, query_at(2000.0)).has_value());
+  EXPECT_FALSE(p.predict({}, query_at(0.0)).has_value());
+}
+
+TEST(ExtendedSuiteTest, ContainsPaperAndExtensions) {
+  const auto suite = extended_suite();
+  EXPECT_GE(suite.size(), 38u);  // 30 paper + >= 8 extensions
+  EXPECT_NE(suite.find("AVG15"), nullptr);
+  EXPECT_NE(suite.find("EWMA0.2"), nullptr);
+  EXPECT_NE(suite.find("EWMA0.2/fs"), nullptr);
+  EXPECT_NE(suite.find("SREG"), nullptr);
+  EXPECT_NE(suite.find("ADAPT"), nullptr);
+  EXPECT_NE(suite.find("ADAPT/fs"), nullptr);
+}
+
+}  // namespace
+}  // namespace wadp::predict

@@ -1,0 +1,82 @@
+// Parallel evaluation: the threaded prediction phase must be
+// bit-identical to the serial run (the battery is pure; aggregation is
+// serial in both paths).
+#include <gtest/gtest.h>
+
+#include "predict/evaluator.hpp"
+#include "predict/extended.hpp"
+#include "util/rng.hpp"
+
+namespace wadp::predict {
+namespace {
+
+std::vector<Observation> random_series(std::uint64_t seed, std::size_t n) {
+  util::Rng rng(seed);
+  const std::vector<Bytes> sizes = {1 * kMB,   10 * kMB,  100 * kMB,
+                                    500 * kMB, 1000 * kMB};
+  std::vector<Observation> out;
+  double t = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back({.time = t,
+                   .value = rng.uniform(1e6, 1e7),
+                   .file_size = sizes[static_cast<std::size_t>(
+                       rng.uniform_int(0, 4))]});
+    t += rng.uniform(60.0, 3600.0);
+  }
+  return out;
+}
+
+class ParallelEvalTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ParallelEvalTest, BitIdenticalToSerial) {
+  const auto series = random_series(3, 300);
+  const auto suite = extended_suite();
+
+  EvalConfig serial_config;
+  serial_config.threads = 1;
+  EvalConfig parallel_config;
+  parallel_config.threads = GetParam();
+
+  const auto serial = Evaluator(serial_config).run(series, suite.pointers());
+  const auto parallel =
+      Evaluator(parallel_config).run(series, suite.pointers());
+
+  ASSERT_EQ(serial.predictor_names(), parallel.predictor_names());
+  ASSERT_EQ(serial.evaluated_transfers(), parallel.evaluated_transfers());
+  for (std::size_t p = 0; p < suite.size(); ++p) {
+    for (int cls = EvaluationResult::kAllClasses; cls < 4; ++cls) {
+      const auto& a = serial.errors(p, cls);
+      const auto& b = parallel.errors(p, cls);
+      EXPECT_EQ(a.count, b.count);
+      EXPECT_DOUBLE_EQ(a.sum, b.sum);
+      EXPECT_DOUBLE_EQ(a.min, b.min);
+      EXPECT_DOUBLE_EQ(a.max, b.max);
+      const auto& ra = serial.relative(p, cls);
+      const auto& rb = parallel.relative(p, cls);
+      EXPECT_EQ(ra.best, rb.best);
+      EXPECT_EQ(ra.worst, rb.worst);
+      EXPECT_EQ(ra.opportunities, rb.opportunities);
+    }
+  }
+  // The sample matrix matches too.
+  ASSERT_EQ(serial.samples().size(), parallel.samples().size());
+  for (std::size_t i = 0; i < serial.samples().size(); ++i) {
+    EXPECT_EQ(serial.samples()[i].predictions,
+              parallel.samples()[i].predictions);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, ParallelEvalTest,
+                         ::testing::Values(2u, 4u, 8u, 64u));
+
+TEST(ParallelEvalTest, MoreThreadsThanPredictorsIsSafe) {
+  const auto series = random_series(5, 60);
+  MeanPredictor avg("AVG", WindowSpec::all());
+  EvalConfig config;
+  config.threads = 16;
+  const auto result = Evaluator(config).run(series, {&avg});
+  EXPECT_GT(result.errors(0).count, 0u);
+}
+
+}  // namespace
+}  // namespace wadp::predict

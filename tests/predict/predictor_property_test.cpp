@@ -1,0 +1,152 @@
+// Property tests over the whole predictor battery: invariants every
+// member must satisfy, parameterized by predictor name.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "predict/extended.hpp"
+#include "predict/suite.hpp"
+#include "util/rng.hpp"
+
+namespace wadp::predict {
+namespace {
+
+std::vector<Observation> random_series(std::uint64_t seed, std::size_t n) {
+  util::Rng rng(seed);
+  const std::vector<Bytes> sizes = {1 * kMB,   10 * kMB,  100 * kMB,
+                                    500 * kMB, 1000 * kMB};
+  std::vector<Observation> out;
+  double t = 1'000'000.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back({.time = t,
+                   .value = rng.uniform(1e6, 1e7),
+                   .file_size = sizes[static_cast<std::size_t>(rng.uniform_int(
+                       0, static_cast<std::int64_t>(sizes.size()) - 1))]});
+    t += rng.uniform(60.0, 3600.0);
+  }
+  return out;
+}
+
+class BatteryPropertyTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  static const PredictorSuite& suite() {
+    static const PredictorSuite kSuite = extended_suite();
+    return kSuite;
+  }
+  const Predictor& predictor() const {
+    const auto* p = suite().find(GetParam());
+    EXPECT_NE(p, nullptr);
+    return *p;
+  }
+};
+
+TEST_P(BatteryPropertyTest, PredictionWithinHistoryRange) {
+  // Every battery member interpolates: predictions never leave the
+  // [min, max] of the values it can see.  (AR and SREG extrapolate, but
+  // remain bounded by construction on bounded inputs; we allow them a
+  // wide margin instead of the exact hull.)
+  const auto series = random_series(7, 80);
+  const Query query{.time = series.back().time + 600.0,
+                    .file_size = 100 * kMB};
+  const auto prediction = predictor().predict(series, query);
+  if (!prediction) return;  // insufficient usable history is acceptable
+  EXPECT_GE(*prediction, 0.0);
+  EXPECT_LE(*prediction, 1e8);  // an order above the series maximum
+}
+
+TEST_P(BatteryPropertyTest, ScaleEquivariance) {
+  // Doubling every measured bandwidth doubles the prediction (all
+  // battery members are positively homogeneous of degree one).
+  const auto series = random_series(11, 60);
+  std::vector<Observation> doubled = series;
+  for (auto& o : doubled) o.value *= 2.0;
+  const Query query{.time = series.back().time + 600.0,
+                    .file_size = 500 * kMB};
+  const auto base = predictor().predict(series, query);
+  const auto scaled = predictor().predict(doubled, query);
+  ASSERT_EQ(base.has_value(), scaled.has_value());
+  if (base && *base > 0.0) {
+    EXPECT_NEAR(*scaled / *base, 2.0, 1e-9);
+  }
+}
+
+TEST_P(BatteryPropertyTest, TimeShiftInvariance) {
+  // Shifting the whole series and the query by a constant offset must
+  // not change the prediction (no predictor depends on absolute time).
+  const auto series = random_series(13, 60);
+  constexpr double kShift = 9.5 * 86400.0;
+  std::vector<Observation> shifted = series;
+  for (auto& o : shifted) o.time += kShift;
+  const Query query{.time = series.back().time + 600.0,
+                    .file_size = 10 * kMB};
+  const Query shifted_query{.time = query.time + kShift,
+                            .file_size = query.file_size};
+  const auto base = predictor().predict(series, query);
+  const auto moved = predictor().predict(shifted, shifted_query);
+  ASSERT_EQ(base.has_value(), moved.has_value());
+  if (base) {
+    EXPECT_NEAR(*moved, *base, std::abs(*base) * 1e-9);
+  }
+}
+
+TEST_P(BatteryPropertyTest, DeterministicAcrossCalls) {
+  const auto series = random_series(17, 70);
+  const Query query{.time = series.back().time + 60.0,
+                    .file_size = 1000 * kMB};
+  const auto first = predictor().predict(series, query);
+  const auto second = predictor().predict(series, query);
+  ASSERT_EQ(first.has_value(), second.has_value());
+  if (first) {
+    EXPECT_DOUBLE_EQ(*first, *second);
+  }
+}
+
+TEST_P(BatteryPropertyTest, ConstantHistoryPredictsTheConstant) {
+  // Feed a constant 5 MB/s series (mixed sizes): every technique must
+  // answer exactly 5 MB/s.  (SREG included: its regression degenerates
+  // to the mean of a constant response.)
+  std::vector<Observation> series;
+  util::Rng rng(19);
+  const std::vector<Bytes> sizes = {1 * kMB, 10 * kMB, 100 * kMB,
+                                    500 * kMB, 1000 * kMB};
+  double t = 0.0;
+  for (int i = 0; i < 60; ++i) {
+    series.push_back({.time = t,
+                      .value = 5e6,
+                      .file_size = sizes[static_cast<std::size_t>(
+                          rng.uniform_int(0, 4))]});
+    t += 600.0;
+  }
+  const Query query{.time = t, .file_size = 100 * kMB};
+  const auto prediction = predictor().predict(series, query);
+  ASSERT_TRUE(prediction.has_value()) << GetParam();
+  EXPECT_NEAR(*prediction, 5e6, 1.0) << GetParam();
+}
+
+TEST_P(BatteryPropertyTest, EmptyHistoryNeverAnswers) {
+  const Query query{.time = 1000.0, .file_size = kMB};
+  EXPECT_FALSE(predictor().predict({}, query).has_value());
+}
+
+std::vector<std::string> all_battery_names() {
+  const PredictorSuite suite = extended_suite();
+  std::vector<std::string> names;
+  for (const auto& p : suite.predictors()) {
+    names.push_back(p->name());
+  }
+  return names;
+}
+
+std::string sanitize(const ::testing::TestParamInfo<std::string>& info) {
+  std::string out = info.param;
+  for (char& c : out) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPredictors, BatteryPropertyTest,
+                         ::testing::ValuesIn(all_battery_names()), sanitize);
+
+}  // namespace
+}  // namespace wadp::predict

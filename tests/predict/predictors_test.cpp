@@ -1,0 +1,185 @@
+#include "predict/predictors.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+namespace wadp::predict {
+namespace {
+
+std::vector<Observation> make_series(std::initializer_list<double> values,
+                                     double dt = 100.0, Bytes size = kMB) {
+  std::vector<Observation> out;
+  double t = 1000.0;
+  for (double v : values) {
+    out.push_back({.time = t, .value = v, .file_size = size});
+    t += dt;
+  }
+  return out;
+}
+
+Query query_at(double t, Bytes size = kMB) {
+  return {.time = t, .file_size = size};
+}
+
+TEST(MeanPredictorTest, AveragesWholeHistory) {
+  MeanPredictor p("AVG", WindowSpec::all());
+  const auto series = make_series({2.0, 4.0, 6.0});
+  EXPECT_DOUBLE_EQ(*p.predict(series, query_at(2000.0)), 4.0);
+}
+
+TEST(MeanPredictorTest, EmptyHistoryIsNullopt) {
+  MeanPredictor p("AVG", WindowSpec::all());
+  EXPECT_FALSE(p.predict({}, query_at(0.0)).has_value());
+}
+
+TEST(MeanPredictorTest, SlidingWindowUsesRecentOnly) {
+  MeanPredictor p("AVG2", WindowSpec::last_n(2));
+  const auto series = make_series({100.0, 2.0, 4.0});
+  EXPECT_DOUBLE_EQ(*p.predict(series, query_at(2000.0)), 3.0);
+}
+
+TEST(MeanPredictorTest, TemporalWindowExcludesOldData) {
+  MeanPredictor p("AVG5hr", WindowSpec::last_duration(150.0));
+  const auto series = make_series({100.0, 2.0, 4.0});  // at 1000,1100,1200
+  EXPECT_DOUBLE_EQ(*p.predict(series, query_at(1250.0)), 3.0);
+}
+
+TEST(MeanPredictorTest, TemporalWindowEmptyIsNullopt) {
+  MeanPredictor p("AVG5hr", WindowSpec::last_duration(10.0));
+  const auto series = make_series({1.0, 2.0});
+  EXPECT_FALSE(p.predict(series, query_at(9999.0)).has_value());
+}
+
+TEST(MeanPredictorTest, ConstantSeriesPredictsConstant) {
+  MeanPredictor p("AVG", WindowSpec::all());
+  const auto series = make_series({5.0, 5.0, 5.0, 5.0});
+  EXPECT_DOUBLE_EQ(*p.predict(series, query_at(9999.0)), 5.0);
+}
+
+TEST(MedianPredictorTest, RejectsOutliers) {
+  MedianPredictor p("MED", WindowSpec::all());
+  const auto series = make_series({5.0, 5.2, 4.8, 1000.0, 5.1});
+  EXPECT_DOUBLE_EQ(*p.predict(series, query_at(9999.0)), 5.1);
+}
+
+TEST(MedianPredictorTest, EvenCountAveragesMiddle) {
+  MedianPredictor p("MED", WindowSpec::all());
+  const auto series = make_series({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(*p.predict(series, query_at(9999.0)), 2.5);
+}
+
+TEST(MedianPredictorTest, WindowApplies) {
+  MedianPredictor p("MED5", WindowSpec::last_n(5));
+  std::initializer_list<double> values = {100.0, 100.0, 100.0, 1.0, 2.0,
+                                          3.0,   4.0,   5.0};
+  const auto series = make_series(values);
+  EXPECT_DOUBLE_EQ(*p.predict(series, query_at(9999.0)), 3.0);
+}
+
+TEST(LastValuePredictorTest, ReturnsNewest) {
+  LastValuePredictor p;
+  const auto series = make_series({1.0, 2.0, 7.0});
+  EXPECT_DOUBLE_EQ(*p.predict(series, query_at(9999.0)), 7.0);
+  EXPECT_FALSE(p.predict({}, query_at(0.0)).has_value());
+  EXPECT_EQ(p.name(), "LV");
+}
+
+TEST(ArPredictorTest, LearnsLinearRecurrence) {
+  // Y_t = 1 + 0.5 Y_{t-1}: from last value 2.0 -> predicts 2.0.
+  std::vector<double> values = {10.0};
+  for (int i = 0; i < 12; ++i) values.push_back(1.0 + 0.5 * values.back());
+  std::vector<Observation> series;
+  double t = 0.0;
+  for (double v : values) {
+    series.push_back({.time = t, .value = v, .file_size = kMB});
+    t += 60.0;
+  }
+  ArPredictor p("AR", WindowSpec::all());
+  const auto predicted = p.predict(series, query_at(t));
+  ASSERT_TRUE(predicted.has_value());
+  EXPECT_NEAR(*predicted, 1.0 + 0.5 * values.back(), 1e-9);
+}
+
+TEST(ArPredictorTest, ConstantSeriesPredictsConstant) {
+  ArPredictor p("AR", WindowSpec::all());
+  const auto series = make_series({5.0, 5.0, 5.0, 5.0, 5.0});
+  EXPECT_DOUBLE_EQ(*p.predict(series, query_at(9999.0)), 5.0);
+}
+
+TEST(ArPredictorTest, NeedsMinimumSamples) {
+  ArPredictor p("AR", WindowSpec::all());
+  EXPECT_FALSE(p.predict(make_series({1.0, 2.0}), query_at(9999.0)).has_value());
+  EXPECT_TRUE(
+      p.predict(make_series({1.0, 2.0, 3.0}), query_at(9999.0)).has_value());
+}
+
+TEST(ArPredictorTest, CustomMinimumSamplesEnforced) {
+  ArPredictor p("AR", WindowSpec::all(), 10);
+  std::initializer_list<double> nine = {1, 2, 3, 4, 5, 6, 7, 8, 9};
+  EXPECT_FALSE(p.predict(make_series(nine), query_at(9999.0)).has_value());
+}
+
+TEST(ArPredictorTest, NegativeExtrapolationClampedToZero) {
+  // Strongly decreasing series: raw extrapolation can go negative.
+  ArPredictor p("AR", WindowSpec::all());
+  const auto series = make_series({100.0, 50.0, 10.0, 1.0});
+  const auto predicted = p.predict(series, query_at(9999.0));
+  ASSERT_TRUE(predicted.has_value());
+  EXPECT_GE(*predicted, 0.0);
+}
+
+TEST(ArPredictorTest, TemporalWindowLimitsFitData) {
+  ArPredictor p("AR5d", WindowSpec::last_duration(250.0));
+  // Series at t=1000..1400; cutoff 1450-250=1200 keeps the last three
+  // (constant 2.0) points, so the fit collapses to 2.0.
+  const auto series = make_series({9.0, 9.0, 2.0, 2.0, 2.0});  // dt=100
+  const auto predicted = p.predict(series, query_at(1450.0));
+  ASSERT_TRUE(predicted.has_value());
+  EXPECT_NEAR(*predicted, 2.0, 1e-9);
+}
+
+TEST(ClassifiedPredictorTest, FiltersHistoryByQueryClass) {
+  auto base = std::make_shared<MeanPredictor>("AVG", WindowSpec::all());
+  ClassifiedPredictor p(base, SizeClassifier::paper_classes());
+  std::vector<Observation> series = {
+      {.time = 0, .value = 2.0, .file_size = 10 * kMB},     // class 0
+      {.time = 1, .value = 8.0, .file_size = 1000 * kMB},   // class 3
+      {.time = 2, .value = 4.0, .file_size = 25 * kMB},     // class 0
+  };
+  EXPECT_DOUBLE_EQ(*p.predict(series, query_at(10.0, 5 * kMB)), 3.0);
+  EXPECT_DOUBLE_EQ(*p.predict(series, query_at(10.0, 900 * kMB)), 8.0);
+}
+
+TEST(ClassifiedPredictorTest, EmptyClassIsNullopt) {
+  auto base = std::make_shared<MeanPredictor>("AVG", WindowSpec::all());
+  ClassifiedPredictor p(base, SizeClassifier::paper_classes());
+  std::vector<Observation> series = {
+      {.time = 0, .value = 2.0, .file_size = 10 * kMB}};
+  EXPECT_FALSE(p.predict(series, query_at(10.0, 500 * kMB)).has_value());
+}
+
+TEST(ClassifiedPredictorTest, NameGetsFsSuffix) {
+  auto base = std::make_shared<MedianPredictor>("MED5", WindowSpec::last_n(5));
+  ClassifiedPredictor p(base, SizeClassifier::paper_classes());
+  EXPECT_EQ(p.name(), "MED5/fs");
+  EXPECT_EQ(p.base().name(), "MED5");
+}
+
+TEST(ClassifiedPredictorTest, WindowAppliesAfterClassFilter) {
+  // The window must select the last N *same-class* observations, not
+  // the last N overall — that is the point of partitioning first.
+  auto base = std::make_shared<MeanPredictor>("AVG2", WindowSpec::last_n(2));
+  ClassifiedPredictor p(base, SizeClassifier::paper_classes());
+  std::vector<Observation> series = {
+      {.time = 0, .value = 2.0, .file_size = 10 * kMB},
+      {.time = 1, .value = 4.0, .file_size = 10 * kMB},
+      {.time = 2, .value = 999.0, .file_size = 900 * kMB},
+      {.time = 3, .value = 999.0, .file_size = 900 * kMB},
+  };
+  EXPECT_DOUBLE_EQ(*p.predict(series, query_at(10.0, 20 * kMB)), 3.0);
+}
+
+}  // namespace
+}  // namespace wadp::predict

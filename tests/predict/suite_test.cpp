@@ -1,0 +1,93 @@
+#include "predict/suite.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace wadp::predict {
+namespace {
+
+TEST(SuiteTest, ContextInsensitiveHasFifteen) {
+  const auto suite = PredictorSuite::context_insensitive();
+  EXPECT_EQ(suite.size(), 15u);
+}
+
+TEST(SuiteTest, PaperSuiteHasThirty) {
+  // Section 4.4: "a set of 30 predictors ... 15 predictors each over the
+  // entire data set ... and the same 15 using previous data partitioned
+  // by file size".
+  const auto suite = PredictorSuite::paper_suite();
+  EXPECT_EQ(suite.size(), 30u);
+}
+
+TEST(SuiteTest, AllFigure4NamesPresent) {
+  const auto suite = PredictorSuite::paper_suite();
+  for (const auto& name : PredictorSuite::figure4_names()) {
+    EXPECT_NE(suite.find(name), nullptr) << name;
+    EXPECT_NE(suite.find(name + "/fs"), nullptr) << name << "/fs";
+  }
+}
+
+TEST(SuiteTest, Figure4NamesMatchFigureOrder) {
+  const auto& names = PredictorSuite::figure4_names();
+  ASSERT_EQ(names.size(), 15u);
+  EXPECT_EQ(names.front(), "AVG");
+  EXPECT_EQ(names[1], "LV");
+  EXPECT_EQ(names.back(), "AR10d");
+}
+
+TEST(SuiteTest, NamesAreUnique) {
+  const auto suite = PredictorSuite::paper_suite();
+  std::set<std::string> names;
+  for (const auto& p : suite.predictors()) names.insert(p->name());
+  EXPECT_EQ(names.size(), suite.size());
+}
+
+TEST(SuiteTest, FindUnknownReturnsNull) {
+  const auto suite = PredictorSuite::paper_suite();
+  EXPECT_EQ(suite.find("BOGUS"), nullptr);
+}
+
+TEST(SuiteTest, PointersMatchSuiteOrder) {
+  const auto suite = PredictorSuite::paper_suite();
+  const auto ptrs = suite.pointers();
+  ASSERT_EQ(ptrs.size(), suite.size());
+  for (std::size_t i = 0; i < ptrs.size(); ++i) {
+    EXPECT_EQ(ptrs[i], suite.predictors()[i].get());
+  }
+}
+
+TEST(SuiteTest, ContextSensitiveNamesCarrySuffix) {
+  const auto suite = PredictorSuite::context_sensitive();
+  EXPECT_EQ(suite.size(), 15u);
+  for (const auto& p : suite.predictors()) {
+    EXPECT_NE(p->name().find("/fs"), std::string::npos) << p->name();
+  }
+}
+
+TEST(SuiteTest, CustomSuiteRejectsDuplicates) {
+  PredictorSuite suite;
+  suite.add(std::make_shared<LastValuePredictor>("LV"));
+  EXPECT_DEATH(suite.add(std::make_shared<LastValuePredictor>("LV")),
+               "duplicate predictor");
+}
+
+TEST(SuiteTest, WindowParametersMatchFigure4) {
+  const auto suite = PredictorSuite::context_insensitive();
+  const auto* avg5 = dynamic_cast<const MeanPredictor*>(suite.find("AVG5"));
+  ASSERT_NE(avg5, nullptr);
+  EXPECT_EQ(avg5->window(), WindowSpec::last_n(5));
+  const auto* avg25hr =
+      dynamic_cast<const MeanPredictor*>(suite.find("AVG25hr"));
+  ASSERT_NE(avg25hr, nullptr);
+  EXPECT_EQ(avg25hr->window(), WindowSpec::last_duration(25 * 3600.0));
+  const auto* ar10d = dynamic_cast<const ArPredictor*>(suite.find("AR10d"));
+  ASSERT_NE(ar10d, nullptr);
+  EXPECT_EQ(ar10d->window(), WindowSpec::last_duration(10 * 86400.0));
+  const auto* med15 = dynamic_cast<const MedianPredictor*>(suite.find("MED15"));
+  ASSERT_NE(med15, nullptr);
+  EXPECT_EQ(med15->window(), WindowSpec::last_n(15));
+}
+
+}  // namespace
+}  // namespace wadp::predict

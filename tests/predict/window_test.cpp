@@ -1,0 +1,86 @@
+#include "predict/window.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace wadp::predict {
+namespace {
+
+std::vector<Observation> series_at_times(std::initializer_list<double> times) {
+  std::vector<Observation> out;
+  for (double t : times) {
+    out.push_back({.time = t, .value = t * 10.0, .file_size = 1000});
+  }
+  return out;
+}
+
+TEST(WindowSpecTest, AllReturnsWholeHistory) {
+  const auto history = series_at_times({1, 2, 3});
+  const auto window = WindowSpec::all().apply(history, 100.0);
+  EXPECT_EQ(window.size(), 3u);
+}
+
+TEST(WindowSpecTest, LastNTakesSuffix) {
+  const auto history = series_at_times({1, 2, 3, 4, 5});
+  const auto window = WindowSpec::last_n(2).apply(history, 100.0);
+  ASSERT_EQ(window.size(), 2u);
+  EXPECT_DOUBLE_EQ(window[0].time, 4.0);
+  EXPECT_DOUBLE_EQ(window[1].time, 5.0);
+}
+
+TEST(WindowSpecTest, LastNLargerThanHistoryTakesAll) {
+  const auto history = series_at_times({1, 2});
+  EXPECT_EQ(WindowSpec::last_n(25).apply(history, 100.0).size(), 2u);
+}
+
+TEST(WindowSpecTest, LastNOnEmptyHistory) {
+  EXPECT_TRUE(WindowSpec::last_n(5).apply({}, 100.0).empty());
+}
+
+TEST(WindowSpecTest, TemporalWindowUsesQueryTime) {
+  const auto history = series_at_times({10, 20, 30, 40});
+  // At t=45 with a 20s window: cutoff 25 -> keeps 30, 40.
+  const auto window = WindowSpec::last_duration(20.0).apply(history, 45.0);
+  ASSERT_EQ(window.size(), 2u);
+  EXPECT_DOUBLE_EQ(window[0].time, 30.0);
+}
+
+TEST(WindowSpecTest, TemporalWindowBoundaryInclusive) {
+  const auto history = series_at_times({10, 20, 30});
+  // Cutoff exactly 20: observation at 20 is kept (>= cutoff).
+  const auto window = WindowSpec::last_duration(10.0).apply(history, 30.0);
+  EXPECT_EQ(window.size(), 2u);
+}
+
+TEST(WindowSpecTest, TemporalWindowMayBeEmpty) {
+  const auto history = series_at_times({10, 20});
+  EXPECT_TRUE(WindowSpec::last_duration(5.0).apply(history, 100.0).empty());
+}
+
+TEST(WindowSpecTest, TemporalWindowIrregularSamples) {
+  // The paper's motivation: irregular spacing means a count window and
+  // a temporal window select different data.
+  const auto history = series_at_times({0, 1, 2, 3600, 3601});
+  const auto by_count = WindowSpec::last_n(4).apply(history, 3602.0);
+  const auto by_time = WindowSpec::last_duration(60.0).apply(history, 3602.0);
+  EXPECT_EQ(by_count.size(), 4u);
+  EXPECT_EQ(by_time.size(), 2u);
+}
+
+TEST(WindowSpecTest, DescribeNames) {
+  EXPECT_EQ(WindowSpec::all().describe(), "all");
+  EXPECT_EQ(WindowSpec::last_n(15).describe(), "last 15");
+  EXPECT_EQ(WindowSpec::last_duration(5 * 3600.0).describe(), "last 5hr");
+  EXPECT_EQ(WindowSpec::last_duration(10 * 86400.0).describe(), "last 10d");
+  EXPECT_EQ(WindowSpec::last_duration(90.0).describe(), "last 90s");
+}
+
+TEST(WindowSpecTest, EqualityComparable) {
+  EXPECT_EQ(WindowSpec::last_n(5), WindowSpec::last_n(5));
+  EXPECT_NE(WindowSpec::last_n(5), WindowSpec::last_n(6));
+  EXPECT_NE(WindowSpec::all(), WindowSpec::last_n(5));
+}
+
+}  // namespace
+}  // namespace wadp::predict

@@ -1,0 +1,69 @@
+#include "replica/catalog.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wadp::replica {
+namespace {
+
+PhysicalReplica at(const std::string& site, const std::string& path) {
+  return {.site = site, .server_host = site + ".example.org", .path = path};
+}
+
+TEST(ReplicaCatalogTest, AddAndLookup) {
+  ReplicaCatalog catalog;
+  catalog.add_replica("lfn://higgs/run42", at("lbl", "/data/run42"));
+  catalog.add_replica("lfn://higgs/run42", at("isi", "/mirror/run42"));
+  const auto replicas = catalog.replicas("lfn://higgs/run42");
+  ASSERT_EQ(replicas.size(), 2u);
+  EXPECT_EQ(replicas[0].site, "lbl");
+  EXPECT_EQ(replicas[1].site, "isi");
+}
+
+TEST(ReplicaCatalogTest, UnknownNameIsEmpty) {
+  ReplicaCatalog catalog;
+  EXPECT_TRUE(catalog.replicas("lfn://nothing").empty());
+}
+
+TEST(ReplicaCatalogTest, DuplicateRegistrationIgnored) {
+  ReplicaCatalog catalog;
+  catalog.add_replica("f", at("lbl", "/a"));
+  catalog.add_replica("f", at("lbl", "/a"));
+  EXPECT_EQ(catalog.replicas("f").size(), 1u);
+}
+
+TEST(ReplicaCatalogTest, SameSiteDifferentPathAllowed) {
+  ReplicaCatalog catalog;
+  catalog.add_replica("f", at("lbl", "/a"));
+  catalog.add_replica("f", at("lbl", "/b"));
+  EXPECT_EQ(catalog.replicas("f").size(), 2u);
+}
+
+TEST(ReplicaCatalogTest, RemoveReplica) {
+  ReplicaCatalog catalog;
+  catalog.add_replica("f", at("lbl", "/a"));
+  catalog.add_replica("f", at("isi", "/b"));
+  EXPECT_TRUE(catalog.remove_replica("f", at("lbl", "/a")));
+  EXPECT_FALSE(catalog.remove_replica("f", at("lbl", "/a")));
+  EXPECT_EQ(catalog.replicas("f").size(), 1u);
+}
+
+TEST(ReplicaCatalogTest, RemovingLastReplicaDropsName) {
+  ReplicaCatalog catalog;
+  catalog.add_replica("f", at("lbl", "/a"));
+  EXPECT_TRUE(catalog.remove_replica("f", at("lbl", "/a")));
+  EXPECT_EQ(catalog.size(), 0u);
+  EXPECT_TRUE(catalog.logical_names().empty());
+}
+
+TEST(ReplicaCatalogTest, LogicalNamesListed) {
+  ReplicaCatalog catalog;
+  catalog.add_replica("b", at("lbl", "/b"));
+  catalog.add_replica("a", at("isi", "/a"));
+  const auto names = catalog.logical_names();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "a");  // map order
+  EXPECT_EQ(names[1], "b");
+}
+
+}  // namespace
+}  // namespace wadp::replica

@@ -1,0 +1,178 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace wadp::sim {
+namespace {
+
+TEST(SimulatorTest, StartsAtGivenTime) {
+  Simulator sim(100.0);
+  EXPECT_DOUBLE_EQ(sim.now(), 100.0);
+}
+
+TEST(SimulatorTest, RunExecutesInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(3.0, [&] { order.push_back(3); });
+  sim.schedule_at(1.0, [&] { order.push_back(1); });
+  sim.schedule_at(2.0, [&] { order.push_back(2); });
+  EXPECT_EQ(sim.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SimulatorTest, ClockAdvancesToEventTime) {
+  Simulator sim;
+  double seen = -1.0;
+  sim.schedule_at(5.5, [&] { seen = sim.now(); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(seen, 5.5);
+  EXPECT_DOUBLE_EQ(sim.now(), 5.5);
+}
+
+TEST(SimulatorTest, SameTimeEventsFireInScheduleOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(1.0, [&] { order.push_back(1); });
+  sim.schedule_at(1.0, [&] { order.push_back(2); });
+  sim.schedule_at(1.0, [&] { order.push_back(3); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SimulatorTest, ScheduleAfterUsesRelativeDelay) {
+  Simulator sim(10.0);
+  double seen = 0.0;
+  sim.schedule_after(2.5, [&] { seen = sim.now(); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(seen, 12.5);
+}
+
+TEST(SimulatorTest, HandlersCanScheduleMoreEvents) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(1.0, [&] {
+    ++fired;
+    sim.schedule_after(1.0, [&] { ++fired; });
+  });
+  EXPECT_EQ(sim.run(), 2u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(sim.now(), 2.0);
+}
+
+TEST(SimulatorTest, CancelPreventsExecution) {
+  Simulator sim;
+  bool fired = false;
+  const auto id = sim.schedule_at(1.0, [&] { fired = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimulatorTest, CancelTwiceReturnsFalse) {
+  Simulator sim;
+  const auto id = sim.schedule_at(1.0, [] {});
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_FALSE(sim.cancel(id));
+}
+
+TEST(SimulatorTest, CancelAfterFireReturnsFalse) {
+  Simulator sim;
+  const auto id = sim.schedule_at(1.0, [] {});
+  sim.run();
+  EXPECT_FALSE(sim.cancel(id));
+}
+
+TEST(SimulatorTest, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  std::vector<double> fired;
+  sim.schedule_at(1.0, [&] { fired.push_back(1.0); });
+  sim.schedule_at(5.0, [&] { fired.push_back(5.0); });
+  EXPECT_EQ(sim.run_until(3.0), 1u);
+  EXPECT_EQ(fired.size(), 1u);
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);  // idles forward to the deadline
+  EXPECT_EQ(sim.run_until(10.0), 1u);
+  EXPECT_EQ(fired.size(), 2u);
+}
+
+TEST(SimulatorTest, RunUntilIncludesDeadlineEvents) {
+  Simulator sim;
+  bool fired = false;
+  sim.schedule_at(3.0, [&] { fired = true; });
+  sim.run_until(3.0);
+  EXPECT_TRUE(fired);
+}
+
+TEST(SimulatorTest, StepExecutesOneEvent) {
+  Simulator sim;
+  int count = 0;
+  sim.schedule_at(1.0, [&] { ++count; });
+  sim.schedule_at(2.0, [&] { ++count; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+  EXPECT_EQ(count, 2);
+}
+
+TEST(SimulatorTest, PendingEventsExcludesCancelled) {
+  Simulator sim;
+  sim.schedule_at(1.0, [] {});
+  const auto id = sim.schedule_at(2.0, [] {});
+  EXPECT_EQ(sim.pending_events(), 2u);
+  sim.cancel(id);
+  EXPECT_EQ(sim.pending_events(), 1u);
+}
+
+TEST(PeriodicTaskTest, FiresEveryPeriod) {
+  Simulator sim;
+  std::vector<double> fire_times;
+  PeriodicTask task(sim, 10.0, [&] { fire_times.push_back(sim.now()); });
+  sim.run_until(35.0);
+  EXPECT_EQ(fire_times, (std::vector<double>{10.0, 20.0, 30.0}));
+}
+
+TEST(PeriodicTaskTest, ImmediateFiresAtStart) {
+  Simulator sim(5.0);
+  std::vector<double> fire_times;
+  PeriodicTask task(sim, 10.0, [&] { fire_times.push_back(sim.now()); },
+                    /*immediate=*/true);
+  sim.run_until(25.0);
+  EXPECT_EQ(fire_times, (std::vector<double>{5.0, 15.0, 25.0}));
+}
+
+TEST(PeriodicTaskTest, StopHaltsFiring) {
+  Simulator sim;
+  int count = 0;
+  PeriodicTask task(sim, 10.0, [&] { ++count; });
+  sim.run_until(15.0);
+  task.stop();
+  EXPECT_FALSE(task.running());
+  sim.run_until(100.0);
+  EXPECT_EQ(count, 1);
+}
+
+TEST(PeriodicTaskTest, DestructorCancelsCleanly) {
+  Simulator sim;
+  int count = 0;
+  {
+    PeriodicTask task(sim, 10.0, [&] { ++count; });
+    sim.run_until(10.0);
+  }
+  sim.run_until(100.0);
+  EXPECT_EQ(count, 1);
+}
+
+TEST(PeriodicTaskTest, BodyCanStopItself) {
+  Simulator sim;
+  int count = 0;
+  PeriodicTask task(sim, 1.0, [&] {
+    if (++count == 3) task.stop();
+  });
+  sim.run_until(100.0);
+  EXPECT_EQ(count, 3);
+}
+
+}  // namespace
+}  // namespace wadp::sim

@@ -1,0 +1,76 @@
+#include "storage/storage.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace wadp::storage {
+namespace {
+
+TEST(StorageTest, DedicatedStorageHasConstantCapacity) {
+  StorageParams params;
+  params.read_rate = 60'000'000.0;
+  params.write_rate = 45'000'000.0;
+  params.local_load.reset();
+  StorageSystem storage("anl", params, 1, 0.0);
+  EXPECT_DOUBLE_EQ(storage.read_port().capacity_at(0.0), 60'000'000.0);
+  EXPECT_DOUBLE_EQ(storage.read_port().capacity_at(1e6), 60'000'000.0);
+  EXPECT_DOUBLE_EQ(storage.write_port().capacity_at(0.0), 45'000'000.0);
+  EXPECT_EQ(storage.read_port().next_change_after(0.0), kNeverTime);
+}
+
+TEST(StorageTest, PortNamesIncludeSiteAndDirection) {
+  StorageSystem storage("lbl", {}, 1, 0.0);
+  EXPECT_EQ(storage.read_port().resource_name(), "storage:lbl/read");
+  EXPECT_EQ(storage.write_port().resource_name(), "storage:lbl/write");
+  EXPECT_EQ(storage.site(), "lbl");
+}
+
+TEST(StorageTest, LocalLoadReducesCapacity) {
+  StorageParams params;
+  params.read_rate = 50'000'000.0;
+  net::LoadParams load;
+  load.base = 0.5;
+  load.diurnal_amplitude = 0.0;
+  load.ar_sigma = 0.0;
+  load.episode_rate_per_hour = 0.0;
+  params.local_load = load;
+  StorageSystem storage("isi", params, 2, 0.0);
+  EXPECT_NEAR(storage.read_port().capacity_at(0.0), 25'000'000.0, 1.0);
+  // Loaded ports change on the grid.
+  EXPECT_DOUBLE_EQ(storage.read_port().next_change_after(0.0), 60.0);
+}
+
+TEST(StorageTest, ReadAndWritePortsHaveIndependentLoads) {
+  StorageParams params;
+  net::LoadParams load;
+  load.base = 0.3;
+  load.ar_sigma = 0.1;
+  params.local_load = load;
+  StorageSystem storage("x", params, 3, 0.0);
+  // Same parameters but different seeds: series should diverge somewhere.
+  bool diverged = false;
+  for (double t = 0.0; t < 86400.0 && !diverged; t += 60.0) {
+    const double r = storage.read_port().capacity_at(t) / params.read_rate;
+    const double w = storage.write_port().capacity_at(t) / params.write_rate;
+    if (std::abs(r - w) > 1e-9) diverged = true;
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(StorageTest, CapacityStaysPositive) {
+  StorageParams params;
+  net::LoadParams load;
+  load.base = 0.9;
+  load.ar_sigma = 0.3;
+  load.max_utilization = 0.95;
+  params.local_load = load;
+  StorageSystem storage("y", params, 4, 0.0);
+  for (double t = 0.0; t < 86400.0; t += 600.0) {
+    EXPECT_GT(storage.read_port().capacity_at(t), 0.0);
+    EXPECT_GT(storage.write_port().capacity_at(t), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace wadp::storage

@@ -1,0 +1,100 @@
+#include "util/args.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wadp::util {
+namespace {
+
+ArgParser standard_parser() {
+  ArgParser parser;
+  parser.add_option("seed");
+  parser.add_option("out");
+  parser.add_option("verbose", /*is_boolean=*/true);
+  return parser;
+}
+
+TEST(ArgParserTest, PositionalsAndOptionsInterleave) {
+  auto parser = standard_parser();
+  ASSERT_TRUE(parser.parse({"analyze", "--seed", "7", "log.ulm"}).ok());
+  ASSERT_EQ(parser.positionals().size(), 2u);
+  EXPECT_EQ(parser.positionals()[0], "analyze");
+  EXPECT_EQ(parser.positionals()[1], "log.ulm");
+  EXPECT_EQ(*parser.get_int("seed"), 7);
+}
+
+TEST(ArgParserTest, EqualsSyntax) {
+  auto parser = standard_parser();
+  ASSERT_TRUE(parser.parse({"--seed=42", "--out=dir"}).ok());
+  EXPECT_EQ(*parser.get("out"), "dir");
+  EXPECT_EQ(*parser.get_int("seed"), 42);
+}
+
+TEST(ArgParserTest, BooleanOption) {
+  auto parser = standard_parser();
+  ASSERT_TRUE(parser.parse({"--verbose"}).ok());
+  EXPECT_TRUE(parser.has("verbose"));
+  EXPECT_FALSE(parser.has("seed"));
+}
+
+TEST(ArgParserTest, BooleanRejectsValue) {
+  auto parser = standard_parser();
+  const auto result = parser.parse({"--verbose=yes"});
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error().find("takes no value"), std::string::npos);
+}
+
+TEST(ArgParserTest, UnknownOptionFails) {
+  auto parser = standard_parser();
+  const auto result = parser.parse({"--sede", "7"});
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error().find("unknown option"), std::string::npos);
+}
+
+TEST(ArgParserTest, MissingValueFails) {
+  auto parser = standard_parser();
+  const auto result = parser.parse({"--seed"});
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error().find("needs a value"), std::string::npos);
+}
+
+TEST(ArgParserTest, DuplicateOptionFails) {
+  auto parser = standard_parser();
+  EXPECT_FALSE(parser.parse({"--seed", "1", "--seed", "2"}).ok());
+}
+
+TEST(ArgParserTest, DoubleDashEndsOptions) {
+  auto parser = standard_parser();
+  ASSERT_TRUE(parser.parse({"--seed", "1", "--", "--out"}).ok());
+  ASSERT_EQ(parser.positionals().size(), 1u);
+  EXPECT_EQ(parser.positionals()[0], "--out");
+}
+
+TEST(ArgParserTest, GettersHandleAbsence) {
+  auto parser = standard_parser();
+  ASSERT_TRUE(parser.parse({}).ok());
+  EXPECT_FALSE(parser.get("seed").has_value());
+  EXPECT_FALSE(parser.get_int("seed").has_value());
+  EXPECT_FALSE(parser.get_double("seed").has_value());
+  EXPECT_EQ(parser.get_or("out", "default"), "default");
+}
+
+TEST(ArgParserTest, GetIntRejectsNonNumeric) {
+  auto parser = standard_parser();
+  ASSERT_TRUE(parser.parse({"--seed", "abc"}).ok());
+  EXPECT_FALSE(parser.get_int("seed").has_value());
+  EXPECT_EQ(*parser.get("seed"), "abc");
+}
+
+TEST(ArgParserTest, GetDoubleParses) {
+  auto parser = standard_parser();
+  ASSERT_TRUE(parser.parse({"--seed", "2.5"}).ok());
+  EXPECT_DOUBLE_EQ(*parser.get_double("seed"), 2.5);
+}
+
+TEST(ArgParserDeathTest, DeclaringDashedNameAborts) {
+  ArgParser parser;
+  EXPECT_DEATH(parser.add_option("--seed"), "without dashes");
+}
+
+}  // namespace
+}  // namespace wadp::util

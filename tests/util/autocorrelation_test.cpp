@@ -1,0 +1,56 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace wadp::util {
+namespace {
+
+TEST(AutocorrelationTest, LagZeroIsOne) {
+  const std::vector<double> xs = {1.0, 4.0, 2.0, 8.0, 5.0};
+  EXPECT_NEAR(*autocorrelation(xs, 0), 1.0, 1e-12);
+}
+
+TEST(AutocorrelationTest, AlternatingSeriesIsNegativeAtLagOne) {
+  std::vector<double> xs;
+  for (int i = 0; i < 100; ++i) xs.push_back(i % 2 ? 1.0 : -1.0);
+  EXPECT_LT(*autocorrelation(xs, 1), -0.9);
+  EXPECT_GT(*autocorrelation(xs, 2), 0.9);
+}
+
+TEST(AutocorrelationTest, WhiteNoiseNearZero) {
+  Rng rng(3);
+  std::vector<double> xs;
+  for (int i = 0; i < 5000; ++i) xs.push_back(rng.normal());
+  EXPECT_NEAR(*autocorrelation(xs, 1), 0.0, 0.05);
+  EXPECT_NEAR(*autocorrelation(xs, 10), 0.0, 0.05);
+}
+
+TEST(AutocorrelationTest, Ar1ProcessDecaysGeometrically) {
+  Rng rng(5);
+  const double phi = 0.8;
+  std::vector<double> xs = {0.0};
+  for (int i = 0; i < 20000; ++i) {
+    xs.push_back(phi * xs.back() + rng.normal());
+  }
+  EXPECT_NEAR(*autocorrelation(xs, 1), phi, 0.03);
+  EXPECT_NEAR(*autocorrelation(xs, 2), phi * phi, 0.04);
+}
+
+TEST(AutocorrelationTest, ConstantSeriesIsNullopt) {
+  const std::vector<double> xs = {5.0, 5.0, 5.0, 5.0};
+  EXPECT_FALSE(autocorrelation(xs, 1).has_value());
+}
+
+TEST(AutocorrelationTest, TooShortSeriesIsNullopt) {
+  const std::vector<double> xs = {1.0, 2.0};
+  EXPECT_FALSE(autocorrelation(xs, 1).has_value());
+  EXPECT_FALSE(autocorrelation(xs, 5).has_value());
+  EXPECT_FALSE(autocorrelation({}, 0).has_value());
+}
+
+}  // namespace
+}  // namespace wadp::util

@@ -1,0 +1,59 @@
+#include "util/error.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace wadp {
+namespace {
+
+Expected<int> parse_positive(int x) {
+  if (x > 0) return x;
+  return Expected<int>::failure("not positive: " + std::to_string(x));
+}
+
+TEST(ExpectedTest, ValueCase) {
+  const auto result = parse_positive(5);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(static_cast<bool>(result));
+  EXPECT_EQ(result.value(), 5);
+}
+
+TEST(ExpectedTest, FailureCase) {
+  const auto result = parse_positive(-1);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.error(), "not positive: -1");
+}
+
+TEST(ExpectedTest, MoveOutValue) {
+  Expected<std::vector<int>> result = std::vector<int>{1, 2, 3};
+  ASSERT_TRUE(result.ok());
+  const auto moved = std::move(result).value();
+  EXPECT_EQ(moved.size(), 3u);
+}
+
+TEST(ExpectedTest, MutableValueAccess) {
+  Expected<std::string> result = std::string("abc");
+  result.value() += "d";
+  EXPECT_EQ(result.value(), "abcd");
+}
+
+TEST(ExpectedTest, WorksWithMoveOnlyFlavouredTypes) {
+  Expected<std::unique_ptr<int>> result = std::make_unique<int>(7);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result.value(), 7);
+}
+
+TEST(WadpCheckDeathTest, FailingCheckAborts) {
+  EXPECT_DEATH(WADP_CHECK(1 == 2), "WADP_CHECK failed");
+  EXPECT_DEATH(WADP_CHECK_MSG(false, "context here"), "context here");
+}
+
+TEST(WadpCheckTest, PassingCheckIsSilent) {
+  WADP_CHECK(true);
+  WADP_CHECK_MSG(1 + 1 == 2, "arithmetic broke");
+}
+
+}  // namespace
+}  // namespace wadp

@@ -1,0 +1,164 @@
+// Randomized round-trip properties for the text codecs: ULM records and
+// LDAP filters survive encode/parse cycles for arbitrary content.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "mds/filter.hpp"
+#include "util/rng.hpp"
+#include "util/ulm.hpp"
+
+namespace wadp {
+namespace {
+
+std::string random_text(util::Rng& rng, std::size_t max_len,
+                        bool printable_only) {
+  const std::size_t len = static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(max_len)));
+  std::string out;
+  out.reserve(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    if (printable_only) {
+      out += static_cast<char>(rng.uniform_int(0x20, 0x7e));
+    } else {
+      // Any byte except NUL and newline (records are line-oriented).
+      char c;
+      do {
+        c = static_cast<char>(rng.uniform_int(1, 255));
+      } while (c == '\n' || c == '\r');
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string random_key(util::Rng& rng) {
+  // Keys: non-empty, no whitespace, no '='.
+  static const char kAlphabet[] =
+      "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789._-";
+  const std::size_t len = static_cast<std::size_t>(rng.uniform_int(1, 12));
+  std::string out;
+  for (std::size_t i = 0; i < len; ++i) {
+    out += kAlphabet[static_cast<std::size_t>(
+        rng.uniform_int(0, sizeof(kAlphabet) - 2))];
+  }
+  return out;
+}
+
+class UlmFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(UlmFuzzTest, ArbitraryValuesRoundTrip) {
+  util::Rng rng(GetParam());
+  util::UlmRecord record;
+  const int fields = static_cast<int>(rng.uniform_int(1, 10));
+  std::map<std::string, std::string> expected;
+  for (int i = 0; i < fields; ++i) {
+    const auto key = random_key(rng);
+    const auto value = random_text(rng, 40, /*printable_only=*/false);
+    record.set(key, value);
+    expected[key] = value;
+  }
+  const auto line = record.to_line();
+  const auto parsed = util::UlmRecord::parse(line);
+  ASSERT_TRUE(parsed.has_value()) << line;
+  for (const auto& [key, value] : expected) {
+    const auto got = parsed->get(key);
+    ASSERT_TRUE(got.has_value()) << key;
+    EXPECT_EQ(*got, value) << key;
+  }
+}
+
+TEST_P(UlmFuzzTest, ParserNeverCrashesOnGarbage) {
+  util::Rng rng(GetParam() ^ 0x5a5a);
+  for (int i = 0; i < 50; ++i) {
+    const auto garbage = random_text(rng, 120, /*printable_only=*/false);
+    // Must not crash; any parse result is acceptable.
+    (void)util::UlmRecord::parse(garbage);
+    (void)util::parse_ulm_log(garbage + "\n" + garbage);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UlmFuzzTest,
+                         ::testing::Range<std::uint64_t>(1, 26));
+
+class FilterFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+std::string random_filter(util::Rng& rng, int depth) {
+  if (depth <= 0 || rng.uniform() < 0.5) {
+    const auto attr = random_key(rng);
+    switch (rng.uniform_int(0, 3)) {
+      case 0:
+        return "(" + attr + "=" + random_key(rng) + ")";
+      case 1:
+        return "(" + attr + "=*)";
+      case 2:
+        return "(" + attr + ">=" + std::to_string(rng.uniform_int(0, 9999)) +
+               ")";
+      default:
+        return "(" + attr + "<=" + std::to_string(rng.uniform_int(0, 9999)) +
+               ")";
+    }
+  }
+  switch (rng.uniform_int(0, 2)) {
+    case 0: {
+      std::string out = "(&";
+      const int kids = static_cast<int>(rng.uniform_int(1, 3));
+      for (int i = 0; i < kids; ++i) out += random_filter(rng, depth - 1);
+      return out + ")";
+    }
+    case 1: {
+      std::string out = "(|";
+      const int kids = static_cast<int>(rng.uniform_int(1, 3));
+      for (int i = 0; i < kids; ++i) out += random_filter(rng, depth - 1);
+      return out + ")";
+    }
+    default:
+      return "(!" + random_filter(rng, depth - 1) + ")";
+  }
+}
+
+TEST_P(FilterFuzzTest, ToStringParseFixpoint) {
+  util::Rng rng(GetParam());
+  for (int i = 0; i < 20; ++i) {
+    const auto text = random_filter(rng, 3);
+    const auto filter = mds::Filter::parse(text);
+    ASSERT_TRUE(filter.has_value()) << text;
+    const auto printed = filter->to_string();
+    const auto reparsed = mds::Filter::parse(printed);
+    ASSERT_TRUE(reparsed.has_value()) << printed;
+    EXPECT_EQ(reparsed->to_string(), printed);
+  }
+}
+
+TEST_P(FilterFuzzTest, SemanticsPreservedByRoundTrip) {
+  util::Rng rng(GetParam() ^ 0x77);
+  // Random entries with attributes drawn from the same key space.
+  for (int i = 0; i < 10; ++i) {
+    const auto text = random_filter(rng, 2);
+    const auto filter = mds::Filter::parse(text);
+    ASSERT_TRUE(filter.has_value());
+    const auto reparsed = mds::Filter::parse(filter->to_string());
+    ASSERT_TRUE(reparsed.has_value());
+    for (int e = 0; e < 10; ++e) {
+      mds::Entry entry;
+      const int attrs = static_cast<int>(rng.uniform_int(0, 5));
+      for (int a = 0; a < attrs; ++a) {
+        entry.add(random_key(rng), std::to_string(rng.uniform_int(0, 9999)));
+      }
+      EXPECT_EQ(filter->matches(entry), reparsed->matches(entry)) << text;
+    }
+  }
+}
+
+TEST_P(FilterFuzzTest, ParserNeverCrashesOnGarbage) {
+  util::Rng rng(GetParam() ^ 0x99);
+  for (int i = 0; i < 50; ++i) {
+    (void)mds::Filter::parse(random_text(rng, 80, /*printable_only=*/true));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FilterFuzzTest,
+                         ::testing::Range<std::uint64_t>(1, 16));
+
+}  // namespace
+}  // namespace wadp

@@ -1,0 +1,174 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace wadp::util {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformMeanNearHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformRangeRespectsBounds) {
+  Rng rng(13);
+  for (int i = 0; i < 1'000; ++i) {
+    const double u = rng.uniform(-5.0, 3.0);
+    EXPECT_GE(u, -5.0);
+    EXPECT_LT(u, 3.0);
+  }
+}
+
+TEST(RngTest, UniformIntCoversAllValuesInclusive) {
+  Rng rng(17);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1'000; ++i) seen.insert(rng.uniform_int(0, 5));
+  EXPECT_EQ(seen.size(), 6u);
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), 5);
+}
+
+TEST(RngTest, UniformIntDegenerateRange) {
+  Rng rng(19);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(42, 42), 42);
+}
+
+TEST(RngTest, UniformIntNegativeRange) {
+  Rng rng(23);
+  for (int i = 0; i < 1'000; ++i) {
+    const auto v = rng.uniform_int(-10, -5);
+    EXPECT_GE(v, -10);
+    EXPECT_LE(v, -5);
+  }
+}
+
+TEST(RngTest, LogUniformStaysInRange) {
+  Rng rng(29);
+  for (int i = 0; i < 1'000; ++i) {
+    const double v = rng.log_uniform(60.0, 36'000.0);
+    EXPECT_GE(v, 60.0);
+    EXPECT_LT(v, 36'000.0);
+  }
+}
+
+TEST(RngTest, LogUniformIsUniformInLogSpace) {
+  // Equal probability mass per decade: P(v < 600) should be ~ log(10)/log(600).
+  Rng rng(31);
+  const int n = 50'000;
+  int below = 0;
+  for (int i = 0; i < n; ++i) {
+    if (rng.log_uniform(60.0, 36'000.0) < 600.0) ++below;
+  }
+  const double expected = std::log(10.0) / std::log(600.0);
+  EXPECT_NEAR(static_cast<double>(below) / n, expected, 0.02);
+}
+
+TEST(RngTest, NormalMomentsMatch) {
+  Rng rng(37);
+  const int n = 100'000;
+  double sum = 0.0, sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal();
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(RngTest, NormalWithParamsShiftsAndScales) {
+  Rng rng(41);
+  const int n = 50'000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.1);
+}
+
+TEST(RngTest, ExponentialMeanMatches) {
+  Rng rng(43);
+  const int n = 100'000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(5.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.15);
+}
+
+TEST(RngTest, ExponentialNonNegative) {
+  Rng rng(47);
+  for (int i = 0; i < 1'000; ++i) EXPECT_GE(rng.exponential(1.0), 0.0);
+}
+
+TEST(RngTest, SplitStreamsAreDecorrelated) {
+  Rng parent(53);
+  Rng child1 = parent.split();
+  Rng child2 = parent.split();
+  // Crude decorrelation check: no matching outputs at the same index.
+  int matches = 0;
+  for (int i = 0; i < 256; ++i) {
+    if (child1.next_u64() == child2.next_u64()) ++matches;
+  }
+  EXPECT_EQ(matches, 0);
+}
+
+TEST(RngTest, PickSelectsAllChoices) {
+  Rng rng(59);
+  const std::vector<int> choices = {1, 2, 3};
+  std::set<int> seen;
+  for (int i = 0; i < 200; ++i) {
+    seen.insert(rng.pick(std::span<const int>(choices)));
+  }
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(61);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto shuffled = v;
+  shuffle(shuffled, rng);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(RngTest, ShuffleActuallyPermutes) {
+  Rng rng(67);
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[static_cast<std::size_t>(i)] = i;
+  auto shuffled = v;
+  shuffle(shuffled, rng);
+  EXPECT_NE(shuffled, v);
+}
+
+}  // namespace
+}  // namespace wadp::util

@@ -1,0 +1,158 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace wadp::util {
+namespace {
+
+TEST(StatsTest, MeanEmptyIsNullopt) {
+  EXPECT_FALSE(mean({}).has_value());
+}
+
+TEST(StatsTest, MeanSingle) { EXPECT_DOUBLE_EQ(*mean(std::vector{4.0}), 4.0); }
+
+TEST(StatsTest, MeanSimple) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(*mean(xs), 2.5);
+}
+
+TEST(StatsTest, MedianEmptyIsNullopt) {
+  EXPECT_FALSE(median({}).has_value());
+}
+
+TEST(StatsTest, MedianOddTakesMiddle) {
+  // Paper Section 4.1: odd t -> the (t+1)/2-th value.
+  const std::vector<double> xs = {5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(*median(xs), 3.0);
+}
+
+TEST(StatsTest, MedianEvenAveragesMiddleTwo) {
+  const std::vector<double> xs = {4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(*median(xs), 2.5);
+}
+
+TEST(StatsTest, MedianRobustToAsymmetricOutlier) {
+  // The property the paper cites for median-based predictors.
+  const std::vector<double> xs = {5.0, 5.1, 4.9, 5.0, 1000.0};
+  EXPECT_DOUBLE_EQ(*median(xs), 5.0);
+  EXPECT_GT(*mean(xs), 100.0);
+}
+
+TEST(StatsTest, MedianDoesNotMutateInput) {
+  const std::vector<double> xs = {3.0, 1.0, 2.0};
+  auto copy = xs;
+  (void)median(copy);
+  EXPECT_EQ(copy, xs);
+}
+
+TEST(StatsTest, VarianceOfConstantIsZero) {
+  const std::vector<double> xs = {2.0, 2.0, 2.0};
+  EXPECT_DOUBLE_EQ(*variance(xs), 0.0);
+}
+
+TEST(StatsTest, VarianceKnownValue) {
+  const std::vector<double> xs = {1.0, 3.0};  // mean 2, deviations +-1
+  EXPECT_DOUBLE_EQ(*variance(xs), 1.0);
+  EXPECT_DOUBLE_EQ(*stddev(xs), 1.0);
+}
+
+TEST(StatsTest, QuantileEndpoints) {
+  const std::vector<double> xs = {10.0, 20.0, 30.0};
+  EXPECT_DOUBLE_EQ(*quantile(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(*quantile(xs, 1.0), 30.0);
+  EXPECT_DOUBLE_EQ(*quantile(xs, 0.5), 20.0);
+}
+
+TEST(StatsTest, QuantileInterpolates) {
+  const std::vector<double> xs = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(*quantile(xs, 0.25), 2.5);
+}
+
+TEST(StatsTest, MinMax) {
+  const std::vector<double> xs = {3.0, -1.0, 7.0};
+  EXPECT_DOUBLE_EQ(*min_value(xs), -1.0);
+  EXPECT_DOUBLE_EQ(*max_value(xs), 7.0);
+  EXPECT_FALSE(min_value({}).has_value());
+  EXPECT_FALSE(max_value({}).has_value());
+}
+
+TEST(StatsTest, LinearFitRecoversExactLine) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  std::vector<double> ys;
+  for (double x : xs) ys.push_back(2.0 + 3.0 * x);
+  const auto fit = linear_fit(xs, ys);
+  ASSERT_TRUE(fit.has_value());
+  EXPECT_NEAR(fit->intercept, 2.0, 1e-12);
+  EXPECT_NEAR(fit->slope, 3.0, 1e-12);
+  EXPECT_NEAR(fit->r2, 1.0, 1e-12);
+}
+
+TEST(StatsTest, LinearFitRejectsConstantRegressor) {
+  const std::vector<double> xs = {2.0, 2.0, 2.0};
+  const std::vector<double> ys = {1.0, 2.0, 3.0};
+  EXPECT_FALSE(linear_fit(xs, ys).has_value());
+}
+
+TEST(StatsTest, LinearFitRejectsTooFewPoints) {
+  EXPECT_FALSE(linear_fit(std::vector{1.0}, std::vector{2.0}).has_value());
+}
+
+TEST(StatsTest, Ar1FitRecoversRecurrence) {
+  // Y_t = 1 + 0.5 * Y_{t-1}, started at 10: 10, 6, 4, 3, 2.5, ...
+  std::vector<double> series = {10.0};
+  for (int i = 0; i < 10; ++i) series.push_back(1.0 + 0.5 * series.back());
+  const auto fit = ar1_fit(series);
+  ASSERT_TRUE(fit.has_value());
+  EXPECT_NEAR(fit->intercept, 1.0, 1e-9);
+  EXPECT_NEAR(fit->slope, 0.5, 1e-9);
+}
+
+TEST(StatsTest, Ar1FitConstantSeriesCollapsesToIntercept) {
+  const std::vector<double> series = {5.0, 5.0, 5.0, 5.0};
+  const auto fit = ar1_fit(series);
+  ASSERT_TRUE(fit.has_value());
+  EXPECT_DOUBLE_EQ(fit->intercept, 5.0);
+  EXPECT_DOUBLE_EQ(fit->slope, 0.0);
+}
+
+TEST(StatsTest, Ar1FitNeedsThreeSamples) {
+  EXPECT_FALSE(ar1_fit(std::vector{1.0, 2.0}).has_value());
+  EXPECT_TRUE(ar1_fit(std::vector{1.0, 2.0, 3.0}).has_value());
+}
+
+TEST(StatsTest, RunningStatsMatchesBatch) {
+  const std::vector<double> xs = {4.0, 8.0, 6.0, 2.0, 10.0};
+  RunningStats rs;
+  for (double x : xs) rs.add(x);
+  EXPECT_EQ(rs.count(), xs.size());
+  EXPECT_DOUBLE_EQ(rs.mean(), *mean(xs));
+  EXPECT_NEAR(rs.variance(), *variance(xs), 1e-12);
+  EXPECT_DOUBLE_EQ(rs.min(), 2.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 10.0);
+}
+
+TEST(StatsTest, RunningStatsSingleValue) {
+  RunningStats rs;
+  rs.add(3.0);
+  EXPECT_DOUBLE_EQ(rs.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.min(), 3.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 3.0);
+}
+
+TEST(StatsTest, PercentErrorMatchesPaperFormula) {
+  // ((|measured - predicted|) / measured) * 100  (Section 6.2)
+  EXPECT_DOUBLE_EQ(percent_error(10.0, 8.0), 20.0);
+  EXPECT_DOUBLE_EQ(percent_error(10.0, 12.5), 25.0);
+  EXPECT_DOUBLE_EQ(percent_error(10.0, 10.0), 0.0);
+}
+
+TEST(StatsTest, PercentErrorCanExceedHundred) {
+  EXPECT_DOUBLE_EQ(percent_error(2.0, 8.0), 300.0);
+}
+
+}  // namespace
+}  // namespace wadp::util

@@ -1,0 +1,109 @@
+#include "util/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wadp::util {
+namespace {
+
+TEST(SplitTest, BasicSplit) {
+  const auto parts = split("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(SplitTest, AdjacentDelimitersYieldEmptyFields) {
+  const auto parts = split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[1], "");
+}
+
+TEST(SplitTest, EmptyInputYieldsOneEmptyField) {
+  const auto parts = split("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(SplitTest, TrailingDelimiter) {
+  const auto parts = split("a,", ',');
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[1], "");
+}
+
+TEST(SplitWhitespaceTest, CollapsesRuns) {
+  const auto parts = split_whitespace("  foo \t bar\nbaz  ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "foo");
+  EXPECT_EQ(parts[1], "bar");
+  EXPECT_EQ(parts[2], "baz");
+}
+
+TEST(SplitWhitespaceTest, EmptyAndBlank) {
+  EXPECT_TRUE(split_whitespace("").empty());
+  EXPECT_TRUE(split_whitespace("   \t\n").empty());
+}
+
+TEST(TrimTest, TrimsBothEnds) {
+  EXPECT_EQ(trim("  hello  "), "hello");
+  EXPECT_EQ(trim("hello"), "hello");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("  "), "");
+}
+
+TEST(StartsEndsWithTest, Basics) {
+  EXPECT_TRUE(starts_with("gridftp://host", "gridftp://"));
+  EXPECT_FALSE(starts_with("grid", "gridftp"));
+  EXPECT_TRUE(ends_with("file.log", ".log"));
+  EXPECT_FALSE(ends_with("log", "file.log"));
+}
+
+TEST(IequalsTest, CaseInsensitive) {
+  EXPECT_TRUE(iequals("ObjectClass", "objectclass"));
+  EXPECT_TRUE(iequals("", ""));
+  EXPECT_FALSE(iequals("abc", "abd"));
+  EXPECT_FALSE(iequals("abc", "ab"));
+}
+
+TEST(ToLowerTest, Lowercases) { EXPECT_EQ(to_lower("AbC-12"), "abc-12"); }
+
+TEST(ParseIntTest, ValidAndInvalid) {
+  EXPECT_EQ(*parse_int("42"), 42);
+  EXPECT_EQ(*parse_int("-7"), -7);
+  EXPECT_EQ(*parse_int("  10 "), 10);  // trimmed
+  EXPECT_FALSE(parse_int("").has_value());
+  EXPECT_FALSE(parse_int("12x").has_value());
+  EXPECT_FALSE(parse_int("x12").has_value());
+  EXPECT_FALSE(parse_int("1.5").has_value());
+}
+
+TEST(ParseDoubleTest, ValidAndInvalid) {
+  EXPECT_DOUBLE_EQ(*parse_double("2.5"), 2.5);
+  EXPECT_DOUBLE_EQ(*parse_double("-1e3"), -1000.0);
+  EXPECT_DOUBLE_EQ(*parse_double("10"), 10.0);
+  EXPECT_FALSE(parse_double("").has_value());
+  EXPECT_FALSE(parse_double("2.5MB").has_value());
+}
+
+TEST(JoinTest, JoinsWithSeparator) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"solo"}, ","), "solo");
+}
+
+TEST(FormatTest, PrintfStyle) {
+  EXPECT_EQ(format("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(format("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(format("plain"), "plain");
+}
+
+TEST(FormatBytesTest, PaperUnits) {
+  EXPECT_EQ(format_bytes(10'000'000), "10 MB");
+  EXPECT_EQ(format_bytes(1'000'000'000), "1 GB");
+  EXPECT_EQ(format_bytes(512'000), "512 KB");
+  EXPECT_EQ(format_bytes(999), "999 B");
+  EXPECT_EQ(format_bytes(1'500'000), "1500 KB");  // not a whole MB
+}
+
+}  // namespace
+}  // namespace wadp::util

@@ -1,0 +1,71 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace wadp::util {
+namespace {
+
+TEST(TextTableTest, RendersAlignedColumns) {
+  TextTable t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"longer", "22"});
+  const auto out = t.render();
+  // Header, underline, two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+  EXPECT_NE(out.find("longer"), std::string::npos);
+  EXPECT_NE(out.find("name"), std::string::npos);
+}
+
+TEST(TextTableTest, NumbersRightAlignedByDefault) {
+  TextTable t({"k", "num"});
+  t.add_row({"x", "5"});
+  t.add_row({"y", "123"});
+  const auto out = t.render();
+  // "5" must be padded to align with "123"'s right edge.
+  EXPECT_NE(out.find("  5"), std::string::npos);
+}
+
+TEST(TextTableTest, RowCountTracksRows) {
+  TextTable t({"a"});
+  EXPECT_EQ(t.row_count(), 0u);
+  t.add_row({"1"});
+  t.add_row({"2"});
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(TextTableTest, SetAlignLeftKeepsTextFlush) {
+  TextTable t({"a", "b"});
+  t.set_align(1, TextTable::Align::Left);
+  t.add_row({"x", "val"});
+  const auto out = t.render();
+  EXPECT_NE(out.find("x  val"), std::string::npos);
+}
+
+TEST(StripChartTest, EmptyDataHandled) {
+  const auto out = render_log_strip_chart({}, "a", {}, "b");
+  EXPECT_EQ(out, "(no data)\n");
+}
+
+TEST(StripChartTest, PlotsBothSeries) {
+  std::vector<SeriesPoint> a, b;
+  for (int i = 0; i < 50; ++i) {
+    a.push_back({static_cast<double>(i), 8.0});
+    b.push_back({static_cast<double>(i), 0.2});
+  }
+  const auto out = render_log_strip_chart(a, "gridftp", b, "nws", 60, 10);
+  EXPECT_NE(out.find('*'), std::string::npos);
+  EXPECT_NE(out.find('o'), std::string::npos);
+  EXPECT_NE(out.find("gridftp"), std::string::npos);
+  EXPECT_NE(out.find("nws"), std::string::npos);
+}
+
+TEST(StripChartTest, IgnoresNonPositiveValuesOnLogAxis) {
+  std::vector<SeriesPoint> a = {{0.0, 1.0}, {1.0, -5.0}, {2.0, 2.0}};
+  const auto out = render_log_strip_chart(a, "a", {}, "b", 40, 8);
+  EXPECT_NE(out.find("1 .. 2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wadp::util

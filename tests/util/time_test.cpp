@@ -1,0 +1,143 @@
+#include "util/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wadp::util {
+namespace {
+
+TEST(CivilTimeTest, EpochRoundTripUtc) {
+  const CivilTime ct{.year = 2001, .month = 8, .day = 13,
+                     .hour = 18, .minute = 30, .second = 15};
+  const auto epoch = to_epoch(ct, kUtc);
+  EXPECT_EQ(to_civil(epoch, kUtc), ct);
+}
+
+TEST(CivilTimeTest, KnownEpochValue) {
+  // 2001-08-28 00:02:45 UTC = 998956965 (cross-checked externally).
+  const CivilTime ct{.year = 2001, .month = 8, .day = 28,
+                     .hour = 0, .minute = 2, .second = 45};
+  EXPECT_EQ(to_epoch(ct, kUtc), 998956965);
+}
+
+TEST(CivilTimeTest, UnixEpochIsZero) {
+  EXPECT_EQ(to_epoch({.year = 1970, .month = 1, .day = 1}, kUtc), 0);
+}
+
+TEST(CivilTimeTest, CdtOffsetApplies) {
+  // Midnight CDT is 05:00 UTC.
+  const auto epoch = to_epoch({.year = 2001, .month = 8, .day = 13}, kCdt);
+  const auto utc = to_civil(epoch, kUtc);
+  EXPECT_EQ(utc.hour, 5);
+  EXPECT_EQ(utc.day, 13);
+}
+
+TEST(CivilTimeTest, LeapYearFebruary) {
+  const CivilTime ct{.year = 2000, .month = 2, .day = 29, .hour = 12};
+  const auto epoch = to_epoch(ct, kUtc);
+  EXPECT_EQ(to_civil(epoch, kUtc), ct);
+}
+
+TEST(CivilTimeTest, DayBoundariesAcrossZones) {
+  // 2001-12-03 23:30 CST = 2001-12-04 05:30 UTC.
+  const auto epoch = to_epoch(
+      {.year = 2001, .month = 12, .day = 3, .hour = 23, .minute = 30}, kCst);
+  const auto utc = to_civil(epoch, kUtc);
+  EXPECT_EQ(utc.day, 4);
+  EXPECT_EQ(utc.hour, 5);
+}
+
+TEST(DaysFromCivilTest, InverseOfCivilFromDays) {
+  for (const std::int64_t days : {-1000L, -1L, 0L, 1L, 11551L, 20000L}) {
+    int y, m, d;
+    civil_from_days(days, y, m, d);
+    EXPECT_EQ(days_from_civil(y, m, d), days);
+  }
+}
+
+TEST(SecondsIntoLocalDayTest, MidnightIsZero) {
+  const auto epoch = to_epoch({.year = 2001, .month = 8, .day = 14}, kCdt);
+  EXPECT_DOUBLE_EQ(seconds_into_local_day(static_cast<SimTime>(epoch), kCdt),
+                   0.0);
+}
+
+TEST(SecondsIntoLocalDayTest, NoonIsHalfDay) {
+  const auto epoch =
+      to_epoch({.year = 2001, .month = 8, .day = 14, .hour = 12}, kCdt);
+  EXPECT_DOUBLE_EQ(seconds_into_local_day(static_cast<SimTime>(epoch), kCdt),
+                   12 * 3600.0);
+}
+
+class DailyWindowTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DailyWindowTest, PaperWindowCoversNightOnly) {
+  // The paper's window: 18:00 -> 08:00 local.
+  const int hour = GetParam();
+  const auto epoch = to_epoch(
+      {.year = 2001, .month = 8, .day = 14, .hour = hour, .minute = 30}, kCdt);
+  const bool expected = hour >= 18 || hour < 8;
+  EXPECT_EQ(in_daily_window(static_cast<SimTime>(epoch), kCdt, 18, 8),
+            expected)
+      << "hour=" << hour;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllHours, DailyWindowTest,
+                         ::testing::Range(0, 24));
+
+TEST(DailyWindowTest, NonWrappingWindow) {
+  const auto at = [](int h) {
+    return static_cast<SimTime>(
+        to_epoch({.year = 2001, .month = 8, .day = 14, .hour = h}, kUtc));
+  };
+  EXPECT_TRUE(in_daily_window(at(10), kUtc, 9, 17));
+  EXPECT_FALSE(in_daily_window(at(8), kUtc, 9, 17));
+  EXPECT_FALSE(in_daily_window(at(17), kUtc, 9, 17));  // end exclusive
+  EXPECT_TRUE(in_daily_window(at(9), kUtc, 9, 17));    // start inclusive
+}
+
+TEST(DailyWindowTest, DegenerateFullDayWindow) {
+  const auto epoch = static_cast<SimTime>(
+      to_epoch({.year = 2001, .month = 8, .day = 14, .hour = 3}, kUtc));
+  EXPECT_TRUE(in_daily_window(epoch, kUtc, 6, 6));
+}
+
+TEST(NextLocalHourTest, SameDayWhenAhead) {
+  const auto now = static_cast<SimTime>(
+      to_epoch({.year = 2001, .month = 8, .day = 14, .hour = 10}, kCdt));
+  const auto next = next_local_hour(now, kCdt, 18);
+  const auto civil = to_civil(static_cast<std::int64_t>(next), kCdt);
+  EXPECT_EQ(civil.day, 14);
+  EXPECT_EQ(civil.hour, 18);
+  EXPECT_EQ(civil.minute, 0);
+}
+
+TEST(NextLocalHourTest, NextDayWhenPassed) {
+  const auto now = static_cast<SimTime>(
+      to_epoch({.year = 2001, .month = 8, .day = 14, .hour = 20}, kCdt));
+  const auto next = next_local_hour(now, kCdt, 18);
+  const auto civil = to_civil(static_cast<std::int64_t>(next), kCdt);
+  EXPECT_EQ(civil.day, 15);
+  EXPECT_EQ(civil.hour, 18);
+}
+
+TEST(NextLocalHourTest, ExactHourReturnsNow) {
+  const auto now = static_cast<SimTime>(
+      to_epoch({.year = 2001, .month = 8, .day = 14, .hour = 18}, kCdt));
+  EXPECT_DOUBLE_EQ(next_local_hour(now, kCdt, 18), now);
+}
+
+TEST(FormatTimeTest, RendersZoneName) {
+  const auto epoch = static_cast<SimTime>(to_epoch(
+      {.year = 2001, .month = 8, .day = 13, .hour = 18, .minute = 5}, kCdt));
+  EXPECT_EQ(format_time(epoch, kCdt), "2001-08-13 18:05:00 CDT");
+}
+
+TEST(FormatUlmDateTest, CompactUtcForm) {
+  const auto epoch = static_cast<SimTime>(to_epoch(
+      {.year = 2001, .month = 12, .day = 3, .hour = 7, .minute = 8,
+       .second = 9},
+      kUtc));
+  EXPECT_EQ(format_ulm_date(epoch), "20011203070809");
+}
+
+}  // namespace
+}  // namespace wadp::util

@@ -1,0 +1,142 @@
+#include "util/ulm.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wadp::util {
+namespace {
+
+TEST(UlmRecordTest, SetAndGet) {
+  UlmRecord r;
+  r.set("HOST", "dpsslx04.lbl.gov");
+  r.set_int("SIZE", 10240000);
+  r.set_double("BW", 2560.5, 1);
+  EXPECT_EQ(*r.get("HOST"), "dpsslx04.lbl.gov");
+  EXPECT_EQ(*r.get_int("SIZE"), 10240000);
+  EXPECT_DOUBLE_EQ(*r.get_double("BW"), 2560.5);
+  EXPECT_FALSE(r.get("MISSING").has_value());
+}
+
+TEST(UlmRecordTest, SetOverwritesInPlace) {
+  UlmRecord r;
+  r.set("A", "1");
+  r.set("B", "2");
+  r.set("A", "3");
+  EXPECT_EQ(r.size(), 2u);
+  EXPECT_EQ(*r.get("A"), "3");
+  EXPECT_EQ(r.fields()[0].first, "A");  // order preserved
+}
+
+TEST(UlmRecordTest, SimpleLineRoundTrip) {
+  UlmRecord r;
+  r.set("DATE", "20010828000245");
+  r.set("HOST", "mirage.anl.gov");
+  r.set_int("NBYTES", 512000);
+  const auto parsed = UlmRecord::parse(r.to_line());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed->get("DATE"), "20010828000245");
+  EXPECT_EQ(*parsed->get_int("NBYTES"), 512000);
+}
+
+TEST(UlmRecordTest, QuotesValuesWithSpaces) {
+  // Fig. 3 file names contain spaces: "/home/ftp/vazhkuda/10 MB".
+  UlmRecord r;
+  r.set("FILE", "/home/ftp/vazhkuda/10 MB");
+  const auto line = r.to_line();
+  EXPECT_NE(line.find('"'), std::string::npos);
+  const auto parsed = UlmRecord::parse(line);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed->get("FILE"), "/home/ftp/vazhkuda/10 MB");
+}
+
+TEST(UlmRecordTest, EscapesQuotesAndBackslashes) {
+  UlmRecord r;
+  r.set("X", "a\"b\\c");
+  const auto parsed = UlmRecord::parse(r.to_line());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed->get("X"), "a\"b\\c");
+}
+
+TEST(UlmRecordTest, EmptyValueQuoted) {
+  UlmRecord r;
+  r.set("EMPTY", "");
+  const auto parsed = UlmRecord::parse(r.to_line());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed->get("EMPTY"), "");
+}
+
+TEST(UlmRecordTest, ParseRejectsMissingEquals) {
+  EXPECT_FALSE(UlmRecord::parse("KEYONLY").has_value());
+}
+
+TEST(UlmRecordTest, ParseRejectsUnterminatedQuote) {
+  EXPECT_FALSE(UlmRecord::parse("K=\"unterminated").has_value());
+}
+
+TEST(UlmRecordTest, ParseRejectsDanglingEscape) {
+  EXPECT_FALSE(UlmRecord::parse("K=\"x\\").has_value());
+}
+
+TEST(UlmRecordTest, ParseRejectsEmptyKey) {
+  EXPECT_FALSE(UlmRecord::parse("=value").has_value());
+}
+
+TEST(UlmRecordTest, BlankLineParsesEmpty) {
+  const auto parsed = UlmRecord::parse("   ");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->empty());
+}
+
+TEST(UlmRecordTest, DuplicateKeysLastWins) {
+  const auto parsed = UlmRecord::parse("A=1 A=2");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed->get("A"), "2");
+}
+
+TEST(UlmRecordTest, GetIntRejectsNonNumeric) {
+  const auto parsed = UlmRecord::parse("A=xyz");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_FALSE(parsed->get_int("A").has_value());
+}
+
+TEST(ParseUlmLogTest, MultiLineWithSkips) {
+  const std::string body =
+      "A=1 B=2\n"
+      "\n"
+      "garbage without equals\n"
+      "C=3\n";
+  const auto result = parse_ulm_log(body);
+  EXPECT_EQ(result.records.size(), 2u);
+  EXPECT_EQ(result.skipped_lines, 1u);
+  EXPECT_EQ(*result.records[1].get("C"), "3");
+}
+
+TEST(ParseUlmLogTest, EmptyBody) {
+  const auto result = parse_ulm_log("");
+  EXPECT_TRUE(result.records.empty());
+  EXPECT_EQ(result.skipped_lines, 0u);
+}
+
+TEST(UlmRecordTest, EntryStaysUnderPaperSizeBound) {
+  // Section 3: "Each log entry is well under 512 bytes."  Build a
+  // maximal realistic transfer entry and check ours is too.
+  UlmRecord r;
+  r.set("DATE", "20010828000245");
+  r.set("HOST", "dpsslx04.lbl.gov");
+  r.set("PROG", "wadp-gridftp");
+  r.set("NL.EVNT", "FTP_INFO");
+  r.set("SOURCE", "140.221.65.69");
+  r.set("FILE", "/home/ftp/vazhkuda/some/deeply/nested/path/1000 MB");
+  r.set_int("SIZE", 1024000000);
+  r.set("VOLUME", "/home/ftp");
+  r.set_double("START", 998988428.123, 3);
+  r.set_double("END", 998988554.456, 3);
+  r.set_double("TIME", 126.333, 3);
+  r.set_double("BW", 8126.0, 3);
+  r.set("OP", "read");
+  r.set_int("STREAMS", 8);
+  r.set_int("BUFFER", 1000000);
+  EXPECT_LT(r.to_line().size(), 512u);
+}
+
+}  // namespace
+}  // namespace wadp::util

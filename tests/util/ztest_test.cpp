@@ -1,0 +1,58 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace wadp::util {
+namespace {
+
+RunningStats sample(Rng& rng, double mean, double stddev, int n) {
+  RunningStats stats;
+  for (int i = 0; i < n; ++i) stats.add(rng.normal(mean, stddev));
+  return stats;
+}
+
+TEST(TwoSampleZTest, SameDistributionIsInsignificant) {
+  Rng rng(1);
+  const auto a = sample(rng, 7.0, 2.0, 400);
+  const auto b = sample(rng, 7.0, 2.0, 400);
+  EXPECT_LT(two_sample_z(a, b), 2.5);  // occasionally ~2; never large
+}
+
+TEST(TwoSampleZTest, ShiftedMeansAreSignificant) {
+  Rng rng(2);
+  const auto a = sample(rng, 7.0, 2.0, 400);
+  const auto b = sample(rng, 8.0, 2.0, 400);
+  EXPECT_GT(two_sample_z(a, b), 4.0);
+}
+
+TEST(TwoSampleZTest, SymmetricInArguments) {
+  Rng rng(3);
+  const auto a = sample(rng, 5.0, 1.0, 100);
+  const auto b = sample(rng, 6.0, 1.5, 150);
+  EXPECT_DOUBLE_EQ(two_sample_z(a, b), two_sample_z(b, a));
+}
+
+TEST(TwoSampleZTest, KnownValue) {
+  // Means 0 and 1, variances 1, n=100 each: se = sqrt(2/100), z = 1/se.
+  RunningStats a, b;
+  for (int i = 0; i < 50; ++i) {
+    a.add(-1.0);
+    a.add(1.0);
+    b.add(0.0);
+    b.add(2.0);
+  }
+  EXPECT_NEAR(two_sample_z(a, b), 1.0 / std::sqrt(2.0 / 100.0), 1e-9);
+}
+
+TEST(TwoSampleZDeathTest, EmptySampleAborts) {
+  RunningStats a, empty;
+  a.add(1.0);
+  a.add(2.0);
+  EXPECT_DEATH(two_sample_z(a, empty), "");
+}
+
+}  // namespace
+}  // namespace wadp::util

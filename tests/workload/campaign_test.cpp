@@ -1,0 +1,206 @@
+#include "workload/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workload/trace.hpp"
+
+namespace wadp::workload {
+namespace {
+
+TEST(SleepDistributionTest, StaysInPaperRange) {
+  SleepDistribution sleeps;
+  util::Rng rng(1);
+  for (int i = 0; i < 10'000; ++i) {
+    const auto s = sleeps.sample(rng);
+    EXPECT_GE(s, 60.0);        // 1 minute
+    EXPECT_LT(s, 36'000.0);    // 10 hours
+  }
+}
+
+TEST(SleepDistributionTest, ShortBiasShapesTheMixture) {
+  SleepDistribution sleeps;
+  util::Rng rng(2);
+  int below_cap = 0;
+  const int n = 20'000;
+  for (int i = 0; i < n; ++i) {
+    if (sleeps.sample(rng) < sleeps.short_cap) ++below_cap;
+  }
+  EXPECT_NEAR(static_cast<double>(below_cap) / n, sleeps.short_bias, 0.02);
+}
+
+struct CampaignFixture : ::testing::Test {
+  // A short 3-day campaign keeps the test quick while exercising the
+  // whole pipeline.
+  CampaignConfig config;
+  void SetUp() override { config.days = 3; }
+};
+
+TEST_F(CampaignFixture, TransfersStayInsideNightlyWindow) {
+  auto result = run_paper_campaign(Campaign::kAugust2001, 11, config);
+  const auto& outcomes = result.lbl_to_anl->outcomes();
+  ASSERT_FALSE(outcomes.empty());
+  for (const auto& outcome : outcomes) {
+    // The *request* is issued in-window; the logged window opens after
+    // the control phase, so rewind by the measured control overhead.
+    // +1 ms absorbs float rounding for requests issued exactly at the
+    // 18:00 window edge.
+    const auto issued = outcome.record.start_time - outcome.control_overhead;
+    EXPECT_TRUE(util::in_daily_window(issued + 0.001, util::kCdt, 18, 8))
+        << util::format_time(issued, util::kCdt);
+  }
+}
+
+TEST_F(CampaignFixture, SizesComeFromThePaperSet) {
+  auto result = run_paper_campaign(Campaign::kAugust2001, 12, config);
+  std::set<Bytes> sizes(paper_file_sizes().begin(), paper_file_sizes().end());
+  for (const auto& outcome : result.isi_to_anl->outcomes()) {
+    EXPECT_TRUE(sizes.contains(outcome.record.file_size))
+        << outcome.record.file_size;
+  }
+}
+
+TEST_F(CampaignFixture, NoFailuresOnHealthyTestbed) {
+  auto result = run_paper_campaign(Campaign::kAugust2001, 13, config);
+  EXPECT_EQ(result.lbl_to_anl->failed(), 0u);
+  EXPECT_EQ(result.isi_to_anl->failed(), 0u);
+  EXPECT_TRUE(result.lbl_to_anl->finished());
+  EXPECT_TRUE(result.isi_to_anl->finished());
+}
+
+TEST_F(CampaignFixture, LogsMatchOutcomes) {
+  auto result = run_paper_campaign(Campaign::kAugust2001, 14, config);
+  EXPECT_EQ(result.testbed->server("lbl").log().size(),
+            result.lbl_to_anl->completed());
+  EXPECT_EQ(result.testbed->server("isi").log().size(),
+            result.isi_to_anl->completed());
+}
+
+TEST_F(CampaignFixture, ReproducibleForSameSeed) {
+  auto a = run_paper_campaign(Campaign::kAugust2001, 15, config);
+  auto b = run_paper_campaign(Campaign::kAugust2001, 15, config);
+  ASSERT_EQ(a.lbl_to_anl->completed(), b.lbl_to_anl->completed());
+  for (std::size_t i = 0; i < a.lbl_to_anl->outcomes().size(); ++i) {
+    EXPECT_EQ(a.lbl_to_anl->outcomes()[i].record,
+              b.lbl_to_anl->outcomes()[i].record);
+  }
+}
+
+TEST_F(CampaignFixture, DifferentSeedsDiffer) {
+  auto a = run_paper_campaign(Campaign::kAugust2001, 16, config);
+  auto b = run_paper_campaign(Campaign::kAugust2001, 17, config);
+  // Counts or contents must differ somewhere.
+  bool different =
+      a.lbl_to_anl->completed() != b.lbl_to_anl->completed();
+  if (!different) {
+    for (std::size_t i = 0; i < a.lbl_to_anl->outcomes().size(); ++i) {
+      if (!(a.lbl_to_anl->outcomes()[i].record ==
+            b.lbl_to_anl->outcomes()[i].record)) {
+        different = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(different);
+}
+
+TEST(CampaignTest, FullCampaignHitsPaperTransferCounts) {
+  // Section 6.1: "Each log file contains approximately 350 to 450
+  // transfers" over two weeks.
+  auto result = run_paper_campaign(Campaign::kAugust2001, 42, {});
+  for (const auto* driver :
+       {result.lbl_to_anl.get(), result.isi_to_anl.get()}) {
+    EXPECT_GE(driver->completed(), 300u) << driver->server_site();
+    EXPECT_LE(driver->completed(), 500u) << driver->server_site();
+  }
+}
+
+TEST(CampaignTest, BandwidthsLandInPaperBand) {
+  // Figs. 1-2: GridFTP transfers between ~1.5 and ~10.2 MB/s.
+  auto result = run_paper_campaign(Campaign::kAugust2001, 42, {});
+  for (const auto& outcome : result.lbl_to_anl->outcomes()) {
+    const auto bw = outcome.record.bandwidth();
+    EXPECT_GT(bw, 1.0e6);
+    EXPECT_LT(bw, 12.5e6);
+  }
+}
+
+TEST(CampaignTest, ClassCountsShapeMatchesFig7) {
+  // Fig. 7 partition: {6,3,3,1}/13 of draws land in the four classes,
+  // so expect roughly 46%/23%/23%/8% with sampling noise.
+  auto result = run_paper_campaign(Campaign::kAugust2001, 42, {});
+  const auto series = observations_from_records(
+      result.testbed->server("lbl").log().records(), {});
+  const auto classifier = predict::SizeClassifier::paper_classes();
+  const auto counts = count_by_class(series, classifier);
+  ASSERT_EQ(counts.per_class.size(), 4u);
+  const double total = static_cast<double>(counts.total);
+  EXPECT_NEAR(counts.per_class[0] / total, 6.0 / 13.0, 0.08);
+  EXPECT_NEAR(counts.per_class[1] / total, 3.0 / 13.0, 0.07);
+  EXPECT_NEAR(counts.per_class[2] / total, 3.0 / 13.0, 0.07);
+  EXPECT_NEAR(counts.per_class[3] / total, 1.0 / 13.0, 0.05);
+}
+
+TEST(CampaignTest, DecemberCampaignAlsoRuns) {
+  CampaignConfig config;
+  config.days = 3;
+  auto result = run_paper_campaign(Campaign::kDecember2001, 9, config);
+  EXPECT_GT(result.lbl_to_anl->completed(), 20u);
+  // Window is in CST for December.
+  const auto start = result.lbl_to_anl->outcomes().front().record.start_time;
+  EXPECT_TRUE(util::in_daily_window(start - 10.0, util::kCst, 18, 8));
+}
+
+TEST(TraceTest, ObservationsFilterByRemoteAndOp) {
+  std::vector<gridftp::TransferRecord> records;
+  gridftp::TransferRecord r;
+  r.host = "h";
+  r.file_name = "/v/f";
+  r.file_size = kMB;
+  r.volume = "/v";
+  r.streams = 8;
+  r.tcp_buffer = 1'000'000;
+  r.start_time = 0.0;
+  r.end_time = 1.0;
+  r.source_ip = "1.1.1.1";
+  r.op = gridftp::Operation::kRead;
+  records.push_back(r);
+  r.source_ip = "2.2.2.2";
+  records.push_back(r);
+  r.op = gridftp::Operation::kWrite;
+  records.push_back(r);
+
+  EXPECT_EQ(observations_from_records(records, {}).size(), 2u);  // reads only
+  EXPECT_EQ(observations_from_records(records, {.remote_ip = "1.1.1.1"}).size(),
+            1u);
+  EXPECT_EQ(observations_from_records(records,
+                                      {.op = gridftp::Operation::kWrite})
+                .size(),
+            1u);
+  SeriesFilter everything;
+  everything.op.reset();
+  EXPECT_EQ(observations_from_records(records, everything).size(), 3u);
+}
+
+TEST(TraceTest, ObservationCarriesBandwidthAndSize) {
+  gridftp::TransferRecord r;
+  r.host = "h";
+  r.source_ip = "1.1.1.1";
+  r.file_name = "/v/f";
+  r.file_size = 10 * kMB;
+  r.volume = "/v";
+  r.start_time = 100.0;
+  r.end_time = 105.0;
+  r.op = gridftp::Operation::kRead;
+  r.streams = 8;
+  r.tcp_buffer = 1'000'000;
+  const auto series = observations_from_records({&r, 1}, {});
+  ASSERT_EQ(series.size(), 1u);
+  EXPECT_DOUBLE_EQ(series[0].time, 105.0);
+  EXPECT_DOUBLE_EQ(series[0].value, 2'000'000.0);
+  EXPECT_EQ(series[0].file_size, 10 * kMB);
+}
+
+}  // namespace
+}  // namespace wadp::workload

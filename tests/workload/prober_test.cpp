@@ -1,0 +1,84 @@
+#include "workload/prober.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workload/campaign.hpp"
+
+namespace wadp::workload {
+namespace {
+
+TEST(ActiveProberTest, ProbesIdleLinkRegularly) {
+  Testbed testbed(Campaign::kAugust2001, 5);
+  ActiveProbeConfig config;
+  config.check_period = 1800.0;
+  config.staleness = 7200.0;
+  ActiveProber prober(testbed, "anl", "lbl", config);
+  testbed.sim().run_until(testbed.start_time() + 86400.0);
+  prober.stop();
+  // Roughly one probe per staleness interval on a quiet link.
+  EXPECT_GE(prober.probes_issued(), 10u);
+  EXPECT_LE(prober.probes_issued(), 14u);
+  EXPECT_EQ(prober.failures(), 0u);
+  EXPECT_EQ(testbed.server("lbl").log().size(), prober.probes_issued());
+}
+
+TEST(ActiveProberTest, ProbesCarryTheProbeSize) {
+  Testbed testbed(Campaign::kAugust2001, 6);
+  ActiveProbeConfig config;
+  config.probe_size = 25 * kMB;
+  ActiveProber prober(testbed, "anl", "lbl", config);
+  testbed.sim().run_until(testbed.start_time() + 6 * 3600.0);
+  prober.stop();
+  ASSERT_FALSE(testbed.server("lbl").log().empty());
+  for (const auto& record : testbed.server("lbl").log().records()) {
+    EXPECT_EQ(record.file_size, 25 * kMB);
+    EXPECT_EQ(record.op, gridftp::Operation::kRead);
+  }
+}
+
+TEST(ActiveProberTest, SkipsWhenWorkloadKeepsLogFresh) {
+  Testbed testbed(Campaign::kAugust2001, 7);
+  CampaignConfig campaign;
+  campaign.days = 2;
+  // Dense workload: transfers every few minutes all night.
+  campaign.sleeps.short_bias = 1.0 - 1e-12;
+  campaign.sleeps.short_cap = 600.0;
+  CampaignDriver driver(testbed, "anl", "lbl", campaign, 9);
+  driver.start();
+  ActiveProbeConfig config;
+  config.check_period = 1800.0;
+  config.staleness = 4 * 3600.0;
+  ActiveProber prober(testbed, "anl", "lbl", config);
+  testbed.sim().run_until(testbed.start_time() + 2 * 86400.0);
+  prober.stop();
+  // Nightly transfers keep the log fresh; probes only fill the daytime
+  // gap (10 h window / 4 h staleness -> a couple per day).
+  EXPECT_GT(prober.checks_skipped(), 30u);
+  EXPECT_LE(prober.probes_issued(), 8u);
+}
+
+TEST(ActiveProberTest, CountsFailuresWhenServerDown) {
+  Testbed testbed(Campaign::kAugust2001, 8);
+  testbed.server("lbl").set_accepting(false);
+  ActiveProbeConfig config;
+  config.check_period = 3600.0;
+  config.staleness = 1800.0;
+  ActiveProber prober(testbed, "anl", "lbl", config);
+  testbed.sim().run_until(testbed.start_time() + 6 * 3600.0);
+  prober.stop();
+  // Drain the last probe's control-channel rejection.
+  testbed.sim().run_until(testbed.sim().now() + 3600.0);
+  EXPECT_GT(prober.failures(), 0u);
+  EXPECT_EQ(prober.failures(), prober.probes_issued());
+  EXPECT_TRUE(testbed.server("lbl").log().empty());
+}
+
+TEST(ActiveProberDeathTest, MissingProbeFileAborts) {
+  Testbed testbed(Campaign::kAugust2001, 9);
+  ActiveProbeConfig config;
+  config.probe_size = 123456;  // not a staged paper size
+  EXPECT_DEATH(ActiveProber(testbed, "anl", "lbl", config), "probe file");
+}
+
+}  // namespace
+}  // namespace wadp::workload

@@ -1,0 +1,67 @@
+// TestbedConfig overrides: the heterogeneity knobs used by the replica
+// and sensitivity studies.
+#include <gtest/gtest.h>
+
+#include "workload/testbed.hpp"
+
+namespace wadp::workload {
+namespace {
+
+TEST(TestbedConfigTest, BottleneckOverrideAppliesToOneDirection) {
+  TestbedConfig config;
+  config.bottleneck_overrides["isi->anl"] = 7'000'000.0;
+  Testbed testbed(Campaign::kAugust2001, 1, config);
+  EXPECT_DOUBLE_EQ(testbed.topology().find("isi", "anl")->bottleneck(),
+                   7'000'000.0);
+  // The reverse direction and other links keep the calibrated value.
+  EXPECT_DOUBLE_EQ(testbed.topology().find("anl", "isi")->bottleneck(),
+                   12'500'000.0);
+  EXPECT_DOUBLE_EQ(testbed.topology().find("lbl", "anl")->bottleneck(),
+                   12'500'000.0);
+}
+
+TEST(TestbedConfigTest, StorageOverrideAppliesToOneSite) {
+  TestbedConfig config;
+  storage::StorageParams slow;
+  slow.read_rate = 5'000'000.0;
+  slow.write_rate = 4'000'000.0;
+  slow.local_load.reset();
+  config.storage_overrides["isi"] = slow;
+  Testbed testbed(Campaign::kAugust2001, 1, config);
+  EXPECT_DOUBLE_EQ(testbed.storage("isi").read_port().capacity_at(0.0),
+                   5'000'000.0);
+  // Other sites keep the calibrated storage (60 MB/s nominal, loaded).
+  EXPECT_GT(testbed.storage("lbl").read_port().capacity_at(
+                testbed.start_time()),
+            10'000'000.0);
+}
+
+TEST(TestbedConfigTest, WanLoadOverrideReplacesEveryLink) {
+  TestbedConfig config;
+  net::LoadParams flat;
+  flat.base = 0.5;
+  flat.diurnal_amplitude = 0.0;
+  flat.ar_sigma = 0.0;
+  flat.episode_rate_per_hour = 0.0;
+  config.wan_load_override = flat;
+  Testbed testbed(Campaign::kAugust2001, 1, config);
+  for (const auto* path : testbed.topology().paths()) {
+    EXPECT_NEAR(path->capacity_at(testbed.start_time() + 3600.0),
+                path->bottleneck() * 0.5, 1.0)
+        << path->resource_name();
+  }
+}
+
+TEST(TestbedConfigTest, DefaultConfigMatchesPlainConstructor) {
+  Testbed plain(Campaign::kAugust2001, 4);
+  Testbed configured(Campaign::kAugust2001, 4, TestbedConfig{});
+  const auto* a = plain.topology().find("lbl", "anl");
+  const auto* b = configured.topology().find("lbl", "anl");
+  for (double t = 0.0; t < 86400.0; t += 3600.0) {
+    EXPECT_DOUBLE_EQ(a->capacity_at(plain.start_time() + t),
+                     b->capacity_at(configured.start_time() + t));
+  }
+}
+
+}  // namespace
+}  // namespace wadp::workload

@@ -1,0 +1,128 @@
+#include "workload/testbed.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wadp::workload {
+namespace {
+
+TEST(CampaignMetaTest, StartTimesAnchorToLocalMidnight) {
+  const auto aug = campaign_start(Campaign::kAugust2001);
+  const auto aug_civil =
+      util::to_civil(static_cast<std::int64_t>(aug), util::kCdt);
+  EXPECT_EQ(aug_civil.year, 2001);
+  EXPECT_EQ(aug_civil.month, 8);
+  EXPECT_EQ(aug_civil.hour, 0);
+
+  const auto dec = campaign_start(Campaign::kDecember2001);
+  const auto dec_civil =
+      util::to_civil(static_cast<std::int64_t>(dec), util::kCst);
+  EXPECT_EQ(dec_civil.month, 12);
+  EXPECT_EQ(dec_civil.hour, 0);
+}
+
+TEST(CampaignMetaTest, ZonesMatchSeason) {
+  EXPECT_EQ(campaign_zone(Campaign::kAugust2001).offset_seconds(), -5 * 3600);
+  EXPECT_EQ(campaign_zone(Campaign::kDecember2001).offset_seconds(),
+            -6 * 3600);
+  EXPECT_STREQ(campaign_name(Campaign::kAugust2001), "August 2001");
+}
+
+TEST(PaperFileSizesTest, ThirteenSizesFromPaper) {
+  const auto& sizes = paper_file_sizes();
+  ASSERT_EQ(sizes.size(), 13u);
+  EXPECT_EQ(sizes.front(), 1 * kMB);
+  EXPECT_EQ(sizes.back(), 1000 * kMB);
+  // Ascending and distinct.
+  for (std::size_t i = 1; i < sizes.size(); ++i) {
+    EXPECT_LT(sizes[i - 1], sizes[i]);
+  }
+}
+
+TEST(PaperFilePathTest, MatchesFig3Naming) {
+  EXPECT_EQ(paper_file_path(10 * kMB), "/home/ftp/vazhkuda/10 MB");
+  EXPECT_EQ(paper_file_path(1000 * kMB), "/home/ftp/vazhkuda/1 GB");
+}
+
+TEST(TestbedTest, ThreeSitesExist) {
+  Testbed testbed(Campaign::kAugust2001, 1);
+  EXPECT_EQ(testbed.sites().size(), 3u);
+  for (const auto& site : {"anl", "isi", "lbl"}) {
+    EXPECT_EQ(testbed.server(site).site(), site);
+    EXPECT_EQ(testbed.client(site).site(), site);
+    EXPECT_EQ(testbed.storage(site).site(), site);
+  }
+}
+
+TEST(TestbedTest, PaperLinksRegisteredBothDirections) {
+  Testbed testbed(Campaign::kAugust2001, 1);
+  EXPECT_NE(testbed.topology().find("lbl", "anl"), nullptr);
+  EXPECT_NE(testbed.topology().find("anl", "lbl"), nullptr);
+  EXPECT_NE(testbed.topology().find("isi", "anl"), nullptr);
+  EXPECT_NE(testbed.topology().find("anl", "isi"), nullptr);
+  EXPECT_NE(testbed.topology().find("lbl", "isi"), nullptr);
+  EXPECT_EQ(testbed.topology().size(), 6u);
+}
+
+TEST(TestbedTest, FilesStagedOnEveryServer) {
+  Testbed testbed(Campaign::kAugust2001, 1);
+  for (const auto& site : testbed.sites()) {
+    for (const Bytes size : paper_file_sizes()) {
+      EXPECT_EQ(*testbed.server(site).fs().file_size(paper_file_path(size)),
+                size);
+    }
+  }
+}
+
+TEST(TestbedTest, SimulatorStartsAtCampaignStart) {
+  Testbed testbed(Campaign::kDecember2001, 1);
+  EXPECT_DOUBLE_EQ(testbed.sim().now(),
+                   campaign_start(Campaign::kDecember2001));
+}
+
+TEST(TestbedTest, PathCapacitiesStayInCalibratedBand) {
+  // DESIGN.md Section 5: available capacity must keep tuned transfers
+  // between ~1.5 and ~10.7 MB/s.
+  Testbed testbed(Campaign::kAugust2001, 3);
+  const auto* path = testbed.topology().find("lbl", "anl");
+  ASSERT_NE(path, nullptr);
+  const SimTime start = testbed.start_time();
+  for (double t = 0.0; t < 14 * 86400.0; t += 1800.0) {
+    const auto capacity = path->capacity_at(start + t);
+    EXPECT_GE(capacity, 1.5e6);
+    EXPECT_LE(capacity, 11.0e6);
+  }
+}
+
+TEST(TestbedTest, DifferentSeedsGiveDifferentLoads) {
+  Testbed a(Campaign::kAugust2001, 1);
+  Testbed b(Campaign::kAugust2001, 2);
+  const auto* pa = a.topology().find("lbl", "anl");
+  const auto* pb = b.topology().find("lbl", "anl");
+  bool diverged = false;
+  for (double t = 0.0; t < 86400.0 && !diverged; t += 60.0) {
+    if (pa->capacity_at(a.start_time() + t) !=
+        pb->capacity_at(b.start_time() + t)) {
+      diverged = true;
+    }
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(TestbedTest, SameSeedIsReproducible) {
+  Testbed a(Campaign::kAugust2001, 5);
+  Testbed b(Campaign::kAugust2001, 5);
+  const auto* pa = a.topology().find("isi", "anl");
+  const auto* pb = b.topology().find("isi", "anl");
+  for (double t = 0.0; t < 86400.0; t += 3600.0) {
+    EXPECT_DOUBLE_EQ(pa->capacity_at(a.start_time() + t),
+                     pb->capacity_at(b.start_time() + t));
+  }
+}
+
+TEST(TestbedTest, UnknownSiteAborts) {
+  Testbed testbed(Campaign::kAugust2001, 1);
+  EXPECT_DEATH(testbed.server("cern"), "unknown site");
+}
+
+}  // namespace
+}  // namespace wadp::workload

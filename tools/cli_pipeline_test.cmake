@@ -1,0 +1,38 @@
+# End-to-end CLI pipeline: campaign -> classes -> predict -> provider.
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+function(run_checked)
+  execute_process(COMMAND ${ARGN} RESULT_VARIABLE code OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err)
+  if(NOT code EQUAL 0)
+    message(FATAL_ERROR "command failed (${code}): ${ARGN}\n${out}\n${err}")
+  endif()
+  set(LAST_OUTPUT "${out}" PARENT_SCOPE)
+endfunction()
+
+run_checked("${WADP_CLI}" campaign --days 3 --seed 11 --out "${WORK_DIR}")
+set(LOG "${WORK_DIR}/gridftp-lbl-anl.ulm")
+if(NOT EXISTS "${LOG}")
+  message(FATAL_ERROR "campaign did not write ${LOG}")
+endif()
+
+run_checked("${WADP_CLI}" classes "${LOG}")
+if(NOT LAST_OUTPUT MATCHES "10MB")
+  message(FATAL_ERROR "classes output missing class table:\n${LAST_OUTPUT}")
+endif()
+
+run_checked("${WADP_CLI}" predict "${LOG}" --size 500000000)
+if(NOT LAST_OUTPUT MATCHES "MB/s")
+  message(FATAL_ERROR "predict output missing bandwidth:\n${LAST_OUTPUT}")
+endif()
+
+run_checked("${WADP_CLI}" provider "${LOG}")
+if(NOT LAST_OUTPUT MATCHES "GridFTPPerfInfo")
+  message(FATAL_ERROR "provider output missing LDIF:\n${LAST_OUTPUT}")
+endif()
+
+run_checked("${WADP_CLI}" analyze "${LOG}" --extended)
+if(NOT LAST_OUTPUT MATCHES "predictor")
+  message(FATAL_ERROR "analyze output missing ranking:\n${LAST_OUTPUT}")
+endif()

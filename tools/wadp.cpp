@@ -1,0 +1,293 @@
+// wadp — command-line front end to the prediction framework.
+//
+//   wadp campaign  --campaign aug|dec --seed N --days D --out DIR
+//       run a controlled measurement campaign, write ULM logs per link
+//   wadp analyze   LOG [--training N] [--extended]
+//       evaluate the predictor battery over a log, rank the leaders
+//   wadp predict   LOG --size BYTES [--predictor NAME] [--extended]
+//       one prediction from a log, the way a broker would ask
+//   wadp provider  LOG [--host HOST]
+//       print the MDS information-provider LDIF for a log
+//   wadp classes   LOG
+//       per-size-class measurement summary (Fig. 7 style)
+//
+// Every subcommand is deterministic given its inputs; simulated
+// campaigns never touch the network.
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/wadp.hpp"
+#include "util/args.hpp"
+#include "util/stats.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace wadp;
+
+int usage(const char* error = nullptr) {
+  if (error != nullptr) std::fprintf(stderr, "error: %s\n\n", error);
+  std::fprintf(stderr,
+               "usage:\n"
+               "  wadp campaign  [--campaign aug|dec] [--seed N] [--days D] "
+               "[--out DIR]\n"
+               "  wadp analyze   LOG [--training N] [--extended]\n"
+               "  wadp predict   LOG --size BYTES [--predictor NAME] "
+               "[--extended]\n"
+               "  wadp provider  LOG [--host HOST]\n"
+               "  wadp classes   LOG\n"
+               "  wadp probe     [--seed N] [--days D] [--out FILE]\n");
+  return error != nullptr ? 2 : 0;
+}
+
+Expected<gridftp::TransferLog> load_log(const util::ArgParser& args) {
+  if (args.positionals().size() < 2) {
+    return Expected<gridftp::TransferLog>::failure("missing LOG argument");
+  }
+  return gridftp::TransferLog::load(args.positionals()[1]);
+}
+
+core::PredictionService make_service(const util::ArgParser& args,
+                                     const gridftp::TransferLog& log) {
+  core::ServiceConfig config;
+  config.use_extended_battery = args.has("extended");
+  if (const auto training = args.get_int("training")) {
+    config.training_count = static_cast<std::size_t>(*training);
+  }
+  core::PredictionService service(config);
+  service.ingest_log(log);
+  return service;
+}
+
+int cmd_campaign(const util::ArgParser& args) {
+  const auto campaign = args.get_or("campaign", "aug") == "dec"
+                            ? workload::Campaign::kDecember2001
+                            : workload::Campaign::kAugust2001;
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed").value_or(42));
+  workload::CampaignConfig config;
+  config.days = static_cast<int>(args.get_int("days").value_or(14));
+  const std::string out_dir = args.get_or("out", "traces");
+
+  std::error_code ec;
+  std::filesystem::create_directories(out_dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "cannot create %s: %s\n", out_dir.c_str(),
+                 ec.message().c_str());
+    return 1;
+  }
+
+  auto result = workload::run_paper_campaign(campaign, seed, config);
+  for (const char* site : {"lbl", "isi"}) {
+    const auto& log = result.testbed->server(site).log();
+    const auto path = out_dir + "/gridftp-" + site + "-anl.ulm";
+    const auto saved = log.save(path);
+    if (!saved.ok()) {
+      std::fprintf(stderr, "%s\n", saved.error().c_str());
+      return 1;
+    }
+    std::printf("%s: %zu transfers\n", path.c_str(), log.size());
+  }
+  return 0;
+}
+
+int cmd_analyze(const util::ArgParser& args) {
+  auto log = load_log(args);
+  if (!log.ok()) return usage(log.error().c_str());
+  const auto service = make_service(args, log.value());
+
+  for (const auto& key : service.series_keys()) {
+    const auto evaluation = service.evaluate(key);
+    std::printf("series %s: %zu observations\n", key.to_string().c_str(),
+                service.series(key)->size());
+    if (!evaluation) {
+      std::printf("  (too short to evaluate)\n");
+      continue;
+    }
+    std::vector<std::pair<double, std::string>> ranking;
+    for (std::size_t p = 0; p < evaluation->predictor_names().size(); ++p) {
+      if (evaluation->errors(p).count == 0) continue;
+      ranking.emplace_back(evaluation->errors(p).mean(),
+                           evaluation->predictor_names()[p]);
+    }
+    std::sort(ranking.begin(), ranking.end());
+    util::TextTable table({"rank", "predictor", "mean % error", "p50", "p90",
+                           "best %", "worst %"});
+    table.set_align(1, util::TextTable::Align::Left);
+    for (std::size_t i = 0; i < ranking.size() && i < 10; ++i) {
+      const auto index = *evaluation->index_of(ranking[i].second);
+      const auto errors = predict::error_values(*evaluation, index);
+      table.add_row({std::to_string(i + 1), ranking[i].second,
+                     util::format("%.1f", ranking[i].first),
+                     util::format("%.1f", util::quantile(errors, 0.5).value_or(0)),
+                     util::format("%.1f", util::quantile(errors, 0.9).value_or(0)),
+                     util::format("%.1f", evaluation->relative(index).best_pct()),
+                     util::format("%.1f",
+                                  evaluation->relative(index).worst_pct())});
+    }
+    std::printf("%s\n", table.render().c_str());
+  }
+  return 0;
+}
+
+int cmd_predict(const util::ArgParser& args) {
+  auto log = load_log(args);
+  if (!log.ok()) return usage(log.error().c_str());
+  const auto size = args.get_int("size");
+  if (!size || *size <= 0) return usage("--size BYTES required");
+  const auto service = make_service(args, log.value());
+
+  const std::string predictor = args.get_or("predictor", "");
+  bool answered = false;
+  for (const auto& key : service.series_keys()) {
+    const auto* series = service.series(key);
+    const SimTime now = series->back().time + 1.0;
+    const auto prediction =
+        service.predict(key, static_cast<Bytes>(*size), now, predictor);
+    if (!prediction) continue;
+    answered = true;
+    std::printf("%s: %.2f MB/s (%s, %zu observations)\n",
+                key.to_string().c_str(), to_mb_per_sec(*prediction),
+                predictor.empty() ? service.config().default_predictor.c_str()
+                                  : predictor.c_str(),
+                series->size());
+  }
+  if (!answered) {
+    std::fprintf(stderr, "no series could answer (too little history, or "
+                         "unknown predictor)\n");
+    return 1;
+  }
+  return 0;
+}
+
+int cmd_provider(const util::ArgParser& args) {
+  auto log = load_log(args);
+  if (!log.ok()) return usage(log.error().c_str());
+  if (log.value().empty()) return usage("log is empty");
+  const std::string host = args.get_or(
+      "host", std::string(log.value().records().front().host));
+
+  // Rebuild a server around the log so the provider can publish it.
+  storage::StorageParams storage_params;
+  storage_params.local_load.reset();
+  storage::StorageSystem store("site", storage_params, 1, 0.0);
+  gridftp::GridFtpServer server({.site = "site", .host = host, .ip = "0.0.0.0"},
+                                store);
+  server.fs().add_volume("/");
+  SimTime latest = 0.0;
+  for (const auto& record : log.value().records()) {
+    server.record_transfer(record.source_ip, record.file_name,
+                           record.file_size, record.start_time,
+                           record.end_time, record.op, record.streams,
+                           record.tcp_buffer);
+    latest = std::max(latest, record.end_time);
+  }
+  mds::GridFtpInfoProvider provider(
+      server,
+      {.base = *mds::Dn::parse("hostname=" + host + ", o=grid")});
+  for (const auto& entry : provider.provide(latest + 1.0)) {
+    std::printf("%s\n", entry.to_ldif().c_str());
+  }
+  return 0;
+}
+
+int cmd_classes(const util::ArgParser& args) {
+  auto log = load_log(args);
+  if (!log.ok()) return usage(log.error().c_str());
+  const auto series =
+      workload::observations_from_records(log.value().records(), {});
+  const auto classifier = predict::SizeClassifier::paper_classes();
+  const auto counts = workload::count_by_class(series, classifier);
+
+  util::TextTable table({"class", "n", "bw MB/s (min/mean/max)"});
+  table.set_align(0, util::TextTable::Align::Left);
+  for (int cls = 0; cls < classifier.num_classes(); ++cls) {
+    util::RunningStats bw;
+    for (const auto& o : series) {
+      if (classifier.classify(o.file_size) == cls) {
+        bw.add(to_mb_per_sec(o.value));
+      }
+    }
+    table.add_row(
+        {classifier.class_label(cls) + " (" + classifier.class_name(cls) + ")",
+         std::to_string(counts.per_class[static_cast<std::size_t>(cls)]),
+         bw.count() ? util::format("%.2f / %.2f / %.2f", bw.min(), bw.mean(),
+                                   bw.max())
+                    : std::string("-")});
+  }
+  std::printf("total read transfers: %zu\n\n%s", counts.total,
+              table.render().c_str());
+  return 0;
+}
+
+int cmd_probe(const util::ArgParser& args) {
+  // NWS sensors over every testbed path; dump the memory as trace text.
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed").value_or(42));
+  const int days = static_cast<int>(args.get_int("days").value_or(1));
+  workload::Testbed testbed(workload::Campaign::kAugust2001, seed);
+  core::FabricConfig config;
+  config.deploy_nws = true;
+  core::InformationFabric fabric(testbed, config);
+  testbed.sim().run_until(testbed.start_time() + days * 86400.0);
+  fabric.absorb_probes();
+
+  // Merge per-site memories for output.
+  nws::NwsMemory merged(0);
+  for (const auto& site : testbed.sites()) {
+    auto& memory = fabric.probe_memory(site);
+    for (const auto& experiment : memory.experiments()) {
+      for (const auto& m : memory.series(experiment)) {
+        merged.store(experiment, m);
+      }
+    }
+  }
+  if (const auto out = args.get("out")) {
+    const auto saved = merged.save(*out);
+    if (!saved.ok()) {
+      std::fprintf(stderr, "%s\n", saved.error().c_str());
+      return 1;
+    }
+    std::printf("wrote %zu measurements across %zu experiments to %s\n",
+                merged.total_measurements(), merged.experiments().size(),
+                out->c_str());
+    return 0;
+  }
+  util::TextTable table({"experiment", "probes", "latest KB/s"});
+  table.set_align(0, util::TextTable::Align::Left);
+  for (const auto& experiment : merged.experiments()) {
+    const auto series = merged.series(experiment);
+    table.add_row({experiment, std::to_string(series.size()),
+                   util::format("%.1f", to_kb_per_sec(series.back().value))});
+  }
+  std::printf("%s", table.render().c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> raw(argv + 1, argv + argc);
+  if (raw.empty()) return usage("missing subcommand");
+
+  util::ArgParser args;
+  for (const char* name : {"campaign", "seed", "days", "out", "training",
+                           "size", "predictor", "host"}) {
+    args.add_option(name);
+  }
+  args.add_option("extended", /*is_boolean=*/true);
+  const auto parsed = args.parse(raw);
+  if (!parsed.ok()) return usage(parsed.error().c_str());
+  if (args.positionals().empty()) return usage("missing subcommand");
+
+  const auto& command = args.positionals().front();
+  if (command == "campaign") return cmd_campaign(args);
+  if (command == "analyze") return cmd_analyze(args);
+  if (command == "predict") return cmd_predict(args);
+  if (command == "provider") return cmd_provider(args);
+  if (command == "classes") return cmd_classes(args);
+  if (command == "probe") return cmd_probe(args);
+  if (command == "help") return usage();
+  return usage(("unknown subcommand: " + command).c_str());
+}
