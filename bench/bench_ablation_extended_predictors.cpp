@@ -21,7 +21,7 @@ void run_link(const char* link,
   // Rank everything; mark extensions.
   std::vector<std::pair<double, std::string>> ranking;
   for (std::size_t p = 0; p < suite.size(); ++p) {
-    if (result.errors(p).count == 0) continue;
+    if (result.errors(p).count() == 0) continue;
     ranking.emplace_back(result.errors(p).mean(),
                          result.predictor_names()[p]);
   }

@@ -1,0 +1,70 @@
+// Evaluator throughput: single-pass streaming engine vs the legacy
+// recompute-per-prefix engine, full 30-predictor paper battery.
+//
+// Legacy is O(N^2 * P) over an N-transfer log; the streaming engine is
+// O(N * P).  The gap is the whole point of the incremental prediction
+// engine, so legacy only runs at the two smaller sizes (one iteration —
+// at 100k it would take hours).
+#include <benchmark/benchmark.h>
+
+#include "predict/evaluator.hpp"
+#include "predict/suite.hpp"
+#include "util/rng.hpp"
+
+namespace wadp::predict {
+namespace {
+
+std::vector<Observation> synthetic_series(std::size_t n) {
+  util::Rng rng(5);
+  const std::vector<Bytes> sizes = {1 * kMB,   10 * kMB,  100 * kMB,
+                                    500 * kMB, 1000 * kMB};
+  std::vector<Observation> out;
+  double t = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back({.time = t,
+                   .value = rng.uniform(2e6, 9e6),
+                   .file_size = sizes[static_cast<std::size_t>(rng.uniform_int(
+                       0, static_cast<std::int64_t>(sizes.size()) - 1))]});
+    t += rng.uniform(60.0, 1800.0);
+  }
+  return out;
+}
+
+void run_evaluator(benchmark::State& state, EvalConfig::Engine engine) {
+  const auto series =
+      synthetic_series(static_cast<std::size_t>(state.range(0)));
+  const auto suite = PredictorSuite::paper_suite();
+  EvalConfig config;
+  config.engine = engine;
+  config.keep_samples = false;
+  const Evaluator evaluator(config);
+  for (auto _ : state) {
+    auto result = evaluator.run(series, suite.pointers());
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+  state.counters["transfers"] = static_cast<double>(state.range(0));
+}
+
+void BM_EvaluatorStreaming(benchmark::State& s) {
+  run_evaluator(s, EvalConfig::Engine::kStreaming);
+}
+void BM_EvaluatorLegacy(benchmark::State& s) {
+  run_evaluator(s, EvalConfig::Engine::kLegacy);
+}
+
+BENCHMARK(BM_EvaluatorStreaming)
+    ->Unit(benchmark::kMillisecond)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Arg(100000);
+BENCHMARK(BM_EvaluatorLegacy)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1)
+    ->Arg(1000)
+    ->Arg(10000);
+
+}  // namespace
+}  // namespace wadp::predict
+
+BENCHMARK_MAIN();

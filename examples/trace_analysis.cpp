@@ -67,7 +67,7 @@ int main(int argc, char** argv) {
     std::vector<std::pair<double, std::string>> ranking;
     for (std::size_t p = 0; p < evaluation->predictor_names().size(); ++p) {
       const auto& errors = evaluation->errors(p);
-      if (errors.count == 0) continue;
+      if (errors.count() == 0) continue;
       ranking.emplace_back(errors.mean(), evaluation->predictor_names()[p]);
     }
     std::sort(ranking.begin(), ranking.end());

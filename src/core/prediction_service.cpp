@@ -21,13 +21,16 @@ PredictionService::PredictionService(ServiceConfig config)
 }
 
 void PredictionService::ingest(const gridftp::TransferRecord& record) {
-  auto& series = series_[SeriesKey{
+  auto& state = series_[SeriesKey{
       .host = record.host, .remote_ip = record.source_ip, .op = record.op}];
+  auto& series = state.observations;
   predict::Observation obs{.time = record.end_time,
                            .value = record.bandwidth(),
                            .file_size = record.file_size};
   // Logs from one server arrive ordered; merged logs may interleave, so
-  // keep the series sorted by insertion at the right place.
+  // keep the series sorted by insertion at the right place.  Appends
+  // leave the streaming battery valid (it catches up lazily); a
+  // mid-series insert invalidates it, forcing a replay on next query.
   if (series.empty() || series.back().time <= obs.time) {
     series.push_back(obs);
     return;
@@ -38,38 +41,74 @@ void PredictionService::ingest(const gridftp::TransferRecord& record) {
         return a.time < b.time;
       });
   series.insert(pos, obs);
+  state.dirty = true;
 }
 
 void PredictionService::ingest_log(const gridftp::TransferLog& log) {
   for (const auto& record : log.records()) ingest(record);
 }
 
+void PredictionService::catch_up(const SeriesState& state) const {
+  if (state.dirty) {
+    state.streams.clear();
+    state.fed = 0;
+    state.dirty = false;
+  }
+  if (state.streams.empty()) {
+    state.streams.reserve(suite_.size());
+    for (const auto& predictor : suite_.predictors()) {
+      state.streams.push_back(predict::make_streaming(*predictor));
+    }
+    state.fed = 0;
+  }
+  for (; state.fed < state.observations.size(); ++state.fed) {
+    const auto& obs = state.observations[state.fed];
+    for (const auto& stream : state.streams) {
+      if (stream) stream->observe(obs);
+    }
+  }
+}
+
+std::optional<Bandwidth> PredictionService::predict_at(
+    const SeriesState& state, std::size_t index,
+    const predict::Query& query) const {
+  const auto& stream = state.streams[index];
+  if (stream && query.time >= stream->safe_query_time()) {
+    return stream->predict(query);
+  }
+  return suite_.predictors()[index]->predict(state.observations, query);
+}
+
 std::optional<Bandwidth> PredictionService::predict(
     const SeriesKey& key, Bytes size, SimTime now,
     std::string_view predictor_name) const {
-  const auto* series = this->series(key);
-  if (series == nullptr || series->size() < config_.training_count) {
+  const auto it = series_.find(key);
+  if (it == series_.end() ||
+      it->second.observations.size() < config_.training_count) {
     return std::nullopt;
   }
-  const auto* predictor = suite_.find(
+  const auto index = suite_.index_of(
       predictor_name.empty() ? config_.default_predictor : predictor_name);
-  if (predictor == nullptr) return std::nullopt;
-  return predictor->predict(*series,
-                            predict::Query{.time = now, .file_size = size});
+  if (!index) return std::nullopt;
+  catch_up(it->second);
+  return predict_at(it->second, *index,
+                    predict::Query{.time = now, .file_size = size});
 }
 
 std::vector<std::pair<std::string, std::optional<Bandwidth>>>
 PredictionService::predict_all(const SeriesKey& key, Bytes size,
                                SimTime now) const {
   std::vector<std::pair<std::string, std::optional<Bandwidth>>> out;
-  const auto* series = this->series(key);
-  for (const auto& predictor : suite_.predictors()) {
+  out.reserve(suite_.size());
+  const auto it = series_.find(key);
+  const bool ready = it != series_.end() &&
+                     it->second.observations.size() >= config_.training_count;
+  if (ready) catch_up(it->second);
+  const predict::Query query{.time = now, .file_size = size};
+  for (std::size_t i = 0; i < suite_.size(); ++i) {
     std::optional<Bandwidth> value;
-    if (series != nullptr && series->size() >= config_.training_count) {
-      value = predictor->predict(*series,
-                                 predict::Query{.time = now, .file_size = size});
-    }
-    out.emplace_back(predictor->name(), value);
+    if (ready) value = predict_at(it->second, i, query);
+    out.emplace_back(suite_.predictors()[i]->name(), value);
   }
   return out;
 }
@@ -90,19 +129,19 @@ std::optional<predict::EvaluationResult> PredictionService::evaluate(
 const std::vector<predict::Observation>* PredictionService::series(
     const SeriesKey& key) const {
   const auto it = series_.find(key);
-  return it == series_.end() ? nullptr : &it->second;
+  return it == series_.end() ? nullptr : &it->second.observations;
 }
 
 std::vector<SeriesKey> PredictionService::series_keys() const {
   std::vector<SeriesKey> out;
   out.reserve(series_.size());
-  for (const auto& [key, series] : series_) out.push_back(key);
+  for (const auto& [key, state] : series_) out.push_back(key);
   return out;
 }
 
 std::size_t PredictionService::total_observations() const {
   std::size_t total = 0;
-  for (const auto& [key, series] : series_) total += series.size();
+  for (const auto& [key, state] : series_) total += state.observations.size();
   return total;
 }
 

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -18,6 +19,7 @@
 #include "gridftp/log.hpp"
 #include "gridftp/record.hpp"
 #include "predict/evaluator.hpp"
+#include "predict/incremental.hpp"
 #include "predict/suite.hpp"
 
 namespace wadp::core {
@@ -82,9 +84,31 @@ class PredictionService {
   const ServiceConfig& config() const { return config_; }
 
  private:
+  /// One measurement series plus its lazily-maintained streaming
+  /// battery (suite order).  Queries answer from the streams in
+  /// O(1)/O(log W) per predictor; the members below are mutable so a
+  /// const predict() can catch the battery up to the observations.
+  struct SeriesState {
+    std::vector<predict::Observation> observations;
+    /// Null slot = predictor has no streaming form (stateless fallback).
+    mutable std::vector<std::unique_ptr<predict::StreamingPredictor>> streams;
+    mutable std::size_t fed = 0;  ///< observations already absorbed
+    mutable bool dirty = false;   ///< out-of-order insert → replay needed
+  };
+
+  /// Builds/replays/extends `state`'s streaming battery so every stream
+  /// has absorbed every stored observation.  Amortized O(1) per
+  /// (observation, predictor) on the append-only path; an out-of-order
+  /// ingest forces one full replay of that series.
+  void catch_up(const SeriesState& state) const;
+
+  std::optional<Bandwidth> predict_at(const SeriesState& state,
+                                      std::size_t index,
+                                      const predict::Query& query) const;
+
   ServiceConfig config_;
   predict::PredictorSuite suite_;
-  std::map<SeriesKey, std::vector<predict::Observation>> series_;
+  std::map<SeriesKey, SeriesState> series_;
 };
 
 }  // namespace wadp::core

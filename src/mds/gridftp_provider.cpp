@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "predict/incremental.hpp"
 #include "predict/observation.hpp"
 #include "util/stats.hpp"
 #include "util/strings.hpp"
@@ -14,10 +15,34 @@ using gridftp::Operation;
 using gridftp::TransferRecord;
 using predict::Observation;
 
-/// Per-(remote, direction) accumulation extracted from the log.
+/// Per-(remote, direction) accumulation, built in one streaming pass
+/// over the log.  No raw observations are retained: summary attributes
+/// come from Welford accumulators and per-class predictions from
+/// incremental last-N means (routing each record to its size class is
+/// exactly ClassifiedPredictor's filter, done once instead of per
+/// query).
 struct EndpointStats {
-  std::vector<Observation> observations;  // time-ordered (log order)
-  util::RunningStats bandwidth;           // bytes/s
+  util::RunningStats bandwidth;  // bytes/s, all classes
+  std::vector<util::RunningStats> class_bandwidth;
+  std::vector<predict::StreamingMean> class_mean;
+
+  void add(const Observation& obs, const predict::SizeClassifier& classifier,
+           std::size_t window) {
+    if (class_bandwidth.empty()) {
+      const int classes = classifier.num_classes();
+      class_bandwidth.resize(static_cast<std::size_t>(classes));
+      class_mean.reserve(static_cast<std::size_t>(classes));
+      for (int cls = 0; cls < classes; ++cls) {
+        class_mean.emplace_back(
+            "AVG" + std::to_string(window),
+            predict::WindowSpec::last_n(window));
+      }
+    }
+    bandwidth.add(obs.value);
+    const auto cls = static_cast<std::size_t>(classifier.classify(obs.file_size));
+    class_bandwidth[cls].add(obs.value);
+    class_mean[cls].observe(obs);
+  }
 };
 
 std::string kb_value(double bytes_per_sec) {
@@ -70,9 +95,10 @@ std::vector<Entry> GridFtpInfoProvider::provide(SimTime now) {
   for (const TransferRecord& r : server_.log().records()) {
     auto& bucket =
         (r.op == Operation::kRead ? reads : writes)[r.source_ip];
-    bucket.observations.push_back(Observation{
-        .time = r.end_time, .value = r.bandwidth(), .file_size = r.file_size});
-    bucket.bandwidth.add(r.bandwidth());
+    bucket.add(Observation{.time = r.end_time,
+                           .value = r.bandwidth(),
+                           .file_size = r.file_size},
+               config_.classifier, config_.prediction_window);
   }
 
   std::vector<Entry> entries;
@@ -111,7 +137,7 @@ std::vector<Entry> GridFtpInfoProvider::provide(SimTime now) {
 
   const auto publish_direction = [&](const std::string& prefix,
                                      const std::string& remote,
-                                     const EndpointStats& stats) {
+                                     EndpointStats& stats) {
     Entry& entry = endpoint_entry(remote);
     entry.set("num" + prefix + "transfers",
               std::to_string(stats.bandwidth.count()));
@@ -120,35 +146,29 @@ std::vector<Entry> GridFtpInfoProvider::provide(SimTime now) {
     entry.set("avg" + prefix + "bandwidth", kb_value(stats.bandwidth.mean()));
 
     // Per-class averages and predictions (Fig. 6's
-    // "avgrdbandwidthtenmbrange" style attributes).
+    // "avgrdbandwidthtenmbrange" style attributes), read off the
+    // streaming state built during the grouping pass.
     const auto& classifier = config_.classifier;
-    const predict::ClassifiedPredictor predictor(
-        std::make_shared<predict::MeanPredictor>(
-            "AVG" + std::to_string(config_.prediction_window),
-            predict::WindowSpec::last_n(config_.prediction_window)),
-        classifier);
     for (int cls = 0; cls < classifier.num_classes(); ++cls) {
-      std::vector<double> in_class;
-      for (const auto& o : stats.observations) {
-        if (classifier.classify(o.file_size) == cls) in_class.push_back(o.value);
-      }
+      const auto slot = static_cast<std::size_t>(cls);
       const std::string fragment = range_fragment(classifier, cls);
-      if (const auto avg = util::mean(in_class)) {
-        entry.set("avg" + prefix + "bandwidth" + fragment, kb_value(*avg));
+      if (stats.class_bandwidth[slot].count() > 0) {
+        entry.set("avg" + prefix + "bandwidth" + fragment,
+                  kb_value(stats.class_bandwidth[slot].mean()));
       }
       const predict::Query query{
           .time = now, .file_size = classifier.representative_size(cls)};
-      if (const auto predicted = predictor.predict(stats.observations, query)) {
+      if (const auto predicted = stats.class_mean[slot].predict(query)) {
         entry.set("predicted" + prefix + "bandwidth" + fragment,
                   kb_value(*predicted));
       }
     }
   };
 
-  for (const auto& [remote, stats] : reads) {
+  for (auto& [remote, stats] : reads) {
     publish_direction("rd", remote, stats);
   }
-  for (const auto& [remote, stats] : writes) {
+  for (auto& [remote, stats] : writes) {
     publish_direction("wr", remote, stats);
   }
   for (auto& [remote, entry] : per_remote) {

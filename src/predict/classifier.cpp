@@ -33,7 +33,8 @@ std::string SizeClassifier::class_name(int cls) const {
     return util::format("%llu", static_cast<unsigned long long>(b / kMB));
   };
   if (cls == static_cast<int>(boundaries_.size())) {
-    return ">" + mb(boundaries_.back()) + "MB";
+    return util::format(
+        ">%lluMB", static_cast<unsigned long long>(boundaries_.back() / kMB));
   }
   const Bytes lo = cls == 0 ? 0 : boundaries_[static_cast<std::size_t>(cls) - 1];
   return mb(lo) + "-" + mb(boundaries_[static_cast<std::size_t>(cls)]) + "MB";

@@ -4,30 +4,18 @@
 #include <atomic>
 #include <cmath>
 #include <limits>
+#include <memory>
 #include <thread>
 
+#include "predict/incremental.hpp"
 #include "util/error.hpp"
 #include "util/stats.hpp"
 
 namespace wadp::predict {
 
 void ErrorStats::add(double error) {
-  if (count == 0) {
-    min = max = error;
-  } else {
-    min = std::min(min, error);
-    max = std::max(max, error);
-  }
-  ++count;
-  sum += error;
-  sum_sq += error * error;
-}
-
-double ErrorStats::stddev() const {
-  if (count < 2) return 0.0;
-  const double m = mean();
-  const double var = sum_sq / static_cast<double>(count) - m * m;
-  return var > 0.0 ? std::sqrt(var) : 0.0;
+  acc_.add(error);
+  sum_ += error;
 }
 
 EvaluationResult::EvaluationResult(std::vector<std::string> predictor_names,
@@ -39,6 +27,8 @@ EvaluationResult::EvaluationResult(std::vector<std::string> predictor_names,
   errors_.resize(slots);
   relative_.resize(slots);
   transfers_per_class_.assign(static_cast<std::size_t>(num_classes_) + 1, 0);
+  name_index_.reserve(names_.size());
+  for (std::size_t i = 0; i < names_.size(); ++i) name_index_[names_[i]] = i;
 }
 
 std::size_t EvaluationResult::slot(std::size_t predictor, int cls) const {
@@ -65,10 +55,9 @@ std::size_t EvaluationResult::evaluated_transfers(int cls) const {
 
 std::optional<std::size_t> EvaluationResult::index_of(
     std::string_view name) const {
-  for (std::size_t i = 0; i < names_.size(); ++i) {
-    if (names_[i] == name) return i;
-  }
-  return std::nullopt;
+  const auto it = name_index_.find(std::string(name));
+  if (it == name_index_.end()) return std::nullopt;
+  return it->second;
 }
 
 std::vector<double> error_values(const EvaluationResult& result,
@@ -97,30 +86,129 @@ EvaluationResult Evaluator::run(
   }
   EvaluationResult result(std::move(names), config_.classifier.num_classes());
 
-  // Phase 1: the prediction matrix.  Each predictor's column depends
-  // only on the (shared, read-only) series, so columns compute in
-  // parallel; aggregation below stays serial and order-deterministic,
-  // making the parallel run bit-identical to the serial one.
+  const std::size_t training = config_.training_count;
+  const std::size_t count = predictors.size();
+  const bool streaming = config_.engine == EvalConfig::Engine::kStreaming;
+
+  // Ties within this relative tolerance share best/worst credit.
+  constexpr double kTieEpsilon = 1e-9;
+
+  // Serial, order-deterministic aggregation of one transfer, shared by
+  // every engine/thread configuration so results are bit-identical
+  // across all of them given identical predictions.
+  std::vector<double> errors_scratch(count);
+  const auto score_transfer =
+      [&](const Observation& actual,
+          std::span<const std::optional<Bandwidth>> predictions) {
+        WADP_CHECK_MSG(actual.value > 0.0, "non-positive measured bandwidth");
+        const int cls = config_.classifier.classify(actual.file_size);
+
+        ++result.transfers_per_class_[0];
+        ++result.transfers_per_class_[static_cast<std::size_t>(cls) + 1];
+
+        EvalSample sample;
+        if (config_.keep_samples) {
+          sample.time = actual.time;
+          sample.file_size = actual.file_size;
+          sample.size_class = cls;
+          sample.measured = actual.value;
+          sample.predictions.assign(predictions.begin(), predictions.end());
+        }
+
+        auto& errors = errors_scratch;
+        errors.assign(count, std::numeric_limits<double>::quiet_NaN());
+        double best = std::numeric_limits<double>::infinity();
+        double worst = -std::numeric_limits<double>::infinity();
+        for (std::size_t p = 0; p < count; ++p) {
+          const auto& prediction = predictions[p];
+          if (!prediction) continue;
+          const double err = util::percent_error(actual.value, *prediction);
+          errors[p] = err;
+          best = std::min(best, err);
+          worst = std::max(worst, err);
+          result.errors_[result.slot(p, EvaluationResult::kAllClasses)].add(err);
+          result.errors_[result.slot(p, cls)].add(err);
+        }
+
+        for (std::size_t p = 0; p < count; ++p) {
+          if (std::isnan(errors[p])) continue;
+          auto& overall =
+              result.relative_[result.slot(p, EvaluationResult::kAllClasses)];
+          auto& in_class = result.relative_[result.slot(p, cls)];
+          ++overall.opportunities;
+          ++in_class.opportunities;
+          if (errors[p] <= best + kTieEpsilon) {
+            ++overall.best;
+            ++in_class.best;
+          }
+          if (errors[p] >= worst - kTieEpsilon) {
+            ++overall.worst;
+            ++in_class.worst;
+          }
+        }
+
+        if (config_.keep_samples) result.samples_.push_back(std::move(sample));
+      };
+
+  const unsigned workers =
+      std::min<unsigned>(config_.threads, static_cast<unsigned>(count));
+
+  if (streaming && workers <= 1) {
+    // Single streaming pass: every state absorbs each observation once,
+    // predictions come from O(1)/O(log W) state instead of prefix
+    // recomputation, and no O(N·P) prediction matrix is materialized.
+    std::vector<std::unique_ptr<StreamingPredictor>> states;
+    states.reserve(count);
+    for (const auto* p : predictors) states.push_back(make_streaming(*p));
+    std::vector<std::optional<Bandwidth>> row(count);
+    for (std::size_t i = 0; i < series.size(); ++i) {
+      const Observation& actual = series[i];
+      if (i >= training) {
+        const Query query{.time = actual.time, .file_size = actual.file_size};
+        for (std::size_t p = 0; p < count; ++p) {
+          row[p] = states[p] ? states[p]->predict(query)
+                             : predictors[p]->predict(series.first(i), query);
+        }
+        score_transfer(actual, row);
+      }
+      for (std::size_t p = 0; p < count; ++p) {
+        if (states[p]) states[p]->observe(actual);
+      }
+    }
+    return result;
+  }
+
+  // Column phase: each predictor's column depends only on the (shared,
+  // read-only) series, so columns compute in parallel — via a private
+  // streaming replay per column, or legacy prefix recomputation.
   const std::size_t evaluated =
-      series.size() > config_.training_count
-          ? series.size() - config_.training_count
-          : 0;
-  std::vector<std::vector<std::optional<Bandwidth>>> matrix(predictors.size());
+      series.size() > training ? series.size() - training : 0;
+  std::vector<std::vector<std::optional<Bandwidth>>> matrix(count);
   const auto compute_column = [&](std::size_t p) {
     auto& column = matrix[p];
     column.resize(evaluated);
-    for (std::size_t i = config_.training_count; i < series.size(); ++i) {
+    if (streaming) {
+      if (auto state = make_streaming(*predictors[p])) {
+        for (std::size_t i = 0; i < series.size(); ++i) {
+          const Observation& actual = series[i];
+          if (i >= training) {
+            column[i - training] = state->predict(
+                Query{.time = actual.time, .file_size = actual.file_size});
+          }
+          state->observe(actual);
+        }
+        return;
+      }
+    }
+    for (std::size_t i = training; i < series.size(); ++i) {
       const Observation& actual = series[i];
-      column[i - config_.training_count] = predictors[p]->predict(
+      column[i - training] = predictors[p]->predict(
           series.first(i),
           Query{.time = actual.time, .file_size = actual.file_size});
     }
   };
-  const unsigned workers =
-      std::min<unsigned>(config_.threads,
-                         static_cast<unsigned>(predictors.size()));
   if (workers <= 1) {
-    for (std::size_t p = 0; p < predictors.size(); ++p) compute_column(p);
+    for (std::size_t p = 0; p < count; ++p) compute_column(p);
   } else {
     std::atomic<std::size_t> next{0};
     std::vector<std::thread> pool;
@@ -136,59 +224,12 @@ EvaluationResult Evaluator::run(
     for (auto& worker : pool) worker.join();
   }
 
-  // Ties within this relative tolerance share best/worst credit.
-  constexpr double kTieEpsilon = 1e-9;
-
-  for (std::size_t i = config_.training_count; i < series.size(); ++i) {
-    const Observation& actual = series[i];
-    WADP_CHECK_MSG(actual.value > 0.0, "non-positive measured bandwidth");
-    const int cls = config_.classifier.classify(actual.file_size);
-
-    ++result.transfers_per_class_[0];
-    ++result.transfers_per_class_[static_cast<std::size_t>(cls) + 1];
-
-    EvalSample sample;
-    if (config_.keep_samples) {
-      sample.time = actual.time;
-      sample.file_size = actual.file_size;
-      sample.size_class = cls;
-      sample.measured = actual.value;
-      sample.predictions.resize(predictors.size());
+  std::vector<std::optional<Bandwidth>> row(count);
+  for (std::size_t i = training; i < series.size(); ++i) {
+    for (std::size_t p = 0; p < count; ++p) {
+      row[p] = matrix[p][i - training];
     }
-
-    std::vector<double> errors(predictors.size(),
-                               std::numeric_limits<double>::quiet_NaN());
-    double best = std::numeric_limits<double>::infinity();
-    double worst = -std::numeric_limits<double>::infinity();
-    for (std::size_t p = 0; p < predictors.size(); ++p) {
-      const auto prediction = matrix[p][i - config_.training_count];
-      if (config_.keep_samples) sample.predictions[p] = prediction;
-      if (!prediction) continue;
-      const double err = util::percent_error(actual.value, *prediction);
-      errors[p] = err;
-      best = std::min(best, err);
-      worst = std::max(worst, err);
-      result.errors_[result.slot(p, EvaluationResult::kAllClasses)].add(err);
-      result.errors_[result.slot(p, cls)].add(err);
-    }
-
-    for (std::size_t p = 0; p < predictors.size(); ++p) {
-      if (std::isnan(errors[p])) continue;
-      auto& overall = result.relative_[result.slot(p, EvaluationResult::kAllClasses)];
-      auto& in_class = result.relative_[result.slot(p, cls)];
-      ++overall.opportunities;
-      ++in_class.opportunities;
-      if (errors[p] <= best + kTieEpsilon) {
-        ++overall.best;
-        ++in_class.best;
-      }
-      if (errors[p] >= worst - kTieEpsilon) {
-        ++overall.worst;
-        ++in_class.worst;
-      }
-    }
-
-    if (config_.keep_samples) result.samples_.push_back(std::move(sample));
+    score_transfer(series[i], row);
   }
 
   return result;

@@ -12,11 +12,13 @@
 #include <optional>
 #include <span>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "predict/classifier.hpp"
 #include "predict/observation.hpp"
 #include "predict/predictors.hpp"
+#include "util/stats.hpp"
 
 namespace wadp::predict {
 
@@ -32,19 +34,37 @@ struct EvalConfig {
   /// parallel across its members; aggregation stays serial so results
   /// are bit-identical to the single-threaded run.  1 = serial.
   unsigned threads = 1;
+  /// Prediction engine.  kStreaming replays the series once through the
+  /// incremental battery (predict/incremental.hpp): O(N·P) total, with
+  /// predictors lacking a streaming form transparently falling back to
+  /// prefix recomputation.  kLegacy recomputes every prediction from
+  /// the raw prefix — O(N²·P), kept for equivalence tests and as the
+  /// reference for the throughput bench.  Aggregation is the same code
+  /// either way.
+  enum class Engine { kStreaming, kLegacy };
+  Engine engine = Engine::kStreaming;
 };
 
-/// Streaming aggregate of percentage errors.
-struct ErrorStats {
-  std::size_t count = 0;
-  double sum = 0.0;
-  double sum_sq = 0.0;
-  double min = 0.0;
-  double max = 0.0;
-
+/// Streaming aggregate of percentage errors.  The mean keeps the exact
+/// running-sum definition (bit-identical to the historical
+/// aggregation); the spread comes from Welford updates
+/// (util::RunningStats) instead of the catastrophically cancelling
+/// sum_sq - mean² formula this class used to carry.
+class ErrorStats {
+ public:
   void add(double error);
-  double mean() const { return count ? sum / static_cast<double>(count) : 0.0; }
-  double stddev() const;
+  std::size_t count() const { return acc_.count(); }
+  double sum() const { return sum_; }
+  double mean() const {
+    return count() ? sum_ / static_cast<double>(count()) : 0.0;
+  }
+  double stddev() const { return acc_.stddev(); }
+  double min() const { return acc_.min(); }
+  double max() const { return acc_.max(); }
+
+ private:
+  util::RunningStats acc_;
+  double sum_ = 0.0;
 };
 
 /// Best/worst tallies for the relative-performance figures.
@@ -91,6 +111,7 @@ class EvaluationResult {
   const std::vector<EvalSample>& samples() const { return samples_; }
 
   /// Index of `name` in the predictor list; nullopt when absent.
+  /// O(1): backed by a name→index map built at construction.
   std::optional<std::size_t> index_of(std::string_view name) const;
 
  private:
@@ -98,6 +119,7 @@ class EvaluationResult {
   std::size_t slot(std::size_t predictor, int cls) const;
 
   std::vector<std::string> names_;
+  std::unordered_map<std::string, std::size_t> name_index_;
   int num_classes_;
   // Row-major [predictor][class+1] with class slot 0 = overall.
   std::vector<ErrorStats> errors_;

@@ -1,0 +1,455 @@
+#include "predict/incremental.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace wadp::predict {
+namespace {
+
+/// Neumaier-compensated add: keeps rolling temporal-window sums within
+/// a few ulps of an exact re-sum between rebuilds.
+void compensated_add(double& sum, double& comp, double x) {
+  const double t = sum + x;
+  if (std::abs(sum) >= std::abs(x)) {
+    comp += (sum - t) + x;
+  } else {
+    comp += (x - t) + sum;
+  }
+  sum = t;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// StreamingMean
+
+StreamingMean::StreamingMean(std::string name, WindowSpec window)
+    : StreamingPredictor(std::move(name)), window_(window) {}
+
+void StreamingMean::observe(const Observation& observation) {
+  switch (window_.kind()) {
+    case WindowSpec::Kind::kAll:
+      // Same left-to-right accumulation order as util::mean over the
+      // full history: bit-identical to the batch predictor.
+      all_sum_ += observation.value;
+      ++all_count_;
+      break;
+    case WindowSpec::Kind::kLastN:
+      last_n_.push_back(observation.value);
+      if (last_n_.size() > window_.n()) last_n_.pop_front();
+      break;
+    case WindowSpec::Kind::kLastDuration:
+      timed_.push_back(observation);
+      compensated_add(rolling_sum_, rolling_comp_, observation.value);
+      ++ops_since_rebuild_;
+      break;
+  }
+}
+
+void StreamingMean::evict_before(SimTime cutoff) {
+  if (cutoff <= evicted_through_) return;
+  while (!timed_.empty() && timed_.front().time < cutoff) {
+    compensated_add(rolling_sum_, rolling_comp_, -timed_.front().value);
+    timed_.pop_front();
+    ++ops_since_rebuild_;
+  }
+  evicted_through_ = cutoff;
+}
+
+void StreamingMean::rebuild_sum() {
+  rolling_sum_ = 0.0;
+  rolling_comp_ = 0.0;
+  for (const auto& o : timed_) rolling_sum_ += o.value;
+  ops_since_rebuild_ = 0;
+}
+
+std::optional<Bandwidth> StreamingMean::predict(const Query& query) {
+  switch (window_.kind()) {
+    case WindowSpec::Kind::kAll:
+      if (all_count_ == 0) return std::nullopt;
+      return all_sum_ / static_cast<double>(all_count_);
+    case WindowSpec::Kind::kLastN: {
+      if (last_n_.empty()) return std::nullopt;
+      // Re-sum the (spec-constant-sized) window left to right: exactly
+      // the batch computation, so the result is bit-identical.
+      double sum = 0.0;
+      for (double v : last_n_) sum += v;
+      return sum / static_cast<double>(last_n_.size());
+    }
+    case WindowSpec::Kind::kLastDuration: {
+      evict_before(query.time - window_.duration());
+      if (timed_.empty()) return std::nullopt;
+      // Amortized-O(1) exact rebuild caps rounding drift at O(|window|)
+      // ulps regardless of how long the stream runs.
+      if (ops_since_rebuild_ > timed_.size()) rebuild_sum();
+      return (rolling_sum_ + rolling_comp_) /
+             static_cast<double>(timed_.size());
+    }
+  }
+  return std::nullopt;  // unreachable
+}
+
+SimTime StreamingMean::safe_query_time() const {
+  if (window_.kind() != WindowSpec::Kind::kLastDuration) {
+    return -std::numeric_limits<SimTime>::infinity();
+  }
+  return evicted_through_ + window_.duration();
+}
+
+// ---------------------------------------------------------------------------
+// StreamingMedian
+
+StreamingMedian::StreamingMedian(std::string name, WindowSpec window)
+    : StreamingPredictor(std::move(name)), window_(window) {}
+
+void StreamingMedian::insert_value(double value) {
+  if (lo_.empty() || value <= *lo_.rbegin()) {
+    lo_.insert(value);
+  } else {
+    hi_.insert(value);
+  }
+  rebalance();
+}
+
+void StreamingMedian::erase_value(double value) {
+  // Invariant: max(lo) <= min(hi).  A value below max(lo) must live in
+  // lo; a value equal to max(lo) has at least one copy there.
+  if (!lo_.empty() && value <= *lo_.rbegin()) {
+    lo_.erase(lo_.find(value));
+  } else {
+    hi_.erase(hi_.find(value));
+  }
+  rebalance();
+}
+
+void StreamingMedian::rebalance() {
+  // Keep |lo| = |hi| or |lo| = |hi| + 1, so the batch order statistics
+  // sorted[(t-1)/2] and sorted[t/2] are max(lo) / min(hi).
+  while (lo_.size() > hi_.size() + 1) {
+    const auto it = std::prev(lo_.end());
+    hi_.insert(*it);
+    lo_.erase(it);
+  }
+  while (hi_.size() > lo_.size()) {
+    const auto it = hi_.begin();
+    lo_.insert(*it);
+    hi_.erase(it);
+  }
+}
+
+void StreamingMedian::evict_before(SimTime cutoff) {
+  if (cutoff <= evicted_through_) return;
+  while (!order_.empty() && order_.front().time < cutoff) {
+    erase_value(order_.front().value);
+    order_.pop_front();
+  }
+  evicted_through_ = cutoff;
+}
+
+void StreamingMedian::observe(const Observation& observation) {
+  if (window_.kind() == WindowSpec::Kind::kAll) {
+    insert_value(observation.value);
+    return;
+  }
+  order_.push_back(observation);
+  insert_value(observation.value);
+  if (window_.kind() == WindowSpec::Kind::kLastN &&
+      order_.size() > window_.n()) {
+    erase_value(order_.front().value);
+    order_.pop_front();
+  }
+}
+
+std::optional<Bandwidth> StreamingMedian::predict(const Query& query) {
+  if (window_.kind() == WindowSpec::Kind::kLastDuration) {
+    evict_before(query.time - window_.duration());
+  }
+  const std::size_t t = lo_.size() + hi_.size();
+  if (t == 0) return std::nullopt;
+  if (t % 2 == 1) return *lo_.rbegin();
+  // Same expression order as util::median: 0.5 * (lower + upper).
+  return 0.5 * (*lo_.rbegin() + *hi_.begin());
+}
+
+SimTime StreamingMedian::safe_query_time() const {
+  if (window_.kind() != WindowSpec::Kind::kLastDuration) {
+    return -std::numeric_limits<SimTime>::infinity();
+  }
+  return evicted_through_ + window_.duration();
+}
+
+// ---------------------------------------------------------------------------
+// StreamingLastValue
+
+StreamingLastValue::StreamingLastValue(std::string name)
+    : StreamingPredictor(std::move(name)) {}
+
+void StreamingLastValue::observe(const Observation& observation) {
+  last_ = observation.value;
+}
+
+std::optional<Bandwidth> StreamingLastValue::predict(const Query& /*query*/) {
+  return last_;
+}
+
+// ---------------------------------------------------------------------------
+// StreamingAr
+
+StreamingAr::StreamingAr(std::string name, WindowSpec window,
+                         std::size_t min_samples)
+    : StreamingPredictor(std::move(name)),
+      window_(window),
+      min_samples_(min_samples) {
+  WADP_CHECK(min_samples_ >= 3);
+}
+
+void StreamingAr::add_pair(double prev, double value) {
+  if (!shift_set_) {
+    shift_ = prev;
+    shift_set_ = true;
+  }
+  const double u = prev - shift_;
+  const double w = value - shift_;
+  su_ += u;
+  sw_ += w;
+  suu_ += u * u;
+  suw_ += u * w;
+  ++pairs_;
+  const std::uint64_t seq = next_pair_seq_++;
+  while (!min_deque_.empty() && min_deque_.back().value >= prev) {
+    min_deque_.pop_back();
+  }
+  min_deque_.push_back({seq, prev});
+  while (!max_deque_.empty() && max_deque_.back().value <= prev) {
+    max_deque_.pop_back();
+  }
+  max_deque_.push_back({seq, prev});
+}
+
+void StreamingAr::remove_front_pair() {
+  WADP_CHECK(pairs_ > 0 && obs_.size() >= 2);
+  const double prev = obs_[0].value;
+  const double value = obs_[1].value;
+  const double u = prev - shift_;
+  const double w = value - shift_;
+  su_ -= u;
+  sw_ -= w;
+  suu_ -= u * u;
+  suw_ -= u * w;
+  --pairs_;
+  const std::uint64_t seq = front_pair_seq_++;
+  if (!min_deque_.empty() && min_deque_.front().seq == seq) {
+    min_deque_.pop_front();
+  }
+  if (!max_deque_.empty() && max_deque_.front().seq == seq) {
+    max_deque_.pop_front();
+  }
+  ++ops_since_rebuild_;
+}
+
+void StreamingAr::evict_front_observation() {
+  if (obs_.size() >= 2) remove_front_pair();
+  obs_.pop_front();
+  --count_;
+}
+
+void StreamingAr::evict_before(SimTime cutoff) {
+  if (cutoff <= evicted_through_) return;
+  while (!obs_.empty() && obs_.front().time < cutoff) {
+    evict_front_observation();
+  }
+  evicted_through_ = cutoff;
+}
+
+void StreamingAr::maybe_rebuild() {
+  if (window_.kind() == WindowSpec::Kind::kAll) return;  // never evicts
+  if (ops_since_rebuild_ > obs_.size()) rebuild_from_window();
+}
+
+void StreamingAr::rebuild_from_window() {
+  su_ = sw_ = suu_ = suw_ = 0.0;
+  pairs_ = 0;
+  min_deque_.clear();
+  max_deque_.clear();
+  next_pair_seq_ = 0;
+  front_pair_seq_ = 0;
+  shift_set_ = false;
+  for (std::size_t i = 1; i < obs_.size(); ++i) {
+    add_pair(obs_[i - 1].value, obs_[i].value);
+  }
+  ops_since_rebuild_ = 0;
+}
+
+void StreamingAr::observe(const Observation& observation) {
+  if (count_ > 0) add_pair(last_value_, observation.value);
+  last_value_ = observation.value;
+  ++count_;
+  if (window_.kind() != WindowSpec::Kind::kAll) {
+    obs_.push_back(observation);
+    ++ops_since_rebuild_;
+    if (window_.kind() == WindowSpec::Kind::kLastN &&
+        obs_.size() > window_.n()) {
+      evict_front_observation();
+    }
+  }
+}
+
+double StreamingAr::fit_and_predict() const {
+  // Mirrors util::ar1_fit + ArPredictor::predict: OLS of Y_t on
+  // Y_{t-1}, degenerate constant-lagged windows predict the last
+  // value, and the extrapolation is clamped at zero.
+  const double last =
+      window_.kind() == WindowSpec::Kind::kAll ? last_value_
+                                               : obs_.back().value;
+  WADP_CHECK(pairs_ >= 2);
+  const bool constant_lagged =
+      min_deque_.front().value == max_deque_.front().value;
+  if (!constant_lagged) {
+    const double n = static_cast<double>(pairs_);
+    const double sxx = suu_ - su_ * su_ / n;
+    const double sxy = suw_ - su_ * sw_ / n;
+    if (sxx > 0.0) {
+      const double slope = sxy / sxx;
+      const double mean_x = shift_ + su_ / n;
+      const double mean_y = shift_ + sw_ / n;
+      const double intercept = mean_y - slope * mean_x;
+      return std::max(0.0, intercept + slope * last);
+    }
+  }
+  return std::max(0.0, last);
+}
+
+std::optional<Bandwidth> StreamingAr::predict(const Query& query) {
+  if (window_.kind() == WindowSpec::Kind::kLastDuration) {
+    evict_before(query.time - window_.duration());
+  }
+  const std::size_t in_window =
+      window_.kind() == WindowSpec::Kind::kAll ? count_ : obs_.size();
+  if (in_window < min_samples_) return std::nullopt;
+  maybe_rebuild();
+  return fit_and_predict();
+}
+
+SimTime StreamingAr::safe_query_time() const {
+  if (window_.kind() != WindowSpec::Kind::kLastDuration) {
+    return -std::numeric_limits<SimTime>::infinity();
+  }
+  return evicted_through_ + window_.duration();
+}
+
+// ---------------------------------------------------------------------------
+// StreamingClassified
+
+StreamingClassified::StreamingClassified(
+    std::string name, SizeClassifier classifier,
+    const std::function<std::unique_ptr<StreamingPredictor>()>& make_base)
+    : StreamingPredictor(std::move(name)), classifier_(std::move(classifier)) {
+  per_class_.reserve(static_cast<std::size_t>(classifier_.num_classes()));
+  for (int cls = 0; cls < classifier_.num_classes(); ++cls) {
+    auto state = make_base();
+    WADP_CHECK(state != nullptr);
+    per_class_.push_back(std::move(state));
+  }
+}
+
+void StreamingClassified::observe(const Observation& observation) {
+  const auto cls =
+      static_cast<std::size_t>(classifier_.classify(observation.file_size));
+  per_class_[cls]->observe(observation);
+}
+
+std::optional<Bandwidth> StreamingClassified::predict(const Query& query) {
+  const auto cls =
+      static_cast<std::size_t>(classifier_.classify(query.file_size));
+  return per_class_[cls]->predict(query);
+}
+
+SimTime StreamingClassified::safe_query_time() const {
+  SimTime latest = -std::numeric_limits<SimTime>::infinity();
+  for (const auto& state : per_class_) {
+    latest = std::max(latest, state->safe_query_time());
+  }
+  return latest;
+}
+
+// ---------------------------------------------------------------------------
+// Adapter + suite
+
+std::unique_ptr<StreamingPredictor> make_streaming(const Predictor& predictor) {
+  if (const auto* mean = dynamic_cast<const MeanPredictor*>(&predictor)) {
+    return std::make_unique<StreamingMean>(mean->name(), mean->window());
+  }
+  if (const auto* median = dynamic_cast<const MedianPredictor*>(&predictor)) {
+    return std::make_unique<StreamingMedian>(median->name(), median->window());
+  }
+  if (dynamic_cast<const LastValuePredictor*>(&predictor) != nullptr) {
+    return std::make_unique<StreamingLastValue>(predictor.name());
+  }
+  if (const auto* ar = dynamic_cast<const ArPredictor*>(&predictor)) {
+    return std::make_unique<StreamingAr>(ar->name(), ar->window(),
+                                         ar->min_samples());
+  }
+  if (const auto* classified =
+          dynamic_cast<const ClassifiedPredictor*>(&predictor)) {
+    const std::shared_ptr<const Predictor> base = classified->base_ptr();
+    if (make_streaming(*base) == nullptr) return nullptr;  // unsupported base
+    return std::make_unique<StreamingClassified>(
+        classified->name(), classified->classifier(),
+        [&base] { return make_streaming(*base); });
+  }
+  return nullptr;
+}
+
+StreamingSuite StreamingSuite::paper_suite(SizeClassifier classifier) {
+  return from(PredictorSuite::paper_suite(std::move(classifier)));
+}
+
+StreamingSuite StreamingSuite::from(const PredictorSuite& suite) {
+  StreamingSuite out;
+  for (const auto& predictor : suite.predictors()) {
+    out.add_slot(predictor->name(), make_streaming(*predictor));
+  }
+  return out;
+}
+
+void StreamingSuite::add(std::unique_ptr<StreamingPredictor> predictor) {
+  WADP_CHECK(predictor != nullptr);
+  std::string name = predictor->name();
+  add_slot(std::move(name), std::move(predictor));
+}
+
+void StreamingSuite::add_slot(std::string name,
+                              std::unique_ptr<StreamingPredictor> predictor) {
+  WADP_CHECK_MSG(index_.find(name) == index_.end(),
+                 "duplicate predictor name in streaming suite");
+  index_.emplace(name, predictors_.size());
+  names_.push_back(std::move(name));
+  predictors_.push_back(std::move(predictor));
+}
+
+void StreamingSuite::observe(const Observation& observation) {
+  for (const auto& predictor : predictors_) {
+    if (predictor) predictor->observe(observation);
+  }
+}
+
+StreamingPredictor* StreamingSuite::find(std::string_view name) const {
+  const auto it = index_.find(std::string(name));
+  return it == index_.end() ? nullptr : predictors_[it->second].get();
+}
+
+std::vector<std::pair<std::string, std::optional<Bandwidth>>>
+StreamingSuite::predict_all(const Query& query) {
+  std::vector<std::pair<std::string, std::optional<Bandwidth>>> out;
+  out.reserve(predictors_.size());
+  for (std::size_t i = 0; i < predictors_.size(); ++i) {
+    out.emplace_back(names_[i], predictors_[i]
+                                    ? predictors_[i]->predict(query)
+                                    : std::nullopt);
+  }
+  return out;
+}
+
+}  // namespace wadp::predict

@@ -1,0 +1,265 @@
+// Incremental prediction engine: streaming counterparts to the
+// stateless Section 4 battery.
+//
+// A stateless Predictor recomputes from the full history prefix on
+// every call — O(window) per query, O(N^2) when replayed over a log.
+// A StreamingPredictor instead absorbs one observation at a time and
+// keeps just enough per-family state to answer the next query in O(1)
+// (means, AR fits) or O(log W) (medians) amortized:
+//
+//   * mean families    — a running sum for the all-data window, an
+//     evicting deque for last-N / last-duration windows (bounded
+//     windows are re-summed left-to-right, which keeps them
+//     bit-identical to the batch path; unbounded temporal windows use
+//     a compensated rolling sum with amortized exact rebuilds);
+//   * median families  — a dual-multiset sliding median: two balanced
+//     halves (max-half / min-half) whose boundary elements are the
+//     paper's order statistics, O(log W) insert/evict;
+//   * AR families      — running shifted moments (n, Σu, Σw, Σu²,
+//     Σu·w over consecutive (Y_{t-1}, Y_t) pairs) plus monotonic
+//     min/max deques that detect constant lagged series exactly, so
+//     the degenerate-fit fallback matches util::ar1_fit bit-for-bit;
+//   * classified (/fs) — per-size-class partitioned sub-states
+//     replacing ClassifiedPredictor's per-query filter-copy.
+//
+// Contract: observations must arrive in non-decreasing time order, and
+// query times must be non-decreasing as well (interleaved with
+// observes) — temporal windows evict history older than `query.time -
+// duration` and cannot resurrect it.  Every state reports
+// safe_query_time(); wrappers that cannot guarantee monotone queries
+// (the online adapters, the prediction service) check it and fall back
+// to the stateless path for time-travelling queries.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "predict/classifier.hpp"
+#include "predict/observation.hpp"
+#include "predict/predictors.hpp"
+#include "predict/suite.hpp"
+#include "predict/window.hpp"
+#include "util/types.hpp"
+
+namespace wadp::predict {
+
+class StreamingPredictor {
+ public:
+  virtual ~StreamingPredictor() = default;
+
+  /// Same stable name as the stateless counterpart ("AVG25", "MED5/fs").
+  const std::string& name() const { return name_; }
+
+  /// Absorbs one measurement; times must be non-decreasing across calls.
+  virtual void observe(const Observation& observation) = 0;
+
+  /// Prediction from everything observed so far, equivalent to the
+  /// stateless predictor applied to the full accumulated history.
+  /// Non-const: temporal windows advance their eviction frontier.
+  virtual std::optional<Bandwidth> predict(const Query& query) = 0;
+
+  /// Earliest query time this state can still answer exactly.  Queries
+  /// at `time >= safe_query_time()` are always exact; earlier ones may
+  /// need history a temporal window has already evicted.  -infinity
+  /// for states that never discard data.
+  virtual SimTime safe_query_time() const {
+    return -std::numeric_limits<SimTime>::infinity();
+  }
+
+ protected:
+  explicit StreamingPredictor(std::string name) : name_(std::move(name)) {}
+
+ private:
+  std::string name_;
+};
+
+/// Streaming MeanPredictor: O(1) observe; predict is O(1) for all-data
+/// and temporal windows, O(N) for a last-N window (N is the spec
+/// constant, <= 25 in the paper battery) to stay bit-identical with the
+/// batch left-to-right sum.
+class StreamingMean final : public StreamingPredictor {
+ public:
+  StreamingMean(std::string name, WindowSpec window);
+  void observe(const Observation& observation) override;
+  std::optional<Bandwidth> predict(const Query& query) override;
+  SimTime safe_query_time() const override;
+  const WindowSpec& window() const { return window_; }
+
+ private:
+  void evict_before(SimTime cutoff);
+  void rebuild_sum();
+
+  WindowSpec window_;
+  // kAll: running left-to-right sum (bit-identical to util::mean).
+  double all_sum_ = 0.0;
+  std::size_t all_count_ = 0;
+  // kLastN: the window itself; re-summed per predict.
+  std::deque<double> last_n_;
+  // kLastDuration: the window plus a Neumaier-compensated rolling sum,
+  // exactly rebuilt every |window| updates so drift stays a few ulps.
+  std::deque<Observation> timed_;
+  double rolling_sum_ = 0.0;
+  double rolling_comp_ = 0.0;
+  std::size_t ops_since_rebuild_ = 0;
+  SimTime evicted_through_ = -std::numeric_limits<SimTime>::infinity();
+};
+
+/// Streaming MedianPredictor: dual-multiset sliding median, O(log W)
+/// observe/evict, O(1) median read-off.  Bit-identical to sorting the
+/// window: the halves' boundary elements are the batch order statistics.
+class StreamingMedian final : public StreamingPredictor {
+ public:
+  StreamingMedian(std::string name, WindowSpec window);
+  void observe(const Observation& observation) override;
+  std::optional<Bandwidth> predict(const Query& query) override;
+  SimTime safe_query_time() const override;
+  const WindowSpec& window() const { return window_; }
+
+ private:
+  void insert_value(double value);
+  void erase_value(double value);
+  void rebalance();
+  void evict_before(SimTime cutoff);
+
+  WindowSpec window_;
+  std::deque<Observation> order_;    // window contents in arrival order
+  std::multiset<double> lo_;         // smaller half; |lo| = |hi| or |hi|+1
+  std::multiset<double> hi_;         // larger half
+  SimTime evicted_through_ = -std::numeric_limits<SimTime>::infinity();
+};
+
+/// Streaming LastValuePredictor: O(1) everything.
+class StreamingLastValue final : public StreamingPredictor {
+ public:
+  explicit StreamingLastValue(std::string name = "LV");
+  void observe(const Observation& observation) override;
+  std::optional<Bandwidth> predict(const Query& query) override;
+
+ private:
+  std::optional<double> last_;
+};
+
+/// Streaming ArPredictor: running shifted moments over consecutive
+/// (Y_{t-1}, Y_t) pairs give the OLS fit in O(1); monotonic min/max
+/// deques over the lagged values detect constant windows exactly, so
+/// the degenerate fallback (predict the last value) matches
+/// util::ar1_fit.  Windowed variants evict pairs as observations leave
+/// the window and rebuild moments exactly every |window| updates.
+class StreamingAr final : public StreamingPredictor {
+ public:
+  StreamingAr(std::string name, WindowSpec window, std::size_t min_samples = 3);
+  void observe(const Observation& observation) override;
+  std::optional<Bandwidth> predict(const Query& query) override;
+  SimTime safe_query_time() const override;
+  const WindowSpec& window() const { return window_; }
+
+ private:
+  struct MinMaxEntry {
+    std::uint64_t seq;
+    double value;
+  };
+
+  void add_pair(double prev, double value);
+  void remove_front_pair();
+  void evict_front_observation();
+  void evict_before(SimTime cutoff);
+  void maybe_rebuild();
+  void rebuild_from_window();
+  double fit_and_predict() const;
+
+  WindowSpec window_;
+  std::size_t min_samples_;
+  // Window contents (empty for the all-data window, which never evicts).
+  std::deque<Observation> obs_;
+  std::size_t count_ = 0;      // observations currently in the window
+  double last_value_ = 0.0;    // newest value in the window
+  // Shifted pair moments: u = Y_{t-1} - shift, w = Y_t - shift.
+  double shift_ = 0.0;
+  bool shift_set_ = false;
+  std::size_t pairs_ = 0;
+  double su_ = 0.0, sw_ = 0.0, suu_ = 0.0, suw_ = 0.0;
+  // Monotonic deques over lagged values for exact min/max under eviction.
+  std::deque<MinMaxEntry> min_deque_, max_deque_;
+  std::uint64_t next_pair_seq_ = 0;
+  std::uint64_t front_pair_seq_ = 0;
+  std::size_t ops_since_rebuild_ = 0;
+  SimTime evicted_through_ = -std::numeric_limits<SimTime>::infinity();
+};
+
+/// Streaming ClassifiedPredictor: one sub-state per size class; each
+/// observation/query is routed to its class, so nothing is ever
+/// filtered or copied.  Matches the batch filter-then-predict exactly
+/// because filtering preserves arrival order.
+class StreamingClassified final : public StreamingPredictor {
+ public:
+  /// `make_base` is called once per size class during construction (it
+  /// is not retained) and must return a fresh base-family state.
+  StreamingClassified(
+      std::string name, SizeClassifier classifier,
+      const std::function<std::unique_ptr<StreamingPredictor>()>& make_base);
+  void observe(const Observation& observation) override;
+  std::optional<Bandwidth> predict(const Query& query) override;
+  SimTime safe_query_time() const override;
+
+ private:
+  SizeClassifier classifier_;
+  std::vector<std::unique_ptr<StreamingPredictor>> per_class_;
+};
+
+/// Builds the streaming counterpart of a stateless predictor, or
+/// nullptr when the concrete type has no incremental form (extended
+/// battery members fall back to the stateless path).
+std::unique_ptr<StreamingPredictor> make_streaming(const Predictor& predictor);
+
+/// The streaming battery: mirrors PredictorSuite name-for-name and
+/// fans observations out to every member.
+class StreamingSuite {
+ public:
+  /// Streaming counterpart of PredictorSuite::paper_suite() — same
+  /// thirty predictors, same names, same order.
+  static StreamingSuite paper_suite(
+      SizeClassifier classifier = SizeClassifier::paper_classes());
+
+  /// Streaming counterparts of every adaptable member of `suite`, in
+  /// suite order.  Members without an incremental form get a null slot
+  /// (visible via predictor(i) == nullptr) so callers can fall back.
+  static StreamingSuite from(const PredictorSuite& suite);
+
+  StreamingSuite() = default;
+
+  void add(std::unique_ptr<StreamingPredictor> predictor);
+
+  /// Feeds one measurement to every member.
+  void observe(const Observation& observation);
+
+  std::size_t size() const { return predictors_.size(); }
+  StreamingPredictor* predictor(std::size_t index) const {
+    return predictors_[index].get();
+  }
+  const std::vector<std::string>& names() const { return names_; }
+
+  /// Lookup by name; nullptr when absent or not adaptable.
+  StreamingPredictor* find(std::string_view name) const;
+
+  /// Every member's answer, in suite order (null slots answer nullopt).
+  std::vector<std::pair<std::string, std::optional<Bandwidth>>> predict_all(
+      const Query& query);
+
+ private:
+  void add_slot(std::string name, std::unique_ptr<StreamingPredictor> predictor);
+
+  std::vector<std::unique_ptr<StreamingPredictor>> predictors_;
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, std::size_t> index_;
+};
+
+}  // namespace wadp::predict

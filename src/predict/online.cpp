@@ -8,15 +8,24 @@
 namespace wadp::predict {
 
 HistoryPredictor::HistoryPredictor(std::shared_ptr<const Predictor> base)
-    : OnlinePredictor(base->name()), base_(std::move(base)) {}
+    : OnlinePredictor(base->name()),
+      base_(std::move(base)),
+      streaming_(make_streaming(*base_)) {}
 
 void HistoryPredictor::observe(const Observation& observation) {
   WADP_CHECK_MSG(history_.empty() || observation.time >= history_.back().time,
                  "observations must arrive in time order");
   history_.push_back(observation);
+  if (streaming_) streaming_->observe(observation);
 }
 
 std::optional<Bandwidth> HistoryPredictor::predict(const Query& query) const {
+  // Streaming state answers any query at or past its eviction frontier;
+  // a query older than data a temporal window already dropped falls
+  // back to the stateless recomputation over the recorded history.
+  if (streaming_ && query.time >= streaming_->safe_query_time()) {
+    return streaming_->predict(query);
+  }
   return base_->predict(history_, query);
 }
 
@@ -24,27 +33,44 @@ DynamicSelector::DynamicSelector(
     std::string name, std::vector<std::shared_ptr<const Predictor>> candidates)
     : OnlinePredictor(std::move(name)), candidates_(std::move(candidates)) {
   WADP_CHECK_MSG(!candidates_.empty(), "selector needs candidates");
-  for (const auto& c : candidates_) WADP_CHECK(c != nullptr);
+  streams_.reserve(candidates_.size());
+  for (const auto& c : candidates_) {
+    WADP_CHECK(c != nullptr);
+    streams_.push_back(make_streaming(*c));
+  }
   error_sum_.assign(candidates_.size(), 0.0);
   error_count_.assign(candidates_.size(), 0);
+}
+
+std::optional<Bandwidth> DynamicSelector::candidate_predict(
+    std::size_t index, const Query& query) const {
+  const auto& stream = streams_[index];
+  if (stream && query.time >= stream->safe_query_time()) {
+    return stream->predict(query);
+  }
+  return candidates_[index]->predict(history_, query);
 }
 
 void DynamicSelector::observe(const Observation& observation) {
   WADP_CHECK_MSG(history_.empty() || observation.time >= history_.back().time,
                  "observations must arrive in time order");
   // Score every candidate on this measurement *before* absorbing it —
-  // exactly the postmortem NWS runs on each new sensor reading.
+  // exactly the postmortem NWS runs on each new sensor reading.  Each
+  // score is one O(1) streaming query instead of a history rescan.
   if (observation.value > 0.0) {
     const Query query{.time = observation.time,
                       .file_size = observation.file_size};
     for (std::size_t i = 0; i < candidates_.size(); ++i) {
-      if (const auto p = candidates_[i]->predict(history_, query)) {
+      if (const auto p = candidate_predict(i, query)) {
         error_sum_[i] += util::percent_error(observation.value, *p);
         ++error_count_[i];
       }
     }
   }
   history_.push_back(observation);
+  for (const auto& stream : streams_) {
+    if (stream) stream->observe(observation);
+  }
 }
 
 std::size_t DynamicSelector::best_index() const {
@@ -62,7 +88,7 @@ std::size_t DynamicSelector::best_index() const {
 }
 
 std::optional<Bandwidth> DynamicSelector::predict(const Query& query) const {
-  return candidates_[best_index()]->predict(history_, query);
+  return candidate_predict(best_index(), query);
 }
 
 const std::string& DynamicSelector::current_choice() const {

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "predict/incremental.hpp"
 #include "predict/observation.hpp"
 #include "predict/predictors.hpp"
 
@@ -36,7 +37,13 @@ class OnlinePredictor {
   std::string name_;
 };
 
-/// Adapts a stateless Predictor by accumulating its history.
+/// Adapts a stateless Predictor into an online one.  Queries are
+/// answered from incremental per-family state (predict/incremental.hpp)
+/// in O(1)/O(log W) instead of recomputing over the accumulated
+/// history; the raw history is still recorded (append-only, never
+/// scanned on the hot path) for diagnostics, for base predictors
+/// without a streaming form, and for queries that travel back past a
+/// temporal window's eviction frontier.
 class HistoryPredictor final : public OnlinePredictor {
  public:
   explicit HistoryPredictor(std::shared_ptr<const Predictor> base);
@@ -48,6 +55,9 @@ class HistoryPredictor final : public OnlinePredictor {
 
  private:
   std::shared_ptr<const Predictor> base_;
+  // unique_ptr indirection keeps predict() const: advancing the
+  // eviction frontier never changes any answer the contract allows.
+  std::unique_ptr<StreamingPredictor> streaming_;  // null = no streaming form
   std::vector<Observation> history_;
 };
 
@@ -71,9 +81,14 @@ class DynamicSelector final : public OnlinePredictor {
 
  private:
   std::size_t best_index() const;
+  std::optional<Bandwidth> candidate_predict(std::size_t index,
+                                             const Query& query) const;
 
   std::vector<std::shared_ptr<const Predictor>> candidates_;
-  std::vector<Observation> history_;
+  // Parallel to candidates_: incremental state answering in O(1)
+  // instead of rescanning history_ (null where no streaming form).
+  std::vector<std::unique_ptr<StreamingPredictor>> streams_;
+  std::vector<Observation> history_;  // fallback + diagnostics only
   std::vector<double> error_sum_;
   std::vector<std::size_t> error_count_;
 };

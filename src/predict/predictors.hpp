@@ -87,6 +87,7 @@ class ArPredictor final : public Predictor {
   std::optional<Bandwidth> predict(std::span<const Observation> history,
                                    const Query& query) const override;
   const WindowSpec& window() const { return window_; }
+  std::size_t min_samples() const { return min_samples_; }
 
  private:
   WindowSpec window_;
@@ -105,6 +106,9 @@ class ClassifiedPredictor final : public Predictor {
   std::optional<Bandwidth> predict(std::span<const Observation> history,
                                    const Query& query) const override;
   const Predictor& base() const { return *base_; }
+  /// Shared ownership of the base, for adapters that may outlive this
+  /// wrapper (predict::make_streaming).
+  const std::shared_ptr<const Predictor>& base_ptr() const { return base_; }
   const SizeClassifier& classifier() const { return classifier_; }
 
  private:

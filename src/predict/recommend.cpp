@@ -15,7 +15,7 @@ std::optional<Recommendation> recommend(std::span<const Observation> series,
   Recommendation recommendation;
   for (std::size_t p = 0; p < suite.size(); ++p) {
     const auto& errors = result.errors(p);
-    if (errors.count == 0) continue;
+    if (errors.count() == 0) continue;
     recommendation.ranking.emplace_back(result.predictor_names()[p],
                                         errors.mean());
   }

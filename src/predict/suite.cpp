@@ -41,8 +41,9 @@ std::vector<std::shared_ptr<const Predictor>> build_base_fifteen() {
 
 void PredictorSuite::add(std::shared_ptr<const Predictor> predictor) {
   WADP_CHECK(predictor != nullptr);
-  WADP_CHECK_MSG(find(predictor->name()) == nullptr,
+  WADP_CHECK_MSG(index_.find(predictor->name()) == index_.end(),
                  "duplicate predictor name in suite");
+  index_.emplace(predictor->name(), predictors_.size());
   predictors_.push_back(std::move(predictor));
 }
 
@@ -70,10 +71,15 @@ PredictorSuite PredictorSuite::paper_suite(SizeClassifier classifier) {
 }
 
 const Predictor* PredictorSuite::find(std::string_view name) const {
-  for (const auto& p : predictors_) {
-    if (p->name() == name) return p.get();
-  }
-  return nullptr;
+  const auto index = index_of(name);
+  return index ? predictors_[*index].get() : nullptr;
+}
+
+std::optional<std::size_t> PredictorSuite::index_of(
+    std::string_view name) const {
+  const auto it = index_.find(std::string(name));
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
 }
 
 std::vector<const Predictor*> PredictorSuite::pointers() const {

@@ -4,8 +4,10 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "predict/classifier.hpp"
@@ -38,7 +40,11 @@ class PredictorSuite {
   std::size_t size() const { return predictors_.size(); }
 
   /// Lookup by Fig. 4 name ("AVG15", "MED5/fs"); nullptr when absent.
+  /// O(1): backed by a name→index map maintained by add().
   const Predictor* find(std::string_view name) const;
+
+  /// Input-order index of `name`; nullopt when absent.
+  std::optional<std::size_t> index_of(std::string_view name) const;
 
   /// Raw pointers in suite order, for the evaluator API.
   std::vector<const Predictor*> pointers() const;
@@ -48,6 +54,7 @@ class PredictorSuite {
 
  private:
   std::vector<std::shared_ptr<const Predictor>> predictors_;
+  std::unordered_map<std::string, std::size_t> index_;
 };
 
 }  // namespace wadp::predict

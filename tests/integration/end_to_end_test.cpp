@@ -43,7 +43,7 @@ TEST_F(PaperCampaignTest, HeadlineErrorBand) {
     const auto evaluation = evaluator.run(series(site), suite.pointers());
     for (std::size_t p = 0; p < suite.size(); ++p) {
       for (int cls = 1; cls < 4; ++cls) {
-        if (evaluation.errors(p, cls).count < 10) continue;
+        if (evaluation.errors(p, cls).count() < 10) continue;
         EXPECT_LT(evaluation.errors(p, cls).mean(), 40.0)
             << site << " " << evaluation.predictor_names()[p] << " class "
             << cls;

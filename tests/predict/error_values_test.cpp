@@ -18,10 +18,10 @@ TEST(ErrorValuesTest, MatchesAggregatedStats) {
   const auto result = Evaluator().run(series, {&lv});
 
   const auto values = error_values(result, 0);
-  ASSERT_EQ(values.size(), result.errors(0).count);
+  ASSERT_EQ(values.size(), result.errors(0).count());
   EXPECT_NEAR(*util::mean(values), result.errors(0).mean(), 1e-12);
-  EXPECT_DOUBLE_EQ(*util::max_value(values), result.errors(0).max);
-  EXPECT_DOUBLE_EQ(*util::min_value(values), result.errors(0).min);
+  EXPECT_DOUBLE_EQ(*util::max_value(values), result.errors(0).max());
+  EXPECT_DOUBLE_EQ(*util::min_value(values), result.errors(0).min());
 }
 
 TEST(ErrorValuesTest, ClassFilterMatchesPerClassStats) {
@@ -35,7 +35,7 @@ TEST(ErrorValuesTest, ClassFilterMatchesPerClassStats) {
   const auto result = Evaluator().run(series, {&avg});
   for (int cls = 0; cls < 4; ++cls) {
     const auto values = error_values(result, 0, cls);
-    EXPECT_EQ(values.size(), result.errors(0, cls).count) << cls;
+    EXPECT_EQ(values.size(), result.errors(0, cls).count()) << cls;
     if (!values.empty()) {
       EXPECT_NEAR(*util::mean(values), result.errors(0, cls).mean(), 1e-12);
     }

@@ -25,10 +25,10 @@ TEST(ErrorStatsTest, Accumulates) {
   ErrorStats s;
   s.add(10.0);
   s.add(30.0);
-  EXPECT_EQ(s.count, 2u);
+  EXPECT_EQ(s.count(), 2u);
   EXPECT_DOUBLE_EQ(s.mean(), 20.0);
-  EXPECT_DOUBLE_EQ(s.min, 10.0);
-  EXPECT_DOUBLE_EQ(s.max, 30.0);
+  EXPECT_DOUBLE_EQ(s.min(), 10.0);
+  EXPECT_DOUBLE_EQ(s.max(), 30.0);
   EXPECT_DOUBLE_EQ(s.stddev(), 10.0);
 }
 
@@ -67,7 +67,7 @@ TEST(EvaluatorTest, SeriesShorterThanTrainingEvaluatesNothing) {
   MeanPredictor avg("AVG", WindowSpec::all());
   const auto result = Evaluator().run(series, {&avg});
   EXPECT_EQ(result.evaluated_transfers(), 0u);
-  EXPECT_EQ(result.errors(0).count, 0u);
+  EXPECT_EQ(result.errors(0).count(), 0u);
 }
 
 TEST(EvaluatorTest, KnownErrorValue) {
@@ -77,7 +77,7 @@ TEST(EvaluatorTest, KnownErrorValue) {
   series.push_back({.time = 1600.0, .value = 5.0, .file_size = kMB});
   MeanPredictor avg("AVG", WindowSpec::all());
   const auto result = Evaluator().run(series, {&avg});
-  ASSERT_EQ(result.errors(0).count, 1u);
+  ASSERT_EQ(result.errors(0).count(), 1u);
   EXPECT_DOUBLE_EQ(result.errors(0).mean(), 20.0);
 }
 
@@ -96,9 +96,9 @@ TEST(EvaluatorTest, PerClassAggregation) {
   // Classified predictor is exact in both classes.
   EXPECT_DOUBLE_EQ(result.errors(0, 0).mean(), 0.0);
   EXPECT_DOUBLE_EQ(result.errors(0, 3).mean(), 0.0);
-  EXPECT_GT(result.errors(0, 0).count, 0u);
-  EXPECT_GT(result.errors(0, 3).count, 0u);
-  EXPECT_EQ(result.errors(0, 1).count, 0u);  // no 100MB-class transfers
+  EXPECT_GT(result.errors(0, 0).count(), 0u);
+  EXPECT_GT(result.errors(0, 3).count(), 0u);
+  EXPECT_EQ(result.errors(0, 1).count(), 0u);  // no 100MB-class transfers
   // Class counts add up.
   EXPECT_EQ(result.evaluated_transfers(0) + result.evaluated_transfers(3),
             result.evaluated_transfers());
@@ -146,7 +146,7 @@ TEST(EvaluatorTest, PredictorWithNoAnswerGetsNoOpportunities) {
   ArPredictor ar("AR", WindowSpec::last_duration(1.0));  // empty window
   const auto result = Evaluator().run(series, {&avg, &ar});
   EXPECT_EQ(result.relative(1).opportunities, 0u);
-  EXPECT_EQ(result.errors(1).count, 0u);
+  EXPECT_EQ(result.errors(1).count(), 0u);
   EXPECT_GT(result.relative(0).opportunities, 0u);
   (void)classified;
 }
@@ -173,7 +173,7 @@ TEST(EvaluatorTest, KeepSamplesOffLeavesEmpty) {
   config.keep_samples = false;
   const auto result = Evaluator(config).run(series, {&avg});
   EXPECT_TRUE(result.samples().empty());
-  EXPECT_GT(result.errors(0).count, 0u);  // aggregation still happens
+  EXPECT_GT(result.errors(0).count(), 0u);  // aggregation still happens
 }
 
 TEST(EvaluatorTest, IndexOfFindsNames) {

@@ -1,0 +1,343 @@
+// Streaming/batch equivalence: every incremental state must answer
+// exactly what its stateless counterpart computes over the accumulated
+// history prefix — on every prefix, for all thirty paper predictors.
+#include "predict/incremental.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+
+#include "core/prediction_service.hpp"
+#include "predict/evaluator.hpp"
+#include "predict/online.hpp"
+#include "predict/suite.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/time.hpp"
+
+namespace wadp::predict {
+namespace {
+
+std::vector<Observation> irregular_series(std::uint64_t seed, std::size_t n) {
+  util::Rng rng(seed);
+  const std::vector<Bytes> sizes = {1 * kMB,   10 * kMB,  100 * kMB,
+                                    500 * kMB, 1000 * kMB};
+  std::vector<Observation> out;
+  double t = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back({.time = t,
+                   .value = rng.uniform(2e6, 9e6),
+                   .file_size = sizes[static_cast<std::size_t>(
+                       rng.uniform_int(0, 4))]});
+    // Mix short gaps with multi-hour ones so the temporal windows
+    // (5hr..25hr, 5d/10d) actually evict during the walk.
+    t += rng.uniform(60.0, 4.0 * util::kSecondsPerHour);
+  }
+  return out;
+}
+
+std::vector<Observation> constant_series(std::size_t n, double value) {
+  std::vector<Observation> out;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back({.time = static_cast<double>(i) * 1800.0,
+                   .value = value,
+                   .file_size = (i % 2 == 0) ? 10 * kMB : 900 * kMB});
+  }
+  return out;
+}
+
+// Families whose streaming form is bit-identical to the batch path
+// (running/re-summed means, dual-multiset medians, last value); the
+// temporal means and AR fits are exact to a relative ~1e-12 instead.
+bool bit_identical_family(const std::string& name) {
+  return name.find("hr") == std::string::npos &&
+         name.find("AR") == std::string::npos;
+}
+
+TEST(StreamingSuiteTest, MirrorsPaperSuiteNameForName) {
+  const auto batch = PredictorSuite::paper_suite();
+  const auto streaming = StreamingSuite::paper_suite();
+  ASSERT_EQ(streaming.size(), batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    ASSERT_NE(streaming.predictor(i), nullptr) << i;
+    EXPECT_EQ(streaming.predictor(i)->name(), batch.predictors()[i]->name());
+    EXPECT_EQ(streaming.names()[i], batch.predictors()[i]->name());
+  }
+  EXPECT_NE(streaming.find("AVG15/fs"), nullptr);
+  EXPECT_EQ(streaming.find("NOPE"), nullptr);
+}
+
+TEST(StreamingSuiteTest, FromAdaptsEveryPaperMember) {
+  const auto batch = PredictorSuite::paper_suite();
+  const auto streaming = StreamingSuite::from(batch);
+  ASSERT_EQ(streaming.size(), batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_NE(streaming.predictor(i), nullptr)
+        << batch.predictors()[i]->name();
+  }
+}
+
+TEST(StreamingEquivalenceTest, EveryPrefixAllThirtyPredictors) {
+  const auto series = irregular_series(7, 150);
+  const auto suite = PredictorSuite::paper_suite();
+  for (const auto& predictor : suite.predictors()) {
+    auto state = make_streaming(*predictor);
+    ASSERT_NE(state, nullptr) << predictor->name();
+    for (std::size_t i = 0; i < series.size(); ++i) {
+      const Query query{.time = series[i].time,
+                        .file_size = series[i].file_size};
+      const auto batch = predictor->predict(
+          std::span<const Observation>(series).first(i), query);
+      const auto streamed = state->predict(query);
+      ASSERT_EQ(batch.has_value(), streamed.has_value())
+          << predictor->name() << " at prefix " << i;
+      if (batch) {
+        if (bit_identical_family(predictor->name())) {
+          EXPECT_DOUBLE_EQ(*batch, *streamed)
+              << predictor->name() << " at prefix " << i;
+        } else {
+          EXPECT_NEAR(*batch, *streamed,
+                      std::max(1e-9, 1e-9 * std::abs(*batch)))
+              << predictor->name() << " at prefix " << i;
+        }
+      }
+      state->observe(series[i]);
+    }
+  }
+}
+
+TEST(StreamingEquivalenceTest, ConstantSeriesIsExactForAllThirty) {
+  const auto series = constant_series(60, 5.0);
+  auto streaming = StreamingSuite::paper_suite();
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    if (i >= 3) {
+      const auto all = streaming.predict_all(
+          Query{.time = series[i].time, .file_size = series[i].file_size});
+      for (const auto& [name, value] : all) {
+        if (value) {
+          EXPECT_DOUBLE_EQ(*value, 5.0) << name;
+        }
+      }
+    }
+    streaming.observe(series[i]);
+  }
+}
+
+TEST(StreamingEquivalenceTest, UnsupportedPredictorIsNotAdapted) {
+  // A family make_streaming has no case for must yield nullptr, and a
+  // classified wrapper around it must not be half-adapted either.
+  class OpaquePredictor final : public Predictor {
+   public:
+    OpaquePredictor() : Predictor("OPAQUE") {}
+    std::optional<Bandwidth> predict(std::span<const Observation>,
+                                     const Query&) const override {
+      return std::nullopt;
+    }
+  };
+  const OpaquePredictor opaque;
+  EXPECT_EQ(make_streaming(opaque), nullptr);
+  const ClassifiedPredictor classified(std::make_shared<OpaquePredictor>(),
+                                       SizeClassifier::paper_classes());
+  EXPECT_EQ(make_streaming(classified), nullptr);
+}
+
+TEST(EvaluatorEngineTest, StreamingMatchesLegacyAggregates) {
+  const auto series = irregular_series(11, 140);
+  const auto suite = PredictorSuite::paper_suite();
+
+  EvalConfig legacy_config;
+  legacy_config.engine = EvalConfig::Engine::kLegacy;
+  EvalConfig streaming_config;
+  streaming_config.engine = EvalConfig::Engine::kStreaming;
+
+  const auto legacy = Evaluator(legacy_config).run(series, suite.pointers());
+  const auto streaming =
+      Evaluator(streaming_config).run(series, suite.pointers());
+
+  ASSERT_EQ(legacy.predictor_names(), streaming.predictor_names());
+  ASSERT_EQ(legacy.evaluated_transfers(), streaming.evaluated_transfers());
+  for (std::size_t p = 0; p < suite.size(); ++p) {
+    for (int cls = EvaluationResult::kAllClasses; cls < 4; ++cls) {
+      const auto& a = legacy.errors(p, cls);
+      const auto& b = streaming.errors(p, cls);
+      ASSERT_EQ(a.count(), b.count()) << p << "/" << cls;
+      EXPECT_NEAR(a.sum(), b.sum(), 1e-6);
+      EXPECT_NEAR(a.min(), b.min(), 1e-9);
+      EXPECT_NEAR(a.max(), b.max(), 1e-9);
+      EXPECT_NEAR(a.stddev(), b.stddev(), 1e-6);
+      const auto& ra = legacy.relative(p, cls);
+      const auto& rb = streaming.relative(p, cls);
+      EXPECT_EQ(ra.opportunities, rb.opportunities) << p << "/" << cls;
+      EXPECT_EQ(ra.best, rb.best) << p << "/" << cls;
+      EXPECT_EQ(ra.worst, rb.worst) << p << "/" << cls;
+    }
+  }
+}
+
+TEST(EvaluatorEngineTest, StreamingThreadedMatchesSinglePass) {
+  const auto series = irregular_series(13, 120);
+  const auto suite = PredictorSuite::paper_suite();
+
+  EvalConfig serial_config;
+  serial_config.threads = 1;
+  serial_config.keep_samples = true;
+  EvalConfig threaded_config;
+  threaded_config.threads = 4;
+  threaded_config.keep_samples = true;
+
+  const auto serial = Evaluator(serial_config).run(series, suite.pointers());
+  const auto threaded =
+      Evaluator(threaded_config).run(series, suite.pointers());
+
+  // Identical streaming replays -> bit-identical everything.
+  ASSERT_EQ(serial.samples().size(), threaded.samples().size());
+  for (std::size_t i = 0; i < serial.samples().size(); ++i) {
+    EXPECT_EQ(serial.samples()[i].predictions,
+              threaded.samples()[i].predictions);
+  }
+  for (std::size_t p = 0; p < suite.size(); ++p) {
+    EXPECT_EQ(serial.errors(p).count(), threaded.errors(p).count());
+    EXPECT_DOUBLE_EQ(serial.errors(p).sum(), threaded.errors(p).sum());
+  }
+}
+
+TEST(OnlineStreamingTest, HistoryPredictorMatchesStatelessReplay) {
+  const auto series = irregular_series(17, 80);
+  const auto suite = PredictorSuite::paper_suite();
+  for (const auto& base : suite.predictors()) {
+    HistoryPredictor online(base);
+    for (std::size_t i = 0; i < series.size(); ++i) {
+      const Query query{.time = series[i].time,
+                        .file_size = series[i].file_size};
+      const auto batch = base->predict(
+          std::span<const Observation>(series).first(i), query);
+      const auto streamed = online.predict(query);
+      ASSERT_EQ(batch.has_value(), streamed.has_value()) << base->name();
+      if (batch) {
+        EXPECT_NEAR(*batch, *streamed, std::max(1e-9, 1e-9 * std::abs(*batch)))
+            << base->name();
+      }
+      online.observe(series[i]);
+    }
+  }
+}
+
+TEST(OnlineStreamingTest, TimeTravellingQueryFallsBackToHistory) {
+  // A temporal window queried far in the future evicts old history; a
+  // later query *before* the eviction frontier must still be exact.
+  const auto series = irregular_series(19, 40);
+  const auto base = std::make_shared<MeanPredictor>(
+      "AVG5hr", WindowSpec::last_duration(5 * util::kSecondsPerHour));
+  HistoryPredictor online(base);
+  for (const auto& obs : series) online.observe(obs);
+
+  const double late = series.back().time + 30 * util::kSecondsPerHour;
+  (void)online.predict(Query{.time = late, .file_size = 10 * kMB});
+
+  const double early = series[series.size() / 2].time;
+  const Query back_query{.time = early, .file_size = 10 * kMB};
+  const auto expected = base->predict(series, back_query);
+  const auto actual = online.predict(back_query);
+  ASSERT_EQ(expected.has_value(), actual.has_value());
+  if (expected) {
+    EXPECT_DOUBLE_EQ(*expected, *actual);
+  }
+}
+
+TEST(OnlineStreamingTest, DynamicSelectorScoresViaStreams) {
+  const auto series = irregular_series(23, 60);
+  std::vector<std::shared_ptr<const Predictor>> candidates = {
+      std::make_shared<MeanPredictor>("AVG", WindowSpec::all()),
+      std::make_shared<LastValuePredictor>(),
+      std::make_shared<MedianPredictor>("MED15", WindowSpec::last_n(15)),
+  };
+  DynamicSelector streamed("sel", candidates);
+  // Reference selector: same candidates scored the stateless way.
+  std::vector<Observation> history;
+  std::vector<double> error_sum(candidates.size(), 0.0);
+  std::vector<std::size_t> error_count(candidates.size(), 0);
+  for (const auto& obs : series) {
+    const Query query{.time = obs.time, .file_size = obs.file_size};
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      if (const auto p = candidates[i]->predict(history, query)) {
+        error_sum[i] += util::percent_error(obs.value, *p);
+        ++error_count[i];
+      }
+    }
+    history.push_back(obs);
+    streamed.observe(obs);
+  }
+  const auto scores = streamed.scores();
+  ASSERT_EQ(scores.size(), candidates.size());
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    ASSERT_GT(error_count[i], 0u);
+    const double expected =
+        error_sum[i] / static_cast<double>(error_count[i]);
+    EXPECT_DOUBLE_EQ(scores[i].second, expected) << scores[i].first;
+  }
+}
+
+}  // namespace
+}  // namespace wadp::predict
+
+namespace wadp::core {
+namespace {
+
+gridftp::TransferRecord service_record(double end, double bw_mb, Bytes size) {
+  gridftp::TransferRecord r;
+  r.host = "dpsslx04.lbl.gov";
+  r.source_ip = "140.221.65.69";
+  r.file_name = "/v/f";
+  r.file_size = size;
+  r.volume = "/v";
+  const double duration = static_cast<double>(size) / (bw_mb * 1e6);
+  r.start_time = end - duration;
+  r.end_time = end;
+  r.op = gridftp::Operation::kRead;
+  r.streams = 8;
+  r.tcp_buffer = 1'000'000;
+  return r;
+}
+
+TEST(PredictionServiceStreamingTest, OutOfOrderIngestStaysConsistent) {
+  // The streaming battery is invalidated and replayed when a record
+  // lands mid-series, so answers always match the sorted history.
+  const SeriesKey key{.host = "dpsslx04.lbl.gov",
+                      .remote_ip = "140.221.65.69",
+                      .op = gridftp::Operation::kRead};
+  PredictionService ordered;
+  PredictionService interleaved;
+  std::vector<gridftp::TransferRecord> records;
+  for (int i = 0; i < 40; ++i) {
+    records.push_back(
+        service_record(100.0 + i * 500.0, 2.0 + (i % 7), 10 * kMB));
+  }
+  for (const auto& r : records) ordered.ingest(r);
+  // Query the interleaved service mid-stream so its battery is built,
+  // then force the out-of-order replay path.
+  for (int i = 0; i < 30; ++i) interleaved.ingest(records[static_cast<std::size_t>(i)]);
+  (void)interleaved.predict(key, 10 * kMB, 1e9);
+  for (int i = 39; i >= 30; --i) interleaved.ingest(records[static_cast<std::size_t>(i)]);
+
+  const double now = records.back().end_time + 60.0;
+  for (const auto& name : {"AVG15/fs", "AVG", "MED15", "AR"}) {
+    const auto a = ordered.predict(key, 10 * kMB, now, name);
+    const auto b = interleaved.predict(key, 10 * kMB, now, name);
+    ASSERT_EQ(a.has_value(), b.has_value()) << name;
+    if (a) {
+      EXPECT_DOUBLE_EQ(*a, *b) << name;
+    }
+  }
+  const auto all_a = ordered.predict_all(key, 10 * kMB, now);
+  const auto all_b = interleaved.predict_all(key, 10 * kMB, now);
+  ASSERT_EQ(all_a.size(), all_b.size());
+  for (std::size_t i = 0; i < all_a.size(); ++i) {
+    EXPECT_EQ(all_a[i].first, all_b[i].first);
+    ASSERT_EQ(all_a[i].second.has_value(), all_b[i].second.has_value())
+        << all_a[i].first;
+  }
+}
+
+}  // namespace
+}  // namespace wadp::core

@@ -47,10 +47,10 @@ TEST_P(ParallelEvalTest, BitIdenticalToSerial) {
     for (int cls = EvaluationResult::kAllClasses; cls < 4; ++cls) {
       const auto& a = serial.errors(p, cls);
       const auto& b = parallel.errors(p, cls);
-      EXPECT_EQ(a.count, b.count);
-      EXPECT_DOUBLE_EQ(a.sum, b.sum);
-      EXPECT_DOUBLE_EQ(a.min, b.min);
-      EXPECT_DOUBLE_EQ(a.max, b.max);
+      EXPECT_EQ(a.count(), b.count());
+      EXPECT_DOUBLE_EQ(a.sum(), b.sum());
+      EXPECT_DOUBLE_EQ(a.min(), b.min());
+      EXPECT_DOUBLE_EQ(a.max(), b.max());
       const auto& ra = serial.relative(p, cls);
       const auto& rb = parallel.relative(p, cls);
       EXPECT_EQ(ra.best, rb.best);
@@ -75,7 +75,7 @@ TEST(ParallelEvalTest, MoreThreadsThanPredictorsIsSafe) {
   EvalConfig config;
   config.threads = 16;
   const auto result = Evaluator(config).run(series, {&avg});
-  EXPECT_GT(result.errors(0).count, 0u);
+  EXPECT_GT(result.errors(0).count(), 0u);
 }
 
 }  // namespace

@@ -68,6 +68,42 @@ TEST(WindowSpecTest, TemporalWindowIrregularSamples) {
   EXPECT_EQ(by_time.size(), 2u);
 }
 
+TEST(WindowSpecTest, AllOnEmptyHistory) {
+  EXPECT_TRUE(WindowSpec::all().apply({}, 100.0).empty());
+}
+
+TEST(WindowSpecTest, TemporalWindowOnEmptyHistory) {
+  EXPECT_TRUE(WindowSpec::last_duration(60.0).apply({}, 100.0).empty());
+}
+
+TEST(WindowSpecTest, LastNExactlyHistorySize) {
+  const auto history = series_at_times({1, 2, 3});
+  const auto window = WindowSpec::last_n(3).apply(history, 100.0);
+  ASSERT_EQ(window.size(), 3u);
+  EXPECT_DOUBLE_EQ(window[0].time, 1.0);
+}
+
+TEST(WindowSpecTest, CutoffExactlyAtObservationTimeKeepsIt) {
+  const auto history = series_at_times({10, 20, 30});
+  // now - duration lands exactly on the oldest observation: kept.
+  const auto window = WindowSpec::last_duration(20.0).apply(history, 30.0);
+  ASSERT_EQ(window.size(), 3u);
+  EXPECT_DOUBLE_EQ(window[0].time, 10.0);
+}
+
+TEST(WindowSpecTest, CutoffBeyondNewestIsEmpty) {
+  const auto history = series_at_times({10, 20, 30});
+  // Cutoff just past the newest observation excludes everything.
+  EXPECT_TRUE(WindowSpec::last_duration(5.0).apply(history, 35.1).empty());
+}
+
+TEST(WindowSpecTest, QueryBeforeAllObservationsKeepsEverything) {
+  // A query earlier than the history start: cutoff is negative, so the
+  // whole (future, from the query's view) history stays in the window.
+  const auto history = series_at_times({10, 20, 30});
+  EXPECT_EQ(WindowSpec::last_duration(60.0).apply(history, 5.0).size(), 3u);
+}
+
 TEST(WindowSpecTest, DescribeNames) {
   EXPECT_EQ(WindowSpec::all().describe(), "all");
   EXPECT_EQ(WindowSpec::last_n(15).describe(), "last 15");

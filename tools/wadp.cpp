@@ -108,7 +108,7 @@ int cmd_analyze(const util::ArgParser& args) {
     }
     std::vector<std::pair<double, std::string>> ranking;
     for (std::size_t p = 0; p < evaluation->predictor_names().size(); ++p) {
-      if (evaluation->errors(p).count == 0) continue;
+      if (evaluation->errors(p).count() == 0) continue;
       ranking.emplace_back(evaluation->errors(p).mean(),
                            evaluation->predictor_names()[p]);
     }
