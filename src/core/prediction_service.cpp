@@ -1,11 +1,54 @@
 #include "core/prediction_service.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <cmath>
 
+#include "obs/events.hpp"
+#include "obs/trace.hpp"
 #include "predict/extended.hpp"
 #include "util/error.hpp"
 
 namespace wadp::core {
+namespace {
+
+std::uint64_t wall_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Announces one stateless-fallback query as a structured ULM event, so
+/// operators can see *which* predictor keeps missing its streaming
+/// state and why (silent before this existed).
+void emit_fallback_event(const SeriesKey& key, std::string_view predictor,
+                         const char* reason) {
+  util::UlmRecord record;
+  record.set("PREDICTOR", std::string(predictor));
+  record.set("SERIES", key.to_string());
+  record.set("REASON", reason);
+  obs::EventSink::global().emit("predict.fallback", "wadp.core",
+                                std::move(record));
+}
+
+#ifndef NDEBUG
+/// Debug-only invariant: the streaming battery answers exactly what the
+/// stateless battery would (within float noise).  Catches streaming
+/// states drifting out of sync with their reference predictors.
+void assert_streaming_agreement(std::optional<Bandwidth> streamed,
+                                std::optional<Bandwidth> stateless) {
+  WADP_CHECK_MSG(streamed.has_value() == stateless.has_value(),
+                 "streaming/stateless disagree on answerability");
+  if (!streamed) return;
+  const double tolerance =
+      1e-6 * std::max({std::abs(*streamed), std::abs(*stateless), 1.0});
+  WADP_CHECK_MSG(std::abs(*streamed - *stateless) <= tolerance,
+                 "streaming/stateless prediction mismatch");
+}
+#endif
+
+}  // namespace
 
 std::string SeriesKey::to_string() const {
   return host + "/" + remote_ip + "/" + gridftp::to_string(op);
@@ -18,6 +61,28 @@ PredictionService::PredictionService(ServiceConfig config)
                  : predict::PredictorSuite::paper_suite(config_.classifier)) {
   WADP_CHECK_MSG(suite_.find(config_.default_predictor) != nullptr,
                  "default predictor not in the battery");
+  auto& registry = obs::Registry::global();
+  metrics_.ingested = &registry.counter(
+      "wadp_ingest_records_total", {},
+      "Transfer records ingested into the prediction service");
+  metrics_.out_of_order = &registry.counter(
+      "wadp_ingest_out_of_order_total", {},
+      "Ingested records that arrived out of time order");
+  metrics_.queries =
+      &registry.counter("wadp_predict_queries_total", {},
+                        "Prediction queries answered by the service");
+  metrics_.fallback_no_stream = &registry.counter(
+      "wadp_predict_fallback_total", {{"reason", "no_stream"}},
+      "Queries answered by the stateless path instead of streaming state");
+  metrics_.fallback_time_travel = &registry.counter(
+      "wadp_predict_fallback_total", {{"reason", "time_travel"}},
+      "Queries answered by the stateless path instead of streaming state");
+  metrics_.replays = &registry.counter(
+      "wadp_battery_replays_total", {},
+      "Streaming-battery replays forced by out-of-order ingest");
+  metrics_.predict_latency =
+      &registry.histogram("wadp_predict_latency_seconds", {},
+                          "Wall-clock latency of predict()");
 }
 
 void PredictionService::ingest(const gridftp::TransferRecord& record) {
@@ -31,10 +96,12 @@ void PredictionService::ingest(const gridftp::TransferRecord& record) {
   // keep the series sorted by insertion at the right place.  Appends
   // leave the streaming battery valid (it catches up lazily); a
   // mid-series insert invalidates it, forcing a replay on next query.
+  metrics_.ingested->inc();
   if (series.empty() || series.back().time <= obs.time) {
     series.push_back(obs);
     return;
   }
+  metrics_.out_of_order->inc();
   const auto pos = std::upper_bound(
       series.begin(), series.end(), obs,
       [](const predict::Observation& a, const predict::Observation& b) {
@@ -45,11 +112,15 @@ void PredictionService::ingest(const gridftp::TransferRecord& record) {
 }
 
 void PredictionService::ingest_log(const gridftp::TransferLog& log) {
+  auto span = obs::Tracer::global().start("predict.ingest");
+  span.set_attr("RECORDS",
+                static_cast<std::int64_t>(log.records().size()));
   for (const auto& record : log.records()) ingest(record);
 }
 
 void PredictionService::catch_up(const SeriesState& state) const {
   if (state.dirty) {
+    metrics_.replays->inc();
     state.streams.clear();
     state.fed = 0;
     state.dirty = false;
@@ -70,46 +141,95 @@ void PredictionService::catch_up(const SeriesState& state) const {
 }
 
 std::optional<Bandwidth> PredictionService::predict_at(
-    const SeriesState& state, std::size_t index,
+    const SeriesKey& key, const SeriesState& state, std::size_t index,
     const predict::Query& query) const {
   const auto& stream = state.streams[index];
   if (stream && query.time >= stream->safe_query_time()) {
-    return stream->predict(query);
+    auto answer = stream->predict(query);
+#ifndef NDEBUG
+    assert_streaming_agreement(
+        answer, suite_.predictors()[index]->predict(state.observations, query));
+#endif
+    return answer;
   }
-  return suite_.predictors()[index]->predict(state.observations, query);
+  // Stateless fallback (was silent): count it and log a ULM event so
+  // the O(N) recomputations are visible in `wadp metrics`.
+  const auto& predictor = *suite_.predictors()[index];
+  const char* reason = stream ? "time_travel" : "no_stream";
+  (stream ? metrics_.fallback_time_travel : metrics_.fallback_no_stream)
+      ->inc();
+  emit_fallback_event(key, predictor.name(), reason);
+  return predictor.predict(state.observations, query);
 }
 
 std::optional<Bandwidth> PredictionService::predict(
     const SeriesKey& key, Bytes size, SimTime now,
     std::string_view predictor_name) const {
+  const std::uint64_t started = wall_ns();
+  metrics_.queries->inc();
+  auto span = obs::Tracer::global().start("predict.query");
+  span.set_attr("SERIES", key.to_string());
+
   const auto it = series_.find(key);
   if (it == series_.end() ||
       it->second.observations.size() < config_.training_count) {
+    span.set_attr("RESULT", "too_short");
     return std::nullopt;
   }
   const auto index = suite_.index_of(
       predictor_name.empty() ? config_.default_predictor : predictor_name);
-  if (!index) return std::nullopt;
-  catch_up(it->second);
-  return predict_at(it->second, *index,
-                    predict::Query{.time = now, .file_size = size});
+  if (!index) {
+    span.set_attr("RESULT", "unknown_predictor");
+    return std::nullopt;
+  }
+  span.set_attr("PREDICTOR", suite_.predictors()[*index]->name());
+  {
+    auto classify = span.child("predict.classify");
+    classify.set_attr(
+        "CLASS", static_cast<std::int64_t>(config_.classifier.classify(size)));
+  }
+  {
+    auto update = span.child("predict.battery_update");
+    update.set_attr("PENDING", static_cast<std::int64_t>(
+                                   it->second.observations.size() -
+                                   it->second.fed));
+    catch_up(it->second);
+  }
+  auto answer_span = span.child("predict.answer");
+  const auto answer = predict_at(
+      key, it->second, *index, predict::Query{.time = now, .file_size = size});
+  answer_span.end();
+  metrics_.predict_latency->record(
+      static_cast<double>(wall_ns() - started) * 1e-9);
+  return answer;
 }
 
 std::vector<std::pair<std::string, std::optional<Bandwidth>>>
 PredictionService::predict_all(const SeriesKey& key, Bytes size,
                                SimTime now) const {
+  const std::uint64_t started = wall_ns();
+  metrics_.queries->inc();
+  auto span = obs::Tracer::global().start("predict.query");
+  span.set_attr("SERIES", key.to_string());
+  span.set_attr("PREDICTOR", "*");
+
   std::vector<std::pair<std::string, std::optional<Bandwidth>>> out;
   out.reserve(suite_.size());
   const auto it = series_.find(key);
   const bool ready = it != series_.end() &&
                      it->second.observations.size() >= config_.training_count;
-  if (ready) catch_up(it->second);
+  if (ready) {
+    auto update = span.child("predict.battery_update");
+    catch_up(it->second);
+  }
   const predict::Query query{.time = now, .file_size = size};
   for (std::size_t i = 0; i < suite_.size(); ++i) {
     std::optional<Bandwidth> value;
-    if (ready) value = predict_at(it->second, i, query);
+    if (ready) value = predict_at(key, it->second, i, query);
     out.emplace_back(suite_.predictors()[i]->name(), value);
   }
+  metrics_.predict_latency->record(
+      static_cast<double>(wall_ns() - started) * 1e-9);
   return out;
 }
 

@@ -18,6 +18,7 @@
 
 #include "gridftp/log.hpp"
 #include "gridftp/record.hpp"
+#include "obs/metrics.hpp"
 #include "predict/evaluator.hpp"
 #include "predict/incremental.hpp"
 #include "predict/suite.hpp"
@@ -102,13 +103,27 @@ class PredictionService {
   /// ingest forces one full replay of that series.
   void catch_up(const SeriesState& state) const;
 
-  std::optional<Bandwidth> predict_at(const SeriesState& state,
+  std::optional<Bandwidth> predict_at(const SeriesKey& key,
+                                      const SeriesState& state,
                                       std::size_t index,
                                       const predict::Query& query) const;
+
+  /// Obs instruments, resolved once at construction; the ingest and
+  /// query hot paths then cost relaxed atomic adds.
+  struct Metrics {
+    obs::Counter* ingested = nullptr;
+    obs::Counter* out_of_order = nullptr;
+    obs::Counter* queries = nullptr;
+    obs::Counter* fallback_no_stream = nullptr;
+    obs::Counter* fallback_time_travel = nullptr;
+    obs::Counter* replays = nullptr;
+    obs::Histogram* predict_latency = nullptr;
+  };
 
   ServiceConfig config_;
   predict::PredictorSuite suite_;
   std::map<SeriesKey, SeriesState> series_;
+  Metrics metrics_;
 };
 
 }  // namespace wadp::core

@@ -1,10 +1,13 @@
 #include "gridftp/client.hpp"
 
 #include <memory>
+#include <tuple>
 #include <utility>
 #include <vector>
 
 #include "gridftp/protocol.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
 
@@ -92,6 +95,57 @@ class MarkerLoop : public std::enable_shared_from_this<MarkerLoop> {
   ProgressCallback on_marker_;
 };
 
+obs::Counter& outcome_counter(const char* result) {
+  return obs::Registry::global().counter(
+      "wadp_client_transfers_total", {{"result", result}},
+      "Client-driven transfer operations by outcome");
+}
+
+/// Records the transfer-lifecycle span tree (connect -> negotiate ->
+/// stream[i] -> fsync -> log) on the simulated timeline.  Phases are
+/// reconstructed at completion because they finish across scheduled
+/// callbacks; windows are simulated seconds mapped onto the tracer's
+/// nanosecond axis.  Returns the root span id so striped transfers can
+/// attach their per-stripe streams.
+obs::SpanId record_transfer_spans(
+    const std::string& op, const std::string& src_site,
+    const std::string& dst_site, Bytes bytes, int streams,
+    Duration control_overhead, SimTime timed_start, SimTime stream_start,
+    SimTime stream_end, Duration logging_overhead, bool write_side,
+    bool record_stream_child) {
+  auto& tracer = obs::Tracer::global();
+  const SimTime invoked = timed_start - control_overhead;
+  const obs::SpanId root =
+      tracer.record("transfer", 0, obs::sim_ns(invoked),
+                    obs::sim_ns(stream_end + logging_overhead),
+                    {{"OP", op},
+                     {"SRC", src_site},
+                     {"DST", dst_site},
+                     {"BYTES", std::to_string(bytes)},
+                     {"STREAMS", std::to_string(streams)}});
+  // control_overhead = control-channel setup RTTs + auth CPU; the CPU
+  // part is the negotiate phase.
+  const Duration auth = std::min(control_overhead, ProtocolCosts{}.auth_cpu);
+  tracer.record("connect", root, obs::sim_ns(invoked),
+                obs::sim_ns(timed_start - auth));
+  tracer.record("negotiate", root, obs::sim_ns(timed_start - auth),
+                obs::sim_ns(timed_start));
+  if (record_stream_child) {
+    tracer.record("stream", root, obs::sim_ns(stream_start),
+                  obs::sim_ns(stream_end),
+                  {{"BYTES", std::to_string(bytes)}});
+  }
+  if (write_side) {
+    // Storage flush is modeled inside the fluid flow window (the write
+    // port is a flow resource), so the fsync phase closes with it.
+    tracer.record("fsync", root, obs::sim_ns(stream_end),
+                  obs::sim_ns(stream_end), {{"MODEL", "inline-in-stream"}});
+  }
+  tracer.record("log", root, obs::sim_ns(stream_end),
+                obs::sim_ns(stream_end + logging_overhead));
+  return root;
+}
+
 }  // namespace
 
 GridFtpClient::GridFtpClient(sim::Simulator& sim, net::FluidEngine& engine,
@@ -117,6 +171,7 @@ Duration GridFtpClient::control_rtt(const std::string& server_site) const {
 
 void GridFtpClient::fail(TransferCallback& callback, std::string error,
                          Duration overhead) {
+  outcome_counter("fail").inc();
   if (!callback) return;
   TransferOutcome outcome;
   outcome.ok = false;
@@ -194,6 +249,13 @@ void execute_plan(sim::Simulator& sim, net::FluidEngine& engine,
         const Reply reply = session->complete_transfer(true);
         WADP_CHECK(reply.positive_completion());
       }
+
+      outcome_counter("ok").inc();
+      record_transfer_spans(
+          to_string(plan.primary_op), plan.src_site, plan.dst_site, plan.bytes,
+          options.streams, control_overhead, timed_start, stats.start,
+          stats.end, logging_overhead, plan.write_logger != nullptr,
+          /*record_stream_child=*/true);
 
       if (callback) {
         TransferOutcome outcome;
@@ -492,6 +554,8 @@ void GridFtpClient::striped_get(std::vector<GridFtpServer*> stripes,
       SimTime last_end = 0.0;
       TransferRecord first_record;
       bool failed = false;
+      /// Per-stripe flow windows, for the stream[i] trace spans.
+      std::vector<std::tuple<SimTime, SimTime, Bytes>> windows;
     };
     auto progress = std::make_shared<StripeProgress>();
     progress->remaining = sessions.size();
@@ -536,6 +600,7 @@ void GridFtpClient::striped_get(std::vector<GridFtpServer*> stripes,
               Operation::kRead, options.streams, options.buffer);
           (void)session->complete_transfer(true);
           progress->last_end = std::max(progress->last_end, stats.end);
+          progress->windows.emplace_back(stats.start, stats.end, slice);
           if (progress->first_record.host.empty()) {
             progress->first_record = record;
           }
@@ -543,6 +608,20 @@ void GridFtpClient::striped_get(std::vector<GridFtpServer*> stripes,
 
           // All stripes done: synthesize the whole-file outcome over
           // the full window.
+          outcome_counter("ok").inc();
+          const obs::SpanId root = record_transfer_spans(
+              to_string(Operation::kRead), stripe->site(), site_, size,
+              options.streams, overhead, timed_start, timed_start,
+              progress->last_end, stripe->config().logging_overhead,
+              /*write_side=*/false, /*record_stream_child=*/false);
+          for (std::size_t w = 0; w < progress->windows.size(); ++w) {
+            const auto& [flow_start, flow_end, bytes] = progress->windows[w];
+            obs::Tracer::global().record(
+                "stream", root, obs::sim_ns(flow_start),
+                obs::sim_ns(flow_end),
+                {{"STRIPE", std::to_string(w)},
+                 {"BYTES", std::to_string(bytes)}});
+          }
           TransferOutcome outcome;
           outcome.ok = true;
           outcome.control_overhead = overhead;

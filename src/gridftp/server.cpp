@@ -1,12 +1,34 @@
 #include "gridftp/server.hpp"
 
+#include "obs/metrics.hpp"
 #include "util/strings.hpp"
 
 namespace wadp::gridftp {
 
 GridFtpServer::GridFtpServer(ServerConfig config,
                              storage::StorageSystem& storage)
-    : config_(std::move(config)), storage_(storage), log_(config_.trim) {}
+    : config_(std::move(config)), storage_(storage), log_(config_.trim) {
+  // Site label only — host/IP/file stay out of the label set
+  // (cardinality rules in docs/OBSERVABILITY.md).
+  auto& registry = obs::Registry::global();
+  for (const Operation op : {Operation::kRead, Operation::kWrite}) {
+    const obs::Labels labels = {{"op", to_string(op)},
+                                {"site", config_.site}};
+    OpMetrics& metrics = metrics_[op == Operation::kRead ? 0 : 1];
+    metrics.transfers = &registry.counter(
+        "wadp_transfers_logged_total", labels,
+        "ULM transfer records appended by GridFTP servers");
+    metrics.bytes =
+        &registry.counter("wadp_transfer_bytes_total", labels,
+                          "Payload bytes moved by logged transfers");
+    metrics.bandwidth =
+        &registry.histogram("wadp_transfer_bandwidth_mbps", labels,
+                            "Measured per-transfer bandwidth (MB/s)");
+    metrics.duration =
+        &registry.histogram("wadp_transfer_duration_seconds", labels,
+                            "Timed-window duration of logged transfers");
+  }
+}
 
 std::string GridFtpServer::url() const {
   return util::format("gsiftp://%s:%d", config_.host.c_str(), config_.port);
@@ -30,6 +52,12 @@ TransferRecord GridFtpServer::record_transfer(const std::string& remote_ip,
   record.tcp_buffer = buffer;
   log_.append(record);
   ++transfers_logged_;
+
+  const OpMetrics& metrics = metrics_for(op);
+  metrics.transfers->inc();
+  metrics.bytes->inc(bytes_moved);
+  metrics.bandwidth->record(to_mb_per_sec(record.bandwidth()));
+  metrics.duration->record(end - start);
   return record;
 }
 

@@ -15,6 +15,7 @@
 #include "gridftp/fs.hpp"
 #include "gridftp/log.hpp"
 #include "gridftp/record.hpp"
+#include "obs/metrics.hpp"
 #include "storage/storage.hpp"
 #include "util/types.hpp"
 
@@ -66,12 +67,26 @@ class GridFtpServer {
   bool accepting() const { return accepting_; }
 
  private:
+  /// Obs instruments for one operation direction, resolved once at
+  /// construction so the logging hot path costs two atomic adds and two
+  /// histogram records (bench_logging_overhead guards this).
+  struct OpMetrics {
+    obs::Counter* transfers = nullptr;
+    obs::Counter* bytes = nullptr;
+    obs::Histogram* bandwidth = nullptr;
+    obs::Histogram* duration = nullptr;
+  };
+  const OpMetrics& metrics_for(Operation op) const {
+    return metrics_[op == Operation::kRead ? 0 : 1];
+  }
+
   ServerConfig config_;
   storage::StorageSystem& storage_;
   VirtualFs fs_;
   TransferLog log_;
   std::uint64_t transfers_logged_ = 0;
   bool accepting_ = true;
+  OpMetrics metrics_[2];  // [0]=read, [1]=write
 };
 
 }  // namespace wadp::gridftp

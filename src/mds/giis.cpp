@@ -2,10 +2,36 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 
 namespace wadp::mds {
 namespace {
+
+/// Process-wide GIIS instruments; soft-state registration churn is the
+/// interesting signal (Fig. 5's registration protocol).
+struct GiisMetrics {
+  obs::Counter& searches = obs::Registry::global().counter(
+      "wadp_mds_searches_total", {{"service", "giis"}},
+      "LDAP-style searches served by MDS services");
+  obs::Counter& registered = obs::Registry::global().counter(
+      "wadp_mds_registrations_total", {{"kind", "new"}},
+      "Soft-state registrations accepted by GIIS servers");
+  obs::Counter& renewed = obs::Registry::global().counter(
+      "wadp_mds_registrations_total", {{"kind", "renew"}},
+      "Soft-state registrations accepted by GIIS servers");
+  obs::Counter& deregistered = obs::Registry::global().counter(
+      "wadp_mds_deregistrations_total", {},
+      "Explicit deregistrations honored by GIIS servers");
+  obs::Counter& pruned = obs::Registry::global().counter(
+      "wadp_mds_registrations_pruned_total", {},
+      "Registrations that lapsed (TTL expired without renewal)");
+
+  static GiisMetrics& get() {
+    static GiisMetrics metrics;
+    return metrics;
+  }
+};
 
 /// RAII re-entrancy flag for the cycle guard.
 class InquiryScope {
@@ -30,11 +56,13 @@ void Giis::register_service(Registrant& service, SimTime now, Duration ttl) {
   for (auto& reg : registrations_) {
     if (reg.service == &service) {
       reg.expires = now + ttl;  // renewal refreshes the soft state
+      GiisMetrics::get().renewed.inc();
       return;
     }
   }
   registrations_.push_back(
       Registration{.service = &service, .expires = now + ttl});
+  GiisMetrics::get().registered.inc();
 }
 
 bool Giis::deregister(const Registrant& service) {
@@ -43,12 +71,15 @@ bool Giis::deregister(const Registrant& service) {
       [&service](const Registration& reg) { return reg.service == &service; });
   if (it == registrations_.end()) return false;
   registrations_.erase(it);
+  GiisMetrics::get().deregistered.inc();
   return true;
 }
 
 void Giis::prune(SimTime now) {
-  std::erase_if(registrations_,
-                [now](const Registration& reg) { return reg.expires <= now; });
+  const std::size_t lapsed = std::erase_if(
+      registrations_,
+      [now](const Registration& reg) { return reg.expires <= now; });
+  if (lapsed > 0) GiisMetrics::get().pruned.inc(lapsed);
 }
 
 std::size_t Giis::live_registrations(SimTime now) const {
@@ -60,6 +91,7 @@ std::size_t Giis::live_registrations(SimTime now) const {
 std::vector<Entry> Giis::search(SimTime now, const Filter& filter) {
   if (inquiring_) return {};  // registration cycle: stop here
   const InquiryScope scope(inquiring_);
+  GiisMetrics::get().searches.inc();
   prune(now);
   std::vector<Entry> merged;
   for (auto& reg : registrations_) {
@@ -74,6 +106,7 @@ std::vector<Entry> Giis::search(SimTime now, const Dn& base,
                                 Directory::Scope scope, const Filter& filter) {
   if (inquiring_) return {};
   const InquiryScope guard(inquiring_);
+  GiisMetrics::get().searches.inc();
   prune(now);
   std::vector<Entry> merged;
   for (auto& reg : registrations_) {

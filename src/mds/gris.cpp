@@ -1,8 +1,29 @@
 #include "mds/gris.hpp"
 
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 
 namespace wadp::mds {
+namespace {
+
+/// Process-wide GRIS instruments, resolved once.  Labeled by service
+/// kind only — GRIS names are unbounded (one per site per scenario), so
+/// they stay out of the label set per docs/OBSERVABILITY.md.
+struct GrisMetrics {
+  obs::Counter& searches = obs::Registry::global().counter(
+      "wadp_mds_searches_total", {{"service", "gris"}},
+      "LDAP-style searches served by MDS services");
+  obs::Counter& refreshes = obs::Registry::global().counter(
+      "wadp_mds_provider_refresh_total", {},
+      "Information-provider cache refreshes performed by GRIS servers");
+
+  static GrisMetrics& get() {
+    static GrisMetrics metrics;
+    return metrics;
+  }
+};
+
+}  // namespace
 
 Gris::Gris(std::string name, Dn suffix)
     : name_(std::move(name)), suffix_(std::move(suffix)) {}
@@ -32,11 +53,13 @@ void Gris::refresh_stale(SimTime now) {
     }
     reg.last_refresh = now;
     ++refresh_count_;
+    GrisMetrics::get().refreshes.inc();
   }
 }
 
 std::vector<Entry> Gris::search(SimTime now, const Dn& base,
                                 Directory::Scope scope, const Filter& filter) {
+  GrisMetrics::get().searches.inc();
   refresh_stale(now);
   return directory_.search(base, scope, filter);
 }

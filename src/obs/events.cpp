@@ -1,0 +1,49 @@
+#include "obs/events.hpp"
+
+namespace wadp::obs {
+
+void EventSink::emit(std::string event, std::string subsystem,
+                     util::UlmRecord record) {
+  // EVNT/PROG lead every line (ULM's required fields come first), so
+  // rebuild the record with them up front and the payload after.
+  util::UlmRecord out;
+  out.set("EVNT", std::move(event));
+  out.set("PROG", std::move(subsystem));
+  for (const auto& [key, value] : record.fields()) out.set(key, value);
+  const std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(out));
+  ++emitted_total_;
+  while (events_.size() > capacity_) events_.pop_front();
+}
+
+std::vector<util::UlmRecord> EventSink::events() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return {events_.begin(), events_.end()};
+}
+
+std::string EventSink::to_text() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& record : events_) {
+    out += record.to_line();
+    out += "\n";
+  }
+  return out;
+}
+
+std::uint64_t EventSink::emitted_total() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return emitted_total_;
+}
+
+void EventSink::clear() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+}
+
+EventSink& EventSink::global() {
+  static EventSink sink;
+  return sink;
+}
+
+}  // namespace wadp::obs

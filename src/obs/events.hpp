@@ -1,0 +1,51 @@
+// Structured event sink: ULM-format point events about the framework's
+// own behavior (fallbacks taken, replays forced, registrations lapsed).
+//
+// The paper logs transfers as ULM Keyword=Value lines; the framework
+// logs *itself* the same way, so one parser (util/ulm) reads both.
+// Every event carries EVNT (event name) and PROG (emitting subsystem),
+// mirroring the draft-abela-ulm-05 required fields the paper's records
+// use.  The sink is bounded: oldest events fall off first.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/ulm.hpp"
+
+namespace wadp::obs {
+
+class EventSink {
+ public:
+  explicit EventSink(std::size_t capacity = 8192) : capacity_(capacity) {}
+  EventSink(const EventSink&) = delete;
+  EventSink& operator=(const EventSink&) = delete;
+
+  /// Emits one event.  `event` becomes EVNT and `subsystem` PROG; extra
+  /// fields ride in `record` (which may be empty).
+  void emit(std::string event, std::string subsystem,
+            util::UlmRecord record = {});
+
+  /// Buffered events, oldest first.
+  std::vector<util::UlmRecord> events() const;
+
+  /// Buffered events serialized one per line.
+  std::string to_text() const;
+
+  std::uint64_t emitted_total() const;
+  void clear();
+
+  /// Process-wide sink the wired-in call sites use.
+  static EventSink& global();
+
+ private:
+  std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::deque<util::UlmRecord> events_;
+  std::uint64_t emitted_total_ = 0;
+};
+
+}  // namespace wadp::obs

@@ -1,0 +1,44 @@
+// Exporters: one Registry/Tracer snapshot, three wire formats.
+//
+//   * Prometheus text exposition (counters/gauges verbatim; histograms
+//     as summaries with p50/p90/p99 plus _sum/_count, and cumulative
+//     `_bucket{le=...}` lines for the non-empty log-linear buckets).
+//   * ULM Keyword=Value lines (metrics and spans as structured events,
+//     parseable by util/ulm like the paper's transfer logs).
+//   * JSON snapshot — the uniform body of the CI's BENCH_*.json
+//     artifacts and of `wadp metrics --json`.
+//
+// All three are deterministic for a given registry state: families are
+// name-sorted, instruments label-sorted (tests/obs keeps golden files).
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/error.hpp"
+
+namespace wadp::obs {
+
+/// Prometheus text exposition format (version 0.0.4).
+std::string to_prometheus(const Registry& registry);
+
+/// Every metric as one ULM line: EVNT=metric NAME=... VALUE=... (+ the
+/// instrument's labels as upper-cased keys).
+std::string metrics_to_ulm(const Registry& registry);
+
+/// Every finished span as one ULM line: EVNT=span NAME=... SPAN=...
+/// PARENT=... START.NS=... DUR.NS=... (+ span attributes).
+std::string spans_to_ulm(const Tracer& tracer);
+
+/// JSON object {"counters": {...}, "gauges": {...}, "histograms":
+/// {name: {count, sum, min, max, mean, p50, p90, p99}}}.
+std::string to_json(const Registry& registry);
+
+/// Wraps to_json() with bench provenance ({"bench": name, "metrics":
+/// ...}) and writes it to `path` — the uniform BENCH_*.json emitter.
+Expected<bool> write_bench_json(const std::string& path,
+                                const std::string& bench_name,
+                                const Registry& registry);
+
+}  // namespace wadp::obs

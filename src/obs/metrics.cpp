@@ -1,0 +1,210 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace wadp::obs {
+namespace {
+
+/// Canonical serialized form of a label set: sorted `k="v"` joined by
+/// commas.  Used both as the per-family ordering key and by exporters.
+std::string serialize_labels(const Labels& labels) {
+  std::string out;
+  for (const auto& [key, value] : labels) {
+    if (!out.empty()) out += ",";
+    out += key;
+    out += "=\"";
+    out += value;
+    out += "\"";
+  }
+  return out;
+}
+
+}  // namespace
+
+Histogram::Histogram() : buckets_(kBucketCount, 0) {}
+
+std::size_t Histogram::bucket_index(double value) {
+  if (!(value > 0.0) || !std::isfinite(value)) return 0;  // underflow slot
+  int exponent = 0;
+  const double mantissa = std::frexp(value, &exponent);  // in [0.5, 1)
+  // Normalize to frac in [1, 2) over octave e = exponent - 1.
+  const int octave = exponent - 1;
+  if (octave < kMinExponent) return 0;
+  if (octave >= kMaxExponent) return kBucketCount - 1;  // overflow slot
+  const double frac = mantissa * 2.0;                   // [1, 2)
+  auto sub = static_cast<std::size_t>((frac - 1.0) * kSubBuckets);
+  sub = std::min<std::size_t>(sub, kSubBuckets - 1);
+  return static_cast<std::size_t>(octave - kMinExponent) * kSubBuckets + sub +
+         1;
+}
+
+double Histogram::bucket_upper_bound(std::size_t index) {
+  if (index == 0) return 0.0;
+  if (index >= kBucketCount - 1) {
+    return std::numeric_limits<double>::infinity();
+  }
+  const std::size_t linear = index - 1;
+  const auto octave =
+      static_cast<int>(linear / kSubBuckets) + kMinExponent;
+  const auto sub = static_cast<double>(linear % kSubBuckets);
+  return std::ldexp(1.0 + (sub + 1.0) / kSubBuckets, octave);
+}
+
+void Histogram::record(double value) {
+  const std::size_t index = bucket_index(value);
+  const std::lock_guard<std::mutex> lock(mu_);
+  ++buckets_[index];
+  stats_.add(value);
+}
+
+std::size_t Histogram::count() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return stats_.count();
+}
+
+double Histogram::sum() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return stats_.sum();
+}
+
+double Histogram::min() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return stats_.count() ? stats_.min() : 0.0;
+}
+
+double Histogram::max() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return stats_.count() ? stats_.max() : 0.0;
+}
+
+double Histogram::mean() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return stats_.count() ? stats_.mean() : 0.0;
+}
+
+double Histogram::quantile(double q) const {
+  WADP_CHECK(q >= 0.0 && q <= 1.0);
+  const std::lock_guard<std::mutex> lock(mu_);
+  const std::size_t n = stats_.count();
+  if (n == 0) return 0.0;
+  // Rank of the target sample, 1-based, linear between extremes.
+  const double rank = 1.0 + q * static_cast<double>(n - 1);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) continue;
+    const auto below = static_cast<double>(seen);
+    seen += buckets_[i];
+    if (static_cast<double>(seen) + 1e-12 < rank) continue;
+    // Interpolate inside the landing bucket between its bounds,
+    // clamped to the observed min/max so tails stay honest.
+    const double lo = std::max(i == 0 ? 0.0 : bucket_upper_bound(i - 1),
+                               stats_.min());
+    const double hi = std::min(bucket_upper_bound(i), stats_.max());
+    if (!(hi > lo)) return hi;
+    const double within =
+        (rank - below) / static_cast<double>(buckets_[i]);
+    return lo + (hi - lo) * std::min(1.0, std::max(0.0, within));
+  }
+  return stats_.max();
+}
+
+std::vector<std::pair<double, std::uint64_t>> Histogram::cumulative_buckets()
+    const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<double, std::uint64_t>> out;
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) continue;
+    cumulative += buckets_[i];
+    out.emplace_back(bucket_upper_bound(i), cumulative);
+  }
+  return out;
+}
+
+Registry::Cell& Registry::resolve(std::string_view name, Labels labels,
+                                  std::string_view help, Kind kind) {
+  std::sort(labels.begin(), labels.end());
+  std::string label_key = serialize_labels(labels);
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto family_it = families_.find(name);
+  if (family_it == families_.end()) {
+    family_it = families_.emplace(std::string(name), FamilyCell{}).first;
+    family_it->second.kind = kind;
+  }
+  FamilyCell& family = family_it->second;
+  WADP_CHECK_MSG(family.kind == kind,
+                 "metric registered twice with different kinds");
+  if (family.help.empty() && !help.empty()) family.help = help;
+  for (const auto& cell : family.cells) {
+    if (cell->label_key == label_key) return *cell;
+  }
+  auto cell = std::make_unique<Cell>();
+  cell->labels = std::move(labels);
+  cell->label_key = std::move(label_key);
+  switch (kind) {
+    case Kind::kCounter:
+      cell->counter = std::make_unique<Counter>();
+      break;
+    case Kind::kGauge:
+      cell->gauge = std::make_unique<Gauge>();
+      break;
+    case Kind::kHistogram:
+      cell->histogram = std::make_unique<Histogram>();
+      break;
+  }
+  family.cells.push_back(std::move(cell));
+  return *family.cells.back();
+}
+
+Counter& Registry::counter(std::string_view name, Labels labels,
+                           std::string_view help) {
+  return *resolve(name, std::move(labels), help, Kind::kCounter).counter;
+}
+
+Gauge& Registry::gauge(std::string_view name, Labels labels,
+                       std::string_view help) {
+  return *resolve(name, std::move(labels), help, Kind::kGauge).gauge;
+}
+
+Histogram& Registry::histogram(std::string_view name, Labels labels,
+                               std::string_view help) {
+  return *resolve(name, std::move(labels), help, Kind::kHistogram).histogram;
+}
+
+std::vector<Registry::Family> Registry::families() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Family> out;
+  out.reserve(families_.size());
+  for (const auto& [name, family] : families_) {
+    Family exported;
+    exported.name = name;
+    exported.help = family.help;
+    exported.kind = family.kind;
+    std::vector<const Cell*> cells;
+    cells.reserve(family.cells.size());
+    for (const auto& cell : family.cells) cells.push_back(cell.get());
+    std::sort(cells.begin(), cells.end(), [](const Cell* a, const Cell* b) {
+      return a->label_key < b->label_key;
+    });
+    for (const Cell* cell : cells) {
+      exported.instruments.push_back(Instrument{.labels = cell->labels,
+                                                .counter = cell->counter.get(),
+                                                .gauge = cell->gauge.get(),
+                                                .histogram =
+                                                    cell->histogram.get()});
+    }
+    out.push_back(std::move(exported));
+  }
+  return out;
+}
+
+Registry& Registry::global() {
+  static Registry registry;
+  return registry;
+}
+
+}  // namespace wadp::obs

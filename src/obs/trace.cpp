@@ -1,0 +1,112 @@
+#include "obs/trace.hpp"
+
+#include <chrono>
+
+#include "util/strings.hpp"
+
+namespace wadp::obs {
+
+Span& Span::operator=(Span&& other) noexcept {
+  if (this != &other) {
+    end();
+    tracer_ = other.tracer_;
+    record_ = std::move(other.record_);
+    other.tracer_ = nullptr;
+  }
+  return *this;
+}
+
+void Span::set_attr(std::string key, std::string value) {
+  if (tracer_ == nullptr) return;
+  record_.attrs.emplace_back(std::move(key), std::move(value));
+}
+
+void Span::set_attr(std::string key, std::int64_t value) {
+  set_attr(std::move(key), std::to_string(value));
+}
+
+void Span::set_attr(std::string key, double value) {
+  set_attr(std::move(key), util::format("%.9g", value));
+}
+
+Span Span::child(std::string name) {
+  if (tracer_ == nullptr) return {};
+  return tracer_->start(std::move(name), record_.id);
+}
+
+void Span::end() {
+  if (tracer_ == nullptr) return;
+  record_.end_ns = tracer_->now_ns();
+  tracer_->finish(std::move(record_));
+  tracer_ = nullptr;
+}
+
+Tracer::Tracer(std::size_t capacity, Clock clock)
+    : capacity_(capacity), clock_(std::move(clock)) {}
+
+std::uint64_t Tracer::now_ns() const {
+  if (clock_) return clock_();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+SpanId Tracer::next_id() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return next_id_++;
+}
+
+Span Tracer::start(std::string name, SpanId parent) {
+  SpanRecord record;
+  record.id = next_id();
+  record.parent = parent;
+  record.name = std::move(name);
+  record.start_ns = now_ns();
+  return Span(this, std::move(record));
+}
+
+SpanId Tracer::record(
+    std::string name, SpanId parent, std::uint64_t start_ns,
+    std::uint64_t end_ns,
+    std::vector<std::pair<std::string, std::string>> attrs) {
+  SpanRecord span;
+  span.id = next_id();
+  span.parent = parent;
+  span.name = std::move(name);
+  span.start_ns = start_ns;
+  span.end_ns = end_ns;
+  span.attrs = std::move(attrs);
+  const SpanId id = span.id;
+  finish(std::move(span));
+  return id;
+}
+
+void Tracer::finish(SpanRecord record) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  finished_.push_back(std::move(record));
+  ++recorded_total_;
+  while (finished_.size() > capacity_) finished_.pop_front();
+}
+
+std::vector<SpanRecord> Tracer::finished() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return {finished_.begin(), finished_.end()};
+}
+
+std::uint64_t Tracer::recorded_total() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return recorded_total_;
+}
+
+void Tracer::clear() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  finished_.clear();
+}
+
+Tracer& Tracer::global() {
+  static Tracer tracer;
+  return tracer;
+}
+
+}  // namespace wadp::obs

@@ -1,0 +1,135 @@
+// Trace spans: named, parented intervals over the transfer lifecycle
+// (connect -> negotiate -> stream[i] -> fsync -> log) and the predict
+// path (ingest -> classify -> battery update -> query).
+//
+// Two recording styles share one Tracer:
+//
+//   * RAII `Span` objects stamp monotonic wall-clock timestamps
+//     (steady_clock ns, injectable for tests) — right for the predict
+//     path, where real latency is the quantity of interest.
+//   * `Tracer::record()` takes explicit start/end instants — right for
+//     the simulated transfer lifecycle, whose phases complete across
+//     scheduled callbacks and whose durations are *simulated* seconds.
+//
+// Finished spans land in a bounded ring (oldest evicted first), so a
+// long campaign keeps its most recent transfers inspectable via
+// `wadp trace` without unbounded growth.  The span taxonomy and
+// attribute conventions live in docs/OBSERVABILITY.md.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace wadp::obs {
+
+/// Identifies one span; 0 means "no span" (root parent).
+using SpanId = std::uint64_t;
+
+/// One finished span as stored by the Tracer.
+struct SpanRecord {
+  SpanId id = 0;
+  SpanId parent = 0;
+  std::string name;
+  std::uint64_t start_ns = 0;  ///< monotonic (or simulated ns for record())
+  std::uint64_t end_ns = 0;
+  std::vector<std::pair<std::string, std::string>> attrs;
+
+  std::uint64_t duration_ns() const { return end_ns - start_ns; }
+};
+
+class Tracer;
+
+/// Move-only RAII handle: finishing (destruction or end()) records the
+/// span.  Attributes accumulate while open.
+class Span {
+ public:
+  Span() = default;
+  Span(Span&& other) noexcept { *this = std::move(other); }
+  Span& operator=(Span&& other) noexcept;
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span() { end(); }
+
+  SpanId id() const { return record_.id; }
+  bool active() const { return tracer_ != nullptr; }
+
+  void set_attr(std::string key, std::string value);
+  void set_attr(std::string key, std::int64_t value);
+  void set_attr(std::string key, double value);
+
+  /// Opens a child span of this one.
+  Span child(std::string name);
+
+  /// Finishes and records the span; further calls are no-ops.
+  void end();
+
+ private:
+  friend class Tracer;
+  Span(Tracer* tracer, SpanRecord record)
+      : tracer_(tracer), record_(std::move(record)) {}
+
+  Tracer* tracer_ = nullptr;
+  SpanRecord record_;
+};
+
+class Tracer {
+ public:
+  using Clock = std::function<std::uint64_t()>;
+
+  /// `capacity` bounds the finished-span ring; `clock` overrides the
+  /// monotonic timestamp source (tests inject a fake).
+  explicit Tracer(std::size_t capacity = 4096, Clock clock = nullptr);
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Opens a span stamped with the tracer's clock.
+  Span start(std::string name, SpanId parent = 0);
+
+  /// Records a finished span with caller-supplied instants (the
+  /// simulated-lifecycle path).  Returns its id so callers can parent
+  /// subsequent phases.
+  SpanId record(std::string name, SpanId parent, std::uint64_t start_ns,
+                std::uint64_t end_ns,
+                std::vector<std::pair<std::string, std::string>> attrs = {});
+
+  /// Finished spans, oldest first (copy; the ring keeps rolling).
+  std::vector<SpanRecord> finished() const;
+
+  std::size_t capacity() const { return capacity_; }
+  /// Total spans ever finished (ring evictions included).
+  std::uint64_t recorded_total() const;
+
+  /// Drops every finished span (the CLI resets between demo phases).
+  void clear();
+
+  std::uint64_t now_ns() const;
+
+  /// Process-wide tracer the wired-in call sites use.
+  static Tracer& global();
+
+ private:
+  friend class Span;
+  void finish(SpanRecord record);
+  SpanId next_id();
+
+  std::size_t capacity_;
+  Clock clock_;
+  mutable std::mutex mu_;
+  std::deque<SpanRecord> finished_;
+  std::uint64_t recorded_total_ = 0;
+  std::uint64_t next_id_ = 1;  // guarded by mu_
+};
+
+/// Converts simulated seconds to the tracer's nanosecond timeline.
+constexpr std::uint64_t sim_ns(double sim_seconds) {
+  return sim_seconds <= 0.0
+             ? 0
+             : static_cast<std::uint64_t>(sim_seconds * 1e9);
+}
+
+}  // namespace wadp::obs

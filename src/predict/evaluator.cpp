@@ -7,16 +7,38 @@
 #include <memory>
 #include <thread>
 
+#include "obs/metrics.hpp"
 #include "predict/incremental.hpp"
 #include "util/error.hpp"
 #include "util/stats.hpp"
 
 namespace wadp::predict {
+namespace {
 
-void ErrorStats::add(double error) {
-  acc_.add(error);
-  sum_ += error;
-}
+/// Per-run aggregates only — nothing on the per-observation path, so
+/// the streaming-throughput bench stays within its budget.
+struct EvalMetrics {
+  obs::Counter& streaming_runs = obs::Registry::global().counter(
+      "wadp_eval_runs_total", {{"engine", "streaming"}},
+      "Evaluator runs by prediction engine");
+  obs::Counter& legacy_runs = obs::Registry::global().counter(
+      "wadp_eval_runs_total", {{"engine", "legacy"}},
+      "Evaluator runs by prediction engine");
+  obs::Counter& transfers = obs::Registry::global().counter(
+      "wadp_eval_transfers_total", {},
+      "Transfers scored across all evaluator runs");
+  obs::Counter& fallback_columns = obs::Registry::global().counter(
+      "wadp_eval_streaming_fallback_columns_total", {},
+      "Predictor columns that fell back to prefix recomputation because "
+      "no streaming form exists");
+
+  static EvalMetrics& get() {
+    static EvalMetrics metrics;
+    return metrics;
+  }
+};
+
+}  // namespace
 
 EvaluationResult::EvaluationResult(std::vector<std::string> predictor_names,
                                    int num_classes)
@@ -90,6 +112,12 @@ EvaluationResult Evaluator::run(
   const std::size_t count = predictors.size();
   const bool streaming = config_.engine == EvalConfig::Engine::kStreaming;
 
+  (streaming ? EvalMetrics::get().streaming_runs
+             : EvalMetrics::get().legacy_runs)
+      .inc();
+  EvalMetrics::get().transfers.inc(
+      series.size() > training ? series.size() - training : 0);
+
   // Ties within this relative tolerance share best/worst credit.
   constexpr double kTieEpsilon = 1e-9;
 
@@ -160,6 +188,9 @@ EvaluationResult Evaluator::run(
     std::vector<std::unique_ptr<StreamingPredictor>> states;
     states.reserve(count);
     for (const auto* p : predictors) states.push_back(make_streaming(*p));
+    for (const auto& state : states) {
+      if (!state) EvalMetrics::get().fallback_columns.inc();
+    }
     std::vector<std::optional<Bandwidth>> row(count);
     for (std::size_t i = 0; i < series.size(); ++i) {
       const Observation& actual = series[i];
@@ -199,6 +230,8 @@ EvaluationResult Evaluator::run(
         }
         return;
       }
+      // No streaming form: this column replays by prefix recomputation.
+      EvalMetrics::get().fallback_columns.inc();
     }
     for (std::size_t i = training; i < series.size(); ++i) {
       const Observation& actual = series[i];

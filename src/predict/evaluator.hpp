@@ -45,18 +45,17 @@ struct EvalConfig {
   Engine engine = Engine::kStreaming;
 };
 
-/// Streaming aggregate of percentage errors.  The mean keeps the exact
-/// running-sum definition (bit-identical to the historical
-/// aggregation); the spread comes from Welford updates
-/// (util::RunningStats) instead of the catastrophically cancelling
-/// sum_sq - mean² formula this class used to carry.
+/// Streaming aggregate of percentage errors: one util::RunningStats
+/// carries everything (exact running sum, Welford spread, min/max), so
+/// this class is a thin view.  The mean keeps the exact sum/count
+/// definition, bit-identical to the historical aggregation.
 class ErrorStats {
  public:
-  void add(double error);
+  void add(double error) { acc_.add(error); }
   std::size_t count() const { return acc_.count(); }
-  double sum() const { return sum_; }
+  double sum() const { return acc_.sum(); }
   double mean() const {
-    return count() ? sum_ / static_cast<double>(count()) : 0.0;
+    return count() ? sum() / static_cast<double>(count()) : 0.0;
   }
   double stddev() const { return acc_.stddev(); }
   double min() const { return acc_.min(); }
@@ -64,7 +63,6 @@ class ErrorStats {
 
  private:
   util::RunningStats acc_;
-  double sum_ = 0.0;
 };
 
 /// Best/worst tallies for the relative-performance figures.

@@ -1,12 +1,37 @@
 #include "sim/simulator.hpp"
 
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 
 namespace wadp::sim {
+namespace {
+
+/// Engine-wide counters (one process may run several Simulators; the
+/// totals aggregate across them, which is what capacity planning wants).
+/// Resolved once — the per-event cost is a relaxed atomic add.
+struct SimMetrics {
+  obs::Counter& scheduled = obs::Registry::global().counter(
+      "wadp_sim_events_scheduled_total", {},
+      "Events ever scheduled on any simulator");
+  obs::Counter& executed = obs::Registry::global().counter(
+      "wadp_sim_events_executed_total", {},
+      "Events executed by any simulator");
+  obs::Counter& cancelled = obs::Registry::global().counter(
+      "wadp_sim_events_cancelled_total", {},
+      "Events cancelled before firing");
+
+  static SimMetrics& get() {
+    static SimMetrics metrics;
+    return metrics;
+  }
+};
+
+}  // namespace
 
 EventId Simulator::schedule_at(SimTime when, Handler handler) {
   WADP_CHECK_MSG(when >= now_, "cannot schedule into the past");
   WADP_CHECK(handler != nullptr);
+  SimMetrics::get().scheduled.inc();
   const EventId id = next_id_++;
   queue_.push(Event{.when = when, .seq = next_seq_++, .id = id});
   handlers_.emplace(id, std::move(handler));
@@ -23,6 +48,7 @@ bool Simulator::cancel(EventId id) {
   if (it == handlers_.end()) return false;
   handlers_.erase(it);
   ++cancelled_pending_;
+  SimMetrics::get().cancelled.inc();
   return true;
 }
 
@@ -40,6 +66,7 @@ bool Simulator::fire_next() {
     // cancel events, invalidating iterators.
     Handler handler = std::move(it->second);
     handlers_.erase(it);
+    SimMetrics::get().executed.inc();
     handler();
     return true;
   }

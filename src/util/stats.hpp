@@ -52,11 +52,18 @@ std::optional<LinearFit> linear_fit(std::span<const double> xs,
 /// collapses to a = const, b = 0, which is returned explicitly.
 std::optional<LinearFit> ar1_fit(std::span<const double> series);
 
-/// One-pass accumulator for streaming mean/variance (Welford).
+/// One-pass accumulator for streaming moments (Welford) plus the exact
+/// running sum and min/max.  This is the single spread/extremes
+/// accumulator for the repo: predict::ErrorStats, the stats tables, and
+/// the obs histograms all delegate here instead of keeping their own.
 class RunningStats {
  public:
   void add(double x);
   std::size_t count() const { return n_; }
+  /// Exact left-to-right running sum (kept alongside the Welford mean
+  /// so aggregates that historically reported sum/count stay
+  /// bit-identical).
+  double sum() const { return sum_; }
   double mean() const { return mean_; }
   /// Population variance; 0 for fewer than 2 samples.
   double variance() const;
@@ -66,6 +73,7 @@ class RunningStats {
 
  private:
   std::size_t n_ = 0;
+  double sum_ = 0.0;
   double mean_ = 0.0;
   double m2_ = 0.0;
   double min_ = 0.0;

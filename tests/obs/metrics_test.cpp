@@ -1,0 +1,106 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace wadp::obs {
+namespace {
+
+TEST(RegistryTest, SameNameAndLabelsResolveToSameInstrument) {
+  Registry registry;
+  Counter& a = registry.counter("requests_total", {{"op", "read"}});
+  Counter& b = registry.counter("requests_total", {{"op", "read"}});
+  EXPECT_EQ(&a, &b);
+  a.inc(3);
+  EXPECT_EQ(b.value(), 3u);
+}
+
+TEST(RegistryTest, LabelOrderDoesNotSplitInstruments) {
+  Registry registry;
+  Counter& a =
+      registry.counter("t_total", {{"op", "read"}, {"site", "lbl"}});
+  Counter& b =
+      registry.counter("t_total", {{"site", "lbl"}, {"op", "read"}});
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(RegistryTest, DifferentLabelsSplitInstruments) {
+  Registry registry;
+  Counter& read = registry.counter("t_total", {{"op", "read"}});
+  Counter& write = registry.counter("t_total", {{"op", "write"}});
+  EXPECT_NE(&read, &write);
+  read.inc();
+  EXPECT_EQ(write.value(), 0u);
+}
+
+TEST(RegistryTest, KindMismatchAborts) {
+  Registry registry;
+  registry.counter("x_total");
+  EXPECT_DEATH(registry.gauge("x_total"), "WADP_CHECK");
+}
+
+TEST(RegistryTest, FamiliesAreNameSorted) {
+  Registry registry;
+  registry.counter("zz_total");
+  registry.gauge("aa_depth");
+  registry.histogram("mm_seconds");
+  const auto families = registry.families();
+  ASSERT_EQ(families.size(), 3u);
+  EXPECT_EQ(families[0].name, "aa_depth");
+  EXPECT_EQ(families[1].name, "mm_seconds");
+  EXPECT_EQ(families[2].name, "zz_total");
+}
+
+TEST(RegistryTest, HelpKeptFromFirstRegistration) {
+  Registry registry;
+  registry.counter("x_total", {}, "first help");
+  registry.counter("x_total", {}, "");
+  const auto families = registry.families();
+  ASSERT_EQ(families.size(), 1u);
+  EXPECT_EQ(families[0].help, "first help");
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  Gauge gauge;
+  gauge.set(4.0);
+  gauge.add(2.5);
+  EXPECT_DOUBLE_EQ(gauge.value(), 6.5);
+}
+
+TEST(RegistryConcurrencyTest, ThreadsHammeringOneHistogramReconcile) {
+  // The registry's concurrency contract: registration can race with
+  // recording, and every sample lands exactly once.
+  Registry registry;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> pool;
+  pool.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&registry, t] {
+      // Resolve inside the thread so registration itself races too.
+      Histogram& histogram = registry.histogram("latency_seconds");
+      Counter& counter = registry.counter("ops_total");
+      for (int i = 0; i < kPerThread; ++i) {
+        histogram.record(static_cast<double>(t * kPerThread + i + 1));
+        counter.inc();
+      }
+    });
+  }
+  for (auto& thread : pool) thread.join();
+
+  constexpr std::size_t kTotal =
+      static_cast<std::size_t>(kThreads) * kPerThread;
+  Histogram& histogram = registry.histogram("latency_seconds");
+  EXPECT_EQ(histogram.count(), kTotal);
+  EXPECT_DOUBLE_EQ(histogram.min(), 1.0);
+  EXPECT_DOUBLE_EQ(histogram.max(), static_cast<double>(kTotal));
+  // Sum of 1..kTotal is exact in double for these magnitudes.
+  EXPECT_DOUBLE_EQ(histogram.sum(),
+                   static_cast<double>(kTotal) * (kTotal + 1) / 2.0);
+  EXPECT_EQ(registry.counter("ops_total").value(), kTotal);
+}
+
+}  // namespace
+}  // namespace wadp::obs

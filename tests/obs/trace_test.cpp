@@ -1,0 +1,105 @@
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace wadp::obs {
+namespace {
+
+/// Tracer with an injected deterministic clock: each query advances
+/// time by 10 ns, so span geometry is exact.
+struct FakeClockTracer {
+  std::uint64_t now = 0;
+  Tracer tracer{16, [this] { return now += 10; }};
+};
+
+TEST(TraceTest, RaiiSpanRecordsOnDestruction) {
+  FakeClockTracer fake;
+  {
+    auto span = fake.tracer.start("connect");
+    span.set_attr("HOST", "lbl");
+  }
+  const auto spans = fake.tracer.finished();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].name, "connect");
+  EXPECT_EQ(spans[0].parent, 0u);
+  EXPECT_EQ(spans[0].start_ns, 10u);
+  EXPECT_EQ(spans[0].end_ns, 20u);
+  ASSERT_EQ(spans[0].attrs.size(), 1u);
+  EXPECT_EQ(spans[0].attrs[0].first, "HOST");
+  EXPECT_EQ(spans[0].attrs[0].second, "lbl");
+}
+
+TEST(TraceTest, EndIsIdempotent) {
+  FakeClockTracer fake;
+  auto span = fake.tracer.start("x");
+  span.end();
+  span.end();
+  EXPECT_FALSE(span.active());
+  EXPECT_EQ(fake.tracer.finished().size(), 1u);
+}
+
+TEST(TraceTest, ChildLinksToParentAndFinishesFirst) {
+  FakeClockTracer fake;
+  auto parent = fake.tracer.start("transfer");
+  const SpanId parent_id = parent.id();
+  {
+    auto child = parent.child("stream");
+    EXPECT_NE(child.id(), parent_id);
+  }
+  parent.end();
+
+  const auto spans = fake.tracer.finished();
+  ASSERT_EQ(spans.size(), 2u);
+  // Children finish before parents, so they land first in the ring.
+  EXPECT_EQ(spans[0].name, "stream");
+  EXPECT_EQ(spans[0].parent, parent_id);
+  EXPECT_EQ(spans[1].name, "transfer");
+  // Parent's window contains the child's.
+  EXPECT_LE(spans[1].start_ns, spans[0].start_ns);
+  EXPECT_GE(spans[1].end_ns, spans[0].end_ns);
+}
+
+TEST(TraceTest, ExplicitRecordKeepsCallerInstants) {
+  Tracer tracer(8);
+  const SpanId root = tracer.record("transfer", 0, sim_ns(100.0),
+                                    sim_ns(110.5), {{"OP", "read"}});
+  tracer.record("stream", root, sim_ns(101.0), sim_ns(110.0));
+  const auto spans = tracer.finished();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].start_ns, 100'000'000'000ull);
+  EXPECT_EQ(spans[0].duration_ns(), 10'500'000'000ull);
+  EXPECT_EQ(spans[1].parent, root);
+}
+
+TEST(TraceTest, MoveTransfersOwnership) {
+  FakeClockTracer fake;
+  auto a = fake.tracer.start("x");
+  Span b = std::move(a);
+  EXPECT_FALSE(a.active());  // NOLINT(bugprone-use-after-move): contract
+  EXPECT_TRUE(b.active());
+  b.end();
+  EXPECT_EQ(fake.tracer.finished().size(), 1u);
+}
+
+TEST(TraceTest, RingEvictsOldestButCountsAll) {
+  Tracer tracer(4);
+  for (int i = 0; i < 10; ++i) {
+    tracer.record("s" + std::to_string(i), 0, 0, 1);
+  }
+  const auto spans = tracer.finished();
+  ASSERT_EQ(spans.size(), 4u);
+  EXPECT_EQ(spans.front().name, "s6");
+  EXPECT_EQ(spans.back().name, "s9");
+  EXPECT_EQ(tracer.recorded_total(), 10u);
+}
+
+TEST(TraceTest, SimNsConversion) {
+  EXPECT_EQ(sim_ns(0.0), 0u);
+  EXPECT_EQ(sim_ns(-5.0), 0u);
+  EXPECT_EQ(sim_ns(1.5), 1'500'000'000ull);
+}
+
+}  // namespace
+}  // namespace wadp::obs

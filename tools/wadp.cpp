@@ -10,15 +10,25 @@
 //       print the MDS information-provider LDIF for a log
 //   wadp classes   LOG
 //       per-size-class measurement summary (Fig. 7 style)
+//   wadp metrics   [LOG] [--json|--ulm]
+//       drive the instrumented stack, dump the metrics registry
+//   wadp trace     [LOG] [--ulm] [--limit N]
+//       same drive, print the recorded span trees
 //
 // Every subcommand is deterministic given its inputs; simulated
 // campaigns never touch the network.
+#include <cstdint>
 #include <cstdio>
 #include <filesystem>
+#include <functional>
+#include <map>
 #include <string>
 #include <vector>
 
 #include "core/wadp.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/args.hpp"
 #include "util/stats.hpp"
 #include "util/strings.hpp"
@@ -39,7 +49,11 @@ int usage(const char* error = nullptr) {
                "[--extended]\n"
                "  wadp provider  LOG [--host HOST]\n"
                "  wadp classes   LOG\n"
-               "  wadp probe     [--seed N] [--days D] [--out FILE]\n");
+               "  wadp probe     [--seed N] [--days D] [--out FILE]\n"
+               "  wadp metrics   [LOG] [--campaign aug|dec] [--seed N] "
+               "[--days D] [--json|--ulm]\n"
+               "  wadp trace     [LOG] [--campaign aug|dec] [--seed N] "
+               "[--days D] [--ulm] [--limit N]\n");
   return error != nullptr ? 2 : 0;
 }
 
@@ -265,6 +279,102 @@ int cmd_probe(const util::ArgParser& args) {
   return 0;
 }
 
+/// Drives the instrumented stack so `metrics`/`trace` have live signal:
+/// with a LOG, ingest it; otherwise run a short simulated campaign
+/// (servers log transfers and the client records lifecycle spans), then
+/// ask every battery member one question per series so the predict path
+/// (ingest -> classify -> battery update -> query) fires too.
+int drive_instrumented(const util::ArgParser& args) {
+  core::PredictionService service;
+  if (args.positionals().size() > 1) {
+    auto log = load_log(args);
+    if (!log.ok()) {
+      std::fprintf(stderr, "%s\n", log.error().c_str());
+      return 1;
+    }
+    service.ingest_log(log.value());
+  } else {
+    const auto campaign = args.get_or("campaign", "aug") == "dec"
+                              ? workload::Campaign::kDecember2001
+                              : workload::Campaign::kAugust2001;
+    const auto seed =
+        static_cast<std::uint64_t>(args.get_int("seed").value_or(42));
+    workload::CampaignConfig config;
+    config.days = static_cast<int>(args.get_int("days").value_or(2));
+    const auto result = workload::run_paper_campaign(campaign, seed, config);
+    for (const char* site : {"lbl", "isi"}) {
+      service.ingest_log(result.testbed->server(site).log());
+    }
+  }
+  for (const auto& key : service.series_keys()) {
+    const auto* series = service.series(key);
+    if (series == nullptr || series->empty()) continue;
+    service.predict_all(key, 100 * 1000 * 1000, series->back().time + 1.0);
+  }
+  return 0;
+}
+
+int cmd_metrics(const util::ArgParser& args) {
+  if (const int rc = drive_instrumented(args); rc != 0) return rc;
+  const auto& registry = obs::Registry::global();
+  if (args.has("json")) {
+    std::printf("%s\n", obs::to_json(registry).c_str());
+  } else if (args.has("ulm")) {
+    std::printf("%s", obs::metrics_to_ulm(registry).c_str());
+  } else {
+    std::printf("%s", obs::to_prometheus(registry).c_str());
+  }
+  return 0;
+}
+
+int cmd_trace(const util::ArgParser& args) {
+  if (const int rc = drive_instrumented(args); rc != 0) return rc;
+  const auto& tracer = obs::Tracer::global();
+  if (args.has("ulm")) {
+    std::printf("%s", obs::spans_to_ulm(tracer).c_str());
+    return 0;
+  }
+
+  const auto spans = tracer.finished();
+  std::map<obs::SpanId, std::vector<std::size_t>> children;
+  std::map<obs::SpanId, std::size_t> by_id;
+  std::vector<std::size_t> roots;
+  for (std::size_t i = 0; i < spans.size(); ++i) by_id[spans[i].id] = i;
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    // A parent evicted from the ring orphans its children; show them as
+    // roots rather than dropping them.
+    if (spans[i].parent != 0 && by_id.count(spans[i].parent)) {
+      children[spans[i].parent].push_back(i);
+    } else {
+      roots.push_back(i);
+    }
+  }
+
+  const auto limit =
+      static_cast<std::size_t>(args.get_int("limit").value_or(10));
+  const std::size_t first = roots.size() > limit ? roots.size() - limit : 0;
+  const std::function<void(std::size_t, int)> print_tree =
+      [&](std::size_t index, int depth) {
+        const auto& span = spans[index];
+        std::string attrs;
+        for (const auto& [key, value] : span.attrs) {
+          attrs += util::format(" %s=%s", key.c_str(), value.c_str());
+        }
+        std::printf("%*s%s  %.3f ms%s\n", depth * 2, "", span.name.c_str(),
+                    static_cast<double>(span.duration_ns()) * 1e-6,
+                    attrs.c_str());
+        for (const std::size_t child : children[span.id]) {
+          print_tree(child, depth + 1);
+        }
+      };
+  std::printf("%zu spans recorded (%llu total); showing last %zu trees\n",
+              spans.size(),
+              static_cast<unsigned long long>(tracer.recorded_total()),
+              roots.size() - first);
+  for (std::size_t r = first; r < roots.size(); ++r) print_tree(roots[r], 0);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -273,10 +383,12 @@ int main(int argc, char** argv) {
 
   util::ArgParser args;
   for (const char* name : {"campaign", "seed", "days", "out", "training",
-                           "size", "predictor", "host"}) {
+                           "size", "predictor", "host", "limit"}) {
     args.add_option(name);
   }
   args.add_option("extended", /*is_boolean=*/true);
+  args.add_option("json", /*is_boolean=*/true);
+  args.add_option("ulm", /*is_boolean=*/true);
   const auto parsed = args.parse(raw);
   if (!parsed.ok()) return usage(parsed.error().c_str());
   if (args.positionals().empty()) return usage("missing subcommand");
@@ -288,6 +400,8 @@ int main(int argc, char** argv) {
   if (command == "provider") return cmd_provider(args);
   if (command == "classes") return cmd_classes(args);
   if (command == "probe") return cmd_probe(args);
+  if (command == "metrics") return cmd_metrics(args);
+  if (command == "trace") return cmd_trace(args);
   if (command == "help") return usage();
   return usage(("unknown subcommand: " + command).c_str());
 }
