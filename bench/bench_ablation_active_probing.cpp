@@ -49,7 +49,7 @@ WorldResult run_world(bool with_prober) {
   if (prober) prober->stop();
 
   WorldResult result;
-  result.all = workload::observations_from_records(
+  result.all = history::observations_from_records(
       testbed.server("lbl").log().records(),
       {.remote_ip = testbed.client("anl").ip()});
   for (const auto& o : result.all) {

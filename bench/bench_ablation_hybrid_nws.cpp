@@ -23,7 +23,7 @@ void run_link(const char* src) {
   testbed.sim().run_until(driver.end_time() + 3600.0);
   sensor.stop();
 
-  const auto series = workload::observations_from_records(
+  const auto series = history::observations_from_records(
       testbed.server(src).log().records(),
       {.remote_ip = testbed.client("anl").ip()});
 

@@ -37,7 +37,7 @@ void run_variant(const std::string& label, const net::LoadParams& load,
   driver.start();
   testbed.sim().run_until(driver.end_time() + 86400.0);
 
-  const auto series = workload::observations_from_records(
+  const auto series = history::observations_from_records(
       testbed.server("lbl").log().records(),
       {.remote_ip = testbed.client("anl").ip()});
   std::vector<double> values;

@@ -28,7 +28,7 @@ void run_policy(const char* name, gridftp::TrimConfig trim,
     r.tcp_buffer = 1'000'000;
     log.append(r);
   }
-  const auto series = workload::observations_from_records(log.records(), {});
+  const auto series = history::observations_from_records(log.records(), {});
 
   // Accuracy over the *last* 100 transfers of the campaign (so every
   // policy is scored on the same tail, with whatever history it kept).

@@ -35,7 +35,7 @@ void run() {
   util::RunningStats truth;
   const auto feed = [&](const char* server_site, const char* client_site,
                         bool hold_out) {
-    const auto series = workload::observations_from_records(
+    const auto series = history::observations_from_records(
         testbed.server(server_site).log().records(),
         {.remote_ip = testbed.client(client_site).ip()});
     util::RunningStats stats;

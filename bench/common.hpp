@@ -47,10 +47,10 @@ inline CampaignData run_campaign(workload::Campaign campaign,
   CampaignData data{
       .result = workload::run_paper_campaign(campaign, seed, config)};
   const auto anl_ip = data.result.testbed->client("anl").ip();
-  data.lbl = workload::observations_from_records(
+  data.lbl = history::observations_from_records(
       data.result.testbed->server("lbl").log().records(),
       {.remote_ip = anl_ip});
-  data.isi = workload::observations_from_records(
+  data.isi = history::observations_from_records(
       data.result.testbed->server("isi").log().records(),
       {.remote_ip = anl_ip});
   return data;

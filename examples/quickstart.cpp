@@ -38,17 +38,17 @@ int main() {
       .remote_ip = campaign.testbed->client("anl").ip(),
       .op = gridftp::Operation::kRead,
   };
-  const auto* series = service.series(key);
-  if (series == nullptr) {
+  const auto series = service.series(key);
+  if (!series) {
     std::printf("no series collected — nothing to predict\n");
     return 1;
   }
 
   util::RunningStats bw;
-  for (const auto& o : *series) bw.add(to_mb_per_sec(o.value));
+  for (const auto& o : series.observations()) bw.add(to_mb_per_sec(o.value));
   std::printf("series %s: %zu observations, bandwidth %.2f..%.2f MB/s "
               "(mean %.2f)\n\n",
-              key.to_string().c_str(), series->size(), bw.min(), bw.max(),
+              key.to_string().c_str(), series.size(), bw.min(), bw.max(),
               bw.mean());
 
   // --- 3. Predict and evaluate ---------------------------------------------

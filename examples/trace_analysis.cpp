@@ -50,11 +50,11 @@ int main(int argc, char** argv) {
   service.ingest_log(log);
 
   for (const auto& key : service.series_keys()) {
-    const auto* series = service.series(key);
+    const auto series = service.series(key);
     util::RunningStats bw;
-    for (const auto& o : *series) bw.add(to_mb_per_sec(o.value));
+    for (const auto& o : series.observations()) bw.add(to_mb_per_sec(o.value));
     std::printf("series %s: %zu observations, %.2f..%.2f MB/s (mean %.2f)\n",
-                key.to_string().c_str(), series->size(), bw.min(), bw.max(),
+                key.to_string().c_str(), series.size(), bw.min(), bw.max(),
                 bw.mean());
 
     const auto evaluation = service.evaluate(key);

@@ -14,6 +14,10 @@ InformationFabric::InformationFabric(workload::Testbed& testbed,
     provider_config.base = site_suffix(site).child(
         mds::Rdn{"hostname", server.config().host});
     provider_config.classifier = config_.classifier;
+    // Providers publish from the testbed's shared history plane:
+    // snapshot-isolated reads instead of re-filtering the raw log on
+    // every GRIS refresh.
+    provider_config.history = &testbed_.history();
     providers_.emplace(site, std::make_unique<mds::GridFtpInfoProvider>(
                                  server, provider_config));
     gris_.emplace(site, std::make_unique<mds::Gris>(site + "-gris",
@@ -28,6 +32,11 @@ InformationFabric::InformationFabric(workload::Testbed& testbed,
     // Per-site probe memory + provider...
     for (const auto& site : testbed_.sites()) {
       memories_.emplace(site, std::make_unique<nws::NwsMemory>());
+      // Probe series live in the same store as transfer series, keyed
+      // by the NWS host label (Section 7's combined information plane).
+      memories_.at(site)->bind_history(
+          &testbed_.history(),
+          "nws." + testbed_.server(site).config().host);
       nws::NwsProviderConfig provider_config;
       provider_config.base = site_suffix(site).child(
           mds::Rdn{"hostname", "nws." + testbed_.server(site).config().host});

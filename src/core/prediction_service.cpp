@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cmath>
 
+#include "history/adapter.hpp"
 #include "obs/events.hpp"
 #include "obs/trace.hpp"
 #include "predict/extended.hpp"
@@ -50,24 +51,24 @@ void assert_streaming_agreement(std::optional<Bandwidth> streamed,
 
 }  // namespace
 
-std::string SeriesKey::to_string() const {
-  return host + "/" + remote_ip + "/" + gridftp::to_string(op);
-}
-
 PredictionService::PredictionService(ServiceConfig config)
+    : PredictionService(std::make_shared<history::HistoryStore>(),
+                        std::move(config)) {}
+
+PredictionService::PredictionService(
+    std::shared_ptr<history::HistoryStore> store, ServiceConfig config)
     : config_(std::move(config)),
       suite_(config_.use_extended_battery
                  ? predict::extended_suite(config_.classifier)
-                 : predict::PredictorSuite::paper_suite(config_.classifier)) {
+                 : predict::PredictorSuite::paper_suite(config_.classifier)),
+      store_(std::move(store)) {
+  WADP_CHECK_MSG(store_ != nullptr, "prediction service needs a store");
   WADP_CHECK_MSG(suite_.find(config_.default_predictor) != nullptr,
                  "default predictor not in the battery");
   auto& registry = obs::Registry::global();
   metrics_.ingested = &registry.counter(
       "wadp_ingest_records_total", {},
-      "Transfer records ingested into the prediction service");
-  metrics_.out_of_order = &registry.counter(
-      "wadp_ingest_out_of_order_total", {},
-      "Ingested records that arrived out of time order");
+      "Transfer records ingested through the prediction service");
   metrics_.queries =
       &registry.counter("wadp_predict_queries_total", {},
                         "Prediction queries answered by the service");
@@ -79,36 +80,17 @@ PredictionService::PredictionService(ServiceConfig config)
       "Queries answered by the stateless path instead of streaming state");
   metrics_.replays = &registry.counter(
       "wadp_battery_replays_total", {},
-      "Streaming-battery replays forced by out-of-order ingest");
+      "Streaming-battery replays forced by prefix-invalidating ingest");
   metrics_.predict_latency =
       &registry.histogram("wadp_predict_latency_seconds", {},
                           "Wall-clock latency of predict()");
 }
 
 void PredictionService::ingest(const gridftp::TransferRecord& record) {
-  auto& state = series_[SeriesKey{
-      .host = record.host, .remote_ip = record.source_ip, .op = record.op}];
-  auto& series = state.observations;
-  predict::Observation obs{.time = record.end_time,
-                           .value = record.bandwidth(),
-                           .file_size = record.file_size};
-  // Logs from one server arrive ordered; merged logs may interleave, so
-  // keep the series sorted by insertion at the right place.  Appends
-  // leave the streaming battery valid (it catches up lazily); a
-  // mid-series insert invalidates it, forcing a replay on next query.
+  // Ordering (including out-of-order inserts) is the store's job now;
+  // the battery discovers prefix changes via the generation watermark.
   metrics_.ingested->inc();
-  if (series.empty() || series.back().time <= obs.time) {
-    series.push_back(obs);
-    return;
-  }
-  metrics_.out_of_order->inc();
-  const auto pos = std::upper_bound(
-      series.begin(), series.end(), obs,
-      [](const predict::Observation& a, const predict::Observation& b) {
-        return a.time < b.time;
-      });
-  series.insert(pos, obs);
-  state.dirty = true;
+  store_->append(record);
 }
 
 void PredictionService::ingest_log(const gridftp::TransferLog& log) {
@@ -118,12 +100,12 @@ void PredictionService::ingest_log(const gridftp::TransferLog& log) {
   for (const auto& record : log.records()) ingest(record);
 }
 
-void PredictionService::catch_up(const SeriesState& state) const {
-  if (state.dirty) {
+PredictionService::BatteryState& PredictionService::catch_up(
+    const SeriesKey& key, const history::SeriesSnapshot& snapshot) const {
+  BatteryState& state = battery_[key];
+  if (state.generation != snapshot.generation() && !state.streams.empty()) {
     metrics_.replays->inc();
     state.streams.clear();
-    state.fed = 0;
-    state.dirty = false;
   }
   if (state.streams.empty()) {
     state.streams.reserve(suite_.size());
@@ -131,24 +113,28 @@ void PredictionService::catch_up(const SeriesState& state) const {
       state.streams.push_back(predict::make_streaming(*predictor));
     }
     state.fed = 0;
+    state.generation = snapshot.generation();
   }
-  for (; state.fed < state.observations.size(); ++state.fed) {
-    const auto& obs = state.observations[state.fed];
+  const auto& series = snapshot.observations();
+  for (; state.fed < series.size(); ++state.fed) {
+    const auto& obs = series[state.fed];
     for (const auto& stream : state.streams) {
       if (stream) stream->observe(obs);
     }
   }
+  return state;
 }
 
 std::optional<Bandwidth> PredictionService::predict_at(
-    const SeriesKey& key, const SeriesState& state, std::size_t index,
+    const SeriesKey& key, const BatteryState& state,
+    const history::SeriesSnapshot& snapshot, std::size_t index,
     const predict::Query& query) const {
   const auto& stream = state.streams[index];
   if (stream && query.time >= stream->safe_query_time()) {
     auto answer = stream->predict(query);
 #ifndef NDEBUG
     assert_streaming_agreement(
-        answer, suite_.predictors()[index]->predict(state.observations, query));
+        answer, suite_.predictors()[index]->predict(snapshot.span(), query));
 #endif
     return answer;
   }
@@ -159,7 +145,7 @@ std::optional<Bandwidth> PredictionService::predict_at(
   (stream ? metrics_.fallback_time_travel : metrics_.fallback_no_stream)
       ->inc();
   emit_fallback_event(key, predictor.name(), reason);
-  return predictor.predict(state.observations, query);
+  return predictor.predict(snapshot.span(), query);
 }
 
 std::optional<Bandwidth> PredictionService::predict(
@@ -170,9 +156,8 @@ std::optional<Bandwidth> PredictionService::predict(
   auto span = obs::Tracer::global().start("predict.query");
   span.set_attr("SERIES", key.to_string());
 
-  const auto it = series_.find(key);
-  if (it == series_.end() ||
-      it->second.observations.size() < config_.training_count) {
+  const auto snapshot = store_->snapshot(key);
+  if (snapshot.size() < config_.training_count) {
     span.set_attr("RESULT", "too_short");
     return std::nullopt;
   }
@@ -188,17 +173,19 @@ std::optional<Bandwidth> PredictionService::predict(
     classify.set_attr(
         "CLASS", static_cast<std::int64_t>(config_.classifier.classify(size)));
   }
+  std::optional<Bandwidth> answer;
   {
-    auto update = span.child("predict.battery_update");
-    update.set_attr("PENDING", static_cast<std::int64_t>(
-                                   it->second.observations.size() -
-                                   it->second.fed));
-    catch_up(it->second);
+    std::lock_guard<std::mutex> lock(mu_);
+    {
+      auto update = span.child("predict.battery_update");
+      update.set_attr("EPOCH", static_cast<std::int64_t>(snapshot.epoch()));
+    }
+    const BatteryState& state = catch_up(key, snapshot);
+    auto answer_span = span.child("predict.answer");
+    answer = predict_at(key, state, snapshot, *index,
+                        predict::Query{.time = now, .file_size = size});
+    answer_span.end();
   }
-  auto answer_span = span.child("predict.answer");
-  const auto answer = predict_at(
-      key, it->second, *index, predict::Query{.time = now, .file_size = size});
-  answer_span.end();
   metrics_.predict_latency->record(
       static_cast<double>(wall_ns() - started) * 1e-9);
   return answer;
@@ -215,18 +202,22 @@ PredictionService::predict_all(const SeriesKey& key, Bytes size,
 
   std::vector<std::pair<std::string, std::optional<Bandwidth>>> out;
   out.reserve(suite_.size());
-  const auto it = series_.find(key);
-  const bool ready = it != series_.end() &&
-                     it->second.observations.size() >= config_.training_count;
-  if (ready) {
-    auto update = span.child("predict.battery_update");
-    catch_up(it->second);
-  }
+  const auto snapshot = store_->snapshot(key);
+  const bool ready = snapshot.size() >= config_.training_count;
   const predict::Query query{.time = now, .file_size = size};
-  for (std::size_t i = 0; i < suite_.size(); ++i) {
-    std::optional<Bandwidth> value;
-    if (ready) value = predict_at(key, it->second, i, query);
-    out.emplace_back(suite_.predictors()[i]->name(), value);
+  if (ready) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto update = span.child("predict.battery_update");
+    const BatteryState& state = catch_up(key, snapshot);
+    update.end();
+    for (std::size_t i = 0; i < suite_.size(); ++i) {
+      out.emplace_back(suite_.predictors()[i]->name(),
+                       predict_at(key, state, snapshot, i, query));
+    }
+  } else {
+    for (std::size_t i = 0; i < suite_.size(); ++i) {
+      out.emplace_back(suite_.predictors()[i]->name(), std::nullopt);
+    }
   }
   metrics_.predict_latency->record(
       static_cast<double>(wall_ns() - started) * 1e-9);
@@ -235,34 +226,25 @@ PredictionService::predict_all(const SeriesKey& key, Bytes size,
 
 std::optional<predict::EvaluationResult> PredictionService::evaluate(
     const SeriesKey& key) const {
-  const auto* series = this->series(key);
-  if (series == nullptr || series->size() <= config_.training_count) {
-    return std::nullopt;
-  }
+  const auto snapshot = store_->snapshot(key);
+  if (snapshot.size() <= config_.training_count) return std::nullopt;
   predict::EvalConfig eval_config;
   eval_config.training_count = config_.training_count;
   eval_config.classifier = config_.classifier;
   const predict::Evaluator evaluator(eval_config);
-  return evaluator.run(*series, suite_.pointers());
+  return evaluator.run(snapshot.span(), suite_.pointers());
 }
 
-const std::vector<predict::Observation>* PredictionService::series(
-    const SeriesKey& key) const {
-  const auto it = series_.find(key);
-  return it == series_.end() ? nullptr : &it->second.observations;
+history::SeriesSnapshot PredictionService::series(const SeriesKey& key) const {
+  return store_->snapshot(key);
 }
 
 std::vector<SeriesKey> PredictionService::series_keys() const {
-  std::vector<SeriesKey> out;
-  out.reserve(series_.size());
-  for (const auto& [key, state] : series_) out.push_back(key);
-  return out;
+  return store_->keys();
 }
 
 std::size_t PredictionService::total_observations() const {
-  std::size_t total = 0;
-  for (const auto& [key, state] : series_) total += state.observations.size();
-  return total;
+  return store_->total_observations();
 }
 
 }  // namespace wadp::core

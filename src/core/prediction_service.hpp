@@ -1,16 +1,24 @@
 // PredictionService: the predictive framework's front door.
 //
 // Ties the paper's three elements together behind one object: feed it
-// instrumented transfer records (element 1), and it maintains per-
-// (host, remote, direction) measurement series, answers prediction
+// instrumented transfer records (element 1), and it answers prediction
 // queries with any predictor from the Section 4 battery (element 2),
 // and exposes everything the information provider / broker need to
 // publish (element 3 lives in mds/ and replica/, both of which can be
 // driven from the same service).
+//
+// The service no longer owns any history.  All observations live in a
+// history::HistoryStore (owned by default, shareable with the rest of
+// the deployment via the shared_ptr constructor); the service keeps
+// only derived state — one lazily-maintained streaming battery per
+// series, keyed off store snapshots and their generation watermarks.
+// Ingest goes straight to the store and never takes the battery lock,
+// so queries on other threads never block a producer.
 #pragma once
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -18,6 +26,7 @@
 
 #include "gridftp/log.hpp"
 #include "gridftp/record.hpp"
+#include "history/store.hpp"
 #include "obs/metrics.hpp"
 #include "predict/evaluator.hpp"
 #include "predict/incremental.hpp"
@@ -37,32 +46,35 @@ struct ServiceConfig {
   bool use_extended_battery = false;
 };
 
-/// Identifies one measurement series: transfers served by `host` to/from
-/// `remote_ip` in direction `op`.
-struct SeriesKey {
-  std::string host;
-  std::string remote_ip;
-  gridftp::Operation op = gridftp::Operation::kRead;
-
-  std::string to_string() const;
-  auto operator<=>(const SeriesKey&) const = default;
-};
+/// The series key now lives with the history plane; core re-exports it
+/// for existing call sites.
+using SeriesKey = history::SeriesKey;
 
 class PredictionService {
  public:
   explicit PredictionService(ServiceConfig config = {});
 
-  /// Feeds one instrumented record.  Records may arrive from multiple
-  /// logs; each series is kept time-ordered internally.
+  /// Runs against an existing store (the testbed's, a server fleet's)
+  /// instead of a private one.  Records already in the store — and
+  /// records other producers append later — are predictable without
+  /// ever passing through ingest().
+  explicit PredictionService(std::shared_ptr<history::HistoryStore> store,
+                             ServiceConfig config = {});
+
+  /// Feeds one instrumented record into the history store.  Records
+  /// may arrive from multiple logs; each series is kept time-ordered
+  /// by the store.
   void ingest(const gridftp::TransferRecord& record);
 
-  /// Feeds every record of a server log.
+  /// Feeds every record of a server log.  (Don't call this for logs
+  /// already attached to a shared store — they are ingested already.)
   void ingest_log(const gridftp::TransferLog& log);
 
   /// Predicted bandwidth (bytes/s) for a `size`-byte transfer on the
   /// series at time `now`, using `predictor_name` (default predictor
   /// when empty).  nullopt when the series is shorter than the training
   /// count, the predictor is unknown, or it cannot produce a value.
+  /// Thread-safe; concurrent with ingest.
   std::optional<Bandwidth> predict(const SeriesKey& key, Bytes size,
                                    SimTime now,
                                    std::string_view predictor_name = "") const;
@@ -77,34 +89,40 @@ class PredictionService {
   /// when the series is too short to evaluate anything.
   std::optional<predict::EvaluationResult> evaluate(const SeriesKey& key) const;
 
-  const std::vector<predict::Observation>* series(const SeriesKey& key) const;
+  /// Snapshot of one series (valid()==false when unknown).
+  history::SeriesSnapshot series(const SeriesKey& key) const;
   std::vector<SeriesKey> series_keys() const;
   std::size_t total_observations() const;
+
+  history::HistoryStore& history() { return *store_; }
+  const history::HistoryStore& history() const { return *store_; }
+  const std::shared_ptr<history::HistoryStore>& history_ptr() const {
+    return store_;
+  }
 
   const predict::PredictorSuite& suite() const { return suite_; }
   const ServiceConfig& config() const { return config_; }
 
  private:
-  /// One measurement series plus its lazily-maintained streaming
-  /// battery (suite order).  Queries answer from the streams in
-  /// O(1)/O(log W) per predictor; the members below are mutable so a
-  /// const predict() can catch the battery up to the observations.
-  struct SeriesState {
-    std::vector<predict::Observation> observations;
-    /// Null slot = predictor has no streaming form (stateless fallback).
-    mutable std::vector<std::unique_ptr<predict::StreamingPredictor>> streams;
-    mutable std::size_t fed = 0;  ///< observations already absorbed
-    mutable bool dirty = false;   ///< out-of-order insert → replay needed
+  /// One series' lazily-maintained streaming battery (suite order).
+  /// Queries answer from the streams in O(1)/O(log W) per predictor.
+  /// `generation` is the store generation the streams were built
+  /// against: a mismatch (out-of-order insert or retention eviction
+  /// changed the absorbed prefix) forces one full replay.
+  struct BatteryState {
+    std::vector<std::unique_ptr<predict::StreamingPredictor>> streams;
+    std::size_t fed = 0;  ///< observations already absorbed
+    std::uint64_t generation = 0;
   };
 
-  /// Builds/replays/extends `state`'s streaming battery so every stream
-  /// has absorbed every stored observation.  Amortized O(1) per
-  /// (observation, predictor) on the append-only path; an out-of-order
-  /// ingest forces one full replay of that series.
-  void catch_up(const SeriesState& state) const;
+  /// Builds/replays/extends the battery for `key` so every stream has
+  /// absorbed every observation of `snapshot`.  Caller holds mu_.
+  BatteryState& catch_up(const SeriesKey& key,
+                         const history::SeriesSnapshot& snapshot) const;
 
   std::optional<Bandwidth> predict_at(const SeriesKey& key,
-                                      const SeriesState& state,
+                                      const BatteryState& state,
+                                      const history::SeriesSnapshot& snapshot,
                                       std::size_t index,
                                       const predict::Query& query) const;
 
@@ -112,7 +130,6 @@ class PredictionService {
   /// query hot paths then cost relaxed atomic adds.
   struct Metrics {
     obs::Counter* ingested = nullptr;
-    obs::Counter* out_of_order = nullptr;
     obs::Counter* queries = nullptr;
     obs::Counter* fallback_no_stream = nullptr;
     obs::Counter* fallback_time_travel = nullptr;
@@ -122,7 +139,12 @@ class PredictionService {
 
   ServiceConfig config_;
   predict::PredictorSuite suite_;
-  std::map<SeriesKey, SeriesState> series_;
+  std::shared_ptr<history::HistoryStore> store_;
+  /// Guards battery_ only.  Ingest does not take it; predict() holds it
+  /// while catching up and answering, so concurrent queries serialize
+  /// on the streaming state but raw snapshot readers never wait.
+  mutable std::mutex mu_;
+  mutable std::map<SeriesKey, BatteryState> battery_;
   Metrics metrics_;
 };
 

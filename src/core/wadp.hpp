@@ -14,6 +14,8 @@
 #include "gridftp/protocol.hpp"          // IWYU pragma: export
 #include "gridftp/record.hpp"            // IWYU pragma: export
 #include "gridftp/server.hpp"            // IWYU pragma: export
+#include "history/adapter.hpp"           // IWYU pragma: export
+#include "history/store.hpp"             // IWYU pragma: export
 #include "mds/giis.hpp"                  // IWYU pragma: export
 #include "mds/gridftp_provider.hpp"      // IWYU pragma: export
 #include "mds/gris.hpp"                  // IWYU pragma: export

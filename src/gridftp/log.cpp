@@ -3,12 +3,14 @@
 #include <fstream>
 #include <sstream>
 
+#include "obs/metrics.hpp"
 #include "util/ulm.hpp"
 
 namespace wadp::gridftp {
 
 void TransferLog::append(TransferRecord record) {
   if (line_sink_) line_sink_(record);
+  if (record_sink_) record_sink_(record);
   records_.push_back(std::move(record));
   apply_trim();
 }
@@ -75,6 +77,17 @@ void TransferLog::apply_trim() {
           archived_.insert(archived_.end(),
                            std::make_move_iterator(records_.begin()),
                            std::make_move_iterator(records_.end()));
+          if (trim_.max_archived > 0 && archived_.size() > trim_.max_archived) {
+            const std::size_t drop = archived_.size() - trim_.max_archived;
+            archived_.erase(
+                archived_.begin(),
+                archived_.begin() + static_cast<std::ptrdiff_t>(drop));
+            archived_evicted_ += drop;
+            static obs::Counter& evicted = obs::Registry::global().counter(
+                "wadp_log_archived_evicted_total", {},
+                "Archived transfer records evicted by the retention cap");
+            evicted.inc(drop);
+          }
         }
         records_.clear();
       }

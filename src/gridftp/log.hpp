@@ -9,6 +9,7 @@
 //     whole body is flushed to an archive and logging restarts empty.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <span>
@@ -31,6 +32,13 @@ struct TrimConfig {
   TrimPolicy policy = TrimPolicy::kUnbounded;
   std::size_t max_entries = 10'000;
   Duration max_age = kNeverTime;  ///< running-window age bound (seconds)
+  /// Retention cap on archived() under kFlushRestart: oldest archived
+  /// entries beyond this many are evicted (counted in
+  /// wadp_log_archived_evicted_total).  0 = unbounded — but a busy
+  /// site archiving forever is exactly the growth the paper warns
+  /// about, so long-running deployments should bound it (or install a
+  /// flush sink, which bypasses archived() entirely).
+  std::size_t max_archived = 0;
 };
 
 class TransferLog {
@@ -64,6 +72,15 @@ class TransferLog {
   /// Convenience flush sink: append flushed batches as ULM to a file.
   Expected<bool> flush_to_file(const std::string& path);
 
+  /// Mirrors every appended record to `sink` (before trimming), the
+  /// hook history::HistoryStore::attach uses to make this log a view
+  /// over the shared history plane.  Empty function disconnects.
+  using RecordSink = std::function<void(const TransferRecord&)>;
+  void set_record_sink(RecordSink sink) { record_sink_ = std::move(sink); }
+
+  /// Archived entries evicted by TrimConfig::max_archived so far.
+  std::uint64_t archived_evicted() const { return archived_evicted_; }
+
   std::size_t size() const { return records_.size(); }
   bool empty() const { return records_.empty(); }
   const TrimConfig& trim_config() const { return trim_; }
@@ -89,7 +106,9 @@ class TransferLog {
   TrimConfig trim_;
   std::vector<TransferRecord> records_;
   std::vector<TransferRecord> archived_;
+  std::uint64_t archived_evicted_ = 0;
   std::function<void(const TransferRecord&)> line_sink_;
+  RecordSink record_sink_;
   FlushSink flush_sink_;
   std::shared_ptr<void> stream_handle_;  // keeps the stream alive, type-erased
 };

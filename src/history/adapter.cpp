@@ -1,0 +1,33 @@
+#include "history/adapter.hpp"
+
+namespace wadp::history {
+
+SeriesKey series_key_for(const gridftp::TransferRecord& record) {
+  return SeriesKey{
+      .host = record.host, .remote_ip = record.source_ip, .op = record.op};
+}
+
+predict::Observation to_observation(const gridftp::TransferRecord& record) {
+  return predict::Observation{.time = record.end_time,
+                              .value = record.bandwidth(),
+                              .file_size = record.file_size};
+}
+
+bool SeriesFilter::matches(const gridftp::TransferRecord& record) const {
+  if (!remote_ip.empty() && record.source_ip != remote_ip) return false;
+  if (op && record.op != *op) return false;
+  return true;
+}
+
+std::vector<predict::Observation> observations_from_records(
+    std::span<const gridftp::TransferRecord> records,
+    const SeriesFilter& filter) {
+  std::vector<predict::Observation> out;
+  out.reserve(records.size());
+  for (const auto& record : records) {
+    if (filter.matches(record)) out.push_back(to_observation(record));
+  }
+  return out;
+}
+
+}  // namespace wadp::history

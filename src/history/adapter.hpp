@@ -1,0 +1,47 @@
+// The one record→observation conversion path.
+//
+// Three copies of this logic used to exist (workload/trace.cpp, the
+// prediction service's ingest, the MDS provider's grouping pass); they
+// are deduplicated here so every layer derives identical observations
+// — same timestamp convention (completion time), same bandwidth
+// formula — from the same TransferRecord.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "gridftp/record.hpp"
+#include "history/store.hpp"
+#include "predict/observation.hpp"
+
+namespace wadp::history {
+
+/// The series a record belongs to: (serving host, remote endpoint,
+/// direction) — the store's shard key.
+SeriesKey series_key_for(const gridftp::TransferRecord& record);
+
+/// Reduces a record to what prediction needs: when it finished, how
+/// fast it went, how large the file was.
+predict::Observation to_observation(const gridftp::TransferRecord& record);
+
+/// Record filter for ad-hoc extraction from raw logs (benches, CLI).
+struct SeriesFilter {
+  /// Keep only records whose remote endpoint matches (empty = all).
+  std::string remote_ip;
+  /// Keep only this direction (nullopt = both).
+  std::optional<gridftp::Operation> op = gridftp::Operation::kRead;
+
+  bool matches(const gridftp::TransferRecord& record) const;
+};
+
+/// Extracts a time-ordered observation series from log records.
+/// Records are assumed log-ordered (monotone end times, which the
+/// instrumented server guarantees); feed a HistoryStore instead when
+/// ordering is not guaranteed.
+std::vector<predict::Observation> observations_from_records(
+    std::span<const gridftp::TransferRecord> records,
+    const SeriesFilter& filter = {});
+
+}  // namespace wadp::history

@@ -1,0 +1,243 @@
+// HistoryStore: the single source of truth for transfer history.
+//
+// The paper's pipeline is "log every transfer, predict from the
+// history, publish via MDS" — and before this module existed each
+// layer kept its own private copy of that history (the server's
+// TransferLog, the prediction service's per-series vectors, the online
+// adapters' fallback buffers, ad-hoc record→observation conversions in
+// providers).  The HistoryStore consolidates all of it:
+//
+//   * ownership — every derived observation series lives here, keyed
+//     by SeriesKey (host, remote endpoint, direction).  Producers
+//     (GridFTP servers, log replays, NWS probe mirrors) append through
+//     the store; consumers (prediction service, MDS providers, replica
+//     broker, benches, the CLI) read snapshots.
+//   * sharding — series are hash-distributed over N independently
+//     locked shards, so concurrent ingest from many servers scales
+//     with the shard count instead of serializing on one mutex.
+//   * snapshot isolation — readers get an immutable, time-ordered view
+//     of one series as a shared_ptr to the series' current epoch.
+//     Appends mutate in place only while no snapshot is outstanding;
+//     otherwise they copy-on-write a fresh epoch, so a held snapshot
+//     never changes underneath its reader and ingest never blocks on
+//     readers.
+//   * ordering — out-of-order appends (merged logs interleave) are
+//     inserted at the right position and bump the series *generation*,
+//     the signal streaming-predictor caches use to know their prefix
+//     replay is invalid (see core/prediction_service).
+//
+// Concurrency contract: every public member is safe to call from any
+// thread.  A SeriesSnapshot is immutable and freely shareable; holding
+// one only costs the store a copy on the next append to that series.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "gridftp/log.hpp"
+#include "gridftp/record.hpp"
+#include "obs/metrics.hpp"
+#include "predict/observation.hpp"
+#include "util/types.hpp"
+
+namespace wadp::history {
+
+/// Identifies one measurement series: transfers served by `host` to or
+/// from `remote_ip` in direction `op`.  (Moved here from core/ — the
+/// key now names a store shard, not a service-private map slot.)
+struct SeriesKey {
+  std::string host;
+  std::string remote_ip;
+  gridftp::Operation op = gridftp::Operation::kRead;
+
+  std::string to_string() const;
+  auto operator<=>(const SeriesKey&) const = default;
+};
+
+/// Stable hash used for shard routing (FNV-1a over the key fields).
+std::size_t hash_of(const SeriesKey& key);
+
+/// Immutable view of one series at one epoch.  Copying is a shared_ptr
+/// copy; the observations vector is frozen for the snapshot's lifetime.
+///
+/// Each live snapshot holds a *lease* on its epoch: an explicit atomic
+/// reader count the store consults before mutating in place.  The
+/// count is incremented under the shard lock when the snapshot is
+/// taken (and on copy, when the count is already provably non-zero)
+/// and released with release ordering on destruction, which pairs with
+/// the store's acquire load — so a writer that observes zero leases is
+/// ordered after every read the departed snapshots performed.  (A bare
+/// shared_ptr::use_count() cannot carry that ordering: it is a relaxed
+/// load, and acting on it races with the last reader's final reads.)
+class SeriesSnapshot {
+ public:
+  SeriesSnapshot() = default;
+  SeriesSnapshot(const SeriesSnapshot& other);
+  SeriesSnapshot& operator=(const SeriesSnapshot& other);
+  /// Moves transfer the lease: the source is left !valid().
+  SeriesSnapshot(SeriesSnapshot&& other) noexcept = default;
+  SeriesSnapshot& operator=(SeriesSnapshot&& other) noexcept;
+  ~SeriesSnapshot();
+
+  /// False when the key was unknown at snapshot time.
+  bool valid() const { return data_ != nullptr; }
+  explicit operator bool() const { return valid(); }
+
+  /// Time-ordered observations (empty vector when !valid()).
+  const std::vector<predict::Observation>& observations() const;
+  std::span<const predict::Observation> span() const { return observations(); }
+  std::size_t size() const { return observations().size(); }
+  bool empty() const { return observations().empty(); }
+  const predict::Observation& back() const { return observations().back(); }
+
+  /// Mutation count of the series when the snapshot was taken
+  /// (monotone per series; every append/insert/eviction bumps it).
+  std::uint64_t epoch() const { return epoch_; }
+  /// Prefix-invalidation count: bumped only by out-of-order inserts and
+  /// retention evictions.  A streaming-state cache fed `fed`
+  /// observations of generation G may extend with observations [fed,
+  /// size) iff the snapshot's generation is still G; otherwise the
+  /// prefix it absorbed changed and it must replay.
+  std::uint64_t generation() const { return generation_; }
+  /// Observations this series has lost to the retention cap so far.
+  std::uint64_t evicted() const { return evicted_; }
+
+ private:
+  friend class HistoryStore;
+  void drop_lease();
+
+  std::shared_ptr<const std::vector<predict::Observation>> data_;
+  /// Reader count of the epoch `data_` belongs to; non-null iff this
+  /// snapshot holds one lease on it.
+  std::shared_ptr<std::atomic<std::int64_t>> lease_;
+  std::uint64_t epoch_ = 0;
+  std::uint64_t generation_ = 0;
+  std::uint64_t evicted_ = 0;
+};
+
+struct StoreConfig {
+  /// Shard count, rounded up to a power of two and clamped to [1, 64].
+  std::size_t shard_count = 16;
+  /// Per-series retention cap: oldest observations are evicted once a
+  /// series exceeds this many.  0 = unbounded (the default; campaigns
+  /// are finite).  Evictions count toward wadp_history_evicted_total
+  /// and bump the series generation.
+  std::size_t max_observations_per_series = 0;
+  /// Register obs/ metrics.  Ephemeral stores (a provider rebuilding a
+  /// view from a raw log) switch this off so they don't pollute the
+  /// global ingest counters.
+  bool instrumented = true;
+};
+
+/// Per-shard occupancy, for `wadp history` and capacity planning.
+struct ShardStats {
+  std::size_t index = 0;
+  std::size_t series_count = 0;
+  std::size_t observation_count = 0;
+  std::uint64_t appends = 0;
+};
+
+/// Per-series accounting, for `wadp history`.
+struct SeriesInfo {
+  SeriesKey key;
+  std::size_t shard = 0;
+  std::size_t observations = 0;
+  std::uint64_t epoch = 0;
+  std::uint64_t generation = 0;
+  std::uint64_t evicted = 0;
+};
+
+class HistoryStore {
+ public:
+  explicit HistoryStore(StoreConfig config = {});
+
+  HistoryStore(const HistoryStore&) = delete;
+  HistoryStore& operator=(const HistoryStore&) = delete;
+
+  /// Appends one observation to `key`'s series, inserting by time when
+  /// it arrives out of order.  Returns the series' new epoch.
+  std::uint64_t append(const SeriesKey& key, const predict::Observation& obs);
+
+  /// Appends one transfer record (key and observation derived by the
+  /// adapter — the single record→observation conversion path).
+  std::uint64_t append(const gridftp::TransferRecord& record);
+
+  /// Appends every record of a log.  Returns records appended.
+  std::size_t ingest_log(const gridftp::TransferLog& log);
+
+  /// Makes `log` append through this store: existing records are
+  /// backfilled, then every future TransferLog::append is mirrored
+  /// here.  The log stays what it always was — the bounded ULM
+  /// view/serialization layer — while the store owns the history.
+  /// Returns the number of backfilled records.  The store must outlive
+  /// the log (or the log's sink must be cleared first).
+  std::size_t attach(gridftp::TransferLog& log);
+
+  /// Immutable view of `key`'s series (valid()==false when unknown).
+  SeriesSnapshot snapshot(const SeriesKey& key) const;
+
+  /// Current epoch of `key`'s series; 0 when unknown.
+  std::uint64_t epoch(const SeriesKey& key) const;
+
+  /// Every known key, sorted (deterministic iteration for tools/tests).
+  std::vector<SeriesKey> keys() const;
+  /// Keys whose host matches (the slice an MDS provider publishes).
+  std::vector<SeriesKey> keys_for_host(const std::string& host) const;
+
+  std::size_t series_count() const;
+  std::size_t total_observations() const;
+
+  std::vector<ShardStats> shard_stats() const;
+  /// Sorted by key.
+  std::vector<SeriesInfo> series_info() const;
+
+  std::size_t shard_count() const { return shards_.size(); }
+  const StoreConfig& config() const { return config_; }
+
+ private:
+  struct Series {
+    std::shared_ptr<std::vector<predict::Observation>> data;
+    /// Live-snapshot count for the current `data` epoch; replaced with
+    /// a fresh zero counter whenever a copy-on-write installs a new
+    /// vector (old snapshots keep decrementing their own counter).
+    std::shared_ptr<std::atomic<std::int64_t>> readers =
+        std::make_shared<std::atomic<std::int64_t>>(0);
+    std::uint64_t epoch = 0;
+    std::uint64_t generation = 0;
+    std::uint64_t evicted = 0;
+    double last_append_wall = 0.0;  ///< steady-clock seconds
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::map<SeriesKey, Series> series;  // ordered: deterministic dumps
+    std::uint64_t appends = 0;           // guarded by mu
+  };
+
+  Shard& shard_for(const SeriesKey& key) const;
+  /// Locks `shard.mu`, recording contention when the lock was busy.
+  std::unique_lock<std::mutex> lock_shard(const Shard& shard) const;
+
+  StoreConfig config_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  struct Metrics {
+    std::vector<obs::Counter*> shard_appends;  // parallel to shards_
+    obs::Counter* out_of_order = nullptr;
+    obs::Counter* evicted = nullptr;
+    obs::Counter* snapshots = nullptr;
+    obs::Counter* cow_copies = nullptr;
+    obs::Counter* lock_contended = nullptr;
+    obs::Gauge* snapshot_age = nullptr;
+    obs::Histogram* lock_wait = nullptr;
+  };
+  Metrics metrics_;
+};
+
+}  // namespace wadp::history

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <map>
+#include <memory>
 
+#include "history/adapter.hpp"
 #include "predict/incremental.hpp"
 #include "predict/observation.hpp"
 #include "util/stats.hpp"
@@ -12,15 +14,14 @@ namespace wadp::mds {
 namespace {
 
 using gridftp::Operation;
-using gridftp::TransferRecord;
 using predict::Observation;
 
 /// Per-(remote, direction) accumulation, built in one streaming pass
-/// over the log.  No raw observations are retained: summary attributes
-/// come from Welford accumulators and per-class predictions from
-/// incremental last-N means (routing each record to its size class is
-/// exactly ClassifiedPredictor's filter, done once instead of per
-/// query).
+/// over a series snapshot.  No raw observations are retained: summary
+/// attributes come from Welford accumulators and per-class predictions
+/// from incremental last-N means (routing each record to its size
+/// class is exactly ClassifiedPredictor's filter, done once instead of
+/// per query).
 struct EndpointStats {
   util::RunningStats bandwidth;  // bytes/s, all classes
   std::vector<util::RunningStats> class_bandwidth;
@@ -88,17 +89,31 @@ Schema GridFtpInfoProvider::schema() {
 }
 
 std::vector<Entry> GridFtpInfoProvider::provide(SimTime now) {
-  // Group the live log by (remote endpoint, direction).  This is the
-  // log filtering the paper's provider scripts performed on request.
+  // The history plane already holds this server's transfers grouped by
+  // (remote endpoint, direction) — the filtering the paper's provider
+  // scripts performed over the raw log on every request.  Snapshots are
+  // immutable, so a provider refresh racing live ingest reads one
+  // consistent epoch per series.  Without a shared store (standalone
+  // `wadp provider` over a raw log), build an ephemeral, uninstrumented
+  // one so there is exactly one stats path.
+  std::unique_ptr<history::HistoryStore> local;
+  const history::HistoryStore* store = config_.history;
+  if (store == nullptr) {
+    local = std::make_unique<history::HistoryStore>(
+        history::StoreConfig{.shard_count = 1, .instrumented = false});
+    local->ingest_log(server_.log());
+    store = local.get();
+  }
+
   std::map<std::string, EndpointStats> reads;
   std::map<std::string, EndpointStats> writes;
-  for (const TransferRecord& r : server_.log().records()) {
+  for (const auto& key : store->keys_for_host(server_.config().host)) {
+    const auto snapshot = store->snapshot(key);
     auto& bucket =
-        (r.op == Operation::kRead ? reads : writes)[r.source_ip];
-    bucket.add(Observation{.time = r.end_time,
-                           .value = r.bandwidth(),
-                           .file_size = r.file_size},
-               config_.classifier, config_.prediction_window);
+        (key.op == Operation::kRead ? reads : writes)[key.remote_ip];
+    for (const Observation& obs : snapshot.observations()) {
+      bucket.add(obs, config_.classifier, config_.prediction_window);
+    }
   }
 
   std::vector<Entry> entries;

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "gridftp/server.hpp"
+#include "history/store.hpp"
 #include "mds/gris.hpp"
 #include "mds/ldap.hpp"
 #include "predict/classifier.hpp"
@@ -28,6 +29,13 @@ struct GridFtpProviderConfig {
   /// same-class transfers (AVG15-with-classification, one of the
   /// paper's stronger simple predictors).
   std::size_t prediction_window = 15;
+  /// Shared history plane to publish from (the testbed's store when
+  /// wired by core::InformationFabric).  Snapshot-isolated reads: the
+  /// provider never blocks — and is never torn by — concurrent ingest.
+  /// When null, the provider rebuilds an ephemeral view from the
+  /// server's raw log on each provide() (the standalone `wadp
+  /// provider` path).  Must outlive the provider when set.
+  const history::HistoryStore* history = nullptr;
 };
 
 class GridFtpInfoProvider final : public InformationProvider {

@@ -18,7 +18,7 @@ mds::Schema NwsInfoProvider::schema() {
       .name = "nwsNetwork",
       .required = {"experiment", "measurements"},
       .optional = {"latestbandwidth", "latesttime", "forecastbandwidth",
-                   "lastupdate"},
+                   "lastupdate", "historyepoch", "historymeasurements"},
   });
   return schema;
 }
@@ -32,6 +32,18 @@ std::vector<mds::Entry> NwsInfoProvider::provide(SimTime now) {
     entry.set("experiment", experiment);
     entry.set("measurements", std::to_string(series.size()));
     entry.set("lastupdate", util::format("%.0f", now));
+    // When the memory mirrors into the shared history plane, publish
+    // the snapshot epoch so consumers can correlate what they read here
+    // with the store generation they query directly.  The store may
+    // retain more than this memory's bounded window.
+    if (const auto* history = memory_.bound_history()) {
+      const auto snapshot = history->snapshot(NwsMemory::history_key(
+          memory_.history_host_label(), experiment));
+      if (snapshot) {
+        entry.set("historyepoch", std::to_string(snapshot.epoch()));
+        entry.set("historymeasurements", std::to_string(snapshot.size()));
+      }
+    }
     if (!series.empty()) {
       entry.set("latestbandwidth",
                 util::format("%.1f", to_kb_per_sec(series.back().value)));

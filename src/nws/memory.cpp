@@ -16,6 +16,37 @@ void NwsMemory::store(const std::string& experiment,
   if (max_measurements_ > 0 && series.size() > max_measurements_) {
     series.erase(series.begin());
   }
+  if (history_ != nullptr) {
+    // Probes carry no file size; 0 routes them all into the smallest
+    // class, which is also physically honest for a 64 KB probe.
+    history_->append(history_key(host_label_, experiment),
+                     predict::Observation{.time = m.time, .value = m.value,
+                                          .file_size = 0});
+  }
+}
+
+void NwsMemory::bind_history(history::HistoryStore* history,
+                             std::string host_label) {
+  history_ = history;
+  host_label_ = std::move(host_label);
+  // Backfill what this memory already holds, so binding late loses
+  // nothing (mirrors HistoryStore::attach on transfer logs).
+  if (history_ != nullptr) {
+    for (const auto& [experiment, series] : series_) {
+      for (const auto& m : series) {
+        history_->append(history_key(host_label_, experiment),
+                         predict::Observation{.time = m.time, .value = m.value,
+                                              .file_size = 0});
+      }
+    }
+  }
+}
+
+history::SeriesKey NwsMemory::history_key(const std::string& host_label,
+                                          const std::string& experiment) {
+  return history::SeriesKey{.host = host_label,
+                            .remote_ip = experiment,
+                            .op = gridftp::Operation::kRead};
 }
 
 void NwsMemory::absorb(const std::string& experiment,

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "history/store.hpp"
 #include "nws/sensor.hpp"
 #include "util/error.hpp"
 
@@ -28,6 +29,19 @@ class NwsMemory {
   /// Appends one measurement to the named experiment's series.  Series
   /// names follow the NWS convention "bandwidth.<src>.<dst>".
   void store(const std::string& experiment, const ProbeMeasurement& m);
+
+  /// Mirrors every store()d measurement into the shared history plane
+  /// under SeriesKey{host = host_label, remote_ip = experiment}, so
+  /// probe series live next to transfer series in the one store the
+  /// rest of the deployment reads (Section 7's combined GridFTP+NWS
+  /// information plane).  The history store must outlive this memory.
+  void bind_history(history::HistoryStore* history, std::string host_label);
+
+  /// Key a bound experiment series is mirrored under.
+  static history::SeriesKey history_key(const std::string& host_label,
+                                        const std::string& experiment);
+  const history::HistoryStore* bound_history() const { return history_; }
+  const std::string& history_host_label() const { return host_label_; }
 
   /// Convenience: drains everything a sensor has collected so far into
   /// the experiment's series (idempotent per measurement index).
@@ -55,6 +69,8 @@ class NwsMemory {
   std::size_t max_measurements_;
   std::map<std::string, std::vector<ProbeMeasurement>> series_;
   std::map<std::string, std::size_t> absorbed_;  // per-experiment cursor
+  history::HistoryStore* history_ = nullptr;     // optional mirror
+  std::string host_label_;
 };
 
 }  // namespace wadp::nws

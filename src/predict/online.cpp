@@ -12,10 +12,31 @@ HistoryPredictor::HistoryPredictor(std::shared_ptr<const Predictor> base)
       base_(std::move(base)),
       streaming_(make_streaming(*base_)) {}
 
+HistoryPredictor::HistoryPredictor(std::shared_ptr<const Predictor> base,
+                                   SharedSeries shared)
+    : OnlinePredictor(base->name()),
+      base_(std::move(base)),
+      streaming_(make_streaming(*base_)),
+      shared_(std::move(shared)) {
+  WADP_CHECK_MSG(shared_ != nullptr, "borrowed series must not be null");
+}
+
+std::span<const Observation> HistoryPredictor::history() const {
+  if (shared_) return std::span(*shared_).first(fed_);
+  return history_;
+}
+
 void HistoryPredictor::observe(const Observation& observation) {
-  WADP_CHECK_MSG(history_.empty() || observation.time >= history_.back().time,
+  const auto fed = history();
+  WADP_CHECK_MSG(fed.empty() || observation.time >= fed.back().time,
                  "observations must arrive in time order");
-  history_.push_back(observation);
+  if (shared_) {
+    WADP_CHECK_MSG(fed_ < shared_->size(),
+                   "observe() past the end of the borrowed series");
+    ++fed_;
+  } else {
+    history_.push_back(observation);
+  }
   if (streaming_) streaming_->observe(observation);
 }
 
@@ -26,7 +47,7 @@ std::optional<Bandwidth> HistoryPredictor::predict(const Query& query) const {
   if (streaming_ && query.time >= streaming_->safe_query_time()) {
     return streaming_->predict(query);
   }
-  return base_->predict(history_, query);
+  return base_->predict(history(), query);
 }
 
 DynamicSelector::DynamicSelector(
@@ -42,17 +63,31 @@ DynamicSelector::DynamicSelector(
   error_count_.assign(candidates_.size(), 0);
 }
 
+DynamicSelector::DynamicSelector(
+    std::string name, std::vector<std::shared_ptr<const Predictor>> candidates,
+    SharedSeries shared)
+    : DynamicSelector(std::move(name), std::move(candidates)) {
+  WADP_CHECK_MSG(shared != nullptr, "borrowed series must not be null");
+  shared_ = std::move(shared);
+}
+
+std::span<const Observation> DynamicSelector::fallback_history() const {
+  if (shared_) return std::span(*shared_).first(fed_);
+  return history_;
+}
+
 std::optional<Bandwidth> DynamicSelector::candidate_predict(
     std::size_t index, const Query& query) const {
   const auto& stream = streams_[index];
   if (stream && query.time >= stream->safe_query_time()) {
     return stream->predict(query);
   }
-  return candidates_[index]->predict(history_, query);
+  return candidates_[index]->predict(fallback_history(), query);
 }
 
 void DynamicSelector::observe(const Observation& observation) {
-  WADP_CHECK_MSG(history_.empty() || observation.time >= history_.back().time,
+  const auto fed = fallback_history();
+  WADP_CHECK_MSG(fed.empty() || observation.time >= fed.back().time,
                  "observations must arrive in time order");
   // Score every candidate on this measurement *before* absorbing it —
   // exactly the postmortem NWS runs on each new sensor reading.  Each
@@ -67,7 +102,13 @@ void DynamicSelector::observe(const Observation& observation) {
       }
     }
   }
-  history_.push_back(observation);
+  if (shared_) {
+    WADP_CHECK_MSG(fed_ < shared_->size(),
+                   "observe() past the end of the borrowed series");
+    ++fed_;
+  } else {
+    history_.push_back(observation);
+  }
   for (const auto& stream : streams_) {
     if (stream) stream->observe(observation);
   }

@@ -10,6 +10,7 @@
 
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -18,6 +19,13 @@
 #include "predict/predictors.hpp"
 
 namespace wadp::predict {
+
+/// An observation series owned elsewhere (a history store's series, a
+/// battery-wide buffer) that online adapters borrow for their stateless
+/// fallback instead of each keeping a private copy.  The owner appends;
+/// adapters track how much of it they have been fed.  Elements already
+/// fed must never be reordered or removed.
+using SharedSeries = std::shared_ptr<const std::vector<Observation>>;
 
 class OnlinePredictor {
  public:
@@ -48,17 +56,27 @@ class HistoryPredictor final : public OnlinePredictor {
  public:
   explicit HistoryPredictor(std::shared_ptr<const Predictor> base);
 
+  /// Borrowing form: the fallback reads `shared` (the prefix this
+  /// adapter has been fed) instead of a private copy — one buffer
+  /// serves a whole battery.  observe() must be called with exactly
+  /// the elements of `shared`, in order; the owner appends them.
+  HistoryPredictor(std::shared_ptr<const Predictor> base, SharedSeries shared);
+
   void observe(const Observation& observation) override;
   std::optional<Bandwidth> predict(const Query& query) const override;
 
-  const std::vector<Observation>& history() const { return history_; }
+  /// The fallback history this adapter predicts from: the fed prefix
+  /// of the shared series, or the private copy when not borrowing.
+  std::span<const Observation> history() const;
 
  private:
   std::shared_ptr<const Predictor> base_;
   // unique_ptr indirection keeps predict() const: advancing the
   // eviction frontier never changes any answer the contract allows.
   std::unique_ptr<StreamingPredictor> streaming_;  // null = no streaming form
-  std::vector<Observation> history_;
+  SharedSeries shared_;                // non-null = borrowing
+  std::size_t fed_ = 0;                // prefix of *shared_ observed so far
+  std::vector<Observation> history_;   // owning mode only
 };
 
 /// NWS-style dynamic selection over a battery of stateless predictors:
@@ -69,6 +87,12 @@ class DynamicSelector final : public OnlinePredictor {
  public:
   DynamicSelector(std::string name,
                   std::vector<std::shared_ptr<const Predictor>> candidates);
+
+  /// Borrowing form (see HistoryPredictor): fallback scans the fed
+  /// prefix of `shared` instead of a selector-private copy.
+  DynamicSelector(std::string name,
+                  std::vector<std::shared_ptr<const Predictor>> candidates,
+                  SharedSeries shared);
 
   void observe(const Observation& observation) override;
   std::optional<Bandwidth> predict(const Query& query) const override;
@@ -83,12 +107,16 @@ class DynamicSelector final : public OnlinePredictor {
   std::size_t best_index() const;
   std::optional<Bandwidth> candidate_predict(std::size_t index,
                                              const Query& query) const;
+  std::span<const Observation> fallback_history() const;
 
   std::vector<std::shared_ptr<const Predictor>> candidates_;
   // Parallel to candidates_: incremental state answering in O(1)
-  // instead of rescanning history_ (null where no streaming form).
+  // instead of rescanning the fallback history (null where no
+  // streaming form).
   std::vector<std::unique_ptr<StreamingPredictor>> streams_;
-  std::vector<Observation> history_;  // fallback + diagnostics only
+  SharedSeries shared_;               // non-null = borrowing
+  std::size_t fed_ = 0;               // prefix of *shared_ observed so far
+  std::vector<Observation> history_;  // owning mode only
   std::vector<double> error_sum_;
   std::vector<std::size_t> error_count_;
 };

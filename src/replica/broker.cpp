@@ -59,6 +59,36 @@ std::optional<Bandwidth> ReplicaBroker::predicted_for(
   return std::nullopt;
 }
 
+std::optional<Bandwidth> ReplicaBroker::predicted_from_history(
+    const PhysicalReplica& replica, const std::string& client_ip, Bytes size,
+    SimTime now) const {
+  if (history_ == nullptr) return std::nullopt;
+  const auto snapshot = history_->snapshot(
+      history::SeriesKey{.host = replica.server_host,
+                         .remote_ip = client_ip,
+                         .op = gridftp::Operation::kRead});
+  if (!snapshot) return std::nullopt;
+
+  // Same estimate the provider publishes: mean of the last
+  // `prediction_window` same-class transfers, classes shared with the
+  // GIIS path.  Only the past counts — the snapshot may already hold
+  // transfers timestamped after `now` when the broker replays history.
+  const int cls = classifier_.classify(size);
+  constexpr std::size_t kWindow = 15;
+  double sum = 0.0;
+  std::size_t count = 0;
+  const auto observations = snapshot.observations();
+  for (auto it = observations.rbegin();
+       it != observations.rend() && count < kWindow; ++it) {
+    if (it->time > now) continue;
+    if (classifier_.classify(it->file_size) != cls) continue;
+    sum += it->value;
+    ++count;
+  }
+  if (count == 0) return std::nullopt;
+  return sum / static_cast<double>(count);
+}
+
 std::optional<Selection> ReplicaBroker::select(
     const std::string& logical_name, const std::string& client_ip, Bytes size,
     SimTime now, std::span<const PhysicalReplica> exclude) {
@@ -90,7 +120,8 @@ std::optional<Selection> ReplicaBroker::select(
   std::optional<Bandwidth> best_bw;
   const PhysicalReplica* best = nullptr;
   for (const auto& replica : replicas) {
-    const auto bw = predicted_for(replica, client_ip, size, now);
+    auto bw = predicted_for(replica, client_ip, size, now);
+    if (!bw) bw = predicted_from_history(replica, client_ip, size, now);
     if (bw && (!best_bw || *bw > *best_bw)) {
       best_bw = bw;
       best = &replica;

@@ -16,6 +16,7 @@
 #include <span>
 #include <string>
 
+#include "history/store.hpp"
 #include "mds/giis.hpp"
 #include "mds/gridftp_provider.hpp"
 #include "predict/classifier.hpp"
@@ -62,13 +63,27 @@ class ReplicaBroker {
 
   SelectionPolicy policy() const { return policy_; }
 
+  /// Optional fallback source: when the GIIS has no usable entry for a
+  /// candidate (provider not yet refreshed, registration lapsed), the
+  /// broker reads the history plane directly — a snapshot of
+  /// {host = replica server, remote_ip = client, op = read} — and
+  /// predicts with the same classified last-N mean the provider
+  /// publishes.  The store must outlive the broker.
+  void bind_history(const history::HistoryStore* history) {
+    history_ = history;
+  }
+
  private:
   std::optional<Bandwidth> predicted_for(const PhysicalReplica& replica,
                                          const std::string& client_ip,
                                          Bytes size, SimTime now);
+  std::optional<Bandwidth> predicted_from_history(
+      const PhysicalReplica& replica, const std::string& client_ip, Bytes size,
+      SimTime now) const;
 
   const ReplicaCatalog& catalog_;
   mds::Giis& giis_;
+  const history::HistoryStore* history_ = nullptr;
   SelectionPolicy policy_;
   util::Rng rng_;
   predict::SizeClassifier classifier_;

@@ -154,6 +154,10 @@ void Testbed::add_site(const std::string& site, const std::string& host,
     WADP_CHECK(server->fs().add_file(paper_file_path(size), size));
   }
 
+  // Every instrumented transfer this server logs flows into the shared
+  // history store; the per-server log stays the bounded ULM view.
+  history_->attach(server->log());
+
   auto client = std::make_unique<gridftp::GridFtpClient>(
       sim_, engine_, topology_, site, ip, store.get());
 

@@ -20,6 +20,7 @@
 
 #include "gridftp/client.hpp"
 #include "gridftp/server.hpp"
+#include "history/store.hpp"
 #include "net/fabric.hpp"
 #include "net/path.hpp"
 #include "sim/simulator.hpp"
@@ -82,6 +83,16 @@ class Testbed {
   storage::StorageSystem& storage(const std::string& site);
   std::vector<std::string> sites() const;
 
+  /// The shared history plane: every server's transfer log is attached
+  /// at construction, so all instrumented transfers of the simulated
+  /// world land here — the single store the information fabric's
+  /// providers, brokers, and prediction services read.
+  history::HistoryStore& history() { return *history_; }
+  const history::HistoryStore& history() const { return *history_; }
+  const std::shared_ptr<history::HistoryStore>& history_ptr() const {
+    return history_;
+  }
+
  private:
   void add_site(const std::string& site, const std::string& host,
                 const std::string& ip, std::uint64_t seed,
@@ -90,6 +101,8 @@ class Testbed {
   Campaign campaign_;
   SimTime start_;
   util::TimeZone zone_;
+  std::shared_ptr<history::HistoryStore> history_ =
+      std::make_shared<history::HistoryStore>();
   sim::Simulator sim_;
   net::FluidEngine engine_;
   net::Topology topology_;

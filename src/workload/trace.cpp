@@ -2,25 +2,6 @@
 
 namespace wadp::workload {
 
-std::vector<predict::Observation> observations_from_records(
-    std::span<const gridftp::TransferRecord> records,
-    const SeriesFilter& filter) {
-  std::vector<predict::Observation> out;
-  out.reserve(records.size());
-  for (const auto& record : records) {
-    if (!filter.remote_ip.empty() && record.source_ip != filter.remote_ip) {
-      continue;
-    }
-    if (filter.op && record.op != *filter.op) continue;
-    out.push_back(predict::Observation{
-        .time = record.end_time,
-        .value = record.bandwidth(),
-        .file_size = record.file_size,
-    });
-  }
-  return out;
-}
-
 ClassCounts count_by_class(std::span<const predict::Observation> series,
                            const predict::SizeClassifier& classifier) {
   ClassCounts counts;

@@ -1,37 +1,18 @@
-// Bridging transfer logs to predictor input, plus campaign summaries.
+// Campaign summaries over observation series.
 //
-// The predictors consume time-ordered bandwidth observations for one
-// source->sink series; this header extracts such series from a server's
-// transfer log (optionally filtered by remote endpoint and direction)
-// and computes the per-class transfer counts of Fig. 7.
+// Record→observation extraction used to live here too; it is now the
+// history adapter (history/adapter.hpp), the single conversion path
+// every layer shares.  What remains is the per-class transfer counting
+// of Fig. 7.
 #pragma once
 
-#include <map>
-#include <optional>
 #include <span>
-#include <string>
-#include <string_view>
 #include <vector>
 
-#include "gridftp/record.hpp"
 #include "predict/classifier.hpp"
 #include "predict/observation.hpp"
 
 namespace wadp::workload {
-
-struct SeriesFilter {
-  /// Keep only records whose remote endpoint matches (empty = all).
-  std::string remote_ip;
-  /// Keep only this direction (nullopt = both).
-  std::optional<gridftp::Operation> op = gridftp::Operation::kRead;
-};
-
-/// Extracts a time-ordered observation series from log records.
-/// Records are assumed log-ordered (monotone end times, which the
-/// instrumented server guarantees).
-std::vector<predict::Observation> observations_from_records(
-    std::span<const gridftp::TransferRecord> records,
-    const SeriesFilter& filter = {});
 
 /// Per-class transfer counts for one series (one Fig. 7 cell column).
 struct ClassCounts {

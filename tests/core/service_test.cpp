@@ -40,8 +40,8 @@ TEST(PredictionServiceTest, IngestGroupsBySeries) {
                         Operation::kWrite));
   EXPECT_EQ(service.series_keys().size(), 3u);
   EXPECT_EQ(service.total_observations(), 3u);
-  ASSERT_NE(service.series(lbl_to_anl()), nullptr);
-  EXPECT_EQ(service.series(lbl_to_anl())->size(), 1u);
+  ASSERT_TRUE(service.series(lbl_to_anl()).valid());
+  EXPECT_EQ(service.series(lbl_to_anl()).size(), 1u);
 }
 
 TEST(PredictionServiceTest, NoPredictionBeforeTraining) {
@@ -87,9 +87,9 @@ TEST(PredictionServiceTest, UnknownSeriesHasNoPrediction) {
                              .op = Operation::kRead},
                             kMB, 0.0)
                    .has_value());
-  EXPECT_EQ(service.series({.host = "x", .remote_ip = "y",
-                            .op = Operation::kRead}),
-            nullptr);
+  EXPECT_FALSE(service.series({.host = "x", .remote_ip = "y",
+                               .op = Operation::kRead})
+                   .valid());
 }
 
 TEST(PredictionServiceTest, PredictAllCoversBattery) {
@@ -114,12 +114,14 @@ TEST(PredictionServiceTest, OutOfOrderIngestKeepsSeriesSorted) {
   service.ingest(record(300.0, 5.0, kMB));
   service.ingest(record(100.0, 4.0, kMB));
   service.ingest(record(200.0, 3.0, kMB));
-  const auto* series = service.series(lbl_to_anl());
-  ASSERT_NE(series, nullptr);
-  ASSERT_EQ(series->size(), 3u);
-  EXPECT_DOUBLE_EQ((*series)[0].time, 100.0);
-  EXPECT_DOUBLE_EQ((*series)[1].time, 200.0);
-  EXPECT_DOUBLE_EQ((*series)[2].time, 300.0);
+  const auto series = service.series(lbl_to_anl());
+  ASSERT_TRUE(series.valid());
+  ASSERT_EQ(series.size(), 3u);
+  EXPECT_DOUBLE_EQ(series.observations()[0].time, 100.0);
+  EXPECT_DOUBLE_EQ(series.observations()[1].time, 200.0);
+  EXPECT_DOUBLE_EQ(series.observations()[2].time, 300.0);
+  // Both out-of-order inserts invalidated the streaming prefix.
+  EXPECT_EQ(series.generation(), 2u);
 }
 
 TEST(PredictionServiceTest, IngestLogPullsEveryRecord) {

@@ -1,0 +1,75 @@
+#include "history/adapter.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wadp::history {
+namespace {
+
+gridftp::TransferRecord record() {
+  gridftp::TransferRecord r;
+  r.host = "dpsslx04.lbl.gov";
+  r.source_ip = "140.221.65.69";
+  r.file_name = "/v/f";
+  r.file_size = 10 * kMB;
+  r.volume = "/v";
+  r.start_time = 100.0;
+  r.end_time = 105.0;
+  r.op = gridftp::Operation::kRead;
+  r.streams = 8;
+  r.tcp_buffer = 1'000'000;
+  return r;
+}
+
+TEST(AdapterTest, SeriesKeyNamesHostRemoteAndDirection) {
+  const auto key = series_key_for(record());
+  EXPECT_EQ(key.host, "dpsslx04.lbl.gov");
+  EXPECT_EQ(key.remote_ip, "140.221.65.69");
+  EXPECT_EQ(key.op, gridftp::Operation::kRead);
+  EXPECT_EQ(key.to_string(), "dpsslx04.lbl.gov/140.221.65.69/read");
+}
+
+TEST(AdapterTest, ObservationIsCompletionTimeBandwidthAndSize) {
+  const auto obs = to_observation(record());
+  EXPECT_DOUBLE_EQ(obs.time, 105.0);
+  EXPECT_DOUBLE_EQ(obs.value, 2'000'000.0);  // 10 MB over 5 s
+  EXPECT_EQ(obs.file_size, 10 * kMB);
+}
+
+TEST(AdapterTest, FilterDefaultsToReadsOnly) {
+  auto r = record();
+  SeriesFilter filter;
+  EXPECT_TRUE(filter.matches(r));
+  r.op = gridftp::Operation::kWrite;
+  EXPECT_FALSE(filter.matches(r));
+  filter.op.reset();
+  EXPECT_TRUE(filter.matches(r));
+}
+
+TEST(AdapterTest, FilterByRemoteEndpoint) {
+  const auto r = record();
+  EXPECT_TRUE(SeriesFilter{.remote_ip = "140.221.65.69"}.matches(r));
+  EXPECT_FALSE(SeriesFilter{.remote_ip = "1.2.3.4"}.matches(r));
+  EXPECT_TRUE(SeriesFilter{}.matches(r));  // empty = all
+}
+
+TEST(AdapterTest, ObservationsFromRecordsAppliesFilter) {
+  std::vector<gridftp::TransferRecord> records;
+  records.push_back(record());
+  auto writes = record();
+  writes.op = gridftp::Operation::kWrite;
+  records.push_back(writes);
+  auto other = record();
+  other.source_ip = "1.2.3.4";
+  records.push_back(other);
+
+  EXPECT_EQ(observations_from_records(records).size(), 2u);  // reads only
+  EXPECT_EQ(observations_from_records(records, {.remote_ip = "140.221.65.69"})
+                .size(),
+            1u);
+  SeriesFilter everything;
+  everything.op.reset();
+  EXPECT_EQ(observations_from_records(records, everything).size(), 3u);
+}
+
+}  // namespace
+}  // namespace wadp::history

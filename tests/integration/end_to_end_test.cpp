@@ -24,7 +24,7 @@ class PaperCampaignTest : public ::testing::Test {
   }
 
   static std::vector<predict::Observation> series(const std::string& site) {
-    return workload::observations_from_records(
+    return history::observations_from_records(
         result_->testbed->server(site).log().records(),
         {.remote_ip = result_->testbed->client("anl").ip()});
   }

@@ -107,6 +107,48 @@ TEST_F(BrokerFixture, ClassFallsBackToOverallAverage) {
   EXPECT_EQ(selection->replica.site, "lbl");
 }
 
+TEST_F(BrokerFixture, HistoryFallbackAnswersWhenGiisIsEmpty) {
+  // Provider never refreshed / registration lapsed: an empty GIIS has
+  // nothing published.  With the history plane bound, the broker reads
+  // store snapshots directly and still makes an informed choice.
+  mds::Giis empty_giis{"empty"};
+  history::HistoryStore store(
+      history::StoreConfig{.instrumented = false});
+  store.ingest_log(lbl.log());
+  store.ingest_log(isi.log());
+
+  ReplicaBroker blind(catalog, empty_giis, SelectionPolicy::kPredictedBest);
+  const auto uninformed =
+      blind.select("lfn://run42", client_ip, 500 * kMB, 5000.0);
+  ASSERT_TRUE(uninformed.has_value());
+  EXPECT_FALSE(uninformed->informed);
+
+  ReplicaBroker broker(catalog, empty_giis, SelectionPolicy::kPredictedBest);
+  broker.bind_history(&store);
+  const auto selection =
+      broker.select("lfn://run42", client_ip, 500 * kMB, 5000.0);
+  ASSERT_TRUE(selection.has_value());
+  EXPECT_TRUE(selection->informed);
+  EXPECT_EQ(selection->replica.site, "lbl");
+  ASSERT_TRUE(selection->predicted_bandwidth.has_value());
+  EXPECT_NEAR(*selection->predicted_bandwidth, 8'000'000.0, 100'000.0);
+}
+
+TEST_F(BrokerFixture, HistoryFallbackIgnoresTheFuture) {
+  // Replayed logs can hold transfers timestamped after `now`; only the
+  // past may inform the choice, so at t=0 nothing has happened yet.
+  mds::Giis empty_giis{"empty"};
+  history::HistoryStore store(
+      history::StoreConfig{.instrumented = false});
+  store.ingest_log(lbl.log());
+  ReplicaBroker broker(catalog, empty_giis, SelectionPolicy::kPredictedBest);
+  broker.bind_history(&store);
+  const auto selection = broker.select("lfn://run42", client_ip, 500 * kMB,
+                                       /*now=*/0.0);
+  ASSERT_TRUE(selection.has_value());
+  EXPECT_FALSE(selection->informed);
+}
+
 TEST_F(BrokerFixture, RoundRobinRotates) {
   ReplicaBroker broker(catalog, giis, SelectionPolicy::kRoundRobin);
   const auto first = broker.select("lfn://run42", client_ip, kMB, 0.0);

@@ -4,10 +4,14 @@
 
 #include <set>
 
+#include "history/adapter.hpp"
 #include "workload/trace.hpp"
 
 namespace wadp::workload {
 namespace {
+
+using history::SeriesFilter;
+using history::observations_from_records;
 
 TEST(SleepDistributionTest, StaysInPaperRange) {
   SleepDistribution sleeps;

@@ -14,6 +14,8 @@
 //       drive the instrumented stack, dump the metrics registry
 //   wadp trace     [LOG] [--ulm] [--limit N]
 //       same drive, print the recorded span trees
+//   wadp history   [LOG] [--json]
+//       history-store statistics: series, per-shard sizes, epochs
 //
 // Every subcommand is deterministic given its inputs; simulated
 // campaigns never touch the network.
@@ -53,7 +55,9 @@ int usage(const char* error = nullptr) {
                "  wadp metrics   [LOG] [--campaign aug|dec] [--seed N] "
                "[--days D] [--json|--ulm]\n"
                "  wadp trace     [LOG] [--campaign aug|dec] [--seed N] "
-               "[--days D] [--ulm] [--limit N]\n");
+               "[--days D] [--ulm] [--limit N]\n"
+               "  wadp history   [LOG] [--campaign aug|dec] [--seed N] "
+               "[--days D] [--json]\n");
   return error != nullptr ? 2 : 0;
 }
 
@@ -64,15 +68,16 @@ Expected<gridftp::TransferLog> load_log(const util::ArgParser& args) {
   return gridftp::TransferLog::load(args.positionals()[1]);
 }
 
-core::PredictionService make_service(const util::ArgParser& args,
-                                     const gridftp::TransferLog& log) {
+// unique_ptr: the service owns a mutex now, so it no longer moves.
+std::unique_ptr<core::PredictionService> make_service(
+    const util::ArgParser& args, const gridftp::TransferLog& log) {
   core::ServiceConfig config;
   config.use_extended_battery = args.has("extended");
   if (const auto training = args.get_int("training")) {
     config.training_count = static_cast<std::size_t>(*training);
   }
-  core::PredictionService service(config);
-  service.ingest_log(log);
+  auto service = std::make_unique<core::PredictionService>(config);
+  service->ingest_log(log);
   return service;
 }
 
@@ -112,10 +117,10 @@ int cmd_analyze(const util::ArgParser& args) {
   if (!log.ok()) return usage(log.error().c_str());
   const auto service = make_service(args, log.value());
 
-  for (const auto& key : service.series_keys()) {
-    const auto evaluation = service.evaluate(key);
+  for (const auto& key : service->series_keys()) {
+    const auto evaluation = service->evaluate(key);
     std::printf("series %s: %zu observations\n", key.to_string().c_str(),
-                service.series(key)->size());
+                service->series(key).size());
     if (!evaluation) {
       std::printf("  (too short to evaluate)\n");
       continue;
@@ -155,18 +160,19 @@ int cmd_predict(const util::ArgParser& args) {
 
   const std::string predictor = args.get_or("predictor", "");
   bool answered = false;
-  for (const auto& key : service.series_keys()) {
-    const auto* series = service.series(key);
-    const SimTime now = series->back().time + 1.0;
+  for (const auto& key : service->series_keys()) {
+    const auto series = service->series(key);
+    if (series.empty()) continue;
+    const SimTime now = series.back().time + 1.0;
     const auto prediction =
-        service.predict(key, static_cast<Bytes>(*size), now, predictor);
+        service->predict(key, static_cast<Bytes>(*size), now, predictor);
     if (!prediction) continue;
     answered = true;
     std::printf("%s: %.2f MB/s (%s, %zu observations)\n",
                 key.to_string().c_str(), to_mb_per_sec(*prediction),
-                predictor.empty() ? service.config().default_predictor.c_str()
+                predictor.empty() ? service->config().default_predictor.c_str()
                                   : predictor.c_str(),
-                series->size());
+                series.size());
   }
   if (!answered) {
     std::fprintf(stderr, "no series could answer (too little history, or "
@@ -211,7 +217,7 @@ int cmd_classes(const util::ArgParser& args) {
   auto log = load_log(args);
   if (!log.ok()) return usage(log.error().c_str());
   const auto series =
-      workload::observations_from_records(log.value().records(), {});
+      history::observations_from_records(log.value().records(), {});
   const auto classifier = predict::SizeClassifier::paper_classes();
   const auto counts = workload::count_by_class(series, classifier);
 
@@ -307,9 +313,9 @@ int drive_instrumented(const util::ArgParser& args) {
     }
   }
   for (const auto& key : service.series_keys()) {
-    const auto* series = service.series(key);
-    if (series == nullptr || series->empty()) continue;
-    service.predict_all(key, 100 * 1000 * 1000, series->back().time + 1.0);
+    const auto series = service.series(key);
+    if (series.empty()) continue;
+    service.predict_all(key, 100 * 1000 * 1000, series.back().time + 1.0);
   }
   return 0;
 }
@@ -375,6 +381,93 @@ int cmd_trace(const util::ArgParser& args) {
   return 0;
 }
 
+int cmd_history(const util::ArgParser& args) {
+  // Same drive as metrics/trace: ingest a LOG when given, otherwise a
+  // short simulated campaign — then dump the store itself.
+  core::PredictionService service;
+  if (args.positionals().size() > 1) {
+    auto log = load_log(args);
+    if (!log.ok()) {
+      std::fprintf(stderr, "%s\n", log.error().c_str());
+      return 1;
+    }
+    service.ingest_log(log.value());
+  } else {
+    const auto campaign = args.get_or("campaign", "aug") == "dec"
+                              ? workload::Campaign::kDecember2001
+                              : workload::Campaign::kAugust2001;
+    const auto seed =
+        static_cast<std::uint64_t>(args.get_int("seed").value_or(42));
+    workload::CampaignConfig config;
+    config.days = static_cast<int>(args.get_int("days").value_or(2));
+    const auto result = workload::run_paper_campaign(campaign, seed, config);
+    for (const char* site : {"lbl", "isi"}) {
+      service.ingest_log(result.testbed->server(site).log());
+    }
+  }
+
+  const auto& store = service.history();
+  const auto shards = store.shard_stats();
+  const auto series = store.series_info();
+
+  if (args.has("json")) {
+    std::string json = util::format(
+        "{\"shard_count\": %zu, \"series_count\": %zu, "
+        "\"total_observations\": %zu, \"shards\": [",
+        store.shard_count(), store.series_count(),
+        store.total_observations());
+    for (std::size_t i = 0; i < shards.size(); ++i) {
+      if (i > 0) json += ", ";
+      json += util::format(
+          "{\"index\": %zu, \"series\": %zu, \"observations\": %zu, "
+          "\"appends\": %llu}",
+          shards[i].index, shards[i].series_count,
+          shards[i].observation_count,
+          static_cast<unsigned long long>(shards[i].appends));
+    }
+    json += "], \"series\": [";
+    for (std::size_t i = 0; i < series.size(); ++i) {
+      if (i > 0) json += ", ";
+      json += util::format(
+          "{\"key\": \"%s\", \"shard\": %zu, \"observations\": %zu, "
+          "\"epoch\": %llu, \"generation\": %llu, \"evicted\": %llu}",
+          series[i].key.to_string().c_str(), series[i].shard,
+          series[i].observations,
+          static_cast<unsigned long long>(series[i].epoch),
+          static_cast<unsigned long long>(series[i].generation),
+          static_cast<unsigned long long>(series[i].evicted));
+    }
+    json += "]}";
+    std::printf("%s\n", json.c_str());
+    return 0;
+  }
+
+  std::printf("%zu series, %zu observations, %zu shards\n\n",
+              store.series_count(), store.total_observations(),
+              store.shard_count());
+  util::TextTable shard_table({"shard", "series", "observations", "appends"});
+  for (const auto& s : shards) {
+    if (s.series_count == 0 && s.appends == 0) continue;  // skip idle shards
+    shard_table.add_row({std::to_string(s.index),
+                         std::to_string(s.series_count),
+                         std::to_string(s.observation_count),
+                         std::to_string(s.appends)});
+  }
+  std::printf("%s\n", shard_table.render().c_str());
+
+  util::TextTable series_table(
+      {"series", "shard", "observations", "epoch", "generation", "evicted"});
+  series_table.set_align(0, util::TextTable::Align::Left);
+  for (const auto& info : series) {
+    series_table.add_row(
+        {info.key.to_string(), std::to_string(info.shard),
+         std::to_string(info.observations), std::to_string(info.epoch),
+         std::to_string(info.generation), std::to_string(info.evicted)});
+  }
+  std::printf("%s", series_table.render().c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -402,6 +495,7 @@ int main(int argc, char** argv) {
   if (command == "probe") return cmd_probe(args);
   if (command == "metrics") return cmd_metrics(args);
   if (command == "trace") return cmd_trace(args);
+  if (command == "history") return cmd_history(args);
   if (command == "help") return usage();
   return usage(("unknown subcommand: " + command).c_str());
 }
