@@ -1,0 +1,278 @@
+// Resilience plane under injected faults (retry/backoff + broker
+// failover vs the paper's single-shot client).
+//
+// A two-replica delivery stack (predicted-best broker over published
+// GridFTPPerfInfo) fetches a 10 MB file repeatedly while a seeded
+// fault injector breaks attempts — refused connections, truncated data
+// channels, mid-transfer stalls — and drives whole-server outage
+// windows on both replicas.  The sweep raises the per-attempt fault
+// rate and compares two client configurations on identical fault
+// schedules:
+//
+//   * DISABLED — max_attempts=1, no failover (one replica budget): the
+//     pre-resilience behaviour, plus a per-attempt timeout so stalled
+//     channels still resolve.
+//   * ENABLED — default_wan_policy() retries plus broker failover
+//     across both replicas with cooldown feedback.
+//
+// The headline claim: at a 30% attempt-fault rate the resilient stack
+// still completes >= 95% of transfers while single-shot drops to the
+// raw survival rate (<= 70%).  "start delay" is the time from issuing
+// the fetch to the start of the attempt that finally succeeded — the
+// latency price paid for backoff and failover (first byte follows a
+// constant control/data-setup overhead later).
+#include "common.hpp"
+
+#include "mds/gridftp_provider.hpp"
+#include "obs/export.hpp"
+#include "replica/fetcher.hpp"
+#include "resilience/fault.hpp"
+#include "resilience/retry.hpp"
+
+namespace wadp::bench {
+namespace {
+
+constexpr Bytes kFileSize = 10 * kMB;
+constexpr int kTransfers = 250;
+constexpr Duration kSpacing = 400.0;
+constexpr SimTime kFirstIssue = 600.0;
+
+struct RunStats {
+  int ok = 0;
+  int failed = 0;
+  util::RunningStats start_delay;  ///< issue -> successful attempt start
+  std::uint64_t retries = 0;
+  std::uint64_t failovers = 0;
+  std::uint64_t timeouts = 0;
+};
+
+std::uint64_t retries_counter() {
+  return obs::Registry::global()
+      .counter("wadp_resilience_retries_total", {{"op", "get"}},
+               "Attempt retries by operation")
+      .value();
+}
+
+std::uint64_t failovers_counter() {
+  return obs::Registry::global()
+      .counter("wadp_resilience_failovers_total", {},
+               "Replicas abandoned in favour of the next-best candidate")
+      .value();
+}
+
+std::uint64_t timeouts_counter() {
+  return obs::Registry::global()
+      .counter("wadp_resilience_attempt_timeouts_total", {},
+               "Attempts abandoned by the per-attempt timeout")
+      .value();
+}
+
+net::PathParams quiet_path(Bandwidth bottleneck) {
+  net::PathParams p;
+  p.bottleneck = bottleneck;
+  p.rtt = 0.05;
+  p.load.base = 0.0;
+  p.load.diurnal_amplitude = 0.0;
+  p.load.ar_sigma = 0.0;
+  p.load.episode_rate_per_hour = 0.0;
+  return p;
+}
+
+storage::StorageParams dedicated_storage() {
+  storage::StorageParams p;
+  p.local_load.reset();
+  return p;
+}
+
+/// One full sweep cell: a fresh world, `kTransfers` fetches, identical
+/// fault seed for every configuration at this rate.
+RunStats run_cell(double fault_rate, bool resilient) {
+  sim::Simulator sim(0.0);
+  net::FluidEngine engine(sim);
+  net::Topology topology;
+  topology.add_path("lbl", "anl", quiet_path(10'000'000.0), 1, 0.0);
+  topology.add_path("anl", "lbl", quiet_path(10'000'000.0), 2, 0.0);
+  topology.add_path("isi", "anl", quiet_path(5'000'000.0), 3, 0.0);
+  topology.add_path("anl", "isi", quiet_path(5'000'000.0), 4, 0.0);
+
+  storage::StorageSystem anl_store("anl", dedicated_storage(), 1, 0.0);
+  storage::StorageSystem lbl_store("lbl", dedicated_storage(), 2, 0.0);
+  storage::StorageSystem isi_store("isi", dedicated_storage(), 3, 0.0);
+  gridftp::GridFtpServer lbl(
+      {.site = "lbl", .host = "dpsslx04.lbl.gov", .ip = "131.243.2.91"},
+      lbl_store);
+  gridftp::GridFtpServer isi(
+      {.site = "isi", .host = "jet.isi.edu", .ip = "128.9.160.100"},
+      isi_store);
+  const std::string client_ip = "140.221.65.69";
+  for (gridftp::GridFtpServer* s : {&lbl, &isi}) {
+    s->fs().add_volume("/data");
+    s->fs().add_file("/data/run42", kFileSize);
+  }
+  // Published history ranks LBL (8 MB/s) over ISI (2 MB/s).
+  for (int i = 0; i < 5; ++i) {
+    const double t = 100.0 * i;
+    lbl.record_transfer(client_ip, "/data/run42", kFileSize, t, t + 1.25,
+                        gridftp::Operation::kRead, 8, 1'000'000);
+    isi.record_transfer(client_ip, "/data/run42", kFileSize, t, t + 5.0,
+                        gridftp::Operation::kRead, 8, 1'000'000);
+  }
+  mds::GridFtpInfoProvider lbl_provider(
+      lbl,
+      {.base = *mds::Dn::parse("hostname=dpsslx04.lbl.gov, dc=lbl, o=grid")});
+  mds::GridFtpInfoProvider isi_provider(
+      isi, {.base = *mds::Dn::parse("hostname=jet.isi.edu, dc=isi, o=grid")});
+  mds::Gris lbl_gris("lbl-gris", *mds::Dn::parse("dc=lbl, o=grid"));
+  mds::Gris isi_gris("isi-gris", *mds::Dn::parse("dc=isi, o=grid"));
+  lbl_gris.register_provider(&lbl_provider, 300.0);
+  isi_gris.register_provider(&isi_provider, 300.0);
+  mds::Giis giis("top");
+  giis.register_gris(lbl_gris, 0.0, 1e9);
+  giis.register_gris(isi_gris, 0.0, 1e9);
+  replica::ReplicaCatalog catalog;
+  catalog.add_replica("lfn://run42", {.site = "lbl",
+                                      .server_host = "dpsslx04.lbl.gov",
+                                      .path = "/data/run42"});
+  catalog.add_replica("lfn://run42", {.site = "isi",
+                                      .server_host = "jet.isi.edu",
+                                      .path = "/data/run42"});
+
+  gridftp::GridFtpClient client(sim, engine, topology, "anl", client_ip,
+                                &anl_store);
+  replica::ReplicaBroker broker(catalog, giis,
+                                replica::SelectionPolicy::kPredictedBest,
+                                kSeed);
+  replica::FailoverFetcher fetcher(
+      sim, broker, client, [&](const replica::PhysicalReplica& replica) {
+        return replica.site == "lbl" ? &lbl : &isi;
+      });
+
+  // Fault schedule: split the attempt rate across refused connections,
+  // truncations, and stalls, and run decorrelated outage processes on
+  // both servers.  Same seed for every configuration at this rate.
+  resilience::FaultSpec spec;
+  spec.connect_failure_rate = 0.5 * fault_rate;
+  spec.truncation_rate = 0.3 * fault_rate;
+  spec.stall_rate = 0.2 * fault_rate;
+  spec.mean_fault_delay = 1.0;
+  spec.mean_uptime = 2400.0;
+  spec.mean_outage = 90.0;
+  spec.outage_horizon = kFirstIssue + kTransfers * kSpacing + 4000.0;
+  resilience::FaultInjector injector(
+      sim, spec, kSeed ^ static_cast<std::uint64_t>(fault_rate * 1000.0));
+  client.set_fault_injector(&injector);
+  injector.watch_outages("dpsslx04.lbl.gov",
+                         [&](bool up) { lbl.set_accepting(up); });
+  injector.watch_outages("jet.isi.edu",
+                         [&](bool up) { isi.set_accepting(up); });
+
+  resilience::RetryPolicy policy = resilience::default_wan_policy();
+  replica::FetchOptions options;
+  if (!resilient) {
+    // Pre-resilience single shot: one attempt, one replica.  The
+    // timeout stays so stalled channels resolve at all.
+    policy.max_attempts = 1;
+    options.max_replicas = 1;
+  }
+  client.set_retry_policy(policy, kSeed);
+
+  RunStats stats;
+  const std::uint64_t retries_before = retries_counter();
+  const std::uint64_t failovers_before = failovers_counter();
+  const std::uint64_t timeouts_before = timeouts_counter();
+  for (int i = 0; i < kTransfers; ++i) {
+    const SimTime issue = kFirstIssue + i * kSpacing;
+    sim.schedule_at(issue, [&, issue] {
+      fetcher.fetch("lfn://run42", kFileSize, options,
+                    [&stats, issue](const replica::FetchOutcome& outcome) {
+                      if (outcome.ok) {
+                        ++stats.ok;
+                        stats.start_delay.add(
+                            outcome.transfer.record.start_time - issue);
+                      } else {
+                        ++stats.failed;
+                      }
+                    });
+    });
+  }
+  sim.run();
+  stats.retries = retries_counter() - retries_before;
+  stats.failovers = failovers_counter() - failovers_before;
+  stats.timeouts = timeouts_counter() - timeouts_before;
+  return stats;
+}
+
+int run() {
+  banner("Resilience plane: retry/backoff + broker failover under faults",
+         "single-shot clients surrender one transfer per fault; bounded "
+         "retries plus next-best failover recover nearly all of them");
+
+  util::TextTable table({"fault rate", "single-shot ok %", "resilient ok %",
+                         "1shot delay s", "resil delay s", "retries",
+                         "failovers", "timeouts"});
+  table.set_align(0, util::TextTable::Align::Left);
+
+  bool headline_ok = true;
+  for (const double rate : {0.0, 0.1, 0.3, 0.5}) {
+    const RunStats single = run_cell(rate, /*resilient=*/false);
+    const RunStats resil = run_cell(rate, /*resilient=*/true);
+    const double single_pct = 100.0 * single.ok / double(kTransfers);
+    const double resil_pct = 100.0 * resil.ok / double(kTransfers);
+    if (rate == 0.3 && (resil_pct < 95.0 || single_pct > 70.0)) {
+      headline_ok = false;
+    }
+    table.add_row({fmt(100.0 * rate, 0) + "%", fmt(single_pct),
+                   fmt(resil_pct),
+                   fmt(single.start_delay.count() > 0
+                           ? single.start_delay.mean()
+                           : 0.0, 2),
+                   fmt(resil.start_delay.count() > 0
+                           ? resil.start_delay.mean()
+                           : 0.0, 2),
+                   std::to_string(resil.retries),
+                   std::to_string(resil.failovers),
+                   std::to_string(single.timeouts + resil.timeouts)});
+
+    auto& registry = obs::Registry::global();
+    const obs::Labels labels{{"rate", fmt(100.0 * rate, 0)}};
+    registry
+        .counter("wadp_bench_resilience_singleshot_ok_total", labels,
+                 "Successful single-shot fetches per fault rate")
+        .inc(static_cast<std::uint64_t>(single.ok));
+    registry
+        .counter("wadp_bench_resilience_resilient_ok_total", labels,
+                 "Successful resilient fetches per fault rate")
+        .inc(static_cast<std::uint64_t>(resil.ok));
+    registry
+        .gauge("wadp_bench_resilience_resilient_success_pct", labels,
+               "Resilient success rate per fault rate")
+        .set(resil_pct);
+    registry
+        .gauge("wadp_bench_resilience_singleshot_success_pct", labels,
+               "Single-shot success rate per fault rate")
+        .set(single_pct);
+  }
+  std::printf("%s", table.render().c_str());
+
+  std::printf(
+      "\nreading: every fault costs the single-shot client a transfer, so\n"
+      "its success rate tracks the raw per-attempt survival probability;\n"
+      "bounded retries absorb transient faults and failover routes around\n"
+      "outage windows, holding delivery near 100%% at the price of a\n"
+      "backoff-shaped start delay.  headline (30%% rate): %s\n",
+      headline_ok ? "resilient >= 95%, single-shot <= 70% -- PASS"
+                  : "outside expected bounds -- CHECK");
+
+  const auto written = obs::write_bench_json(
+      "BENCH_resilience.json", "resilience", obs::Registry::global());
+  if (!written.ok()) {
+    std::fprintf(stderr, "%s\n", written.error().c_str());
+    return 1;
+  }
+  return headline_ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace wadp::bench
+
+int main() { return wadp::bench::run(); }

@@ -65,7 +65,7 @@ int main() {
       now, *mds::Filter::parse(util::format(
                "(&(objectclass=GridFTPPerfInfo)(cn=%s)"
                "(predictedrdbandwidthfivehundredmbrange>=5000))",
-               anl_ip.c_str())));
+               mds::Filter::escape(anl_ip).c_str())));
   std::printf("\ninquiry: predicted 500MB-class read bandwidth to %s >= "
               "5000 KB/s:\n", anl_ip.c_str());
   for (const auto& entry : fast) {
@@ -81,7 +81,7 @@ int main() {
   const auto lbl_entry = giis.search(
       now, *mds::Filter::parse(util::format(
                "(&(objectclass=GridFTPPerfInfo)(hostname=dpsslx04.lbl.gov)"
-               "(cn=%s))", anl_ip.c_str())));
+               "(cn=%s))", mds::Filter::escape(anl_ip).c_str())));
   if (!lbl_entry.empty()) {
     std::printf("\nLDIF of the LBL entry (cf. paper Fig. 6):\n%s",
                 lbl_entry.front().to_ldif().c_str());

@@ -30,6 +30,10 @@
 #include "predict/suite.hpp"             // IWYU pragma: export
 #include "replica/broker.hpp"            // IWYU pragma: export
 #include "replica/catalog.hpp"           // IWYU pragma: export
+#include "replica/fetcher.hpp"           // IWYU pragma: export
+#include "resilience/failover.hpp"       // IWYU pragma: export
+#include "resilience/fault.hpp"          // IWYU pragma: export
+#include "resilience/retry.hpp"          // IWYU pragma: export
 #include "sim/simulator.hpp"             // IWYU pragma: export
 #include "workload/campaign.hpp"         // IWYU pragma: export
 #include "workload/prober.hpp"           // IWYU pragma: export

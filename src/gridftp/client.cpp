@@ -6,18 +6,19 @@
 #include <vector>
 
 #include "gridftp/protocol.hpp"
+#include "obs/events.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
+#include "util/ulm.hpp"
 
 namespace wadp::gridftp {
-namespace {
 
 /// Everything needed to run one data movement once control channels are
 /// up.  Reads are logged at the reading server, writes at the writing
 /// server; a third-party transfer populates both.
-struct DataPlan {
+struct GridFtpClient::DataPlan {
   GridFtpServer* read_logger = nullptr;   ///< server performing the read
   GridFtpServer* write_logger = nullptr;  ///< server performing the write
   std::string read_path;
@@ -34,6 +35,111 @@ struct DataPlan {
   /// Control sessions to close out with 226 when the data phase ends.
   std::vector<std::shared_ptr<ServerSession>> sessions;
 };
+
+/// Live state of one transfer attempt, shared between the scheduled
+/// phases (control, data, timeout, injected fault).  The `done` flag
+/// makes resolution idempotent: whichever of {completion, failure,
+/// timeout, truncation} fires first wins, and every later event is a
+/// no-op — exactly one outcome counter and one ULM event per attempt.
+struct GridFtpClient::Attempt {
+  std::string op_name;                    ///< "get" / "put" / ...
+  GridFtpServer* record_server = nullptr; ///< host tagged in failure records
+  std::string record_remote_ip;           ///< peer address in failure records
+  std::string path;
+  Operation op = Operation::kRead;
+  TransferOptions options;
+  Duration overhead = 0.0;    ///< control overhead of this attempt
+  SimTime started = 0.0;      ///< attempt launch instant
+  resilience::AttemptFault fault;
+  net::FlowId flow = 0;       ///< live data flow, 0 when none
+  Bytes moved = 0;            ///< bytes captured when a stall froze the flow
+  sim::EventId timeout_event = 0;
+  sim::EventId fault_event = 0;
+  bool done = false;
+  bool stalled = false;       ///< injected stall struck; nothing will move
+  /// Control sessions whose data phase is live (to 426 on failure).
+  std::vector<std::shared_ptr<ServerSession>> transferring;
+  TransferCallback callback;  ///< per-attempt outcome consumer
+};
+
+/// The backoff loop around one operation: launches attempts, spaces
+/// retries per the policy, and delivers the final outcome.  Keeps
+/// itself alive through the scheduled continuations.
+struct GridFtpClient::RetryDriver
+    : std::enable_shared_from_this<GridFtpClient::RetryDriver> {
+  GridFtpClient* client = nullptr;
+  std::string op_name;
+  AttemptLauncher launch;
+  TransferCallback callback;
+  int attempts = 0;
+  Duration backoff_spent = 0.0;
+
+  void start() {
+    ++attempts;
+    launch([self = shared_from_this()](const TransferOutcome& outcome) {
+      self->finished(outcome);
+    });
+  }
+
+  void finished(TransferOutcome outcome) {
+    outcome.attempts = attempts;
+    const resilience::RetryPolicy& policy = client->retry_policy_;
+    if (outcome.ok) {
+      deliver(outcome);
+      return;
+    }
+    if (attempts >= policy.max_attempts) {
+      if (policy.enabled()) exhausted(outcome.error);
+      deliver(outcome);
+      return;
+    }
+    const Duration backoff =
+        policy.backoff_for(attempts, client->retry_rng_);
+    if (!policy.allows_retry(attempts, backoff_spent, backoff)) {
+      exhausted(outcome.error);
+      deliver(outcome);
+      return;
+    }
+    backoff_spent += backoff;
+    obs::Registry::global()
+        .counter("wadp_resilience_retries_total", {{"op", op_name}},
+                 "Transfer attempts re-run after a failure")
+        .inc();
+    obs::Registry::global()
+        .histogram("wadp_resilience_backoff_seconds", {},
+                   "Backoff waited before each retry, seconds")
+        .record(backoff);
+    util::UlmRecord event;
+    event.set("OP", op_name);
+    event.set_int("ATTEMPT", attempts);
+    event.set_double("BACKOFF", backoff, 3);
+    event.set("ERROR", outcome.error);
+    obs::EventSink::global().emit("resilience.retry", "gridftp.client",
+                                  std::move(event));
+    client->sim_.schedule_after(
+        backoff, [self = shared_from_this()] { self->start(); });
+  }
+
+  void exhausted(const std::string& error) {
+    obs::Registry::global()
+        .counter("wadp_resilience_retry_exhausted_total", {{"op", op_name}},
+                 "Operations abandoned after the retry policy gave up")
+        .inc();
+    util::UlmRecord event;
+    event.set("OP", op_name);
+    event.set_int("ATTEMPTS", attempts);
+    event.set("ERROR", error);
+    obs::EventSink::global().emit("resilience.retry_exhausted",
+                                  "gridftp.client", std::move(event));
+  }
+
+  void deliver(const TransferOutcome& outcome) {
+    if (callback) callback(outcome);
+    callback = nullptr;
+  }
+};
+
+namespace {
 
 /// The scripted prologue every client invocation performs on a control
 /// channel: GSSAPI authentication, login, and transfer-parameter
@@ -82,6 +188,8 @@ class MarkerLoop : public std::enable_shared_from_this<MarkerLoop> {
   void fire() {
     // progress() may complete flows (including this one) as a side
     // effect of advancing bookkeeping; a vanished flow ends the loop.
+    // An interrupted flow (failure teardown, injected stall) vanishes
+    // the same way, so the loop also ends then.
     const auto progress = engine_.progress(flow_);
     if (!progress) return;
     on_marker_(progress->moved, progress->total, sim_.now());
@@ -99,6 +207,19 @@ obs::Counter& outcome_counter(const char* result) {
   return obs::Registry::global().counter(
       "wadp_client_transfers_total", {{"result", result}},
       "Client-driven transfer operations by outcome");
+}
+
+/// One ULM self-event per resolved attempt (RESULT=ok|fail).
+void emit_attempt_event(const std::string& op, const std::string& host,
+                        bool ok, const std::string& error, Bytes moved) {
+  util::UlmRecord event;
+  event.set("OP", op);
+  event.set("HOST", host.empty() ? "-" : host);
+  event.set("RESULT", ok ? "ok" : "fail");
+  if (!ok) event.set("ERROR", error);
+  if (moved > 0) event.set_int("MOVED", static_cast<std::int64_t>(moved));
+  obs::EventSink::global().emit("client.attempt", "gridftp.client",
+                                std::move(event));
 }
 
 /// Records the transfer-lifecycle span tree (connect -> negotiate ->
@@ -161,6 +282,12 @@ GridFtpClient::GridFtpClient(sim::Simulator& sim, net::FluidEngine& engine,
       local_storage_(local_storage),
       costs_(costs) {}
 
+void GridFtpClient::set_retry_policy(resilience::RetryPolicy policy,
+                                     std::uint64_t jitter_seed) {
+  retry_policy_ = policy;
+  retry_rng_ = util::Rng(jitter_seed);
+}
+
 Duration GridFtpClient::control_rtt(const std::string& server_site) const {
   // Control traffic client->server; fall back to the reverse direction
   // when only one direction is registered (RTT is symmetric anyway).
@@ -172,6 +299,7 @@ Duration GridFtpClient::control_rtt(const std::string& server_site) const {
 void GridFtpClient::fail(TransferCallback& callback, std::string error,
                          Duration overhead) {
   outcome_counter("fail").inc();
+  emit_attempt_event("striped_get", "", /*ok=*/false, error, 0);
   if (!callback) return;
   TransferOutcome outcome;
   outcome.ok = false;
@@ -180,56 +308,198 @@ void GridFtpClient::fail(TransferCallback& callback, std::string error,
   callback(outcome);
 }
 
-namespace {
+void GridFtpClient::run_with_retry(std::string op_name, AttemptLauncher launch,
+                                   TransferCallback callback) {
+  auto driver = std::make_shared<RetryDriver>();
+  driver->client = this;
+  driver->op_name = std::move(op_name);
+  driver->launch = std::move(launch);
+  driver->callback = std::move(callback);
+  driver->start();
+}
 
-/// Runs the data phase of `plan` on the fluid engine and delivers the
-/// outcome.  Free function so every public operation shares one code
-/// path for timing, logging, and callback delivery.
-void execute_plan(sim::Simulator& sim, net::FluidEngine& engine,
-                  net::Topology& topology, DataPlan plan,
-                  TransferOptions options, Duration control_overhead,
-                  TransferCallback callback) {
-  net::PathModel* path = topology.find(plan.src_site, plan.dst_site);
-  if (path == nullptr) {
-    if (callback) {
-      TransferOutcome outcome;
-      outcome.ok = false;
-      outcome.error =
-          "no path " + plan.src_site + " -> " + plan.dst_site + " in topology";
-      outcome.control_overhead = control_overhead;
-      callback(outcome);
+std::shared_ptr<GridFtpClient::Attempt> GridFtpClient::begin_attempt(
+    std::string op_name, GridFtpServer* record_server,
+    std::string record_remote_ip, std::string path, Operation op,
+    const TransferOptions& options, Duration overhead,
+    TransferCallback callback) {
+  auto attempt = std::make_shared<Attempt>();
+  attempt->op_name = std::move(op_name);
+  attempt->record_server = record_server;
+  attempt->record_remote_ip = std::move(record_remote_ip);
+  attempt->path = std::move(path);
+  attempt->op = op;
+  attempt->options = options;
+  attempt->overhead = overhead;
+  attempt->started = sim_.now();
+  attempt->callback = std::move(callback);
+  if (faults_ != nullptr) attempt->fault = faults_->sample_attempt();
+  if (retry_policy_.attempt_timeout > 0.0) {
+    attempt->timeout_event = sim_.schedule_after(
+        retry_policy_.attempt_timeout, [this, attempt] {
+          attempt->timeout_event = 0;
+          obs::Registry::global()
+              .counter("wadp_resilience_attempt_timeouts_total", {},
+                       "Attempts abandoned by the per-attempt timeout")
+              .inc();
+          finish_attempt_failure(
+              attempt,
+              util::format("426 attempt timed out after %.0f s",
+                           retry_policy_.attempt_timeout));
+        });
+  }
+  if (attempt->fault.kind == resilience::FaultKind::kTruncate ||
+      attempt->fault.kind == resilience::FaultKind::kStall) {
+    attempt->fault_event =
+        sim_.schedule_after(overhead + attempt->fault.delay, [this, attempt] {
+          attempt->fault_event = 0;
+          realize_timed_fault(attempt);
+        });
+  }
+  return attempt;
+}
+
+void GridFtpClient::cancel_attempt_timers(
+    const std::shared_ptr<Attempt>& attempt) {
+  if (attempt->timeout_event != 0) {
+    sim_.cancel(attempt->timeout_event);
+    attempt->timeout_event = 0;
+  }
+  if (attempt->fault_event != 0) {
+    sim_.cancel(attempt->fault_event);
+    attempt->fault_event = 0;
+  }
+}
+
+void GridFtpClient::realize_timed_fault(
+    const std::shared_ptr<Attempt>& attempt) {
+  if (attempt->done) return;
+  if (attempt->fault.kind == resilience::FaultKind::kTruncate) {
+    finish_attempt_failure(attempt,
+                           "426 data channel truncated (injected fault)");
+    return;
+  }
+  // Stall: the channel stays open but bytes stop.  Freeze the flow,
+  // keeping the partial count for the eventual failure record; only the
+  // per-attempt timeout (if configured) resolves the attempt.
+  attempt->stalled = true;
+  if (attempt->flow != 0) {
+    if (const auto progress = engine_.interrupt_flow(attempt->flow)) {
+      attempt->moved = progress->moved;
     }
+    attempt->flow = 0;
+  }
+}
+
+void GridFtpClient::finish_attempt_failure(
+    const std::shared_ptr<Attempt>& attempt, std::string error) {
+  if (attempt->done) return;
+  attempt->done = true;
+  cancel_attempt_timers(attempt);
+
+  // Tear down the data channel, keeping the bytes it moved.
+  Bytes moved = attempt->moved;
+  if (attempt->flow != 0) {
+    if (const auto progress = engine_.interrupt_flow(attempt->flow)) {
+      moved = progress->moved;
+    }
+    attempt->flow = 0;
+  }
+  // Close out control sessions whose data phase was live (the server
+  // sends its 426) so a retried attempt starts from a clean slate.
+  for (const auto& session : attempt->transferring) {
+    (void)session->complete_transfer(false);
+  }
+  attempt->transferring.clear();
+
+  outcome_counter("fail").inc();
+  emit_attempt_event(
+      attempt->op_name,
+      attempt->record_server != nullptr ? attempt->record_server->config().host
+                                        : std::string{},
+      /*ok=*/false, error, moved);
+
+  // Outcome-tagged record: the history plane learns the outage window.
+  if (attempt->record_server != nullptr && failure_sink_) {
+    TransferRecord record;
+    record.host = attempt->record_server->config().host;
+    record.source_ip = attempt->record_remote_ip;
+    record.file_name = attempt->path;
+    record.file_size = moved;
+    record.volume = "-";
+    record.start_time = attempt->started;
+    // Guarantee a positive duration even for failures resolved at the
+    // launch instant (bandwidth() divides by it).
+    record.end_time = std::max(sim_.now(), attempt->started + 1e-3);
+    record.op = attempt->op;
+    record.streams = attempt->options.streams;
+    record.tcp_buffer = attempt->options.buffer;
+    record.ok = false;
+    failure_sink_(record);
+  }
+
+  TransferOutcome outcome;
+  outcome.ok = false;
+  outcome.error = std::move(error);
+  outcome.control_overhead = attempt->overhead;
+  auto callback = std::move(attempt->callback);
+  attempt->callback = nullptr;
+  if (callback) callback(outcome);
+}
+
+void GridFtpClient::execute_plan(DataPlan plan,
+                                 std::shared_ptr<Attempt> attempt) {
+  net::PathModel* path = topology_.find(plan.src_site, plan.dst_site);
+  if (path == nullptr) {
+    // Counted and recorded like every other failure (this path used to
+    // bypass the outcome counter entirely).
+    finish_attempt_failure(attempt, "no path " + plan.src_site + " -> " +
+                                        plan.dst_site + " in topology");
     return;
   }
 
   // The timed window opens when the transfer operation begins: data
   // channels are set up inside it, as in the instrumented server.
-  const SimTime timed_start = sim.now();
-  const Duration data_setup =
-      ProtocolCosts{}.data_setup_rtts * path->rtt();
+  const SimTime timed_start = sim_.now();
+  const Duration data_setup = ProtocolCosts{}.data_setup_rtts * path->rtt();
 
-  sim.schedule_after(data_setup, [&sim, &engine, path, plan = std::move(plan),
-                                  options, control_overhead, timed_start,
-                                  callback = std::move(callback)]() mutable {
+  // From here the control sessions are committed to a data phase; a
+  // failure must close them out.
+  attempt->transferring = plan.sessions;
+
+  sim_.schedule_after(data_setup, [this, path, plan = std::move(plan),
+                                   timed_start, attempt]() mutable {
+    if (attempt->done) return;     // timed out / truncated during setup
+    if (attempt->stalled) return;  // stalled channel: bytes never start
+
     net::FlowSpec spec;
     spec.path = path;
-    spec.streams = options.streams;
-    spec.buffer = options.buffer;
+    spec.streams = attempt->options.streams;
+    spec.buffer = attempt->options.buffer;
     spec.size = plan.bytes;
-    if (plan.reader_port != nullptr) spec.extra_resources.push_back(plan.reader_port);
-    if (plan.writer_port != nullptr) spec.extra_resources.push_back(plan.writer_port);
+    if (plan.reader_port != nullptr)
+      spec.extra_resources.push_back(plan.reader_port);
+    if (plan.writer_port != nullptr)
+      spec.extra_resources.push_back(plan.writer_port);
 
-    spec.on_complete = [&sim, plan, options, control_overhead, timed_start,
-                        callback](const net::FlowStats& stats) {
+    spec.on_complete = [this, plan, timed_start,
+                        attempt](const net::FlowStats& stats) {
+      if (attempt->done) return;
+      attempt->done = true;
+      cancel_attempt_timers(attempt);
+      attempt->flow = 0;
+      attempt->transferring.clear();
+
       TransferRecord primary;
       Duration logging_overhead = 0.0;
 
       if (plan.read_logger != nullptr) {
         const TransferRecord r = plan.read_logger->record_transfer(
             plan.read_remote_ip, plan.read_path, plan.bytes, timed_start,
-            stats.end, Operation::kRead, options.streams, options.buffer);
-        logging_overhead =
-            std::max(logging_overhead, plan.read_logger->config().logging_overhead);
+            stats.end, Operation::kRead, attempt->options.streams,
+            attempt->options.buffer);
+        logging_overhead = std::max(
+            logging_overhead, plan.read_logger->config().logging_overhead);
         if (plan.primary_op == Operation::kRead) primary = r;
       }
       if (plan.write_logger != nullptr) {
@@ -238,9 +508,10 @@ void execute_plan(sim::Simulator& sim, net::FluidEngine& engine,
         }
         const TransferRecord r = plan.write_logger->record_transfer(
             plan.write_remote_ip, plan.write_path, plan.bytes, timed_start,
-            stats.end, Operation::kWrite, options.streams, options.buffer);
-        logging_overhead = std::max(logging_overhead,
-                                    plan.write_logger->config().logging_overhead);
+            stats.end, Operation::kWrite, attempt->options.streams,
+            attempt->options.buffer);
+        logging_overhead = std::max(
+            logging_overhead, plan.write_logger->config().logging_overhead);
         if (plan.primary_op == Operation::kWrite) primary = r;
       }
 
@@ -251,166 +522,228 @@ void execute_plan(sim::Simulator& sim, net::FluidEngine& engine,
       }
 
       outcome_counter("ok").inc();
+      emit_attempt_event(attempt->op_name,
+                         attempt->record_server != nullptr
+                             ? attempt->record_server->config().host
+                             : std::string{},
+                         /*ok=*/true, {}, plan.bytes);
       record_transfer_spans(
           to_string(plan.primary_op), plan.src_site, plan.dst_site, plan.bytes,
-          options.streams, control_overhead, timed_start, stats.start,
+          attempt->options.streams, attempt->overhead, timed_start, stats.start,
           stats.end, logging_overhead, plan.write_logger != nullptr,
           /*record_stream_child=*/true);
 
-      if (callback) {
+      if (attempt->callback) {
         TransferOutcome outcome;
         outcome.ok = true;
         outcome.record = primary;
-        outcome.control_overhead = control_overhead;
+        outcome.control_overhead = attempt->overhead;
         // The 226 reply reaches the client after the server's logging
         // work (Section 3's ~25 ms) completes.
-        sim.schedule_after(logging_overhead,
-                           [callback, outcome] { callback(outcome); });
+        auto callback = std::move(attempt->callback);
+        attempt->callback = nullptr;
+        sim_.schedule_after(logging_overhead,
+                            [callback, outcome] { callback(outcome); });
       }
     };
 
-    const net::FlowId flow = engine.start_flow(std::move(spec));
-    if (options.marker_interval > 0.0 && options.on_marker) {
-      std::make_shared<MarkerLoop>(sim, engine, flow, options.marker_interval,
-                                   options.on_marker)
+    const net::FlowId flow = engine_.start_flow(std::move(spec));
+    if (!attempt->done) attempt->flow = flow;
+    if (attempt->options.marker_interval > 0.0 && attempt->options.on_marker) {
+      std::make_shared<MarkerLoop>(sim_, engine_, flow,
+                                   attempt->options.marker_interval,
+                                   attempt->options.on_marker)
           ->arm();
     }
   });
 }
 
-}  // namespace
-
 void GridFtpClient::get(GridFtpServer& server, std::string remote_path,
                         const TransferOptions& options,
                         TransferCallback callback) {
+  run_with_retry(
+      "get",
+      [this, &server, remote_path = std::move(remote_path),
+       options](TransferCallback attempt_done) {
+        start_get(server, remote_path, options, std::move(attempt_done));
+      },
+      std::move(callback));
+}
+
+void GridFtpClient::start_get(GridFtpServer& server,
+                              const std::string& remote_path,
+                              const TransferOptions& options,
+                              TransferCallback callback) {
   const Duration rtt = control_rtt(server.site());
   const Duration overhead = costs_.control_setup_rtts * rtt + costs_.auth_cpu;
-  sim_.schedule_after(
-      overhead, [this, &server, remote_path = std::move(remote_path), options,
-                 overhead, callback = std::move(callback)]() mutable {
-        auto session = std::make_shared<ServerSession>(server);
-        if (const auto denied = login_and_negotiate(*session, options)) {
-          fail(callback, denied->to_line(), overhead);
-          return;
-        }
-        const Reply reply =
-            session->handle({.verb = "RETR", .argument = remote_path});
-        if (!reply.ok()) {
-          fail(callback, reply.to_line(), overhead);
-          return;
-        }
-        const auto data = session->take_pending_data();
-        WADP_CHECK(data.has_value() && data->length.has_value());
+  auto attempt = begin_attempt("get", &server, ip_, remote_path,
+                               Operation::kRead, options, overhead,
+                               std::move(callback));
+  sim_.schedule_after(overhead, [this, &server, remote_path, attempt]() {
+    if (attempt->done) return;
+    if (attempt->fault.kind == resilience::FaultKind::kConnectFail) {
+      finish_attempt_failure(attempt, "421 connection refused (injected fault)");
+      return;
+    }
+    auto session = std::make_shared<ServerSession>(server);
+    if (const auto denied = login_and_negotiate(*session, attempt->options)) {
+      finish_attempt_failure(attempt, denied->to_line());
+      return;
+    }
+    const Reply reply =
+        session->handle({.verb = "RETR", .argument = remote_path});
+    if (!reply.ok()) {
+      finish_attempt_failure(attempt, reply.to_line());
+      return;
+    }
+    const auto data = session->take_pending_data();
+    WADP_CHECK(data.has_value() && data->length.has_value());
 
-        DataPlan plan;
-        plan.read_logger = &server;
-        plan.read_path = remote_path;
-        plan.read_remote_ip = ip_;
-        plan.reader_port = &server.storage().read_port();
-        plan.writer_port =
-            local_storage_ != nullptr ? &local_storage_->write_port() : nullptr;
-        plan.src_site = server.site();
-        plan.dst_site = site_;
-        plan.bytes = *data->length;
-        plan.primary_op = Operation::kRead;
-        plan.sessions.push_back(std::move(session));
-        execute_plan(sim_, engine_, topology_, std::move(plan), options,
-                     overhead, std::move(callback));
-      });
+    DataPlan plan;
+    plan.read_logger = &server;
+    plan.read_path = remote_path;
+    plan.read_remote_ip = ip_;
+    plan.reader_port = &server.storage().read_port();
+    plan.writer_port =
+        local_storage_ != nullptr ? &local_storage_->write_port() : nullptr;
+    plan.src_site = server.site();
+    plan.dst_site = site_;
+    plan.bytes = *data->length;
+    plan.primary_op = Operation::kRead;
+    plan.sessions.push_back(std::move(session));
+    execute_plan(std::move(plan), attempt);
+  });
 }
 
 void GridFtpClient::get_partial(GridFtpServer& server, std::string remote_path,
                                 Bytes offset, Bytes length,
                                 const TransferOptions& options,
                                 TransferCallback callback) {
+  run_with_retry(
+      "get_partial",
+      [this, &server, remote_path = std::move(remote_path), offset, length,
+       options](TransferCallback attempt_done) {
+        start_get_partial(server, remote_path, offset, length, options,
+                          std::move(attempt_done));
+      },
+      std::move(callback));
+}
+
+void GridFtpClient::start_get_partial(GridFtpServer& server,
+                                      const std::string& remote_path,
+                                      Bytes offset, Bytes length,
+                                      const TransferOptions& options,
+                                      TransferCallback callback) {
   const Duration rtt = control_rtt(server.site());
   const Duration overhead = costs_.control_setup_rtts * rtt + costs_.auth_cpu;
-  sim_.schedule_after(
-      overhead, [this, &server, remote_path = std::move(remote_path), offset,
-                 length, options, overhead,
-                 callback = std::move(callback)]() mutable {
-        auto session = std::make_shared<ServerSession>(server);
-        if (const auto denied = login_and_negotiate(*session, options)) {
-          fail(callback, denied->to_line(), overhead);
-          return;
-        }
-        if (length == 0) {
-          fail(callback, "551 invalid byte range", overhead);
-          return;
-        }
-        const Reply reply = session->handle(
-            {.verb = "ERET",
-             .argument = util::format("P %llu %llu %s",
-                                      static_cast<unsigned long long>(offset),
-                                      static_cast<unsigned long long>(length),
-                                      remote_path.c_str())});
-        if (!reply.ok()) {
-          fail(callback, reply.to_line(), overhead);
-          return;
-        }
-        const auto data = session->take_pending_data();
-        WADP_CHECK(data.has_value());
+  auto attempt = begin_attempt("get_partial", &server, ip_, remote_path,
+                               Operation::kRead, options, overhead,
+                               std::move(callback));
+  sim_.schedule_after(overhead, [this, &server, remote_path, offset, length,
+                                 attempt]() {
+    if (attempt->done) return;
+    if (attempt->fault.kind == resilience::FaultKind::kConnectFail) {
+      finish_attempt_failure(attempt, "421 connection refused (injected fault)");
+      return;
+    }
+    auto session = std::make_shared<ServerSession>(server);
+    if (const auto denied = login_and_negotiate(*session, attempt->options)) {
+      finish_attempt_failure(attempt, denied->to_line());
+      return;
+    }
+    if (length == 0) {
+      finish_attempt_failure(attempt, "551 invalid byte range");
+      return;
+    }
+    const Reply reply = session->handle(
+        {.verb = "ERET",
+         .argument = util::format("P %llu %llu %s",
+                                  static_cast<unsigned long long>(offset),
+                                  static_cast<unsigned long long>(length),
+                                  remote_path.c_str())});
+    if (!reply.ok()) {
+      finish_attempt_failure(attempt, reply.to_line());
+      return;
+    }
+    const auto data = session->take_pending_data();
+    WADP_CHECK(data.has_value());
 
-        DataPlan plan;
-        plan.read_logger = &server;
-        plan.read_path = remote_path;
-        plan.read_remote_ip = ip_;
-        plan.reader_port = &server.storage().read_port();
-        plan.writer_port =
-            local_storage_ != nullptr ? &local_storage_->write_port() : nullptr;
-        plan.src_site = server.site();
-        plan.dst_site = site_;
-        plan.bytes = length;  // the log records bytes actually moved
-        plan.primary_op = Operation::kRead;
-        plan.sessions.push_back(std::move(session));
-        execute_plan(sim_, engine_, topology_, std::move(plan), options,
-                     overhead, std::move(callback));
-      });
+    DataPlan plan;
+    plan.read_logger = &server;
+    plan.read_path = remote_path;
+    plan.read_remote_ip = ip_;
+    plan.reader_port = &server.storage().read_port();
+    plan.writer_port =
+        local_storage_ != nullptr ? &local_storage_->write_port() : nullptr;
+    plan.src_site = server.site();
+    plan.dst_site = site_;
+    plan.bytes = length;  // the log records bytes actually moved
+    plan.primary_op = Operation::kRead;
+    plan.sessions.push_back(std::move(session));
+    execute_plan(std::move(plan), attempt);
+  });
 }
 
 void GridFtpClient::put(GridFtpServer& server, std::string remote_path,
                         Bytes size, const TransferOptions& options,
                         TransferCallback callback) {
+  run_with_retry(
+      "put",
+      [this, &server, remote_path = std::move(remote_path), size,
+       options](TransferCallback attempt_done) {
+        start_put(server, remote_path, size, options, std::move(attempt_done));
+      },
+      std::move(callback));
+}
+
+void GridFtpClient::start_put(GridFtpServer& server,
+                              const std::string& remote_path, Bytes size,
+                              const TransferOptions& options,
+                              TransferCallback callback) {
   const Duration rtt = control_rtt(server.site());
   const Duration overhead = costs_.control_setup_rtts * rtt + costs_.auth_cpu;
-  sim_.schedule_after(
-      overhead, [this, &server, remote_path = std::move(remote_path), size,
-                 options, overhead, callback = std::move(callback)]() mutable {
-        if (size == 0) {
-          fail(callback, "552 refusing zero-length store", overhead);
-          return;
-        }
-        auto session = std::make_shared<ServerSession>(server);
-        if (const auto denied = login_and_negotiate(*session, options)) {
-          fail(callback, denied->to_line(), overhead);
-          return;
-        }
-        (void)session->handle(
-            {.verb = "ALLO", .argument = std::to_string(size)});
-        const Reply reply =
-            session->handle({.verb = "STOR", .argument = remote_path});
-        if (!reply.ok()) {
-          fail(callback, reply.to_line(), overhead);
-          return;
-        }
-        (void)session->take_pending_data();
+  auto attempt =
+      begin_attempt("put", &server, ip_, remote_path, Operation::kWrite,
+                    options, overhead, std::move(callback));
+  sim_.schedule_after(overhead, [this, &server, remote_path, size, attempt]() {
+    if (attempt->done) return;
+    if (size == 0) {
+      finish_attempt_failure(attempt, "552 refusing zero-length store");
+      return;
+    }
+    if (attempt->fault.kind == resilience::FaultKind::kConnectFail) {
+      finish_attempt_failure(attempt, "421 connection refused (injected fault)");
+      return;
+    }
+    auto session = std::make_shared<ServerSession>(server);
+    if (const auto denied = login_and_negotiate(*session, attempt->options)) {
+      finish_attempt_failure(attempt, denied->to_line());
+      return;
+    }
+    (void)session->handle({.verb = "ALLO", .argument = std::to_string(size)});
+    const Reply reply =
+        session->handle({.verb = "STOR", .argument = remote_path});
+    if (!reply.ok()) {
+      finish_attempt_failure(attempt, reply.to_line());
+      return;
+    }
+    (void)session->take_pending_data();
 
-        DataPlan plan;
-        plan.write_logger = &server;
-        plan.write_path = remote_path;
-        plan.write_remote_ip = ip_;
-        plan.reader_port =
-            local_storage_ != nullptr ? &local_storage_->read_port() : nullptr;
-        plan.writer_port = &server.storage().write_port();
-        plan.src_site = site_;
-        plan.dst_site = server.site();
-        plan.bytes = size;
-        plan.create_file_on_write = true;
-        plan.primary_op = Operation::kWrite;
-        plan.sessions.push_back(std::move(session));
-        execute_plan(sim_, engine_, topology_, std::move(plan), options,
-                     overhead, std::move(callback));
-      });
+    DataPlan plan;
+    plan.write_logger = &server;
+    plan.write_path = remote_path;
+    plan.write_remote_ip = ip_;
+    plan.reader_port =
+        local_storage_ != nullptr ? &local_storage_->read_port() : nullptr;
+    plan.writer_port = &server.storage().write_port();
+    plan.src_site = site_;
+    plan.dst_site = server.site();
+    plan.bytes = size;
+    plan.create_file_on_write = true;
+    plan.primary_op = Operation::kWrite;
+    plan.sessions.push_back(std::move(session));
+    execute_plan(std::move(plan), attempt);
+  });
 }
 
 void GridFtpClient::third_party(GridFtpServer& source,
@@ -419,72 +752,98 @@ void GridFtpClient::third_party(GridFtpServer& source,
                                 std::string destination_path,
                                 const TransferOptions& options,
                                 TransferCallback callback) {
+  run_with_retry(
+      "third_party",
+      [this, &source, &destination, source_path = std::move(source_path),
+       destination_path = std::move(destination_path),
+       options](TransferCallback attempt_done) {
+        start_third_party(source, destination, source_path, destination_path,
+                          options, std::move(attempt_done));
+      },
+      std::move(callback));
+}
+
+void GridFtpClient::start_third_party(GridFtpServer& source,
+                                      GridFtpServer& destination,
+                                      const std::string& source_path,
+                                      const std::string& destination_path,
+                                      const TransferOptions& options,
+                                      TransferCallback callback) {
   // Both control channels are brought up concurrently; the slower one
   // gates the transfer.
-  const Duration rtt = std::max(control_rtt(source.site()),
-                                control_rtt(destination.site()));
+  const Duration rtt =
+      std::max(control_rtt(source.site()), control_rtt(destination.site()));
   const Duration overhead = costs_.control_setup_rtts * rtt + costs_.auth_cpu;
-  sim_.schedule_after(
-      overhead,
-      [this, &source, &destination, source_path = std::move(source_path),
-       destination_path = std::move(destination_path), options, overhead,
-       callback = std::move(callback)]() mutable {
-        auto source_session = std::make_shared<ServerSession>(source);
-        auto dest_session = std::make_shared<ServerSession>(destination);
-        for (const auto& session : {source_session, dest_session}) {
-          if (const auto denied = login_and_negotiate(*session, options)) {
-            fail(callback, denied->to_line(), overhead);
-            return;
-          }
-        }
-        // The source must know the size before the destination ALLOs.
-        const Reply size_reply = source_session->handle(
-            {.verb = "SIZE", .argument = source_path});
-        if (!size_reply.ok()) {
-          fail(callback, size_reply.to_line(), overhead);
-          return;
-        }
-        const auto size = util::parse_int(size_reply.text);
-        WADP_CHECK(size.has_value() && *size > 0);
+  // The outcome carries the source's (read) record, so failures are
+  // charged to the source host with the destination as the peer.
+  auto attempt = begin_attempt("third_party", &source,
+                               destination.config().ip, source_path,
+                               Operation::kRead, options, overhead,
+                               std::move(callback));
+  sim_.schedule_after(overhead, [this, &source, &destination, source_path,
+                                 destination_path, attempt]() {
+    if (attempt->done) return;
+    if (attempt->fault.kind == resilience::FaultKind::kConnectFail) {
+      finish_attempt_failure(attempt, "421 connection refused (injected fault)");
+      return;
+    }
+    auto source_session = std::make_shared<ServerSession>(source);
+    auto dest_session = std::make_shared<ServerSession>(destination);
+    for (const auto& session : {source_session, dest_session}) {
+      if (const auto denied = login_and_negotiate(*session, attempt->options)) {
+        finish_attempt_failure(attempt, denied->to_line());
+        return;
+      }
+    }
+    // The source must know the size before the destination ALLOs.
+    const Reply size_reply =
+        source_session->handle({.verb = "SIZE", .argument = source_path});
+    if (!size_reply.ok()) {
+      finish_attempt_failure(attempt, size_reply.to_line());
+      return;
+    }
+    const auto size = util::parse_int(size_reply.text);
+    WADP_CHECK(size.has_value() && *size > 0);
 
-        (void)dest_session->handle(
-            {.verb = "ALLO", .argument = std::to_string(*size)});
-        const Reply stor_reply = dest_session->handle(
-            {.verb = "STOR", .argument = destination_path});
-        if (!stor_reply.ok()) {
-          fail(callback, stor_reply.to_line(), overhead);
-          return;
-        }
-        const Reply retr_reply = source_session->handle(
-            {.verb = "RETR", .argument = source_path});
-        if (!retr_reply.ok()) {
-          // Roll the destination back: its data phase never starts.
-          (void)dest_session->complete_transfer(false);
-          fail(callback, retr_reply.to_line(), overhead);
-          return;
-        }
-        (void)source_session->take_pending_data();
-        (void)dest_session->take_pending_data();
+    (void)dest_session->handle(
+        {.verb = "ALLO", .argument = std::to_string(*size)});
+    const Reply stor_reply =
+        dest_session->handle({.verb = "STOR", .argument = destination_path});
+    if (!stor_reply.ok()) {
+      finish_attempt_failure(attempt, stor_reply.to_line());
+      return;
+    }
+    const Reply retr_reply =
+        source_session->handle({.verb = "RETR", .argument = source_path});
+    if (!retr_reply.ok()) {
+      // Roll the destination back: its data phase never starts.  Handing
+      // the session to the attempt routes the rollback through the one
+      // failure path (426 close-out included).
+      attempt->transferring.push_back(dest_session);
+      finish_attempt_failure(attempt, retr_reply.to_line());
+      return;
+    }
+    (void)source_session->take_pending_data();
+    (void)dest_session->take_pending_data();
 
-        DataPlan plan;
-        plan.read_logger = &source;
-        plan.read_path = source_path;
-        plan.read_remote_ip = destination.config().ip;
-        plan.write_logger = &destination;
-        plan.write_path = destination_path;
-        plan.write_remote_ip = source.config().ip;
-        plan.reader_port = &source.storage().read_port();
-        plan.writer_port = &destination.storage().write_port();
-        plan.src_site = source.site();
-        plan.dst_site = destination.site();
-        plan.bytes = static_cast<Bytes>(*size);
-        plan.create_file_on_write = true;
-        plan.primary_op = Operation::kRead;
-        plan.sessions.push_back(std::move(source_session));
-        plan.sessions.push_back(std::move(dest_session));
-        execute_plan(sim_, engine_, topology_, std::move(plan), options,
-                     overhead, std::move(callback));
-      });
+    DataPlan plan;
+    plan.read_logger = &source;
+    plan.read_path = source_path;
+    plan.read_remote_ip = destination.config().ip;
+    plan.write_logger = &destination;
+    plan.write_path = destination_path;
+    plan.write_remote_ip = source.config().ip;
+    plan.reader_port = &source.storage().read_port();
+    plan.writer_port = &destination.storage().write_port();
+    plan.src_site = source.site();
+    plan.dst_site = destination.site();
+    plan.bytes = static_cast<Bytes>(*size);
+    plan.create_file_on_write = true;
+    plan.primary_op = Operation::kRead;
+    plan.sessions.push_back(std::move(source_session));
+    plan.sessions.push_back(std::move(dest_session));
+    execute_plan(std::move(plan), attempt);
+  });
 }
 
 void GridFtpClient::striped_get(std::vector<GridFtpServer*> stripes,
@@ -609,6 +968,8 @@ void GridFtpClient::striped_get(std::vector<GridFtpServer*> stripes,
           // All stripes done: synthesize the whole-file outcome over
           // the full window.
           outcome_counter("ok").inc();
+          emit_attempt_event("striped_get", stripe->config().host,
+                             /*ok=*/true, {}, size);
           const obs::SpanId root = record_transfer_spans(
               to_string(Operation::kRead), stripe->site(), site_, size,
               options.streams, overhead, timed_start, timed_start,

@@ -9,6 +9,16 @@
 // matching the paper's "we merely record the data and time the transfer
 // operation"; authentication happens before the timed window, exactly
 // as in the real server's transfer log.
+//
+// On top of the single-shot protocol drive sits the resilience layer:
+// an optional retry policy (bounded exponential backoff with jitter, a
+// per-attempt timeout, and a cumulative budget) re-runs failed
+// attempts, and an optional fault injector perturbs individual attempts
+// with refused connections, truncated data channels, and stalls.  Every
+// failed attempt tears its data channel down, bumps exactly one outcome
+// counter, emits one ULM event, and — when a failure sink is wired —
+// produces an outcome-tagged TransferRecord so the history plane learns
+// outage windows.
 #pragma once
 
 #include <functional>
@@ -19,8 +29,11 @@
 #include "gridftp/server.hpp"
 #include "net/fabric.hpp"
 #include "net/path.hpp"
+#include "resilience/fault.hpp"
+#include "resilience/retry.hpp"
 #include "sim/simulator.hpp"
 #include "storage/storage.hpp"
+#include "util/rng.hpp"
 #include "util/types.hpp"
 
 namespace wadp::gridftp {
@@ -44,6 +57,7 @@ struct TransferOutcome {
   std::string error;                  ///< set when !ok
   TransferRecord record;              ///< as logged by the serving host
   Duration control_overhead = 0.0;    ///< auth + command time before data
+  int attempts = 1;                   ///< attempts consumed (retries + 1 try)
 };
 
 using TransferCallback = std::function<void(const TransferOutcome&)>;
@@ -66,6 +80,29 @@ class GridFtpClient {
 
   const std::string& site() const { return site_; }
   const std::string& ip() const { return ip_; }
+
+  /// Installs a retry policy for get/get_partial/put/third_party.  The
+  /// default policy is single-shot (max_attempts = 1), the
+  /// pre-resilience behaviour.  `jitter_seed` seeds the backoff-jitter
+  /// Rng, so two clients with the same policy but different seeds
+  /// decorrelate their retries.  striped_get stays single-shot.
+  void set_retry_policy(resilience::RetryPolicy policy,
+                        std::uint64_t jitter_seed = 0x7ead5eedULL);
+  const resilience::RetryPolicy& retry_policy() const { return retry_policy_; }
+
+  /// Points the client at a fault injector; each attempt then draws one
+  /// AttemptFault.  Null (the default) disables injection.  Not owned.
+  void set_fault_injector(resilience::FaultInjector* injector) {
+    faults_ = injector;
+  }
+
+  /// Receives an outcome-tagged TransferRecord (ok = false, file_size =
+  /// bytes actually moved) for every failed attempt against a known
+  /// server.  Wire this to HistoryStore::append so predictors see
+  /// outage windows.  The client cannot depend on the history module
+  /// (history links gridftp), hence the callback.
+  using FailureSink = std::function<void(const TransferRecord&)>;
+  void set_failure_sink(FailureSink sink) { failure_sink_ = std::move(sink); }
 
   /// Retrieves `remote_path` from `server`.  The callback fires when the
   /// control channel closes (after server-side logging overhead).
@@ -97,24 +134,73 @@ class GridFtpClient {
   /// Each stripe logs its slice; the outcome's record summarizes the
   /// whole file over the full timed window (host = first stripe's).
   /// All stripes must be at the same site and the file identical on
-  /// each; violations fail the transfer.
+  /// each; violations fail the transfer.  Not covered by the retry
+  /// policy or fault injector.
   void striped_get(std::vector<GridFtpServer*> stripes,
                    std::string remote_path, const TransferOptions& options,
                    TransferCallback callback);
 
  private:
-  struct Endpoints {
-    std::string data_src_site;
-    std::string data_dst_site;
-  };
+  struct Attempt;      // live state of one attempt (client.cpp)
+  struct DataPlan;     // data-phase description (client.cpp)
+  struct RetryDriver;  // backoff loop around an attempt launcher
 
-  /// Shared implementation; `op` is the serving host's perspective.
-  void run_transfer(GridFtpServer& logging_server,
-                    GridFtpServer* secondary_server, std::string path,
-                    std::string secondary_path, std::optional<Bytes> length,
-                    Operation op, Endpoints endpoints, std::string remote_ip,
-                    const TransferOptions& options, TransferCallback callback);
+  /// Launches one attempt of an operation; the callback reports that
+  /// attempt's outcome (the retry driver decides what happens next).
+  using AttemptLauncher = std::function<void(TransferCallback)>;
 
+  /// Wraps `launch` in the retry policy and delivers the final outcome
+  /// (with `attempts` filled in) to `callback`.
+  void run_with_retry(std::string op_name, AttemptLauncher launch,
+                      TransferCallback callback);
+
+  /// Creates the per-attempt state: samples a fault, arms the attempt
+  /// timeout, captures what a failure record needs.
+  std::shared_ptr<Attempt> begin_attempt(std::string op_name,
+                                         GridFtpServer* record_server,
+                                         std::string record_remote_ip,
+                                         std::string path, Operation op,
+                                         const TransferOptions& options,
+                                         Duration overhead,
+                                         TransferCallback callback);
+
+  /// Resolves an attempt as failed: idempotent; cancels timers, tears
+  /// down the data flow (keeping partial-byte counts), closes
+  /// transferring control sessions with a 426, bumps the fail counter,
+  /// emits one ULM event, pushes an outcome-tagged record to the
+  /// failure sink, and invokes the per-attempt callback.
+  void finish_attempt_failure(const std::shared_ptr<Attempt>& attempt,
+                              std::string error);
+
+  /// Cancels any pending timeout/fault events for the attempt.
+  void cancel_attempt_timers(const std::shared_ptr<Attempt>& attempt);
+
+  /// Realizes a timed injected fault (truncate or stall) against a
+  /// running attempt.
+  void realize_timed_fault(const std::shared_ptr<Attempt>& attempt);
+
+  /// Runs the data phase of an attempt on the fluid engine and delivers
+  /// the outcome; shared by every non-striped operation.
+  void execute_plan(DataPlan plan, std::shared_ptr<Attempt> attempt);
+
+  // Single-attempt bodies behind the public operations.
+  void start_get(GridFtpServer& server, const std::string& remote_path,
+                 const TransferOptions& options, TransferCallback callback);
+  void start_get_partial(GridFtpServer& server, const std::string& remote_path,
+                         Bytes offset, Bytes length,
+                         const TransferOptions& options,
+                         TransferCallback callback);
+  void start_put(GridFtpServer& server, const std::string& remote_path,
+                 Bytes size, const TransferOptions& options,
+                 TransferCallback callback);
+  void start_third_party(GridFtpServer& source, GridFtpServer& destination,
+                         const std::string& source_path,
+                         const std::string& destination_path,
+                         const TransferOptions& options,
+                         TransferCallback callback);
+
+  /// Single-shot failure for operations outside the retry loop
+  /// (striped_get): one outcome counter, one ULM event, callback.
   void fail(TransferCallback& callback, std::string error, Duration overhead);
 
   Duration control_rtt(const std::string& server_site) const;
@@ -126,6 +212,11 @@ class GridFtpClient {
   std::string ip_;
   storage::StorageSystem* local_storage_;
   ProtocolCosts costs_;
+
+  resilience::RetryPolicy retry_policy_;  // default: single-shot
+  util::Rng retry_rng_;
+  resilience::FaultInjector* faults_ = nullptr;
+  FailureSink failure_sink_;
 };
 
 }  // namespace wadp::gridftp

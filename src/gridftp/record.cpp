@@ -43,6 +43,7 @@ util::UlmRecord TransferRecord::to_ulm() const {
   ulm.set("OP", to_string(op));
   ulm.set_int("STREAMS", streams);
   ulm.set_int("BUFFER", static_cast<std::int64_t>(tcp_buffer));
+  if (!ok) ulm.set("RESULT", "fail");
   return ulm;
 }
 
@@ -66,7 +67,10 @@ std::optional<TransferRecord> TransferRecord::from_ulm(
   }
   const auto op = operation_from_string(*op_str);
   if (!op) return std::nullopt;
-  if (*size <= 0 || *end <= *start || *streams < 1 || *buffer <= 0) {
+  const auto result = ulm.get("RESULT");
+  const bool ok_flag = !result.has_value() || !util::iequals(*result, "fail");
+  if (*size < 0 || (ok_flag && *size == 0) || *end <= *start ||
+      *streams < 1 || *buffer <= 0) {
     return std::nullopt;
   }
 
@@ -80,6 +84,7 @@ std::optional<TransferRecord> TransferRecord::from_ulm(
   r.op = *op;
   r.streams = static_cast<int>(*streams);
   r.tcp_buffer = static_cast<Bytes>(*buffer);
+  r.ok = ok_flag;
   return r;
 }
 

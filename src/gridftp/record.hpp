@@ -36,6 +36,13 @@ struct TransferRecord {
   Operation op = Operation::kRead;
   int streams = 1;         ///< parallel data channels
   Bytes tcp_buffer = 0;    ///< per-stream socket buffer
+  /// Outcome tag.  The paper's server only ever logged completed
+  /// transfers; the resilience plane also records *failed* attempts
+  /// (file_size = bytes actually moved, possibly 0; bandwidth is the
+  /// achieved partial rate) so predictors can learn outage windows.
+  /// Serialized as RESULT=fail — absent for successes, keeping
+  /// pre-resilience log lines byte-identical.
+  bool ok = true;
 
   /// Transfer duration in seconds.
   Duration total_time() const { return end_time - start_time; }
@@ -51,7 +58,8 @@ struct TransferRecord {
   util::UlmRecord to_ulm() const;
 
   /// Inverse of to_ulm; nullopt when required fields are missing or
-  /// inconsistent (end before start, zero size).
+  /// inconsistent (end before start; zero size, unless the record is
+  /// tagged RESULT=fail — a failed attempt may have moved nothing).
   static std::optional<TransferRecord> from_ulm(const util::UlmRecord& ulm);
 
   bool operator==(const TransferRecord&) const = default;

@@ -10,7 +10,8 @@ SeriesKey series_key_for(const gridftp::TransferRecord& record) {
 predict::Observation to_observation(const gridftp::TransferRecord& record) {
   return predict::Observation{.time = record.end_time,
                               .value = record.bandwidth(),
-                              .file_size = record.file_size};
+                              .file_size = record.file_size,
+                              .ok = record.ok};
 }
 
 bool SeriesFilter::matches(const gridftp::TransferRecord& record) const {

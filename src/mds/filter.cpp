@@ -12,38 +12,65 @@ struct Filter::Node {
   Kind kind;
   std::vector<std::shared_ptr<const Node>> children;  // composites
   std::string attr;                                   // items
-  std::string value;                                  // items (may hold '*')
+  /// Decoded literal value (ordering items; escapes already resolved).
+  std::string value;
+  /// Equality items: literal runs between unescaped '*' wildcards.
+  /// ["abc"] is an exact match; ["", "lbl.gov"] is "*lbl.gov"; an
+  /// escaped \2a lands *inside* a segment and matches a literal '*'.
+  std::vector<std::string> segments;
 };
 
 // --- matching ---------------------------------------------------------------
 
 namespace {
 
-/// Case-insensitive wildcard match: '*' matches any run of characters.
-bool wildcard_match(std::string_view pattern, std::string_view text) {
-  // Iterative two-pointer algorithm with backtracking on the last '*'.
-  std::size_t p = 0, t = 0;
-  std::size_t star = std::string_view::npos, star_t = 0;
-  const auto eq = [](char a, char b) {
-    return std::tolower(static_cast<unsigned char>(a)) ==
-           std::tolower(static_cast<unsigned char>(b));
-  };
-  while (t < text.size()) {
-    if (p < pattern.size() && pattern[p] == '*') {
-      star = p++;
-      star_t = t;
-    } else if (p < pattern.size() && eq(pattern[p], text[t])) {
-      ++p;
-      ++t;
-    } else if (star != std::string_view::npos) {
-      p = star + 1;
-      t = ++star_t;
-    } else {
+bool ci_eq(char a, char b) {
+  return std::tolower(static_cast<unsigned char>(a)) ==
+         std::tolower(static_cast<unsigned char>(b));
+}
+
+bool ci_equals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (!ci_eq(a[i], b[i])) return false;
+  }
+  return true;
+}
+
+/// First case-insensitive occurrence of `pat` in `text` at or after
+/// `from`; npos when absent.
+std::size_t ci_find(std::string_view text, std::string_view pat,
+                    std::size_t from) {
+  if (pat.empty()) return from <= text.size() ? from : std::string_view::npos;
+  if (pat.size() > text.size()) return std::string_view::npos;
+  for (std::size_t i = from; i + pat.size() <= text.size(); ++i) {
+    if (ci_equals(text.substr(i, pat.size()), pat)) return i;
+  }
+  return std::string_view::npos;
+}
+
+/// Case-insensitive wildcard match over decoded segments: segments are
+/// the literal runs, wildcards sit between them (and at the ends when
+/// the first/last segment is empty).  Escaped metacharacters were
+/// decoded into the segments, so they match literally.
+bool segments_match(const std::vector<std::string>& segments,
+                    std::string_view text) {
+  if (segments.size() == 1) return ci_equals(segments.front(), text);
+  const std::string& first = segments.front();
+  const std::string& last = segments.back();
+  if (first.size() + last.size() > text.size()) return false;
+  if (!ci_equals(text.substr(0, first.size()), first)) return false;
+  const std::size_t tail_start = text.size() - last.size();
+  if (!ci_equals(text.substr(tail_start), last)) return false;
+  std::size_t pos = first.size();
+  for (std::size_t i = 1; i + 1 < segments.size(); ++i) {
+    const std::size_t hit = ci_find(text, segments[i], pos);
+    if (hit == std::string_view::npos || hit + segments[i].size() > tail_start) {
       return false;
     }
+    pos = hit + segments[i].size();
   }
-  while (p < pattern.size() && pattern[p] == '*') ++p;
-  return p == pattern.size();
+  return true;
 }
 
 /// Numeric when both sides parse; lexicographic otherwise.
@@ -67,7 +94,7 @@ bool item_matches(const Filter::Node& node, const Entry& entry) {
       return !values.empty();
     case Filter::Node::Kind::kEquality:
       for (const auto v : values) {
-        if (wildcard_match(node.value, v)) return true;
+        if (segments_match(node.segments, v)) return true;
       }
       return false;
     case Filter::Node::Kind::kGreaterEq:
@@ -105,6 +132,47 @@ bool node_matches(const Filter::Node& node, const Entry& entry) {
 }
 
 // --- parsing ---------------------------------------------------------------
+
+int hex_digit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+/// Decodes a raw (already-trimmed) item value: backslash-hex escapes
+/// become literal characters, unescaped '*' split wildcard segments.
+/// nullopt on a malformed escape (lone backslash, non-hex digits).
+std::optional<std::vector<std::string>> decode_value(std::string_view raw) {
+  std::vector<std::string> segments(1);
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    const char c = raw[i];
+    if (c == '\\') {
+      if (i + 2 >= raw.size()) return std::nullopt;
+      const int hi = hex_digit(raw[i + 1]);
+      const int lo = hex_digit(raw[i + 2]);
+      if (hi < 0 || lo < 0) return std::nullopt;
+      segments.back().push_back(static_cast<char>(hi * 16 + lo));
+      i += 2;
+    } else if (c == '*') {
+      segments.emplace_back();
+    } else {
+      segments.back().push_back(c);
+    }
+  }
+  return segments;
+}
+
+/// Joins decoded segments back into a literal string (ordering items,
+/// where '*' carries no wildcard meaning).
+std::string join_segments(const std::vector<std::string>& segments) {
+  std::string out = segments.front();
+  for (std::size_t i = 1; i < segments.size(); ++i) {
+    out += '*';
+    out += segments[i];
+  }
+  return out;
+}
 
 class Parser {
  public:
@@ -198,13 +266,21 @@ class Parser {
     while (pos_ < text_.size() && text_[pos_] != ')' && text_[pos_] != '(') {
       ++pos_;
     }
-    node->value = std::string(util::trim(text_.substr(vstart, pos_ - vstart)));
-    if (node->kind == Filter::Node::Kind::kEquality && node->value == "*") {
+    const std::string_view raw =
+        util::trim(text_.substr(vstart, pos_ - vstart));
+    if (node->kind == Filter::Node::Kind::kEquality && raw == "*") {
       node->kind = Filter::Node::Kind::kPresence;
-      node->value.clear();
+      return node;
     }
-    if (node->kind != Filter::Node::Kind::kPresence && node->value.empty()) {
-      return nullptr;
+    if (raw.empty()) return nullptr;
+    auto segments = decode_value(raw);
+    if (!segments) return nullptr;  // malformed escape
+    if (node->kind == Filter::Node::Kind::kEquality) {
+      node->segments = std::move(*segments);
+    } else {
+      // Ordering comparison: '*' has no wildcard meaning; the decoded
+      // text is one literal.
+      node->value = join_segments(*segments);
     }
     return node;
   }
@@ -212,6 +288,38 @@ class Parser {
   std::string_view text_;
   std::size_t pos_ = 0;
 };
+
+/// Re-encodes one literal segment for textual form: metacharacters and
+/// NUL as backslash-hex, plus edge whitespace (which an unescaped
+/// reparse would trim away).
+std::string escape_literal(std::string_view literal) {
+  std::string out;
+  out.reserve(literal.size());
+  for (std::size_t i = 0; i < literal.size(); ++i) {
+    const char c = literal[i];
+    const bool edge = i == 0 || i + 1 == literal.size();
+    const bool is_ws = std::isspace(static_cast<unsigned char>(c)) != 0;
+    if (c == '\\' || c == '(' || c == ')' || c == '*' || c == '\0' ||
+        (edge && is_ws)) {
+      static const char* kHex = "0123456789abcdef";
+      out += '\\';
+      out += kHex[(static_cast<unsigned char>(c) >> 4) & 0xf];
+      out += kHex[static_cast<unsigned char>(c) & 0xf];
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string segments_to_string(const std::vector<std::string>& segments) {
+  std::string out = escape_literal(segments.front());
+  for (std::size_t i = 1; i < segments.size(); ++i) {
+    out += '*';
+    out += escape_literal(segments[i]);
+  }
+  return out;
+}
 
 std::string node_to_string(const Filter::Node& node) {
   using Kind = Filter::Node::Kind;
@@ -229,11 +337,11 @@ std::string node_to_string(const Filter::Node& node) {
     case Kind::kPresence:
       return "(" + node.attr + "=*)";
     case Kind::kEquality:
-      return "(" + node.attr + "=" + node.value + ")";
+      return "(" + node.attr + "=" + segments_to_string(node.segments) + ")";
     case Kind::kGreaterEq:
-      return "(" + node.attr + ">=" + node.value + ")";
+      return "(" + node.attr + ">=" + escape_literal(node.value) + ")";
     case Kind::kLessEq:
-      return "(" + node.attr + "<=" + node.value + ")";
+      return "(" + node.attr + "<=" + escape_literal(node.value) + ")";
   }
   return "";
 }
@@ -252,6 +360,10 @@ Filter Filter::match_all() {
   node->kind = Node::Kind::kPresence;
   node->attr = "objectclass";
   return Filter(std::move(node));
+}
+
+std::string Filter::escape(std::string_view value) {
+  return escape_literal(value);
 }
 
 bool Filter::matches(const Entry& entry) const {

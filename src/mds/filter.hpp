@@ -8,6 +8,12 @@
 //
 // Ordering comparisons are numeric when both operands parse as numbers,
 // lexicographic otherwise; equality is case-insensitive.
+//
+// Values may carry RFC 4515 backslash-hex escapes (\28 \29 \2a \5c
+// \00 ...): an escaped character is matched literally, so a value
+// containing the filter metacharacters ( ) * \ can be queried by
+// escaping it with Filter::escape().  Malformed escapes are parse
+// errors.
 #pragma once
 
 #include <memory>
@@ -31,6 +37,14 @@ class Filter {
 
   /// A filter matching every entry: "(objectclass=*)" equivalent.
   static Filter match_all();
+
+  /// Escapes a literal value for interpolation into filter text (RFC
+  /// 4515 style): the metacharacters ( ) * \ and NUL become \xx
+  /// backslash-hex pairs, as do leading/trailing whitespace characters
+  /// (the parser trims unescaped value edges).  Every string built
+  /// from external input — hostnames, client addresses — must pass
+  /// through here before being formatted into a filter.
+  static std::string escape(std::string_view value);
 
   bool matches(const Entry& entry) const;
 

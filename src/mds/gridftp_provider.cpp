@@ -26,9 +26,19 @@ struct EndpointStats {
   util::RunningStats bandwidth;  // bytes/s, all classes
   std::vector<util::RunningStats> class_bandwidth;
   std::vector<predict::StreamingMean> class_mean;
+  std::uint64_t failures = 0;  // outcome-tagged failed attempts
+  std::uint64_t history_epoch = 0;  // freshest source-series epoch
 
   void add(const Observation& obs, const predict::SizeClassifier& classifier,
            std::size_t window) {
+    // Failed attempts are counted but kept out of the bandwidth
+    // summary: min/avg/max describe what *completed* transfers
+    // achieved (the Fig. 6 semantics), while the failure count tells a
+    // broker the endpoint has been flaky.
+    if (!obs.ok) {
+      ++failures;
+      return;
+    }
     if (class_bandwidth.empty()) {
       const int classes = classifier.num_classes();
       class_bandwidth.resize(static_cast<std::size_t>(classes));
@@ -78,7 +88,8 @@ Schema GridFtpInfoProvider::schema() {
       .required = {"cn", "hostname", "gridftpurl"},
       .optional = {"numrdtransfers",  "minrdbandwidth", "maxrdbandwidth",
                    "avgrdbandwidth",  "numwrtransfers", "minwrbandwidth",
-                   "maxwrbandwidth",  "avgwrbandwidth", "lastupdate"},
+                   "maxwrbandwidth",  "avgwrbandwidth", "lastupdate",
+                   "numrdfailures",   "numwrfailures",  "historyepoch"},
   });
   schema.define(ObjectClassDef{
       .name = "GridFTPServerInfo",
@@ -111,6 +122,7 @@ std::vector<Entry> GridFtpInfoProvider::provide(SimTime now) {
     const auto snapshot = store->snapshot(key);
     auto& bucket =
         (key.op == Operation::kRead ? reads : writes)[key.remote_ip];
+    bucket.history_epoch = std::max(bucket.history_epoch, snapshot.epoch());
     for (const Observation& obs : snapshot.observations()) {
       bucket.add(obs, config_.classifier, config_.prediction_window);
     }
@@ -156,6 +168,19 @@ std::vector<Entry> GridFtpInfoProvider::provide(SimTime now) {
     Entry& entry = endpoint_entry(remote);
     entry.set("num" + prefix + "transfers",
               std::to_string(stats.bandwidth.count()));
+    if (stats.failures > 0) {
+      entry.set("num" + prefix + "failures", std::to_string(stats.failures));
+    }
+    if (stats.history_epoch > 0) {
+      // Freshness marker: the newest source-series epoch behind this
+      // entry.  Brokers comparing entries from several GIIS paths
+      // prefer the highest (see ReplicaBroker::predicted_for).
+      const auto prior = entry.get_double("historyepoch");
+      if (!prior || *prior < static_cast<double>(stats.history_epoch)) {
+        entry.set("historyepoch", std::to_string(stats.history_epoch));
+      }
+    }
+    if (stats.bandwidth.count() == 0) return;  // failures only: no stats
     entry.set("min" + prefix + "bandwidth", kb_value(stats.bandwidth.min()));
     entry.set("max" + prefix + "bandwidth", kb_value(stats.bandwidth.max()));
     entry.set("avg" + prefix + "bandwidth", kb_value(stats.bandwidth.mean()));

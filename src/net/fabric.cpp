@@ -78,6 +78,23 @@ std::optional<FluidEngine::FlowProgress> FluidEngine::progress(FlowId id) {
   return p;
 }
 
+std::optional<FluidEngine::FlowProgress> FluidEngine::interrupt_flow(
+    FlowId id) {
+  advance_to(sim_.now());
+  const auto it = flows_.find(id);
+  if (it == flows_.end()) return std::nullopt;
+  const Flow& f = it->second;
+  FlowProgress p;
+  p.total = f.spec.size;
+  const auto remaining = static_cast<Bytes>(f.remaining);
+  p.moved = f.spec.size > remaining ? f.spec.size - remaining : 0;
+  p.rate = f.rate;
+  flows_.erase(it);
+  reallocate(sim_.now());
+  schedule_next();
+  return p;
+}
+
 void FluidEngine::advance_to(SimTime t) {
   if (flows_.empty()) {
     last_update_ = t;

@@ -89,6 +89,12 @@ class FluidEngine {
   };
   std::optional<FlowProgress> progress(FlowId id);
 
+  /// Aborts an active flow like cancel_flow but returns how far it got
+  /// — the basis for partial-transfer failure records when a data
+  /// channel is truncated or times out.  nullopt when the flow already
+  /// completed (its callback has fired or is firing) or never existed.
+  std::optional<FlowProgress> interrupt_flow(FlowId id);
+
   /// Total flows completed since construction (for tests/metrics).
   std::uint64_t completed_flows() const { return completed_; }
 

@@ -14,6 +14,11 @@ struct Observation {
   SimTime time = 0.0;      ///< completion time of the measured transfer
   Bandwidth value = 0.0;   ///< achieved end-to-end bandwidth, bytes/s
   Bytes file_size = 0;     ///< size of the transferred file
+  /// False for an outcome-tagged failed attempt (value is then the
+  /// achieved partial rate, often 0).  Predictors consume value as-is —
+  /// failure observations drag the estimate down through an outage
+  /// window; publication-side summary stats skip them instead.
+  bool ok = true;
 
   bool operator==(const Observation&) const = default;
 };

@@ -1,8 +1,13 @@
 #include "replica/broker.hpp"
 
+#include <utility>
+
 #include "mds/filter.hpp"
+#include "obs/events.hpp"
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
+#include "util/ulm.hpp"
 
 namespace wadp::replica {
 
@@ -33,30 +38,78 @@ std::optional<Bandwidth> ReplicaBroker::predicted_for(
     const PhysicalReplica& replica, const std::string& client_ip, Bytes size,
     SimTime now) {
   // Inquiry: the performance entry this replica's site published about
-  // past transfers to this client.
+  // past transfers to this client.  Both interpolated values come from
+  // external input (catalog registrations, client addresses), so they
+  // are escaped — a hostname containing ( ) * \ must match literally,
+  // not reshape the filter.
   const auto filter = mds::Filter::parse(util::format(
       "(&(objectclass=GridFTPPerfInfo)(cn=%s)(hostname=%s))",
-      client_ip.c_str(), replica.server_host.c_str()));
-  WADP_CHECK(filter.has_value());
+      mds::Filter::escape(client_ip).c_str(),
+      mds::Filter::escape(replica.server_host).c_str()));
+  if (!filter.has_value()) {
+    // Escaping should make this unreachable, but a filter the parser
+    // rejects must degrade to "no prediction" — never abort the broker.
+    obs::Registry::global()
+        .counter("wadp_broker_filter_errors_total", {},
+                 "Inquiry filters rejected by the parser")
+        .inc();
+    util::UlmRecord event;
+    event.set("CN", client_ip);
+    event.set("HOST", replica.server_host);
+    obs::EventSink::global().emit("broker.bad_filter", "replica.broker",
+                                  std::move(event));
+    return std::nullopt;
+  }
   const auto entries = giis_.search(now, *filter);
   if (entries.empty()) return std::nullopt;
+
+  // Several GIIS paths can carry entries for the same (client, host)
+  // pair — typically a lapsed registration alongside a fresh one.
+  // First-wins returned whichever entry the GIIS happened to list
+  // first, silently preferring stale data; instead take the attribute
+  // from the entry with the newest historyepoch (the provider's
+  // source-series epoch), breaking ties on lastupdate.
+  const auto freshness = [](const mds::Entry& entry) {
+    return std::pair(entry.get_double("historyepoch").value_or(-1.0),
+                     entry.get_double("lastupdate").value_or(-1.0));
+  };
+  const auto freshest_value =
+      [&](const std::string& attr) -> std::optional<double> {
+    std::optional<double> best;
+    std::pair<double, double> best_key{-1.0, -1.0};
+    for (const auto& entry : entries) {
+      const auto value = entry.get_double(attr);
+      if (!value) continue;
+      const auto key = freshness(entry);
+      if (!best || key > best_key) {
+        best = value;
+        best_key = key;
+      }
+    }
+    return best;
+  };
 
   const int cls = classifier_.classify(size);
   const std::string attr =
       "predictedrdbandwidth" +
       mds::GridFtpInfoProvider::range_fragment(classifier_, cls);
-  for (const auto& entry : entries) {
-    if (const auto kb = entry.get_double(attr)) {
-      return *kb * static_cast<double>(kKB);  // published in KB/s
-    }
+  if (const auto kb = freshest_value(attr)) {
+    return *kb * static_cast<double>(kKB);  // published in KB/s
   }
   // No same-class prediction yet: fall back to the overall average.
-  for (const auto& entry : entries) {
-    if (const auto kb = entry.get_double("avgrdbandwidth")) {
-      return *kb * static_cast<double>(kKB);
-    }
+  if (const auto kb = freshest_value("avgrdbandwidth")) {
+    return *kb * static_cast<double>(kKB);
   }
   return std::nullopt;
+}
+
+void ReplicaBroker::record_failure(const PhysicalReplica& replica,
+                                   SimTime now) {
+  cooldowns_.record_failure(replica.server_host, now);
+}
+
+void ReplicaBroker::record_success(const PhysicalReplica& replica) {
+  cooldowns_.record_success(replica.server_host);
 }
 
 std::optional<Bandwidth> ReplicaBroker::predicted_from_history(
@@ -93,10 +146,31 @@ std::optional<Selection> ReplicaBroker::select(
     const std::string& logical_name, const std::string& client_ip, Bytes size,
     SimTime now, std::span<const PhysicalReplica> exclude) {
   std::vector<PhysicalReplica> replicas;
+  std::vector<PhysicalReplica> cooling;
   for (const auto& replica : catalog_.replicas(logical_name)) {
     const bool excluded =
         std::find(exclude.begin(), exclude.end(), replica) != exclude.end();
-    if (!excluded) replicas.push_back(replica);
+    if (excluded) continue;
+    if (!cooldowns_.available(replica.server_host, now)) {
+      cooling.push_back(replica);
+      continue;
+    }
+    replicas.push_back(replica);
+  }
+  if (replicas.empty() && !cooling.empty()) {
+    // Every surviving candidate is in cooldown: trying one anyway beats
+    // answering "no replica".  The usual case resolves before this —
+    // cooldowns expire on the simulation clock.
+    obs::Registry::global()
+        .counter("wadp_resilience_cooldown_overrides_total", {},
+                 "Selections forced to use a cooling replica")
+        .inc();
+    replicas = std::move(cooling);
+  } else if (!cooling.empty()) {
+    obs::Registry::global()
+        .counter("wadp_resilience_cooldown_skips_total", {},
+                 "Replicas skipped by selection while in cooldown")
+        .inc(cooling.size());
   }
   if (replicas.empty()) return std::nullopt;
 

@@ -21,6 +21,7 @@
 #include "mds/gridftp_provider.hpp"
 #include "predict/classifier.hpp"
 #include "replica/catalog.hpp"
+#include "resilience/failover.hpp"
 #include "util/rng.hpp"
 #include "util/types.hpp"
 
@@ -63,6 +64,15 @@ class ReplicaBroker {
 
   SelectionPolicy policy() const { return policy_; }
 
+  /// Failover feedback: a failed fetch from `replica` puts its server
+  /// into cooldown (growing exponentially with consecutive failures); a
+  /// success clears the streak.  select() skips replicas in cooldown —
+  /// unless every remaining candidate is cooling, in which case the
+  /// cooldown is overridden (a cooling replica beats none at all).
+  void record_failure(const PhysicalReplica& replica, SimTime now);
+  void record_success(const PhysicalReplica& replica);
+  const resilience::CooldownTracker& cooldowns() const { return cooldowns_; }
+
   /// Optional fallback source: when the GIIS has no usable entry for a
   /// candidate (provider not yet refreshed, registration lapsed), the
   /// broker reads the history plane directly — a snapshot of
@@ -88,6 +98,7 @@ class ReplicaBroker {
   util::Rng rng_;
   predict::SizeClassifier classifier_;
   std::size_t round_robin_next_ = 0;
+  resilience::CooldownTracker cooldowns_;
 };
 
 }  // namespace wadp::replica

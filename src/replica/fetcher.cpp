@@ -1,0 +1,113 @@
+#include "replica/fetcher.hpp"
+
+#include <utility>
+
+#include "obs/events.hpp"
+#include "obs/metrics.hpp"
+#include "util/ulm.hpp"
+
+namespace wadp::replica {
+
+struct FailoverFetcher::FetchState {
+  std::string logical_name;
+  Bytes size = 0;
+  FetchOptions options;
+  FetchCallback callback;
+  FetchOutcome outcome;
+};
+
+FailoverFetcher::FailoverFetcher(sim::Simulator& sim, ReplicaBroker& broker,
+                                 gridftp::GridFtpClient& client,
+                                 ServerResolver resolver)
+    : sim_(sim),
+      broker_(broker),
+      client_(client),
+      resolver_(std::move(resolver)) {}
+
+void FailoverFetcher::fetch(std::string logical_name, Bytes size,
+                            FetchOptions options, FetchCallback callback) {
+  auto state = std::make_shared<FetchState>();
+  state->logical_name = std::move(logical_name);
+  state->size = size;
+  state->options = std::move(options);
+  state->callback = std::move(callback);
+  try_next(state);
+}
+
+void FailoverFetcher::try_next(const std::shared_ptr<FetchState>& state) {
+  const auto deliver = [&state] {
+    if (state->callback) state->callback(state->outcome);
+    state->callback = nullptr;
+  };
+
+  if (state->options.max_replicas > 0 &&
+      state->outcome.failed.size() >= state->options.max_replicas) {
+    state->outcome.ok = false;
+    if (state->outcome.error.empty()) {
+      state->outcome.error = "replica budget exhausted";
+    }
+    deliver();
+    return;
+  }
+
+  const auto selection =
+      broker_.select(state->logical_name, client_.ip(), state->size,
+                     sim_.now(), state->outcome.failed);
+  if (!selection) {
+    state->outcome.ok = false;
+    if (state->outcome.error.empty()) {
+      state->outcome.error = "no replica available for " + state->logical_name;
+    }
+    deliver();
+    return;
+  }
+  state->outcome.selection = selection;
+
+  gridftp::GridFtpServer* server = resolver_(selection->replica);
+  if (server == nullptr) {
+    // Catalog/deployment mismatch; treat exactly like a failed replica
+    // so the loop keeps moving.
+    replica_failed(state, selection->replica,
+                   "no server for replica " + selection->replica.server_host);
+    try_next(state);
+    return;
+  }
+
+  client_.get(*server, selection->replica.path, state->options.transfer,
+              [this, state, replica = selection->replica](
+                  const gridftp::TransferOutcome& outcome) {
+                state->outcome.transfer = outcome;
+                if (outcome.ok) {
+                  broker_.record_success(replica);
+                  state->outcome.ok = true;
+                  state->outcome.error.clear();
+                  if (state->callback) state->callback(state->outcome);
+                  state->callback = nullptr;
+                  return;
+                }
+                replica_failed(state, replica, outcome.error);
+                try_next(state);
+              });
+}
+
+void FailoverFetcher::replica_failed(const std::shared_ptr<FetchState>& state,
+                                     const PhysicalReplica& replica,
+                                     std::string error) {
+  broker_.record_failure(replica, sim_.now());
+  state->outcome.failed.push_back(replica);
+  ++state->outcome.failovers;
+  state->outcome.error = error;
+
+  obs::Registry::global()
+      .counter("wadp_resilience_failovers_total", {},
+               "Replicas abandoned in favour of the next-best candidate")
+      .inc();
+  util::UlmRecord event;
+  event.set("LOGICAL", state->logical_name);
+  event.set("HOST", replica.server_host);
+  event.set("ERROR", std::move(error));
+  obs::EventSink::global().emit("resilience.failover", "replica.fetcher",
+                                std::move(event));
+}
+
+}  // namespace wadp::replica

@@ -1,0 +1,58 @@
+#include "resilience/failover.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/events.hpp"
+
+namespace wadp::resilience {
+
+CooldownTracker::CooldownTracker(CooldownPolicy policy) : policy_(policy) {
+  auto& registry = obs::Registry::global();
+  cooldowns_ = &registry.counter("wadp_resilience_cooldowns_total", {},
+                                 "Cooldown windows opened after failures");
+  recoveries_ = &registry.counter(
+      "wadp_resilience_cooldown_recoveries_total", {},
+      "Cooldown state cleared by a subsequent success");
+}
+
+void CooldownTracker::record_failure(const std::string& key, SimTime now) {
+  State& state = state_[key];
+  ++state.consecutive;
+  Duration cooldown =
+      policy_.base * std::pow(policy_.multiplier,
+                              static_cast<double>(state.consecutive - 1));
+  cooldown = std::min(cooldown, policy_.max);
+  state.until = std::max(state.until, now + cooldown);
+  cooldowns_->inc();
+  util::UlmRecord record;
+  record.set("KEY", key);
+  record.set_int("CONSECUTIVE", state.consecutive);
+  record.set_double("UNTIL", state.until, 3);
+  obs::EventSink::global().emit("resilience.cooldown", "resilience",
+                                std::move(record));
+}
+
+void CooldownTracker::record_success(const std::string& key) {
+  const auto it = state_.find(key);
+  if (it == state_.end()) return;
+  if (it->second.consecutive > 0) recoveries_->inc();
+  state_.erase(it);
+}
+
+bool CooldownTracker::available(const std::string& key, SimTime now) const {
+  const auto it = state_.find(key);
+  return it == state_.end() || now >= it->second.until;
+}
+
+SimTime CooldownTracker::available_at(const std::string& key) const {
+  const auto it = state_.find(key);
+  return it == state_.end() ? 0.0 : it->second.until;
+}
+
+int CooldownTracker::consecutive_failures(const std::string& key) const {
+  const auto it = state_.find(key);
+  return it == state_.end() ? 0 : it->second.consecutive;
+}
+
+}  // namespace wadp::resilience

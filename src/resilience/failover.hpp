@@ -1,0 +1,65 @@
+// Per-target cooldown / blacklist state for broker failover.
+//
+// When a replica fails, re-ranking alone is not enough: the broker's
+// prediction may still favour the dead server on the very next call,
+// bouncing every client off the same outage.  The CooldownTracker
+// remembers recent failures per key (a server host) and answers "is
+// this target worth trying right now?".  Consecutive failures grow the
+// cooldown exponentially up to a cap; one success clears the slate.
+// Everything is keyed on the simulation clock, so cooldown expiry is
+// deterministic.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "util/types.hpp"
+
+namespace wadp::resilience {
+
+struct CooldownPolicy {
+  /// Cooldown after the first failure (seconds).
+  Duration base = 30.0;
+  /// Growth factor per additional consecutive failure.
+  double multiplier = 2.0;
+  /// Ceiling on any cooldown (seconds).
+  Duration max = 900.0;
+};
+
+class CooldownTracker {
+ public:
+  explicit CooldownTracker(CooldownPolicy policy = {});
+
+  /// Notes a failure of `key` at `now`, extending its cooldown.
+  void record_failure(const std::string& key, SimTime now);
+
+  /// Notes a success: the key's failure streak and cooldown are cleared.
+  void record_success(const std::string& key);
+
+  /// True when `key` is outside any cooldown window at `now`.
+  bool available(const std::string& key, SimTime now) const;
+
+  /// Instant at which `key` becomes available again (0 when it already
+  /// is, or was never seen).
+  SimTime available_at(const std::string& key) const;
+
+  /// Current consecutive-failure streak for `key` (0 when unseen or
+  /// cleared by a success).
+  int consecutive_failures(const std::string& key) const;
+
+  const CooldownPolicy& policy() const { return policy_; }
+
+ private:
+  struct State {
+    int consecutive = 0;
+    SimTime until = 0.0;
+  };
+
+  CooldownPolicy policy_;
+  std::map<std::string, State> state_;  // ordered: deterministic dumps
+  obs::Counter* cooldowns_ = nullptr;
+  obs::Counter* recoveries_ = nullptr;
+};
+
+}  // namespace wadp::resilience

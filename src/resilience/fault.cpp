@@ -1,0 +1,119 @@
+#include "resilience/fault.hpp"
+
+#include <memory>
+#include <utility>
+
+#include "obs/events.hpp"
+#include "util/error.hpp"
+
+namespace wadp::resilience {
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone:
+      return "none";
+    case FaultKind::kConnectFail:
+      return "connect-fail";
+    case FaultKind::kTruncate:
+      return "truncate";
+    case FaultKind::kStall:
+      return "stall";
+  }
+  return "?";
+}
+
+FaultInjector::FaultInjector(sim::Simulator& sim, FaultSpec spec,
+                             std::uint64_t seed)
+    : sim_(sim), spec_(spec), rng_(seed) {
+  WADP_CHECK_MSG(spec_.total_attempt_rate() <= 1.0 + 1e-12,
+                 "attempt fault rates must sum to <= 1");
+  auto& registry = obs::Registry::global();
+  const char* help = "Faults injected into transfer attempts, by kind";
+  injected_connect_ = &registry.counter("wadp_resilience_faults_injected_total",
+                                        {{"kind", "connect-fail"}}, help);
+  injected_truncate_ = &registry.counter(
+      "wadp_resilience_faults_injected_total", {{"kind", "truncate"}}, help);
+  injected_stall_ = &registry.counter("wadp_resilience_faults_injected_total",
+                                      {{"kind", "stall"}}, help);
+  outages_ = &registry.counter("wadp_resilience_outages_total", {},
+                               "Whole-server outage windows started");
+  servers_down_ = &registry.gauge("wadp_resilience_servers_down", {},
+                                  "Watched servers currently in an outage");
+}
+
+AttemptFault FaultInjector::sample_attempt() {
+  AttemptFault fault;
+  const double draw = rng_.uniform();
+  if (draw < spec_.connect_failure_rate) {
+    fault.kind = FaultKind::kConnectFail;
+  } else if (draw < spec_.connect_failure_rate + spec_.truncation_rate) {
+    fault.kind = FaultKind::kTruncate;
+  } else if (draw < spec_.total_attempt_rate()) {
+    fault.kind = FaultKind::kStall;
+  } else {
+    return fault;
+  }
+  if (fault.kind != FaultKind::kConnectFail) {
+    fault.delay = rng_.exponential(spec_.mean_fault_delay);
+  }
+  ++faults_injected_;
+  switch (fault.kind) {
+    case FaultKind::kConnectFail:
+      injected_connect_->inc();
+      break;
+    case FaultKind::kTruncate:
+      injected_truncate_->inc();
+      break;
+    case FaultKind::kStall:
+      injected_stall_->inc();
+      break;
+    case FaultKind::kNone:
+      break;
+  }
+  return fault;
+}
+
+void FaultInjector::watch_outages(const std::string& name,
+                                  std::function<void(bool up)> on_state) {
+  if (spec_.mean_outage <= 0.0) return;
+  auto watch = std::make_shared<Watch>();
+  watch->name = name;
+  watch->on_state = std::move(on_state);
+  watch->rng = rng_.split();
+  schedule_transition(watch);
+}
+
+void FaultInjector::schedule_transition(const std::shared_ptr<Watch>& watch) {
+  const Duration dwell = watch->up
+                             ? watch->rng.exponential(spec_.mean_uptime)
+                             : watch->rng.exponential(spec_.mean_outage);
+  const SimTime when = sim_.now() + dwell;
+  if (spec_.outage_horizon > 0.0 && when > spec_.outage_horizon) {
+    // Past the horizon: leave the server up so the tail of the run is
+    // not permanently dark.
+    if (!watch->up && watch->on_state) {
+      watch->on_state(true);
+      servers_down_->add(-1.0);
+    }
+    return;
+  }
+  sim_.schedule_at(when, [this, watch] {
+    watch->up = !watch->up;
+    if (!watch->up) {
+      ++outages_started_;
+      outages_->inc();
+      servers_down_->add(1.0);
+    } else {
+      servers_down_->add(-1.0);
+    }
+    util::UlmRecord record;
+    record.set("NAME", watch->name);
+    obs::EventSink::global().emit(
+        watch->up ? "resilience.outage_end" : "resilience.outage_begin",
+        "resilience", std::move(record));
+    if (watch->on_state) watch->on_state(watch->up);
+    schedule_transition(watch);
+  });
+}
+
+}  // namespace wadp::resilience

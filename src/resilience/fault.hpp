@@ -1,0 +1,120 @@
+// Deterministic fault injector for the simulated transfer fabric.
+//
+// Models the failure modes that dominate real wide-area transfers —
+// refused connections (link flaps at setup), truncated data channels
+// (mid-transfer resets), silent stalls (the channel stays open but no
+// bytes move), and whole-server outages — as seeded random processes
+// on the simulation clock.  All randomness flows through one
+// util::Rng seeded at construction, so a campaign with faults is
+// exactly as reproducible as one without: same seed, same faults, at
+// the same instants, hitting the same attempts.
+//
+// The injector deliberately knows nothing about GridFTP or the fluid
+// engine.  Transfer layers *sample* it (one AttemptFault per attempt)
+// and realize the fault themselves; server outages are delivered as
+// up/down callbacks the caller wires to GridFtpServer::set_accepting.
+// That keeps the dependency arrow pointing the right way: resilience
+// sits below gridftp, not beside it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace wadp::resilience {
+
+enum class FaultKind {
+  kNone,         ///< attempt proceeds untouched
+  kConnectFail,  ///< control/data channel setup refused
+  kTruncate,     ///< data channel reset mid-transfer; partial bytes kept
+  kStall,        ///< channel stays open, bytes stop; only a timeout ends it
+};
+
+const char* to_string(FaultKind kind);
+
+/// The fault (if any) drawn for one transfer attempt.
+struct AttemptFault {
+  FaultKind kind = FaultKind::kNone;
+  /// For kTruncate/kStall: seconds into the data phase at which the
+  /// fault strikes (exponential with FaultSpec::mean_fault_delay).
+  Duration delay = 0.0;
+};
+
+struct FaultSpec {
+  /// Per-attempt probabilities; their sum must be <= 1.  The remainder
+  /// is the probability of an untouched attempt.
+  double connect_failure_rate = 0.0;
+  double truncation_rate = 0.0;
+  double stall_rate = 0.0;
+  /// Mean delay into the data phase for truncations and stalls.
+  Duration mean_fault_delay = 5.0;
+
+  /// Server-outage process (used by watch_outages): alternating
+  /// exponential up/down periods.  Zero mean_outage disables outages.
+  Duration mean_uptime = 3600.0;
+  Duration mean_outage = 0.0;
+  /// Outage transitions are only scheduled up to this simulated
+  /// instant, bounding the event chain so sim.run() terminates.
+  SimTime outage_horizon = 0.0;
+
+  double total_attempt_rate() const {
+    return connect_failure_rate + truncation_rate + stall_rate;
+  }
+};
+
+class FaultInjector {
+ public:
+  FaultInjector(sim::Simulator& sim, FaultSpec spec, std::uint64_t seed);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  const FaultSpec& spec() const { return spec_; }
+
+  /// Draws the fault for the next transfer attempt.  One uniform draw
+  /// per call (plus one exponential when a timed fault is selected), so
+  /// the sequence is a pure function of the seed and the call order.
+  AttemptFault sample_attempt();
+
+  /// Starts an alternating up/down outage process for `name` (a server
+  /// host).  `on_state(false)` fires when an outage begins and
+  /// `on_state(true)` when it ends; the caller wires these to
+  /// GridFtpServer::set_accepting.  Transitions stop at
+  /// spec.outage_horizon.  Each watched name gets its own split Rng, so
+  /// adding a server never perturbs another's schedule.
+  void watch_outages(const std::string& name,
+                     std::function<void(bool up)> on_state);
+
+  std::uint64_t faults_injected() const { return faults_injected_; }
+  std::uint64_t outages_started() const { return outages_started_; }
+
+ private:
+  struct Watch {
+    std::string name;
+    std::function<void(bool up)> on_state;
+    util::Rng rng;
+    bool up = true;
+  };
+
+  void schedule_transition(const std::shared_ptr<Watch>& watch);
+
+  sim::Simulator& sim_;
+  FaultSpec spec_;
+  util::Rng rng_;
+  std::uint64_t faults_injected_ = 0;
+  std::uint64_t outages_started_ = 0;
+
+  obs::Counter* injected_connect_ = nullptr;
+  obs::Counter* injected_truncate_ = nullptr;
+  obs::Counter* injected_stall_ = nullptr;
+  obs::Counter* outages_ = nullptr;
+  obs::Gauge* servers_down_ = nullptr;
+};
+
+}  // namespace wadp::resilience

@@ -1,0 +1,40 @@
+#include "resilience/retry.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wadp::resilience {
+
+Duration RetryPolicy::backoff_for(int failed_attempts, util::Rng& rng) const {
+  const int exponent = std::max(failed_attempts - 1, 0);
+  Duration backoff =
+      base_backoff * std::pow(backoff_multiplier, static_cast<double>(exponent));
+  backoff = std::min(backoff, max_backoff);
+  if (jitter > 0.0) {
+    backoff *= rng.uniform(1.0 - jitter, 1.0 + jitter);
+  }
+  return std::max(backoff, 0.0);
+}
+
+bool RetryPolicy::allows_retry(int failed_attempts, Duration backoff_spent,
+                               Duration next_backoff) const {
+  if (failed_attempts >= max_attempts) return false;
+  if (retry_budget > 0.0 && backoff_spent + next_backoff > retry_budget) {
+    return false;
+  }
+  return true;
+}
+
+RetryPolicy default_wan_policy() {
+  RetryPolicy policy;
+  policy.max_attempts = 4;
+  policy.base_backoff = 2.0;
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff = 30.0;
+  policy.jitter = 0.2;
+  policy.attempt_timeout = 1800.0;
+  policy.retry_budget = 120.0;
+  return policy;
+}
+
+}  // namespace wadp::resilience

@@ -1,0 +1,62 @@
+// Retry policy: bounded exponential backoff with jitter and a budget.
+//
+// The paper's client is single-shot — a refused connection or a broken
+// data channel surfaces as one failed transfer and nothing more.  Real
+// wide-area deployments (and the GridFTP/replica-management line of
+// work the paper builds on) retry: each failed attempt waits an
+// exponentially growing, jittered delay before trying again, bounded
+// by an attempt cap and an optional cumulative-backoff budget so a
+// dead server cannot pin a client forever.  The policy is pure data +
+// one deterministic draw per retry, so a fixed simulation seed yields
+// a fixed retry schedule.
+#pragma once
+
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace wadp::resilience {
+
+struct RetryPolicy {
+  /// Total attempts allowed (first try included).  1 = single-shot,
+  /// the pre-resilience behaviour and the default.
+  int max_attempts = 1;
+  /// Backoff before the first retry (seconds).
+  Duration base_backoff = 1.0;
+  /// Growth factor per additional retry.
+  double backoff_multiplier = 2.0;
+  /// Ceiling on any single backoff (seconds).
+  Duration max_backoff = 60.0;
+  /// Jitter fraction: each backoff is scaled by a uniform draw from
+  /// [1 - jitter, 1 + jitter], decorrelating clients that fail
+  /// together.  0 disables jitter.
+  double jitter = 0.2;
+  /// Per-attempt timeout (seconds): an attempt still unresolved this
+  /// long after it was launched is abandoned (its data channel is torn
+  /// down) and counts as a failure.  0 = no timeout.  Stalled channels
+  /// can only be recovered by a timeout — nothing else fires.
+  Duration attempt_timeout = 0.0;
+  /// Cumulative backoff budget (seconds): once the sum of backoffs
+  /// spent on one operation would exceed this, the operation fails
+  /// instead of retrying.  0 = unbounded.
+  Duration retry_budget = 0.0;
+
+  bool enabled() const { return max_attempts > 1; }
+
+  /// Backoff to wait after `failed_attempts` attempts have failed
+  /// (>= 1), jittered with `rng`.  Deterministic for a fixed Rng state.
+  Duration backoff_for(int failed_attempts, util::Rng& rng) const;
+
+  /// True when a further retry is allowed after `failed_attempts`
+  /// failures with `backoff_spent` seconds of backoff already taken and
+  /// `next_backoff` about to be added.
+  bool allows_retry(int failed_attempts, Duration backoff_spent,
+                    Duration next_backoff) const;
+};
+
+/// A policy tuned for the simulated wide-area testbed: four attempts,
+/// quick first retry, per-attempt timeout large enough for a 1 GB
+/// transfer on a loaded link.  Benches and the CLI use this as the
+/// "resilience on" configuration.
+RetryPolicy default_wan_policy();
+
+}  // namespace wadp::resilience

@@ -160,6 +160,13 @@ void Testbed::add_site(const std::string& site, const std::string& host,
 
   auto client = std::make_unique<gridftp::GridFtpClient>(
       sim_, engine_, topology_, site, ip, store.get());
+  // Failed attempts only exist client-side (the server never logs
+  // them), so they reach the shared store through the failure sink —
+  // outcome-tagged, letting predictors see outage windows.
+  client->set_failure_sink(
+      [store = history_](const gridftp::TransferRecord& record) {
+        store->append(record);
+      });
 
   storages_.emplace(site, std::move(store));
   servers_.emplace(site, std::move(server));

@@ -1,0 +1,202 @@
+// Failure-path regressions for the broker: LDAP filter metacharacters
+// in externally-sourced strings (RFC 4515 escaping), stale-vs-fresh
+// GIIS entries, and cooldown-aware selection.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mds/gris.hpp"
+#include "obs/metrics.hpp"
+#include "replica/broker.hpp"
+#include "util/strings.hpp"
+
+namespace wadp::replica {
+namespace {
+
+/// Minimal InformationProvider publishing a fixed entry set — the GIIS
+/// contents are the test input, no servers involved.
+struct StaticProvider final : mds::InformationProvider {
+  std::string name;
+  std::vector<mds::Entry> entries;
+
+  StaticProvider(std::string n, std::vector<mds::Entry> e)
+      : name(std::move(n)), entries(std::move(e)) {}
+
+  std::string provider_name() const override { return name; }
+  std::vector<mds::Entry> provide(SimTime) override { return entries; }
+};
+
+mds::Entry perf_entry(const std::string& dn, const std::string& cn,
+                      const std::string& hostname, double avg_rd_kb,
+                      double history_epoch, double last_update) {
+  mds::Entry entry(*mds::Dn::parse(dn));
+  entry.add("objectclass", "GridFTPPerfInfo");
+  entry.set("cn", cn);
+  entry.set("hostname", hostname);
+  entry.set("avgrdbandwidth", util::format("%.0f", avg_rd_kb));
+  entry.set("historyepoch", util::format("%.0f", history_epoch));
+  entry.set("lastupdate", util::format("%.0f", last_update));
+  return entry;
+}
+
+/// One catalog entry backed by a hand-built GIIS.
+struct StaticGiisFixture : ::testing::Test {
+  const std::string client_ip = "140.221.65.69";
+  mds::Gris gris{"gris", *mds::Dn::parse("o=grid")};
+  mds::Giis giis{"top"};
+  ReplicaCatalog catalog;
+
+  void publish(std::vector<mds::Entry> entries) {
+    providers_.push_back(std::make_unique<StaticProvider>(
+        "static-" + std::to_string(providers_.size()), std::move(entries)));
+    gris.register_provider(providers_.back().get(), 300.0);
+  }
+
+  void finish_setup() { giis.register_gris(gris, 0.0, 1e6); }
+
+  std::vector<std::unique_ptr<StaticProvider>> providers_;
+};
+
+TEST_F(StaticGiisFixture, MetacharClientIpFallsBackInsteadOfAborting) {
+  // A client address carrying every RFC 4515 metacharacter.  Before
+  // escaping, interpolating it produced an unparsable (or worse,
+  // reshaped) filter and the broker aborted; now it degrades to an
+  // uninformed first-replica fallback.
+  catalog.add_replica("lfn://f", {.site = "a", .server_host = "ftp.a.org",
+                                  .path = "/data/f"});
+  publish({perf_entry("cn=a, o=grid", client_ip, "ftp.a.org", 5000, 1, 10)});
+  finish_setup();
+  ReplicaBroker broker(catalog, giis, SelectionPolicy::kPredictedBest);
+
+  const auto selection =
+      broker.select("lfn://f", "*)(cn=*)(\\", kMB, 100.0);
+  ASSERT_TRUE(selection.has_value());
+  EXPECT_FALSE(selection->informed);
+  EXPECT_EQ(selection->replica.site, "a");
+}
+
+TEST_F(StaticGiisFixture, MetacharHostnameMatchesLiterally) {
+  // A registered server host containing ( ) * must match its own GIIS
+  // entry literally — the escaped filter treats them as characters,
+  // not grouping or wildcards.
+  const std::string odd_host = "weird(host)*.example.org";
+  catalog.add_replica("lfn://f", {.site = "odd", .server_host = odd_host,
+                                  .path = "/data/f"});
+  publish({perf_entry("cn=odd, o=grid", client_ip, odd_host, 4000, 1, 10)});
+  finish_setup();
+  ReplicaBroker broker(catalog, giis, SelectionPolicy::kPredictedBest);
+
+  const auto selection = broker.select("lfn://f", client_ip, kMB, 100.0);
+  ASSERT_TRUE(selection.has_value());
+  EXPECT_TRUE(selection->informed);
+  EXPECT_EQ(selection->replica.server_host, odd_host);
+  ASSERT_TRUE(selection->predicted_bandwidth.has_value());
+  EXPECT_NEAR(*selection->predicted_bandwidth, 4000.0 * kKB, 1.0);
+}
+
+TEST_F(StaticGiisFixture, FreshnessPrefersTheNewestHistoryEpoch) {
+  // Two entries for the same (client, host) pair — a lapsed
+  // registration next to a fresh one.  First-wins used to return
+  // whichever the GIIS listed first; the broker must read the entry
+  // with the newest historyepoch regardless of listing order.
+  catalog.add_replica("lfn://f", {.site = "a", .server_host = "ftp.a.org",
+                                  .path = "/data/f"});
+  publish({perf_entry("cn=stale, o=grid", client_ip, "ftp.a.org",
+                      /*avg_rd_kb=*/2000, /*history_epoch=*/1,
+                      /*last_update=*/50)});
+  publish({perf_entry("cn=fresh, o=grid", client_ip, "ftp.a.org",
+                      /*avg_rd_kb=*/8000, /*history_epoch=*/7,
+                      /*last_update=*/40)});
+  finish_setup();
+  ReplicaBroker broker(catalog, giis, SelectionPolicy::kPredictedBest);
+
+  const auto selection = broker.select("lfn://f", client_ip, kMB, 100.0);
+  ASSERT_TRUE(selection.has_value());
+  ASSERT_TRUE(selection->predicted_bandwidth.has_value());
+  EXPECT_NEAR(*selection->predicted_bandwidth, 8000.0 * kKB, 1.0);
+}
+
+TEST_F(StaticGiisFixture, FreshnessTieBreaksOnLastUpdate) {
+  catalog.add_replica("lfn://f", {.site = "a", .server_host = "ftp.a.org",
+                                  .path = "/data/f"});
+  publish({perf_entry("cn=old, o=grid", client_ip, "ftp.a.org",
+                      /*avg_rd_kb=*/2000, /*history_epoch=*/3,
+                      /*last_update=*/50)});
+  publish({perf_entry("cn=new, o=grid", client_ip, "ftp.a.org",
+                      /*avg_rd_kb=*/6000, /*history_epoch=*/3,
+                      /*last_update=*/90)});
+  finish_setup();
+  ReplicaBroker broker(catalog, giis, SelectionPolicy::kPredictedBest);
+
+  const auto selection = broker.select("lfn://f", client_ip, kMB, 100.0);
+  ASSERT_TRUE(selection.has_value());
+  ASSERT_TRUE(selection->predicted_bandwidth.has_value());
+  EXPECT_NEAR(*selection->predicted_bandwidth, 6000.0 * kKB, 1.0);
+}
+
+/// Two replicas with published performance: "fast" predicts 8 MB/s to
+/// the client, "slow" 2 MB/s.
+struct CooldownFixture : StaticGiisFixture {
+  const PhysicalReplica fast{.site = "fast", .server_host = "ftp.fast.org",
+                             .path = "/data/f"};
+  const PhysicalReplica slow{.site = "slow", .server_host = "ftp.slow.org",
+                             .path = "/data/f"};
+
+  void SetUp() override {
+    catalog.add_replica("lfn://f", fast);
+    catalog.add_replica("lfn://f", slow);
+    publish({perf_entry("cn=fast, o=grid", client_ip, fast.server_host, 8000,
+                        1, 10),
+             perf_entry("cn=slow, o=grid", client_ip, slow.server_host, 2000,
+                        1, 10)});
+    finish_setup();
+  }
+};
+
+TEST_F(CooldownFixture, FailedReplicaIsSkippedUntilTheCooldownExpires) {
+  ReplicaBroker broker(catalog, giis, SelectionPolicy::kPredictedBest);
+  ASSERT_EQ(broker.select("lfn://f", client_ip, kMB, 100.0)->replica.site,
+            "fast");
+
+  broker.record_failure(fast, 100.0);
+  const auto during = broker.select("lfn://f", client_ip, kMB, 101.0);
+  ASSERT_TRUE(during.has_value());
+  EXPECT_EQ(during->replica.site, "slow");
+  EXPECT_TRUE(during->informed);
+
+  const SimTime expiry = broker.cooldowns().available_at(fast.server_host);
+  EXPECT_GT(expiry, 100.0);
+  const auto after = broker.select("lfn://f", client_ip, kMB, expiry);
+  ASSERT_TRUE(after.has_value());
+  EXPECT_EQ(after->replica.site, "fast");
+}
+
+TEST_F(CooldownFixture, SuccessClearsTheCooldownStreak) {
+  ReplicaBroker broker(catalog, giis, SelectionPolicy::kPredictedBest);
+  broker.record_failure(fast, 100.0);
+  broker.record_success(fast);
+  EXPECT_EQ(broker.select("lfn://f", client_ip, kMB, 100.0)->replica.site,
+            "fast");
+}
+
+TEST_F(CooldownFixture, AllCoolingStillYieldsASelection) {
+  // When every candidate is cooling, trying one beats answering "no
+  // replica": the cooldown is overridden and the override counted.
+  ReplicaBroker broker(catalog, giis, SelectionPolicy::kPredictedBest);
+  broker.record_failure(fast, 100.0);
+  broker.record_failure(slow, 100.0);
+
+  auto& overrides = obs::Registry::global().counter(
+      "wadp_resilience_cooldown_overrides_total", {},
+      "Selections forced to use a cooling replica");
+  const std::uint64_t before = overrides.value();
+  const auto selection = broker.select("lfn://f", client_ip, kMB, 101.0);
+  ASSERT_TRUE(selection.has_value());
+  EXPECT_EQ(selection->replica.site, "fast");  // still ranked by prediction
+  EXPECT_EQ(overrides.value(), before + 1);
+}
+
+}  // namespace
+}  // namespace wadp::replica

@@ -1,0 +1,74 @@
+#include "resilience/failover.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wadp::resilience {
+namespace {
+
+TEST(CooldownTrackerTest, UnseenKeyIsAvailable) {
+  CooldownTracker tracker;
+  EXPECT_TRUE(tracker.available("ftp.src.org", 0.0));
+  EXPECT_DOUBLE_EQ(tracker.available_at("ftp.src.org"), 0.0);
+  EXPECT_EQ(tracker.consecutive_failures("ftp.src.org"), 0);
+}
+
+TEST(CooldownTrackerTest, FailureOpensAWindowThatExpires) {
+  CooldownTracker tracker({.base = 30.0, .multiplier = 2.0, .max = 900.0});
+  tracker.record_failure("ftp.src.org", 100.0);
+  EXPECT_FALSE(tracker.available("ftp.src.org", 100.0));
+  EXPECT_FALSE(tracker.available("ftp.src.org", 129.9));
+  EXPECT_TRUE(tracker.available("ftp.src.org", 130.0));
+  EXPECT_DOUBLE_EQ(tracker.available_at("ftp.src.org"), 130.0);
+}
+
+TEST(CooldownTrackerTest, ConsecutiveFailuresGrowExponentially) {
+  CooldownTracker tracker({.base = 10.0, .multiplier = 2.0, .max = 900.0});
+  tracker.record_failure("h", 0.0);    // 10 s -> until 10
+  tracker.record_failure("h", 10.0);   // 20 s -> until 30
+  tracker.record_failure("h", 30.0);   // 40 s -> until 70
+  EXPECT_EQ(tracker.consecutive_failures("h"), 3);
+  EXPECT_DOUBLE_EQ(tracker.available_at("h"), 70.0);
+}
+
+TEST(CooldownTrackerTest, CooldownIsCappedAtMax) {
+  CooldownTracker tracker({.base = 10.0, .multiplier = 10.0, .max = 60.0});
+  SimTime now = 0.0;
+  for (int i = 0; i < 5; ++i) {
+    tracker.record_failure("h", now);
+    now = tracker.available_at("h");
+  }
+  // The last window is at most `max` long.
+  tracker.record_failure("h", now);
+  EXPECT_LE(tracker.available_at("h") - now, 60.0);
+}
+
+TEST(CooldownTrackerTest, WindowNeverShrinks) {
+  // A failure recorded while a longer window is already open must not
+  // pull the expiry earlier.
+  CooldownTracker tracker({.base = 100.0, .multiplier = 1.0, .max = 900.0});
+  tracker.record_failure("h", 0.0);  // until 100
+  tracker.record_failure("h", 1.0);  // 100 more from t=1 -> until 101
+  EXPECT_DOUBLE_EQ(tracker.available_at("h"), 101.0);
+}
+
+TEST(CooldownTrackerTest, SuccessClearsTheStreak) {
+  CooldownTracker tracker({.base = 10.0, .multiplier = 2.0, .max = 900.0});
+  tracker.record_failure("h", 0.0);
+  tracker.record_failure("h", 5.0);
+  tracker.record_success("h");
+  EXPECT_EQ(tracker.consecutive_failures("h"), 0);
+  EXPECT_TRUE(tracker.available("h", 6.0));
+  // The next failure starts from the base again.
+  tracker.record_failure("h", 100.0);
+  EXPECT_DOUBLE_EQ(tracker.available_at("h"), 110.0);
+}
+
+TEST(CooldownTrackerTest, KeysAreIndependent) {
+  CooldownTracker tracker;
+  tracker.record_failure("a", 0.0);
+  EXPECT_FALSE(tracker.available("a", 0.0));
+  EXPECT_TRUE(tracker.available("b", 0.0));
+}
+
+}  // namespace
+}  // namespace wadp::resilience

@@ -1,0 +1,137 @@
+#include "resilience/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace wadp::resilience {
+namespace {
+
+TEST(FaultInjectorTest, ZeroRatesNeverInject) {
+  sim::Simulator sim;
+  FaultInjector injector(sim, {}, 1);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(injector.sample_attempt().kind, FaultKind::kNone);
+  }
+  EXPECT_EQ(injector.faults_injected(), 0u);
+}
+
+TEST(FaultInjectorTest, SampleSequenceIsDeterministicPerSeed) {
+  FaultSpec spec;
+  spec.connect_failure_rate = 0.2;
+  spec.truncation_rate = 0.1;
+  spec.stall_rate = 0.1;
+  sim::Simulator sim_a;
+  sim::Simulator sim_b;
+  FaultInjector a(sim_a, spec, 99);
+  FaultInjector b(sim_b, spec, 99);
+  for (int i = 0; i < 500; ++i) {
+    const AttemptFault fa = a.sample_attempt();
+    const AttemptFault fb = b.sample_attempt();
+    EXPECT_EQ(fa.kind, fb.kind);
+    EXPECT_DOUBLE_EQ(fa.delay, fb.delay);
+  }
+}
+
+TEST(FaultInjectorTest, RatesApproximatelyHonoured) {
+  FaultSpec spec;
+  spec.connect_failure_rate = 0.3;
+  spec.truncation_rate = 0.15;
+  spec.stall_rate = 0.05;
+  sim::Simulator sim;
+  FaultInjector injector(sim, spec, 7);
+  int connect = 0, truncate = 0, stall = 0, none = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    switch (injector.sample_attempt().kind) {
+      case FaultKind::kConnectFail: ++connect; break;
+      case FaultKind::kTruncate: ++truncate; break;
+      case FaultKind::kStall: ++stall; break;
+      case FaultKind::kNone: ++none; break;
+    }
+  }
+  EXPECT_NEAR(connect / double(n), 0.30, 0.02);
+  EXPECT_NEAR(truncate / double(n), 0.15, 0.02);
+  EXPECT_NEAR(stall / double(n), 0.05, 0.01);
+  EXPECT_NEAR(none / double(n), 0.50, 0.02);
+  EXPECT_EQ(injector.faults_injected(),
+            static_cast<std::uint64_t>(connect + truncate + stall));
+}
+
+TEST(FaultInjectorTest, TimedFaultsCarryPositiveDelay) {
+  FaultSpec spec;
+  spec.truncation_rate = 0.5;
+  spec.stall_rate = 0.5;
+  spec.mean_fault_delay = 3.0;
+  sim::Simulator sim;
+  FaultInjector injector(sim, spec, 11);
+  for (int i = 0; i < 200; ++i) {
+    const AttemptFault fault = injector.sample_attempt();
+    ASSERT_NE(fault.kind, FaultKind::kNone);
+    EXPECT_GE(fault.delay, 0.0);
+  }
+}
+
+TEST(FaultInjectorTest, OutageProcessAlternatesAndStopsAtHorizon) {
+  FaultSpec spec;
+  spec.mean_uptime = 100.0;
+  spec.mean_outage = 50.0;
+  spec.outage_horizon = 5000.0;
+  sim::Simulator sim;
+  FaultInjector injector(sim, spec, 3);
+
+  std::vector<bool> states;
+  injector.watch_outages("ftp.src.org",
+                         [&](bool up) { states.push_back(up); });
+  sim.run();
+
+  ASSERT_FALSE(states.empty());
+  // The chain is bounded: no transition is scheduled past the horizon.
+  EXPECT_LE(sim.now(), spec.outage_horizon);
+  // Strict alternation starting with an outage (watch begins up).
+  for (std::size_t i = 0; i < states.size(); ++i) {
+    EXPECT_EQ(states[i], i % 2 == 1);
+  }
+  EXPECT_GT(injector.outages_started(), 0u);
+}
+
+TEST(FaultInjectorTest, ZeroMeanOutageDisablesTheProcess) {
+  FaultSpec spec;
+  spec.mean_outage = 0.0;
+  spec.outage_horizon = 1000.0;
+  sim::Simulator sim;
+  FaultInjector injector(sim, spec, 3);
+  int calls = 0;
+  injector.watch_outages("ftp.src.org", [&](bool) { ++calls; });
+  sim.run();
+  EXPECT_EQ(calls, 0);
+  EXPECT_EQ(injector.outages_started(), 0u);
+}
+
+TEST(FaultInjectorTest, WatchedServersAreDecorrelated) {
+  // Adding a second watch must not perturb the first one's schedule.
+  FaultSpec spec;
+  spec.mean_uptime = 200.0;
+  spec.mean_outage = 100.0;
+  spec.outage_horizon = 4000.0;
+
+  const auto run_one = [&](bool with_second) {
+    sim::Simulator sim;
+    FaultInjector injector(sim, spec, 17);
+    std::vector<SimTime> transitions;
+    injector.watch_outages("a.example",
+                           [&](bool) { transitions.push_back(sim.now()); });
+    if (with_second) {
+      injector.watch_outages("b.example", [](bool) {});
+    }
+    sim.run();
+    return transitions;
+  };
+
+  EXPECT_EQ(run_one(false), run_one(true));
+}
+
+}  // namespace
+}  // namespace wadp::resilience

@@ -1,0 +1,103 @@
+#include "resilience/retry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace wadp::resilience {
+namespace {
+
+TEST(RetryPolicyTest, DefaultIsSingleShot) {
+  const RetryPolicy policy;
+  EXPECT_EQ(policy.max_attempts, 1);
+  EXPECT_FALSE(policy.enabled());
+  EXPECT_FALSE(policy.allows_retry(1, 0.0, 1.0));
+}
+
+TEST(RetryPolicyTest, BackoffGrowsGeometricallyWithoutJitter) {
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  policy.base_backoff = 2.0;
+  policy.backoff_multiplier = 3.0;
+  policy.max_backoff = 1000.0;
+  policy.jitter = 0.0;
+  util::Rng rng(1);
+  EXPECT_DOUBLE_EQ(policy.backoff_for(1, rng), 2.0);
+  EXPECT_DOUBLE_EQ(policy.backoff_for(2, rng), 6.0);
+  EXPECT_DOUBLE_EQ(policy.backoff_for(3, rng), 18.0);
+}
+
+TEST(RetryPolicyTest, BackoffClampsAtMax) {
+  RetryPolicy policy;
+  policy.max_attempts = 10;
+  policy.base_backoff = 1.0;
+  policy.backoff_multiplier = 10.0;
+  policy.max_backoff = 30.0;
+  policy.jitter = 0.0;
+  util::Rng rng(1);
+  EXPECT_DOUBLE_EQ(policy.backoff_for(5, rng), 30.0);
+}
+
+TEST(RetryPolicyTest, JitterStaysWithinFraction) {
+  RetryPolicy policy;
+  policy.max_attempts = 4;
+  policy.base_backoff = 10.0;
+  policy.backoff_multiplier = 1.0;
+  policy.max_backoff = 100.0;
+  policy.jitter = 0.25;
+  util::Rng rng(42);
+  for (int i = 0; i < 200; ++i) {
+    const Duration b = policy.backoff_for(1, rng);
+    EXPECT_GE(b, 7.5);
+    EXPECT_LT(b, 12.5);
+  }
+}
+
+TEST(RetryPolicyTest, JitterIsDeterministicPerSeed) {
+  RetryPolicy policy;
+  policy.max_attempts = 4;
+  policy.jitter = 0.5;
+  util::Rng a(7);
+  util::Rng b(7);
+  for (int i = 1; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(policy.backoff_for(i, a), policy.backoff_for(i, b));
+  }
+}
+
+TEST(RetryPolicyTest, AttemptCapStopsRetries) {
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  EXPECT_TRUE(policy.allows_retry(1, 0.0, 1.0));
+  EXPECT_TRUE(policy.allows_retry(2, 0.0, 1.0));
+  EXPECT_FALSE(policy.allows_retry(3, 0.0, 1.0));
+}
+
+TEST(RetryPolicyTest, BudgetStopsRetriesBeforeAttemptCap) {
+  RetryPolicy policy;
+  policy.max_attempts = 100;
+  policy.retry_budget = 10.0;
+  EXPECT_TRUE(policy.allows_retry(1, 0.0, 10.0));   // exactly on budget
+  EXPECT_FALSE(policy.allows_retry(1, 0.0, 10.5));  // would exceed
+  EXPECT_FALSE(policy.allows_retry(1, 8.0, 3.0));
+  EXPECT_TRUE(policy.allows_retry(1, 8.0, 2.0));
+}
+
+TEST(RetryPolicyTest, ZeroBudgetMeansUnbounded) {
+  RetryPolicy policy;
+  policy.max_attempts = 1000;
+  policy.retry_budget = 0.0;
+  EXPECT_TRUE(policy.allows_retry(999, 1e9, 1e9));
+}
+
+TEST(RetryPolicyTest, WanDefaultsAreMultiAttempt) {
+  const RetryPolicy policy = default_wan_policy();
+  EXPECT_TRUE(policy.enabled());
+  EXPECT_GT(policy.max_attempts, 1);
+  EXPECT_GT(policy.attempt_timeout, 0.0);
+  EXPECT_GT(policy.retry_budget, 0.0);
+}
+
+}  // namespace
+}  // namespace wadp::resilience

@@ -16,6 +16,8 @@
 //       same drive, print the recorded span trees
 //   wadp history   [LOG] [--json]
 //       history-store statistics: series, per-shard sizes, epochs
+//   wadp resilience [--rate PCT] [--transfers N] [--seed N]
+//       single-shot vs retry+failover under injected faults
 //
 // Every subcommand is deterministic given its inputs; simulated
 // campaigns never touch the network.
@@ -57,7 +59,8 @@ int usage(const char* error = nullptr) {
                "  wadp trace     [LOG] [--campaign aug|dec] [--seed N] "
                "[--days D] [--ulm] [--limit N]\n"
                "  wadp history   [LOG] [--campaign aug|dec] [--seed N] "
-               "[--days D] [--json]\n");
+               "[--days D] [--json]\n"
+               "  wadp resilience [--rate PCT] [--transfers N] [--seed N]\n");
   return error != nullptr ? 2 : 0;
 }
 
@@ -468,6 +471,159 @@ int cmd_history(const util::ArgParser& args) {
   return 0;
 }
 
+/// Demonstrates the resilience plane: a two-replica delivery stack
+/// under a seeded fault injector, single-shot vs retry+failover on the
+/// same fault schedule.
+int cmd_resilience(const util::ArgParser& args) {
+  const double rate =
+      static_cast<double>(args.get_int("rate").value_or(30)) / 100.0;
+  const int transfers =
+      static_cast<int>(args.get_int("transfers").value_or(100));
+  const auto seed =
+      static_cast<std::uint64_t>(args.get_int("seed").value_or(42));
+  if (rate < 0.0 || rate > 1.0) return usage("--rate must be 0..100");
+  if (transfers <= 0) return usage("--transfers must be positive");
+
+  struct CellStats {
+    int ok = 0;
+    util::RunningStats start_delay;
+  };
+  const auto run_cell = [&](bool resilient) {
+    sim::Simulator sim(0.0);
+    net::FluidEngine engine(sim);
+    net::Topology topology;
+    net::PathParams fast, slow;
+    fast.bottleneck = 10'000'000.0;
+    slow.bottleneck = 5'000'000.0;
+    for (net::PathParams* p : {&fast, &slow}) {
+      p->rtt = 0.05;
+      p->load.base = 0.0;
+      p->load.diurnal_amplitude = 0.0;
+      p->load.ar_sigma = 0.0;
+      p->load.episode_rate_per_hour = 0.0;
+    }
+    topology.add_path("lbl", "anl", fast, 1, 0.0);
+    topology.add_path("anl", "lbl", fast, 2, 0.0);
+    topology.add_path("isi", "anl", slow, 3, 0.0);
+    topology.add_path("anl", "isi", slow, 4, 0.0);
+
+    storage::StorageParams quiet_storage;
+    quiet_storage.local_load.reset();
+    storage::StorageSystem anl_store("anl", quiet_storage, 1, 0.0);
+    storage::StorageSystem lbl_store("lbl", quiet_storage, 2, 0.0);
+    storage::StorageSystem isi_store("isi", quiet_storage, 3, 0.0);
+    gridftp::GridFtpServer lbl(
+        {.site = "lbl", .host = "dpsslx04.lbl.gov", .ip = "131.243.2.91"},
+        lbl_store);
+    gridftp::GridFtpServer isi(
+        {.site = "isi", .host = "jet.isi.edu", .ip = "128.9.160.100"},
+        isi_store);
+    const std::string client_ip = "140.221.65.69";
+    constexpr Bytes kFileSize = 10 * kMB;
+    for (gridftp::GridFtpServer* s : {&lbl, &isi}) {
+      s->fs().add_volume("/data");
+      s->fs().add_file("/data/demo", kFileSize);
+    }
+    for (int i = 0; i < 5; ++i) {
+      const double t = 100.0 * i;
+      lbl.record_transfer(client_ip, "/data/demo", kFileSize, t, t + 1.25,
+                          gridftp::Operation::kRead, 8, 1'000'000);
+      isi.record_transfer(client_ip, "/data/demo", kFileSize, t, t + 5.0,
+                          gridftp::Operation::kRead, 8, 1'000'000);
+    }
+    mds::GridFtpInfoProvider lbl_provider(
+        lbl,
+        {.base = *mds::Dn::parse("hostname=dpsslx04.lbl.gov, dc=lbl, o=grid")});
+    mds::GridFtpInfoProvider isi_provider(
+        isi,
+        {.base = *mds::Dn::parse("hostname=jet.isi.edu, dc=isi, o=grid")});
+    mds::Gris lbl_gris("lbl-gris", *mds::Dn::parse("dc=lbl, o=grid"));
+    mds::Gris isi_gris("isi-gris", *mds::Dn::parse("dc=isi, o=grid"));
+    lbl_gris.register_provider(&lbl_provider, 300.0);
+    isi_gris.register_provider(&isi_provider, 300.0);
+    mds::Giis giis("top");
+    giis.register_gris(lbl_gris, 0.0, 1e9);
+    giis.register_gris(isi_gris, 0.0, 1e9);
+    replica::ReplicaCatalog catalog;
+    catalog.add_replica("lfn://demo", {.site = "lbl",
+                                       .server_host = "dpsslx04.lbl.gov",
+                                       .path = "/data/demo"});
+    catalog.add_replica("lfn://demo", {.site = "isi",
+                                       .server_host = "jet.isi.edu",
+                                       .path = "/data/demo"});
+
+    gridftp::GridFtpClient client(sim, engine, topology, "anl", client_ip,
+                                  &anl_store);
+    replica::ReplicaBroker broker(catalog, giis,
+                                  replica::SelectionPolicy::kPredictedBest,
+                                  seed);
+    replica::FailoverFetcher fetcher(
+        sim, broker, client, [&](const replica::PhysicalReplica& replica) {
+          return replica.site == "lbl" ? &lbl : &isi;
+        });
+
+    resilience::FaultSpec spec;
+    spec.connect_failure_rate = 0.5 * rate;
+    spec.truncation_rate = 0.3 * rate;
+    spec.stall_rate = 0.2 * rate;
+    spec.mean_fault_delay = 1.0;
+    spec.mean_uptime = 2400.0;
+    spec.mean_outage = 90.0;
+    spec.outage_horizon = 600.0 + transfers * 400.0 + 4000.0;
+    resilience::FaultInjector injector(sim, spec, seed ^ 0x4e5);
+    client.set_fault_injector(&injector);
+    injector.watch_outages("dpsslx04.lbl.gov",
+                           [&](bool up) { lbl.set_accepting(up); });
+    injector.watch_outages("jet.isi.edu",
+                           [&](bool up) { isi.set_accepting(up); });
+
+    resilience::RetryPolicy policy = resilience::default_wan_policy();
+    replica::FetchOptions options;
+    if (!resilient) {
+      policy.max_attempts = 1;
+      options.max_replicas = 1;
+    }
+    client.set_retry_policy(policy, seed);
+
+    CellStats stats;
+    for (int i = 0; i < transfers; ++i) {
+      const SimTime issue = 600.0 + i * 400.0;
+      sim.schedule_at(issue, [&, issue] {
+        fetcher.fetch("lfn://demo", kFileSize, options,
+                      [&stats, issue](const replica::FetchOutcome& outcome) {
+                        if (outcome.ok) {
+                          ++stats.ok;
+                          stats.start_delay.add(
+                              outcome.transfer.record.start_time - issue);
+                        }
+                      });
+      });
+    }
+    sim.run();
+    return stats;
+  };
+
+  const CellStats single = run_cell(false);
+  const CellStats resil = run_cell(true);
+
+  std::printf("fault rate %.0f%%, %d transfers, seed %llu\n\n", 100.0 * rate,
+              transfers, static_cast<unsigned long long>(seed));
+  util::TextTable table({"configuration", "ok", "success %", "start delay s"});
+  table.set_align(0, util::TextTable::Align::Left);
+  const auto row = [&](const char* label, const CellStats& stats) {
+    table.add_row(
+        {label, std::to_string(stats.ok),
+         util::format("%.1f", 100.0 * stats.ok / double(transfers)),
+         util::format("%.2f", stats.start_delay.count() > 0
+                                  ? stats.start_delay.mean()
+                                  : 0.0)});
+  };
+  row("single-shot (pre-resilience)", single);
+  row("retry + failover", resil);
+  std::printf("%s", table.render().c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -476,7 +632,8 @@ int main(int argc, char** argv) {
 
   util::ArgParser args;
   for (const char* name : {"campaign", "seed", "days", "out", "training",
-                           "size", "predictor", "host", "limit"}) {
+                           "size", "predictor", "host", "limit", "rate",
+                           "transfers"}) {
     args.add_option(name);
   }
   args.add_option("extended", /*is_boolean=*/true);
@@ -496,6 +653,7 @@ int main(int argc, char** argv) {
   if (command == "metrics") return cmd_metrics(args);
   if (command == "trace") return cmd_trace(args);
   if (command == "history") return cmd_history(args);
+  if (command == "resilience") return cmd_resilience(args);
   if (command == "help") return usage();
   return usage(("unknown subcommand: " + command).c_str());
 }
