@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "history/adapter.hpp"
+#include "obs/context.hpp"
 #include "obs/events.hpp"
 #include "obs/trace.hpp"
 #include "predict/extended.hpp"
@@ -186,6 +187,16 @@ std::optional<Bandwidth> PredictionService::predict(
                         predict::Query{.time = now, .file_size = size});
     answer_span.end();
   }
+  if (quality_ != nullptr && answer) {
+    quality_->record_prediction(obs::ServedPrediction{
+        .trace_id = obs::TraceContext::current().trace_id,
+        .site = key.host,
+        .file_size = size,
+        .time = now,
+        .predictor = suite_.predictors()[*index]->name(),
+        .value = *answer,
+    });
+  }
   metrics_.predict_latency->record(
       static_cast<double>(wall_ns() - started) * 1e-9);
   return answer;
@@ -213,6 +224,19 @@ PredictionService::predict_all(const SeriesKey& key, Bytes size,
     for (std::size_t i = 0; i < suite_.size(); ++i) {
       out.emplace_back(suite_.predictors()[i]->name(),
                        predict_at(key, state, snapshot, i, query));
+    }
+    if (quality_ != nullptr) {
+      for (const auto& [name, value] : out) {
+        if (!value) continue;
+        quality_->record_prediction(obs::ServedPrediction{
+            .trace_id = obs::TraceContext::current().trace_id,
+            .site = key.host,
+            .file_size = size,
+            .time = now,
+            .predictor = name,
+            .value = *value,
+        });
+      }
     }
   } else {
     for (std::size_t i = 0; i < suite_.size(); ++i) {

@@ -28,6 +28,7 @@
 #include "gridftp/record.hpp"
 #include "history/store.hpp"
 #include "obs/metrics.hpp"
+#include "obs/quality.hpp"
 #include "predict/evaluator.hpp"
 #include "predict/incremental.hpp"
 #include "predict/suite.hpp"
@@ -103,6 +104,12 @@ class PredictionService {
   const predict::PredictorSuite& suite() const { return suite_; }
   const ServiceConfig& config() const { return config_; }
 
+  /// Optional quality plane: every answered prediction is recorded as a
+  /// ServedPrediction (under the ambient trace id) so the tracker can
+  /// later join it against the completed transfer.  The tracker must
+  /// outlive the service.
+  void bind_quality(obs::QualityTracker* quality) { quality_ = quality; }
+
  private:
   /// One series' lazily-maintained streaming battery (suite order).
   /// Queries answer from the streams in O(1)/O(log W) per predictor.
@@ -140,6 +147,7 @@ class PredictionService {
   ServiceConfig config_;
   predict::PredictorSuite suite_;
   std::shared_ptr<history::HistoryStore> store_;
+  obs::QualityTracker* quality_ = nullptr;
   /// Guards battery_ only.  Ingest does not take it; predict() holds it
   /// while catching up and answering, so concurrent queries serialize
   /// on the streaming state but raw snapshot readers never wait.

@@ -1,0 +1,59 @@
+// Closed-loop quality-plane demo: a two-replica delivery stack whose
+// fast link degrades mid-run.
+//
+// The scenario behind `wadp quality`, bench_quality, and the e2e test:
+// a client at ANL fetches one logical file replicated at LBL (fast
+// path) and ISI (slow path).  Every fetch runs under a minted trace:
+// the broker's selection, the full predictor battery's answers, the
+// transfer attempts, and the history ingest all share one trace id, so
+// the QualityTracker joins each completed transfer against the
+// predictions served for it causally.  Midway the LBL->ANL bottleneck
+// collapses; predictions (built from pre-shift history) keep promising
+// the old bandwidth, the per-(site, predictor) error stream shifts,
+// Page-Hinkley alarms, and the broker — consulting the tracker —
+// demotes the drifting predictor and routes to ISI.  That is the loop:
+// served predictions scored online, scores steering selection.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "history/store.hpp"
+#include "obs/quality.hpp"
+#include "util/types.hpp"
+
+namespace wadp::core {
+
+struct QualityDemoConfig {
+  int transfers = 40;     ///< total fetches issued
+  int shift_after = 15;   ///< fetches completed before the link degrades
+  std::uint64_t seed = 42;
+  /// LBL->ANL bottleneck after the shift (bytes/s); the pre-shift value
+  /// is 10 MB/s, so the default is an 8x collapse.
+  double degraded_bottleneck = 1'250'000.0;
+};
+
+struct QualityDemoResult {
+  /// Shared history plane; the tracker observes it as a record
+  /// observer, so both stay alive together.
+  std::shared_ptr<history::HistoryStore> store;
+  std::shared_ptr<obs::QualityTracker> tracker;
+  /// Trace id of every fetch, issue order; feed to `wadp trace --tree`.
+  std::vector<std::uint64_t> trace_ids;
+  int ok = 0;
+  int failed = 0;
+  /// Selections where the broker passed over a drifting top candidate.
+  int drift_demotions = 0;
+  SimTime shift_time = 0.0;
+  /// Completed transfers after the shift before the first drift alarm;
+  /// -1 when no alarm fired (the acceptance bound is <= 25).
+  int completions_to_drift = -1;
+};
+
+/// Runs the scenario to completion (deterministic given the config).
+/// Spans land in obs::Tracer::global(), metrics in
+/// obs::Registry::global().
+QualityDemoResult run_quality_demo(const QualityDemoConfig& config = {});
+
+}  // namespace wadp::core

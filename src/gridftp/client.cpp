@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "gridftp/protocol.hpp"
+#include "obs/context.hpp"
 #include "obs/events.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -57,6 +58,12 @@ struct GridFtpClient::Attempt {
   sim::EventId fault_event = 0;
   bool done = false;
   bool stalled = false;       ///< injected stall struck; nothing will move
+  /// Causal context captured at launch (trace id + op-span parent); the
+  /// scheduled phases reinstall it so server logging, spans, and the
+  /// failure sink inherit the request's trace.
+  obs::TraceContext ctx;
+  /// Pre-allocated id of this attempt's span (recorded at resolution).
+  obs::SpanId span_id = 0;
   /// Control sessions whose data phase is live (to 426 on failure).
   std::vector<std::shared_ptr<ServerSession>> transferring;
   TransferCallback callback;  ///< per-attempt outcome consumer
@@ -73,9 +80,21 @@ struct GridFtpClient::RetryDriver
   TransferCallback callback;
   int attempts = 0;
   Duration backoff_spent = 0.0;
+  /// Causal context captured when the operation was requested; every
+  /// attempt (retries included) runs under it, parented by op_span.
+  obs::TraceContext ctx;
+  obs::SpanId op_span = 0;
+  SimTime op_started = 0.0;
 
   void start() {
     ++attempts;
+    // Attempts launched from backoff callbacks have lost the ambient
+    // context; reinstall it so begin_attempt captures the trace with
+    // the operation span as parent.
+    std::optional<obs::ScopedTraceContext> scope;
+    if (ctx.active()) {
+      scope.emplace(obs::TraceContext{ctx.trace_id, op_span});
+    }
     launch([self = shared_from_this()](const TransferOutcome& outcome) {
       self->finished(outcome);
     });
@@ -134,6 +153,19 @@ struct GridFtpClient::RetryDriver
   }
 
   void deliver(const TransferOutcome& outcome) {
+    if (ctx.active()) {
+      obs::SpanRecord span;
+      span.id = op_span;
+      span.parent = ctx.parent;
+      span.trace_id = ctx.trace_id;
+      span.name = "client.op";
+      span.start_ns = obs::sim_ns(op_started);
+      span.end_ns = obs::sim_ns(client->sim_.now());
+      span.attrs = {{"OP", op_name},
+                    {"ATTEMPTS", std::to_string(attempts)},
+                    {"RESULT", outcome.ok ? "ok" : "fail"}};
+      obs::Tracer::global().record_full(std::move(span));
+    }
     if (callback) callback(outcome);
     callback = nullptr;
   }
@@ -315,6 +347,11 @@ void GridFtpClient::run_with_retry(std::string op_name, AttemptLauncher launch,
   driver->op_name = std::move(op_name);
   driver->launch = std::move(launch);
   driver->callback = std::move(callback);
+  driver->ctx = obs::TraceContext::current();
+  if (driver->ctx.active()) {
+    driver->op_span = obs::Tracer::global().allocate_id();
+    driver->op_started = sim_.now();
+  }
   driver->start();
 }
 
@@ -333,6 +370,10 @@ std::shared_ptr<GridFtpClient::Attempt> GridFtpClient::begin_attempt(
   attempt->overhead = overhead;
   attempt->started = sim_.now();
   attempt->callback = std::move(callback);
+  attempt->ctx = obs::TraceContext::current();
+  if (attempt->ctx.active()) {
+    attempt->span_id = obs::Tracer::global().allocate_id();
+  }
   if (faults_ != nullptr) attempt->fault = faults_->sample_attempt();
   if (retry_policy_.attempt_timeout > 0.0) {
     attempt->timeout_event = sim_.schedule_after(
@@ -397,6 +438,15 @@ void GridFtpClient::finish_attempt_failure(
   attempt->done = true;
   cancel_attempt_timers(attempt);
 
+  // Failures resolve from scheduled callbacks (timeouts, injected
+  // faults) that lost the ambient context; reinstall it so the failure
+  // record's history ingest nests under this attempt's span.
+  std::optional<obs::ScopedTraceContext> trace_scope;
+  if (attempt->ctx.active()) {
+    trace_scope.emplace(
+        obs::TraceContext{attempt->ctx.trace_id, attempt->span_id});
+  }
+
   // Tear down the data channel, keeping the bytes it moved.
   Bytes moved = attempt->moved;
   if (attempt->flow != 0) {
@@ -435,7 +485,25 @@ void GridFtpClient::finish_attempt_failure(
     record.streams = attempt->options.streams;
     record.tcp_buffer = attempt->options.buffer;
     record.ok = false;
+    record.trace_id = attempt->ctx.trace_id;
     failure_sink_(record);
+  }
+
+  if (attempt->ctx.active()) {
+    obs::SpanRecord span;
+    span.id = attempt->span_id;
+    span.parent = attempt->ctx.parent;
+    span.trace_id = attempt->ctx.trace_id;
+    span.name = "client.attempt";
+    span.start_ns = obs::sim_ns(attempt->started);
+    span.end_ns = obs::sim_ns(sim_.now());
+    span.attrs = {{"OP", attempt->op_name},
+                  {"HOST", attempt->record_server != nullptr
+                               ? attempt->record_server->config().host
+                               : std::string{"-"}},
+                  {"RESULT", "fail"},
+                  {"ERROR", error}};
+    obs::Tracer::global().record_full(std::move(span));
   }
 
   TransferOutcome outcome;
@@ -490,6 +558,15 @@ void GridFtpClient::execute_plan(DataPlan plan,
       attempt->flow = 0;
       attempt->transferring.clear();
 
+      // Reinstall the request's context: the servers' records pick up
+      // the trace id and the transfer span tree parents under this
+      // attempt (the flow-completion callback lost the thread-local).
+      std::optional<obs::ScopedTraceContext> trace_scope;
+      if (attempt->ctx.active()) {
+        trace_scope.emplace(
+            obs::TraceContext{attempt->ctx.trace_id, attempt->span_id});
+      }
+
       TransferRecord primary;
       Duration logging_overhead = 0.0;
 
@@ -532,6 +609,21 @@ void GridFtpClient::execute_plan(DataPlan plan,
           attempt->options.streams, attempt->overhead, timed_start, stats.start,
           stats.end, logging_overhead, plan.write_logger != nullptr,
           /*record_stream_child=*/true);
+      if (attempt->ctx.active()) {
+        obs::SpanRecord span;
+        span.id = attempt->span_id;
+        span.parent = attempt->ctx.parent;
+        span.trace_id = attempt->ctx.trace_id;
+        span.name = "client.attempt";
+        span.start_ns = obs::sim_ns(attempt->started);
+        span.end_ns = obs::sim_ns(stats.end + logging_overhead);
+        span.attrs = {{"OP", attempt->op_name},
+                      {"HOST", attempt->record_server != nullptr
+                                   ? attempt->record_server->config().host
+                                   : std::string{"-"}},
+                      {"RESULT", "ok"}};
+        obs::Tracer::global().record_full(std::move(span));
+      }
 
       if (attempt->callback) {
         TransferOutcome outcome;

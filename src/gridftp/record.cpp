@@ -44,6 +44,9 @@ util::UlmRecord TransferRecord::to_ulm() const {
   ulm.set_int("STREAMS", streams);
   ulm.set_int("BUFFER", static_cast<std::int64_t>(tcp_buffer));
   if (!ok) ulm.set("RESULT", "fail");
+  if (trace_id != 0) {
+    ulm.set_int("TRACE", static_cast<std::int64_t>(trace_id));
+  }
   return ulm;
 }
 
@@ -85,6 +88,8 @@ std::optional<TransferRecord> TransferRecord::from_ulm(
   r.streams = static_cast<int>(*streams);
   r.tcp_buffer = static_cast<Bytes>(*buffer);
   r.ok = ok_flag;
+  const auto trace = ulm.get_int("TRACE");
+  if (trace && *trace > 0) r.trace_id = static_cast<std::uint64_t>(*trace);
   return r;
 }
 

@@ -9,6 +9,7 @@
 // label its entries).
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 
@@ -43,6 +44,10 @@ struct TransferRecord {
   /// Serialized as RESULT=fail — absent for successes, keeping
   /// pre-resilience log lines byte-identical.
   bool ok = true;
+  /// Causal trace id of the request this transfer served (see
+  /// obs/context.hpp).  Serialized as TRACE= only when non-zero, so
+  /// untraced logs stay byte-identical to earlier PRs.
+  std::uint64_t trace_id = 0;
 
   /// Transfer duration in seconds.
   Duration total_time() const { return end_time - start_time; }

@@ -1,5 +1,6 @@
 #include "gridftp/server.hpp"
 
+#include "obs/context.hpp"
 #include "obs/metrics.hpp"
 #include "util/strings.hpp"
 
@@ -50,6 +51,8 @@ TransferRecord GridFtpServer::record_transfer(const std::string& remote_ip,
   record.op = op;
   record.streams = streams;
   record.tcp_buffer = buffer;
+  // The request's causal trace, when the client attempt installed one.
+  record.trace_id = obs::TraceContext::current().trace_id;
   log_.append(record);
   ++transfers_logged_;
 

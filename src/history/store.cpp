@@ -4,6 +4,8 @@
 #include <chrono>
 
 #include "history/adapter.hpp"
+#include "obs/context.hpp"
+#include "obs/trace.hpp"
 
 namespace wadp::history {
 namespace {
@@ -238,7 +240,36 @@ std::uint64_t HistoryStore::append(const SeriesKey& key,
 }
 
 std::uint64_t HistoryStore::append(const gridftp::TransferRecord& record) {
-  return append(series_key_for(record), to_observation(record));
+  const std::uint64_t epoch =
+      append(series_key_for(record), to_observation(record));
+  std::shared_ptr<const std::vector<RecordObserver>> observers;
+  {
+    const std::lock_guard<std::mutex> lock(observers_mu_);
+    observers = observers_;
+  }
+  if (observers) {
+    for (const RecordObserver& observer : *observers) observer(record);
+  }
+  if (config_.instrumented && obs::TraceContext::current().active()) {
+    // Zero-width instant on the simulated timeline: ingest is the
+    // terminal hop of the request's causal chain (parent and trace id
+    // come from the ambient context).
+    obs::Tracer::global().record(
+        "history.ingest", 0, obs::sim_ns(record.end_time),
+        obs::sim_ns(record.end_time),
+        {{"SERIES", series_key_for(record).to_string()},
+         {"RESULT", record.ok ? "ok" : "fail"}});
+  }
+  return epoch;
+}
+
+void HistoryStore::add_record_observer(RecordObserver observer) {
+  const std::lock_guard<std::mutex> lock(observers_mu_);
+  auto next = observers_ ? std::make_shared<std::vector<RecordObserver>>(
+                               *observers_)
+                         : std::make_shared<std::vector<RecordObserver>>();
+  next->push_back(std::move(observer));
+  observers_ = std::move(next);
 }
 
 std::size_t HistoryStore::ingest_log(const gridftp::TransferLog& log) {

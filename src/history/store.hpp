@@ -166,8 +166,20 @@ class HistoryStore {
   std::uint64_t append(const SeriesKey& key, const predict::Observation& obs);
 
   /// Appends one transfer record (key and observation derived by the
-  /// adapter — the single record→observation conversion path).
+  /// adapter — the single record→observation conversion path).  When a
+  /// trace context is active the ingest is recorded as a
+  /// `history.ingest` span, closing the causal chain
+  /// query→transfer→ingest; registered record observers (the quality
+  /// tracker) are notified after the append.
   std::uint64_t append(const gridftp::TransferRecord& record);
+
+  /// Called after every record-level append (not the raw observation
+  /// overload — observers want the full record, trace id included).
+  /// Observers must be fast and thread-safe; they run on the ingesting
+  /// thread.  There is no unregister: observers live as long as the
+  /// store (wire-up happens once at assembly time).
+  using RecordObserver = std::function<void(const gridftp::TransferRecord&)>;
+  void add_record_observer(RecordObserver observer);
 
   /// Appends every record of a log.  Returns records appended.
   std::size_t ingest_log(const gridftp::TransferLog& log);
@@ -226,6 +238,11 @@ class HistoryStore {
 
   StoreConfig config_;
   std::vector<std::unique_ptr<Shard>> shards_;
+
+  /// Copy-on-write observer list: ingest threads grab the shared_ptr
+  /// under the mutex and call outside any shard lock.
+  mutable std::mutex observers_mu_;
+  std::shared_ptr<const std::vector<RecordObserver>> observers_;
 
   struct Metrics {
     std::vector<obs::Counter*> shard_appends;  // parallel to shards_

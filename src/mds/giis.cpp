@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/context.hpp"
 #include "obs/metrics.hpp"
 #include "util/error.hpp"
 
@@ -92,6 +93,8 @@ std::vector<Entry> Giis::search(SimTime now, const Filter& filter) {
   if (inquiring_) return {};  // registration cycle: stop here
   const InquiryScope scope(inquiring_);
   GiisMetrics::get().searches.inc();
+  // When the caller carries a trace, nested GRIS searches parent here.
+  obs::SimSpanScope span("mds.search", now, {{"SERVICE", "giis"}});
   prune(now);
   std::vector<Entry> merged;
   for (auto& reg : registrations_) {
@@ -99,6 +102,7 @@ std::vector<Entry> Giis::search(SimTime now, const Filter& filter) {
     merged.insert(merged.end(), std::make_move_iterator(results.begin()),
                   std::make_move_iterator(results.end()));
   }
+  span.set_attr("RESULTS", static_cast<std::int64_t>(merged.size()));
   return merged;
 }
 
@@ -107,6 +111,7 @@ std::vector<Entry> Giis::search(SimTime now, const Dn& base,
   if (inquiring_) return {};
   const InquiryScope guard(inquiring_);
   GiisMetrics::get().searches.inc();
+  obs::SimSpanScope span("mds.search", now, {{"SERVICE", "giis"}});
   prune(now);
   std::vector<Entry> merged;
   for (auto& reg : registrations_) {
@@ -115,6 +120,7 @@ std::vector<Entry> Giis::search(SimTime now, const Dn& base,
     merged.insert(merged.end(), std::make_move_iterator(results.begin()),
                   std::make_move_iterator(results.end()));
   }
+  span.set_attr("RESULTS", static_cast<std::int64_t>(merged.size()));
   return merged;
 }
 

@@ -1,5 +1,6 @@
 #include "mds/gris.hpp"
 
+#include "obs/context.hpp"
 #include "obs/metrics.hpp"
 #include "util/error.hpp"
 
@@ -60,8 +61,11 @@ void Gris::refresh_stale(SimTime now) {
 std::vector<Entry> Gris::search(SimTime now, const Dn& base,
                                 Directory::Scope scope, const Filter& filter) {
   GrisMetrics::get().searches.inc();
+  obs::SimSpanScope span("mds.search", now, {{"SERVICE", "gris"}});
   refresh_stale(now);
-  return directory_.search(base, scope, filter);
+  auto results = directory_.search(base, scope, filter);
+  span.set_attr("RESULTS", static_cast<std::int64_t>(results.size()));
+  return results;
 }
 
 std::vector<Entry> Gris::search(SimTime now, const Filter& filter) {

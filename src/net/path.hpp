@@ -50,6 +50,12 @@ class PathModel final : public CapacityProvider {
   /// load (see PathParams::queueing_rtt_factor).
   Duration effective_rtt(SimTime t) const;
   Bandwidth bottleneck() const { return params_.bottleneck; }
+  /// Reconfigures the bottleneck capacity mid-run (a route change, a
+  /// provisioning event — the drift scenarios the quality plane must
+  /// catch).  Takes effect for capacity_at() calls from then on; call
+  /// between transfers, not under one (in-flight progress integration
+  /// assumes capacity changes only at load-process events).
+  void set_bottleneck(Bandwidth bottleneck) { params_.bottleneck = bottleneck; }
   const TcpParams& tcp() const { return params_.tcp; }
   const LoadProcess& load() const { return load_; }
 

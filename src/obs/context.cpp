@@ -1,0 +1,59 @@
+#include "obs/context.hpp"
+
+#include <atomic>
+
+namespace wadp::obs {
+
+namespace {
+thread_local TraceContext g_current;
+std::atomic<std::uint64_t> g_next_trace_id{1};
+}  // namespace
+
+TraceContext TraceContext::current() { return g_current; }
+
+std::uint64_t TraceContext::mint() {
+  return g_next_trace_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+ScopedTraceContext::ScopedTraceContext(TraceContext ctx) : saved_(g_current) {
+  g_current = ctx;
+}
+
+ScopedTraceContext::~ScopedTraceContext() { g_current = saved_; }
+
+SimSpanScope::SimSpanScope(
+    std::string name, double sim_now,
+    std::vector<std::pair<std::string, std::string>> attrs)
+    : outer_(g_current) {
+  if (!outer_.active()) return;
+  name_ = std::move(name);
+  instant_ns_ = sim_ns(sim_now);
+  attrs_ = std::move(attrs);
+  span_id_ = Tracer::global().allocate_id();
+  g_current = TraceContext{outer_.trace_id, span_id_};
+}
+
+SimSpanScope::~SimSpanScope() {
+  if (span_id_ == 0) return;
+  g_current = outer_;
+  SpanRecord span;
+  span.id = span_id_;
+  span.parent = outer_.parent;
+  span.trace_id = outer_.trace_id;
+  span.name = std::move(name_);
+  span.start_ns = instant_ns_;
+  span.end_ns = instant_ns_;
+  span.attrs = std::move(attrs_);
+  Tracer::global().record_full(std::move(span));
+}
+
+void SimSpanScope::set_attr(std::string key, std::string value) {
+  if (span_id_ == 0) return;
+  attrs_.emplace_back(std::move(key), std::move(value));
+}
+
+void SimSpanScope::set_attr(std::string key, std::int64_t value) {
+  set_attr(std::move(key), std::to_string(value));
+}
+
+}  // namespace wadp::obs

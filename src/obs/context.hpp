@@ -1,0 +1,91 @@
+// Causal trace context: a 64-bit trace id plus the span id that any
+// nested work should parent under.  The context is thread-local and
+// installed/removed by the RAII ScopedTraceContext, so instrumentation
+// deep in the stack (MDS search, prediction service, history ingest)
+// picks up the caller's trace without any signature changes: the
+// Tracer consults TraceContext::current() when a span is opened or
+// recorded with no explicit parent.
+//
+// The simulator runs callbacks on one thread, so a callback that works
+// on behalf of an earlier request re-installs the context it captured
+// at schedule time (see gridftp/client.cpp) — the thread-local is a
+// propagation channel, not a store.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace wadp::obs {
+
+/// The ambient causal context: which request (trace) the current call
+/// stack works for, and which span new work should hang under.
+struct TraceContext {
+  std::uint64_t trace_id = 0;  ///< 0 = no active trace
+  SpanId parent = 0;           ///< span id nested spans parent under
+
+  bool active() const { return trace_id != 0; }
+
+  /// The context installed on this thread (inactive if none).
+  static TraceContext current();
+
+  /// Mints a fresh process-unique trace id (deterministic: a counter
+  /// starting at 1, so demo runs produce stable ids).
+  static std::uint64_t mint();
+};
+
+/// Installs a TraceContext on this thread for its lifetime, restoring
+/// the previous one on destruction.  Non-copyable, non-movable: scopes
+/// must nest like the call stack they describe.
+class ScopedTraceContext {
+ public:
+  explicit ScopedTraceContext(TraceContext ctx);
+  ScopedTraceContext(std::uint64_t trace_id, SpanId parent)
+      : ScopedTraceContext(TraceContext{trace_id, parent}) {}
+  ~ScopedTraceContext();
+
+  ScopedTraceContext(const ScopedTraceContext&) = delete;
+  ScopedTraceContext& operator=(const ScopedTraceContext&) = delete;
+  ScopedTraceContext(ScopedTraceContext&&) = delete;
+  ScopedTraceContext& operator=(ScopedTraceContext&&) = delete;
+
+ private:
+  TraceContext saved_;
+};
+
+/// Traces one synchronous unit of simulated-time work (an MDS search, a
+/// broker selection, a history ingest): when a trace is active on this
+/// thread, allocates a span id, installs itself as the ambient parent —
+/// so nested instrumentation hangs underneath — and records the span as
+/// a zero-width instant at `sim_now` on destruction.  No-op (and free)
+/// when no trace is active.
+class SimSpanScope {
+ public:
+  SimSpanScope(std::string name, double sim_now,
+               std::vector<std::pair<std::string, std::string>> attrs = {});
+  ~SimSpanScope();
+
+  SimSpanScope(const SimSpanScope&) = delete;
+  SimSpanScope& operator=(const SimSpanScope&) = delete;
+  SimSpanScope(SimSpanScope&&) = delete;
+  SimSpanScope& operator=(SimSpanScope&&) = delete;
+
+  bool active() const { return span_id_ != 0; }
+  SpanId id() const { return span_id_; }
+
+  /// Attributes added while the scope is open (ignored when inactive).
+  void set_attr(std::string key, std::string value);
+  void set_attr(std::string key, std::int64_t value);
+
+ private:
+  std::string name_;
+  std::uint64_t instant_ns_ = 0;
+  SpanId span_id_ = 0;  ///< 0 = inactive
+  TraceContext outer_;
+  std::vector<std::pair<std::string, std::string>> attrs_;
+};
+
+}  // namespace wadp::obs

@@ -11,13 +11,44 @@
 namespace wadp::obs {
 namespace {
 
+/// Label-value escaping per Prometheus text exposition format 0.0.4:
+/// backslash, double-quote, and line-feed must be escaped inside the
+/// quoted value; everything else passes through verbatim.
+std::string prometheus_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+/// HELP text allows quotes but must escape backslash and line-feed.
+std::string prometheus_escape_help(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
 /// `{k="v",k2="v2"}` or "" when unlabeled.
 std::string prometheus_labels(const Labels& labels) {
   if (labels.empty()) return "";
   std::string out = "{";
   for (std::size_t i = 0; i < labels.size(); ++i) {
     if (i > 0) out += ",";
-    out += labels[i].first + "=\"" + labels[i].second + "\"";
+    out += labels[i].first + "=\"" + prometheus_escape(labels[i].second) + "\"";
   }
   out += "}";
   return out;
@@ -66,7 +97,8 @@ std::string to_prometheus(const Registry& registry) {
   std::string out;
   for (const auto& family : registry.families()) {
     if (!family.help.empty()) {
-      out += "# HELP " + family.name + " " + family.help + "\n";
+      out += "# HELP " + family.name + " " +
+             prometheus_escape_help(family.help) + "\n";
     }
     switch (family.kind) {
       case Registry::Kind::kCounter:
@@ -170,6 +202,9 @@ std::string spans_to_ulm(const Tracer& tracer) {
     record.set("NAME", span.name);
     record.set_int("SPAN", static_cast<std::int64_t>(span.id));
     record.set_int("PARENT", static_cast<std::int64_t>(span.parent));
+    if (span.trace_id != 0) {
+      record.set_int("TRACE", static_cast<std::int64_t>(span.trace_id));
+    }
     record.set_int("START.NS", static_cast<std::int64_t>(span.start_ns));
     record.set_int("DUR.NS", static_cast<std::int64_t>(span.duration_ns()));
     for (const auto& [key, value] : span.attrs) record.set(key, value);

@@ -25,7 +25,14 @@ std::string serialize_labels(const Labels& labels) {
 
 }  // namespace
 
-Histogram::Histogram() : buckets_(kBucketCount, 0) {}
+Histogram::Histogram()
+    : buckets_(new std::atomic<std::uint64_t>[kBucketCount]),
+      min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity()) {
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+}
 
 std::size_t Histogram::bucket_index(double value) {
   if (!(value > 0.0) || !std::isfinite(value)) return 0;  // underflow slot
@@ -56,70 +63,92 @@ double Histogram::bucket_upper_bound(std::size_t index) {
 
 void Histogram::record(double value) {
   const std::size_t index = bucket_index(value);
-  const std::lock_guard<std::mutex> lock(mu_);
-  ++buckets_[index];
-  stats_.add(value);
+  buckets_[index].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + value,
+                                     std::memory_order_relaxed)) {
+  }
+  double lo = min_.load(std::memory_order_relaxed);
+  while (value < lo && !min_.compare_exchange_weak(
+                           lo, value, std::memory_order_relaxed)) {
+  }
+  double hi = max_.load(std::memory_order_relaxed);
+  while (value > hi && !max_.compare_exchange_weak(
+                           hi, value, std::memory_order_relaxed)) {
+  }
 }
 
 std::size_t Histogram::count() const {
-  const std::lock_guard<std::mutex> lock(mu_);
-  return stats_.count();
+  return count_.load(std::memory_order_relaxed);
 }
 
-double Histogram::sum() const {
-  const std::lock_guard<std::mutex> lock(mu_);
-  return stats_.sum();
-}
+double Histogram::sum() const { return sum_.load(std::memory_order_relaxed); }
 
 double Histogram::min() const {
-  const std::lock_guard<std::mutex> lock(mu_);
-  return stats_.count() ? stats_.min() : 0.0;
+  return count() ? min_.load(std::memory_order_relaxed) : 0.0;
 }
 
 double Histogram::max() const {
-  const std::lock_guard<std::mutex> lock(mu_);
-  return stats_.count() ? stats_.max() : 0.0;
+  return count() ? max_.load(std::memory_order_relaxed) : 0.0;
 }
 
 double Histogram::mean() const {
-  const std::lock_guard<std::mutex> lock(mu_);
-  return stats_.count() ? stats_.mean() : 0.0;
+  const std::uint64_t n = count_.load(std::memory_order_relaxed);
+  return n ? sum_.load(std::memory_order_relaxed) / static_cast<double>(n)
+           : 0.0;
+}
+
+std::vector<std::uint64_t> Histogram::snapshot_buckets(
+    std::uint64_t* total) const {
+  std::vector<std::uint64_t> out(kBucketCount);
+  std::uint64_t sum = 0;
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+    sum += out[i];
+  }
+  if (total != nullptr) *total = sum;
+  return out;
 }
 
 double Histogram::quantile(double q) const {
   WADP_CHECK(q >= 0.0 && q <= 1.0);
-  const std::lock_guard<std::mutex> lock(mu_);
-  const std::size_t n = stats_.count();
+  // The rank comes from the snapshot's own total, so the walk is
+  // self-consistent even if writers race the export.
+  std::uint64_t n = 0;
+  const std::vector<std::uint64_t> buckets = snapshot_buckets(&n);
   if (n == 0) return 0.0;
+  const double observed_min = min_.load(std::memory_order_relaxed);
+  const double observed_max = max_.load(std::memory_order_relaxed);
   // Rank of the target sample, 1-based, linear between extremes.
   const double rank = 1.0 + q * static_cast<double>(n - 1);
   std::uint64_t seen = 0;
-  for (std::size_t i = 0; i < buckets_.size(); ++i) {
-    if (buckets_[i] == 0) continue;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) continue;
     const auto below = static_cast<double>(seen);
-    seen += buckets_[i];
+    seen += buckets[i];
     if (static_cast<double>(seen) + 1e-12 < rank) continue;
     // Interpolate inside the landing bucket between its bounds,
     // clamped to the observed min/max so tails stay honest.
     const double lo = std::max(i == 0 ? 0.0 : bucket_upper_bound(i - 1),
-                               stats_.min());
-    const double hi = std::min(bucket_upper_bound(i), stats_.max());
+                               observed_min);
+    const double hi = std::min(bucket_upper_bound(i), observed_max);
     if (!(hi > lo)) return hi;
     const double within =
-        (rank - below) / static_cast<double>(buckets_[i]);
+        (rank - below) / static_cast<double>(buckets[i]);
     return lo + (hi - lo) * std::min(1.0, std::max(0.0, within));
   }
-  return stats_.max();
+  return observed_max;
 }
 
 std::vector<std::pair<double, std::uint64_t>> Histogram::cumulative_buckets()
     const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const std::vector<std::uint64_t> buckets = snapshot_buckets(nullptr);
   std::vector<std::pair<double, std::uint64_t>> out;
   std::uint64_t cumulative = 0;
-  for (std::size_t i = 0; i < buckets_.size(); ++i) {
-    if (buckets_[i] == 0) continue;
-    cumulative += buckets_[i];
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) continue;
+    cumulative += buckets[i];
     out.emplace_back(bucket_upper_bound(i), cumulative);
   }
   return out;
@@ -202,8 +231,34 @@ std::vector<Registry::Family> Registry::families() const {
   return out;
 }
 
+// Build identity baked in by src/obs/CMakeLists.txt; the fallbacks keep
+// non-CMake tooling (IDEs, single-file checks) compiling.
+#ifndef WADP_VERSION
+#define WADP_VERSION "unknown"
+#endif
+#ifndef WADP_GIT_SHA
+#define WADP_GIT_SHA "unknown"
+#endif
+#ifndef WADP_BUILD_TYPE
+#define WADP_BUILD_TYPE "unknown"
+#endif
+
 Registry& Registry::global() {
   static Registry registry;
+  // Constant 1-valued gauge carrying build identity as labels — the
+  // Prometheus "info metric" idiom — registered on first use so every
+  // export format shows it without call-site wiring.
+  static const bool build_info_registered = [] {
+    registry
+        .gauge("wadp_build_info",
+               {{"version", WADP_VERSION},
+                {"git_sha", WADP_GIT_SHA},
+                {"build_type", WADP_BUILD_TYPE}},
+               "Build identity (constant 1; labels carry the facts)")
+        .set(1.0);
+    return true;
+  }();
+  (void)build_info_registered;
   return registry;
 }
 

@@ -9,13 +9,12 @@
 //     the registry's lifetime, so call sites cache a reference and the
 //     hot path is lock-free: Counter::inc is a single relaxed atomic
 //     add (<50 ns, see bench_obs_overhead), Gauge::set a relaxed
-//     store.  Only registration and Histogram::record take a lock.
+//     store, Histogram::record a relaxed per-bucket add plus CAS
+//     moment updates.  Only registration takes a lock.
 //   * Histograms use log-linear buckets (HdrHistogram-style): one
 //     power-of-two octave split into 16 linear sub-buckets, giving
 //     quantile estimates with <= ~6% relative error over the full
 //     double range, in constant memory, with no per-sample storage.
-//     Moments and min/max come from util::RunningStats — the same
-//     Welford accumulator the stats tables use.
 //
 // Naming follows Prometheus conventions (docs/OBSERVABILITY.md):
 // snake_case, unit suffix, `_total` for counters; label values are
@@ -68,10 +67,13 @@ class Gauge {
   std::atomic<double> value_{0.0};
 };
 
-/// Log-linear-bucket histogram with streaming moments.  record() takes
-/// a short critical section (one mutex) so concurrent writers stay
-/// correct under ThreadSanitizer; the bucket walk for quantiles happens
-/// only at export time.
+/// Log-linear-bucket histogram with streaming moments.  record() is
+/// lock-free: one relaxed fetch_add on the landing bucket plus CAS
+/// loops for sum/min/max, so concurrent writers never serialize and
+/// the path stays TSan-clean.  Readers (quantiles, exports) snapshot
+/// the buckets with relaxed loads; under concurrent writes a snapshot
+/// is approximate by design — each sample is eventually visible, and a
+/// quiesced histogram reads exactly.
 class Histogram {
  public:
   /// 16 linear sub-buckets per power-of-two octave.
@@ -108,10 +110,15 @@ class Histogram {
   std::vector<std::pair<double, std::uint64_t>> cumulative_buckets() const;
 
  private:
-  mutable std::mutex mu_;
-  std::vector<std::uint64_t> buckets_;
-  util::RunningStats stats_;  // shared accumulator (satellite: one source
-                              // of truth for min/max/mean across the repo)
+  /// Relaxed snapshot of the bucket array plus its total, so quantile
+  /// math and the cumulative walk agree on one view.
+  std::vector<std::uint64_t> snapshot_buckets(std::uint64_t* total) const;
+
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_;  // +inf when empty
+  std::atomic<double> max_;  // -inf when empty
 };
 
 /// Registry: owns instruments keyed by (name, labels).  Lookups lock;

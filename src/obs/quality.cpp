@@ -1,0 +1,245 @@
+#include "obs/quality.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <tuple>
+
+namespace wadp::obs {
+
+namespace {
+
+constexpr const char* kErrorHelp =
+    "Normalized percent error of served predictions vs measured bandwidth";
+constexpr const char* kDriftHelp =
+    "Page-Hinkley error-mean-shift alarms per (site, predictor)";
+
+}  // namespace
+
+double QualityReport::join_rate() const {
+  const std::uint64_t scored = joins() + join_misses;
+  if (scored == 0) return 1.0;
+  return static_cast<double>(joins()) / static_cast<double>(scored);
+}
+
+void QualityTracker::Detector::reset() {
+  n = 0;
+  mean = 0.0;
+  cum = 0.0;
+  cum_min = 0.0;
+}
+
+bool QualityTracker::Detector::update(double x, const QualityConfig& config) {
+  ++n;
+  mean += (x - mean) / static_cast<double>(n);
+  cum += x - mean - config.ph_delta;
+  cum_min = std::min(cum_min, cum);
+  return n >= config.min_observations && cum - cum_min > config.ph_lambda;
+}
+
+QualityTracker::QualityTracker(QualityConfig config)
+    : config_(std::move(config)),
+      registry_(config_.registry != nullptr ? *config_.registry
+                                            : Registry::global()),
+      events_(config_.events != nullptr ? *config_.events
+                                        : EventSink::global()),
+      predictions_total_(registry_.counter(
+          "wadp_quality_predictions_total", {},
+          "Served predictions remembered for an accuracy join")),
+      joins_trace_total_(registry_.counter(
+          "wadp_quality_joins_total", {{"method", "trace"}},
+          "Completed transfers joined against their served prediction")),
+      joins_fallback_total_(registry_.counter("wadp_quality_joins_total",
+                                              {{"method", "fallback"}})),
+      join_misses_total_(registry_.counter(
+          "wadp_quality_join_misses_total", {},
+          "Scoreable transfers with no matching served prediction")),
+      skipped_total_(registry_.counter(
+          "wadp_quality_skipped_total", {},
+          "Failed or zero-duration transfers not scored")) {}
+
+void QualityTracker::record_prediction(const ServedPrediction& prediction) {
+  predictions_total_.inc();
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (prediction.trace_id == 0) {
+    unkeyed_.push_back(prediction);
+    if (unkeyed_.size() > config_.ledger_capacity) unkeyed_.pop_front();
+    return;
+  }
+  auto [it, inserted] = ledger_.try_emplace(prediction.trace_id);
+  it->second.push_back(prediction);
+  if (inserted) {
+    ledger_order_.push_back(prediction.trace_id);
+    evict_locked();
+  }
+}
+
+void QualityTracker::evict_locked() {
+  while (ledger_order_.size() > config_.ledger_capacity) {
+    ledger_.erase(ledger_order_.front());
+    ledger_order_.pop_front();
+  }
+}
+
+void QualityTracker::observe_transfer(const gridftp::TransferRecord& record) {
+  // A failed attempt measures the outage, not the predictor; a
+  // zero-duration record has no defined bandwidth.
+  if (!record.ok || !(record.total_time() > 0.0) || record.file_size == 0) {
+    skipped_total_.inc();
+    return;
+  }
+  const int cls = config_.classifier.classify(record.file_size);
+
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<ServedPrediction> matched;
+  const char* method = "trace";
+  if (record.trace_id != 0) {
+    auto it = ledger_.find(record.trace_id);
+    if (it != ledger_.end()) {
+      // Claim every prediction served for this site and size class
+      // under the trace (predict_all answers once per predictor); the
+      // whole trace entry retires with its transfer.
+      for (const ServedPrediction& p : it->second) {
+        if (p.site == record.host &&
+            config_.classifier.classify(p.file_size) == cls) {
+          matched.push_back(p);
+        }
+      }
+      if (!matched.empty()) ledger_.erase(it);
+    }
+  }
+  if (matched.empty()) {
+    // Temporal fallback: nearest untraced prediction for the same
+    // (site, size class) within the window.
+    method = "fallback";
+    auto best = unkeyed_.end();
+    double best_dt = config_.fallback_window;
+    for (auto it = unkeyed_.begin(); it != unkeyed_.end(); ++it) {
+      if (it->site != record.host) continue;
+      if (config_.classifier.classify(it->file_size) != cls) continue;
+      const double dt = std::abs(record.start_time - it->time);
+      if (dt <= best_dt) {
+        best_dt = dt;
+        best = it;
+      }
+    }
+    if (best != unkeyed_.end()) {
+      matched.push_back(*best);
+      unkeyed_.erase(best);
+    }
+  }
+  if (matched.empty()) {
+    join_misses_total_.inc();
+    return;
+  }
+  (method[0] == 't' ? joins_trace_total_ : joins_fallback_total_).inc();
+  for (const ServedPrediction& p : matched) score(p, record, cls, method);
+}
+
+void QualityTracker::score(const ServedPrediction& prediction,
+                           const gridftp::TransferRecord& record,
+                           int size_class, const char* /*method*/) {
+  const double error =
+      util::percent_error(record.bandwidth(), prediction.value);
+
+  auto cell_it =
+      cells_.find(std::tie(prediction.site, prediction.predictor, size_class));
+  if (cell_it == cells_.end()) {
+    cell_it = cells_
+                  .try_emplace(CellKey{prediction.site, prediction.predictor,
+                                       size_class})
+                  .first;
+  }
+  CellStats& cell = cell_it->second;
+  if (cell.histogram == nullptr) {
+    cell.histogram = &registry_.histogram(
+        "wadp_quality_error_pct",
+        {{"site", prediction.site},
+         {"predictor", prediction.predictor},
+         {"class", config_.classifier.class_label(size_class)}},
+        kErrorHelp);
+  }
+  cell.stats.add(error);
+  cell.histogram->record(error);
+
+  auto detector_it =
+      detectors_.find(std::tie(prediction.site, prediction.predictor));
+  if (detector_it == detectors_.end()) {
+    detector_it =
+        detectors_.try_emplace(PairKey{prediction.site, prediction.predictor})
+            .first;
+  }
+  Detector& detector = detector_it->second;
+  if (detector.drifting) {
+    // Demotion window: the detector stays quiet until the cooldown
+    // expires, then restarts against the new error regime.
+    if (detector.cooldown_left > 0) --detector.cooldown_left;
+    if (detector.cooldown_left == 0) detector.drifting = false;
+    return;
+  }
+  if (detector.update(error, config_)) {
+    ++drift_events_;
+    registry_
+        .counter("wadp_quality_drift_total",
+                 {{"site", prediction.site},
+                  {"predictor", prediction.predictor}},
+                 kDriftHelp)
+        .inc();
+    util::UlmRecord event;
+    event.set("SITE", prediction.site);
+    event.set("PREDICTOR", prediction.predictor);
+    event.set_double("MEAN", detector.mean, 3);
+    event.set_double("VALUE", error, 3);
+    event.set_int("N", static_cast<std::int64_t>(detector.n));
+    events_.emit("quality.drift", "wadp.quality", std::move(event));
+    detector.drifting = true;
+    detector.cooldown_left = config_.drift_cooldown;
+    detector.reset();
+  }
+}
+
+bool QualityTracker::drifting(const std::string& site,
+                              const std::string& predictor) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = detectors_.find(std::tie(site, predictor));
+  return it != detectors_.end() && it->second.drifting;
+}
+
+bool QualityTracker::site_drifting(const std::string& site) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [key, detector] : detectors_) {
+    if (std::get<0>(key) == site && detector.drifting) return true;
+  }
+  return false;
+}
+
+QualityReport QualityTracker::report() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  QualityReport out;
+  out.predictions = predictions_total_.value();
+  out.joins_trace = joins_trace_total_.value();
+  out.joins_fallback = joins_fallback_total_.value();
+  out.join_misses = join_misses_total_.value();
+  out.skipped = skipped_total_.value();
+  out.drift_events = drift_events_;
+  out.cells.reserve(cells_.size());
+  for (const auto& [key, cell] : cells_) {
+    QualityCell exported;
+    exported.site = std::get<0>(key);
+    exported.predictor = std::get<1>(key);
+    exported.size_class = std::get<2>(key);
+    exported.class_label = config_.classifier.class_label(exported.size_class);
+    exported.count = cell.stats.count();
+    exported.mean_error_pct = cell.stats.mean();
+    exported.stddev_error_pct = cell.stats.stddev();
+    exported.min_error_pct = cell.stats.min();
+    exported.max_error_pct = cell.stats.max();
+    const auto detector =
+        detectors_.find(std::tie(exported.site, exported.predictor));
+    exported.drifting =
+        detector != detectors_.end() && detector->second.drifting;
+    out.cells.push_back(std::move(exported));
+  }
+  return out;
+}
+
+}  // namespace wadp::obs

@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "obs/context.hpp"
 #include "util/strings.hpp"
 
 namespace wadp::obs {
@@ -31,7 +32,9 @@ void Span::set_attr(std::string key, double value) {
 
 Span Span::child(std::string name) {
   if (tracer_ == nullptr) return {};
-  return tracer_->start(std::move(name), record_.id);
+  Span c = tracer_->start(std::move(name), record_.id);
+  c.record_.trace_id = record_.trace_id;
+  return c;
 }
 
 void Span::end() {
@@ -58,9 +61,11 @@ SpanId Tracer::next_id() {
 }
 
 Span Tracer::start(std::string name, SpanId parent) {
+  const TraceContext ctx = TraceContext::current();
   SpanRecord record;
   record.id = next_id();
-  record.parent = parent;
+  record.parent = parent != 0 ? parent : ctx.parent;
+  record.trace_id = ctx.trace_id;
   record.name = std::move(name);
   record.start_ns = now_ns();
   return Span(this, std::move(record));
@@ -70,13 +75,24 @@ SpanId Tracer::record(
     std::string name, SpanId parent, std::uint64_t start_ns,
     std::uint64_t end_ns,
     std::vector<std::pair<std::string, std::string>> attrs) {
+  const TraceContext ctx = TraceContext::current();
   SpanRecord span;
   span.id = next_id();
-  span.parent = parent;
+  span.parent = parent != 0 ? parent : ctx.parent;
+  span.trace_id = ctx.trace_id;
   span.name = std::move(name);
   span.start_ns = start_ns;
   span.end_ns = end_ns;
   span.attrs = std::move(attrs);
+  const SpanId id = span.id;
+  finish(std::move(span));
+  return id;
+}
+
+SpanId Tracer::allocate_id() { return next_id(); }
+
+SpanId Tracer::record_full(SpanRecord span) {
+  if (span.id == 0) span.id = next_id();
   const SpanId id = span.id;
   finish(std::move(span));
   return id;

@@ -34,6 +34,7 @@ using SpanId = std::uint64_t;
 struct SpanRecord {
   SpanId id = 0;
   SpanId parent = 0;
+  std::uint64_t trace_id = 0;  ///< request the span belongs to; 0 = untraced
   std::string name;
   std::uint64_t start_ns = 0;  ///< monotonic (or simulated ns for record())
   std::uint64_t end_ns = 0;
@@ -87,15 +88,29 @@ class Tracer {
   Tracer(const Tracer&) = delete;
   Tracer& operator=(const Tracer&) = delete;
 
-  /// Opens a span stamped with the tracer's clock.
+  /// Opens a span stamped with the tracer's clock.  When a
+  /// TraceContext is installed on the calling thread, the span adopts
+  /// its trace id, and — if `parent` is 0 — parents under the
+  /// context's span.
   Span start(std::string name, SpanId parent = 0);
 
   /// Records a finished span with caller-supplied instants (the
   /// simulated-lifecycle path).  Returns its id so callers can parent
-  /// subsequent phases.
+  /// subsequent phases.  Adopts the ambient TraceContext exactly like
+  /// start().
   SpanId record(std::string name, SpanId parent, std::uint64_t start_ns,
                 std::uint64_t end_ns,
                 std::vector<std::pair<std::string, std::string>> attrs = {});
+
+  /// Reserves a span id without recording anything — for spans whose
+  /// children finish first (a fetch root is recorded at delivery, but
+  /// its attempt spans need the id up front).
+  SpanId allocate_id();
+
+  /// Records a fully caller-built span.  An id of 0 is replaced with a
+  /// fresh one; a pre-allocated id (allocate_id()) is kept.  Does NOT
+  /// consult the ambient TraceContext — the record is taken verbatim.
+  SpanId record_full(SpanRecord span);
 
   /// Finished spans, oldest first (copy; the ring keeps rolling).
   std::vector<SpanRecord> finished() const;

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "mds/filter.hpp"
+#include "obs/context.hpp"
 #include "obs/events.hpp"
 #include "obs/metrics.hpp"
 #include "util/error.hpp"
@@ -145,6 +146,11 @@ std::optional<Bandwidth> ReplicaBroker::predicted_from_history(
 std::optional<Selection> ReplicaBroker::select(
     const std::string& logical_name, const std::string& client_ip, Bytes size,
     SimTime now, std::span<const PhysicalReplica> exclude) {
+  // No-op without an ambient trace; with one, the GIIS searches the
+  // inquiry loop issues nest under this span.
+  obs::SimSpanScope span("broker.select", now,
+                         {{"LOGICAL", logical_name},
+                          {"POLICY", to_string(policy_)}});
   std::vector<PhysicalReplica> replicas;
   std::vector<PhysicalReplica> cooling;
   for (const auto& replica : catalog_.replicas(logical_name)) {
@@ -178,38 +184,92 @@ std::optional<Selection> ReplicaBroker::select(
   switch (policy_) {
     case SelectionPolicy::kFirst:
       selection.replica = replicas.front();
+      span.set_attr("CHOSEN", selection.replica.server_host);
       return selection;
     case SelectionPolicy::kRandom:
       selection.replica = replicas[static_cast<std::size_t>(rng_.uniform_int(
           0, static_cast<std::int64_t>(replicas.size()) - 1))];
+      span.set_attr("CHOSEN", selection.replica.server_host);
       return selection;
     case SelectionPolicy::kRoundRobin:
       selection.replica = replicas[round_robin_next_ % replicas.size()];
       ++round_robin_next_;
+      span.set_attr("CHOSEN", selection.replica.server_host);
       return selection;
     case SelectionPolicy::kPredictedBest:
       break;
   }
 
-  std::optional<Bandwidth> best_bw;
-  const PhysicalReplica* best = nullptr;
+  // What the broker consults is the provider's classified last-15 mean,
+  // i.e. the paper's AVG15/fs predictor — the name the quality plane
+  // files these served predictions under.
+  struct Candidate {
+    const PhysicalReplica* replica;
+    Bandwidth bandwidth;
+    bool drifting;
+  };
+  std::vector<Candidate> informed;
   for (const auto& replica : replicas) {
     auto bw = predicted_for(replica, client_ip, size, now);
     if (!bw) bw = predicted_from_history(replica, client_ip, size, now);
-    if (bw && (!best_bw || *bw > *best_bw)) {
-      best_bw = bw;
-      best = &replica;
+    if (!bw) continue;
+    bool drifting = false;
+    if (quality_ != nullptr) {
+      quality_->record_prediction(obs::ServedPrediction{
+          .trace_id = obs::TraceContext::current().trace_id,
+          .site = replica.server_host,
+          .file_size = size,
+          .time = now,
+          .predictor = "AVG15/fs",
+          .value = *bw,
+      });
+      drifting = quality_->drifting(replica.server_host, "AVG15/fs");
     }
+    informed.push_back(Candidate{&replica, *bw, drifting});
   }
-  if (best == nullptr) {
+  if (informed.empty()) {
     // No information published yet: fall back, flagged as uninformed.
     selection.replica = replicas.front();
     selection.informed = false;
+    span.set_attr("CHOSEN", selection.replica.server_host);
     return selection;
   }
-  selection.replica = *best;
-  selection.predicted_bandwidth = best_bw;
+
+  const auto better = [](const Candidate& a, const Candidate& b) {
+    return a.bandwidth > b.bandwidth;
+  };
+  const Candidate* best = nullptr;
+  const Candidate* best_any = nullptr;
+  for (const auto& candidate : informed) {
+    if (!best_any || better(candidate, *best_any)) best_any = &candidate;
+    if (candidate.drifting) continue;
+    if (!best || better(candidate, *best)) best = &candidate;
+  }
+  if (best == nullptr) {
+    // Every informed candidate is drifting; the ranking is suspect
+    // either way, so take the raw best rather than refuse.
+    best = best_any;
+  } else if (best != best_any) {
+    // The raw winner was passed over because its predictor is drifting:
+    // the quality plane just steered a selection.
+    selection.drift_demoted = true;
+    obs::Registry::global()
+        .counter("wadp_quality_demotions_total", {},
+                 "Selections where a drifting predictor's top candidate "
+                 "was passed over")
+        .inc();
+    util::UlmRecord event;
+    event.set("LOGICAL", logical_name);
+    event.set("DEMOTED", best_any->replica->server_host);
+    event.set("CHOSEN", best->replica->server_host);
+    obs::EventSink::global().emit("quality.demotion", "replica.broker",
+                                  std::move(event));
+  }
+  selection.replica = *best->replica;
+  selection.predicted_bandwidth = best->bandwidth;
   selection.informed = true;
+  span.set_attr("CHOSEN", selection.replica.server_host);
+  if (selection.drift_demoted) span.set_attr("DEMOTED", std::string("1"));
   return selection;
 }
 

@@ -19,6 +19,7 @@
 #include "history/store.hpp"
 #include "mds/giis.hpp"
 #include "mds/gridftp_provider.hpp"
+#include "obs/quality.hpp"
 #include "predict/classifier.hpp"
 #include "replica/catalog.hpp"
 #include "resilience/failover.hpp"
@@ -44,6 +45,9 @@ struct Selection {
   /// True when the predictive policy had usable predictions; false
   /// means it fell back to the first replica.
   bool informed = false;
+  /// True when the raw top-bandwidth candidate was passed over because
+  /// its (site, predictor) pair is drifting (quality plane demotion).
+  bool drift_demoted = false;
 };
 
 class ReplicaBroker {
@@ -83,6 +87,14 @@ class ReplicaBroker {
     history_ = history;
   }
 
+  /// Optional quality plane: when bound, (1) every candidate prediction
+  /// is recorded as a ServedPrediction under the ambient trace id so
+  /// the tracker can join it against the eventual transfer, and (2)
+  /// kPredictedBest demotes candidates whose (site, predictor) pair is
+  /// currently drifting — a non-drifting informed alternative wins even
+  /// at lower predicted bandwidth.  The tracker must outlive the broker.
+  void bind_quality(obs::QualityTracker* quality) { quality_ = quality; }
+
  private:
   std::optional<Bandwidth> predicted_for(const PhysicalReplica& replica,
                                          const std::string& client_ip,
@@ -94,6 +106,7 @@ class ReplicaBroker {
   const ReplicaCatalog& catalog_;
   mds::Giis& giis_;
   const history::HistoryStore* history_ = nullptr;
+  obs::QualityTracker* quality_ = nullptr;
   SelectionPolicy policy_;
   util::Rng rng_;
   predict::SizeClassifier classifier_;

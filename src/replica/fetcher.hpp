@@ -10,6 +10,7 @@
 // operation only fails once every eligible replica has been tried.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -40,6 +41,9 @@ struct FetchOutcome {
   /// Selection behind the final attempt (nullopt when the broker had
   /// nothing to offer at all).
   std::optional<Selection> selection;
+  /// Trace id the whole operation ran under (select, every attempt,
+  /// history ingest); `wadp trace --tree <id>` renders the request.
+  std::uint64_t trace_id = 0;
 };
 
 using FetchCallback = std::function<void(const FetchOutcome&)>;
@@ -56,6 +60,10 @@ class FailoverFetcher {
 
   /// Fetches `logical_name` (`size` is the expected file size, used for
   /// size-classed prediction).  The callback fires exactly once.
+  /// The whole operation runs under one trace: the ambient TraceContext
+  /// is adopted when active, otherwise a fresh trace id is minted (the
+  /// fetcher is the request entry point), and a root "fetch" span is
+  /// recorded at delivery covering select -> attempts -> ingest.
   void fetch(std::string logical_name, Bytes size, FetchOptions options,
              FetchCallback callback);
 
@@ -63,6 +71,7 @@ class FailoverFetcher {
   struct FetchState;
 
   void try_next(const std::shared_ptr<FetchState>& state);
+  void deliver(const std::shared_ptr<FetchState>& state);
   void replica_failed(const std::shared_ptr<FetchState>& state,
                       const PhysicalReplica& replica, std::string error);
 

@@ -1,0 +1,236 @@
+// Satellite of the quality plane: one request = one trace.  The broker
+// query, every client attempt (retries included), the failover to the
+// second replica, and the history ingest must all carry the trace id
+// minted at the entry point, and the recorded spans must form a valid
+// tree (every parent resolvable, no cycles).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/quality_demo.hpp"
+#include "gridftp/client.hpp"
+#include "gridftp/server.hpp"
+#include "history/store.hpp"
+#include "mds/giis.hpp"
+#include "mds/gridftp_provider.hpp"
+#include "mds/gris.hpp"
+#include "net/fabric.hpp"
+#include "net/path.hpp"
+#include "obs/context.hpp"
+#include "obs/trace.hpp"
+#include "replica/broker.hpp"
+#include "replica/catalog.hpp"
+#include "replica/fetcher.hpp"
+#include "sim/simulator.hpp"
+#include "storage/storage.hpp"
+
+namespace wadp {
+namespace {
+
+std::vector<obs::SpanRecord> spans_of(std::uint64_t trace) {
+  std::vector<obs::SpanRecord> out;
+  for (auto& span : obs::Tracer::global().finished()) {
+    if (span.trace_id == trace) out.push_back(std::move(span));
+  }
+  return out;
+}
+
+std::map<std::string, int> names_of(const std::vector<obs::SpanRecord>& spans) {
+  std::map<std::string, int> counts;
+  for (const auto& span : spans) ++counts[span.name];
+  return counts;
+}
+
+/// Every parent id resolves inside the trace (or is 0 = root) and
+/// walking parent links always terminates at a root.
+void expect_valid_tree(const std::vector<obs::SpanRecord>& spans) {
+  std::map<obs::SpanId, obs::SpanId> parent_of;
+  for (const auto& span : spans) {
+    EXPECT_NE(span.id, 0u);
+    // Span ids are unique within the trace.
+    EXPECT_TRUE(parent_of.emplace(span.id, span.parent).second)
+        << "duplicate span id " << span.id;
+  }
+  for (const auto& span : spans) {
+    if (span.parent != 0) {
+      EXPECT_TRUE(parent_of.count(span.parent))
+          << "orphan: span " << span.id << " (" << span.name
+          << ") parents under unknown id " << span.parent;
+    }
+    // Follow the chain to a root; a cycle would outlast the span count.
+    obs::SpanId cursor = span.id;
+    std::size_t hops = 0;
+    while (cursor != 0 && hops <= spans.size()) {
+      const auto it = parent_of.find(cursor);
+      if (it == parent_of.end()) break;  // reported as orphan above
+      cursor = it->second;
+      ++hops;
+    }
+    EXPECT_LE(hops, spans.size()) << "cycle through span " << span.id;
+  }
+}
+
+TEST(TracePropagationTest, RetriesAndFailoverShareTheRequestTrace) {
+  obs::Tracer::global().clear();
+
+  sim::Simulator sim(0.0);
+  net::FluidEngine engine(sim);
+  net::Topology topology;
+  net::PathParams fast, slow;
+  fast.bottleneck = 10'000'000.0;
+  slow.bottleneck = 5'000'000.0;
+  for (net::PathParams* p : {&fast, &slow}) {
+    p->rtt = 0.05;
+    p->load.base = 0.0;
+    p->load.diurnal_amplitude = 0.0;
+    p->load.ar_sigma = 0.0;
+    p->load.episode_rate_per_hour = 0.0;
+  }
+  topology.add_path("lbl", "anl", fast, 1, 0.0);
+  topology.add_path("anl", "lbl", fast, 2, 0.0);
+  topology.add_path("isi", "anl", slow, 3, 0.0);
+  topology.add_path("anl", "isi", slow, 4, 0.0);
+
+  storage::StorageParams quiet;
+  quiet.local_load.reset();
+  storage::StorageSystem anl_store("anl", quiet, 1, 0.0);
+  storage::StorageSystem lbl_store("lbl", quiet, 2, 0.0);
+  storage::StorageSystem isi_store("isi", quiet, 3, 0.0);
+  gridftp::GridFtpServer lbl(
+      {.site = "lbl", .host = "dpsslx04.lbl.gov", .ip = "131.243.2.91"},
+      lbl_store);
+  gridftp::GridFtpServer isi(
+      {.site = "isi", .host = "jet.isi.edu", .ip = "128.9.160.100"},
+      isi_store);
+  constexpr Bytes kFileSize = 10 * kMB;
+  for (gridftp::GridFtpServer* s : {&lbl, &isi}) {
+    s->fs().add_volume("/data");
+    s->fs().add_file("/data/demo", kFileSize);
+  }
+  // Warmup makes LBL the predicted-best replica -- which is exactly the
+  // one we then take down, forcing retries there and a failover to ISI.
+  const std::string client_ip = "140.221.65.69";
+  for (int i = 0; i < 5; ++i) {
+    const double t = 100.0 * i;
+    lbl.record_transfer(client_ip, "/data/demo", kFileSize, t, t + 1.25,
+                        gridftp::Operation::kRead, 8, 1'000'000);
+    isi.record_transfer(client_ip, "/data/demo", kFileSize, t, t + 5.0,
+                        gridftp::Operation::kRead, 8, 1'000'000);
+  }
+  lbl.set_accepting(false);
+
+  auto store = std::make_shared<history::HistoryStore>();
+  store->attach(lbl.log());
+  store->attach(isi.log());
+
+  mds::GridFtpInfoProvider lbl_provider(
+      lbl,
+      {.base = *mds::Dn::parse("hostname=dpsslx04.lbl.gov, dc=lbl, o=grid")});
+  mds::GridFtpInfoProvider isi_provider(
+      isi, {.base = *mds::Dn::parse("hostname=jet.isi.edu, dc=isi, o=grid")});
+  mds::Gris lbl_gris("lbl-gris", *mds::Dn::parse("dc=lbl, o=grid"));
+  mds::Gris isi_gris("isi-gris", *mds::Dn::parse("dc=isi, o=grid"));
+  lbl_gris.register_provider(&lbl_provider, 300.0);
+  isi_gris.register_provider(&isi_provider, 300.0);
+  mds::Giis giis("top");
+  giis.register_gris(lbl_gris, 0.0, 1e9);
+  giis.register_gris(isi_gris, 0.0, 1e9);
+  replica::ReplicaCatalog catalog;
+  catalog.add_replica("lfn://demo", {.site = "lbl",
+                                     .server_host = "dpsslx04.lbl.gov",
+                                     .path = "/data/demo"});
+  catalog.add_replica("lfn://demo", {.site = "isi",
+                                     .server_host = "jet.isi.edu",
+                                     .path = "/data/demo"});
+
+  gridftp::GridFtpClient client(sim, engine, topology, "anl", client_ip,
+                                &anl_store);
+  resilience::RetryPolicy policy;
+  policy.max_attempts = 2;
+  policy.base_backoff = 1.0;
+  policy.jitter = 0.0;
+  client.set_retry_policy(policy);
+  replica::ReplicaBroker broker(catalog, giis,
+                                replica::SelectionPolicy::kPredictedBest, 42);
+  replica::FailoverFetcher fetcher(
+      sim, broker, client, [&](const replica::PhysicalReplica& replica) {
+        return replica.site == "lbl" ? &lbl : &isi;
+      });
+
+  replica::FetchOutcome outcome;
+  bool delivered = false;
+  sim.schedule_at(600.0, [&] {
+    fetcher.fetch("lfn://demo", kFileSize, {},
+                  [&](const replica::FetchOutcome& result) {
+                    outcome = result;
+                    delivered = true;
+                  });
+  });
+  sim.run();
+
+  ASSERT_TRUE(delivered);
+  EXPECT_TRUE(outcome.ok) << outcome.error;
+  EXPECT_EQ(outcome.failovers, 1);
+  ASSERT_NE(outcome.trace_id, 0u);
+
+  const auto spans = spans_of(outcome.trace_id);
+  const auto names = names_of(spans);
+  // Two rejected attempts on LBL, the successful one on ISI.
+  EXPECT_EQ(names.at("client.attempt"), 3);
+  EXPECT_EQ(names.at("client.op"), 2);        // one per replica tried
+  EXPECT_GE(names.at("broker.select"), 2);    // re-ranked after the failure
+  EXPECT_GE(names.at("mds.search"), 2);       // giis + gris per selection
+  EXPECT_EQ(names.at("fetch"), 1);
+  EXPECT_EQ(names.at("transfer"), 1);         // only ISI moved bytes
+  EXPECT_GE(names.at("history.ingest"), 1);   // the completed transfer
+  expect_valid_tree(spans);
+
+  // Nothing from this request leaked into an untraced span.
+  for (const auto& span : obs::Tracer::global().finished()) {
+    if (span.name == "client.attempt" || span.name == "fetch") {
+      EXPECT_EQ(span.trace_id, outcome.trace_id);
+    }
+  }
+  obs::Tracer::global().clear();
+}
+
+// The ISSUE's e2e acceptance demo: a mid-run bandwidth shift must leave
+// a joined, drift-alarmed, demotion-bearing quality report, and every
+// fetch's trace must cover query -> selection -> transfer -> ingest.
+TEST(TracePropagationTest, QualityDemoClosesTheLoop) {
+  obs::Tracer::global().clear();
+  const auto demo = core::run_quality_demo({});
+  const auto report = demo.tracker->report();
+
+  EXPECT_EQ(demo.ok, 40);
+  EXPECT_EQ(demo.failed, 0);
+  EXPECT_GE(report.join_rate(), 0.99);
+  EXPECT_EQ(report.join_misses, 0u);
+  EXPECT_GT(report.drift_events, 0u);
+  EXPECT_GE(demo.completions_to_drift, 0);
+  EXPECT_LE(demo.completions_to_drift, 25);
+  EXPECT_GE(demo.drift_demotions, 1);
+
+  ASSERT_EQ(demo.trace_ids.size(), 40u);
+  const auto spans = spans_of(demo.trace_ids.back());
+  const auto names = names_of(spans);
+  for (const char* required :
+       {"predict.query", "fetch", "broker.select", "mds.search", "client.op",
+        "client.attempt", "transfer", "history.ingest"}) {
+    EXPECT_TRUE(names.count(required)) << required;
+  }
+  expect_valid_tree(spans);
+
+  // Each fetch ran under its own trace id.
+  const std::set<std::uint64_t> unique(demo.trace_ids.begin(),
+                                       demo.trace_ids.end());
+  EXPECT_EQ(unique.size(), demo.trace_ids.size());
+  obs::Tracer::global().clear();
+}
+
+}  // namespace
+}  // namespace wadp

@@ -1,0 +1,119 @@
+#include "obs/context.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+
+#include "obs/trace.hpp"
+
+namespace wadp::obs {
+namespace {
+
+TEST(ContextTest, InactiveByDefault) {
+  const auto ctx = TraceContext::current();
+  EXPECT_FALSE(ctx.active());
+  EXPECT_EQ(ctx.trace_id, 0u);
+  EXPECT_EQ(ctx.parent, 0u);
+}
+
+TEST(ContextTest, MintIsMonotonic) {
+  const auto a = TraceContext::mint();
+  const auto b = TraceContext::mint();
+  EXPECT_GT(a, 0u);
+  EXPECT_EQ(b, a + 1);
+}
+
+TEST(ContextTest, ScopedInstallAndRestore) {
+  {
+    const ScopedTraceContext outer(7, 100);
+    EXPECT_EQ(TraceContext::current().trace_id, 7u);
+    EXPECT_EQ(TraceContext::current().parent, 100u);
+    {
+      const ScopedTraceContext inner(7, 200);
+      EXPECT_EQ(TraceContext::current().parent, 200u);
+    }
+    // Inner scope restored the outer context, not the empty one.
+    EXPECT_EQ(TraceContext::current().trace_id, 7u);
+    EXPECT_EQ(TraceContext::current().parent, 100u);
+  }
+  EXPECT_FALSE(TraceContext::current().active());
+}
+
+TEST(ContextTest, ConditionalScopeViaOptional) {
+  // The pattern call sites use when the context is only sometimes
+  // re-installed (scheduled callbacks): emplace into an optional.
+  std::optional<ScopedTraceContext> scope;
+  EXPECT_FALSE(TraceContext::current().active());
+  scope.emplace(std::uint64_t{9}, SpanId{1});
+  EXPECT_EQ(TraceContext::current().trace_id, 9u);
+  scope.reset();
+  EXPECT_FALSE(TraceContext::current().active());
+}
+
+TEST(ContextTest, TracerStartAdoptsAmbientContext) {
+  Tracer& tracer = Tracer::global();
+  tracer.clear();
+  const ScopedTraceContext scope(11, 42);
+  { auto span = tracer.start("work"); }
+  const auto spans = tracer.finished();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].trace_id, 11u);
+  EXPECT_EQ(spans[0].parent, 42u);
+  tracer.clear();
+}
+
+TEST(ContextTest, TracerStartKeepsExplicitParent) {
+  Tracer& tracer = Tracer::global();
+  tracer.clear();
+  const ScopedTraceContext scope(11, 42);
+  { auto span = tracer.start("work", 99); }
+  const auto spans = tracer.finished();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].trace_id, 11u);  // trace id adopted regardless
+  EXPECT_EQ(spans[0].parent, 99u);    // explicit parent wins
+  tracer.clear();
+}
+
+TEST(ContextTest, SimSpanScopeIsNoOpWithoutTrace) {
+  Tracer& tracer = Tracer::global();
+  tracer.clear();
+  {
+    SimSpanScope scope("mds.search", 5.0);
+    EXPECT_FALSE(scope.active());
+    EXPECT_EQ(scope.id(), 0u);
+    scope.set_attr("HOST", "lbl");  // ignored, must not crash
+  }
+  EXPECT_TRUE(tracer.finished().empty());
+}
+
+TEST(ContextTest, SimSpanScopeRecordsInstantUnderAmbientParent) {
+  Tracer& tracer = Tracer::global();
+  tracer.clear();
+  const std::uint64_t trace = TraceContext::mint();
+  {
+    const ScopedTraceContext root(trace, 0);
+    SimSpanScope outer("broker.select", 12.5, {{"POLICY", "predicted"}});
+    ASSERT_TRUE(outer.active());
+    // Nested scope parents under the outer one via the thread-local.
+    { SimSpanScope inner("mds.search", 12.5); }
+    outer.set_attr("CHOSEN", "lbl");
+  }
+  const auto spans = tracer.finished();
+  ASSERT_EQ(spans.size(), 2u);
+  // Inner finishes (records) first.
+  EXPECT_EQ(spans[0].name, "mds.search");
+  EXPECT_EQ(spans[1].name, "broker.select");
+  EXPECT_EQ(spans[0].trace_id, trace);
+  EXPECT_EQ(spans[1].trace_id, trace);
+  EXPECT_EQ(spans[0].parent, spans[1].id);
+  EXPECT_EQ(spans[1].parent, 0u);
+  EXPECT_EQ(spans[1].start_ns, sim_ns(12.5));
+  EXPECT_EQ(spans[1].end_ns, sim_ns(12.5));
+  ASSERT_EQ(spans[1].attrs.size(), 2u);
+  EXPECT_EQ(spans[1].attrs[1].first, "CHOSEN");
+  tracer.clear();
+}
+
+}  // namespace
+}  // namespace wadp::obs

@@ -50,6 +50,48 @@ TEST(ExportTest, PrometheusGolden) {
             "demo_transfers_total{op=\"write\"} 1\n");
 }
 
+TEST(ExportTest, PrometheusEscapesHostileLabelValues) {
+  // Exposition format 0.0.4: backslash, double-quote, and line-feed
+  // must be escaped inside a quoted label value; HELP text escapes
+  // backslash and line-feed but keeps quotes.
+  Registry registry;
+  registry
+      .counter("demo_paths_total",
+               {{"path", "C:\\data\\new"},
+                {"note", "say \"hi\""},
+                {"multi", "line1\nline2"}},
+               "Help with \\ and\nnewline")
+      .inc(1);
+  // Labels are stored name-sorted, so the golden lists them that way.
+  EXPECT_EQ(to_prometheus(registry),
+            "# HELP demo_paths_total Help with \\\\ and\\nnewline\n"
+            "# TYPE demo_paths_total counter\n"
+            "demo_paths_total{multi=\"line1\\nline2\","
+            "note=\"say \\\"hi\\\"\",path=\"C:\\\\data\\\\new\"} 1\n");
+}
+
+TEST(ExportTest, BuildInfoGaugeVisibleInEveryFormat) {
+  // The info-metric idiom: Registry::global() self-registers a constant
+  // 1-valued wadp_build_info gauge whose labels carry the identity, so
+  // all three export formats surface it without call-site wiring.
+  Registry& registry = Registry::global();
+  const std::string prometheus = to_prometheus(registry);
+  EXPECT_NE(prometheus.find("# TYPE wadp_build_info gauge"),
+            std::string::npos);
+  EXPECT_NE(prometheus.find("wadp_build_info{build_type=\""),
+            std::string::npos);
+  EXPECT_NE(prometheus.find("git_sha=\""), std::string::npos);
+  EXPECT_NE(prometheus.find("version=\""), std::string::npos);
+  EXPECT_NE(prometheus.find("} 1\n"), std::string::npos);
+
+  const std::string json = to_json(registry);
+  EXPECT_NE(json.find("wadp_build_info"), std::string::npos);
+
+  const std::string ulm = metrics_to_ulm(registry);
+  EXPECT_NE(ulm.find("NAME=wadp_build_info TYPE=gauge VALUE=1.000000"),
+            std::string::npos);
+}
+
 TEST(ExportTest, MetricsUlmGolden) {
   Registry registry;
   fill_demo(registry);

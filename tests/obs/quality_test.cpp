@@ -1,0 +1,258 @@
+#include "obs/quality.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/prediction_service.hpp"
+#include "gridftp/record.hpp"
+#include "history/store.hpp"
+#include "obs/context.hpp"
+#include "obs/events.hpp"
+#include "obs/metrics.hpp"
+
+namespace wadp::obs {
+namespace {
+
+constexpr Bytes kSize = 10'000'000;  // one size class throughout
+
+/// Tracker wired to a private registry/sink so counter values are this
+/// test's alone (the global registry accumulates across instances).
+struct Fixture {
+  Registry registry;
+  EventSink events{64};
+  QualityConfig config;
+  std::unique_ptr<QualityTracker> tracker;
+
+  explicit Fixture(QualityConfig base = {}) : config(std::move(base)) {
+    config.registry = &registry;
+    config.events = &events;
+    tracker = std::make_unique<QualityTracker>(config);
+  }
+};
+
+ServedPrediction prediction_for(std::uint64_t trace, const std::string& site,
+                                double time, const std::string& predictor,
+                                double value) {
+  return ServedPrediction{.trace_id = trace,
+                          .site = site,
+                          .file_size = kSize,
+                          .time = time,
+                          .predictor = predictor,
+                          .value = value};
+}
+
+gridftp::TransferRecord record_for(const std::string& site, double start,
+                                   double duration, std::uint64_t trace) {
+  gridftp::TransferRecord record;
+  record.host = site;
+  record.source_ip = "140.221.65.69";
+  record.file_name = "/data/x";
+  record.file_size = kSize;
+  record.start_time = start;
+  record.end_time = start + duration;
+  record.trace_id = trace;
+  return record;
+}
+
+TEST(QualityTest, TraceJoinClaimsEveryPredictionOfTheTrace) {
+  Fixture f;
+  f.tracker->record_prediction(prediction_for(500, "lbl", 99.0, "AVG", 5e6));
+  f.tracker->record_prediction(prediction_for(500, "lbl", 99.0, "MED", 4e6));
+  // Same trace, different site: not claimed by lbl's transfer.
+  f.tracker->record_prediction(prediction_for(500, "isi", 99.0, "AVG", 2e6));
+
+  f.tracker->observe_transfer(record_for("lbl", 100.0, 2.0, 500));
+
+  const auto report = f.tracker->report();
+  EXPECT_EQ(report.predictions, 3u);
+  EXPECT_EQ(report.joins_trace, 1u);  // one joined transfer, not one per match
+  EXPECT_EQ(report.joins_fallback, 0u);
+  EXPECT_EQ(report.join_misses, 0u);
+  ASSERT_EQ(report.cells.size(), 2u);  // AVG + MED on lbl
+  for (const auto& cell : report.cells) {
+    EXPECT_EQ(cell.site, "lbl");
+    EXPECT_EQ(cell.count, 1u);
+  }
+  EXPECT_DOUBLE_EQ(report.join_rate(), 1.0);
+}
+
+TEST(QualityTest, FallbackJoinPicksNearestUntracedPrediction) {
+  Fixture f;
+  f.tracker->record_prediction(prediction_for(0, "lbl", 100.0, "far", 5e6));
+  f.tracker->record_prediction(prediction_for(0, "lbl", 280.0, "near", 5e6));
+
+  f.tracker->observe_transfer(record_for("lbl", 290.0, 2.0, 0));
+
+  const auto report = f.tracker->report();
+  EXPECT_EQ(report.joins_fallback, 1u);
+  ASSERT_EQ(report.cells.size(), 1u);
+  EXPECT_EQ(report.cells[0].predictor, "near");
+
+  // The claimed prediction is consumed; the stale one still matches a
+  // later transfer inside the window.
+  f.tracker->observe_transfer(record_for("lbl", 300.0, 2.0, 0));
+  EXPECT_EQ(f.tracker->report().joins_fallback, 2u);
+}
+
+TEST(QualityTest, NoCandidateInsideWindowCountsAsMiss) {
+  QualityConfig config;
+  config.fallback_window = 50.0;
+  Fixture f(config);
+  f.tracker->record_prediction(prediction_for(0, "lbl", 100.0, "AVG", 5e6));
+
+  f.tracker->observe_transfer(record_for("lbl", 200.0, 2.0, 0));   // too far
+  f.tracker->observe_transfer(record_for("isi", 110.0, 2.0, 0));   // wrong site
+  f.tracker->observe_transfer(record_for("lbl", 110.0, 2.0, 777));  // unknown
+  // trace, but falls back and still matches the untraced prediction.
+
+  const auto report = f.tracker->report();
+  EXPECT_EQ(report.join_misses, 2u);
+  EXPECT_EQ(report.joins_fallback, 1u);
+  EXPECT_DOUBLE_EQ(report.join_rate(), 1.0 / 3.0);
+}
+
+TEST(QualityTest, FailedAndDegenerateTransfersAreSkippedNotScored) {
+  Fixture f;
+  f.tracker->record_prediction(prediction_for(9, "lbl", 99.0, "AVG", 5e6));
+
+  auto failed = record_for("lbl", 100.0, 2.0, 9);
+  failed.ok = false;
+  f.tracker->observe_transfer(failed);
+  f.tracker->observe_transfer(record_for("lbl", 100.0, 0.0, 9));  // no duration
+  auto empty = record_for("lbl", 100.0, 2.0, 9);
+  empty.file_size = 0;
+  f.tracker->observe_transfer(empty);
+
+  const auto report = f.tracker->report();
+  EXPECT_EQ(report.skipped, 3u);
+  EXPECT_EQ(report.joins(), 0u);
+  EXPECT_EQ(report.join_misses, 0u);
+  EXPECT_TRUE(report.cells.empty());
+  // The prediction is still pending, so a later good transfer joins.
+  f.tracker->observe_transfer(record_for("lbl", 101.0, 2.0, 9));
+  EXPECT_EQ(f.tracker->report().joins_trace, 1u);
+}
+
+/// Drives `joins` accurate-then-shifted joins through the tracker: the
+/// prediction always says 5 MB/s, the measured bandwidth is 5 MB/s for
+/// the first `accurate` transfers and 0.5 MB/s afterwards.
+void drive(Fixture& f, int accurate, int total) {
+  std::uint64_t trace = 1000;
+  for (int i = 0; i < total; ++i) {
+    const double start = 100.0 * i;
+    const double duration = i < accurate ? 2.0 : 20.0;  // 10x slowdown
+    f.tracker->record_prediction(
+        prediction_for(++trace, "lbl", start - 1.0, "AVG15/fs", 5e6));
+    f.tracker->observe_transfer(record_for("lbl", start, duration, trace));
+  }
+}
+
+TEST(QualityTest, DriftAlarmRaisedWithin25JoinsOfShift) {
+  Fixture f;  // paper-ish defaults: delta 2, lambda 30, min_obs 8
+  drive(f, /*accurate=*/10, /*total=*/10);
+  EXPECT_FALSE(f.tracker->drifting("lbl", "AVG15/fs"));
+  EXPECT_EQ(f.tracker->report().drift_events, 0u);
+
+  // The 900% post-shift error overwhelms lambda immediately: the alarm
+  // fires on the very first degraded join — well inside the 25-join
+  // acceptance bound.
+  drive(f, 0, 1);
+  EXPECT_TRUE(f.tracker->drifting("lbl", "AVG15/fs"));
+  EXPECT_TRUE(f.tracker->site_drifting("lbl"));
+  EXPECT_FALSE(f.tracker->site_drifting("isi"));
+  EXPECT_EQ(f.tracker->report().drift_events, 1u);
+
+  const auto report = f.tracker->report();
+  ASSERT_EQ(report.cells.size(), 1u);
+  EXPECT_TRUE(report.cells[0].drifting);
+  // The ULM self-event carries the alarm's context.
+  EXPECT_NE(f.events.to_text().find("EVNT=quality.drift"), std::string::npos);
+  EXPECT_NE(f.events.to_text().find("SITE=lbl"), std::string::npos);
+}
+
+TEST(QualityTest, DriftCooldownClearsAfterConfiguredJoins) {
+  QualityConfig config;
+  config.drift_cooldown = 3;
+  Fixture f(config);
+  drive(f, 10, 11);  // warmup + one degraded join -> alarm
+  ASSERT_TRUE(f.tracker->drifting("lbl", "AVG15/fs"));
+
+  drive(f, 0, 2);  // two joins into the cooldown: still demoted
+  EXPECT_TRUE(f.tracker->drifting("lbl", "AVG15/fs"));
+  drive(f, 0, 1);  // third join retires the cooldown
+  EXPECT_FALSE(f.tracker->drifting("lbl", "AVG15/fs"));
+  // Only the original alarm fired; the detector restarted clean.
+  EXPECT_EQ(f.tracker->report().drift_events, 1u);
+}
+
+// The acceptance criterion for the online plane: the rolling error it
+// maintains at serving time must equal what the paper's offline
+// evaluator computes from the finished log.  Same series, same battery,
+// same training prefix -- the tracker's per-predictor mean/count must
+// match predict::Evaluator exactly.
+TEST(QualityTest, OnlineErrorsMatchOfflineEvaluator) {
+  auto store = std::make_shared<history::HistoryStore>();
+  Fixture f;
+
+  core::ServiceConfig service_config;
+  service_config.training_count = 15;
+  core::PredictionService service(store, service_config);
+  service.bind_quality(f.tracker.get());
+
+  const history::SeriesKey key{"dpsslx04.lbl.gov", "131.243.2.91",
+                               gridftp::Operation::kRead};
+  constexpr int kTransfers = 40;
+  bool observing = false;
+  for (int i = 0; i < kTransfers; ++i) {
+    auto record = record_for(key.host, 100.0 * i,
+                             1.0 + 0.3 * static_cast<double>((i * 7) % 5), 0);
+    record.source_ip = key.remote_ip;
+    if (i >= static_cast<int>(service_config.training_count)) {
+      if (!observing) {
+        // The tracker watches only the scored region: the training
+        // prefix predates any served prediction (the evaluator skips it
+        // too) and would count as joinless misses.
+        store->add_record_observer(
+            [&f](const gridftp::TransferRecord& observed) {
+              f.tracker->observe_transfer(observed);
+            });
+        observing = true;
+      }
+      record.trace_id = TraceContext::mint();
+      const ScopedTraceContext scope(record.trace_id, 0);
+      // Query at the observation's own completion time -- the instant
+      // the evaluator replays -- so windowed predictors see the same
+      // history cut.
+      (void)service.predict_all(key, record.file_size, record.end_time);
+    }
+    service.ingest(record);
+  }
+
+  const auto offline = service.evaluate(key);
+  ASSERT_TRUE(offline.has_value());
+  const auto online = f.tracker->report();
+  EXPECT_EQ(online.join_misses, 0u);
+  EXPECT_EQ(online.joins_trace,
+            kTransfers - service_config.training_count);
+
+  std::size_t compared = 0;
+  for (const auto& cell : online.cells) {
+    const auto index = offline->index_of(cell.predictor);
+    ASSERT_TRUE(index.has_value()) << cell.predictor;
+    const auto& expected = offline->errors(*index);
+    EXPECT_EQ(cell.count, expected.count()) << cell.predictor;
+    EXPECT_DOUBLE_EQ(cell.mean_error_pct, expected.mean()) << cell.predictor;
+    EXPECT_DOUBLE_EQ(cell.stddev_error_pct, expected.stddev())
+        << cell.predictor;
+    ++compared;
+  }
+  // Every predictor that answered online has an offline column; the
+  // paper's battery yields plenty of them after 15 training transfers.
+  EXPECT_GE(compared, 10u);
+}
+
+}  // namespace
+}  // namespace wadp::obs

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Metric-name lint for the wadp observability taxonomy.
+
+Scans C++ sources for obs::Registry registrations --
+``.counter("name")``, ``.gauge("name")``, ``.histogram("name")`` -- and
+enforces the naming contract documented in docs/OBSERVABILITY.md:
+
+  * every instrument is namespaced with the ``wadp_`` prefix;
+  * counters are monotonic and end in ``_total``;
+  * gauges and histograms never end in ``_total`` (they are not
+    monotonic);
+  * histograms carry an explicit unit suffix (``_seconds``, ``_bytes``,
+    ``_mbps``, ``_pct``, ``_ratio``, ``_ns``);
+  * gauges carry a unit suffix too, except the documented
+    dimensionless ones (``wadp_build_info``, the info-metric idiom, and
+    ``wadp_resilience_servers_down``, a live count).
+
+Exits non-zero listing every violation, so CI fails when a new metric
+breaks the taxonomy.  Usage: ``lint_metrics.py [src-dir ...]``.
+"""
+
+import pathlib
+import re
+import sys
+
+REGISTRATION = re.compile(
+    r'\.(counter|gauge|histogram)\(\s*"([a-zA-Z0-9_]+)"')
+
+UNIT_SUFFIXES = ("_seconds", "_bytes", "_mbps", "_pct", "_ratio", "_ns")
+
+# Dimensionless gauges the taxonomy explicitly documents.
+GAUGE_ALLOWLIST = {
+    "wadp_build_info",
+    "wadp_resilience_servers_down",
+}
+
+
+def check(kind: str, name: str) -> str | None:
+    """Returns the violation message for one registration, or None."""
+    if not name.startswith("wadp_"):
+        return f"{kind} '{name}' is missing the 'wadp_' prefix"
+    if kind == "counter":
+        if not name.endswith("_total"):
+            return f"counter '{name}' must end in '_total'"
+        return None
+    if name.endswith("_total"):
+        return f"{kind} '{name}' must not end in '_total' (counters only)"
+    if kind == "histogram":
+        if not name.endswith(UNIT_SUFFIXES):
+            return (f"histogram '{name}' needs a unit suffix "
+                    f"({', '.join(UNIT_SUFFIXES)})")
+        return None
+    # gauge
+    if name in GAUGE_ALLOWLIST or name.endswith(UNIT_SUFFIXES):
+        return None
+    return (f"gauge '{name}' needs a unit suffix "
+            f"({', '.join(UNIT_SUFFIXES)}) or an allowlist entry")
+
+
+def main(argv: list[str]) -> int:
+    roots = [pathlib.Path(arg) for arg in argv[1:]] or [pathlib.Path("src")]
+    violations = []
+    seen = 0
+    for root in roots:
+        if not root.exists():
+            print(f"lint_metrics: no such directory: {root}", file=sys.stderr)
+            return 2
+        for path in sorted(root.rglob("*.cpp")) + sorted(root.rglob("*.hpp")):
+            text = path.read_text(encoding="utf-8")
+            for match in REGISTRATION.finditer(text):
+                kind, name = match.group(1), match.group(2)
+                seen += 1
+                message = check(kind, name)
+                if message:
+                    line = text.count("\n", 0, match.start()) + 1
+                    violations.append(f"{path}:{line}: {message}")
+    for violation in violations:
+        print(violation, file=sys.stderr)
+    print(f"lint_metrics: {seen} registrations checked, "
+          f"{len(violations)} violation(s)")
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

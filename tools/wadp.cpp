@@ -18,6 +18,10 @@
 //       history-store statistics: series, per-shard sizes, epochs
 //   wadp resilience [--rate PCT] [--transfers N] [--seed N]
 //       single-shot vs retry+failover under injected faults
+//   wadp quality   [--transfers N] [--shift N] [--seed N] [--json]
+//       closed-loop demo: online accuracy join, drift alarm, demotion
+//   wadp trace --quality [--tree ID]
+//       span tree of one traced fetch from the quality demo
 //
 // Every subcommand is deterministic given its inputs; simulated
 // campaigns never touch the network.
@@ -29,6 +33,7 @@
 #include <string>
 #include <vector>
 
+#include "core/quality_demo.hpp"
 #include "core/wadp.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
@@ -60,7 +65,10 @@ int usage(const char* error = nullptr) {
                "[--days D] [--ulm] [--limit N]\n"
                "  wadp history   [LOG] [--campaign aug|dec] [--seed N] "
                "[--days D] [--json]\n"
-               "  wadp resilience [--rate PCT] [--transfers N] [--seed N]\n");
+               "  wadp resilience [--rate PCT] [--transfers N] [--seed N]\n"
+               "  wadp quality   [--transfers N] [--shift N] [--seed N] "
+               "[--limit N] [--json]\n"
+               "  wadp trace     --quality [--tree ID] [--limit N]\n");
   return error != nullptr ? 2 : 0;
 }
 
@@ -337,14 +345,36 @@ int cmd_metrics(const util::ArgParser& args) {
 }
 
 int cmd_trace(const util::ArgParser& args) {
-  if (const int rc = drive_instrumented(args); rc != 0) return rc;
+  std::uint64_t want_trace = 0;
+  if (args.has("quality")) {
+    // Drive the closed-loop demo instead of a campaign; default to the
+    // last fetch's trace so `wadp trace --quality` renders one request
+    // end to end (select -> predict -> attempts -> ingest).
+    core::QualityDemoConfig config;
+    config.seed =
+        static_cast<std::uint64_t>(args.get_int("seed").value_or(42));
+    const auto result = core::run_quality_demo(config);
+    if (!result.trace_ids.empty()) want_trace = result.trace_ids.back();
+  } else if (const int rc = drive_instrumented(args); rc != 0) {
+    return rc;
+  }
+  if (const auto tree = args.get_int("tree"); tree && *tree > 0) {
+    want_trace = static_cast<std::uint64_t>(*tree);
+  }
   const auto& tracer = obs::Tracer::global();
   if (args.has("ulm")) {
     std::printf("%s", obs::spans_to_ulm(tracer).c_str());
     return 0;
   }
 
-  const auto spans = tracer.finished();
+  auto spans = tracer.finished();
+  if (want_trace != 0) {
+    std::erase_if(spans, [want_trace](const obs::SpanRecord& span) {
+      return span.trace_id != want_trace;
+    });
+    std::printf("trace %llu: %zu spans\n",
+                static_cast<unsigned long long>(want_trace), spans.size());
+  }
   std::map<obs::SpanId, std::vector<std::size_t>> children;
   std::map<obs::SpanId, std::size_t> by_id;
   std::vector<std::size_t> roots;
@@ -624,6 +654,97 @@ int cmd_resilience(const util::ArgParser& args) {
   return 0;
 }
 
+/// Runs the closed-loop quality demo and reports the online accuracy
+/// join: rolling per-(site, predictor, class) error, drift alarms, and
+/// the broker demotions they caused.
+int cmd_quality(const util::ArgParser& args) {
+  core::QualityDemoConfig config;
+  config.transfers = static_cast<int>(args.get_int("transfers").value_or(40));
+  config.shift_after = static_cast<int>(args.get_int("shift").value_or(15));
+  config.seed = static_cast<std::uint64_t>(args.get_int("seed").value_or(42));
+  if (config.transfers <= 0) return usage("--transfers must be positive");
+  if (config.shift_after < 0 || config.shift_after >= config.transfers) {
+    return usage("--shift must be in [0, transfers)");
+  }
+  const auto result = core::run_quality_demo(config);
+  const auto report = result.tracker->report();
+
+  if (args.has("json")) {
+    std::string json = util::format(
+        "{\"transfers_ok\": %d, \"transfers_failed\": %d, "
+        "\"predictions\": %llu, \"joins_trace\": %llu, "
+        "\"joins_fallback\": %llu, \"join_misses\": %llu, "
+        "\"join_rate\": %.4f, \"skipped\": %llu, \"drift_events\": %llu, "
+        "\"drift_demotions\": %d, \"completions_to_drift\": %d, "
+        "\"cells\": [",
+        result.ok, result.failed,
+        static_cast<unsigned long long>(report.predictions),
+        static_cast<unsigned long long>(report.joins_trace),
+        static_cast<unsigned long long>(report.joins_fallback),
+        static_cast<unsigned long long>(report.join_misses),
+        report.join_rate(), static_cast<unsigned long long>(report.skipped),
+        static_cast<unsigned long long>(report.drift_events),
+        result.drift_demotions, result.completions_to_drift);
+    for (std::size_t i = 0; i < report.cells.size(); ++i) {
+      const auto& cell = report.cells[i];
+      if (i > 0) json += ", ";
+      json += util::format(
+          "{\"site\": \"%s\", \"predictor\": \"%s\", \"class\": \"%s\", "
+          "\"count\": %zu, \"mean_error_pct\": %.2f, "
+          "\"stddev_error_pct\": %.2f, \"drifting\": %s}",
+          cell.site.c_str(), cell.predictor.c_str(), cell.class_label.c_str(),
+          cell.count, cell.mean_error_pct, cell.stddev_error_pct,
+          cell.drifting ? "true" : "false");
+    }
+    json += "]}";
+    std::printf("%s\n", json.c_str());
+    return 0;
+  }
+
+  std::printf(
+      "%d transfers (%d ok), bandwidth shift at t=%.0fs (after %d fetches)\n"
+      "predictions served %llu, joins %llu (trace %llu / fallback %llu), "
+      "misses %llu, join rate %.1f%%\n"
+      "drift events %llu (first alarm %d transfers after the shift), "
+      "broker demotions %d\n\n",
+      config.transfers, result.ok, result.shift_time, config.shift_after,
+      static_cast<unsigned long long>(report.predictions),
+      static_cast<unsigned long long>(report.joins()),
+      static_cast<unsigned long long>(report.joins_trace),
+      static_cast<unsigned long long>(report.joins_fallback),
+      static_cast<unsigned long long>(report.join_misses),
+      100.0 * report.join_rate(),
+      static_cast<unsigned long long>(report.drift_events),
+      result.completions_to_drift, result.drift_demotions);
+
+  // Rolling error table, largest cells first (site/predictor/class
+  // triples grow fast: 30 predictors per served site).
+  auto cells = report.cells;
+  std::stable_sort(cells.begin(), cells.end(),
+                   [](const obs::QualityCell& a, const obs::QualityCell& b) {
+                     return a.count > b.count;
+                   });
+  const auto limit =
+      static_cast<std::size_t>(args.get_int("limit").value_or(12));
+  util::TextTable table(
+      {"site", "predictor", "class", "n", "mean % err", "stddev", "drift"});
+  table.set_align(0, util::TextTable::Align::Left);
+  table.set_align(1, util::TextTable::Align::Left);
+  for (std::size_t i = 0; i < cells.size() && i < limit; ++i) {
+    const auto& cell = cells[i];
+    table.add_row({cell.site, cell.predictor, cell.class_label,
+                   std::to_string(cell.count),
+                   util::format("%.1f", cell.mean_error_pct),
+                   util::format("%.1f", cell.stddev_error_pct),
+                   cell.drifting ? "DRIFT" : "-"});
+  }
+  std::printf("%s", table.render().c_str());
+  if (cells.size() > limit) {
+    std::printf("(%zu more cells; raise --limit)\n", cells.size() - limit);
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -633,12 +754,13 @@ int main(int argc, char** argv) {
   util::ArgParser args;
   for (const char* name : {"campaign", "seed", "days", "out", "training",
                            "size", "predictor", "host", "limit", "rate",
-                           "transfers"}) {
+                           "transfers", "shift", "tree"}) {
     args.add_option(name);
   }
   args.add_option("extended", /*is_boolean=*/true);
   args.add_option("json", /*is_boolean=*/true);
   args.add_option("ulm", /*is_boolean=*/true);
+  args.add_option("quality", /*is_boolean=*/true);
   const auto parsed = args.parse(raw);
   if (!parsed.ok()) return usage(parsed.error().c_str());
   if (args.positionals().empty()) return usage("missing subcommand");
@@ -654,6 +776,7 @@ int main(int argc, char** argv) {
   if (command == "trace") return cmd_trace(args);
   if (command == "history") return cmd_history(args);
   if (command == "resilience") return cmd_resilience(args);
+  if (command == "quality") return cmd_quality(args);
   if (command == "help") return usage();
   return usage(("unknown subcommand: " + command).c_str());
 }
