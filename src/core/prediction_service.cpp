@@ -202,6 +202,58 @@ std::optional<Bandwidth> PredictionService::predict(
   return answer;
 }
 
+std::vector<std::optional<Bandwidth>> PredictionService::predict_many(
+    const SeriesKey& key, std::span<const predict::Query> queries,
+    std::string_view predictor_name) const {
+  const std::uint64_t started = wall_ns();
+  metrics_.queries->inc(queries.size());
+  auto span = obs::Tracer::global().start("predict.query_many");
+  span.set_attr("SERIES", key.to_string());
+  span.set_attr("BATCH", static_cast<std::int64_t>(queries.size()));
+
+  std::vector<std::optional<Bandwidth>> answers(queries.size());
+  if (queries.empty()) return answers;
+
+  // One snapshot covers the batch: every answer is computed against the
+  // same epoch, which is what makes the batch bit-identical to a
+  // per-query loop that ran before the next append.
+  const auto snapshot = store_->snapshot(key);
+  if (snapshot.size() < config_.training_count) {
+    span.set_attr("RESULT", "too_short");
+    return answers;
+  }
+  const auto index = suite_.index_of(
+      predictor_name.empty() ? config_.default_predictor : predictor_name);
+  if (!index) {
+    span.set_attr("RESULT", "unknown_predictor");
+    return answers;
+  }
+  span.set_attr("PREDICTOR", suite_.predictors()[*index]->name());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const BatteryState& state = catch_up(key, snapshot);
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      answers[i] = predict_at(key, state, snapshot, *index, queries[i]);
+    }
+  }
+  if (quality_ != nullptr) {
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      if (!answers[i]) continue;
+      quality_->record_prediction(obs::ServedPrediction{
+          .trace_id = obs::TraceContext::current().trace_id,
+          .site = key.host,
+          .file_size = queries[i].file_size,
+          .time = queries[i].time,
+          .predictor = suite_.predictors()[*index]->name(),
+          .value = *answers[i],
+      });
+    }
+  }
+  metrics_.predict_latency->record(
+      static_cast<double>(wall_ns() - started) * 1e-9);
+  return answers;
+}
+
 std::vector<std::pair<std::string, std::optional<Bandwidth>>>
 PredictionService::predict_all(const SeriesKey& key, Bytes size,
                                SimTime now) const {

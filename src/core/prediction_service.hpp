@@ -20,6 +20,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -79,6 +80,17 @@ class PredictionService {
   std::optional<Bandwidth> predict(const SeriesKey& key, Bytes size,
                                    SimTime now,
                                    std::string_view predictor_name = "") const;
+
+  /// Batch form of predict(): answers every query of one series with
+  /// one store snapshot, one predictor resolution, and one battery
+  /// catch-up for the whole batch, instead of repeating all three per
+  /// query.  Answers are bit-identical to calling predict() per query
+  /// (same snapshot → same streams → same arithmetic; asserted by
+  /// tests/core/service_batch_test).  This is the serving plane's fill
+  /// amortization for coalesced same-series misses.
+  std::vector<std::optional<Bandwidth>> predict_many(
+      const SeriesKey& key, std::span<const predict::Query> queries,
+      std::string_view predictor_name = "") const;
 
   /// Every battery member's answer, in suite order (for comparison UIs
   /// and the information provider's extended attributes).

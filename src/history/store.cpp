@@ -227,6 +227,10 @@ std::uint64_t HistoryStore::append(const SeriesKey& key,
       evictions = drop;
     }
     epoch = ++series.epoch;
+    // Release pairs with the serving cache's acquire validation load:
+    // a reader that observes the new watermark also observes the data
+    // mutation that produced it.
+    series.watermark->store(epoch, std::memory_order_release);
     series.last_append_wall = wall_seconds();
     ++shard.appends;
   }
@@ -307,6 +311,15 @@ SeriesSnapshot HistoryStore::snapshot(const SeriesKey& key) const {
     metrics_.snapshot_age->set(age);
   }
   return snap;
+}
+
+std::shared_ptr<const std::atomic<std::uint64_t>> HistoryStore::watermark(
+    const SeriesKey& key) {
+  Shard& shard = shard_for(key);
+  auto lock = lock_shard(shard);
+  // operator[] so a subscription taken before the first observation
+  // binds to the same cell every later append will publish through.
+  return shard.series[key].watermark;
 }
 
 std::uint64_t HistoryStore::epoch(const SeriesKey& key) const {

@@ -198,6 +198,18 @@ class HistoryStore {
   /// Current epoch of `key`'s series; 0 when unknown.
   std::uint64_t epoch(const SeriesKey& key) const;
 
+  /// Stable, lock-free invalidation watermark for `key`'s series: the
+  /// returned cell always holds the series' current epoch (0 before the
+  /// first observation) and is updated with release ordering on every
+  /// mutation, so a cached answer stamped with the epoch it was computed
+  /// at is validated by a single acquire load — no shard lock on the
+  /// read path.  This is the serving plane's entire invalidation
+  /// protocol (src/serving/cache.hpp).  Asking for an unknown key
+  /// creates the (still-empty) series so the subscription survives the
+  /// first append; the cell stays valid for the store's lifetime.
+  std::shared_ptr<const std::atomic<std::uint64_t>> watermark(
+      const SeriesKey& key);
+
   /// Every known key, sorted (deterministic iteration for tools/tests).
   std::vector<SeriesKey> keys() const;
   /// Keys whose host matches (the slice an MDS provider publishes).
@@ -221,6 +233,10 @@ class HistoryStore {
     /// vector (old snapshots keep decrementing their own counter).
     std::shared_ptr<std::atomic<std::int64_t>> readers =
         std::make_shared<std::atomic<std::int64_t>>(0);
+    /// Lock-free mirror of `epoch`, published with release ordering
+    /// after every mutation; handed out by HistoryStore::watermark().
+    std::shared_ptr<std::atomic<std::uint64_t>> watermark =
+        std::make_shared<std::atomic<std::uint64_t>>(0);
     std::uint64_t epoch = 0;
     std::uint64_t generation = 0;
     std::uint64_t evicted = 0;

@@ -362,6 +362,25 @@ Filter Filter::match_all() {
   return Filter(std::move(node));
 }
 
+Filter Filter::equals(std::string attr, std::string_view value) {
+  auto node = std::make_shared<Node>();
+  node->kind = Node::Kind::kEquality;
+  node->attr = std::move(attr);
+  // One segment, no wildcards: the whole value is a single literal run,
+  // which is precisely what escape()-then-parse would have produced.
+  node->segments.emplace_back(value);
+  return Filter(std::move(node));
+}
+
+Filter Filter::all_of(std::vector<Filter> filters) {
+  if (filters.empty()) return match_all();
+  auto node = std::make_shared<Node>();
+  node->kind = Node::Kind::kAnd;
+  node->children.reserve(filters.size());
+  for (auto& filter : filters) node->children.push_back(std::move(filter.root_));
+  return Filter(std::move(node));
+}
+
 std::string Filter::escape(std::string_view value) {
   return escape_literal(value);
 }

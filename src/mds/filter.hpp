@@ -20,6 +20,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "mds/ldap.hpp"
 
@@ -37,6 +38,18 @@ class Filter {
 
   /// A filter matching every entry: "(objectclass=*)" equivalent.
   static Filter match_all();
+
+  /// Builds the equality item `(attr=value)` directly as AST — the
+  /// allocation-lean alternative to formatting, escaping, and
+  /// re-parsing filter text on a hot path.  `value` is matched
+  /// literally: metacharacters carry no wildcard meaning, exactly as if
+  /// the value had been escape()d into text first (broker inquiry
+  /// filters interpolate client addresses and hostnames).  Cannot fail:
+  /// there is no parse step to reject anything.
+  static Filter equals(std::string attr, std::string_view value);
+
+  /// Builds the conjunction `(&(f1)(f2)...)`; match_all() when empty.
+  static Filter all_of(std::vector<Filter> filters);
 
   /// Escapes a literal value for interpolation into filter text (RFC
   /// 4515 style): the metacharacters ( ) * \ and NUL become \xx

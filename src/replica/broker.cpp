@@ -6,8 +6,6 @@
 #include "obs/context.hpp"
 #include "obs/events.hpp"
 #include "obs/metrics.hpp"
-#include "util/error.hpp"
-#include "util/strings.hpp"
 #include "util/ulm.hpp"
 
 namespace wadp::replica {
@@ -35,33 +33,41 @@ ReplicaBroker::ReplicaBroker(const ReplicaCatalog& catalog, mds::Giis& giis,
       rng_(seed),
       classifier_(std::move(classifier)) {}
 
+const mds::Filter& ReplicaBroker::inquiry_filter(
+    const std::string& client_ip, const std::string& server_host) {
+  // One reusable key buffer: lookups dominate (a fleet has few
+  // (client, server) pairs) and must not allocate per call.
+  static thread_local std::string memo_key;
+  memo_key.clear();
+  memo_key.append(client_ip);
+  memo_key.push_back('\n');
+  memo_key.append(server_host);
+  if (const auto it = filter_memo_.find(memo_key); it != filter_memo_.end()) {
+    return it->second;
+  }
+  constexpr std::size_t kFilterMemoCap = 4096;
+  if (filter_memo_.size() >= kFilterMemoCap) filter_memo_.clear();
+  // Direct AST construction: equals() takes the values as literals, so
+  // a hostname containing ( ) * \ matches literally without the old
+  // escape-format-reparse round trip (and without its unreachable
+  // "parser rejected our own filter" failure mode).
+  std::vector<mds::Filter> terms;
+  terms.reserve(3);
+  terms.push_back(mds::Filter::equals("objectclass", "GridFTPPerfInfo"));
+  terms.push_back(mds::Filter::equals("cn", client_ip));
+  terms.push_back(mds::Filter::equals("hostname", server_host));
+  return filter_memo_
+      .emplace(memo_key, mds::Filter::all_of(std::move(terms)))
+      .first->second;
+}
+
 std::optional<Bandwidth> ReplicaBroker::predicted_for(
     const PhysicalReplica& replica, const std::string& client_ip, Bytes size,
     SimTime now) {
   // Inquiry: the performance entry this replica's site published about
-  // past transfers to this client.  Both interpolated values come from
-  // external input (catalog registrations, client addresses), so they
-  // are escaped — a hostname containing ( ) * \ must match literally,
-  // not reshape the filter.
-  const auto filter = mds::Filter::parse(util::format(
-      "(&(objectclass=GridFTPPerfInfo)(cn=%s)(hostname=%s))",
-      mds::Filter::escape(client_ip).c_str(),
-      mds::Filter::escape(replica.server_host).c_str()));
-  if (!filter.has_value()) {
-    // Escaping should make this unreachable, but a filter the parser
-    // rejects must degrade to "no prediction" — never abort the broker.
-    obs::Registry::global()
-        .counter("wadp_broker_filter_errors_total", {},
-                 "Inquiry filters rejected by the parser")
-        .inc();
-    util::UlmRecord event;
-    event.set("CN", client_ip);
-    event.set("HOST", replica.server_host);
-    obs::EventSink::global().emit("broker.bad_filter", "replica.broker",
-                                  std::move(event));
-    return std::nullopt;
-  }
-  const auto entries = giis_.search(now, *filter);
+  // past transfers to this client.
+  const auto entries =
+      giis_.search(now, inquiry_filter(client_ip, replica.server_host));
   if (entries.empty()) return std::nullopt;
 
   // Several GIIS paths can carry entries for the same (client, host)
@@ -143,6 +149,14 @@ std::optional<Bandwidth> ReplicaBroker::predicted_from_history(
   return sum / static_cast<double>(count);
 }
 
+std::optional<Bandwidth> ReplicaBroker::predict_candidate(
+    const PhysicalReplica& replica, const std::string& client_ip, Bytes size,
+    SimTime now) {
+  auto bw = predicted_for(replica, client_ip, size, now);
+  if (!bw) bw = predicted_from_history(replica, client_ip, size, now);
+  return bw;
+}
+
 std::optional<Selection> ReplicaBroker::select(
     const std::string& logical_name, const std::string& client_ip, Bytes size,
     SimTime now, std::span<const PhysicalReplica> exclude) {
@@ -210,8 +224,7 @@ std::optional<Selection> ReplicaBroker::select(
   };
   std::vector<Candidate> informed;
   for (const auto& replica : replicas) {
-    auto bw = predicted_for(replica, client_ip, size, now);
-    if (!bw) bw = predicted_from_history(replica, client_ip, size, now);
+    const auto bw = predict_candidate(replica, client_ip, size, now);
     if (!bw) continue;
     bool drifting = false;
     if (quality_ != nullptr) {

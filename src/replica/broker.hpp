@@ -15,6 +15,9 @@
 #include <algorithm>
 #include <span>
 #include <string>
+#include <unordered_map>
+
+#include "mds/filter.hpp"
 
 #include "history/store.hpp"
 #include "mds/giis.hpp"
@@ -66,6 +69,16 @@ class ReplicaBroker {
                                   SimTime now,
                                   std::span<const PhysicalReplica> exclude = {});
 
+  /// One candidate's predicted bandwidth: GIIS inquiry first, history
+  /// fallback second — exactly the estimate select() ranks on, exposed
+  /// so the serving plane (src/serving/) can fill its prediction cache
+  /// without running a full selection.  No side effects on cooldowns or
+  /// the quality plane.  Not thread-safe (the GIIS itself is not);
+  /// serving serializes its fill path.
+  std::optional<Bandwidth> predict_candidate(const PhysicalReplica& replica,
+                                             const std::string& client_ip,
+                                             Bytes size, SimTime now);
+
   SelectionPolicy policy() const { return policy_; }
 
   /// Failover feedback: a failed fetch from `replica` puts its server
@@ -103,6 +116,16 @@ class ReplicaBroker {
       const PhysicalReplica& replica, const std::string& client_ip, Bytes size,
       SimTime now) const;
 
+  /// Memoized inquiry filter for (client, server).  Inquiry used to
+  /// format, escape, and re-parse the filter text on every candidate of
+  /// every select() — pure allocation churn, since the AST depends only
+  /// on the two strings.  Built once via Filter::equals/all_of (no text
+  /// round-trip) and cached; the memo is cleared if it ever reaches
+  /// `kFilterMemoCap` entries (fleet pairs are few; churn implies a
+  /// synthetic sweep that would not re-use them anyway).
+  const mds::Filter& inquiry_filter(const std::string& client_ip,
+                                    const std::string& server_host);
+
   const ReplicaCatalog& catalog_;
   mds::Giis& giis_;
   const history::HistoryStore* history_ = nullptr;
@@ -112,6 +135,7 @@ class ReplicaBroker {
   predict::SizeClassifier classifier_;
   std::size_t round_robin_next_ = 0;
   resilience::CooldownTracker cooldowns_;
+  std::unordered_map<std::string, mds::Filter> filter_memo_;
 };
 
 }  // namespace wadp::replica

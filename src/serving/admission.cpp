@@ -1,0 +1,69 @@
+#include "serving/admission.hpp"
+
+#include <algorithm>
+
+namespace wadp::serving {
+
+AdmissionController::AdmissionController(AdmissionConfig config)
+    : config_(config),
+      // Start full so a cold frontend doesn't shed its first burst.
+      admit_tokens_(config.admit_burst),
+      shed_tokens_(config.admit_burst * config.shed_rate_multiple) {}
+
+AdmissionController::Decision AdmissionController::decide(
+    std::size_t requested, double now_seconds) {
+  Decision decision;
+  if (requested == 0) return decision;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (config_.admit_rate <= 0.0) {
+    decision.admitted = requested;
+    return decision;
+  }
+  if (!primed_) {
+    last_refill_ = now_seconds;
+    primed_ = true;
+  }
+  const double elapsed = std::max(0.0, now_seconds - last_refill_);
+  last_refill_ = now_seconds;
+  const double shed_rate = config_.admit_rate * config_.shed_rate_multiple;
+  admit_tokens_ = std::min(config_.admit_burst,
+                           admit_tokens_ + elapsed * config_.admit_rate);
+  shed_tokens_ = std::min(config_.admit_burst * config_.shed_rate_multiple,
+                          shed_tokens_ + elapsed * shed_rate);
+
+  // Queue-depth guard first: a deep queue means admitted work is backed
+  // up, so even token-funded queries are refused until it drains.
+  if (queue_depth_ > config_.max_queue_depth) {
+    decision.rejected = requested;
+    return decision;
+  }
+
+  const auto admit = std::min(requested,
+                              static_cast<std::size_t>(admit_tokens_));
+  admit_tokens_ -= static_cast<double>(admit);
+  decision.admitted = admit;
+
+  const std::size_t excess = requested - admit;
+  const auto shed = std::min(excess, static_cast<std::size_t>(shed_tokens_));
+  shed_tokens_ -= static_cast<double>(shed);
+  decision.shed = shed;
+  decision.rejected = excess - shed;
+  return decision;
+}
+
+void AdmissionController::enter(std::size_t queries) {
+  std::lock_guard<std::mutex> lock(mu_);
+  queue_depth_ += queries;
+}
+
+void AdmissionController::leave(std::size_t queries) {
+  std::lock_guard<std::mutex> lock(mu_);
+  queue_depth_ -= std::min(queries, queue_depth_);
+}
+
+std::size_t AdmissionController::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_depth_;
+}
+
+}  // namespace wadp::serving

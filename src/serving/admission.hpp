@@ -1,0 +1,87 @@
+// Admission control for the serving frontend: degrade, then refuse.
+//
+// Overload policy is two token buckets and a queue-depth guard, checked
+// per batch before any prediction work:
+//
+//   1. *admit* bucket (rate = sustainable full-work qps): queries that
+//      fit get the full path — cache, coalesced fill, broker ranking.
+//   2. queries the admit bucket refuses are *shed* to the kLastValue
+//      fast path: answer from the last cached entry regardless of
+//      staleness, a lock-free O(1) read with no fill.  The shed bucket
+//      (admit rate × shed_rate_multiple) bounds even that.
+//   3. only past both buckets — or when the in-flight queue depth
+//      exceeds max_queue_depth — are queries *rejected* outright.
+//
+// So load degrades in the order the paper's broker would want: fresh
+// answers → slightly stale answers → refusal, and the refusal tier is
+// ~an order of magnitude above the shed tier.
+//
+// Time is virtual: callers pass `now_seconds` (SimClock in tests and
+// the bench, wall time in `wadp serve`), which makes every shed/reject
+// decision deterministic under a seeded load trace — the shed-path
+// determinism test replays a burst twice and asserts identical splits.
+//
+// Thread safety: decide() and queue-depth updates are mutex-guarded;
+// admission runs once per *batch*, so the lock is far off the per-query
+// path.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+
+namespace wadp::serving {
+
+struct AdmissionConfig {
+  /// Sustained full-work admission rate, queries/sec.  <= 0 disables
+  /// admission control entirely (everything admitted).
+  double admit_rate = 0.0;
+  /// Burst capacity of the admit bucket, in queries.
+  double admit_burst = 1024.0;
+  /// Shed tier rate = admit_rate * shed_rate_multiple.  The wide gap is
+  /// what makes 16x overload shed (cheap stale answers) instead of
+  /// reject: the fast path costs ~1/30 of a fill, so the box can absorb
+  /// roughly that multiple before refusing.
+  double shed_rate_multiple = 32.0;
+  /// Queries already in flight above which new work is rejected even if
+  /// tokens remain (guards latency, not just throughput).
+  std::size_t max_queue_depth = 1 << 16;
+};
+
+class AdmissionController {
+ public:
+  /// How a batch of `requested` queries splits across the tiers.
+  struct Decision {
+    std::size_t admitted = 0;  ///< full path
+    std::size_t shed = 0;      ///< kLastValue fast path
+    std::size_t rejected = 0;  ///< refused
+  };
+
+  explicit AdmissionController(AdmissionConfig config);
+
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  /// Splits a batch at virtual time `now_seconds`.  `now` may repeat
+  /// but must never decrease.
+  Decision decide(std::size_t requested, double now_seconds);
+
+  /// In-flight accounting for the queue-depth guard (RAII'd by the
+  /// frontend around each batch).
+  void enter(std::size_t queries);
+  void leave(std::size_t queries);
+  std::size_t queue_depth() const;
+
+  const AdmissionConfig& config() const { return config_; }
+
+ private:
+  const AdmissionConfig config_;
+  mutable std::mutex mu_;
+  double admit_tokens_ = 0.0;
+  double shed_tokens_ = 0.0;
+  double last_refill_ = 0.0;
+  bool primed_ = false;  ///< first decide() anchors the refill clock
+  std::size_t queue_depth_ = 0;
+};
+
+}  // namespace wadp::serving

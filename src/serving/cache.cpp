@@ -1,0 +1,156 @@
+#include "serving/cache.hpp"
+
+#include <bit>
+#include <cmath>
+#include <limits>
+
+namespace wadp::serving {
+namespace {
+
+// Power-of-two ceiling with a floor of `minimum`.
+std::size_t pow2_at_least(std::size_t value, std::size_t minimum) {
+  if (value < minimum) value = minimum;
+  return std::bit_ceil(value);
+}
+
+// splitmix64: packed keys are structured (dense series ids in the high
+// word), so slots are picked through a full-avalanche mix.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// NaN is the sentinel for "cached answer is nullopt" (a predictor that
+// declined).  Real predictions are throughputs/durations and never NaN.
+double encode(std::optional<double> value) {
+  return value ? *value : std::numeric_limits<double>::quiet_NaN();
+}
+
+std::optional<double> decode(double raw) {
+  if (std::isnan(raw)) return std::nullopt;
+  return raw;
+}
+
+}  // namespace
+
+PredictionCache::PredictionCache(CacheConfig config) {
+  const std::size_t shards = pow2_at_least(config.shard_count, 1);
+  slots_per_shard_ = pow2_at_least(
+      (config.capacity + shards - 1) / shards, /*minimum=*/8);
+  shard_mask_ = shards - 1;
+  slots_total_ = shards * slots_per_shard_;
+  probe_limit_ = config.probe_limit == 0 ? 1 : config.probe_limit;
+  if (probe_limit_ > slots_per_shard_) probe_limit_ = slots_per_shard_;
+  slots_ = std::make_unique<Slot[]>(slots_total_);
+}
+
+const PredictionCache::Slot* PredictionCache::probe_origin(
+    CacheKey key) const {
+  const std::uint64_t h = mix(key);
+  const std::size_t shard = (h >> 32) & shard_mask_;
+  const std::size_t slot = h & (slots_per_shard_ - 1);
+  return &slots_[shard * slots_per_shard_ + slot];
+}
+
+PredictionCache::Lookup PredictionCache::lookup(
+    CacheKey key, std::uint64_t watermark) const {
+  const Slot* origin = probe_origin(key);
+  const Slot* base =
+      origin - (origin - slots_.get()) % slots_per_shard_;
+  const std::size_t start = static_cast<std::size_t>(origin - base);
+  for (std::size_t i = 0; i < probe_limit_; ++i) {
+    const Slot& slot = base[(start + i) & (slots_per_shard_ - 1)];
+    const std::uint64_t slot_key = slot.key.load(std::memory_order_acquire);
+    if (slot_key == 0) return {};  // never-claimed slot ends the chain
+    if (slot_key != key) continue;
+    // Seqlock read: version (acquire) → payload (acquire) → version
+    // re-check.  The payload loads are acquire instead of the classic
+    // relaxed-loads-plus-acquire-fence: a later load can never reorder
+    // before an earlier acquire load, so the v2 re-check is pinned
+    // after both payload reads without a standalone fence (which TSan
+    // does not model — GCC's -Wtsan rejects it outright).  An odd or
+    // changed version means a writer interleaved; one retry is enough
+    // in practice, but a miss is always a correct answer, so bail
+    // instead of spinning on the hot path.
+    for (int attempt = 0; attempt < 2; ++attempt) {
+      const std::uint64_t v1 = slot.version.load(std::memory_order_acquire);
+      if (v1 & 1) continue;  // mid-publish
+      const std::uint64_t state = slot.state.load(std::memory_order_acquire);
+      const double raw = slot.value.load(std::memory_order_acquire);
+      const std::uint64_t v2 = slot.version.load(std::memory_order_relaxed);
+      if (v1 != v2) continue;  // torn: writer won the race, reread
+      if (state == 0) return {};  // claimed, first publish still pending
+      Lookup result;
+      result.computed_at = (state >> 1) - 1;
+      result.value = (state & 1) ? decode(raw) : std::nullopt;
+      result.outcome = result.computed_at == watermark ? Outcome::kHit
+                                                       : Outcome::kStale;
+      return result;
+    }
+    return {};  // persistent tearing — treat as miss, never block
+  }
+  return {};  // probe window exhausted
+}
+
+bool PredictionCache::store(CacheKey key, std::uint64_t watermark,
+                            std::optional<double> value) {
+  const Slot* origin_c = probe_origin(key);
+  Slot* base = slots_.get() +
+               ((origin_c - slots_.get()) / slots_per_shard_) * slots_per_shard_;
+  const std::size_t start =
+      static_cast<std::size_t>(origin_c - base);
+  for (std::size_t i = 0; i < probe_limit_; ++i) {
+    Slot& slot = base[(start + i) & (slots_per_shard_ - 1)];
+    std::uint64_t slot_key = slot.key.load(std::memory_order_acquire);
+    if (slot_key == 0) {
+      // Claim the empty slot; on CAS failure another writer claimed it
+      // first — fall through and re-examine what they stored.
+      std::uint64_t expected = 0;
+      if (slot.key.compare_exchange_strong(expected, key,
+                                           std::memory_order_acq_rel,
+                                           std::memory_order_acquire)) {
+        slot_key = key;
+      } else {
+        slot_key = expected;
+      }
+    }
+    if (slot_key != key) continue;
+    // Exclusive publish: flip the seqlock odd.  Losing the CAS means a
+    // concurrent writer is publishing this same key right now; skipping
+    // is safe (a reader that sees their older epoch reports kStale and
+    // the single-flight layer refills).
+    std::uint64_t ver = slot.version.load(std::memory_order_relaxed);
+    if (ver & 1) return false;
+    if (!slot.version.compare_exchange_strong(ver, ver + 1,
+                                              std::memory_order_acq_rel,
+                                              std::memory_order_relaxed)) {
+      return false;
+    }
+    // Never publish backwards: a delayed fill for an older epoch must
+    // not overwrite a fresher entry.
+    const std::uint64_t state = slot.state.load(std::memory_order_relaxed);
+    const std::uint64_t packed = ((watermark + 1) << 1) | (value ? 1u : 0u);
+    if (state == 0 || (state >> 1) - 1 <= watermark) {
+      slot.value.store(encode(value), std::memory_order_relaxed);
+      slot.state.store(packed, std::memory_order_relaxed);
+    }
+    slot.version.store(ver + 2, std::memory_order_release);
+    return true;
+  }
+  return false;  // probe window full — caller serves uncached
+}
+
+std::size_t PredictionCache::entries() const {
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < slots_total_; ++i) {
+    if (slots_[i].key.load(std::memory_order_relaxed) != 0 &&
+        slots_[i].state.load(std::memory_order_relaxed) != 0) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace wadp::serving

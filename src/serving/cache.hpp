@@ -1,0 +1,126 @@
+// Epoch-keyed prediction cache: the serving plane's hot path.
+//
+// Replica-selection answers are pure functions of (series history,
+// predictor, size class) — immutable until the series' history
+// advances.  The HistoryStore's per-series epoch watermarks
+// (HistoryStore::watermark) make that advance observable with one
+// atomic load, so the cache needs no TTLs and no eviction protocol:
+// an entry simply carries the epoch it was computed at, and a read is
+// valid iff that stamp equals the store's current watermark.
+//
+// Layout: a sharded, open-addressed table of fixed-size slots.  Keys
+// are caller-packed 64-bit integers (see pack_key: interned series id,
+// predictor id, size class), so probing compares one integer and a
+// slot never stores a string.  Concurrency:
+//
+//   * readers are lock-free and wait-free: probe by relaxed/acquire
+//     integer loads, validate the payload with a per-slot seqlock
+//     (an even/odd version counter) — no mutex, no CAS, no retries
+//     beyond a torn-write reread;
+//   * writers (miss fills, staged off the read path by the
+//     single-flight layer in coalesce.hpp) claim slots with one CAS
+//     and publish payloads under the slot's version counter; a writer
+//     that loses the version CAS *skips* its store (the competing
+//     writer is publishing the same key; a stale entry is re-filled on
+//     the next read) so writers never block each other;
+//   * keys are immutable once claimed — a slot is never re-keyed, so a
+//     probing reader can never observe another key's payload.  When a
+//     probe window fills up, store() reports the bypass and the caller
+//     serves uncached (counted, never wrong).
+//
+// All cross-thread state is std::atomic with explicit ordering:
+// TSan-clean by construction.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+namespace wadp::serving {
+
+/// Packed cache key.  0 is reserved for "empty slot" — pack_key never
+/// produces it because the series id is offset by 1 at interning time
+/// (serving/frontend.cpp).
+using CacheKey = std::uint64_t;
+
+/// (series, predictor, size-class) -> key.  The series id names one
+/// interned (server host, client, op) history series; 16 bits each for
+/// predictor and class leave room for the full extended battery.
+constexpr CacheKey pack_key(std::uint32_t series_id, std::uint16_t predictor_id,
+                            std::uint16_t size_class) {
+  return (static_cast<CacheKey>(series_id) << 32) |
+         (static_cast<CacheKey>(predictor_id) << 16) |
+         static_cast<CacheKey>(size_class);
+}
+
+struct CacheConfig {
+  /// Total slots, rounded up to a power of two and split across shards.
+  /// Sized for the working set (series x predictors x classes), which
+  /// is small compared to query volume; a full probe window degrades to
+  /// an uncached (still correct) answer, never to eviction.
+  std::size_t capacity = 1 << 16;
+  /// Shard count (power of two).  Shards only localize writer traffic;
+  /// readers never contend either way.
+  std::size_t shard_count = 16;
+  /// Linear-probe window before a store gives up (reported as bypass).
+  std::size_t probe_limit = 16;
+};
+
+class PredictionCache {
+ public:
+  enum class Outcome {
+    kHit,    ///< entry valid at the given watermark
+    kStale,  ///< entry present but computed at an older epoch
+    kMiss,   ///< no entry (absent, or a fill is mid-publish)
+  };
+
+  struct Lookup {
+    Outcome outcome = Outcome::kMiss;
+    /// kHit: the cached answer (nullopt answers are cached too).
+    /// kStale: the last computed answer — the load shedder's kLastValue
+    /// fast path serves exactly this.
+    std::optional<double> value;
+    /// Epoch the entry was computed at (kHit/kStale only).
+    std::uint64_t computed_at = 0;
+  };
+
+  explicit PredictionCache(CacheConfig config = {});
+
+  PredictionCache(const PredictionCache&) = delete;
+  PredictionCache& operator=(const PredictionCache&) = delete;
+
+  /// Lock-free read.  `watermark` is the series' current epoch (one
+  /// acquire load of the HistoryStore cell, done by the caller so one
+  /// load covers every per-predictor key of the series).
+  Lookup lookup(CacheKey key, std::uint64_t watermark) const;
+
+  /// Publishes `value` computed at epoch `watermark`.  Returns false
+  /// when the probe window held no slot for the key (bypass) or a
+  /// concurrent writer owned the slot (skip — its publish supersedes).
+  bool store(CacheKey key, std::uint64_t watermark,
+             std::optional<double> value);
+
+  std::size_t capacity() const { return slots_total_; }
+  /// Occupied slots (full scan; for `wadp serve` stats, not hot paths).
+  std::size_t entries() const;
+
+ private:
+  struct Slot {
+    std::atomic<std::uint64_t> key{0};      ///< 0 = empty, immutable once set
+    std::atomic<std::uint64_t> version{0};  ///< seqlock: odd = mid-publish
+    /// (epoch + 1) << 1 | has_value; 0 = claimed but never filled.
+    std::atomic<std::uint64_t> state{0};
+    std::atomic<double> value{0.0};
+  };
+
+  const Slot* probe_origin(CacheKey key) const;
+
+  std::size_t slots_total_ = 0;
+  std::size_t shard_mask_ = 0;       ///< shard index = hash >> 32 & mask
+  std::size_t slots_per_shard_ = 0;  ///< power of two
+  std::size_t probe_limit_ = 0;
+  std::unique_ptr<Slot[]> slots_;
+};
+
+}  // namespace wadp::serving

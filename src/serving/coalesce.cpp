@@ -1,0 +1,42 @@
+#include "serving/coalesce.hpp"
+
+namespace wadp::serving {
+
+SingleFlight::Ticket SingleFlight::join(CacheKey key) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = flights_.find(key);
+  if (it == flights_.end()) {
+    if (flights_.size() >= max_in_flight_) {
+      return {Role::kOverflow, std::nullopt};
+    }
+    flights_.emplace(key, std::make_shared<Flight>());
+    return {Role::kLeader, std::nullopt};
+  }
+  // Follower: hold the flight alive independently of the map — done()
+  // erases the node immediately, so a caller arriving after completion
+  // starts a *fresh* flight instead of inheriting a possibly
+  // older-generation answer.
+  std::shared_ptr<Flight> flight = it->second;
+  cv_.wait(lock, [&flight] { return flight->completed; });
+  return {Role::kFollower, flight->value};
+}
+
+void SingleFlight::done(CacheKey key, std::optional<double> value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = flights_.find(key);
+  if (it == flights_.end()) return;  // defensive: double-done
+  it->second->value = value;
+  it->second->completed = true;
+  flights_.erase(it);
+  // notify_all, not _one: every follower of this flight must wake, and
+  // flights for all keys share one condvar (keeps the table small;
+  // wakeups are rare next to the hit path).
+  cv_.notify_all();
+}
+
+std::size_t SingleFlight::in_flight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return flights_.size();
+}
+
+}  // namespace wadp::serving

@@ -1,0 +1,123 @@
+// Single-flight request coalescing for cache miss fills.
+//
+// When the cache misses (or holds a stale entry) for a key, every
+// concurrent query for that key wants the *same* computation: one walk
+// of the series history through one predictor.  Running it N times is
+// pure waste and — worse — N threads hammering the prediction service
+// is exactly the stampede that follows every watermark bump.  The
+// single-flight table collapses them: the first thread in becomes the
+// *leader* and computes; the rest park on a condvar and receive the
+// leader's answer.
+//
+// The in-flight table is bounded: when `max_in_flight` distinct keys
+// are already being computed, a new key's caller is told kOverflow and
+// computes for itself, uncoalesced (correct, just not deduplicated) —
+// the table can never grow without bound under pathological key churn.
+//
+// Exactly-once contract (proved by SingleFlightThreadStressTest): for
+// one (key, generation), at most one leader runs the fill as long as
+// the leader publishes its answer to the cache *before* calling
+// done() — a thread arriving after done() re-probes the cache, hits,
+// and never enters the table.  coalesced_fill() packages that
+// discipline.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+#include "serving/cache.hpp"
+
+namespace wadp::serving {
+
+class SingleFlight {
+ public:
+  enum class Role {
+    kLeader,    ///< caller must compute, then done()
+    kFollower,  ///< join() returned the leader's answer
+    kOverflow,  ///< table full — compute privately, no done()
+  };
+
+  struct Ticket {
+    Role role = Role::kOverflow;
+    /// kFollower only: the leader's answer (nullopt is a valid answer —
+    /// the predictor declined; followers still must not recompute).
+    std::optional<double> value;
+  };
+
+  explicit SingleFlight(std::size_t max_in_flight = 256)
+      : max_in_flight_(max_in_flight) {}
+
+  SingleFlight(const SingleFlight&) = delete;
+  SingleFlight& operator=(const SingleFlight&) = delete;
+
+  /// Enters the flight for `key`.  Leaders return immediately;
+  /// followers block until the leader's done() and return its answer.
+  Ticket join(CacheKey key);
+
+  /// Leader hand-off: records the answer, wakes every follower, and
+  /// retires the flight.  MUST be called exactly once per kLeader
+  /// ticket, after the answer is visible in the cache.
+  void done(CacheKey key, std::optional<double> value);
+
+  /// Flights currently in the table (for gauges/tests).
+  std::size_t in_flight() const;
+
+ private:
+  /// Followers hold the flight via shared_ptr: done() erases the map
+  /// node immediately, so late arrivals never inherit a completed
+  /// (possibly older-generation) flight.
+  struct Flight {
+    std::optional<double> value;
+    bool completed = false;  // guarded by mu_
+  };
+
+  const std::size_t max_in_flight_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::unordered_map<CacheKey, std::shared_ptr<Flight>> flights_;
+};
+
+/// The miss path, packaged so every caller gets the exactly-once
+/// discipline right: re-check the cache, join the flight, and as leader
+/// publish-to-cache *before* retiring the flight.  `compute` runs at
+/// most once per call site per (key, generation) — concurrent callers
+/// coalesce onto one leader; only a table overflow or a cache-probe
+/// overflow can add computations, and both are counted by the caller.
+///
+/// Returns the answer and whether *this* call ran `compute`.
+template <typename ComputeFn>
+std::pair<std::optional<double>, bool> coalesced_fill(
+    PredictionCache& cache, SingleFlight& flight, CacheKey key,
+    std::uint64_t watermark, ComputeFn&& compute) {
+  SingleFlight::Ticket ticket = flight.join(key);
+  if (ticket.role == SingleFlight::Role::kFollower) {
+    // The leader published before done(); trust its answer even if our
+    // own cache probe would race a newer fill.
+    return {ticket.value, false};
+  }
+  if (ticket.role == SingleFlight::Role::kLeader) {
+    // A prior leader may have filled the cache between our miss and our
+    // join (miss → their publish → their done → our join).  Re-check
+    // under leadership so that window never double-computes.
+    PredictionCache::Lookup again = cache.lookup(key, watermark);
+    if (again.outcome == PredictionCache::Outcome::kHit) {
+      flight.done(key, again.value);
+      return {again.value, false};
+    }
+    std::optional<double> value = compute();
+    cache.store(key, watermark, value);  // publish BEFORE retiring
+    flight.done(key, value);
+    return {value, true};
+  }
+  // kOverflow: table full — compute privately, still publish.
+  std::optional<double> value = compute();
+  cache.store(key, watermark, value);
+  return {value, true};
+}
+
+}  // namespace wadp::serving

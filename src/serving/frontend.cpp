@@ -1,0 +1,254 @@
+#include "serving/frontend.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+namespace wadp::serving {
+
+namespace {
+
+double wall_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Reusable "a \n b" key buffer: plan/intern lookups run per query and
+/// must not allocate once the maps warm up.
+std::string& joined_key(std::string_view a, std::string_view b) {
+  static thread_local std::string key;
+  key.clear();
+  key.append(a);
+  key.push_back('\n');
+  key.append(b);
+  return key;
+}
+
+/// The one predictor the serving plane currently caches: the broker's
+/// classified last-15 mean (AVG15/fs semantics).  The id is part of the
+/// cache key so further predictors can share the table later.
+constexpr std::uint16_t kBrokerPredictorId = 0;
+
+}  // namespace
+
+ServingFrontend::ServingFrontend(replica::ReplicaBroker& broker,
+                                 const replica::ReplicaCatalog& catalog,
+                                 std::shared_ptr<history::HistoryStore> history,
+                                 ServingConfig config)
+    : broker_(broker),
+      catalog_(catalog),
+      history_(std::move(history)),
+      config_(std::move(config)),
+      cache_(config_.cache),
+      flight_(config_.max_in_flight),
+      admission_(config_.admission) {
+  auto& registry = obs::Registry::global();
+  metrics_.queries = &registry.counter("wadp_serving_queries_total", {},
+                                       "Queries offered to the frontend");
+  metrics_.hits = &registry.counter(
+      "wadp_serving_cache_hits_total", {},
+      "Candidate probes answered by a watermark-valid cache entry");
+  metrics_.misses =
+      &registry.counter("wadp_serving_cache_misses_total", {},
+                        "Candidate probes that missed (absent or stale)");
+  metrics_.fills = &registry.counter(
+      "wadp_serving_fills_total", {},
+      "Prediction computations run to fill the cache (single-flight leaders)");
+  metrics_.coalesced = &registry.counter(
+      "wadp_serving_coalesced_total", {},
+      "Candidate probes that piggybacked on another thread's in-flight fill");
+  metrics_.shed = &registry.counter(
+      "wadp_serving_shed_total", {},
+      "Queries degraded to the stale-tolerant fast path by admission");
+  metrics_.rejected = &registry.counter(
+      "wadp_serving_rejected_total", {},
+      "Queries refused outright by admission");
+  metrics_.shed_uninformed = &registry.counter(
+      "wadp_serving_shed_uninformed_total", {},
+      "Shed queries answered without any cached prediction");
+  metrics_.inflight =
+      &registry.gauge("wadp_serving_inflight_queries", {},
+                      "Queries currently inside select_many");
+  metrics_.batch_latency =
+      &registry.histogram("wadp_serving_batch_seconds", {},
+                          "Wall-clock latency of one select_many batch");
+}
+
+std::uint32_t ServingFrontend::intern_series(const std::string& host,
+                                             const std::string& client) {
+  const std::string& key = joined_key(host, client);
+  {
+    std::shared_lock lock(intern_mu_);
+    if (const auto it = series_ids_.find(key); it != series_ids_.end()) {
+      return it->second;
+    }
+  }
+  // The watermark subscription creates the (possibly still empty)
+  // series, so it binds to the cell every later append publishes to.
+  auto cell = history_->watermark(history::SeriesKey{
+      .host = host, .remote_ip = client, .op = gridftp::Operation::kRead});
+  std::unique_lock lock(intern_mu_);
+  if (const auto it = series_ids_.find(key); it != series_ids_.end()) {
+    return it->second;  // lost the insert race — first interner wins
+  }
+  series_cells_.push_back(std::move(cell));
+  // 1-based: pack_key must never produce the cache's 0 = empty sentinel
+  // (series id 0 with predictor 0 and class 0 would).
+  const auto id = static_cast<std::uint32_t>(series_cells_.size());
+  series_ids_.emplace(key, id);
+  return id;
+}
+
+const ServingFrontend::Plan& ServingFrontend::plan_for(const Query& query) {
+  {
+    const std::string& key =
+        joined_key(query.logical_name, query.client_ip);
+    std::shared_lock lock(plan_mu_);
+    if (const auto it = plans_.find(key); it != plans_.end()) {
+      return it->second;  // node-based map: stable across other inserts
+    }
+  }
+  // Build off-lock: catalog reads and series interning take their own
+  // locks.  The joined_key buffer is reused by intern_series below, so
+  // materialize the map key first.
+  std::string key(query.logical_name);
+  key.push_back('\n');
+  key.append(query.client_ip);
+  const std::string client(query.client_ip);
+  Plan plan;
+  for (const auto& replica :
+       catalog_.replicas(std::string(query.logical_name))) {
+    Candidate candidate;
+    candidate.replica = &replica;
+    candidate.series_id = intern_series(replica.server_host, client);
+    candidate.watermark = series_cells_[candidate.series_id - 1].get();
+    plan.candidates.push_back(candidate);
+  }
+  std::unique_lock lock(plan_mu_);
+  return plans_.emplace(std::move(key), std::move(plan)).first->second;
+}
+
+Answer ServingFrontend::answer_admitted(const Query& query, SimTime now) {
+  const Plan& plan = plan_for(query);
+  Answer answer;
+  answer.path = AnswerPath::kCached;
+  if (plan.candidates.empty()) return answer;
+
+  const auto size_class =
+      static_cast<std::uint16_t>(config_.classifier.classify(query.size));
+  const Candidate* best = nullptr;
+  double best_value = 0.0;
+  for (const Candidate& candidate : plan.candidates) {
+    const std::uint64_t watermark =
+        candidate.watermark->load(std::memory_order_acquire);
+    const CacheKey key =
+        pack_key(candidate.series_id, kBrokerPredictorId, size_class);
+    std::optional<double> value;
+    const PredictionCache::Lookup hit = cache_.lookup(key, watermark);
+    if (hit.outcome == PredictionCache::Outcome::kHit) {
+      metrics_.hits->inc();
+      value = hit.value;
+    } else {
+      metrics_.misses->inc();
+      answer.path = AnswerPath::kFilled;
+      auto [filled, ran_compute] = coalesced_fill(
+          cache_, flight_, key, watermark, [&]() -> std::optional<double> {
+            // Serialized: the GIIS inquiry path underneath is not
+            // thread-safe.  Rare by design — every steady-state probe
+            // is a hit.
+            std::lock_guard<std::mutex> fill_lock(fill_mu_);
+            return broker_.predict_candidate(
+                *candidate.replica, std::string(query.client_ip), query.size,
+                now);
+          });
+      (ran_compute ? metrics_.fills : metrics_.coalesced)->inc();
+      value = filled;
+    }
+    if (value && (best == nullptr || *value > best_value)) {
+      best = &candidate;
+      best_value = *value;
+    }
+  }
+  if (best != nullptr) {
+    answer.replica = best->replica;
+    answer.predicted_bandwidth = best_value;
+    answer.informed = true;
+  } else {
+    // No candidate had a usable prediction: same fallback as the
+    // broker — first replica, flagged uninformed.
+    answer.replica = plan.candidates.front().replica;
+  }
+  return answer;
+}
+
+Answer ServingFrontend::answer_shed(const Query& query, SimTime now) {
+  (void)now;  // shed answers never compute, so "now" plays no part
+  const Plan& plan = plan_for(query);
+  Answer answer;
+  answer.path = AnswerPath::kShed;
+  if (plan.candidates.empty()) return answer;
+
+  const auto size_class =
+      static_cast<std::uint16_t>(config_.classifier.classify(query.size));
+  const Candidate* best = nullptr;
+  double best_value = 0.0;
+  for (const Candidate& candidate : plan.candidates) {
+    const std::uint64_t watermark =
+        candidate.watermark->load(std::memory_order_acquire);
+    const CacheKey key =
+        pack_key(candidate.series_id, kBrokerPredictorId, size_class);
+    // kLastValue semantics: any published entry answers, stale or not.
+    const PredictionCache::Lookup hit = cache_.lookup(key, watermark);
+    if (hit.outcome == PredictionCache::Outcome::kMiss) continue;
+    if (!hit.value) continue;
+    if (best == nullptr || *hit.value > best_value) {
+      best = &candidate;
+      best_value = *hit.value;
+    }
+  }
+  if (best != nullptr) {
+    answer.replica = best->replica;
+    answer.predicted_bandwidth = best_value;
+    answer.informed = true;
+  } else {
+    answer.replica = plan.candidates.front().replica;
+    metrics_.shed_uninformed->inc();
+  }
+  return answer;
+}
+
+std::vector<Answer> ServingFrontend::select_many(std::span<const Query> queries,
+                                                 SimTime now) {
+  const double started = wall_seconds();
+  metrics_.queries->inc(queries.size());
+  const AdmissionController::Decision decision =
+      admission_.decide(queries.size(), now);
+  const std::size_t working = decision.admitted + decision.shed;
+  admission_.enter(working);
+  metrics_.inflight->set(static_cast<double>(admission_.queue_depth()));
+
+  std::vector<Answer> answers;
+  answers.reserve(queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    if (i < decision.admitted) {
+      answers.push_back(answer_admitted(queries[i], now));
+    } else if (i < working) {
+      metrics_.shed->inc();
+      answers.push_back(answer_shed(queries[i], now));
+    } else {
+      metrics_.rejected->inc();
+      answers.emplace_back();  // kRejected, no replica
+    }
+  }
+
+  admission_.leave(working);
+  metrics_.inflight->set(static_cast<double>(admission_.queue_depth()));
+  metrics_.batch_latency->record(wall_seconds() - started);
+  return answers;
+}
+
+Answer ServingFrontend::select_one(const Query& query, SimTime now) {
+  return select_many(std::span<const Query>(&query, 1), now).front();
+}
+
+}  // namespace wadp::serving

@@ -1,0 +1,176 @@
+// ServingFrontend: the fleet-scale face of replica selection.
+//
+// ReplicaBroker::select answers one query with a GIIS search per
+// candidate — correct, and hopeless at "millions of users".  The
+// frontend turns the same decision into a cached, batched, admission-
+// controlled read path:
+//
+//   query (lfn, client, size) ──► admission ──► per-candidate cache
+//   probe (epoch-validated) ──► rank ──► Answer
+//
+// with misses filled through single-flight coalescing and the broker's
+// predict_candidate, and overload degraded shed-first (stale cached
+// answers) before anything is rejected.  See docs/SERVING.md for the
+// full keying/validation contract and the coalescing and shedding
+// state machines.
+//
+// Semantics: answers reproduce the broker's kPredictedBest ranking —
+// highest predicted bandwidth among informed candidates, first replica
+// when uninformed (tests/serving/frontend_test asserts agreement with
+// ReplicaBroker::select).  The fast path intentionally skips the full
+// path's per-selection side effects (cooldown bookkeeping, quality
+// ServedPrediction records, drift demotion): those belong to the
+// transfer feedback loop, which still runs through the broker.
+//
+// Deployment assumptions, enforced by construction order in `wadp
+// serve`/the bench: the catalog is frozen while the frontend serves
+// (Answer holds replica pointers into it; plans cache them), and the
+// HistoryStore is shared via shared_ptr (watermark cells must outlive
+// cached plans).  select_many is safe to call from many threads; fills
+// are serialized internally (the GIIS is not thread-safe) which is
+// invisible in steady state where fills are rare.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "history/store.hpp"
+#include "obs/metrics.hpp"
+#include "predict/classifier.hpp"
+#include "replica/broker.hpp"
+#include "replica/catalog.hpp"
+#include "serving/admission.hpp"
+#include "serving/cache.hpp"
+#include "serving/coalesce.hpp"
+#include "util/types.hpp"
+
+namespace wadp::serving {
+
+struct ServingConfig {
+  CacheConfig cache;
+  AdmissionConfig admission;
+  /// Bound on the single-flight table (distinct keys mid-fill).
+  std::size_t max_in_flight = 256;
+  /// Size classes shared with the broker/provider publications.
+  predict::SizeClassifier classifier = predict::SizeClassifier::paper_classes();
+};
+
+/// One replica-selection request.  Strings are views into caller-owned
+/// storage (the batch driver reuses its buffers across batches).
+struct Query {
+  std::string_view logical_name;
+  std::string_view client_ip;
+  Bytes size = 0;
+};
+
+/// How a query left the frontend — the serving-plane state the bench
+/// and the shed tests assert on.
+enum class AnswerPath {
+  kCached,    ///< admitted, every ranked candidate came from a valid hit
+  kFilled,    ///< admitted, at least one candidate needed a fill
+  kShed,      ///< degraded: ranked over cached entries, staleness allowed
+  kRejected,  ///< refused by admission control
+};
+
+struct Answer {
+  /// Chosen replica (pointer into the catalog; null when rejected or
+  /// the logical name has no replicas).
+  const replica::PhysicalReplica* replica = nullptr;
+  std::optional<double> predicted_bandwidth;  ///< bytes/s
+  bool informed = false;
+  AnswerPath path = AnswerPath::kRejected;
+};
+
+class ServingFrontend {
+ public:
+  ServingFrontend(replica::ReplicaBroker& broker,
+                  const replica::ReplicaCatalog& catalog,
+                  std::shared_ptr<history::HistoryStore> history,
+                  ServingConfig config = {});
+
+  ServingFrontend(const ServingFrontend&) = delete;
+  ServingFrontend& operator=(const ServingFrontend&) = delete;
+
+  /// Answers a batch.  Admission splits the batch *in order*: the
+  /// leading `admitted` queries get the full path, the next `shed` the
+  /// stale-tolerant fast path, the rest kRejected — deterministic for a
+  /// given (config, call sequence, now sequence), which the shed tests
+  /// replay.  `now` is virtual time (SimClock in tests/bench).
+  std::vector<Answer> select_many(std::span<const Query> queries, SimTime now);
+
+  /// Single-query convenience (same path as a batch of one).
+  Answer select_one(const Query& query, SimTime now);
+
+  const PredictionCache& cache() const { return cache_; }
+  const AdmissionController& admission() const { return admission_; }
+  std::size_t in_flight_fills() const { return flight_.in_flight(); }
+  const ServingConfig& config() const { return config_; }
+
+ private:
+  /// One candidate of a memoized plan: everything the hot path needs,
+  /// pre-resolved — no strings, no store locks.
+  struct Candidate {
+    const replica::PhysicalReplica* replica = nullptr;
+    std::uint32_t series_id = 0;  ///< interned, 1-based (0 never issued)
+    /// The series' HistoryStore watermark cell; the shared_ptr in
+    /// series_cells_ keeps it alive.
+    const std::atomic<std::uint64_t>* watermark = nullptr;
+  };
+  struct Plan {
+    std::vector<Candidate> candidates;
+  };
+
+  const Plan& plan_for(const Query& query);
+  std::uint32_t intern_series(const std::string& host,
+                              const std::string& client);
+  Answer answer_admitted(const Query& query, SimTime now);
+  Answer answer_shed(const Query& query, SimTime now);
+
+  replica::ReplicaBroker& broker_;
+  const replica::ReplicaCatalog& catalog_;
+  std::shared_ptr<history::HistoryStore> history_;
+  ServingConfig config_;
+
+  PredictionCache cache_;
+  SingleFlight flight_;
+  AdmissionController admission_;
+
+  /// Serializes miss fills: the GIIS/broker compute path is not
+  /// thread-safe.  Never taken on a cache hit.
+  std::mutex fill_mu_;
+
+  /// (host \n client) -> series id, plus the watermark cell per id.
+  /// Reads take the shared lock; inserts (first sighting of a pair)
+  /// the exclusive one.
+  mutable std::shared_mutex intern_mu_;
+  std::unordered_map<std::string, std::uint32_t> series_ids_;
+  std::vector<std::shared_ptr<const std::atomic<std::uint64_t>>> series_cells_;
+
+  /// (lfn \n client) -> Plan.  Same locking discipline.
+  mutable std::shared_mutex plan_mu_;
+  std::unordered_map<std::string, Plan> plans_;
+
+  struct Metrics {
+    obs::Counter* queries = nullptr;
+    obs::Counter* hits = nullptr;
+    obs::Counter* misses = nullptr;
+    obs::Counter* fills = nullptr;
+    obs::Counter* coalesced = nullptr;
+    obs::Counter* shed = nullptr;
+    obs::Counter* rejected = nullptr;
+    obs::Counter* shed_uninformed = nullptr;
+    obs::Gauge* inflight = nullptr;
+    obs::Histogram* batch_latency = nullptr;
+  };
+  Metrics metrics_;
+};
+
+}  // namespace wadp::serving

@@ -1,0 +1,101 @@
+// Filter::equals / all_of: direct AST construction must behave exactly
+// like the escape-format-parse round trip it replaces on the broker's
+// inquiry hot path — including for values full of metacharacters.
+#include <gtest/gtest.h>
+
+#include "mds/filter.hpp"
+#include "mds/ldap.hpp"
+#include "util/strings.hpp"
+
+namespace wadp::mds {
+namespace {
+
+Entry perf_entry(const std::string& cn, const std::string& hostname) {
+  Entry entry;
+  entry.add("objectclass", "GridFTPPerfInfo");
+  entry.add("cn", cn);
+  entry.add("hostname", hostname);
+  return entry;
+}
+
+Filter inquiry(const std::string& cn, const std::string& hostname) {
+  std::vector<Filter> terms;
+  terms.push_back(Filter::equals("objectclass", "GridFTPPerfInfo"));
+  terms.push_back(Filter::equals("cn", cn));
+  terms.push_back(Filter::equals("hostname", hostname));
+  return Filter::all_of(std::move(terms));
+}
+
+TEST(FilterBuilderTest, EqualsMatchesLikeParsedEquality) {
+  const Filter built = Filter::equals("hostname", "jet.isi.edu");
+  const auto parsed = Filter::parse("(hostname=jet.isi.edu)");
+  ASSERT_TRUE(parsed.has_value());
+  const Entry yes = perf_entry("c", "jet.isi.edu");
+  const Entry no = perf_entry("c", "other.isi.edu");
+  EXPECT_TRUE(built.matches(yes));
+  EXPECT_TRUE(parsed->matches(yes));
+  EXPECT_FALSE(built.matches(no));
+  EXPECT_FALSE(parsed->matches(no));
+  // Equality stays case-insensitive, like the parsed form.
+  EXPECT_TRUE(built.matches(perf_entry("c", "JET.ISI.EDU")));
+}
+
+TEST(FilterBuilderTest, EqualsTreatsMetacharactersAsLiterals) {
+  // The exact hazard the old format-then-parse path escaped against: a
+  // value containing ( ) * \ must match itself, and only itself.
+  const std::string evil = "a*b\\c(d)e";
+  const Filter built = Filter::equals("cn", evil);
+  EXPECT_TRUE(built.matches(perf_entry(evil, "h")));
+  // '*' is NOT a wildcard here: "aXb..." must not match.
+  EXPECT_FALSE(built.matches(perf_entry("aXb\\c(d)e", "h")));
+  EXPECT_FALSE(built.matches(perf_entry("ab\\c(d)e", "h")));
+
+  // And it agrees with the escaped round trip.
+  const auto parsed =
+      Filter::parse("(cn=" + Filter::escape(evil) + ")");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->matches(perf_entry(evil, "h")));
+  EXPECT_FALSE(parsed->matches(perf_entry("aXb\\c(d)e", "h")));
+}
+
+TEST(FilterBuilderTest, BuiltInquiryEqualsRoundTripInquiry) {
+  for (const auto& [cn, host] :
+       {std::pair<std::string, std::string>{"140.221.65.69",
+                                            "dpsslx04.lbl.gov"},
+        {"evil)(objectclass=*", "host*with\\meta"}}) {
+    const Filter built = inquiry(cn, host);
+    const auto parsed = Filter::parse(util::format(
+        "(&(objectclass=GridFTPPerfInfo)(cn=%s)(hostname=%s))",
+        Filter::escape(cn).c_str(), Filter::escape(host).c_str()));
+    ASSERT_TRUE(parsed.has_value());
+    // Identical textual form (the builder escapes on render)...
+    EXPECT_EQ(built.to_string(), parsed->to_string());
+    // ...and identical matching on the match/near-miss pairs.
+    for (const Entry& entry :
+         {perf_entry(cn, host), perf_entry(cn, "elsewhere"),
+          perf_entry("someone", host), perf_entry(cn + "x", host)}) {
+      EXPECT_EQ(built.matches(entry), parsed->matches(entry))
+          << built.to_string();
+    }
+    EXPECT_TRUE(built.matches(perf_entry(cn, host)));
+  }
+}
+
+TEST(FilterBuilderTest, AllOfRequiresEveryTerm) {
+  const Filter built = inquiry("140.221.65.69", "jet.isi.edu");
+  EXPECT_TRUE(built.matches(perf_entry("140.221.65.69", "jet.isi.edu")));
+  Entry wrong_class = perf_entry("140.221.65.69", "jet.isi.edu");
+  wrong_class.set("objectclass", "GridFTPServer");
+  EXPECT_FALSE(built.matches(wrong_class));
+  EXPECT_FALSE(
+      built.matches(perf_entry("140.221.65.69", "dpsslx04.lbl.gov")));
+}
+
+TEST(FilterBuilderTest, EmptyAllOfMatchesEverything) {
+  const Filter built = Filter::all_of({});
+  EXPECT_TRUE(built.matches(perf_entry("anyone", "anywhere")));
+  EXPECT_EQ(built.to_string(), Filter::match_all().to_string());
+}
+
+}  // namespace
+}  // namespace wadp::mds

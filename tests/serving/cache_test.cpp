@@ -1,0 +1,144 @@
+// Epoch-keyed prediction cache: keying, watermark validation, the
+// no-eviction overflow contract, and the stale-after-ingest invariant
+// against a real HistoryStore.
+#include "serving/cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include "history/store.hpp"
+
+namespace wadp::serving {
+namespace {
+
+using Outcome = PredictionCache::Outcome;
+
+TEST(PredictionCacheTest, PackKeyLayoutIsDisjoint) {
+  const CacheKey key = pack_key(0x12345678u, 0xabcdu, 0x9876u);
+  EXPECT_EQ(key >> 32, 0x12345678u);
+  EXPECT_EQ((key >> 16) & 0xffff, 0xabcdu);
+  EXPECT_EQ(key & 0xffff, 0x9876u);
+  // Series ids are 1-based precisely so this cannot collide with the
+  // empty-slot sentinel.
+  EXPECT_NE(pack_key(1, 0, 0), 0u);
+}
+
+TEST(PredictionCacheTest, MissThenStoreThenHit) {
+  PredictionCache cache;
+  const CacheKey key = pack_key(1, 0, 2);
+  EXPECT_EQ(cache.lookup(key, 5).outcome, Outcome::kMiss);
+  EXPECT_TRUE(cache.store(key, 5, 123.5));
+  const auto hit = cache.lookup(key, 5);
+  EXPECT_EQ(hit.outcome, Outcome::kHit);
+  EXPECT_EQ(hit.value, 123.5);
+  EXPECT_EQ(hit.computed_at, 5u);
+  EXPECT_EQ(cache.entries(), 1u);
+}
+
+TEST(PredictionCacheTest, WatermarkZeroEntriesAreValid) {
+  // Epoch 0 (series exists but has no observations) is a legal stamp:
+  // "no data → no prediction" is itself cacheable.
+  PredictionCache cache;
+  const CacheKey key = pack_key(1, 0, 0);
+  EXPECT_TRUE(cache.store(key, 0, std::nullopt));
+  const auto hit = cache.lookup(key, 0);
+  EXPECT_EQ(hit.outcome, Outcome::kHit);
+  EXPECT_EQ(hit.value, std::nullopt);
+}
+
+TEST(PredictionCacheTest, NulloptAnswersAreCachedDistinctFromMiss) {
+  PredictionCache cache;
+  const CacheKey key = pack_key(2, 1, 0);
+  EXPECT_TRUE(cache.store(key, 3, std::nullopt));
+  const auto hit = cache.lookup(key, 3);
+  EXPECT_EQ(hit.outcome, Outcome::kHit);
+  EXPECT_FALSE(hit.value.has_value());
+}
+
+TEST(PredictionCacheTest, AdvancedWatermarkTurnsHitIntoStale) {
+  PredictionCache cache;
+  const CacheKey key = pack_key(7, 0, 1);
+  ASSERT_TRUE(cache.store(key, 4, 80.0));
+  EXPECT_EQ(cache.lookup(key, 4).outcome, Outcome::kHit);
+  const auto stale = cache.lookup(key, 5);
+  EXPECT_EQ(stale.outcome, Outcome::kStale);
+  EXPECT_EQ(stale.value, 80.0);  // shed fast path serves exactly this
+  EXPECT_EQ(stale.computed_at, 4u);
+  // A refill at the new epoch restores hits.
+  ASSERT_TRUE(cache.store(key, 5, 90.0));
+  const auto fresh = cache.lookup(key, 5);
+  EXPECT_EQ(fresh.outcome, Outcome::kHit);
+  EXPECT_EQ(fresh.value, 90.0);
+}
+
+TEST(PredictionCacheTest, DelayedOlderFillNeverOverwritesNewer) {
+  PredictionCache cache;
+  const CacheKey key = pack_key(9, 0, 0);
+  ASSERT_TRUE(cache.store(key, 8, 200.0));
+  // A laggard writer finishing a fill computed at epoch 6 must not
+  // publish backwards.
+  ASSERT_TRUE(cache.store(key, 6, 100.0));
+  const auto hit = cache.lookup(key, 8);
+  EXPECT_EQ(hit.outcome, Outcome::kHit);
+  EXPECT_EQ(hit.value, 200.0);
+}
+
+TEST(PredictionCacheTest, ProbeOverflowBypassesInsteadOfEvicting) {
+  // One shard of 8 slots, probe window 4: the 5th key hashing anywhere
+  // is fine, but once 8 distinct keys land the table is full and new
+  // stores must report bypass while old keys stay intact.
+  PredictionCache cache(
+      CacheConfig{.capacity = 8, .shard_count = 1, .probe_limit = 8});
+  std::vector<CacheKey> stored;
+  std::size_t bypassed = 0;
+  for (std::uint32_t i = 1; i <= 64 && bypassed == 0; ++i) {
+    const CacheKey key = pack_key(i, 0, 0);
+    if (cache.store(key, 1, static_cast<double>(i))) {
+      stored.push_back(key);
+    } else {
+      ++bypassed;
+    }
+  }
+  ASSERT_EQ(bypassed, 1u);  // table filled, never evicted
+  EXPECT_LE(stored.size(), 8u);
+  for (std::size_t i = 0; i < stored.size(); ++i) {
+    const auto hit = cache.lookup(stored[i], 1);
+    EXPECT_EQ(hit.outcome, Outcome::kHit) << "key " << stored[i];
+  }
+}
+
+TEST(PredictionCacheTest, StaleNeverServedAsHitAfterStoreIngest) {
+  // The end-to-end invalidation contract against a real store: fill at
+  // the current watermark, ingest, and the very next validated read
+  // must not be a hit.
+  history::HistoryStore store(
+      history::StoreConfig{.instrumented = false});
+  const history::SeriesKey series{.host = "dpsslx04.lbl.gov",
+                                  .remote_ip = "140.221.65.69",
+                                  .op = gridftp::Operation::kRead};
+  const auto cell = store.watermark(series);
+
+  PredictionCache cache;
+  const CacheKey key = pack_key(1, 0, 2);
+  std::uint64_t wm = cell->load(std::memory_order_acquire);
+  EXPECT_EQ(wm, 0u);
+  ASSERT_TRUE(cache.store(key, wm, 55.0));
+  EXPECT_EQ(cache.lookup(key, cell->load(std::memory_order_acquire)).outcome,
+            Outcome::kHit);
+
+  for (int i = 0; i < 3; ++i) {
+    store.append(series, predict::Observation{.time = 10.0 * (i + 1),
+                                              .value = 1e6,
+                                              .file_size = 10 * kMB});
+    wm = cell->load(std::memory_order_acquire);
+    EXPECT_EQ(wm, static_cast<std::uint64_t>(i + 1));
+    const auto after = cache.lookup(key, wm);
+    EXPECT_NE(after.outcome, Outcome::kHit)
+        << "stale entry served as fresh after ingest " << i;
+    // Refill at the new watermark; valid until the next append.
+    ASSERT_TRUE(cache.store(key, wm, 55.0 + i));
+    EXPECT_EQ(cache.lookup(key, wm).outcome, Outcome::kHit);
+  }
+}
+
+}  // namespace
+}  // namespace wadp::serving

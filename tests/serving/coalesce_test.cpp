@@ -1,0 +1,133 @@
+// Single-flight coalescing: role assignment, bounded table, and the
+// exactly-once fill contract under an 8-key x 8-thread stress (the
+// latter runs in the TSan CI filter — names contain "Thread").
+#include "serving/coalesce.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "serving/cache.hpp"
+
+namespace wadp::serving {
+namespace {
+
+TEST(SingleFlightTest, FirstCallerLeadsAndDoneRetiresTheFlight) {
+  SingleFlight flight;
+  const auto ticket = flight.join(pack_key(1, 0, 0));
+  EXPECT_EQ(ticket.role, SingleFlight::Role::kLeader);
+  EXPECT_EQ(flight.in_flight(), 1u);
+  flight.done(pack_key(1, 0, 0), 42.0);
+  EXPECT_EQ(flight.in_flight(), 0u);
+  // The flight is gone: the next caller for the same key leads afresh
+  // (it must re-check the cache, not inherit the old answer).
+  EXPECT_EQ(flight.join(pack_key(1, 0, 0)).role, SingleFlight::Role::kLeader);
+  flight.done(pack_key(1, 0, 0), 43.0);
+}
+
+TEST(SingleFlightTest, TableBoundOverflowsNewKeys) {
+  SingleFlight flight(/*max_in_flight=*/2);
+  ASSERT_EQ(flight.join(pack_key(1, 0, 0)).role, SingleFlight::Role::kLeader);
+  ASSERT_EQ(flight.join(pack_key(2, 0, 0)).role, SingleFlight::Role::kLeader);
+  // Third distinct key: table full, caller computes privately.
+  EXPECT_EQ(flight.join(pack_key(3, 0, 0)).role, SingleFlight::Role::kOverflow);
+  flight.done(pack_key(1, 0, 0), 1.0);
+  // A slot freed up; new keys lead again.
+  EXPECT_EQ(flight.join(pack_key(4, 0, 0)).role, SingleFlight::Role::kLeader);
+  flight.done(pack_key(2, 0, 0), 2.0);
+  flight.done(pack_key(4, 0, 0), 4.0);
+  EXPECT_EQ(flight.in_flight(), 0u);
+}
+
+TEST(SingleFlightTest, FollowersReceiveTheLeadersAnswer) {
+  SingleFlight flight;
+  PredictionCache cache;
+  const CacheKey key = pack_key(5, 0, 1);
+  std::atomic<int> computes{0};
+
+  std::atomic<bool> leader_in{false};
+  std::thread leader([&] {
+    auto [value, ran] = coalesced_fill(cache, flight, key, 1,
+                                       [&]() -> std::optional<double> {
+                                         leader_in.store(true);
+                                         ++computes;
+                                         // Hold the flight open long
+                                         // enough for followers to join.
+                                         std::this_thread::sleep_for(
+                                             std::chrono::milliseconds(50));
+                                         return 77.0;
+                                       });
+    EXPECT_TRUE(ran);
+    EXPECT_EQ(value, 77.0);
+  });
+  while (!leader_in.load()) std::this_thread::yield();
+
+  std::vector<std::thread> followers;
+  for (int i = 0; i < 4; ++i) {
+    followers.emplace_back([&] {
+      auto [value, ran] = coalesced_fill(cache, flight, key, 1,
+                                         [&]() -> std::optional<double> {
+                                           ++computes;
+                                           return -1.0;  // must never run
+                                         });
+      EXPECT_FALSE(ran);
+      EXPECT_EQ(value, 77.0);
+    });
+  }
+  leader.join();
+  for (auto& t : followers) t.join();
+  EXPECT_EQ(computes.load(), 1);
+}
+
+TEST(SingleFlightThreadStressTest, ExactlyOneFillPerKeyPerGeneration) {
+  // 8 threads race 8 keys across 4 generations.  Every thread attempts
+  // every (key, generation) once; the cache + single-flight pair must
+  // let exactly one compute through per (key, generation).
+  constexpr int kThreads = 8;
+  constexpr int kKeys = 8;
+  constexpr int kGenerations = 4;
+
+  PredictionCache cache;  // ample: no probe overflow in this test
+  SingleFlight flight;
+  std::array<std::array<std::atomic<int>, kKeys>, kGenerations> computes{};
+
+  for (int gen = 0; gen < kGenerations; ++gen) {
+    std::atomic<int> ready{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, gen, t] {
+        ++ready;
+        while (ready.load() < kThreads) std::this_thread::yield();
+        for (int k = 0; k < kKeys; ++k) {
+          // Stagger key order per thread so every key sees contention.
+          const int key_index = (k + t) % kKeys;
+          const CacheKey key =
+              pack_key(static_cast<std::uint32_t>(key_index + 1), 0, 0);
+          const auto watermark = static_cast<std::uint64_t>(gen);
+          const double expected = 1000.0 * (key_index + 1) + gen;
+          auto [value, ran] = coalesced_fill(
+              cache, flight, key, watermark, [&]() -> std::optional<double> {
+                computes[gen][key_index]++;
+                return expected;
+              });
+          // Whether leader, follower, or cache hit: the answer is this
+          // generation's (monotone freshness allows a *newer* value,
+          // but no generation beyond `gen` exists yet).
+          ASSERT_TRUE(value.has_value());
+          EXPECT_EQ(*value, expected);
+        }
+      });
+    }
+    for (auto& thread : threads) thread.join();
+    for (int k = 0; k < kKeys; ++k) {
+      EXPECT_EQ(computes[gen][k].load(), 1)
+          << "generation " << gen << " key " << k;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wadp::serving

@@ -1,0 +1,297 @@
+// ServingFrontend: agreement with ReplicaBroker::select, epoch
+// invalidation end-to-end, shed/reject determinism, and a
+// multi-threaded serve-while-ingest stress (TSan filter: "Thread").
+#include "serving/frontend.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "history/store.hpp"
+#include "mds/giis.hpp"
+#include "replica/broker.hpp"
+#include "replica/catalog.hpp"
+
+namespace wadp::serving {
+namespace {
+
+constexpr const char* kHostA = "dpsslx04.lbl.gov";
+constexpr const char* kHostB = "jet.isi.edu";
+constexpr const char* kClient = "140.221.65.69";
+constexpr Bytes kSize = 10 * kMB;
+constexpr SimTime kNow = 3600.0;
+
+history::SeriesKey series_for(const char* host) {
+  return {.host = host, .remote_ip = kClient,
+          .op = gridftp::Operation::kRead};
+}
+
+/// A minimal serving stack: two replicas of one logical file, history
+/// seeded so kHostB ranks higher, an empty GIIS (fills flow through the
+/// broker's history fallback), and a frontend with the given admission.
+struct Stack {
+  explicit Stack(AdmissionConfig admission = {},
+                 double value_a = 1e6, double value_b = 2e6)
+      : store(std::make_shared<history::HistoryStore>(
+            history::StoreConfig{.instrumented = false})),
+        giis("top"),
+        broker(catalog_init(), giis,
+               replica::SelectionPolicy::kPredictedBest, /*seed=*/1) {
+    for (int i = 0; i < 20; ++i) {
+      store->append(series_for(kHostA),
+                    predict::Observation{.time = 60.0 * i,
+                                         .value = value_a,
+                                         .file_size = kSize});
+      store->append(series_for(kHostB),
+                    predict::Observation{.time = 60.0 * i,
+                                         .value = value_b,
+                                         .file_size = kSize});
+    }
+    broker.bind_history(store.get());
+    ServingConfig config;
+    config.admission = admission;
+    frontend = std::make_unique<ServingFrontend>(broker, catalog, store,
+                                                 config);
+  }
+
+  const replica::ReplicaCatalog& catalog_init() {
+    catalog.add_replica("lfn://demo", {.site = "lbl",
+                                       .server_host = kHostA,
+                                       .path = "/data/demo"});
+    catalog.add_replica("lfn://demo", {.site = "isi",
+                                       .server_host = kHostB,
+                                       .path = "/data/demo"});
+    return catalog;
+  }
+
+  Query query() const {
+    return Query{.logical_name = "lfn://demo",
+                 .client_ip = kClient,
+                 .size = kSize};
+  }
+
+  std::shared_ptr<history::HistoryStore> store;
+  replica::ReplicaCatalog catalog;
+  mds::Giis giis;
+  replica::ReplicaBroker broker;
+  std::unique_ptr<ServingFrontend> frontend;
+};
+
+TEST(ServingFrontendTest, AgreesWithBrokerSelect) {
+  Stack stack;
+  const Answer answer = stack.frontend->select_one(stack.query(), kNow);
+  ASSERT_NE(answer.replica, nullptr);
+  EXPECT_TRUE(answer.informed);
+
+  const auto selection =
+      stack.broker.select("lfn://demo", kClient, kSize, kNow);
+  ASSERT_TRUE(selection.has_value());
+  EXPECT_EQ(answer.replica->server_host, selection->replica.server_host);
+  ASSERT_TRUE(selection->predicted_bandwidth.has_value());
+  ASSERT_TRUE(answer.predicted_bandwidth.has_value());
+  // Same code path computed both (broker::predict_candidate), so the
+  // doubles are bit-identical, not merely close.
+  EXPECT_EQ(*answer.predicted_bandwidth, *selection->predicted_bandwidth);
+  EXPECT_EQ(answer.replica->server_host, kHostB);  // higher seeded mean
+}
+
+TEST(ServingFrontendTest, SteadyStateServesFromCache) {
+  Stack stack;
+  const Answer first = stack.frontend->select_one(stack.query(), kNow);
+  EXPECT_EQ(first.path, AnswerPath::kFilled);
+  for (int i = 0; i < 5; ++i) {
+    const Answer again = stack.frontend->select_one(stack.query(), kNow);
+    EXPECT_EQ(again.path, AnswerPath::kCached);
+    EXPECT_EQ(again.predicted_bandwidth, first.predicted_bandwidth);
+    EXPECT_EQ(again.replica, first.replica);
+  }
+}
+
+TEST(ServingFrontendTest, WatermarkBumpInvalidatesAndRefills) {
+  Stack stack;
+  const Answer before = stack.frontend->select_one(stack.query(), kNow);
+  EXPECT_EQ(before.replica->server_host, kHostB);
+  ASSERT_EQ(stack.frontend->select_one(stack.query(), kNow).path,
+            AnswerPath::kCached);
+
+  // One enormous observation flips the ranking to kHostA; the append
+  // bumps the series watermark, so the cached entry must not be served
+  // as fresh.
+  stack.store->append(series_for(kHostA),
+                      predict::Observation{.time = kNow - 1.0,
+                                           .value = 1e9,
+                                           .file_size = kSize});
+  const Answer after = stack.frontend->select_one(stack.query(), kNow);
+  EXPECT_EQ(after.path, AnswerPath::kFilled);  // stale never served fresh
+  EXPECT_EQ(after.replica->server_host, kHostA);
+
+  const auto selection =
+      stack.broker.select("lfn://demo", kClient, kSize, kNow);
+  ASSERT_TRUE(selection.has_value());
+  EXPECT_EQ(after.replica->server_host, selection->replica.server_host);
+  EXPECT_EQ(*after.predicted_bandwidth, *selection->predicted_bandwidth);
+}
+
+TEST(ServingFrontendTest, ShedServesStaleAnswersWithoutRecompute) {
+  AdmissionConfig admission;
+  admission.admit_rate = 1000.0;
+  admission.admit_burst = 10.0;
+  admission.shed_rate_multiple = 2.0;
+  Stack stack(admission);
+
+  // Warm the cache with the first (admitted) batch, draining the admit
+  // bucket.
+  std::vector<Query> warm(10, stack.query());
+  const auto warmed = stack.frontend->select_many(warm, kNow);
+  ASSERT_EQ(warmed.front().path, AnswerPath::kFilled);
+  const double warm_value = *warmed.front().predicted_bandwidth;
+
+  // Advance the watermark: fresh answers would now differ...
+  stack.store->append(series_for(kHostA),
+                      predict::Observation{.time = kNow - 1.0,
+                                           .value = 1e9,
+                                           .file_size = kSize});
+  // ...but this batch arrives with the admit bucket empty (same virtual
+  // instant), so it is shed to the stale fast path: old value, old
+  // ranking, no recompute.
+  const auto shed = stack.frontend->select_many(warm, kNow);
+  for (const Answer& answer : shed) {
+    EXPECT_EQ(answer.path, AnswerPath::kShed);
+    EXPECT_TRUE(answer.informed);
+    EXPECT_EQ(*answer.predicted_bandwidth, warm_value);
+    EXPECT_EQ(answer.replica->server_host, kHostB);
+  }
+}
+
+TEST(ServingFrontendTest, RejectsOnlyPastTheShedTier) {
+  AdmissionConfig admission;
+  admission.admit_rate = 1000.0;
+  admission.admit_burst = 10.0;
+  admission.shed_rate_multiple = 2.0;  // shed bucket starts at 20
+  Stack stack(admission);
+
+  std::vector<Query> burst(40, stack.query());
+  const auto answers = stack.frontend->select_many(burst, kNow);
+  std::size_t admitted = 0, shed = 0, rejected = 0;
+  for (const Answer& answer : answers) {
+    switch (answer.path) {
+      case AnswerPath::kCached:
+      case AnswerPath::kFilled:
+        ++admitted;
+        break;
+      case AnswerPath::kShed:
+        ++shed;
+        break;
+      case AnswerPath::kRejected:
+        ++rejected;
+        EXPECT_EQ(answer.replica, nullptr);
+        break;
+    }
+  }
+  EXPECT_EQ(admitted, 10u);
+  EXPECT_EQ(shed, 20u);
+  EXPECT_EQ(rejected, 10u);
+}
+
+TEST(ServingFrontendTest, ShedSplitIsDeterministicUnderSeededBurst) {
+  // Two identical stacks fed the identical burst schedule must produce
+  // the identical per-query path sequence — admission runs on virtual
+  // time, so there is nothing wall-clock-dependent to drift.
+  AdmissionConfig admission;
+  admission.admit_rate = 500.0;
+  admission.admit_burst = 16.0;
+  admission.shed_rate_multiple = 4.0;
+
+  const auto run = [&](Stack& stack) {
+    std::vector<AnswerPath> paths;
+    double now = kNow;
+    for (int round = 0; round < 12; ++round) {
+      std::vector<Query> batch(17 + (round % 3) * 7, stack.query());
+      for (const Answer& answer : stack.frontend->select_many(batch, now)) {
+        paths.push_back(answer.path);
+      }
+      if (round == 5) {
+        stack.store->append(series_for(kHostB),
+                            predict::Observation{.time = now,
+                                                 .value = 3e6,
+                                                 .file_size = kSize});
+      }
+      now += 0.01 * (1 + round % 4);
+    }
+    return paths;
+  };
+
+  Stack first(admission);
+  Stack second(admission);
+  EXPECT_EQ(run(first), run(second));
+}
+
+TEST(ServingFrontendTest, UnknownLogicalNameAnswersUninformed) {
+  Stack stack;
+  const Answer answer = stack.frontend->select_one(
+      Query{.logical_name = "lfn://nope", .client_ip = kClient,
+            .size = kSize},
+      kNow);
+  EXPECT_EQ(answer.replica, nullptr);
+  EXPECT_FALSE(answer.informed);
+}
+
+TEST(ServingThreadStressTest, ConcurrentServeAndIngest) {
+  // 8 serving threads over the lock-free read path while an ingest
+  // thread keeps bumping both series' watermarks: exercises cache
+  // seqlock reads vs fills, the watermark cells, and the plan/intern
+  // maps under contention.  Run under TSan in CI.
+  constexpr int kThreads = 8;
+  constexpr int kBatches = 200;
+  constexpr std::size_t kBatch = 16;
+
+  Stack stack;  // admission disabled: every query takes the full path
+  std::atomic<bool> stop{false};
+  std::thread ingester([&] {
+    int i = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      const char* host = (i % 2 == 0) ? kHostA : kHostB;
+      stack.store->append(
+          series_for(host),
+          predict::Observation{.time = kNow + i,
+                               .value = 1e6 + 1e4 * (i % 100),
+                               .file_size = kSize});
+      ++i;
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<std::thread> servers;
+  std::atomic<std::size_t> informed{0};
+  for (int t = 0; t < kThreads; ++t) {
+    servers.emplace_back([&] {
+      std::vector<Query> batch(kBatch, stack.query());
+      for (int b = 0; b < kBatches; ++b) {
+        const auto answers =
+            stack.frontend->select_many(batch, kNow + 1e6 + b);
+        ASSERT_EQ(answers.size(), kBatch);
+        for (const Answer& answer : answers) {
+          ASSERT_NE(answer.replica, nullptr);
+          if (answer.informed) {
+            ASSERT_TRUE(answer.predicted_bandwidth.has_value());
+            ASSERT_GT(*answer.predicted_bandwidth, 0.0);
+          }
+          informed.fetch_add(answer.informed ? 1 : 0,
+                             std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& thread : servers) thread.join();
+  stop.store(true);
+  ingester.join();
+  // The series always have >= 20 observations, so every answer should
+  // have been informed.
+  EXPECT_EQ(informed.load(), static_cast<std::size_t>(kThreads) * kBatches * kBatch);
+}
+
+}  // namespace
+}  // namespace wadp::serving

@@ -32,6 +32,7 @@ UNIT_SUFFIXES = ("_seconds", "_bytes", "_mbps", "_pct", "_ratio", "_ns")
 GAUGE_ALLOWLIST = {
     "wadp_build_info",
     "wadp_resilience_servers_down",
+    "wadp_serving_inflight_queries",
 }
 
 

@@ -38,6 +38,7 @@
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "serving/frontend.hpp"
 #include "util/args.hpp"
 #include "util/stats.hpp"
 #include "util/strings.hpp"
@@ -68,7 +69,9 @@ int usage(const char* error = nullptr) {
                "  wadp resilience [--rate PCT] [--transfers N] [--seed N]\n"
                "  wadp quality   [--transfers N] [--shift N] [--seed N] "
                "[--limit N] [--json]\n"
-               "  wadp trace     --quality [--tree ID] [--limit N]\n");
+               "  wadp trace     --quality [--tree ID] [--limit N]\n"
+               "  wadp serve     [--queries N] [--batch N] [--files N] "
+               "[--overload X] [--seed N]\n");
   return error != nullptr ? 2 : 0;
 }
 
@@ -654,6 +657,143 @@ int cmd_resilience(const util::ArgParser& args) {
   return 0;
 }
 
+/// Synthetic closed-loop load driver for the serving plane: a seeded
+/// query mix over a small replica fleet, periodic ingest ticks bumping
+/// the HistoryStore watermarks, and the frontend's cache / coalescing /
+/// admission stack in between.  Deterministic for a given seed — the
+/// same flags always produce the same admitted/shed/rejected split.
+int cmd_serve(const util::ArgParser& args) {
+  const auto seed =
+      static_cast<std::uint64_t>(args.get_int("seed").value_or(42));
+  const auto total =
+      static_cast<std::size_t>(args.get_int("queries").value_or(200'000));
+  const auto batch =
+      static_cast<std::size_t>(args.get_int("batch").value_or(256));
+  const auto files = static_cast<int>(args.get_int("files").value_or(64));
+  const double overload = args.get_double("overload").value_or(1.0);
+  if (total == 0 || batch == 0) return usage("--queries/--batch must be > 0");
+  if (files <= 0) return usage("--files must be positive");
+  if (overload <= 0.0) return usage("--overload must be > 0");
+
+  // Fleet: three GridFTP hosts (the paper's testbed sites), one client.
+  const std::vector<std::string> sites = {"lbl", "isi", "anl"};
+  const std::vector<std::string> hosts = {
+      "dpsslx04.lbl.gov", "jet.isi.edu", "pitcairn.mcs.anl.gov"};
+  const std::string client_ip = "140.221.65.69";
+  const std::vector<Bytes> size_mix = {1 * kMB, 10 * kMB, 100 * kMB,
+                                       1000 * kMB};
+
+  auto store = std::make_shared<history::HistoryStore>();
+  util::Rng rng(seed);
+  for (std::size_t h = 0; h < hosts.size(); ++h) {
+    const history::SeriesKey key{.host = hosts[h],
+                                 .remote_ip = client_ip,
+                                 .op = gridftp::Operation::kRead};
+    const double base = 2e6 * static_cast<double>(h + 1);
+    for (int i = 0; i < 40; ++i) {
+      store->append(key, predict::Observation{
+                             .time = 60.0 * i,
+                             .value = base * rng.uniform(0.5, 1.5),
+                             .file_size = size_mix[static_cast<std::size_t>(
+                                 rng.uniform_int(0, 3))],
+                             .ok = true});
+    }
+  }
+
+  replica::ReplicaCatalog catalog;
+  std::vector<std::string> lfns;
+  for (int f = 0; f < files; ++f) {
+    std::string lfn = "lfn://data/" + std::to_string(f);
+    // Every file on two hosts, rotating so rankings differ across files.
+    for (int r = 0; r < 2; ++r) {
+      const std::size_t h =
+          static_cast<std::size_t>(f + r) % hosts.size();
+      catalog.add_replica(lfn, {.site = sites[h],
+                                .server_host = hosts[h],
+                                .path = "/data/" + std::to_string(f)});
+    }
+    lfns.push_back(std::move(lfn));
+  }
+
+  // Empty GIIS: fills flow through the broker's history fallback, the
+  // same estimate the provider would publish.
+  mds::Giis giis("top");
+  replica::ReplicaBroker broker(
+      catalog, giis, replica::SelectionPolicy::kPredictedBest, seed);
+  broker.bind_history(store.get());
+
+  serving::ServingConfig config;
+  // Nominal full-path capacity; the offered rate is `overload` times
+  // this, so --overload 1 admits everything and 16 sheds most of it.
+  const double admit_rate = 100'000.0;
+  config.admission.admit_rate = admit_rate;
+  config.admission.admit_burst = static_cast<double>(batch);
+  serving::ServingFrontend frontend(broker, catalog, store, config);
+
+  const double offered_rate = admit_rate * overload;
+  std::size_t tallies[4] = {0, 0, 0, 0};  // cached/filled/shed/rejected
+  std::size_t informed = 0;
+  std::vector<serving::Query> queries(batch);
+  double now = 3600.0;  // after the seeded history
+  std::size_t issued = 0;
+  std::size_t ingest_tick = 0;
+  while (issued < total) {
+    const std::size_t n = std::min(batch, total - issued);
+    for (std::size_t i = 0; i < n; ++i) {
+      queries[i] = serving::Query{
+          .logical_name = lfns[static_cast<std::size_t>(rng.uniform_int(
+              0, static_cast<std::int64_t>(lfns.size()) - 1))],
+          .client_ip = client_ip,
+          .size =
+              size_mix[static_cast<std::size_t>(rng.uniform_int(0, 3))]};
+    }
+    const auto answers =
+        frontend.select_many(std::span(queries.data(), n), now);
+    for (const auto& answer : answers) {
+      ++tallies[static_cast<std::size_t>(answer.path)];
+      if (answer.informed) ++informed;
+    }
+    issued += n;
+    now += static_cast<double>(n) / offered_rate;
+    // Closed loop: every ~50 batches one series takes a fresh
+    // observation, bumping its watermark and invalidating its entries.
+    if (++ingest_tick % 50 == 0) {
+      const std::size_t h = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(hosts.size()) - 1));
+      store->append(
+          history::SeriesKey{.host = hosts[h],
+                             .remote_ip = client_ip,
+                             .op = gridftp::Operation::kRead},
+          predict::Observation{.time = now,
+                               .value = 2e6 * double(h + 1) * rng.uniform(0.5, 1.5),
+                               .file_size = size_mix[static_cast<std::size_t>(
+                                   rng.uniform_int(0, 3))],
+                               .ok = true});
+    }
+  }
+
+  std::printf("serving demo: %zu queries, overload %.1fx, seed %llu\n\n",
+              total, overload, static_cast<unsigned long long>(seed));
+  util::TextTable table({"path", "queries", "%"});
+  table.set_align(0, util::TextTable::Align::Left);
+  const char* labels[4] = {"cached", "filled", "shed", "rejected"};
+  for (std::size_t i = 0; i < 4; ++i) {
+    table.add_row({labels[i], std::to_string(tallies[i]),
+                   util::format("%.2f", 100.0 * static_cast<double>(tallies[i]) /
+                                            static_cast<double>(total))});
+  }
+  std::printf("%s\n", table.render().c_str());
+  const std::size_t worked = tallies[0] + tallies[1];
+  std::printf("informed %.2f%%, cache entries %zu, hit rate %.2f%%\n",
+              100.0 * static_cast<double>(informed) /
+                  static_cast<double>(total),
+              frontend.cache().entries(),
+              worked == 0 ? 0.0
+                          : 100.0 * static_cast<double>(tallies[0]) /
+                                static_cast<double>(worked));
+  return 0;
+}
+
 /// Runs the closed-loop quality demo and reports the online accuracy
 /// join: rolling per-(site, predictor, class) error, drift alarms, and
 /// the broker demotions they caused.
@@ -754,7 +894,8 @@ int main(int argc, char** argv) {
   util::ArgParser args;
   for (const char* name : {"campaign", "seed", "days", "out", "training",
                            "size", "predictor", "host", "limit", "rate",
-                           "transfers", "shift", "tree"}) {
+                           "transfers", "shift", "tree", "queries", "batch",
+                           "files", "overload"}) {
     args.add_option(name);
   }
   args.add_option("extended", /*is_boolean=*/true);
@@ -777,6 +918,7 @@ int main(int argc, char** argv) {
   if (command == "history") return cmd_history(args);
   if (command == "resilience") return cmd_resilience(args);
   if (command == "quality") return cmd_quality(args);
+  if (command == "serve") return cmd_serve(args);
   if (command == "help") return usage();
   return usage(("unknown subcommand: " + command).c_str());
 }
