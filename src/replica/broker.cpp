@@ -33,7 +33,7 @@ ReplicaBroker::ReplicaBroker(const ReplicaCatalog& catalog, mds::Giis& giis,
       rng_(seed),
       classifier_(std::move(classifier)) {}
 
-const mds::Filter& ReplicaBroker::inquiry_filter(
+std::shared_ptr<const mds::Filter> ReplicaBroker::inquiry_filter(
     const std::string& client_ip, const std::string& server_host) {
   // One reusable key buffer: lookups dominate (a fleet has few
   // (client, server) pairs) and must not allocate per call.
@@ -42,32 +42,40 @@ const mds::Filter& ReplicaBroker::inquiry_filter(
   memo_key.append(client_ip);
   memo_key.push_back('\n');
   memo_key.append(server_host);
-  if (const auto it = filter_memo_.find(memo_key); it != filter_memo_.end()) {
-    return it->second;
+  {
+    std::lock_guard<std::mutex> lock(filter_mu_);
+    if (const auto it = filter_memo_.find(memo_key);
+        it != filter_memo_.end()) {
+      return it->second;
+    }
   }
-  constexpr std::size_t kFilterMemoCap = 4096;
-  if (filter_memo_.size() >= kFilterMemoCap) filter_memo_.clear();
   // Direct AST construction: equals() takes the values as literals, so
   // a hostname containing ( ) * \ matches literally without the old
   // escape-format-reparse round trip (and without its unreachable
-  // "parser rejected our own filter" failure mode).
+  // "parser rejected our own filter" failure mode).  Built off-lock;
+  // losing an insert race just means two identical filters, one of
+  // which wins the memo.
   std::vector<mds::Filter> terms;
   terms.reserve(3);
   terms.push_back(mds::Filter::equals("objectclass", "GridFTPPerfInfo"));
   terms.push_back(mds::Filter::equals("cn", client_ip));
   terms.push_back(mds::Filter::equals("hostname", server_host));
-  return filter_memo_
-      .emplace(memo_key, mds::Filter::all_of(std::move(terms)))
-      .first->second;
+  auto filter =
+      std::make_shared<const mds::Filter>(mds::Filter::all_of(std::move(terms)));
+  constexpr std::size_t kFilterMemoCap = 4096;
+  std::lock_guard<std::mutex> lock(filter_mu_);
+  if (filter_memo_.size() >= kFilterMemoCap) filter_memo_.clear();
+  return filter_memo_.emplace(memo_key, std::move(filter)).first->second;
 }
 
 std::optional<Bandwidth> ReplicaBroker::predicted_for(
     const PhysicalReplica& replica, const std::string& client_ip, Bytes size,
     SimTime now) {
   // Inquiry: the performance entry this replica's site published about
-  // past transfers to this client.
-  const auto entries =
-      giis_.search(now, inquiry_filter(client_ip, replica.server_host));
+  // past transfers to this client.  Hold the shared_ptr across the
+  // search: a concurrent memo clear must not free the filter mid-walk.
+  const auto filter = inquiry_filter(client_ip, replica.server_host);
+  const auto entries = giis_.search(now, *filter);
   if (entries.empty()) return std::nullopt;
 
   // Several GIIS paths can carry entries for the same (client, host)

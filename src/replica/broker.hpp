@@ -13,6 +13,8 @@
 
 #include <optional>
 #include <algorithm>
+#include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <unordered_map>
@@ -122,9 +124,13 @@ class ReplicaBroker {
   /// on the two strings.  Built once via Filter::equals/all_of (no text
   /// round-trip) and cached; the memo is cleared if it ever reaches
   /// `kFilterMemoCap` entries (fleet pairs are few; churn implies a
-  /// synthetic sweep that would not re-use them anyway).
-  const mds::Filter& inquiry_filter(const std::string& client_ip,
-                                    const std::string& server_host);
+  /// synthetic sweep that would not re-use them anyway).  The memo has
+  /// its own mutex — a transfer-feedback thread calling select() can
+  /// overlap the serving frontend's fill path — and hands out
+  /// shared_ptrs so a cap-triggered clear never invalidates a filter a
+  /// caller is still searching with.
+  std::shared_ptr<const mds::Filter> inquiry_filter(
+      const std::string& client_ip, const std::string& server_host);
 
   const ReplicaCatalog& catalog_;
   mds::Giis& giis_;
@@ -135,7 +141,9 @@ class ReplicaBroker {
   predict::SizeClassifier classifier_;
   std::size_t round_robin_next_ = 0;
   resilience::CooldownTracker cooldowns_;
-  std::unordered_map<std::string, mds::Filter> filter_memo_;
+  std::mutex filter_mu_;  ///< guards filter_memo_ (off the GIIS hit path)
+  std::unordered_map<std::string, std::shared_ptr<const mds::Filter>>
+      filter_memo_;
 };
 
 }  // namespace wadp::replica

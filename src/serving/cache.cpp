@@ -129,15 +129,19 @@ bool PredictionCache::store(CacheKey key, std::uint64_t watermark,
       return false;
     }
     // Never publish backwards: a delayed fill for an older epoch must
-    // not overwrite a fresher entry.
+    // not overwrite a fresher entry.  A suppressed publish reports
+    // false so callers never count the fill as what the cache now
+    // serves (coalesced_fill re-probes and hands followers the fresher
+    // entry instead).
     const std::uint64_t state = slot.state.load(std::memory_order_relaxed);
     const std::uint64_t packed = ((watermark + 1) << 1) | (value ? 1u : 0u);
-    if (state == 0 || (state >> 1) - 1 <= watermark) {
+    const bool published = state == 0 || (state >> 1) - 1 <= watermark;
+    if (published) {
       slot.value.store(encode(value), std::memory_order_relaxed);
       slot.state.store(packed, std::memory_order_relaxed);
     }
     slot.version.store(ver + 2, std::memory_order_release);
-    return true;
+    return published;
   }
   return false;  // probe window full — caller serves uncached
 }

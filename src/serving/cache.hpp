@@ -96,8 +96,10 @@ class PredictionCache {
   Lookup lookup(CacheKey key, std::uint64_t watermark) const;
 
   /// Publishes `value` computed at epoch `watermark`.  Returns false
-  /// when the probe window held no slot for the key (bypass) or a
-  /// concurrent writer owned the slot (skip — its publish supersedes).
+  /// when the payload was NOT written: the probe window held no slot
+  /// for the key (bypass), a concurrent writer owned the slot (skip —
+  /// its publish supersedes), or the slot already holds a fresher
+  /// epoch (the monotonic guard suppressed this older fill).
   bool store(CacheKey key, std::uint64_t watermark,
              std::optional<double> value);
 

@@ -109,8 +109,26 @@ std::pair<std::optional<double>, bool> coalesced_fill(
       flight.done(key, again.value);
       return {again.value, false};
     }
-    std::optional<double> value = compute();
-    cache.store(key, watermark, value);  // publish BEFORE retiring
+    std::optional<double> value;
+    try {
+      value = compute();
+    } catch (...) {
+      // The leader must retire the flight even on unwind: a flight left
+      // in the table parks every follower forever and leaks one slot of
+      // the bounded table.  Followers receive nullopt — "predictor
+      // declined" is a legal answer — and the next probe refills.
+      flight.done(key, std::nullopt);
+      throw;
+    }
+    if (!cache.store(key, watermark, value)) {  // publish BEFORE retiring
+      // Suppressed publish (a fresher-epoch entry supersedes ours, or
+      // probe-window bypass): hand followers what the cache actually
+      // holds, not our older computation, whenever it holds anything.
+      const PredictionCache::Lookup held = cache.lookup(key, watermark);
+      if (held.outcome != PredictionCache::Outcome::kMiss) {
+        value = held.value;
+      }
+    }
     flight.done(key, value);
     return {value, true};
   }

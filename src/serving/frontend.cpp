@@ -74,13 +74,13 @@ ServingFrontend::ServingFrontend(replica::ReplicaBroker& broker,
                           "Wall-clock latency of one select_many batch");
 }
 
-std::uint32_t ServingFrontend::intern_series(const std::string& host,
-                                             const std::string& client) {
+ServingFrontend::InternedSeries ServingFrontend::intern_series(
+    const std::string& host, const std::string& client) {
   const std::string& key = joined_key(host, client);
   {
     std::shared_lock lock(intern_mu_);
     if (const auto it = series_ids_.find(key); it != series_ids_.end()) {
-      return it->second;
+      return {it->second, series_cells_[it->second - 1].get()};
     }
   }
   // The watermark subscription creates the (possibly still empty)
@@ -89,14 +89,16 @@ std::uint32_t ServingFrontend::intern_series(const std::string& host,
       .host = host, .remote_ip = client, .op = gridftp::Operation::kRead});
   std::unique_lock lock(intern_mu_);
   if (const auto it = series_ids_.find(key); it != series_ids_.end()) {
-    return it->second;  // lost the insert race — first interner wins
+    // Lost the insert race — first interner wins.
+    return {it->second, series_cells_[it->second - 1].get()};
   }
+  const auto* raw = cell.get();
   series_cells_.push_back(std::move(cell));
   // 1-based: pack_key must never produce the cache's 0 = empty sentinel
   // (series id 0 with predictor 0 and class 0 would).
   const auto id = static_cast<std::uint32_t>(series_cells_.size());
   series_ids_.emplace(key, id);
-  return id;
+  return {id, raw};
 }
 
 const ServingFrontend::Plan& ServingFrontend::plan_for(const Query& query) {
@@ -120,8 +122,12 @@ const ServingFrontend::Plan& ServingFrontend::plan_for(const Query& query) {
        catalog_.replicas(std::string(query.logical_name))) {
     Candidate candidate;
     candidate.replica = &replica;
-    candidate.series_id = intern_series(replica.server_host, client);
-    candidate.watermark = series_cells_[candidate.series_id - 1].get();
+    // The cell pointer comes back resolved under intern_mu_: indexing
+    // series_cells_ here would race concurrent interns reallocating it.
+    const InternedSeries interned =
+        intern_series(replica.server_host, client);
+    candidate.series_id = interned.id;
+    candidate.watermark = interned.watermark;
     plan.candidates.push_back(candidate);
   }
   std::unique_lock lock(plan_mu_);

@@ -128,9 +128,17 @@ class ServingFrontend {
     std::vector<Candidate> candidates;
   };
 
+  /// intern_series resolves the watermark cell pointer while holding
+  /// intern_mu_ — series_cells_ may reallocate under a concurrent
+  /// insert, so callers must never index it themselves.
+  struct InternedSeries {
+    std::uint32_t id = 0;
+    const std::atomic<std::uint64_t>* watermark = nullptr;
+  };
+
   const Plan& plan_for(const Query& query);
-  std::uint32_t intern_series(const std::string& host,
-                              const std::string& client);
+  InternedSeries intern_series(const std::string& host,
+                               const std::string& client);
   Answer answer_admitted(const Query& query, SimTime now);
   Answer answer_shed(const Query& query, SimTime now);
 

@@ -75,8 +75,8 @@ TEST(PredictionCacheTest, DelayedOlderFillNeverOverwritesNewer) {
   const CacheKey key = pack_key(9, 0, 0);
   ASSERT_TRUE(cache.store(key, 8, 200.0));
   // A laggard writer finishing a fill computed at epoch 6 must not
-  // publish backwards.
-  ASSERT_TRUE(cache.store(key, 6, 100.0));
+  // publish backwards — and must be told its publish was suppressed.
+  EXPECT_FALSE(cache.store(key, 6, 100.0));
   const auto hit = cache.lookup(key, 8);
   EXPECT_EQ(hit.outcome, Outcome::kHit);
   EXPECT_EQ(hit.value, 200.0);
