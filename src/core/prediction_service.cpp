@@ -300,6 +300,20 @@ PredictionService::predict_all(const SeriesKey& key, Bytes size,
   return out;
 }
 
+std::size_t PredictionService::warm_up() {
+  auto span = obs::Tracer::global().start("predict.warm_up");
+  std::size_t warmed = 0;
+  for (const auto& key : store_->keys()) {
+    const auto snapshot = store_->snapshot(key);
+    if (!snapshot.valid()) continue;
+    std::lock_guard<std::mutex> lock(mu_);
+    catch_up(key, snapshot);
+    ++warmed;
+  }
+  span.set_attr("SERIES", static_cast<std::int64_t>(warmed));
+  return warmed;
+}
+
 std::optional<predict::EvaluationResult> PredictionService::evaluate(
     const SeriesKey& key) const {
   const auto snapshot = store_->snapshot(key);

@@ -102,6 +102,15 @@ class PredictionService {
   /// when the series is too short to evaluate anything.
   std::optional<predict::EvaluationResult> evaluate(const SeriesKey& key) const;
 
+  /// Builds (or extends) the streaming battery for every series the
+  /// store currently holds, so the first query after a restart pays
+  /// no replay.  This is the durability plane's battery catch-up: run
+  /// it after durability::recover() and the streaming state is
+  /// bit-identical to the pre-crash process (same observations, same
+  /// order, same arithmetic — tests/durability/recovery_test proves
+  /// it against the offline Evaluator).  Returns series warmed.
+  std::size_t warm_up();
+
   /// Snapshot of one series (valid()==false when unknown).
   history::SeriesSnapshot series(const SeriesKey& key) const;
   std::vector<SeriesKey> series_keys() const;

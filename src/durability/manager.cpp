@@ -1,0 +1,201 @@
+#include "durability/manager.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+
+#include "obs/trace.hpp"
+#include "util/strings.hpp"
+
+namespace wadp::durability {
+namespace {
+
+namespace fs = std::filesystem;
+
+double seconds_since(const std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// Age of a file in seconds by mtime; 0 when unreadable (a status
+/// display tolerates that better than an error path).
+double file_age_seconds(const std::string& path) {
+  std::error_code ec;
+  const auto mtime = fs::last_write_time(path, ec);
+  if (ec) return 0.0;
+  const auto now = fs::file_time_type::clock::now();
+  const double age = std::chrono::duration<double>(now - mtime).count();
+  return age > 0.0 ? age : 0.0;
+}
+
+}  // namespace
+
+std::string wal_dir(const std::string& root) {
+  return (fs::path(root) / "wal").string();
+}
+
+std::string snapshot_dir(const std::string& root) {
+  return (fs::path(root) / "snapshots").string();
+}
+
+DurabilityManager::DurabilityManager(
+    std::shared_ptr<history::HistoryStore> store, DurabilityConfig config)
+    : config_(std::move(config)),
+      store_(std::move(store)),
+      wal_([this] {
+        WalConfig wal;
+        wal.dir = wal_dir(config_.dir);
+        wal.fsync = config_.fsync;
+        wal.group_commit_records = config_.group_commit_records;
+        wal.segment_bytes = config_.segment_bytes;
+        wal.instrumented = config_.instrumented;
+        return wal;
+      }()) {
+  WADP_CHECK_MSG(store_ != nullptr, "DurabilityManager needs a store");
+  if (config_.keep_snapshots == 0) config_.keep_snapshots = 1;
+  if (config_.instrumented) {
+    auto& registry = obs::Registry::global();
+    metrics_.snapshots = &registry.counter(
+        "wadp_wal_snapshots_total", {},
+        "durability snapshots committed");
+    metrics_.snapshot_write_seconds = &registry.histogram(
+        "wadp_wal_snapshot_write_seconds", {},
+        "wall time to capture+write+commit one snapshot");
+    metrics_.snapshot_age_seconds = &registry.gauge(
+        "wadp_wal_snapshot_age_seconds", {},
+        "seconds since the newest snapshot's manifest committed");
+  }
+}
+
+void DurabilityManager::attach() {
+  store_->add_record_observer(
+      [this](const gridftp::TransferRecord& record) { wal_.append(record); });
+}
+
+Expected<SnapshotMeta> DurabilityManager::snapshot_now() {
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  const auto start = std::chrono::steady_clock::now();
+  auto span = obs::Tracer::global().start("durability.snapshot");
+
+  // Seal first: every LSN assigned before this instant is applied (the
+  // observer runs after the store mutates), so the capture below is
+  // guaranteed to contain it.
+  const std::uint64_t sealed_lsn = wal_.stats().last_lsn;
+  // Make the sealed prefix durable before we let truncation drop it.
+  wal_.flush();
+
+  const std::string snap_dir = snapshot_dir(config_.dir);
+  const std::uint64_t seq = latest_snapshot(snap_dir).value_or(0) + 1;
+  auto meta = write_snapshot(*store_, snap_dir, seq, sealed_lsn);
+  if (!meta.ok()) return meta;
+
+  wal_.truncate_through(sealed_lsn);
+  if (seq + 1 > config_.keep_snapshots) {
+    remove_snapshots_before(snap_dir, seq + 1 - config_.keep_snapshots);
+  }
+
+  if (metrics_.snapshots) {
+    metrics_.snapshots->inc();
+    metrics_.snapshot_write_seconds->record(seconds_since(start));
+    metrics_.snapshot_age_seconds->set(0.0);
+  }
+  return meta;
+}
+
+DurabilityStatus DurabilityManager::status() const {
+  DurabilityStatus status;
+  status.wal = wal_.stats();
+  status.wal_bytes = wal_.size_bytes();
+  const std::string snap_dir = snapshot_dir(config_.dir);
+  status.snapshot_seq = latest_snapshot(snap_dir);
+  if (status.snapshot_seq) {
+    auto meta = read_manifest(snap_dir, *status.snapshot_seq);
+    if (meta.ok()) status.snapshot = meta.value();
+    const std::string manifest =
+        (fs::path(snap_dir) /
+         util::format("snap-%08llu.manifest",
+                      static_cast<unsigned long long>(*status.snapshot_seq)))
+            .string();
+    status.snapshot_age_seconds = file_age_seconds(manifest);
+    if (metrics_.snapshot_age_seconds) {
+      metrics_.snapshot_age_seconds->set(status.snapshot_age_seconds);
+    }
+  }
+  return status;
+}
+
+Expected<RecoveryStats> DurabilityManager::recover(
+    const std::string& root, history::HistoryStore& store) {
+  const auto start = std::chrono::steady_clock::now();
+  auto span = obs::Tracer::global().start("durability.recover");
+
+  if (!store.config().dedupe_records) {
+    return Expected<RecoveryStats>::failure(
+        "recovery requires a store with dedupe_records on: WAL-tail "
+        "replay may overlap the snapshot and must be idempotent");
+  }
+  if (store.total_observations() != 0) {
+    return Expected<RecoveryStats>::failure(
+        "recovery requires an empty store");
+  }
+
+  RecoveryStats stats;
+
+  // 1. Newest valid snapshot, if any.
+  const std::string snap_dir = snapshot_dir(root);
+  if (const auto seq = latest_snapshot(snap_dir)) {
+    auto meta = load_snapshot(snap_dir, *seq, store);
+    if (!meta.ok()) {
+      return Expected<RecoveryStats>::failure("snapshot " +
+                                              std::to_string(*seq) + ": " +
+                                              meta.error());
+    }
+    stats.snapshot_loaded = true;
+    stats.snapshot_seq = meta.value().seq;
+    stats.snapshot_series = meta.value().series;
+    stats.snapshot_observations = meta.value().observations;
+    stats.sealed_lsn = meta.value().sealed_lsn;
+  }
+
+  // 2. WAL tail on top.  LSNs <= sealed are fully inside the snapshot
+  // by the apply-before-log argument; LSNs above it may or may not be
+  // — the dedupe index decides per record.
+  const std::uint64_t dedup_before = store.dedup_skipped();
+  std::size_t offered = 0;
+  const auto replay = WriteAheadLog::replay(
+      wal_dir(root), [&](const WalEntry& entry) {
+        ++stats.frames_replayed;
+        if (entry.lsn <= stats.sealed_lsn) return;
+        ++offered;
+        store.append(entry.record);
+      });
+  stats.torn_frames = replay.torn_frames;
+  stats.records_deduped =
+      static_cast<std::size_t>(store.dedup_skipped() - dedup_before);
+  stats.records_applied = offered - stats.records_deduped;
+
+  stats.seconds = seconds_since(start);
+
+  auto& registry = obs::Registry::global();
+  registry
+      .counter("wadp_recovery_runs_total", {},
+               "recovery passes completed")
+      .inc();
+  registry
+      .counter("wadp_recovery_records_replayed_total", {},
+               "WAL entries visited during recovery")
+      .inc(stats.frames_replayed);
+  registry
+      .counter("wadp_recovery_records_deduped_total", {},
+               "replayed records absorbed by the dedupe index")
+      .inc(stats.records_deduped);
+  registry
+      .histogram("wadp_recovery_seconds", {},
+                 "wall time of one recovery pass")
+      .record(stats.seconds);
+
+  return stats;
+}
+
+}  // namespace wadp::durability

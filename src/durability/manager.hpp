@@ -1,0 +1,134 @@
+// DurabilityManager: the durability plane's assembly point.
+//
+// Wires the three mechanisms (WAL, snapshots, recovery) onto one
+// HistoryStore:
+//
+//   * attach() registers a record observer on the store, so every
+//     record-level ingest is appended to the WAL *after* the store
+//     applies it (apply-before-log — see wal.hpp);
+//   * snapshot_now() seals the WAL at its current last LSN, writes a
+//     point-in-time snapshot of the whole store, truncates WAL
+//     segments the seal covers, and prunes old snapshots past the
+//     retention count;
+//   * recover() (static — it runs before any WAL object exists) loads
+//     the newest valid snapshot into an empty store, then replays the
+//     WAL tail on top.  Entries at or below the snapshot's sealed LSN
+//     are skipped outright; entries above it may still overlap what
+//     the snapshot captured (apply-before-log races the capture), and
+//     those are absorbed by the store's dedupe index — which is why a
+//     recovered store must be built with StoreConfig::dedupe_records
+//     on (recover() checks).
+//
+// The recovery contract is *bit-identical* state: the restored series
+// hold the exact observation doubles, epochs, generations and
+// eviction counters of the pre-crash store, so streaming-predictor
+// batteries rebuilt from them (core::PredictionService::warm_up) and
+// serving-cache watermarks validate exactly as they would have.
+// tests/durability/recovery_test asserts this with EXPECT_DOUBLE_EQ
+// against the offline predict::Evaluator.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "durability/snapshot.hpp"
+#include "durability/wal.hpp"
+#include "history/store.hpp"
+#include "obs/metrics.hpp"
+#include "util/error.hpp"
+
+namespace wadp::durability {
+
+struct DurabilityConfig {
+  /// Root directory; the WAL lives in <dir>/wal, snapshots in
+  /// <dir>/snapshots.
+  std::string dir;
+  FsyncPolicy fsync = FsyncPolicy::kBatch;
+  std::size_t group_commit_records = 64;
+  std::size_t segment_bytes = 8u << 20;
+  /// Snapshots retained after a successful snapshot_now() (>= 1).
+  std::uint64_t keep_snapshots = 2;
+  bool instrumented = true;
+};
+
+/// Directory layout helpers (recovery and the CLI need them before a
+/// manager exists).
+std::string wal_dir(const std::string& root);
+std::string snapshot_dir(const std::string& root);
+
+/// What recover() did, for logs / the CLI / tests.
+struct RecoveryStats {
+  bool snapshot_loaded = false;
+  std::uint64_t snapshot_seq = 0;
+  std::size_t snapshot_series = 0;
+  std::size_t snapshot_observations = 0;
+  std::uint64_t sealed_lsn = 0;       ///< replay skipped LSNs <= this
+  std::size_t frames_replayed = 0;    ///< valid WAL entries visited
+  std::size_t records_applied = 0;    ///< entries the store accepted
+  std::size_t records_deduped = 0;    ///< entries the dedupe index ate
+  std::size_t torn_frames = 0;        ///< frames the replay refused
+  double seconds = 0.0;               ///< wall time of the whole pass
+};
+
+/// Point-in-time status for `wadp durability` and the info provider.
+struct DurabilityStatus {
+  WalStats wal;
+  std::uint64_t wal_bytes = 0;
+  std::optional<std::uint64_t> snapshot_seq;
+  SnapshotMeta snapshot;              ///< meaningful iff snapshot_seq
+  double snapshot_age_seconds = 0.0;  ///< since manifest commit
+};
+
+class DurabilityManager {
+ public:
+  /// Opens (or creates) the WAL under `config.dir` and binds to
+  /// `store`.  Does NOT recover and does NOT attach — the calling
+  /// order is: recover() into the store, construct the manager,
+  /// attach(), then wire producers.
+  DurabilityManager(std::shared_ptr<history::HistoryStore> store,
+                    DurabilityConfig config);
+
+  DurabilityManager(const DurabilityManager&) = delete;
+  DurabilityManager& operator=(const DurabilityManager&) = delete;
+
+  /// Rebuilds `store` from the newest valid snapshot plus the WAL
+  /// tail under `root`.  The store must be empty and must have
+  /// dedupe_records on (checked); a missing directory recovers to an
+  /// empty store (stats say so) — first boot is not an error.
+  static Expected<RecoveryStats> recover(const std::string& root,
+                                         history::HistoryStore& store);
+
+  /// Registers the WAL as a record observer on the store.  Call once.
+  void attach();
+
+  /// Seals, snapshots, truncates, prunes.  Safe to call concurrently
+  /// with ingest (capture leases, never stalls producers).
+  Expected<SnapshotMeta> snapshot_now();
+
+  /// Flushes any pending WAL batch (shutdown hook).
+  void flush() { wal_.flush(); }
+
+  DurabilityStatus status() const;
+
+  WriteAheadLog& wal() { return wal_; }
+  const DurabilityConfig& config() const { return config_; }
+
+ private:
+  DurabilityConfig config_;
+  std::shared_ptr<history::HistoryStore> store_;
+  WriteAheadLog wal_;
+  /// Serializes snapshot_now() callers (ingest is unaffected).
+  std::mutex snapshot_mu_;
+
+  struct Metrics {
+    obs::Counter* snapshots = nullptr;
+    obs::Histogram* snapshot_write_seconds = nullptr;
+    obs::Gauge* snapshot_age_seconds = nullptr;
+  };
+  Metrics metrics_;
+};
+
+}  // namespace wadp::durability

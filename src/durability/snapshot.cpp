@@ -1,0 +1,357 @@
+#include "durability/snapshot.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "durability/codec.hpp"
+#include "util/strings.hpp"
+#include "util/ulm.hpp"
+
+namespace wadp::durability {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr std::string_view kShardMagic = "WADPSNP\x01";
+constexpr std::uint32_t kSnapshotVersion = 1;
+
+std::string shard_file_name(std::uint64_t seq, std::size_t shard) {
+  return util::format("snap-%08llu-%03zu.shard",
+                      static_cast<unsigned long long>(seq), shard);
+}
+
+std::string manifest_name(std::uint64_t seq) {
+  return util::format("snap-%08llu.manifest",
+                      static_cast<unsigned long long>(seq));
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return {};
+  std::ostringstream out;
+  out << in.rdbuf();
+  return std::move(out).str();
+}
+
+/// Serializes one shard's series into the file body (the part the
+/// manifest CRC covers, after the fixed header).
+std::string encode_shard_body(const std::vector<history::SeriesExport>& series) {
+  ByteWriter w;
+  w.u64(series.size());
+  for (const auto& exported : series) {
+    w.str(exported.key.host);
+    w.str(exported.key.remote_ip);
+    w.u8(exported.key.op == gridftp::Operation::kWrite ? 1 : 0);
+    w.u64(exported.snapshot.epoch());
+    w.u64(exported.snapshot.generation());
+    w.u64(exported.snapshot.evicted());
+    const auto& observations = exported.snapshot.observations();
+    w.u64(observations.size());
+    for (const auto& obs : observations) {
+      w.f64(obs.time);
+      w.f64(obs.value);
+      w.u64(obs.file_size);
+      w.u8(obs.ok ? 1 : 0);
+    }
+    w.u64(exported.hashes.size());
+    for (const std::uint64_t hash : exported.hashes) w.u64(hash);
+  }
+  return w.take();
+}
+
+struct DecodedSeries {
+  history::SeriesKey key;
+  std::vector<predict::Observation> observations;
+  std::uint64_t epoch = 0;
+  std::uint64_t generation = 0;
+  std::uint64_t evicted = 0;
+  std::vector<std::uint64_t> hashes;
+};
+
+bool decode_shard_body(std::string_view body,
+                       std::vector<DecodedSeries>& out) {
+  ByteReader reader(body);
+  std::uint64_t series_count = 0;
+  if (!reader.u64(series_count)) return false;
+  out.reserve(out.size() + series_count);
+  for (std::uint64_t s = 0; s < series_count; ++s) {
+    DecodedSeries decoded;
+    std::uint8_t op = 0;
+    std::uint64_t obs_count = 0;
+    if (!reader.str(decoded.key.host) || !reader.str(decoded.key.remote_ip) ||
+        !reader.u8(op) || !reader.u64(decoded.epoch) ||
+        !reader.u64(decoded.generation) || !reader.u64(decoded.evicted) ||
+        !reader.u64(obs_count)) {
+      return false;
+    }
+    decoded.key.op =
+        op == 1 ? gridftp::Operation::kWrite : gridftp::Operation::kRead;
+    decoded.observations.reserve(obs_count);
+    for (std::uint64_t i = 0; i < obs_count; ++i) {
+      predict::Observation obs;
+      std::uint8_t ok = 1;
+      if (!reader.f64(obs.time) || !reader.f64(obs.value) ||
+          !reader.u64(obs.file_size) || !reader.u8(ok)) {
+        return false;
+      }
+      obs.ok = ok != 0;
+      decoded.observations.push_back(obs);
+    }
+    std::uint64_t hash_count = 0;
+    if (!reader.u64(hash_count)) return false;
+    decoded.hashes.reserve(hash_count);
+    for (std::uint64_t i = 0; i < hash_count; ++i) {
+      std::uint64_t hash = 0;
+      if (!reader.u64(hash)) return false;
+      decoded.hashes.push_back(hash);
+    }
+    out.push_back(std::move(decoded));
+  }
+  return true;
+}
+
+struct ManifestShard {
+  std::size_t index = 0;
+  std::string file;
+  std::uint64_t bytes = 0;
+  std::uint32_t crc = 0;
+};
+
+struct Manifest {
+  SnapshotMeta meta;
+  std::vector<ManifestShard> shards;
+};
+
+std::optional<Manifest> parse_manifest(const std::string& text) {
+  Manifest manifest;
+  std::istringstream in(text);
+  std::string line;
+  bool header = false, footer = false;
+  while (std::getline(in, line)) {
+    const auto record = util::UlmRecord::parse(line);
+    if (!record) return std::nullopt;
+    const auto kind = record->get("KIND");
+    if (!kind) continue;
+    if (*kind == "snapshot") {
+      const auto version = record->get_int("VERSION");
+      if (!version || *version != kSnapshotVersion) return std::nullopt;
+      manifest.meta.seq = static_cast<std::uint64_t>(
+          record->get_int("SEQ").value_or(0));
+      manifest.meta.sealed_lsn = static_cast<std::uint64_t>(
+          record->get_int("SEALED_LSN").value_or(0));
+      manifest.meta.series = static_cast<std::size_t>(
+          record->get_int("SERIES").value_or(0));
+      manifest.meta.observations = static_cast<std::size_t>(
+          record->get_int("OBSERVATIONS").value_or(0));
+      header = true;
+    } else if (*kind == "shard") {
+      ManifestShard shard;
+      shard.index =
+          static_cast<std::size_t>(record->get_int("INDEX").value_or(0));
+      shard.file = std::string(record->get("FILE").value_or(""));
+      shard.bytes = static_cast<std::uint64_t>(
+          record->get_int("BYTES").value_or(0));
+      shard.crc = static_cast<std::uint32_t>(
+          record->get_int("CRC").value_or(0));
+      if (shard.file.empty()) return std::nullopt;
+      manifest.shards.push_back(std::move(shard));
+    } else if (*kind == "end") {
+      footer = true;
+    }
+  }
+  // A manifest without its end line was cut mid-write: not committed.
+  if (!header || !footer) return std::nullopt;
+  manifest.meta.shard_files = manifest.shards.size();
+  for (const auto& shard : manifest.shards) {
+    manifest.meta.bytes += shard.bytes;
+  }
+  return manifest;
+}
+
+}  // namespace
+
+Expected<SnapshotMeta> write_snapshot(const history::HistoryStore& store,
+                                      const std::string& dir,
+                                      std::uint64_t seq,
+                                      std::uint64_t sealed_lsn) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return Expected<SnapshotMeta>::failure("cannot create snapshot dir: " +
+                                           ec.message());
+  }
+  SnapshotMeta meta;
+  meta.seq = seq;
+  meta.sealed_lsn = sealed_lsn;
+  std::vector<ManifestShard> shards;
+  for (std::size_t shard = 0; shard < store.shard_count(); ++shard) {
+    // Capture under the shard lock (cheap), serialize and write with
+    // the lock dropped; the leases keep the vectors frozen meanwhile.
+    const auto exported = store.export_shard(shard);
+    if (exported.empty()) continue;
+    for (const auto& series : exported) {
+      ++meta.series;
+      meta.observations += series.snapshot.size();
+    }
+    ByteWriter header;
+    header.raw(kShardMagic);
+    header.u32(kSnapshotVersion);
+    header.u32(static_cast<std::uint32_t>(shard));
+    const std::string body = encode_shard_body(exported);
+
+    const std::string name = shard_file_name(seq, shard);
+    const std::string path = (fs::path(dir) / name).string();
+    {
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      if (!out) {
+        return Expected<SnapshotMeta>::failure("cannot write " + path);
+      }
+      out.write(header.bytes().data(),
+                static_cast<std::streamsize>(header.size()));
+      out.write(body.data(), static_cast<std::streamsize>(body.size()));
+      if (!out) {
+        return Expected<SnapshotMeta>::failure("short write to " + path);
+      }
+    }
+    ManifestShard entry;
+    entry.index = shard;
+    entry.file = name;
+    entry.bytes = header.size() + body.size();
+    entry.crc = crc32c(body);
+    meta.bytes += entry.bytes;
+    shards.push_back(std::move(entry));
+  }
+
+  // Manifest last: temp file + rename is the commit point.
+  std::string text;
+  {
+    util::UlmRecord record;
+    record.set("KIND", "snapshot");
+    record.set_int("VERSION", kSnapshotVersion);
+    record.set_int("SEQ", static_cast<std::int64_t>(seq));
+    record.set_int("SEALED_LSN", static_cast<std::int64_t>(sealed_lsn));
+    record.set_int("SERIES", static_cast<std::int64_t>(meta.series));
+    record.set_int("OBSERVATIONS",
+                   static_cast<std::int64_t>(meta.observations));
+    text += record.to_line() + "\n";
+  }
+  for (const auto& shard : shards) {
+    util::UlmRecord record;
+    record.set("KIND", "shard");
+    record.set_int("INDEX", static_cast<std::int64_t>(shard.index));
+    record.set("FILE", shard.file);
+    record.set_int("BYTES", static_cast<std::int64_t>(shard.bytes));
+    record.set_int("CRC", static_cast<std::int64_t>(shard.crc));
+    text += record.to_line() + "\n";
+  }
+  {
+    util::UlmRecord record;
+    record.set("KIND", "end");
+    text += record.to_line() + "\n";
+  }
+  const std::string final_path =
+      (fs::path(dir) / manifest_name(seq)).string();
+  const std::string temp_path = final_path + ".tmp";
+  {
+    std::ofstream out(temp_path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Expected<SnapshotMeta>::failure("cannot write " + temp_path);
+    }
+    out << text;
+  }
+  fs::rename(temp_path, final_path, ec);
+  if (ec) {
+    return Expected<SnapshotMeta>::failure("cannot commit manifest: " +
+                                           ec.message());
+  }
+  meta.shard_files = shards.size();
+  return meta;
+}
+
+std::optional<std::uint64_t> latest_snapshot(const std::string& dir) {
+  std::optional<std::uint64_t> best;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (!name.starts_with("snap-") || !name.ends_with(".manifest")) continue;
+    const auto manifest = parse_manifest(slurp(entry.path().string()));
+    if (!manifest) continue;
+    if (!best || manifest->meta.seq > *best) best = manifest->meta.seq;
+  }
+  return best;
+}
+
+Expected<SnapshotMeta> read_manifest(const std::string& dir,
+                                     std::uint64_t seq) {
+  const std::string path = (fs::path(dir) / manifest_name(seq)).string();
+  const auto manifest = parse_manifest(slurp(path));
+  if (!manifest) {
+    return Expected<SnapshotMeta>::failure("no valid manifest: " + path);
+  }
+  return manifest->meta;
+}
+
+Expected<SnapshotMeta> load_snapshot(const std::string& dir,
+                                     std::uint64_t seq,
+                                     history::HistoryStore& store) {
+  const std::string manifest_path =
+      (fs::path(dir) / manifest_name(seq)).string();
+  const auto manifest = parse_manifest(slurp(manifest_path));
+  if (!manifest) {
+    return Expected<SnapshotMeta>::failure("no valid manifest: " +
+                                           manifest_path);
+  }
+  for (const auto& shard : manifest->shards) {
+    const std::string path = (fs::path(dir) / shard.file).string();
+    const std::string data = slurp(path);
+    if (data.size() != shard.bytes) {
+      return Expected<SnapshotMeta>::failure(
+          util::format("%s: %zu bytes, manifest says %llu", path.c_str(),
+                       data.size(),
+                       static_cast<unsigned long long>(shard.bytes)));
+    }
+    constexpr std::size_t kHeaderBytes = 8 + 4 + 4;
+    if (data.size() < kHeaderBytes ||
+        std::string_view(data).substr(0, kShardMagic.size()) != kShardMagic) {
+      return Expected<SnapshotMeta>::failure(path + ": bad shard header");
+    }
+    const std::string_view body = std::string_view(data).substr(kHeaderBytes);
+    if (crc32c(body) != shard.crc) {
+      return Expected<SnapshotMeta>::failure(path + ": checksum mismatch");
+    }
+    std::vector<DecodedSeries> decoded;
+    if (!decode_shard_body(body, decoded)) {
+      return Expected<SnapshotMeta>::failure(path + ": truncated body");
+    }
+    for (auto& series : decoded) {
+      store.restore_series(series.key, std::move(series.observations),
+                           series.epoch, series.generation, series.evicted,
+                           std::move(series.hashes));
+    }
+  }
+  return manifest->meta;
+}
+
+std::size_t remove_snapshots_before(const std::string& dir,
+                                    std::uint64_t keep_seq) {
+  std::size_t removed = 0;
+  std::error_code ec;
+  std::vector<fs::path> doomed;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (!name.starts_with("snap-")) continue;
+    // snap-XXXXXXXX… — parse the 8-digit sequence.
+    unsigned long long seq = 0;
+    if (std::sscanf(name.c_str(), "snap-%8llu", &seq) != 1) continue;
+    if (seq < keep_seq) doomed.push_back(entry.path());
+  }
+  for (const auto& path : doomed) {
+    std::error_code remove_ec;
+    if (fs::remove(path, remove_ec) && !remove_ec) ++removed;
+  }
+  return removed;
+}
+
+}  // namespace wadp::durability

@@ -1,0 +1,73 @@
+// Point-in-time snapshots of the HistoryStore.
+//
+// A snapshot is one binary file per store shard plus a manifest that
+// commits it.  Capture takes each shard's lock only long enough to
+// lease the series' immutable observation vectors and copy their
+// dedupe hashes (HistoryStore::export_shard); serialization and file
+// I/O happen entirely outside the locks, so ingest never stalls
+// behind a snapshot being written.
+//
+// The manifest is the commit point: it is written last (temp file,
+// then rename) and names every shard file with its byte count and
+// CRC32C.  Recovery only trusts a snapshot whose manifest exists and
+// whose shard files all verify — a crash mid-snapshot leaves the
+// previous snapshot as the latest valid one.
+//
+// `sealed_lsn` is the WAL's last assigned LSN *at capture start*.
+// Because the ingest hook applies to the store before appending to
+// the WAL (apply-before-log), every record with LSN <= sealed_lsn was
+// already applied when its series was captured — so WAL segments
+// wholly at or below the sealed LSN are safe to truncate, and replay
+// only needs the tail.  Records captured with LSN *above* the seal
+// are replayed again and absorbed by the dedupe index.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "history/store.hpp"
+#include "util/error.hpp"
+
+namespace wadp::durability {
+
+struct SnapshotMeta {
+  std::uint64_t seq = 0;         ///< snapshot sequence number
+  std::uint64_t sealed_lsn = 0;  ///< WAL watermark the snapshot seals
+  std::size_t shard_files = 0;
+  std::size_t series = 0;
+  std::size_t observations = 0;
+  std::uint64_t bytes = 0;       ///< shard-file bytes on disk
+};
+
+/// Writes snapshot `seq` of `store` into `dir`.  Returns the metadata
+/// on success; failure (disk full, unwritable dir) leaves no manifest
+/// behind, so the snapshot simply does not exist.
+Expected<SnapshotMeta> write_snapshot(const history::HistoryStore& store,
+                                      const std::string& dir,
+                                      std::uint64_t seq,
+                                      std::uint64_t sealed_lsn);
+
+/// Sequence number of the newest snapshot in `dir` whose manifest
+/// parses; nullopt when none exists.
+std::optional<std::uint64_t> latest_snapshot(const std::string& dir);
+
+/// Loads snapshot `seq` into `store` via restore_series.  Every shard
+/// file must exist and match its manifest CRC; a damaged file fails
+/// the whole load (the caller falls back to an older snapshot or a
+/// full WAL replay).  Returns the manifest metadata.
+Expected<SnapshotMeta> load_snapshot(const std::string& dir,
+                                     std::uint64_t seq,
+                                     history::HistoryStore& store);
+
+/// Reads just the manifest of snapshot `seq` (for status displays).
+Expected<SnapshotMeta> read_manifest(const std::string& dir,
+                                     std::uint64_t seq);
+
+/// Deletes snapshots older than `keep_seq` (manifest + shard files).
+/// Returns files removed.
+std::size_t remove_snapshots_before(const std::string& dir,
+                                    std::uint64_t keep_seq);
+
+}  // namespace wadp::durability

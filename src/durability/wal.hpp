@@ -1,0 +1,161 @@
+// Write-ahead log for HistoryStore ingest.
+//
+// Every transfer record the store applies is appended here as a
+// CRC32C-framed binary entry (codec.hpp) carrying a monotone log
+// sequence number.  The durability contract is *apply-before-log*:
+// the store mutates first, the WAL observer appends second, so a
+// record is durable once its batch reaches the segment file — and a
+// record lost in the pre-flush window is indistinguishable from one
+// that never arrived (same as any fsync'd system loses its tail).
+// That ordering is also what makes a snapshot's sealed LSN a safe
+// truncation bound: see docs/DURABILITY.md for the proof sketch.
+//
+// Appends are batched (group commit): entries accumulate in an
+// in-memory buffer and reach the file as one write when the batch
+// fills, the policy demands it, or flush() is called.  The fsync
+// policy decides what "durable" costs:
+//
+//   kNone   — write() only; the OS page cache owns the tail.
+//   kBatch  — one fsync per flushed batch (the default).
+//   kAlways — every append flushes and fsyncs (group size 1).
+//
+// Segments rotate at a byte bound; each segment file records the base
+// LSN it starts at, so truncation can drop whole segments that a
+// snapshot seals without reading them.  Replay is torn-tail tolerant:
+// it stops cleanly at the last valid frame, counts what it refused in
+// wadp_wal_torn_frames_total, and never aborts the process.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "durability/codec.hpp"
+#include "gridftp/record.hpp"
+#include "obs/metrics.hpp"
+
+namespace wadp::durability {
+
+enum class FsyncPolicy {
+  kNone,    ///< buffered writes only; fastest, loses the OS cache on power cut
+  kBatch,   ///< fsync once per group-commit batch
+  kAlways,  ///< fsync every record (group commit degenerates to size 1)
+};
+
+const char* to_string(FsyncPolicy policy);
+
+struct WalConfig {
+  /// Directory holding the segment files (created if missing).
+  std::string dir;
+  FsyncPolicy fsync = FsyncPolicy::kBatch;
+  /// Records per group-commit batch (>=1).  kAlways ignores this.
+  std::size_t group_commit_records = 64;
+  /// Rotate to a fresh segment once the current one exceeds this.
+  std::size_t segment_bytes = 8u << 20;
+  /// Register obs/ metrics (ephemeral WALs in tests switch this off).
+  bool instrumented = true;
+};
+
+struct WalStats {
+  std::uint64_t appended = 0;       ///< entries accepted by append()
+  std::uint64_t batches = 0;        ///< group commits written
+  std::uint64_t fsyncs = 0;         ///< fsync() calls issued
+  std::uint64_t bytes_written = 0;  ///< framed bytes reaching segments
+  std::uint64_t last_lsn = 0;       ///< highest LSN assigned
+  std::uint64_t durable_lsn = 0;    ///< highest LSN flushed to a segment
+  std::size_t segments = 0;         ///< segment files on disk
+};
+
+/// What a replay pass over the segment files saw.
+struct ReplayStats {
+  std::size_t entries = 0;      ///< checksum-valid entries delivered
+  std::size_t torn_frames = 0;  ///< frames refused (torn tail / bad CRC)
+  std::size_t segments = 0;     ///< segment files visited
+  std::uint64_t max_lsn = 0;    ///< highest LSN delivered
+  std::uint64_t bytes = 0;      ///< bytes consumed as valid frames
+  bool stopped_early = false;   ///< a torn/corrupt frame ended the pass
+};
+
+class WriteAheadLog {
+ public:
+  /// Opens `config.dir` (scanning existing segments to continue the
+  /// LSN sequence past them) and starts a fresh segment — appending
+  /// after a possibly-torn tail is never attempted.
+  explicit WriteAheadLog(WalConfig config);
+  ~WriteAheadLog();
+
+  WriteAheadLog(const WriteAheadLog&) = delete;
+  WriteAheadLog& operator=(const WriteAheadLog&) = delete;
+
+  /// Appends one record; returns its LSN.  Thread-safe.
+  std::uint64_t append(const gridftp::TransferRecord& record);
+
+  /// Writes (and per policy fsyncs) any pending batch.
+  void flush();
+
+  WalStats stats() const;
+
+  /// Deletes whole segments whose every entry has LSN <= `lsn` (the
+  /// active segment always survives).  Returns segments removed.
+  std::size_t truncate_through(std::uint64_t lsn);
+
+  /// Sorted segment paths currently on disk.
+  std::vector<std::string> segments() const;
+
+  /// Bytes on disk across all segments.
+  std::uint64_t size_bytes() const;
+
+  const WalConfig& config() const { return config_; }
+
+  /// Replays every segment of `dir` in LSN order, invoking `fn` per
+  /// valid entry.  Stops — cleanly — at the first torn or corrupt
+  /// frame; everything after it (same segment or later ones) is
+  /// considered lost tail.  Counts refusals in
+  /// wadp_wal_torn_frames_total.  Never throws, never aborts.
+  using EntryFn = std::function<void(const WalEntry&)>;
+  static ReplayStats replay(const std::string& dir, const EntryFn& fn);
+
+  /// Sorted segment paths under `dir` (static: recovery runs before
+  /// any WriteAheadLog object exists).
+  static std::vector<std::string> list_segments(const std::string& dir);
+
+ private:
+  void open_segment_locked(std::uint64_t base_lsn);
+  /// Flushes the pending batch.  Takes `mu_` held via `lock`; releases
+  /// it around the file write + fsync (single-flusher protocol, see
+  /// the .cpp) so producers keep appending while the disk syncs, and
+  /// reacquires it before returning.  On return the caller's batch is
+  /// durable per policy.
+  void flush_with_lock(std::unique_lock<std::mutex>& lock);
+
+  WalConfig config_;
+  mutable std::mutex mu_;
+  std::condition_variable flush_cv_;
+  bool flushing_ = false;           // a thread is in the unlocked IO window
+  std::FILE* file_ = nullptr;       // active segment
+  std::string file_path_;
+  std::uint64_t segment_written_ = 0;  // bytes in the active segment
+  std::string pending_;                // framed, not yet written
+  std::string io_buf_;                 // batch being written (flusher-owned)
+  std::size_t pending_records_ = 0;
+  std::uint64_t first_pending_lsn_ = 0;
+  std::uint64_t next_lsn_ = 1;
+  WalStats stats_;
+
+  struct Metrics {
+    obs::Counter* appends = nullptr;
+    obs::Counter* batches = nullptr;
+    obs::Counter* fsyncs = nullptr;
+    obs::Counter* written_bytes = nullptr;
+    obs::Counter* truncated_segments = nullptr;
+    obs::Gauge* size_bytes = nullptr;
+    obs::Gauge* segments = nullptr;
+  };
+  Metrics metrics_;
+};
+
+}  // namespace wadp::durability

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstring>
 
 #include "history/adapter.hpp"
 #include "obs/context.hpp"
@@ -25,6 +26,16 @@ std::size_t round_up_pow2(std::size_t n) {
 const std::vector<predict::Observation>& empty_series() {
   static const std::vector<predict::Observation> kEmpty;
   return kEmpty;
+}
+
+std::uint64_t mix64(std::uint64_t x) {
+  // splitmix64 finalizer: full avalanche over both inputs' bits.
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdull;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ull;
+  x ^= x >> 33;
+  return x;
 }
 
 }  // namespace
@@ -122,6 +133,9 @@ HistoryStore::HistoryStore(StoreConfig config) : config_(config) {
   metrics_.out_of_order = &registry.counter(
       "wadp_history_out_of_order_total", {},
       "Appends that arrived out of time order (generation bumps)");
+  metrics_.dedup_skipped = &registry.counter(
+      "wadp_history_dedup_skipped_total", {},
+      "Record appends skipped by the (timestamp, trace_id) dedupe index");
   metrics_.evicted = &registry.counter(
       "wadp_history_evicted_total", {},
       "Observations evicted by the per-series retention cap");
@@ -161,8 +175,24 @@ std::unique_lock<std::mutex> HistoryStore::lock_shard(
   return lock;
 }
 
+std::uint64_t HistoryStore::record_hash(const gridftp::TransferRecord& record) {
+  std::uint64_t time_bits = 0;
+  static_assert(sizeof(time_bits) == sizeof(record.end_time));
+  std::memcpy(&time_bits, &record.end_time, sizeof(time_bits));
+  return mix64(time_bits * 0x9e3779b97f4a7c15ull ^
+               mix64(record.trace_id + 0x632be59bd9b4e019ull));
+}
+
 std::uint64_t HistoryStore::append(const SeriesKey& key,
                                    const predict::Observation& obs) {
+  bool applied = true;
+  return append_obs(key, obs, nullptr, &applied);
+}
+
+std::uint64_t HistoryStore::append_obs(const SeriesKey& key,
+                                       const predict::Observation& obs,
+                                       const std::uint64_t* dedupe_hash,
+                                       bool* applied) {
   const std::size_t shard_index = hash_of(key) & (shards_.size() - 1);
   Shard& shard = *shards_[shard_index];
   bool out_of_order = false;
@@ -176,6 +206,16 @@ std::uint64_t HistoryStore::append(const SeriesKey& key,
   {
     auto lock = lock_shard(shard);
     Series& series = shard.series[key];
+    if (dedupe_hash != nullptr && !series.seen.insert(*dedupe_hash).second) {
+      // Already ingested (WAL replay over a snapshot, or a log
+      // backfill after recovery): leave the series untouched.
+      *applied = false;
+      dedup_skipped_.fetch_add(1, std::memory_order_relaxed);
+      const std::uint64_t current = series.epoch;
+      lock.unlock();
+      if (metrics_.dedup_skipped != nullptr) metrics_.dedup_skipped->inc();
+      return current;
+    }
     if (!series.data) {
       series.data = std::make_shared<std::vector<predict::Observation>>();
     }
@@ -244,8 +284,18 @@ std::uint64_t HistoryStore::append(const SeriesKey& key,
 }
 
 std::uint64_t HistoryStore::append(const gridftp::TransferRecord& record) {
-  const std::uint64_t epoch =
-      append(series_key_for(record), to_observation(record));
+  std::uint64_t hash = 0;
+  const std::uint64_t* dedupe_hash = nullptr;
+  if (config_.dedupe_records) {
+    hash = record_hash(record);
+    dedupe_hash = &hash;
+  }
+  bool applied = true;
+  const std::uint64_t epoch = append_obs(
+      series_key_for(record), to_observation(record), dedupe_hash, &applied);
+  // A deduplicated record changed nothing: no observer (the quality
+  // tracker must not re-join it) and no ingest span.
+  if (!applied) return epoch;
   std::shared_ptr<const std::vector<RecordObserver>> observers;
   {
     const std::lock_guard<std::mutex> lock(observers_mu_);
@@ -311,6 +361,62 @@ SeriesSnapshot HistoryStore::snapshot(const SeriesKey& key) const {
     metrics_.snapshot_age->set(age);
   }
   return snap;
+}
+
+std::vector<SeriesExport> HistoryStore::export_shard(
+    std::size_t shard_index) const {
+  WADP_CHECK_MSG(shard_index < shards_.size(), "export: no such shard");
+  std::vector<SeriesExport> out;
+  const Shard& shard = *shards_[shard_index];
+  auto lock = lock_shard(shard);
+  out.reserve(shard.series.size());
+  for (const auto& [key, series] : shard.series) {
+    if (!series.data) continue;  // watermark-only subscription, nothing to save
+    SeriesExport exported;
+    exported.key = key;
+    exported.snapshot.data_ = series.data;
+    series.readers->fetch_add(1, std::memory_order_relaxed);
+    exported.snapshot.lease_ = series.readers;
+    exported.snapshot.epoch_ = series.epoch;
+    exported.snapshot.generation_ = series.generation;
+    exported.snapshot.evicted_ = series.evicted;
+    exported.hashes.assign(series.seen.begin(), series.seen.end());
+    std::sort(exported.hashes.begin(), exported.hashes.end());
+    out.push_back(std::move(exported));
+  }
+  return out;
+}
+
+void HistoryStore::restore_series(const SeriesKey& key,
+                                  std::vector<predict::Observation> observations,
+                                  std::uint64_t epoch,
+                                  std::uint64_t generation,
+                                  std::uint64_t evicted,
+                                  std::vector<std::uint64_t> hashes) {
+  const std::size_t shard_index = hash_of(key) & (shards_.size() - 1);
+  Shard& shard = *shards_[shard_index];
+  auto lock = lock_shard(shard);
+  Series& series = shard.series[key];
+  WADP_CHECK_MSG(!series.data || series.data->empty(),
+                 "restore_series over a series that already holds data");
+  const std::size_t count = observations.size();
+  series.data = std::make_shared<std::vector<predict::Observation>>(
+      std::move(observations));
+  // Fresh lease counter: any snapshot taken of the (empty) pre-restore
+  // epoch keeps decrementing its own.
+  series.readers = std::make_shared<std::atomic<std::int64_t>>(0);
+  series.epoch = epoch;
+  series.generation = generation;
+  series.evicted = evicted;
+  if (config_.dedupe_records) {
+    series.seen.insert(hashes.begin(), hashes.end());
+  }
+  // Release pairs with serving-cache validation loads: a cache entry
+  // stamped with a pre-crash epoch revalidates against the restored
+  // watermark exactly as it did against the live one.
+  series.watermark->store(epoch, std::memory_order_release);
+  series.last_append_wall = wall_seconds();
+  shard.appends += count;
 }
 
 std::shared_ptr<const std::atomic<std::uint64_t>> HistoryStore::watermark(

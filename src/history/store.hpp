@@ -39,6 +39,7 @@
 #include <mutex>
 #include <span>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "gridftp/log.hpp"
@@ -134,6 +135,16 @@ struct StoreConfig {
   /// view from a raw log) switch this off so they don't pollute the
   /// global ingest counters.
   bool instrumented = true;
+  /// Track a per-series (timestamp, trace_id) hash index on the
+  /// record-level append path and silently skip records already seen.
+  /// This is the durability plane's idempotence contract: WAL-tail
+  /// replay over a snapshot, and TransferLog::attach backfill after a
+  /// recovery, may both present records the store already holds —
+  /// with the index on, neither can double-ingest (skips counted in
+  /// wadp_history_dedup_skipped_total).  The index is persisted in
+  /// snapshots and reseeded by restore_series.  Off by default: a
+  /// store without durability attached should not pay for it.
+  bool dedupe_records = false;
 };
 
 /// Per-shard occupancy, for `wadp history` and capacity planning.
@@ -152,6 +163,15 @@ struct SeriesInfo {
   std::uint64_t epoch = 0;
   std::uint64_t generation = 0;
   std::uint64_t evicted = 0;
+};
+
+/// One series as captured for a durability snapshot: an immutable
+/// observation snapshot (leased like any reader's) plus the series'
+/// dedupe hashes, sorted for deterministic files.
+struct SeriesExport {
+  SeriesKey key;
+  SeriesSnapshot snapshot;
+  std::vector<std::uint64_t> hashes;
 };
 
 class HistoryStore {
@@ -194,6 +214,37 @@ class HistoryStore {
 
   /// Immutable view of `key`'s series (valid()==false when unknown).
   SeriesSnapshot snapshot(const SeriesKey& key) const;
+
+  /// The dedupe-index key of one record: a 64-bit mix of the record's
+  /// completion timestamp (exact double bits) and trace id.  The
+  /// series is implicit — the index is per series, so the full dedupe
+  /// identity is (SeriesKey, timestamp, trace_id).
+  static std::uint64_t record_hash(const gridftp::TransferRecord& record);
+
+  /// Records skipped by the dedupe index since construction.
+  std::uint64_t dedup_skipped() const {
+    return dedup_skipped_.load(std::memory_order_relaxed);
+  }
+
+  /// Captures every series of one shard for a snapshot: observation
+  /// snapshots (leased — ingest copy-on-writes around them, never
+  /// waits) plus the dedupe hashes.  The shard lock is held only for
+  /// the capture itself (shared_ptr grabs and hash copies), never for
+  /// serialization or I/O.  Series that exist only as watermark
+  /// subscriptions (no data yet) are skipped.
+  std::vector<SeriesExport> export_shard(std::size_t shard_index) const;
+
+  /// Recovery-only: installs one series wholesale — observations,
+  /// epoch/generation/evicted counters, dedupe hashes — and publishes
+  /// the epoch through the series' watermark cell, so caches keyed on
+  /// pre-crash epochs validate again.  The series must not already
+  /// hold data (recovery runs before ingest is wired up); the method
+  /// is thread-safe but makes no atomicity promise across series.
+  void restore_series(const SeriesKey& key,
+                      std::vector<predict::Observation> observations,
+                      std::uint64_t epoch, std::uint64_t generation,
+                      std::uint64_t evicted,
+                      std::vector<std::uint64_t> hashes);
 
   /// Current epoch of `key`'s series; 0 when unknown.
   std::uint64_t epoch(const SeriesKey& key) const;
@@ -241,6 +292,9 @@ class HistoryStore {
     std::uint64_t generation = 0;
     std::uint64_t evicted = 0;
     double last_append_wall = 0.0;  ///< steady-clock seconds
+    /// record_hash() of every record-level append, kept only when
+    /// config.dedupe_records is on (guarded by the shard mutex).
+    std::unordered_set<std::uint64_t> seen;
   };
   struct Shard {
     mutable std::mutex mu;
@@ -252,6 +306,13 @@ class HistoryStore {
   /// Locks `shard.mu`, recording contention when the lock was busy.
   std::unique_lock<std::mutex> lock_shard(const Shard& shard) const;
 
+  /// The one append path.  When `dedupe_hash` is non-null the series'
+  /// seen-set is consulted under the shard lock; a duplicate leaves
+  /// the series untouched and reports `*applied == false`.
+  std::uint64_t append_obs(const SeriesKey& key,
+                           const predict::Observation& obs,
+                           const std::uint64_t* dedupe_hash, bool* applied);
+
   StoreConfig config_;
   std::vector<std::unique_ptr<Shard>> shards_;
 
@@ -260,9 +321,12 @@ class HistoryStore {
   mutable std::mutex observers_mu_;
   std::shared_ptr<const std::vector<RecordObserver>> observers_;
 
+  std::atomic<std::uint64_t> dedup_skipped_{0};
+
   struct Metrics {
     std::vector<obs::Counter*> shard_appends;  // parallel to shards_
     obs::Counter* out_of_order = nullptr;
+    obs::Counter* dedup_skipped = nullptr;
     obs::Counter* evicted = nullptr;
     obs::Counter* snapshots = nullptr;
     obs::Counter* cow_copies = nullptr;

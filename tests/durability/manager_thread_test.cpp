@@ -1,0 +1,141 @@
+// Concurrency: snapshots capture while producers ingest (the capture
+// leases epochs; ingest copy-on-writes around them and never stalls),
+// and the WAL observer group-commits under multi-threaded append.
+// Named *Thread* so the CI TSan job picks it up.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "durability/manager.hpp"
+
+namespace wadp::durability {
+namespace {
+
+namespace fs = std::filesystem;
+
+gridftp::TransferRecord record(double end, const std::string& remote,
+                               std::uint64_t trace) {
+  gridftp::TransferRecord r;
+  r.host = "dpsslx04.lbl.gov";
+  r.source_ip = remote;
+  r.file_name = "/v/f";
+  r.file_size = 10 * kMB;
+  r.volume = "/v";
+  r.start_time = end - 10.0;
+  r.end_time = end;
+  r.op = gridftp::Operation::kRead;
+  r.streams = 8;
+  r.tcp_buffer = 1'000'000;
+  r.trace_id = trace;
+  return r;
+}
+
+TEST(DurabilityThreadTest, SnapshotsWhileFourProducersIngest) {
+  const auto root =
+      (fs::path(::testing::TempDir()) / "wadp_durability_thread").string();
+  fs::remove_all(root);
+
+  auto store = std::make_shared<history::HistoryStore>(
+      history::StoreConfig{.shard_count = 4,
+                           .instrumented = false,
+                           .dedupe_records = true});
+  DurabilityConfig config;
+  config.dir = root;
+  config.fsync = FsyncPolicy::kNone;
+  config.group_commit_records = 16;
+  config.keep_snapshots = 2;
+  config.instrumented = false;
+  DurabilityManager manager(store, config);
+  manager.attach();
+
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 250;
+  std::atomic<bool> done{false};
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      const std::string remote = "140.221.65." + std::to_string(60 + p);
+      for (int i = 0; i < kPerProducer; ++i) {
+        store->append(record(1000.0 + i, remote,
+                             static_cast<std::uint64_t>(p) * 1'000'000 + i));
+      }
+    });
+  }
+  std::thread snapshotter([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      const auto meta = manager.snapshot_now();
+      ASSERT_TRUE(meta.ok()) << meta.error();
+      (void)manager.status();
+      std::this_thread::yield();
+    }
+  });
+
+  for (auto& producer : producers) producer.join();
+  done.store(true, std::memory_order_release);
+  snapshotter.join();
+  manager.flush();
+
+  EXPECT_EQ(store->total_observations(),
+            static_cast<std::size_t>(kProducers) * kPerProducer);
+
+  // Whatever interleaving of snapshots and ingest happened, recovery
+  // reproduces the final store exactly.
+  auto recovered = std::make_shared<history::HistoryStore>(
+      history::StoreConfig{.shard_count = 4,
+                           .instrumented = false,
+                           .dedupe_records = true});
+  const auto stats = DurabilityManager::recover(root, *recovered);
+  ASSERT_TRUE(stats.ok()) << stats.error();
+  EXPECT_EQ(stats.value().torn_frames, 0u);
+  ASSERT_EQ(recovered->keys(), store->keys());
+  for (const auto& key : store->keys()) {
+    EXPECT_EQ(recovered->snapshot(key).observations(),
+              store->snapshot(key).observations())
+        << key.to_string();
+    EXPECT_EQ(recovered->snapshot(key).epoch(), store->snapshot(key).epoch());
+  }
+}
+
+TEST(DurabilityThreadTest, ConcurrentWalAppendsKeepLsnsUnique) {
+  const auto root =
+      (fs::path(::testing::TempDir()) / "wadp_wal_thread").string();
+  fs::remove_all(root);
+  WalConfig config;
+  config.dir = root;
+  config.fsync = FsyncPolicy::kNone;
+  config.group_commit_records = 32;
+  config.instrumented = false;
+  WriteAheadLog wal(config);
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 500;
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        wal.append(record(100.0 + i, "140.221.65.69",
+                          static_cast<std::uint64_t>(t) * 10'000 + i));
+      }
+    });
+  }
+  for (auto& writer : writers) writer.join();
+  wal.flush();
+
+  std::vector<bool> seen(kThreads * kPerThread + 1, false);
+  const auto stats = WriteAheadLog::replay(root, [&](const WalEntry& e) {
+    ASSERT_LT(e.lsn, seen.size());
+    ASSERT_FALSE(seen[e.lsn]) << "duplicate LSN " << e.lsn;
+    seen[e.lsn] = true;
+  });
+  EXPECT_EQ(stats.entries, static_cast<std::size_t>(kThreads) * kPerThread);
+  EXPECT_EQ(stats.torn_frames, 0u);
+}
+
+}  // namespace
+}  // namespace wadp::durability

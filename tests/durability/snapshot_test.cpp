@@ -1,0 +1,192 @@
+#include "durability/snapshot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "history/adapter.hpp"
+
+namespace wadp::durability {
+namespace {
+
+namespace fs = std::filesystem;
+
+history::StoreConfig dedup_config(std::size_t retention = 0) {
+  return history::StoreConfig{.shard_count = 4,
+                              .max_observations_per_series = retention,
+                              .instrumented = false,
+                              .dedupe_records = true};
+}
+
+gridftp::TransferRecord record(double end, const std::string& remote,
+                               std::uint64_t trace = 0, bool ok = true) {
+  gridftp::TransferRecord r;
+  r.host = "dpsslx04.lbl.gov";
+  r.source_ip = remote;
+  r.file_name = "/v/f";
+  r.file_size = 10 * kMB;
+  r.volume = "/v";
+  r.start_time = end - 10.0;
+  r.end_time = end;
+  r.op = gridftp::Operation::kRead;
+  r.streams = 8;
+  r.tcp_buffer = 1'000'000;
+  r.ok = ok;
+  r.trace_id = trace;
+  return r;
+}
+
+std::string scratch(const std::string& name) {
+  const auto dir = fs::path(::testing::TempDir()) / ("wadp_snap_" + name);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+TEST(SnapshotTest, RoundTripRestoresExactSeriesState) {
+  history::HistoryStore store(dedup_config());
+  // Two series, an out-of-order insert (bumps generation), a failed
+  // transfer, and distinct trace ids.
+  for (int i = 0; i < 5; ++i) {
+    store.append(record(100.0 + 10 * i, "140.221.65.69", 100 + i));
+  }
+  store.append(record(105.0, "140.221.65.69", 999));  // out of order
+  store.append(record(50.0, "131.243.2.91", 200, /*ok=*/false));
+  store.append(record(60.0, "131.243.2.91", 201));
+
+  const auto dir = scratch("roundtrip");
+  const auto meta = write_snapshot(store, dir, 1, 77);
+  ASSERT_TRUE(meta.ok()) << meta.error();
+  EXPECT_EQ(meta.value().seq, 1u);
+  EXPECT_EQ(meta.value().sealed_lsn, 77u);
+  EXPECT_EQ(meta.value().series, 2u);
+  EXPECT_EQ(meta.value().observations, store.total_observations());
+
+  history::HistoryStore restored(dedup_config());
+  const auto loaded = load_snapshot(dir, 1, restored);
+  ASSERT_TRUE(loaded.ok()) << loaded.error();
+  EXPECT_EQ(loaded.value().sealed_lsn, 77u);
+
+  ASSERT_EQ(restored.keys(), store.keys());
+  for (const auto& key : store.keys()) {
+    const auto before = store.snapshot(key);
+    const auto after = restored.snapshot(key);
+    // Observation == compares doubles exactly: bit-identical restore.
+    EXPECT_EQ(after.observations(), before.observations())
+        << key.to_string();
+    EXPECT_EQ(after.epoch(), before.epoch());
+    EXPECT_EQ(after.generation(), before.generation());
+    EXPECT_EQ(after.evicted(), before.evicted());
+  }
+
+  // The dedupe index came along: replaying an already-captured record
+  // into the restored store is a no-op.
+  const auto obs_before = restored.total_observations();
+  restored.append(record(105.0, "140.221.65.69", 999));
+  EXPECT_EQ(restored.total_observations(), obs_before);
+  EXPECT_EQ(restored.dedup_skipped(), 1u);
+  // A genuinely new record still applies.
+  restored.append(record(400.0, "140.221.65.69", 7777));
+  EXPECT_EQ(restored.total_observations(), obs_before + 1);
+}
+
+TEST(SnapshotTest, EvictionCountersSurviveTheRoundTrip) {
+  history::HistoryStore store(dedup_config(/*retention=*/3));
+  for (int i = 0; i < 8; ++i) {
+    store.append(record(100.0 + i, "140.221.65.69", 100 + i));
+  }
+  const auto key = history::series_key_for(record(0.0, "140.221.65.69"));
+  ASSERT_EQ(store.snapshot(key).size(), 3u);
+  ASSERT_EQ(store.snapshot(key).evicted(), 5u);
+
+  const auto dir = scratch("evict");
+  ASSERT_TRUE(write_snapshot(store, dir, 1, 0).ok());
+  history::HistoryStore restored(dedup_config(/*retention=*/3));
+  ASSERT_TRUE(load_snapshot(dir, 1, restored).ok());
+  EXPECT_EQ(restored.snapshot(key).evicted(), 5u);
+  EXPECT_EQ(restored.snapshot(key).epoch(), store.snapshot(key).epoch());
+}
+
+TEST(SnapshotTest, ManifestIsTheCommitPoint) {
+  history::HistoryStore store(dedup_config());
+  store.append(record(100.0, "140.221.65.69", 1));
+  const auto dir = scratch("commit");
+  ASSERT_TRUE(write_snapshot(store, dir, 1, 0).ok());
+  ASSERT_TRUE(write_snapshot(store, dir, 2, 0).ok());
+  EXPECT_EQ(latest_snapshot(dir).value_or(0), 2u);
+
+  // Deleting snapshot 2's manifest (a crash before the rename) makes
+  // snapshot 1 the newest committed one — shard files alone count for
+  // nothing.
+  fs::remove(fs::path(dir) / "snap-00000002.manifest");
+  EXPECT_EQ(latest_snapshot(dir).value_or(0), 1u);
+
+  // A manifest cut before its end line is equally uncommitted.
+  const auto manifest1 = (fs::path(dir) / "snap-00000001.manifest").string();
+  std::ifstream in(manifest1);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  in.close();
+  std::ofstream out(manifest1, std::ios::trunc);
+  out << text.substr(0, text.size() / 2);
+  out.close();
+  EXPECT_FALSE(latest_snapshot(dir).has_value());
+}
+
+TEST(SnapshotTest, DamagedShardFileFailsTheLoad) {
+  history::HistoryStore store(dedup_config());
+  for (int i = 0; i < 4; ++i) {
+    store.append(record(100.0 + i, "140.221.65.69", 100 + i));
+  }
+  const auto dir = scratch("damage");
+  ASSERT_TRUE(write_snapshot(store, dir, 1, 0).ok());
+
+  // Flip one byte in the (only) shard file body.
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    const auto name = entry.path().filename().string();
+    if (!name.ends_with(".shard")) continue;
+    std::ifstream in(entry.path(), std::ios::binary);
+    std::string data((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    in.close();
+    data[data.size() / 2] =
+        static_cast<char>(data[data.size() / 2] ^ 0x10);
+    std::ofstream out(entry.path(), std::ios::binary | std::ios::trunc);
+    out.write(data.data(), static_cast<std::streamsize>(data.size()));
+  }
+
+  history::HistoryStore restored(dedup_config());
+  const auto loaded = load_snapshot(dir, 1, restored);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(restored.total_observations(), 0u);
+}
+
+TEST(SnapshotTest, RemoveSnapshotsBeforeKeepsTheRetainedTail) {
+  history::HistoryStore store(dedup_config());
+  store.append(record(100.0, "140.221.65.69", 1));
+  const auto dir = scratch("retain");
+  for (std::uint64_t seq = 1; seq <= 3; ++seq) {
+    ASSERT_TRUE(write_snapshot(store, dir, seq, 0).ok());
+  }
+  const auto removed = remove_snapshots_before(dir, 3);
+  EXPECT_GT(removed, 0u);
+  EXPECT_EQ(latest_snapshot(dir).value_or(0), 3u);
+  // Only sequence 3's files remain.
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    const auto name = entry.path().filename().string();
+    EXPECT_TRUE(name.starts_with("snap-00000003")) << name;
+  }
+  history::HistoryStore restored(dedup_config());
+  EXPECT_TRUE(load_snapshot(dir, 3, restored).ok());
+}
+
+TEST(SnapshotTest, MissingDirectoryHasNoSnapshots) {
+  EXPECT_FALSE(latest_snapshot((fs::path(::testing::TempDir()) /
+                                "wadp_snap_never_existed")
+                                   .string())
+                   .has_value());
+}
+
+}  // namespace
+}  // namespace wadp::durability

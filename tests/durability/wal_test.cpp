@@ -1,0 +1,278 @@
+#include "durability/wal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace wadp::durability {
+namespace {
+
+namespace fs = std::filesystem;
+
+gridftp::TransferRecord record(double end, std::uint64_t trace = 0) {
+  gridftp::TransferRecord r;
+  r.host = "dpsslx04.lbl.gov";
+  r.source_ip = "140.221.65.69";
+  r.file_name = "/v/f";
+  r.file_size = 10 * kMB;
+  r.volume = "/v";
+  r.start_time = end - 10.0;
+  r.end_time = end;
+  r.op = gridftp::Operation::kRead;
+  r.streams = 8;
+  r.tcp_buffer = 1'000'000;
+  r.trace_id = trace;
+  return r;
+}
+
+/// Fresh scratch directory per test case.
+std::string scratch(const std::string& name) {
+  const auto dir = fs::path(::testing::TempDir()) / ("wadp_wal_" + name);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+WalConfig quiet(std::string dir) {
+  WalConfig config;
+  config.dir = std::move(dir);
+  config.fsync = FsyncPolicy::kNone;  // tests crash the process, not the box
+  config.instrumented = false;
+  return config;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  return data;
+}
+
+void spit(const std::string& path, const std::string& data) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(data.data(), static_cast<std::streamsize>(data.size()));
+}
+
+TEST(WriteAheadLogTest, AppendsAssignMonotoneLsnsFromOne) {
+  const auto dir = scratch("lsn");
+  WriteAheadLog wal(quiet(dir));
+  EXPECT_EQ(wal.append(record(100.0)), 1u);
+  EXPECT_EQ(wal.append(record(200.0)), 2u);
+  EXPECT_EQ(wal.append(record(300.0)), 3u);
+  const auto stats = wal.stats();
+  EXPECT_EQ(stats.appended, 3u);
+  EXPECT_EQ(stats.last_lsn, 3u);
+}
+
+TEST(WriteAheadLogTest, GroupCommitBatchesReachDiskOnFlush) {
+  const auto dir = scratch("batch");
+  auto config = quiet(dir);
+  config.group_commit_records = 4;
+  WriteAheadLog wal(config);
+  for (int i = 0; i < 6; ++i) wal.append(record(100.0 + i));
+  // One full batch of 4 flushed itself; 2 entries are still pending.
+  EXPECT_EQ(wal.stats().batches, 1u);
+  EXPECT_EQ(wal.stats().durable_lsn, 4u);
+  wal.flush();
+  EXPECT_EQ(wal.stats().batches, 2u);
+  EXPECT_EQ(wal.stats().durable_lsn, 6u);
+}
+
+TEST(WriteAheadLogTest, ReplayReturnsEveryEntryInOrder) {
+  const auto dir = scratch("replay");
+  {
+    WriteAheadLog wal(quiet(dir));
+    for (int i = 0; i < 10; ++i) {
+      wal.append(record(100.0 * (i + 1), 1000 + i));
+    }
+  }  // destructor flushes
+  std::vector<WalEntry> seen;
+  const auto stats =
+      WriteAheadLog::replay(dir, [&](const WalEntry& e) { seen.push_back(e); });
+  EXPECT_EQ(stats.entries, 10u);
+  EXPECT_EQ(stats.torn_frames, 0u);
+  EXPECT_FALSE(stats.stopped_early);
+  ASSERT_EQ(seen.size(), 10u);
+  for (std::size_t i = 0; i < seen.size(); ++i) {
+    EXPECT_EQ(seen[i].lsn, i + 1);
+    EXPECT_EQ(seen[i].record.trace_id, 1000 + i);
+    EXPECT_EQ(seen[i].record.end_time, 100.0 * (i + 1));
+  }
+}
+
+TEST(WriteAheadLogTest, SegmentsRotateAndTruncateBySealedLsn) {
+  const auto dir = scratch("rotate");
+  auto config = quiet(dir);
+  config.segment_bytes = 256;  // a few records per segment
+  config.group_commit_records = 1;
+  WriteAheadLog wal(config);
+  for (int i = 0; i < 20; ++i) wal.append(record(100.0 + i));
+  wal.flush();
+  const auto before = wal.segments();
+  ASSERT_GT(before.size(), 2u);
+
+  // Seal at LSN 20: every closed segment is covered; only the active
+  // one must survive.
+  const auto removed = wal.truncate_through(20);
+  EXPECT_GT(removed, 0u);
+  EXPECT_EQ(wal.segments().size(), before.size() - removed);
+  // Replay after truncation only sees what segments remain — and still
+  // never errors.
+  const auto stats = WriteAheadLog::replay(dir, [](const WalEntry&) {});
+  EXPECT_FALSE(stats.stopped_early);
+
+  // A seal below every remaining base removes nothing.
+  EXPECT_EQ(wal.truncate_through(0), 0u);
+}
+
+TEST(WriteAheadLogTest, ReopenContinuesTheLsnSequence) {
+  const auto dir = scratch("reopen");
+  {
+    WriteAheadLog wal(quiet(dir));
+    for (int i = 0; i < 5; ++i) wal.append(record(100.0 + i));
+  }
+  {
+    WriteAheadLog wal(quiet(dir));
+    EXPECT_EQ(wal.append(record(500.0)), 6u);  // continues past 5
+  }
+  std::size_t entries = 0;
+  std::uint64_t max_lsn = 0;
+  WriteAheadLog::replay(dir, [&](const WalEntry& e) {
+    ++entries;
+    max_lsn = std::max(max_lsn, e.lsn);
+  });
+  EXPECT_EQ(entries, 6u);
+  EXPECT_EQ(max_lsn, 6u);
+}
+
+// The crash-point matrix: cut the segment file at EVERY byte offset
+// and replay.  The contract under test: recovery stops cleanly at the
+// last valid frame, reports the torn tail, and never aborts.
+TEST(WriteAheadLogTest, CrashPointMatrixTruncateAtEveryByte) {
+  const auto dir = scratch("matrix_src");
+  constexpr int kRecords = 8;
+  {
+    WriteAheadLog wal(quiet(dir));
+    for (int i = 0; i < kRecords; ++i) wal.append(record(100.0 + i, 7000 + i));
+  }
+  const auto segments = WriteAheadLog::list_segments(dir);
+  ASSERT_EQ(segments.size(), 1u);
+  const std::string data = slurp(segments[0]);
+
+  // Frame boundaries: header end, then the end of each framed entry.
+  constexpr std::size_t kHeaderBytes = 24;
+  std::vector<std::size_t> boundaries{kHeaderBytes};
+  {
+    std::size_t offset = kHeaderBytes;
+    std::string_view payload;
+    while (next_frame(data, offset, payload) == FrameStatus::kOk) {
+      boundaries.push_back(offset);
+    }
+  }
+  ASSERT_EQ(boundaries.size(), kRecords + 1u);
+
+  const auto cut_dir = scratch("matrix_cut");
+  const std::string cut_path =
+      (fs::path(cut_dir) / fs::path(segments[0]).filename()).string();
+  for (std::size_t cut = 0; cut <= data.size(); ++cut) {
+    spit(cut_path, data.substr(0, cut));
+    std::vector<std::uint64_t> lsns;
+    const auto stats = WriteAheadLog::replay(
+        cut_dir, [&](const WalEntry& e) { lsns.push_back(e.lsn); });
+
+    // Expected survivors: complete frames fully below the cut.
+    std::size_t expect_entries = 0;
+    while (expect_entries + 1 < boundaries.size() &&
+           boundaries[expect_entries + 1] <= cut) {
+      ++expect_entries;
+    }
+    if (cut < kHeaderBytes) {
+      EXPECT_EQ(stats.entries, 0u) << "cut at " << cut;
+      EXPECT_EQ(stats.torn_frames, 1u) << "cut at " << cut;
+      EXPECT_TRUE(stats.stopped_early) << "cut at " << cut;
+      continue;
+    }
+    EXPECT_EQ(stats.entries, expect_entries) << "cut at " << cut;
+    ASSERT_EQ(lsns.size(), expect_entries) << "cut at " << cut;
+    for (std::size_t i = 0; i < lsns.size(); ++i) EXPECT_EQ(lsns[i], i + 1);
+    // A cut exactly on a frame boundary is a clean end, not a tear.
+    const bool on_boundary =
+        boundaries[expect_entries] == cut;
+    EXPECT_EQ(stats.stopped_early, !on_boundary) << "cut at " << cut;
+    EXPECT_EQ(stats.torn_frames, on_boundary ? 0u : 1u) << "cut at " << cut;
+  }
+}
+
+TEST(WriteAheadLogTest, CorruptCrcMidFileStopsAtLastValidFrame) {
+  const auto dir = scratch("corrupt");
+  constexpr int kRecords = 6;
+  {
+    WriteAheadLog wal(quiet(dir));
+    for (int i = 0; i < kRecords; ++i) wal.append(record(100.0 + i));
+  }
+  const auto segments = WriteAheadLog::list_segments(dir);
+  ASSERT_EQ(segments.size(), 1u);
+  std::string data = slurp(segments[0]);
+
+  // Find the start of frame #4 (index 3) and flip a payload bit there.
+  constexpr std::size_t kHeaderBytes = 24;
+  std::size_t offset = kHeaderBytes;
+  std::string_view payload;
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_EQ(next_frame(data, offset, payload), FrameStatus::kOk);
+  }
+  data[offset + 8 + 4] = static_cast<char>(data[offset + 8 + 4] ^ 0x01);
+  spit(segments[0], data);
+
+  std::size_t entries = 0;
+  const auto stats =
+      WriteAheadLog::replay(dir, [&](const WalEntry&) { ++entries; });
+  EXPECT_EQ(entries, 3u);  // everything before the damage
+  EXPECT_EQ(stats.torn_frames, 1u);
+  EXPECT_TRUE(stats.stopped_early);
+}
+
+TEST(WriteAheadLogTest, DamageInAnEarlySegmentDropsLaterSegmentsToo) {
+  const auto dir = scratch("early_damage");
+  auto config = quiet(dir);
+  config.segment_bytes = 256;
+  config.group_commit_records = 1;
+  {
+    WriteAheadLog wal(config);
+    for (int i = 0; i < 20; ++i) wal.append(record(100.0 + i));
+  }
+  auto segments = WriteAheadLog::list_segments(dir);
+  ASSERT_GT(segments.size(), 2u);
+  // Tear the tail off the FIRST segment: replay must not leap over the
+  // gap into later segments (that would reorder history).
+  std::string data = slurp(segments[0]);
+  spit(segments[0], data.substr(0, data.size() - 3));
+
+  std::uint64_t max_lsn = 0;
+  const auto stats = WriteAheadLog::replay(
+      dir, [&](const WalEntry& e) { max_lsn = std::max(max_lsn, e.lsn); });
+  EXPECT_TRUE(stats.stopped_early);
+  // Nothing delivered may come from past the damaged segment.
+  std::string second_data = slurp(segments[1]);
+  std::size_t offset = 24;
+  std::string_view payload;
+  ASSERT_EQ(next_frame(second_data, offset, payload), FrameStatus::kOk);
+  const auto first_later = decode_entry(payload);
+  ASSERT_TRUE(first_later.has_value());
+  EXPECT_LT(max_lsn, first_later->lsn);
+}
+
+TEST(WriteAheadLogTest, EmptyAndMissingDirectoriesReplayToNothing) {
+  const auto stats = WriteAheadLog::replay(
+      (fs::path(::testing::TempDir()) / "wadp_wal_never_existed").string(),
+      [](const WalEntry&) { FAIL() << "no entries expected"; });
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.torn_frames, 0u);
+  EXPECT_FALSE(stats.stopped_early);
+}
+
+}  // namespace
+}  // namespace wadp::durability

@@ -33,6 +33,7 @@ GAUGE_ALLOWLIST = {
     "wadp_build_info",
     "wadp_resilience_servers_down",
     "wadp_serving_inflight_queries",
+    "wadp_wal_segments",
 }
 
 
