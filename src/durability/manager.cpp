@@ -53,6 +53,12 @@ DurabilityManager::DurabilityManager(
         return wal;
       }()) {
   WADP_CHECK_MSG(store_ != nullptr, "DurabilityManager needs a store");
+  // Mirrors the check in recover(): snapshots capture the dedupe hash
+  // sets, and WAL-tail replay leans on them to absorb records the
+  // racing snapshot already included.  A dedupe-off store would write
+  // snapshots with empty hash sets and double-ingest on recovery.
+  WADP_CHECK_MSG(store_->config().dedupe_records,
+                 "DurabilityManager needs a store with dedupe_records on");
   if (config_.keep_snapshots == 0) config_.keep_snapshots = 1;
   if (config_.instrumented) {
     auto& registry = obs::Registry::global();

@@ -1,6 +1,11 @@
 #include "durability/snapshot.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -33,6 +38,34 @@ std::string slurp(const std::string& path) {
   std::ostringstream out;
   out << in.rdbuf();
   return std::move(out).str();
+}
+
+/// Writes `parts` to `path` and fsyncs before closing.  The snapshot
+/// is what licenses WAL truncation, so its bytes must be on the
+/// platter — not in the page cache — before the manifest commits.
+bool write_file_synced(const std::string& path,
+                       std::initializer_list<std::string_view> parts) {
+  std::FILE* out = std::fopen(path.c_str(), "wb");
+  if (out == nullptr) return false;
+  bool ok = true;
+  for (const std::string_view part : parts) {
+    if (part.empty()) continue;
+    ok = ok && std::fwrite(part.data(), 1, part.size(), out) == part.size();
+  }
+  ok = ok && std::fflush(out) == 0;
+  ok = ok && ::fsync(fileno(out)) == 0;
+  ok = (std::fclose(out) == 0) && ok;
+  return ok;
+}
+
+/// fsyncs a directory so renames and creates within it survive power
+/// loss.
+bool fsync_dir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd < 0) return false;
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
 }
 
 /// Serializes one shard's series into the file body (the part the
@@ -203,17 +236,8 @@ Expected<SnapshotMeta> write_snapshot(const history::HistoryStore& store,
 
     const std::string name = shard_file_name(seq, shard);
     const std::string path = (fs::path(dir) / name).string();
-    {
-      std::ofstream out(path, std::ios::binary | std::ios::trunc);
-      if (!out) {
-        return Expected<SnapshotMeta>::failure("cannot write " + path);
-      }
-      out.write(header.bytes().data(),
-                static_cast<std::streamsize>(header.size()));
-      out.write(body.data(), static_cast<std::streamsize>(body.size()));
-      if (!out) {
-        return Expected<SnapshotMeta>::failure("short write to " + path);
-      }
+    if (!write_file_synced(path, {header.bytes(), body})) {
+      return Expected<SnapshotMeta>::failure("cannot write " + path);
     }
     ManifestShard entry;
     entry.index = shard;
@@ -254,17 +278,22 @@ Expected<SnapshotMeta> write_snapshot(const history::HistoryStore& store,
   const std::string final_path =
       (fs::path(dir) / manifest_name(seq)).string();
   const std::string temp_path = final_path + ".tmp";
-  {
-    std::ofstream out(temp_path, std::ios::binary | std::ios::trunc);
-    if (!out) {
-      return Expected<SnapshotMeta>::failure("cannot write " + temp_path);
-    }
-    out << text;
+  if (!write_file_synced(temp_path, {text})) {
+    return Expected<SnapshotMeta>::failure("cannot write " + temp_path);
   }
   fs::rename(temp_path, final_path, ec);
   if (ec) {
     return Expected<SnapshotMeta>::failure("cannot commit manifest: " +
                                            ec.message());
+  }
+  // The commit point is the rename reaching the directory itself.  A
+  // caller may truncate the WAL the moment we return, so the shard
+  // files, the manifest, and the directory entries naming them must
+  // all be durable first — otherwise a power cut could keep the
+  // truncation but lose the snapshot it was licensed by.
+  if (!fsync_dir(dir)) {
+    return Expected<SnapshotMeta>::failure("cannot fsync snapshot dir: " +
+                                           dir);
   }
   meta.shard_files = shards.size();
   return meta;
@@ -342,9 +371,19 @@ std::size_t remove_snapshots_before(const std::string& dir,
   for (const auto& entry : fs::directory_iterator(dir, ec)) {
     const std::string name = entry.path().filename().string();
     if (!name.starts_with("snap-")) continue;
-    // snap-XXXXXXXX… — parse the 8-digit sequence.
-    unsigned long long seq = 0;
-    if (std::sscanf(name.c_str(), "snap-%8llu", &seq) != 1) continue;
+    // snap-<seq>… — parse the whole digit run.  The %08llu in the file
+    // names widens past 8 digits, so a fixed-width parse would misread
+    // sequences >= 1e8 and prune the wrong snapshots.
+    const std::size_t digits_at = 5;  // past "snap-"
+    std::size_t end = digits_at;
+    while (end < name.size() &&
+           std::isdigit(static_cast<unsigned char>(name[end]))) {
+      ++end;
+    }
+    if (end == digits_at) continue;
+    const unsigned long long seq =
+        std::strtoull(name.substr(digits_at, end - digits_at).c_str(),
+                      nullptr, 10);
     if (seq < keep_seq) doomed.push_back(entry.path());
   }
   for (const auto& path : doomed) {

@@ -61,6 +61,20 @@ std::string make_header(std::uint64_t base_lsn) {
   return w.take();
 }
 
+/// Reads just the fixed-size header of a segment file and returns its
+/// base LSN — no reason to pull megabytes of frames through the page
+/// cache to learn 8 bytes.
+std::optional<std::uint64_t> read_segment_base(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  char buf[kSegmentHeaderBytes];
+  in.read(buf, static_cast<std::streamsize>(kSegmentHeaderBytes));
+  if (static_cast<std::size_t>(in.gcount()) < kSegmentHeaderBytes) {
+    return std::nullopt;
+  }
+  return parse_header(std::string_view(buf, kSegmentHeaderBytes));
+}
+
 obs::Counter& torn_counter() {
   return obs::Registry::global().counter(
       "wadp_wal_torn_frames_total", {},
@@ -244,8 +258,7 @@ std::size_t WriteAheadLog::truncate_through(std::uint64_t lsn) {
   std::vector<std::uint64_t> bases;
   bases.reserve(paths.size());
   for (const auto& path : paths) {
-    const auto base = parse_header(slurp(path));
-    bases.push_back(base.value_or(0));
+    bases.push_back(read_segment_base(path).value_or(0));
   }
   std::size_t removed = 0;
   for (std::size_t i = 0; i + 1 < paths.size(); ++i) {
@@ -294,53 +307,68 @@ std::vector<std::string> WriteAheadLog::list_segments(
 ReplayStats WriteAheadLog::replay(const std::string& dir, const EntryFn& fn) {
   ReplayStats stats;
   auto& torn = torn_counter();
-  for (const auto& path : list_segments(dir)) {
+  const auto paths = list_segments(dir);
+  for (std::size_t i = 0; i < paths.size(); ++i) {
     ++stats.segments;
-    const std::string data = slurp(path);
+    const std::string data = slurp(paths[i]);
+    bool refused = false;
     if (!parse_header(data)) {
       // A header that never finished writing is a torn frame zero.
       torn.inc();
       ++stats.torn_frames;
-      stats.stopped_early = true;
-      break;
-    }
-    std::size_t offset = kSegmentHeaderBytes;
-    bool stop = false;
-    while (!stop) {
-      std::string_view payload;
-      switch (next_frame(data, offset, payload)) {
-        case FrameStatus::kEnd:
-          stop = true;
-          break;
-        case FrameStatus::kOk: {
-          const auto entry = decode_entry(payload);
-          if (!entry) {
-            // Checksum-valid but undecodable: a version we do not
-            // know.  Treat like corruption — stop, do not guess.
-            torn.inc();
-            ++stats.torn_frames;
-            stats.stopped_early = true;
+      refused = true;
+    } else {
+      std::size_t offset = kSegmentHeaderBytes;
+      bool stop = false;
+      while (!stop) {
+        std::string_view payload;
+        switch (next_frame(data, offset, payload)) {
+          case FrameStatus::kEnd:
             stop = true;
             break;
+          case FrameStatus::kOk: {
+            const auto entry = decode_entry(payload);
+            if (!entry) {
+              // Checksum-valid but undecodable: a version we do not
+              // know.  Treat like corruption — refuse, do not guess.
+              torn.inc();
+              ++stats.torn_frames;
+              refused = true;
+              stop = true;
+              break;
+            }
+            ++stats.entries;
+            stats.bytes += 8 + payload.size();
+            stats.max_lsn = std::max(stats.max_lsn, entry->lsn);
+            fn(*entry);
+            break;
           }
-          ++stats.entries;
-          stats.bytes += 8 + payload.size();
-          stats.max_lsn = std::max(stats.max_lsn, entry->lsn);
-          fn(*entry);
-          break;
+          case FrameStatus::kTorn:
+          case FrameStatus::kCorrupt:
+            torn.inc();
+            ++stats.torn_frames;
+            refused = true;
+            stop = true;
+            break;
         }
-        case FrameStatus::kTorn:
-        case FrameStatus::kCorrupt:
-          torn.inc();
-          ++stats.torn_frames;
-          stats.stopped_early = true;
-          stop = true;
-          break;
       }
     }
-    // Everything after a refused frame — in this segment or later
-    // ones — is lost tail; replay never skips over damage.
-    if (stats.stopped_early) break;
+    if (!refused) continue;
+    // A refused frame ends the pass — replay never skips over damage
+    // within a segment — UNLESS the next segment's base LSN is exactly
+    // the last valid LSN + 1.  Only a writer that restarted after this
+    // very tear produces that (a fresh WriteAheadLog resumes the LSN
+    // sequence from the last *valid* frame, so the torn frame's LSN is
+    // reissued in the new segment).  Records fsync-acknowledged after
+    // the restart live in those later segments and are durable; mid-
+    // history damage cannot fake the match because its following
+    // segment starts at torn LSN + 1, leaving a gap of one.
+    if (i + 1 < paths.size()) {
+      const auto next_base = read_segment_base(paths[i + 1]);
+      if (next_base && *next_base == stats.max_lsn + 1) continue;
+    }
+    stats.stopped_early = true;
+    break;
   }
   return stats;
 }

@@ -113,9 +113,13 @@ class WriteAheadLog {
 
   /// Replays every segment of `dir` in LSN order, invoking `fn` per
   /// valid entry.  Stops — cleanly — at the first torn or corrupt
-  /// frame; everything after it (same segment or later ones) is
-  /// considered lost tail.  Counts refusals in
-  /// wadp_wal_torn_frames_total.  Never throws, never aborts.
+  /// frame; everything after it is considered lost tail, EXCEPT when
+  /// the next segment's base LSN is exactly last-valid + 1, which
+  /// proves a writer restarted right after that tear (a reopened WAL
+  /// resumes the LSN sequence from the last valid frame).  Replay then
+  /// continues there, so records fsynced after a crash-restart survive
+  /// a second crash.  Counts refusals in wadp_wal_torn_frames_total.
+  /// Never throws, never aborts.
   using EntryFn = std::function<void(const WalEntry&)>;
   static ReplayStats replay(const std::string& dir, const EntryFn& fn);
 

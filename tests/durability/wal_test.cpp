@@ -265,6 +265,41 @@ TEST(WriteAheadLogTest, DamageInAnEarlySegmentDropsLaterSegmentsToo) {
   EXPECT_LT(max_lsn, first_later->lsn);
 }
 
+// Crash -> restart -> fsync-acked appends -> second crash.  The first
+// crash leaves a torn tail in the old segment; the restarted writer
+// resumes the LSN sequence in a fresh segment whose base LSN is the
+// last valid LSN + 1.  Replay must recognize that as a clean writer
+// restart and continue into the new segment — otherwise records that
+// were acknowledged durable after the restart silently vanish.
+TEST(WriteAheadLogTest, ReplayContinuesPastTornTailIntoRestartSegment) {
+  const auto dir = scratch("restart_tail");
+  {
+    WriteAheadLog wal(quiet(dir));
+    for (int i = 0; i < 5; ++i) wal.append(record(100.0 + i, 5000 + i));
+  }
+  auto segments = WriteAheadLog::list_segments(dir);
+  ASSERT_EQ(segments.size(), 1u);
+  // First crash: tear the last frame (LSN 5) off the segment tail.
+  const std::string data = slurp(segments[0]);
+  spit(segments[0], data.substr(0, data.size() - 3));
+
+  {
+    // Restart: the writer sees valid frames 1..4 and resumes at 5.
+    WriteAheadLog wal(quiet(dir));
+    EXPECT_EQ(wal.append(record(500.0, 6000)), 5u);
+    EXPECT_EQ(wal.append(record(501.0, 6001)), 6u);
+  }  // second crash (destructor flushed: these were acknowledged)
+
+  std::vector<std::uint64_t> lsns;
+  const auto stats = WriteAheadLog::replay(
+      dir, [&](const WalEntry& e) { lsns.push_back(e.lsn); });
+  EXPECT_EQ(stats.torn_frames, 1u);       // the old tail, still counted
+  EXPECT_FALSE(stats.stopped_early);      // but the pass did not end there
+  ASSERT_EQ(lsns.size(), 6u);
+  for (std::size_t i = 0; i < lsns.size(); ++i) EXPECT_EQ(lsns[i], i + 1);
+  EXPECT_EQ(stats.max_lsn, 6u);
+}
+
 TEST(WriteAheadLogTest, EmptyAndMissingDirectoriesReplayToNothing) {
   const auto stats = WriteAheadLog::replay(
       (fs::path(::testing::TempDir()) / "wadp_wal_never_existed").string(),
