@@ -302,13 +302,13 @@ obs::SpanId record_transfer_spans(
 }  // namespace
 
 GridFtpClient::GridFtpClient(sim::Simulator& sim, net::FluidEngine& engine,
-                             net::Topology& topology, std::string site,
+                             net::PathResolver& resolver, std::string site,
                              std::string ip,
                              storage::StorageSystem* local_storage,
                              ProtocolCosts costs)
     : sim_(sim),
       engine_(engine),
-      topology_(topology),
+      resolver_(resolver),
       site_(std::move(site)),
       ip_(std::move(ip)),
       local_storage_(local_storage),
@@ -323,8 +323,12 @@ void GridFtpClient::set_retry_policy(resilience::RetryPolicy policy,
 Duration GridFtpClient::control_rtt(const std::string& server_site) const {
   // Control traffic client->server; fall back to the reverse direction
   // when only one direction is registered (RTT is symmetric anyway).
-  if (const auto* path = topology_.find(site_, server_site)) return path->rtt();
-  if (const auto* path = topology_.find(server_site, site_)) return path->rtt();
+  if (const auto route = resolver_.resolve(site_, server_site)) {
+    return route->rtt;
+  }
+  if (const auto route = resolver_.resolve(server_site, site_)) {
+    return route->rtt;
+  }
   return 0.05;  // conservative wide-area default
 }
 
@@ -517,8 +521,8 @@ void GridFtpClient::finish_attempt_failure(
 
 void GridFtpClient::execute_plan(DataPlan plan,
                                  std::shared_ptr<Attempt> attempt) {
-  net::PathModel* path = topology_.find(plan.src_site, plan.dst_site);
-  if (path == nullptr) {
+  const auto route = resolver_.resolve(plan.src_site, plan.dst_site);
+  if (!route) {
     // Counted and recorded like every other failure (this path used to
     // bypass the outcome counter entirely).
     finish_attempt_failure(attempt, "no path " + plan.src_site + " -> " +
@@ -529,19 +533,23 @@ void GridFtpClient::execute_plan(DataPlan plan,
   // The timed window opens when the transfer operation begins: data
   // channels are set up inside it, as in the instrumented server.
   const SimTime timed_start = sim_.now();
-  const Duration data_setup = ProtocolCosts{}.data_setup_rtts * path->rtt();
+  const Duration data_setup = ProtocolCosts{}.data_setup_rtts * route->rtt;
 
   // From here the control sessions are committed to a data phase; a
   // failure must close them out.
   attempt->transferring = plan.sessions;
 
-  sim_.schedule_after(data_setup, [this, path, plan = std::move(plan),
-                                   timed_start, attempt]() mutable {
+  sim_.schedule_after(data_setup, [this, route = *route,
+                                   plan = std::move(plan), timed_start,
+                                   attempt]() mutable {
     if (attempt->done) return;     // timed out / truncated during setup
     if (attempt->stalled) return;  // stalled channel: bytes never start
 
     net::FlowSpec spec;
-    spec.path = path;
+    spec.path = route.path;
+    spec.links = std::move(route.links);
+    spec.tcp = route.tcp;
+    spec.base_rtt = route.rtt;
     spec.streams = attempt->options.streams;
     spec.buffer = attempt->options.buffer;
     spec.size = plan.bytes;
@@ -986,8 +994,8 @@ void GridFtpClient::striped_get(std::vector<GridFtpServer*> stripes,
       sessions.push_back(std::move(session));
     }
 
-    net::PathModel* path = topology_.find(site, site_);
-    if (path == nullptr) {
+    const auto route = resolver_.resolve(site, site_);
+    if (!route) {
       fail(callback, "no path " + site + " -> " + site_ + " in topology",
            overhead);
       return;
@@ -998,7 +1006,7 @@ void GridFtpClient::striped_get(std::vector<GridFtpServer*> stripes,
     const auto stripe_count = static_cast<Bytes>(sessions.size());
     const Bytes base_slice = *size / stripe_count;
     const SimTime timed_start = sim_.now();
-    const Duration data_setup = costs_.data_setup_rtts * path->rtt();
+    const Duration data_setup = costs_.data_setup_rtts * route->rtt;
 
     struct StripeProgress {
       std::size_t remaining;
@@ -1013,7 +1021,7 @@ void GridFtpClient::striped_get(std::vector<GridFtpServer*> stripes,
 
     sim_.schedule_after(data_setup, [this, sessions = std::move(sessions),
                                      stripes, remote_path, options, overhead,
-                                     timed_start, path, size = *size,
+                                     timed_start, route = *route, size = *size,
                                      base_slice, progress,
                                      callback = std::move(callback)]() mutable {
       for (std::size_t i = 0; i < sessions.size(); ++i) {
@@ -1034,7 +1042,10 @@ void GridFtpClient::striped_get(std::vector<GridFtpServer*> stripes,
         (void)sessions[i]->take_pending_data();
 
         net::FlowSpec spec;
-        spec.path = path;
+        spec.path = route.path;
+        spec.links = route.links;
+        spec.tcp = route.tcp;
+        spec.base_rtt = route.rtt;
         spec.streams = options.streams;
         spec.buffer = options.buffer;
         spec.size = slice;

@@ -29,6 +29,7 @@
 #include "gridftp/server.hpp"
 #include "net/fabric.hpp"
 #include "net/path.hpp"
+#include "net/route.hpp"
 #include "resilience/fault.hpp"
 #include "resilience/retry.hpp"
 #include "sim/simulator.hpp"
@@ -72,9 +73,11 @@ struct ProtocolCosts {
 class GridFtpClient {
  public:
   /// `local_storage` may be null for a client whose disk never binds
-  /// (e.g. a memory sink used for probe transfers).
+  /// (e.g. a memory sink used for probe transfers).  `resolver` maps
+  /// site pairs to routes: a paper-testbed net::Topology or a
+  /// grid-scale net::GridTopology both work.
   GridFtpClient(sim::Simulator& sim, net::FluidEngine& engine,
-                net::Topology& topology, std::string site, std::string ip,
+                net::PathResolver& resolver, std::string site, std::string ip,
                 storage::StorageSystem* local_storage = nullptr,
                 ProtocolCosts costs = {});
 
@@ -207,7 +210,7 @@ class GridFtpClient {
 
   sim::Simulator& sim_;
   net::FluidEngine& engine_;
-  net::Topology& topology_;
+  net::PathResolver& resolver_;
   std::string site_;
   std::string ip_;
   storage::StorageSystem* local_storage_;

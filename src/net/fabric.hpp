@@ -1,30 +1,50 @@
 // Fluid-flow transfer engine.
 //
 // FluidEngine simulates concurrent data flows over shared resources
-// (paths, storage ports) using a piecewise-constant fluid model:
-// between "re-evaluation instants" every flow moves bytes at a constant
-// rate; rates are recomputed by weighted max-min fair allocation
-// whenever anything changes — a flow starts or finishes, a stream's
-// slow-start window doubles, or a resource's background load steps to a
-// new grid value.
+// (paths, grid links, storage ports) using a piecewise-constant fluid
+// model: between "re-evaluation instants" every flow moves bytes at a
+// constant rate; rates are recomputed by weighted max-min fair
+// allocation whenever anything changes — a flow starts or finishes, a
+// stream's slow-start window doubles, or a resource's background load
+// steps to a new grid value.
 //
 // The allocation honours, per flow:
 //   * a rate cap from TCP:  streams * min(cwnd(t), buffer) / rtt
 //     (the slow-start ramp, then the window-limited ceiling);
 //   * its weighted share of every resource it crosses.  The weight on
-//     the network path equals the stream count — the reason GridFTP
+//     wide-area segments equals the stream count — the reason GridFTP
 //     opens parallel streams is precisely to claim a larger share of a
 //     congested link — and 1 on storage ports.
 //
-// This is the standard flow-level abstraction used by grid/network
-// simulators; it reproduces end-to-end throughput shapes without
-// simulating individual packets.
+// Weighted max-min decomposes exactly across connected components of
+// the flow<->resource sharing graph: flows in different components
+// never compete, so a change confined to one component cannot move any
+// rate outside it.  The engine exploits that to make reallocation
+// *incremental*: every change (arrival, completion, ramp step, load
+// step) marks the resources it touches dirty, and only the connected
+// components reached from dirty resources are waterfilled again.  A
+// reference global-recompute allocator is retained both as a
+// correctness oracle (EngineConfig::verify_allocator) and as the
+// baseline the bench compares against.
+//
+// Two progress-bookkeeping modes:
+//   * eager (default) — every advance integrates every flow, and one
+//     pending wake-up covers the earliest completion/ramp/load instant.
+//     This is the original engine's schedule, kept bit-identical so the
+//     calibrated paper testbed reproduces its records exactly.
+//   * lazy (EngineConfig::lazy_progress) — per-flow completion and ramp
+//     events, per-resource load events, and same-instant dirty-set
+//     coalescing ("sweep") localize each event's cost to its component.
+//     This is the grid-scale mode: cost per event is proportional to
+//     the affected component, not to the total flow count.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <optional>
+#include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "net/path.hpp"
@@ -49,7 +69,16 @@ struct FlowStats {
 };
 
 struct FlowSpec {
-  PathModel* path = nullptr;  ///< required: the wide-area segment
+  /// The wide-area route: either a single PathModel (paper testbed) or
+  /// an explicit link list (grid routes).  Exactly one must be set.
+  PathModel* path = nullptr;
+  /// Multi-segment route: each link is a shared resource the flow
+  /// crosses with weight = streams.  Used when `path` is null.
+  std::vector<CapacityProvider*> links;
+  /// TCP parameters and end-to-end RTT for link-routed flows (ignored
+  /// when `path` is set — the path carries both).
+  TcpParams tcp;
+  Duration base_rtt = 0.05;
   /// Additional unit-weight resources the flow crosses (storage ports).
   std::vector<CapacityProvider*> extra_resources;
   int streams = 1;
@@ -58,9 +87,28 @@ struct FlowSpec {
   std::function<void(const FlowStats&)> on_complete;  ///< may be empty
 };
 
+/// Which allocator recomputes rates on a change.
+enum class AllocatorKind {
+  kIncremental,  ///< dirty-component waterfill (default)
+  kReference,    ///< global recompute on every change (oracle/baseline)
+};
+
+struct EngineConfig {
+  AllocatorKind allocator = AllocatorKind::kIncremental;
+  /// Per-flow/per-resource events instead of the eager single wake.
+  bool lazy_progress = false;
+  /// Shadow every incremental reallocation with a reference global
+  /// recompute and count rate mismatches (tests).
+  bool verify_allocator = false;
+  /// When > 0, every Nth reallocation also times (but does not apply) a
+  /// reference global recompute — the in-bench cost baseline.
+  std::uint32_t reference_sample_every = 0;
+};
+
 class FluidEngine {
  public:
-  explicit FluidEngine(sim::Simulator& sim) : sim_(sim) {}
+  explicit FluidEngine(sim::Simulator& sim, EngineConfig config = {})
+      : sim_(sim), config_(config) {}
 
   FluidEngine(const FluidEngine&) = delete;
   FluidEngine& operator=(const FluidEngine&) = delete;
@@ -79,9 +127,9 @@ class FluidEngine {
   Bandwidth current_rate(FlowId id) const;
 
   /// Instantaneous progress of an active flow (advances internal
-  /// bookkeeping to now first, which may complete other flows whose
-  /// callbacks then fire).  nullopt once the flow completed or never
-  /// existed.  Basis for GridFTP performance markers.
+  /// bookkeeping to now first, which in eager mode may complete other
+  /// flows whose callbacks then fire).  nullopt once the flow completed
+  /// or never existed.  Basis for GridFTP performance markers.
   struct FlowProgress {
     Bytes moved = 0;
     Bytes total = 0;
@@ -98,6 +146,28 @@ class FluidEngine {
   /// Total flows completed since construction (for tests/metrics).
   std::uint64_t completed_flows() const { return completed_; }
 
+  /// Allocator cost accounting (bench / property tests).
+  struct AllocStats {
+    std::uint64_t reallocs = 0;       ///< waterfill passes
+    std::uint64_t components = 0;     ///< dirty components recomputed
+    std::uint64_t flows_touched = 0;  ///< flow entries across passes
+    std::uint64_t sweeps = 0;         ///< lazy-mode coalescing sweeps
+    std::uint64_t alloc_ns = 0;       ///< wall time in applied waterfills
+    std::uint64_t reference_ns = 0;       ///< wall time in scratch recomputes
+    std::uint64_t reference_samples = 0;  ///< scratch recomputes taken
+    std::uint64_t reference_flows = 0;    ///< flow entries across scratch
+    std::uint64_t verify_mismatches = 0;  ///< incremental != reference rates
+  };
+  const AllocStats& alloc_stats() const { return stats_; }
+
+  /// Description of the first verify-mode mismatch, empty when clean.
+  const std::string& first_mismatch() const { return first_mismatch_; }
+
+  /// Recomputes all rates globally (reference allocator) into a scratch
+  /// buffer and compares with the live rates; returns the number of
+  /// flows whose rate differs.  Test hook — does not modify state.
+  std::size_t compare_with_reference();
+
  private:
   struct Flow {
     FlowSpec spec;
@@ -109,25 +179,95 @@ class FluidEngine {
     /// connection's self-clocking is set up in its first round trips, so
     /// the load level at establishment dominates its ramp behaviour.
     Duration rtt = 0.0;
+    TcpParams tcp;           ///< copied from path or spec at start
+    double cached_cap = -1.0;  ///< flow_cap at the last waterfill
+    // Lazy mode only.
+    SimTime integrated_to = 0.0;
+    sim::EventId completion_ev = 0;
+    sim::EventId ramp_ev = 0;
   };
 
+  struct ResourceState {
+    std::vector<FlowId> members;
+    double capacity_cached = -1.0;  ///< capacity_at at last dirty scan
+    std::uint64_t visit_mark = 0;   ///< BFS epoch
+    bool dirty = false;
+    sim::EventId load_ev = 0;  ///< lazy mode: next load-grid step
+  };
+
+  /// Invokes fn(provider, weight) for each resource the flow crosses,
+  /// in canonical order: path/links (weight = streams), then extras
+  /// (weight = 1).
+  template <typename Fn>
+  static void for_each_resource(const Flow& f, Fn&& fn);
+
+  // -- shared bookkeeping --------------------------------------------
+  void register_flow(FlowId id, Flow&& flow);
+  /// Removes the flow from resource membership, marks its resources
+  /// dirty, and (lazy mode) cancels its events.  Does not erase it from
+  /// flows_.
+  void unlink_flow(FlowId id, Flow& f);
+  void mark_resources_dirty(const Flow& f);
+
+  /// Weighted max-min over `entries` (ascending FlowId order expected).
+  /// Writes rates into the flows when `apply`, into `scratch` otherwise.
+  struct WaterfillResult {
+    std::size_t flows = 0;
+  };
+  WaterfillResult waterfill(const std::vector<FlowId>& ids, SimTime t,
+                            bool apply, std::vector<double>* scratch);
+
+  /// Recomputes the connected components reached from dirty resources;
+  /// the incremental allocator's core.  No-op when nothing is dirty.
+  void realloc_dirty(SimTime t);
+  /// Expands dirty resources to full components; returns member flow
+  /// ids ascending and the component's resources.
+  void collect_dirty_components(std::vector<FlowId>& ids,
+                                std::vector<CapacityProvider*>& resources);
+  /// Reports allocation sums to the touched resources' on_allocation.
+  void report_allocations(const std::vector<FlowId>& ids, SimTime t);
+  /// Runs the reference global recompute into scratch (timing it) and,
+  /// in verify mode, compares with live rates.
+  void reference_shadow(SimTime t, bool verify);
+
+  // -- eager mode ----------------------------------------------------
   /// Moves bytes for the elapsed interval and completes finished flows.
   void advance_to(SimTime t);
-  /// Weighted max-min fair allocation at time `t` (flows_ must be advanced).
-  void reallocate(SimTime t);
+  /// Marks resources whose capacity changed and flows whose TCP cap
+  /// changed since the last waterfill (eager wake-ups).
+  void scan_for_changes(SimTime t);
   /// Schedules the next wake-up (completion / ramp step / load change).
   void schedule_next();
   void wake();
+
+  // -- lazy mode -----------------------------------------------------
+  void request_sweep();
+  void sweep();
+  void integrate_flow(FlowId id, Flow& f, SimTime t);
+  /// (Re)schedules the flow's completion event from its current rate.
+  void arm_completion(FlowId id, Flow& f);
+  void arm_ramp(FlowId id, Flow& f);
+  void arm_load_event(CapacityProvider* resource, ResourceState& state);
+  /// Completes the flow at `t` (records stats, unlinks, erases) and
+  /// fires its callback.
+  void finish_flow(FlowId id, SimTime t);
 
   /// Per-flow instantaneous cap from TCP ramp + window limit.
   Bandwidth flow_cap(const Flow& f, SimTime t) const;
 
   sim::Simulator& sim_;
+  EngineConfig config_;
   std::map<FlowId, Flow> flows_;  // ordered: deterministic iteration
+  std::unordered_map<CapacityProvider*, ResourceState> resources_;
+  std::vector<CapacityProvider*> dirty_resources_;
   FlowId next_id_ = 1;
   SimTime last_update_ = 0.0;
   sim::EventId pending_wake_ = 0;
+  bool sweep_pending_ = false;
+  std::uint64_t visit_epoch_ = 0;
   std::uint64_t completed_ = 0;
+  AllocStats stats_;
+  std::string first_mismatch_;
 };
 
 }  // namespace wadp::net

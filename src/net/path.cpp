@@ -67,6 +67,18 @@ const PathModel* Topology::find(std::string_view source_site,
   return it == paths_.end() ? nullptr : it->second.get();
 }
 
+std::optional<ResolvedRoute> Topology::resolve(std::string_view source_site,
+                                               std::string_view sink_site) {
+  PathModel* path = find(source_site, sink_site);
+  if (path == nullptr) return std::nullopt;
+  ResolvedRoute route;
+  route.path = path;
+  route.rtt = path->rtt();
+  route.bottleneck = path->bottleneck();
+  route.tcp = path->tcp();
+  return route;
+}
+
 std::vector<const PathModel*> Topology::paths() const {
   std::vector<const PathModel*> out;
   out.reserve(paths_.size());

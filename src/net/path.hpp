@@ -15,6 +15,7 @@
 
 #include "net/load.hpp"
 #include "net/provider.hpp"
+#include "net/route.hpp"
 #include "net/tcp.hpp"
 #include "util/types.hpp"
 
@@ -67,8 +68,10 @@ class PathModel final : public CapacityProvider {
   LoadProcess load_;
 };
 
-/// Directed site-pair -> path registry.  Owns the paths.
-class Topology {
+/// Directed site-pair -> path registry.  Owns the paths.  Resolves each
+/// registered pair to its single-segment route (the paper's testbed
+/// shape: one PathModel is the whole wide-area route).
+class Topology : public PathResolver {
  public:
   /// Registers the path for source->sink; at most one per ordered pair.
   PathModel& add_path(std::string source_site, std::string sink_site,
@@ -78,6 +81,10 @@ class Topology {
   PathModel* find(std::string_view source_site, std::string_view sink_site);
   const PathModel* find(std::string_view source_site,
                         std::string_view sink_site) const;
+
+  // PathResolver: the registered path, as a single-segment route.
+  std::optional<ResolvedRoute> resolve(std::string_view source_site,
+                                       std::string_view sink_site) override;
 
   std::vector<const PathModel*> paths() const;
   std::size_t size() const { return paths_.size(); }

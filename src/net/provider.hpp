@@ -29,6 +29,14 @@ class CapacityProvider {
 
   /// Stable diagnostic name ("path:lbl->anl", "storage:anl/read").
   virtual std::string_view resource_name() const = 0;
+
+  /// The fluid engine reports the total rate it allocated across this
+  /// resource whenever the allocation changes.  Default no-op; links
+  /// override it to record utilization series for the predictor plane.
+  virtual void on_allocation(SimTime t, Bandwidth allocated) {
+    (void)t;
+    (void)allocated;
+  }
 };
 
 }  // namespace wadp::net

@@ -1,0 +1,56 @@
+// Route resolution: the abstraction between "who wants to move bytes
+// between two sites" (GridFTP clients, workload drivers) and "what
+// shared resources those bytes cross" (the fluid engine's allocation).
+//
+// Two implementations exist:
+//   * net::Topology — the paper's directed site-pair registry, where a
+//     route is exactly one PathModel (the calibrated 3-site testbed);
+//   * net::GridTopology — the grid-scale graph, where a route is the
+//     precomputed multi-link shortest path between two sites.
+//
+// Callers resolve once per transfer and hand the result to the fluid
+// engine; they never need to know which world they run in.
+#pragma once
+
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "net/tcp.hpp"
+#include "util/types.hpp"
+
+namespace wadp::net {
+
+class CapacityProvider;
+class PathModel;
+
+/// One resolved source->destination route.  Exactly one of `path` /
+/// `links` is populated:
+///   * `path != nullptr` — the paper-testbed case: a single PathModel
+///     carries capacity, RTT, TCP params, and the background load; the
+///     fluid engine allocates against the path itself.
+///   * `links` non-empty — the grid case: the flow crosses each link in
+///     order; every link is a shared resource with its own background
+///     load, and the flow's TCP behaviour is governed by the end-to-end
+///     `rtt` / `tcp` below.
+struct ResolvedRoute {
+  PathModel* path = nullptr;
+  std::vector<CapacityProvider*> links;
+  Duration rtt = 0.0;        ///< end-to-end base round-trip time
+  Bandwidth bottleneck = 0.0;  ///< min segment capacity (planning hint)
+  TcpParams tcp;
+};
+
+/// Resolves site pairs to routes.  Implementations own the underlying
+/// paths/links; resolved pointers stay valid for the resolver's
+/// lifetime.
+class PathResolver {
+ public:
+  virtual ~PathResolver() = default;
+
+  /// nullopt when no route connects source to destination.
+  virtual std::optional<ResolvedRoute> resolve(std::string_view source_site,
+                                               std::string_view sink_site) = 0;
+};
+
+}  // namespace wadp::net

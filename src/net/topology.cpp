@@ -1,0 +1,238 @@
+#include "net/topology.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <tuple>
+
+#include "util/error.hpp"
+
+namespace wadp::net {
+namespace {
+
+/// Utilization samples retained per link.  At the fluid engine's
+/// realloc cadence this spans the recent-history window predictors
+/// read; older samples age out of the ring.
+constexpr std::size_t kUtilizationRingCapacity = 1024;
+
+}  // namespace
+
+Link::Link(std::string a, std::string b, LinkParams params, std::uint64_t seed,
+           SimTime origin)
+    : a_(std::move(a)),
+      b_(std::move(b)),
+      name_("link:" + a_ + "<->" + b_),
+      params_(params),
+      load_(params.load, seed, origin) {
+  WADP_CHECK(params_.capacity > 0.0);
+  WADP_CHECK(params_.rtt > 0.0);
+}
+
+Bandwidth Link::capacity_at(SimTime t) const {
+  return params_.capacity * load_.availability(t);
+}
+
+SimTime Link::next_change_after(SimTime t) const {
+  return load_.next_change_after(t);
+}
+
+void Link::on_allocation(SimTime t, Bandwidth allocated) {
+  UtilizationSample sample;
+  sample.t = t;
+  sample.allocated = allocated;
+  sample.capacity = capacity_at(t);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < kUtilizationRingCapacity) {
+    ring_.push_back(sample);
+    ring_next_ = ring_.size() % kUtilizationRingCapacity;
+    ring_full_ = ring_.size() == kUtilizationRingCapacity;
+  } else {
+    ring_[ring_next_] = sample;
+    ring_next_ = (ring_next_ + 1) % kUtilizationRingCapacity;
+  }
+}
+
+UtilizationSample Link::last_utilization() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.empty()) return {};
+  const std::size_t last =
+      (ring_next_ + ring_.size() - 1) % ring_.size();
+  return ring_[ring_full_ ? last : ring_.size() - 1];
+}
+
+std::vector<UtilizationSample> Link::utilization_series() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<UtilizationSample> out;
+  out.reserve(ring_.size());
+  if (!ring_full_) {
+    out.assign(ring_.begin(), ring_.end());
+    return out;
+  }
+  // Oldest first: the slot about to be overwritten is the oldest.
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(ring_next_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::size_t GridTopology::add_site(std::string name) {
+  WADP_CHECK_MSG(!frozen_, "topology is frozen");
+  WADP_CHECK_MSG(!name.empty(), "site name must be non-empty");
+  const auto [it, inserted] = site_index_.emplace(name, site_names_.size());
+  WADP_CHECK_MSG(inserted, "duplicate site");
+  site_names_.push_back(std::move(name));
+  adjacency_.emplace_back();
+  return it->second;
+}
+
+std::size_t GridTopology::site_index(std::string_view name) const {
+  const auto it = site_index_.find(name);
+  WADP_CHECK_MSG(it != site_index_.end(), "unknown site");
+  return it->second;
+}
+
+Link& GridTopology::add_link(std::string_view a, std::string_view b,
+                             LinkParams params, std::uint64_t seed,
+                             SimTime origin) {
+  WADP_CHECK_MSG(!frozen_, "topology is frozen");
+  const std::size_t ia = site_index(a);
+  const std::size_t ib = site_index(b);
+  WADP_CHECK_MSG(ia != ib, "link endpoints must differ");
+  links_.push_back(std::make_unique<Link>(std::string(a), std::string(b),
+                                          params, seed, origin));
+  const std::size_t index = links_.size() - 1;
+  adjacency_[ia].emplace_back(ib, index);
+  adjacency_[ib].emplace_back(ia, index);
+  return *links_.back();
+}
+
+void GridTopology::freeze() {
+  WADP_CHECK_MSG(!frozen_, "freeze() called twice");
+  const std::size_t n = site_names_.size();
+  routes_.assign(n * n, GridRoute{});
+
+  // Dijkstra from every source.  Cost = (total rtt, hops, tie); the hop
+  // and insertion-order tie-breaks make the routes deterministic even
+  // when rtts collide (seeded builders round-trip exactly).
+  struct Node {
+    Duration dist;
+    std::size_t hops;
+    std::size_t site;
+    bool operator>(const Node& o) const {
+      return std::tie(dist, hops, site) > std::tie(o.dist, o.hops, o.site);
+    }
+  };
+  constexpr Duration kUnreachable = std::numeric_limits<Duration>::infinity();
+
+  std::vector<Duration> dist(n);
+  std::vector<std::size_t> hops(n);
+  std::vector<std::size_t> via_link(n);  // link taken into this site
+  std::vector<std::size_t> parent(n);
+
+  for (std::size_t src = 0; src < n; ++src) {
+    std::fill(dist.begin(), dist.end(), kUnreachable);
+    std::fill(hops.begin(), hops.end(), 0);
+    std::fill(via_link.begin(), via_link.end(), links_.size());
+    std::fill(parent.begin(), parent.end(), n);
+    dist[src] = 0.0;
+
+    std::priority_queue<Node, std::vector<Node>, std::greater<Node>> frontier;
+    frontier.push({0.0, 0, src});
+    while (!frontier.empty()) {
+      const Node node = frontier.top();
+      frontier.pop();
+      if (node.dist > dist[node.site] ||
+          (node.dist == dist[node.site] && node.hops > hops[node.site])) {
+        continue;  // stale entry
+      }
+      for (const auto& [next, link_index] : adjacency_[node.site]) {
+        const Duration d = node.dist + links_[link_index]->rtt();
+        const std::size_t h = node.hops + 1;
+        const bool better =
+            d < dist[next] ||
+            (d == dist[next] && (parent[next] == n || h < hops[next] ||
+                                 (h == hops[next] && link_index < via_link[next])));
+        if (!better) continue;
+        dist[next] = d;
+        hops[next] = h;
+        via_link[next] = link_index;
+        parent[next] = node.site;
+        frontier.push({d, h, next});
+      }
+    }
+
+    for (std::size_t dst = 0; dst < n; ++dst) {
+      if (dst == src || dist[dst] == kUnreachable) continue;
+      GridRoute& route = routes_[src * n + dst];
+      route.rtt = dist[dst];
+      route.bottleneck = std::numeric_limits<Bandwidth>::infinity();
+      for (std::size_t at = dst; at != src; at = parent[at]) {
+        Link* link = links_[via_link[at]].get();
+        route.links.push_back(link);
+        route.bottleneck = std::min(route.bottleneck, link->capacity());
+      }
+      std::reverse(route.links.begin(), route.links.end());
+    }
+  }
+  frozen_ = true;
+}
+
+const GridRoute* GridTopology::route(std::string_view source,
+                                     std::string_view sink) const {
+  WADP_CHECK_MSG(frozen_, "freeze() the topology before routing");
+  const auto src = site_index_.find(source);
+  const auto dst = site_index_.find(sink);
+  if (src == site_index_.end() || dst == site_index_.end()) return nullptr;
+  if (src->second == dst->second) return nullptr;
+  const GridRoute& route =
+      routes_[src->second * site_names_.size() + dst->second];
+  return route.links.empty() ? nullptr : &route;
+}
+
+std::optional<ResolvedRoute> GridTopology::resolve(std::string_view source_site,
+                                                   std::string_view sink_site) {
+  const GridRoute* grid_route = route(source_site, sink_site);
+  if (grid_route == nullptr) return std::nullopt;
+  ResolvedRoute resolved;
+  resolved.links.reserve(grid_route->links.size());
+  for (Link* link : grid_route->links) resolved.links.push_back(link);
+  resolved.rtt = grid_route->rtt;
+  resolved.bottleneck = grid_route->bottleneck;
+  resolved.tcp = tcp_;
+  return resolved;
+}
+
+bool GridTopology::connected() const {
+  if (site_names_.empty()) return true;
+  std::vector<bool> seen(site_names_.size(), false);
+  std::vector<std::size_t> stack = {0};
+  seen[0] = true;
+  std::size_t count = 1;
+  while (!stack.empty()) {
+    const std::size_t at = stack.back();
+    stack.pop_back();
+    for (const auto& [next, link_index] : adjacency_[at]) {
+      (void)link_index;
+      if (seen[next]) continue;
+      seen[next] = true;
+      ++count;
+      stack.push_back(next);
+    }
+  }
+  return count == site_names_.size();
+}
+
+GridTopology::UtilizationSummary GridTopology::utilization_summary() const {
+  UtilizationSummary summary;
+  if (links_.empty()) return summary;
+  double sum = 0.0;
+  for (const auto& link : links_) {
+    const double u = link->last_utilization().utilization();
+    summary.max = std::max(summary.max, u);
+    sum += u;
+  }
+  summary.mean = sum / static_cast<double>(links_.size());
+  return summary;
+}
+
+}  // namespace wadp::net

@@ -1,0 +1,168 @@
+// Grid-scale network topology: sites, links, precomputed routes.
+//
+// The paper's world is three sites and two wide-area links; the grid
+// world the ROADMAP targets is hundreds of sites and thousands of
+// links.  GridTopology models that world as an undirected graph whose
+// edges are Link objects — each a CapacityProvider with its own
+// capacity, propagation RTT, and background-load process — and resolves
+// site pairs to precomputed shortest-RTT routes (Dijkstra at build
+// time; route lookups during simulation are one hash probe).
+//
+// Every Link records the utilization series the fluid engine reports
+// through CapacityProvider::on_allocation.  The series is the
+// per-link observable the predictor plane consumes (the grid analogue
+// of the paper's NWS link probes), and it is safe to read from other
+// threads while a simulation runs — the dashboards-and-probes pattern
+// the *Thread* stress suites exercise.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/load.hpp"
+#include "net/provider.hpp"
+#include "net/route.hpp"
+#include "util/types.hpp"
+
+namespace wadp::net {
+
+struct LinkParams {
+  Bandwidth capacity = 12'500'000.0;  ///< bytes/s
+  Duration rtt = 0.010;               ///< propagation round trip of this hop
+  LoadParams load;                    ///< background (non-wadp) traffic
+};
+
+/// One utilization observation: what fraction of the link's available
+/// capacity wadp flows held from `t` onward.
+struct UtilizationSample {
+  SimTime t = 0.0;
+  Bandwidth allocated = 0.0;  ///< bytes/s granted to wadp flows
+  Bandwidth capacity = 0.0;   ///< capacity_at(t) when sampled
+  double utilization() const {
+    return capacity > 0.0 ? allocated / capacity : 0.0;
+  }
+};
+
+/// An undirected wide-area link between two sites (or routers).  Both
+/// traffic directions share its capacity — the shared-medium model that
+/// keeps a 1000-link grid tractable; the paper testbed keeps its
+/// per-direction PathModels.
+class Link final : public CapacityProvider {
+ public:
+  Link(std::string a, std::string b, LinkParams params, std::uint64_t seed,
+       SimTime origin);
+
+  // CapacityProvider.
+  Bandwidth capacity_at(SimTime t) const override;
+  SimTime next_change_after(SimTime t) const override;
+  std::string_view resource_name() const override { return name_; }
+  void on_allocation(SimTime t, Bandwidth allocated) override;
+
+  const std::string& site_a() const { return a_; }
+  const std::string& site_b() const { return b_; }
+  Duration rtt() const { return params_.rtt; }
+  Bandwidth capacity() const { return params_.capacity; }
+
+  /// Most recent utilization sample (zeroes before any allocation).
+  UtilizationSample last_utilization() const;
+
+  /// Copy of the bounded utilization series, oldest first.  Thread-safe
+  /// against the simulating thread.
+  std::vector<UtilizationSample> utilization_series() const;
+
+ private:
+  std::string a_;
+  std::string b_;
+  std::string name_;
+  LinkParams params_;
+  LoadProcess load_;
+
+  // The series is written from simulator context and read from
+  // dashboard/predictor threads; a mutex around a bounded ring keeps
+  // both honest (samples are tiny, contention is per-allocation).
+  mutable std::mutex mu_;
+  std::vector<UtilizationSample> ring_;
+  std::size_t ring_next_ = 0;
+  bool ring_full_ = false;
+};
+
+/// A site-to-site route: the ordered links a flow crosses plus the
+/// end-to-end characteristics the TCP model needs.
+struct GridRoute {
+  std::vector<Link*> links;
+  Duration rtt = 0.0;          ///< sum of hop RTTs
+  Bandwidth bottleneck = 0.0;  ///< min hop capacity
+};
+
+/// The grid graph.  Build with add_site/add_link, then freeze() to
+/// precompute all-pairs shortest-RTT routes; resolve() afterwards is
+/// O(1).  Owns sites and links.
+class GridTopology : public PathResolver {
+ public:
+  GridTopology() = default;
+  GridTopology(const GridTopology&) = delete;
+  GridTopology& operator=(const GridTopology&) = delete;
+
+  /// Registers a site; returns its dense index.
+  std::size_t add_site(std::string name);
+
+  /// Registers an undirected link between two existing sites.  `seed`
+  /// drives the link's background-load process.
+  Link& add_link(std::string_view a, std::string_view b, LinkParams params,
+                 std::uint64_t seed, SimTime origin);
+
+  /// Precomputes routes (shortest total RTT, ties broken by fewest hops
+  /// then lowest link insertion order — deterministic across runs).
+  /// Call once after the graph is complete.
+  void freeze();
+
+  /// Route between two sites; nullptr when disconnected or unknown.
+  /// Requires freeze().
+  const GridRoute* route(std::string_view source, std::string_view sink) const;
+
+  // PathResolver: multi-link route with default TCP params.
+  std::optional<ResolvedRoute> resolve(std::string_view source_site,
+                                       std::string_view sink_site) override;
+
+  /// TCP parameterization handed out with resolved routes.
+  void set_tcp(TcpParams tcp) { tcp_ = tcp; }
+  TcpParams tcp() const { return tcp_; }
+
+  std::size_t site_count() const { return site_names_.size(); }
+  std::size_t link_count() const { return links_.size(); }
+  const std::vector<std::string>& site_names() const { return site_names_; }
+  const std::vector<std::unique_ptr<Link>>& links() const { return links_; }
+  bool frozen() const { return frozen_; }
+
+  /// True when every site can reach every other site.
+  bool connected() const;
+
+  /// Max and mean of the links' latest utilization samples — the
+  /// aggregate the simgrid CLI and the bench report.
+  struct UtilizationSummary {
+    double max = 0.0;
+    double mean = 0.0;
+  };
+  UtilizationSummary utilization_summary() const;
+
+ private:
+  std::size_t site_index(std::string_view name) const;
+
+  std::vector<std::string> site_names_;
+  std::map<std::string, std::size_t, std::less<>> site_index_;
+  std::vector<std::unique_ptr<Link>> links_;
+  // adjacency_[site] = {(neighbor site, link index), ...} in insertion order.
+  std::vector<std::vector<std::pair<std::size_t, std::size_t>>> adjacency_;
+  // routes_[src * sites + dst]; empty links == unreachable (or src==dst).
+  std::vector<GridRoute> routes_;
+  bool frozen_ = false;
+  TcpParams tcp_;
+};
+
+}  // namespace wadp::net

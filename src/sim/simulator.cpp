@@ -1,10 +1,25 @@
 #include "sim/simulator.hpp"
 
+#include <algorithm>
+#include <cmath>
+
 #include "obs/metrics.hpp"
 #include "util/error.hpp"
 
 namespace wadp::sim {
 namespace {
+
+/// Near-bucket lookahead: events this close to "now" skip the heap and
+/// take the O(1) append path.  One second comfortably covers the fluid
+/// engine's hot events (sub-RTT ramp steps, micro-quantum wake-ups)
+/// while keeping the bucket's lazy sorts small — campaign-scale sleeps
+/// (minutes to hours) still go to the heap.
+constexpr Duration kNearWindow = 1.0;
+
+/// Compaction floor: tombstones must outnumber live events AND this
+/// floor before a rebuild, so tiny simulations don't compact on every
+/// other cancel.  Bounds queue memory at 2 * live + kCompactFloor.
+constexpr std::size_t kCompactFloor = 64;
 
 /// Engine-wide counters (one process may run several Simulators; the
 /// totals aggregate across them, which is what capacity planning wants).
@@ -19,6 +34,15 @@ struct SimMetrics {
   obs::Counter& cancelled = obs::Registry::global().counter(
       "wadp_sim_events_cancelled_total", {},
       "Events cancelled before firing");
+  obs::Counter& fastpath = obs::Registry::global().counter(
+      "wadp_sim_events_fastpath_total", {},
+      "Events scheduled via the O(1) immediate/near tiers");
+  obs::Counter& compactions = obs::Registry::global().counter(
+      "wadp_sim_compactions_total", {},
+      "Tombstone compactions of any simulator's event queue");
+  obs::Counter& batches = obs::Registry::global().counter(
+      "wadp_sim_batches_total", {},
+      "run_batch lookahead windows drained");
 
   static SimMetrics& get() {
     static SimMetrics metrics;
@@ -28,19 +52,45 @@ struct SimMetrics {
 
 }  // namespace
 
-EventId Simulator::schedule_at(SimTime when, Handler handler) {
-  WADP_CHECK_MSG(when >= now_, "cannot schedule into the past");
-  WADP_CHECK(handler != nullptr);
+EventId Simulator::enqueue(SimTime when, Handler handler) {
   SimMetrics::get().scheduled.inc();
   const EventId id = next_id_++;
-  queue_.push(Event{.when = when, .seq = next_seq_++, .id = id});
+  const Event ev{.when = when, .seq = next_seq_++, .id = id};
+  if (when == now_) {
+    immediate_.push_back(ev);  // O(1): fires this instant, FIFO order
+    SimMetrics::get().fastpath.inc();
+  } else if (when - now_ <= kNearWindow) {
+    // O(1) append; the bucket stays "sorted" only while appends keep
+    // descending toward the minimum at the back (rare) — otherwise it
+    // re-sorts lazily on the next pop.
+    if (near_sorted_ && !near_.empty() && !(near_.back() > ev)) {
+      near_sorted_ = false;
+    }
+    near_.push_back(ev);
+    SimMetrics::get().fastpath.inc();
+  } else {
+    heap_.push_back(ev);
+    std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
+  }
   handlers_.emplace(id, std::move(handler));
   return id;
 }
 
+EventId Simulator::schedule_at(SimTime when, Handler handler) {
+  // A NaN `when` would silently poison every ordering comparison below
+  // (NaN compares false against everything), so it is rejected here
+  // rather than corrupting the queue.
+  WADP_CHECK_MSG(std::isfinite(when), "non-finite event time");
+  WADP_CHECK_MSG(when >= now_, "cannot schedule into the past");
+  WADP_CHECK(handler != nullptr);
+  return enqueue(when, std::move(handler));
+}
+
 EventId Simulator::schedule_after(Duration delay, Handler handler) {
-  WADP_CHECK_MSG(delay >= 0.0, "negative delay");
-  return schedule_at(now_ + delay, std::move(handler));
+  WADP_CHECK_MSG(delay >= 0.0, "negative delay");  // also rejects NaN
+  WADP_CHECK_MSG(std::isfinite(delay), "non-finite delay");
+  WADP_CHECK(handler != nullptr);
+  return enqueue(now_ + delay, std::move(handler));
 }
 
 bool Simulator::cancel(EventId id) {
@@ -49,28 +99,97 @@ bool Simulator::cancel(EventId id) {
   handlers_.erase(it);
   ++cancelled_pending_;
   SimMetrics::get().cancelled.inc();
+  // Lazy deletion is bounded: once tombstones outnumber live events the
+  // tiers are rebuilt, so schedule/cancel churn (a long-armed
+  // PeriodicTask::stop, per-flow reschedules) cannot grow the queue
+  // without bound.
+  if (cancelled_pending_ > handlers_.size() &&
+      cancelled_pending_ >= kCompactFloor) {
+    compact();
+  }
   return true;
 }
 
-bool Simulator::fire_next() {
-  while (!queue_.empty()) {
-    const Event ev = queue_.top();
-    queue_.pop();
-    const auto it = handlers_.find(ev.id);
-    if (it == handlers_.end()) {
-      --cancelled_pending_;  // was cancelled; skip silently
-      continue;
-    }
-    now_ = ev.when;
-    // Move the handler out before invoking: the handler may schedule or
-    // cancel events, invalidating iterators.
-    Handler handler = std::move(it->second);
-    handlers_.erase(it);
-    SimMetrics::get().executed.inc();
-    handler();
-    return true;
+void Simulator::compact() {
+  const auto dead = [this](const Event& ev) {
+    return !handlers_.contains(ev.id);
+  };
+  std::erase_if(immediate_, dead);
+  std::erase_if(near_, dead);
+  std::erase_if(heap_, dead);
+  std::make_heap(heap_.begin(), heap_.end(), std::greater<>{});
+  cancelled_pending_ = 0;
+  ++compactions_;
+  SimMetrics::get().compactions.inc();
+}
+
+void Simulator::sort_near() {
+  if (near_sorted_) return;
+  // Descending (when, seq): the minimum sits at the back for O(1) pops.
+  std::sort(near_.begin(), near_.end(),
+            [](const Event& a, const Event& b) { return a > b; });
+  near_sorted_ = true;
+}
+
+void Simulator::prune_fronts() {
+  while (!immediate_.empty() && !handlers_.contains(immediate_.front().id)) {
+    immediate_.pop_front();
+    --cancelled_pending_;
   }
-  return false;
+  sort_near();
+  while (!near_.empty() && !handlers_.contains(near_.back().id)) {
+    near_.pop_back();
+    --cancelled_pending_;
+  }
+  while (!heap_.empty() && !handlers_.contains(heap_.front().id)) {
+    std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+    heap_.pop_back();
+    --cancelled_pending_;
+  }
+}
+
+const Simulator::Event* Simulator::peek_min() const {
+  const Event* best = nullptr;
+  const auto consider = [&best](const Event* candidate) {
+    if (candidate != nullptr && (best == nullptr || *best > *candidate)) {
+      best = candidate;
+    }
+  };
+  consider(immediate_.empty() ? nullptr : &immediate_.front());
+  consider(near_.empty() ? nullptr : &near_.back());
+  consider(heap_.empty() ? nullptr : &heap_.front());
+  return best;
+}
+
+std::optional<SimTime> Simulator::next_event_time() {
+  prune_fronts();
+  const Event* min = peek_min();
+  return min == nullptr ? std::nullopt : std::optional<SimTime>(min->when);
+}
+
+bool Simulator::fire_next() {
+  prune_fronts();
+  const Event* min = peek_min();
+  if (min == nullptr) return false;
+  const Event ev = *min;
+  if (!immediate_.empty() && min == &immediate_.front()) {
+    immediate_.pop_front();
+  } else if (!near_.empty() && min == &near_.back()) {
+    near_.pop_back();
+  } else {
+    std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+    heap_.pop_back();
+  }
+  const auto it = handlers_.find(ev.id);
+  WADP_CHECK(it != handlers_.end());  // fronts were pruned to live events
+  now_ = ev.when;
+  // Move the handler out before invoking: the handler may schedule or
+  // cancel events, invalidating iterators.
+  Handler handler = std::move(it->second);
+  handlers_.erase(it);
+  SimMetrics::get().executed.inc();
+  handler();
+  return true;
 }
 
 std::size_t Simulator::run() {
@@ -79,29 +198,29 @@ std::size_t Simulator::run() {
   return executed;
 }
 
-std::size_t Simulator::run_until(SimTime deadline) {
-  WADP_CHECK(deadline >= now_);
+std::size_t Simulator::drain_until(SimTime deadline) {
   std::size_t executed = 0;
   for (;;) {
-    // Peek past cancelled entries to find the next live event time.
-    bool fired = false;
-    while (!queue_.empty()) {
-      const Event& top = queue_.top();
-      if (!handlers_.contains(top.id)) {
-        queue_.pop();
-        --cancelled_pending_;
-        continue;
-      }
-      if (top.when > deadline) break;
-      fire_next();
-      ++executed;
-      fired = true;
-      break;
-    }
-    if (!fired) break;
+    prune_fronts();
+    const Event* min = peek_min();
+    if (min == nullptr || min->when > deadline) break;
+    fire_next();
+    ++executed;
   }
   now_ = deadline;
   return executed;
+}
+
+std::size_t Simulator::run_until(SimTime deadline) {
+  WADP_CHECK(deadline >= now_);
+  return drain_until(deadline);
+}
+
+std::size_t Simulator::run_batch(Duration horizon) {
+  WADP_CHECK_MSG(horizon >= 0.0, "negative batch horizon");
+  WADP_CHECK_MSG(std::isfinite(horizon), "non-finite batch horizon");
+  SimMetrics::get().batches.inc();
+  return drain_until(now_ + horizon);
 }
 
 bool Simulator::step() { return fire_next(); }

@@ -1,18 +1,40 @@
 // Discrete-event simulation engine.
 //
-// A Simulator owns a virtual clock (SimTime, epoch seconds) and a
-// priority queue of scheduled events.  Everything dynamic in wadp —
-// GridFTP transfers, NWS probes, the workload driver's sleeps, MDS
-// soft-state expiry — runs as events on one Simulator, which makes whole
-// campaigns deterministic and independent of wall time.
+// A Simulator owns a virtual clock (SimTime, epoch seconds) and an
+// indexed event core.  Everything dynamic in wadp — GridFTP transfers,
+// NWS probes, the workload driver's sleeps, MDS soft-state expiry, the
+// fluid engine's per-flow wake-ups — runs as events on one Simulator,
+// which makes whole campaigns deterministic and independent of wall
+// time.
 //
 // Events scheduled for the same instant fire in scheduling order (a
 // monotone sequence number breaks ties), which keeps runs reproducible.
+//
+// The event core is built for grid-scale event rates (hundreds of
+// sites, thousands of links, tens of thousands of concurrent flows):
+//
+//   * three tiers — an *immediate* FIFO for events at the current
+//     instant (O(1) push/pop; the zero-delay callbacks that dominate
+//     protocol glue), a *near* bucket for events within a short
+//     lookahead window (O(1) append, sorted lazily on first pop; the
+//     fluid engine's ramp steps and completion wake-ups), and a binary
+//     heap for everything farther out;
+//   * cancellation is O(1) lazy deletion (the handler index is the
+//     source of truth), and the core *compacts* — rebuilds the tiers
+//     without tombstones — whenever cancelled entries outnumber live
+//     events, so a long-armed cancel pattern (PeriodicTask::stop,
+//     per-flow completion reschedules) can never grow the queue without
+//     bound;
+//   * run_batch(horizon) drains every event inside a lookahead window
+//     in one pass — the timestep-batched shape tt-npe-style flow
+//     simulators use, and the natural hook for a later parallel engine
+//     (batch boundaries are the only safe synchronization points).
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
-#include <queue>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -36,14 +58,18 @@ class Simulator {
 
   SimTime now() const { return now_; }
 
-  /// Schedules `handler` at absolute time `when` (>= now).
+  /// Schedules `handler` at absolute time `when` (>= now, finite).
   EventId schedule_at(SimTime when, Handler handler);
 
-  /// Schedules `handler` after `delay` (>= 0) simulated seconds.
+  /// Schedules `handler` after `delay` (>= 0) simulated seconds.  Takes
+  /// the O(1) fast path for the common near-future case (zero delay or
+  /// within the near-bucket window).
   EventId schedule_after(Duration delay, Handler handler);
 
   /// Cancels a pending event.  Returns false when the event already
-  /// fired, was cancelled, or never existed.
+  /// fired, was cancelled, or never existed.  O(1); dead queue entries
+  /// are skipped on pop and compacted away when they outnumber live
+  /// events.
   bool cancel(EventId id);
 
   /// Runs events until the queue empties.  Returns events executed.
@@ -53,33 +79,81 @@ class Simulator {
   /// `deadline` (even if idle).  Returns events executed.
   std::size_t run_until(SimTime deadline);
 
+  /// Drains every event within `horizon` seconds of lookahead — one
+  /// timestep batch — then advances the clock to the batch boundary.
+  /// Events scheduled by handlers inside the window are drained too.
+  /// Returns events executed.
+  std::size_t run_batch(Duration horizon);
+
   /// Executes only the next event, if any.  Returns false when idle.
   bool step();
 
-  std::size_t pending_events() const { return queue_.size() - cancelled_pending_; }
+  /// Live (non-cancelled) scheduled events.
+  std::size_t pending_events() const { return handlers_.size(); }
+
+  /// Time of the earliest live event, or nullopt when idle.  Prunes
+  /// tombstones encountered at the queue fronts.
+  std::optional<SimTime> next_event_time();
+
+  /// Queue entries currently held, live + not-yet-pruned tombstones.
+  /// Bounded by compaction: never exceeds 2 * live + compaction floor.
+  std::size_t queued_entries() const {
+    return immediate_.size() + near_.size() + heap_.size();
+  }
+
+  /// Tombstone compactions performed (tests / capacity planning).
+  std::uint64_t compactions() const { return compactions_; }
 
  private:
   struct Event {
     SimTime when;
     std::uint64_t seq;  // tie-break: FIFO among same-time events
     EventId id;
-    // Ordered as a min-heap via operator> in the priority_queue.
     bool operator>(const Event& other) const {
       if (when != other.when) return when > other.when;
       return seq > other.seq;
     }
   };
 
+  /// Tier an event at `when` and return its id; the O(1) fast paths
+  /// append to the immediate FIFO / near bucket, the general case heaps.
+  EventId enqueue(SimTime when, Handler handler);
+
+  /// Drops cancelled entries from each tier's front so the fronts are
+  /// live (or the tiers empty).
+  void prune_fronts();
+
+  /// Points at the live minimum event across the three tiers; call
+  /// prune_fronts() first.  Nullptr when idle.
+  const Event* peek_min() const;
+
+  /// Rebuilds all tiers without tombstones.
+  void compact();
+
   bool fire_next();
+  std::size_t drain_until(SimTime deadline);
+
+  /// Ensures the near bucket is sorted descending (minimum at back).
+  void sort_near();
 
   SimTime now_;
   std::uint64_t next_seq_ = 0;
   EventId next_id_ = 1;
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+
+  // Tier 1: events at exactly now_ (seq order = FIFO order).
+  std::deque<Event> immediate_;
+  // Tier 2: events within kNearWindow of their scheduling instant;
+  // appended O(1), sorted descending on demand so the min pops O(1).
+  std::vector<Event> near_;
+  bool near_sorted_ = true;
+  // Tier 3: binary min-heap (std::push_heap / pop_heap with >).
+  std::vector<Event> heap_;
+
   // Handlers live outside the queue so cancel() is O(1); a cancelled id
   // simply has no handler when popped.
   std::unordered_map<EventId, Handler> handlers_;
   std::size_t cancelled_pending_ = 0;
+  std::uint64_t compactions_ = 0;
 };
 
 /// Periodic task helper: re-schedules itself every `period` seconds

@@ -38,6 +38,19 @@ std::string paper_file_path(Bytes size) {
   return "/home/ftp/vazhkuda/" + util::format_bytes(size);
 }
 
+const TestbedSpec& paper_testbed_spec() {
+  static const TestbedSpec kSpec = {
+      // Site order fixes the load-seed draw order; do not reorder.
+      {{"anl", "mirage.anl.gov", "140.221.65.69"},
+       {"isi", "jet.isi.edu", "128.9.160.100"},
+       {"lbl", "dpsslx04.lbl.gov", "131.243.2.91"}},
+      {{"lbl", "anl", 0.055, 12'500'000.0},
+       {"isi", "anl", 0.065, 12'500'000.0},
+       {"lbl", "isi", 0.075, 11'000'000.0}},
+  };
+  return kSpec;
+}
+
 namespace {
 
 /// Background-load parameterization shared by the wide-area links.  The
@@ -84,7 +97,8 @@ net::LoadParams storage_load(util::TimeZone zone) {
 
 }  // namespace
 
-Testbed::Testbed(Campaign campaign, std::uint64_t seed, TestbedConfig config)
+Testbed::Testbed(Campaign campaign, std::uint64_t seed, TestbedConfig config,
+                 const TestbedSpec& spec)
     : campaign_(campaign),
       start_(campaign_start(campaign)),
       zone_(campaign_zone(campaign)),
@@ -92,34 +106,22 @@ Testbed::Testbed(Campaign campaign, std::uint64_t seed, TestbedConfig config)
       engine_(sim_) {
   util::Rng seeder(seed ^ (campaign == Campaign::kAugust2001 ? 0xau : 0xdu));
 
-  add_site("anl", "mirage.anl.gov", "140.221.65.69", seeder.next_u64(), config);
-  add_site("isi", "jet.isi.edu", "128.9.160.100", seeder.next_u64(), config);
-  add_site("lbl", "dpsslx04.lbl.gov", "131.243.2.91", seeder.next_u64(), config);
+  for (const SiteSpec& site : spec.sites) {
+    add_site(site.site, site.host, site.ip, seeder.next_u64(), config);
+  }
 
   // Directed wide-area paths; both directions for every pair so that
   // control channels, puts, and third-party transfers all resolve.
-  struct Link {
-    const char* a;
-    const char* b;
-    Duration rtt;
-    Bandwidth bottleneck;
-  };
-  const Link links[] = {
-      {"lbl", "anl", 0.055, 12'500'000.0},
-      {"isi", "anl", 0.065, 12'500'000.0},
-      {"lbl", "isi", 0.075, 11'000'000.0},
-  };
-  for (const Link& link : links) {
+  for (const WanLinkSpec& link : spec.links) {
     net::PathParams params;
     params.bottleneck = link.bottleneck;
     params.rtt = link.rtt;
     params.load = config.wan_load_override.value_or(wan_load(zone_));
     // Each direction gets its own load process: Internet routes are
     // asymmetric and so is their congestion.
-    const auto directed = [&](const char* src, const char* dst) {
+    const auto directed = [&](const std::string& src, const std::string& dst) {
       net::PathParams p = params;
-      const auto it = config.bottleneck_overrides.find(
-          std::string(src) + "->" + dst);
+      const auto it = config.bottleneck_overrides.find(src + "->" + dst);
       if (it != config.bottleneck_overrides.end()) p.bottleneck = it->second;
       topology_.add_path(src, dst, p, seeder.next_u64(), start_);
     };

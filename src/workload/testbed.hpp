@@ -44,6 +44,35 @@ const std::vector<Bytes>& paper_file_sizes();
 /// ("/home/ftp/vazhkuda/10 MB" etc.).
 std::string paper_file_path(Bytes size);
 
+/// One endpoint of a testbed specification.
+struct SiteSpec {
+  std::string site;  ///< short name ("anl")
+  std::string host;  ///< FQDN logged in ULM records
+  std::string ip;    ///< dotted quad logged in ULM records
+};
+
+/// One wide-area pair of a testbed specification; expands to directed
+/// paths a->b and b->a, each with its own background-load process.
+struct WanLinkSpec {
+  std::string a;
+  std::string b;
+  Duration rtt = 0.055;                 ///< round trip, seconds
+  Bandwidth bottleneck = 12'500'000.0;  ///< bytes/s
+};
+
+/// A testbed layout: which sites exist and which wide-area pairs
+/// connect them.  The Testbed constructor instantiates storage,
+/// servers, clients, and load processes from this — the calibrated
+/// paper testbed is simply the default three-site spec.
+struct TestbedSpec {
+  std::vector<SiteSpec> sites;
+  std::vector<WanLinkSpec> links;
+};
+
+/// The calibrated three-site spec of Section 6: ANL, ISI, LBL with
+/// ~12.5 MB/s bottlenecks and 55-75 ms RTTs.
+const TestbedSpec& paper_testbed_spec();
+
 /// Optional deviations from the calibrated paper testbed, for
 /// heterogeneity studies (Section 1: "different sites may have varying
 /// performance characteristics because of diverse storage system
@@ -61,10 +90,14 @@ struct TestbedConfig {
 
 class Testbed {
  public:
-  /// Builds the three-site world for `campaign`.  `seed` controls all
-  /// stochastic behaviour (load processes); workload randomness is
-  /// seeded separately by the campaign driver.
-  Testbed(Campaign campaign, std::uint64_t seed, TestbedConfig config = {});
+  /// Builds the world described by `spec` (default: the paper's three
+  /// sites) for `campaign`.  `seed` controls all stochastic behaviour
+  /// (load processes); workload randomness is seeded separately by the
+  /// campaign driver.  Load-process seeds are drawn from one seeder in
+  /// spec order — sites first, then each link's two directions — so a
+  /// given (spec, seed) pair is bit-reproducible.
+  Testbed(Campaign campaign, std::uint64_t seed, TestbedConfig config = {},
+          const TestbedSpec& spec = paper_testbed_spec());
 
   Testbed(const Testbed&) = delete;
   Testbed& operator=(const Testbed&) = delete;

@@ -1,0 +1,92 @@
+// Concurrency stress for the grid network fabric: one thread drives a
+// grid-scale scenario on the fluid engine while reader threads poll
+// per-link utilization series and the metrics registry — the
+// dashboards-and-probes pattern.  Named *Thread* so the TSan CI job
+// picks it up.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "net/topology.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "workload/gridworld.hpp"
+
+namespace wadp::workload {
+namespace {
+
+TEST(NetSimThreadStressTest, ReadersPollLinksWhileScenarioRuns) {
+  GridSpec spec;
+  spec.sites = 12;
+  spec.links = 30;
+  GridWorld world(spec, 99);
+
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> samples_seen{0};
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&, r] {
+      std::uint64_t local = 0;
+      while (!done.load(std::memory_order_acquire)) {
+        for (const auto& link : world.topology().links()) {
+          const auto series = link->utilization_series();
+          local += series.size();
+          const auto last = link->last_utilization();
+          ASSERT_GE(last.allocated, 0.0);
+        }
+        if (r == 0) {
+          // One reader also exercises the registry export path.
+          const auto text = obs::to_prometheus(obs::Registry::global());
+          ASSERT_FALSE(text.empty());
+        }
+      }
+      samples_seen.fetch_add(local, std::memory_order_relaxed);
+    });
+  }
+
+  ScenarioConfig scenario;
+  scenario.duration = 90.0;
+  scenario.arrivals_per_second = 8.0;
+  scenario.max_size = 50 * kMB;
+  const auto summary = world.run(scenario, 7);
+  done.store(true, std::memory_order_release);
+  for (auto& reader : readers) reader.join();
+
+  EXPECT_GT(summary.flows_started, 0u);
+  EXPECT_GT(summary.flows_completed, 0u);
+  EXPECT_GT(samples_seen.load(), 0u);
+}
+
+TEST(NetSimThreadStressTest, UtilizationSummaryRacesScenario) {
+  GridSpec spec;
+  spec.sites = 8;
+  spec.links = 16;
+  GridWorld world(spec, 3);
+
+  std::atomic<bool> done{false};
+  std::thread reader([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      const auto summary = world.topology().utilization_summary();
+      ASSERT_GE(summary.max, summary.mean - 1e-12);
+    }
+  });
+
+  ScenarioConfig scenario;
+  scenario.scenario = Scenario::kFlashCrowd;
+  scenario.duration = 60.0;
+  scenario.flash_after = 10.0;
+  scenario.flash_duration = 20.0;
+  scenario.arrivals_per_second = 6.0;
+  scenario.max_size = 25 * kMB;
+  const auto summary = world.run(scenario, 11);
+  done.store(true, std::memory_order_release);
+  reader.join();
+
+  EXPECT_GT(summary.flows_started, 0u);
+}
+
+}  // namespace
+}  // namespace wadp::workload

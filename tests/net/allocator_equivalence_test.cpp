@@ -1,0 +1,167 @@
+// Property tests for the incremental max-min allocator: under ANY
+// randomized mix of flow arrivals, cancellations, and background-load
+// steps on the paper's three-site topology, the dirty-component
+// allocator must produce rates bit-identical to the retained reference
+// global recompute.  Weighted max-min decomposes exactly across
+// connected components, so any divergence is a bug, not float noise.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "net/fabric.hpp"
+#include "net/path.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace wadp::net {
+namespace {
+
+/// The paper testbed's wide-area geometry with a lively load process
+/// (small grid step => frequent capacity steps during the horizon).
+void add_paper_paths(Topology& topology, util::Rng& seeder, SimTime origin) {
+  struct Wan {
+    const char* a;
+    const char* b;
+    Duration rtt;
+    Bandwidth bottleneck;
+  };
+  const Wan wans[] = {
+      {"lbl", "anl", 0.055, 12'500'000.0},
+      {"isi", "anl", 0.065, 12'500'000.0},
+      {"lbl", "isi", 0.075, 11'000'000.0},
+  };
+  for (const Wan& wan : wans) {
+    PathParams params;
+    params.bottleneck = wan.bottleneck;
+    params.rtt = wan.rtt;
+    params.load.base = 0.38;
+    params.load.ar_sigma = 0.05;
+    params.load.episode_rate_per_hour = 2.0;
+    params.load.episode_mean_minutes = 2.0;
+    params.load.max_utilization = 0.82;
+    params.load.grid_step = 10.0;  // step capacities often
+    topology.add_path(wan.a, wan.b, params, seeder.next_u64(), origin);
+    topology.add_path(wan.b, wan.a, params, seeder.next_u64(), origin);
+  }
+}
+
+struct Completion {
+  SimTime at = 0.0;
+  Bytes bytes = 0;
+};
+
+/// Runs one randomized churn scenario and returns completions keyed by
+/// arrival index.  The schedule (arrival times, sizes, streams, cancel
+/// times) depends only on `seed`, so two engine configurations see the
+/// same offered load.
+std::map<int, Completion> run_churn(std::uint64_t seed, EngineConfig config,
+                                    FluidEngine::AllocStats* stats_out,
+                                    std::string* mismatch_out) {
+  const SimTime origin = 1'000'000'000.0;
+  sim::Simulator sim(origin);
+  FluidEngine engine(sim, config);
+  Topology topology;
+  util::Rng seeder(seed);
+  add_paper_paths(topology, seeder, origin);
+
+  std::vector<PathModel*> paths;
+  for (const char* src : {"lbl", "isi", "anl"}) {
+    for (const char* dst : {"lbl", "isi", "anl"}) {
+      if (PathModel* p = topology.find(src, dst)) paths.push_back(p);
+    }
+  }
+
+  util::Rng rng(seed ^ 0xc4u);
+  std::map<int, Completion> completions;
+  const int kFlows = 48;
+  for (int i = 0; i < kFlows; ++i) {
+    PathModel* path = paths[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(paths.size()) - 1))];
+    const auto size = static_cast<Bytes>(rng.uniform(5e5, 1.5e8));
+    const auto streams = static_cast<int>(rng.uniform_int(1, 8));
+    const Duration start = rng.uniform(0.0, 400.0);
+    const bool cancel = rng.uniform() < 0.25;
+    const Duration cancel_after = rng.uniform(0.5, 40.0);
+    sim.schedule_after(start, [&, i, path, size, streams, cancel,
+                               cancel_after] {
+      const FlowId id =
+          engine.start_flow({.path = path,
+                             .streams = streams,
+                             .size = size,
+                             .on_complete = [&completions, i](
+                                                const FlowStats& stats) {
+                               completions[i] = {stats.end, stats.bytes};
+                             }});
+      if (cancel) {
+        sim.schedule_after(cancel_after, [&engine, id] {
+          engine.cancel_flow(id);  // no-op if already complete
+        });
+      }
+    });
+  }
+  sim.run();
+  if (stats_out != nullptr) *stats_out = engine.alloc_stats();
+  if (mismatch_out != nullptr) *mismatch_out = engine.first_mismatch();
+  EXPECT_EQ(engine.compare_with_reference(), 0u);
+  return completions;
+}
+
+class AllocatorEquivalenceTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AllocatorEquivalenceTest, ShadowVerifyFindsNoMismatch) {
+  EngineConfig config;
+  config.allocator = AllocatorKind::kIncremental;
+  config.verify_allocator = true;
+  FluidEngine::AllocStats stats;
+  std::string mismatch;
+  run_churn(GetParam(), config, &stats, &mismatch);
+  EXPECT_EQ(stats.verify_mismatches, 0u) << mismatch;
+  EXPECT_GT(stats.reallocs, 0u);
+}
+
+TEST_P(AllocatorEquivalenceTest, IncrementalMatchesReferenceEndToEnd) {
+  EngineConfig incremental;
+  incremental.allocator = AllocatorKind::kIncremental;
+  EngineConfig reference;
+  reference.allocator = AllocatorKind::kReference;
+
+  const auto inc = run_churn(GetParam(), incremental, nullptr, nullptr);
+  const auto ref = run_churn(GetParam(), reference, nullptr, nullptr);
+  ASSERT_EQ(inc.size(), ref.size());
+  for (const auto& [index, completion] : inc) {
+    const auto it = ref.find(index);
+    ASSERT_NE(it, ref.end()) << "flow " << index;
+    EXPECT_DOUBLE_EQ(completion.at, it->second.at) << "flow " << index;
+    EXPECT_EQ(completion.bytes, it->second.bytes) << "flow " << index;
+  }
+}
+
+TEST_P(AllocatorEquivalenceTest, LazyProgressMatchesEagerEndToEnd) {
+  EngineConfig eager;
+  EngineConfig lazy;
+  lazy.lazy_progress = true;
+  lazy.verify_allocator = true;
+
+  const auto eager_done = run_churn(GetParam(), eager, nullptr, nullptr);
+  FluidEngine::AllocStats stats;
+  std::string mismatch;
+  const auto lazy_done = run_churn(GetParam(), lazy, &stats, &mismatch);
+  EXPECT_EQ(stats.verify_mismatches, 0u) << mismatch;
+  ASSERT_EQ(lazy_done.size(), eager_done.size());
+  for (const auto& [index, completion] : lazy_done) {
+    const auto it = eager_done.find(index);
+    ASSERT_NE(it, eager_done.end()) << "flow " << index;
+    // Lazy mode re-times wakeups but must move the same bytes at the
+    // same rates: completions land within a time quantum.
+    EXPECT_NEAR(completion.at, it->second.at, 1e-5) << "flow " << index;
+    EXPECT_EQ(completion.bytes, it->second.bytes) << "flow " << index;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AllocatorEquivalenceTest,
+                         ::testing::Values(1u, 7u, 42u, 1337u, 0xfeedu));
+
+}  // namespace
+}  // namespace wadp::net

@@ -1,0 +1,144 @@
+#include "net/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace wadp::net {
+namespace {
+
+/// A load process that never carries background traffic, so capacities
+/// and routes are exact.
+LoadParams quiet_load() {
+  LoadParams load;
+  load.base = 0.0;
+  load.diurnal_amplitude = 0.0;
+  load.ar_sigma = 0.0;
+  load.episode_rate_per_hour = 0.0;
+  load.min_utilization = 0.0;
+  load.max_utilization = 0.5;  // clamp ceiling (never reached: base 0)
+  return load;
+}
+
+LinkParams link_params(Bandwidth capacity, Duration rtt) {
+  LinkParams params;
+  params.capacity = capacity;
+  params.rtt = rtt;
+  params.load = quiet_load();
+  return params;
+}
+
+TEST(GridTopologyTest, RoutesFollowShortestTotalRtt) {
+  GridTopology topo;
+  topo.add_site("a");
+  topo.add_site("b");
+  topo.add_site("c");
+  // Direct a<->c is slower than the two-hop route through b.
+  topo.add_link("a", "c", link_params(10e6, 0.100), 1, 0.0);
+  topo.add_link("a", "b", link_params(20e6, 0.020), 2, 0.0);
+  topo.add_link("b", "c", link_params(15e6, 0.030), 3, 0.0);
+  topo.freeze();
+
+  const GridRoute* route = topo.route("a", "c");
+  ASSERT_NE(route, nullptr);
+  ASSERT_EQ(route->links.size(), 2u);
+  EXPECT_DOUBLE_EQ(route->rtt, 0.050);
+  EXPECT_DOUBLE_EQ(route->bottleneck, 15e6);
+  EXPECT_EQ(route->links[0]->site_a(), "a");
+  EXPECT_EQ(route->links[1]->site_b(), "c");
+}
+
+TEST(GridTopologyTest, TiesBreakOnFewerHopsThenInsertionOrder) {
+  GridTopology topo;
+  topo.add_site("a");
+  topo.add_site("b");
+  topo.add_site("c");
+  // Two-hop route with total RTT 0.050 equals the direct link's RTT;
+  // the direct (fewer-hop) route must win.
+  topo.add_link("a", "b", link_params(10e6, 0.020), 1, 0.0);
+  topo.add_link("b", "c", link_params(10e6, 0.030), 2, 0.0);
+  Link& direct = topo.add_link("a", "c", link_params(10e6, 0.050), 3, 0.0);
+  topo.freeze();
+
+  const GridRoute* route = topo.route("a", "c");
+  ASSERT_NE(route, nullptr);
+  ASSERT_EQ(route->links.size(), 1u);
+  EXPECT_EQ(route->links[0], &direct);
+}
+
+TEST(GridTopologyTest, DisconnectedPairsHaveNoRoute) {
+  GridTopology topo;
+  topo.add_site("a");
+  topo.add_site("b");
+  topo.add_site("island");
+  topo.add_link("a", "b", link_params(10e6, 0.010), 1, 0.0);
+  topo.freeze();
+
+  EXPECT_FALSE(topo.connected());
+  EXPECT_EQ(topo.route("a", "island"), nullptr);
+  EXPECT_FALSE(topo.resolve("a", "island").has_value());
+  EXPECT_NE(topo.route("a", "b"), nullptr);
+}
+
+TEST(GridTopologyTest, ResolveCarriesLinksRttAndTcp) {
+  GridTopology topo;
+  topo.add_site("a");
+  topo.add_site("b");
+  topo.add_link("a", "b", link_params(10e6, 0.025), 1, 0.0);
+  TcpParams tcp;
+  tcp.mss = 9000;
+  topo.set_tcp(tcp);
+  topo.freeze();
+
+  const auto route = topo.resolve("a", "b");
+  ASSERT_TRUE(route.has_value());
+  EXPECT_EQ(route->path, nullptr);
+  ASSERT_EQ(route->links.size(), 1u);
+  EXPECT_DOUBLE_EQ(route->rtt, 0.025);
+  EXPECT_DOUBLE_EQ(route->bottleneck, 10e6);
+  EXPECT_EQ(route->tcp.mss, 9000);
+  // Self-routes and unknown sites resolve to nothing.
+  EXPECT_FALSE(topo.resolve("a", "a").has_value());
+  EXPECT_FALSE(topo.resolve("a", "nowhere").has_value());
+}
+
+TEST(GridTopologyTest, LinkRecordsBoundedUtilizationSeries) {
+  Link link("a", "b", link_params(10e6, 0.010), 1, 0.0);
+  EXPECT_EQ(link.resource_name(), "link:a<->b");
+  EXPECT_DOUBLE_EQ(link.last_utilization().allocated, 0.0);
+
+  // Overfill the ring; the series must stay bounded and oldest-first.
+  const int kSamples = 1500;
+  for (int i = 0; i < kSamples; ++i) {
+    link.on_allocation(static_cast<SimTime>(i), 1e6 + i);
+  }
+  const auto series = link.utilization_series();
+  ASSERT_LE(series.size(), 1024u);
+  ASSERT_GE(series.size(), 2u);
+  for (std::size_t i = 1; i < series.size(); ++i) {
+    EXPECT_LT(series[i - 1].t, series[i].t);
+  }
+  EXPECT_DOUBLE_EQ(series.back().t, static_cast<SimTime>(kSamples - 1));
+  const auto last = link.last_utilization();
+  EXPECT_DOUBLE_EQ(last.allocated, 1e6 + kSamples - 1);
+  EXPECT_NEAR(last.utilization(), last.allocated / 10e6, 1e-12);
+}
+
+TEST(GridTopologyTest, UtilizationSummaryAggregatesLinks) {
+  GridTopology topo;
+  topo.add_site("a");
+  topo.add_site("b");
+  topo.add_site("c");
+  Link& ab = topo.add_link("a", "b", link_params(10e6, 0.010), 1, 0.0);
+  Link& bc = topo.add_link("b", "c", link_params(10e6, 0.010), 2, 0.0);
+  topo.freeze();
+
+  ab.on_allocation(1.0, 8e6);  // 80%
+  bc.on_allocation(1.0, 2e6);  // 20%
+  const auto summary = topo.utilization_summary();
+  EXPECT_NEAR(summary.max, 0.8, 1e-12);
+  EXPECT_NEAR(summary.mean, 0.5, 1e-12);
+}
+
+}  // namespace
+}  // namespace wadp::net

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <vector>
 
 namespace wadp::sim {
@@ -123,6 +125,133 @@ TEST(SimulatorTest, PendingEventsExcludesCancelled) {
   EXPECT_EQ(sim.pending_events(), 2u);
   sim.cancel(id);
   EXPECT_EQ(sim.pending_events(), 1u);
+}
+
+TEST(SimulatorTest, RejectsNonFiniteTimes) {
+  Simulator sim(10.0);
+  // A NaN `when` would poison the heap ordering silently; it must trap.
+  EXPECT_DEATH(sim.schedule_at(std::nan(""), [] {}), "non-finite");
+  EXPECT_DEATH(sim.schedule_at(std::numeric_limits<double>::infinity(), [] {}),
+               "non-finite");
+  EXPECT_DEATH(sim.schedule_after(std::nan(""), [] {}), "delay");
+  EXPECT_DEATH(sim.schedule_after(std::numeric_limits<double>::infinity(),
+                                  [] {}),
+               "non-finite");
+}
+
+TEST(SimulatorTest, CrossTierOrderingIsGlobal) {
+  // One event per tier, interleaved times: heap (far), near (sub-second),
+  // immediate (now) — they must fire in global (when, seq) order.
+  Simulator sim(100.0);
+  std::vector<int> order;
+  sim.schedule_at(102.0, [&] { order.push_back(3); });   // heap
+  sim.schedule_at(100.25, [&] { order.push_back(2); });  // near bucket
+  sim.schedule_at(100.0, [&] { order.push_back(1); });   // immediate
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SimulatorTest, SameTimeAcrossTiersFiresInScheduleOrder) {
+  Simulator sim(0.0);
+  std::vector<int> order;
+  // Scheduled from afar (heap tier), then reached: an immediate event
+  // scheduled at that instant must fire after it (larger seq).
+  sim.schedule_at(5.0, [&] {
+    order.push_back(1);
+    sim.schedule_after(0.0, [&] { order.push_back(3); });
+    sim.schedule_at(5.0, [&] { order.push_back(4); });  // after 3: later seq
+    order.push_back(2);
+  });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(SimulatorTest, NearBucketHandlesOutOfOrderAppends) {
+  Simulator sim(0.0);
+  std::vector<double> fired;
+  sim.schedule_at(0.9, [&] { fired.push_back(0.9); });
+  sim.schedule_at(0.1, [&] { fired.push_back(0.1); });
+  sim.schedule_at(0.5, [&] { fired.push_back(0.5); });
+  sim.schedule_at(0.2, [&] { fired.push_back(0.2); });
+  sim.run();
+  EXPECT_EQ(fired, (std::vector<double>{0.1, 0.2, 0.5, 0.9}));
+}
+
+TEST(SimulatorTest, RunBatchDrainsLookaheadWindow) {
+  Simulator sim(0.0);
+  std::vector<double> fired;
+  sim.schedule_at(1.0, [&] {
+    fired.push_back(1.0);
+    // Spawned inside the window: still part of this batch.
+    sim.schedule_at(2.5, [&] { fired.push_back(2.5); });
+  });
+  sim.schedule_at(7.0, [&] { fired.push_back(7.0); });
+  EXPECT_EQ(sim.run_batch(3.0), 2u);
+  EXPECT_EQ(fired, (std::vector<double>{1.0, 2.5}));
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);  // batch boundary, even though idle
+  EXPECT_EQ(sim.run_batch(4.0), 1u);
+  EXPECT_DOUBLE_EQ(sim.now(), 7.0);
+  EXPECT_EQ(fired.size(), 3u);
+}
+
+TEST(SimulatorTest, RunBatchIncludesBoundaryEvents) {
+  Simulator sim(10.0);
+  bool fired = false;
+  sim.schedule_at(13.0, [&] { fired = true; });
+  EXPECT_EQ(sim.run_batch(3.0), 1u);
+  EXPECT_TRUE(fired);
+}
+
+TEST(SimulatorTest, CancelChurnKeepsQueueBounded) {
+  // Regression: cancel() used to leave dead entries in the queue
+  // indefinitely, so a long-armed schedule/cancel pattern (the
+  // PeriodicTask::stop shape, per-flow completion reschedules) grew the
+  // heap without bound.  Compaction must keep total entries within a
+  // constant factor of the live count.
+  Simulator sim(0.0);
+  std::vector<EventId> live;
+  for (int i = 0; i < 10; ++i) {
+    live.push_back(sim.schedule_at(1e6 + i, [] {}));
+  }
+  for (int i = 0; i < 100'000; ++i) {
+    const EventId id =
+        sim.schedule_at(10.0 + 1e-3 * i, [] {});  // arm a timeout...
+    ASSERT_TRUE(sim.cancel(id));                  // ...that never fires
+    ASSERT_LE(sim.queued_entries(), 2 * sim.pending_events() + 64);
+  }
+  EXPECT_GT(sim.compactions(), 0u);
+  EXPECT_EQ(sim.pending_events(), live.size());
+  EXPECT_EQ(sim.run(), live.size());  // survivors still fire
+}
+
+TEST(SimulatorTest, CompactionPreservesOrderAndSurvivors) {
+  Simulator sim(0.0);
+  std::vector<int> order;
+  std::vector<EventId> doomed;
+  for (int i = 0; i < 300; ++i) {
+    const double t = 1.0 + i;
+    sim.schedule_at(t, [&order, i] { order.push_back(i); });
+    // Three tombstones per survivor so compaction actually triggers
+    // (tombstones must *outnumber* live events).
+    doomed.push_back(sim.schedule_at(t + 0.25, [] {}));
+    doomed.push_back(sim.schedule_at(t + 0.5, [] {}));
+    doomed.push_back(sim.schedule_at(t + 0.75, [] {}));
+  }
+  for (const EventId id : doomed) sim.cancel(id);
+  EXPECT_GT(sim.compactions(), 0u);
+  EXPECT_EQ(sim.run(), 300u);
+  for (int i = 0; i < 300; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(SimulatorTest, NextEventTimePeeksPastTombstones) {
+  Simulator sim(0.0);
+  const auto a = sim.schedule_at(1.0, [] {});
+  sim.schedule_at(2.0, [] {});
+  EXPECT_EQ(sim.next_event_time(), 1.0);
+  sim.cancel(a);
+  EXPECT_EQ(sim.next_event_time(), 2.0);
+  sim.run();
+  EXPECT_EQ(sim.next_event_time(), std::nullopt);
 }
 
 TEST(PeriodicTaskTest, FiresEveryPeriod) {

@@ -1,0 +1,91 @@
+// Golden bit-identity tests for the calibrated paper testbed.
+//
+// The grid-scale refactor (indexed event core, incremental max-min
+// allocation, spec-driven testbed construction) must not perturb the
+// calibrated three-site world: the ULM transfer logs of short
+// controlled campaigns must reproduce the pre-refactor bytes exactly.
+// The fingerprints below were captured from the pre-refactor engine
+// (`wadp campaign --seed 42 --days 3`); any drift in event ordering,
+// float accumulation, or load-seed draws changes them.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "workload/campaign.hpp"
+#include "workload/testbed.hpp"
+
+namespace wadp::workload {
+namespace {
+
+std::uint64_t fnv1a64(const std::string& text) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+TEST(CampaignGoldenTest, AugustCampaignReproducesPreRefactorRecords) {
+  CampaignConfig config;
+  config.days = 3;
+  const auto result =
+      run_paper_campaign(Campaign::kAugust2001, 42, config);
+  const auto lbl = result.testbed->server("lbl").log().to_ulm_text();
+  const auto isi = result.testbed->server("isi").log().to_ulm_text();
+  EXPECT_EQ(lbl.size(), 24069u);
+  EXPECT_EQ(fnv1a64(lbl), 0x7c3ee85edcaa54d2ULL);
+  EXPECT_EQ(isi.size(), 26140u);
+  EXPECT_EQ(fnv1a64(isi), 0x3e828f8883e020dcULL);
+}
+
+TEST(CampaignGoldenTest, DecemberCampaignReproducesPreRefactorRecords) {
+  CampaignConfig config;
+  config.days = 3;
+  const auto result =
+      run_paper_campaign(Campaign::kDecember2001, 42, config);
+  const auto lbl = result.testbed->server("lbl").log().to_ulm_text();
+  const auto isi = result.testbed->server("isi").log().to_ulm_text();
+  EXPECT_EQ(lbl.size(), 29446u);
+  EXPECT_EQ(fnv1a64(lbl), 0xa9608bd02ce298c0ULL);
+  EXPECT_EQ(isi.size(), 15467u);
+  EXPECT_EQ(fnv1a64(isi), 0x478617a863392265ULL);
+}
+
+TEST(TestbedSpecTest, PaperSpecIsTheDefault) {
+  const auto& spec = paper_testbed_spec();
+  ASSERT_EQ(spec.sites.size(), 3u);
+  EXPECT_EQ(spec.sites[0].site, "anl");
+  EXPECT_EQ(spec.sites[1].site, "isi");
+  EXPECT_EQ(spec.sites[2].site, "lbl");
+  ASSERT_EQ(spec.links.size(), 3u);
+  EXPECT_DOUBLE_EQ(spec.links[0].rtt, 0.055);
+  EXPECT_DOUBLE_EQ(spec.links[2].bottleneck, 11'000'000.0);
+}
+
+TEST(TestbedSpecTest, CustomSpecBuildsAWorkingWorld) {
+  TestbedSpec spec;
+  spec.sites = {{"east", "east.example.org", "10.0.0.1"},
+                {"west", "west.example.org", "10.0.0.2"}};
+  spec.links = {{"east", "west", 0.080, 10'000'000.0}};
+  Testbed testbed(Campaign::kAugust2001, 7, {}, spec);
+
+  ASSERT_EQ(testbed.sites().size(), 2u);
+  EXPECT_NE(testbed.topology().find("east", "west"), nullptr);
+  EXPECT_NE(testbed.topology().find("west", "east"), nullptr);
+
+  bool done = false;
+  testbed.client("west").get(
+      testbed.server("east"), paper_file_path(10 * kMB), {},
+      [&](const gridftp::TransferOutcome& outcome) {
+        done = true;
+        EXPECT_TRUE(outcome.ok) << outcome.error;
+        EXPECT_EQ(outcome.record.file_size, 10 * kMB);
+      });
+  testbed.sim().run();
+  EXPECT_TRUE(done);
+}
+
+}  // namespace
+}  // namespace wadp::workload

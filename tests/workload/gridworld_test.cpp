@@ -1,0 +1,186 @@
+#include "workload/gridworld.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+namespace wadp::workload {
+namespace {
+
+TEST(TopologyBuilderTest, RandomGridIsConnectedWithRequestedShape) {
+  GridSpec spec;
+  spec.sites = 40;
+  spec.links = 90;
+  const auto topo = TopologyBuilder().random_grid(spec, 5).build(5, 0.0);
+  EXPECT_EQ(topo->site_count(), 40u);
+  EXPECT_EQ(topo->link_count(), 90u);
+  EXPECT_TRUE(topo->frozen());
+  EXPECT_TRUE(topo->connected());
+  // No self-loops, no duplicate undirected pairs.
+  std::set<std::pair<std::string, std::string>> pairs;
+  for (const auto& link : topo->links()) {
+    EXPECT_NE(link->site_a(), link->site_b());
+    const auto key = link->site_a() < link->site_b()
+                         ? std::make_pair(link->site_a(), link->site_b())
+                         : std::make_pair(link->site_b(), link->site_a());
+    EXPECT_TRUE(pairs.insert(key).second)
+        << "duplicate link " << key.first << "<->" << key.second;
+  }
+}
+
+TEST(TopologyBuilderTest, SameSeedReproducesTheSameGrid) {
+  GridSpec spec;
+  spec.sites = 25;
+  spec.links = 60;
+  const auto one = TopologyBuilder().random_grid(spec, 9).build(9, 0.0);
+  const auto two = TopologyBuilder().random_grid(spec, 9).build(9, 0.0);
+  ASSERT_EQ(one->link_count(), two->link_count());
+  for (std::size_t i = 0; i < one->link_count(); ++i) {
+    const auto& a = *one->links()[i];
+    const auto& b = *two->links()[i];
+    EXPECT_EQ(a.site_a(), b.site_a());
+    EXPECT_EQ(a.site_b(), b.site_b());
+    EXPECT_DOUBLE_EQ(a.capacity(), b.capacity());
+    EXPECT_DOUBLE_EQ(a.rtt(), b.rtt());
+    // Same load seeds too: capacities agree at a later instant.
+    EXPECT_DOUBLE_EQ(a.capacity_at(3'600.0), b.capacity_at(3'600.0));
+  }
+  const auto other = TopologyBuilder().random_grid(spec, 10).build(10, 0.0);
+  bool differs = one->link_count() != other->link_count();
+  for (std::size_t i = 0; !differs && i < one->link_count(); ++i) {
+    differs = one->links()[i]->site_a() != other->links()[i]->site_a() ||
+              one->links()[i]->site_b() != other->links()[i]->site_b() ||
+              one->links()[i]->capacity() != other->links()[i]->capacity();
+  }
+  EXPECT_TRUE(differs) << "different seeds produced identical grids";
+}
+
+TEST(TopologyBuilderTest, LinkBudgetIsCappedAtCompleteGraph) {
+  GridSpec spec;
+  spec.sites = 5;
+  spec.links = 1000;  // far beyond 5*4/2
+  const auto topo = TopologyBuilder().random_grid(spec, 1).build(1, 0.0);
+  EXPECT_EQ(topo->link_count(), 10u);
+  EXPECT_TRUE(topo->connected());
+}
+
+TEST(TopologyBuilderTest, ManualLayoutBuilds) {
+  net::LinkParams params;
+  params.capacity = 10e6;
+  params.rtt = 0.02;
+  const auto topo = TopologyBuilder()
+                        .add_site("x")
+                        .add_site("y")
+                        .add_link("x", "y", params)
+                        .build(1, 0.0);
+  EXPECT_EQ(topo->site_count(), 2u);
+  ASSERT_NE(topo->route("x", "y"), nullptr);
+}
+
+TEST(ScenarioTest, NamesRoundTrip) {
+  for (const Scenario s :
+       {Scenario::kUniform, Scenario::kFlashCrowd, Scenario::kDiurnal}) {
+    const auto parsed = parse_scenario(scenario_name(s));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, s);
+  }
+  EXPECT_FALSE(parse_scenario("tsunami").has_value());
+}
+
+TEST(GridWorldTest, UniformScenarioMovesTraffic) {
+  GridSpec spec;
+  spec.sites = 10;
+  spec.links = 20;
+  GridWorld world(spec, 42);
+  ScenarioConfig scenario;
+  scenario.duration = 120.0;
+  scenario.arrivals_per_second = 5.0;
+  scenario.max_size = 50 * kMB;
+  const auto summary = world.run(scenario, 42);
+
+  EXPECT_GT(summary.flows_started, 0u);
+  EXPECT_GT(summary.flows_completed, 0u);
+  EXPECT_GT(summary.bytes_moved, 0.0);
+  EXPECT_GE(summary.peak_concurrent, 1u);
+  EXPECT_DOUBLE_EQ(summary.sim_elapsed, 120.0);
+  EXPECT_EQ(summary.flows_started,
+            summary.flows_completed + summary.active_at_end);
+  EXPECT_GT(summary.alloc.reallocs, 0u);
+  EXPECT_GT(summary.utilization.max, 0.0);
+}
+
+TEST(GridWorldTest, FlashCrowdSpikesConcurrency) {
+  GridSpec spec;
+  spec.sites = 10;
+  spec.links = 20;
+  GridWorld uniform_world(spec, 42);
+  GridWorld flash_world(spec, 42);
+
+  ScenarioConfig base;
+  base.duration = 120.0;
+  base.arrivals_per_second = 3.0;
+  base.max_size = 100 * kMB;
+  ScenarioConfig flash = base;
+  flash.scenario = Scenario::kFlashCrowd;
+  flash.flash_after = 30.0;
+  flash.flash_duration = 30.0;
+  flash.flash_multiplier = 12.0;
+
+  const auto quiet = uniform_world.run(base, 7);
+  const auto crowd = flash_world.run(flash, 7);
+  EXPECT_GT(crowd.flows_started, quiet.flows_started);
+  EXPECT_GT(crowd.peak_concurrent, quiet.peak_concurrent);
+}
+
+TEST(GridWorldTest, DiurnalScenarioRuns) {
+  GridSpec spec;
+  spec.sites = 8;
+  spec.links = 14;
+  GridWorld world(spec, 4);
+  ScenarioConfig scenario;
+  scenario.scenario = Scenario::kDiurnal;
+  scenario.duration = 100.0;
+  scenario.arrivals_per_second = 4.0;
+  scenario.max_size = 25 * kMB;
+  const auto summary = world.run(scenario, 4);
+  EXPECT_GT(summary.flows_started, 0u);
+}
+
+TEST(GridWorldTest, MaxConcurrentShedsArrivals) {
+  GridSpec spec;
+  spec.sites = 6;
+  spec.links = 10;
+  GridWorld world(spec, 8);
+  ScenarioConfig scenario;
+  scenario.duration = 60.0;
+  scenario.arrivals_per_second = 30.0;
+  scenario.min_size = 500 * kMB;  // long flows pile up fast
+  scenario.max_size = 1000 * kMB;
+  scenario.max_concurrent = 10;
+  const auto summary = world.run(scenario, 8);
+  EXPECT_GT(summary.flows_shed, 0u);
+  EXPECT_LE(summary.peak_concurrent, 10u);
+}
+
+TEST(GridWorldTest, SameSeedsReproduceTheSameSummary) {
+  GridSpec spec;
+  spec.sites = 9;
+  spec.links = 18;
+  ScenarioConfig scenario;
+  scenario.duration = 80.0;
+  scenario.arrivals_per_second = 4.0;
+  scenario.max_size = 50 * kMB;
+
+  GridWorld one(spec, 21);
+  GridWorld two(spec, 21);
+  const auto a = one.run(scenario, 5);
+  const auto b = two.run(scenario, 5);
+  EXPECT_EQ(a.flows_started, b.flows_started);
+  EXPECT_EQ(a.flows_completed, b.flows_completed);
+  EXPECT_DOUBLE_EQ(a.bytes_moved, b.bytes_moved);
+  EXPECT_EQ(a.peak_concurrent, b.peak_concurrent);
+}
+
+}  // namespace
+}  // namespace wadp::workload

@@ -31,6 +31,7 @@ UNIT_SUFFIXES = ("_seconds", "_bytes", "_mbps", "_pct", "_ratio", "_ns")
 # Dimensionless gauges the taxonomy explicitly documents.
 GAUGE_ALLOWLIST = {
     "wadp_build_info",
+    "wadp_net_active_flows",
     "wadp_resilience_servers_down",
     "wadp_serving_inflight_queries",
     "wadp_wal_segments",

@@ -2,6 +2,8 @@
 //
 //   wadp campaign  --campaign aug|dec --seed N --days D --out DIR
 //       run a controlled measurement campaign, write ULM logs per link
+//   wadp simgrid   --sites N --links M --scenario NAME --duration S
+//       grid-scale fabric demo: random topology, synthetic traffic
 //   wadp analyze   LOG [--training N] [--extended]
 //       evaluate the predictor battery over a log, rank the leaders
 //   wadp predict   LOG --size BYTES [--predictor NAME] [--extended]
@@ -48,6 +50,7 @@
 #include "util/stats.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
+#include "workload/gridworld.hpp"
 
 namespace {
 
@@ -59,6 +62,10 @@ int usage(const char* error = nullptr) {
                "usage:\n"
                "  wadp campaign  [--campaign aug|dec] [--seed N] [--days D] "
                "[--out DIR]\n"
+               "  wadp simgrid   [--sites N] [--links M] [--flows CAP] "
+               "[--duration S]\n"
+               "                 [--scenario uniform|flash-crowd|diurnal] "
+               "[--rate R] [--seed N] [--json]\n"
                "  wadp analyze   LOG [--training N] [--extended]\n"
                "  wadp predict   LOG --size BYTES [--predictor NAME] "
                "[--extended]\n"
@@ -130,6 +137,105 @@ int cmd_campaign(const util::ArgParser& args) {
     }
     std::printf("%s: %zu transfers\n", path.c_str(), log.size());
   }
+  return 0;
+}
+
+/// Grid-scale fabric demo: seeded random topology, synthetic scenario,
+/// event core + incremental allocator in their lazy grid configuration.
+int cmd_simgrid(const util::ArgParser& args) {
+  workload::GridSpec spec;
+  spec.sites =
+      static_cast<std::size_t>(args.get_int("sites").value_or(24));
+  spec.links =
+      static_cast<std::size_t>(args.get_int("links").value_or(60));
+  const auto seed =
+      static_cast<std::uint64_t>(args.get_int("seed").value_or(42));
+
+  workload::ScenarioConfig scenario;
+  const auto parsed_scenario =
+      workload::parse_scenario(args.get_or("scenario", "uniform"));
+  if (!parsed_scenario.has_value()) {
+    return usage("unknown scenario (uniform|flash-crowd|diurnal)");
+  }
+  scenario.scenario = *parsed_scenario;
+  scenario.duration =
+      static_cast<Duration>(args.get_int("duration").value_or(120));
+  if (const auto rate = args.get_int("rate")) {
+    scenario.arrivals_per_second = static_cast<double>(*rate);
+  }
+  if (const auto flows = args.get_int("flows")) {
+    scenario.max_concurrent = static_cast<std::size_t>(*flows);
+  }
+
+  workload::GridWorld world(spec, seed);
+  const auto summary = world.run(scenario, seed ^ 0x5ce0ULL);
+  const auto& alloc = summary.alloc;
+
+  if (args.has("json")) {
+    std::printf(
+        "{\n"
+        "  \"sites\": %zu,\n"
+        "  \"links\": %zu,\n"
+        "  \"scenario\": \"%s\",\n"
+        "  \"sim_seconds\": %.1f,\n"
+        "  \"flows_started\": %llu,\n"
+        "  \"flows_completed\": %llu,\n"
+        "  \"flows_shed\": %llu,\n"
+        "  \"peak_concurrent\": %zu,\n"
+        "  \"active_at_end\": %zu,\n"
+        "  \"bytes_moved\": %.0f,\n"
+        "  \"utilization_max\": %.4f,\n"
+        "  \"utilization_mean\": %.4f,\n"
+        "  \"reallocs\": %llu,\n"
+        "  \"realloc_components\": %llu,\n"
+        "  \"realloc_flow_entries\": %llu,\n"
+        "  \"sweeps\": %llu,\n"
+        "  \"alloc_ms\": %.3f,\n"
+        "  \"wall_ms\": %llu\n"
+        "}\n",
+        world.topology().site_count(), world.topology().link_count(),
+        workload::scenario_name(scenario.scenario), summary.sim_elapsed,
+        static_cast<unsigned long long>(summary.flows_started),
+        static_cast<unsigned long long>(summary.flows_completed),
+        static_cast<unsigned long long>(summary.flows_shed),
+        summary.peak_concurrent, summary.active_at_end, summary.bytes_moved,
+        summary.utilization.max, summary.utilization.mean,
+        static_cast<unsigned long long>(alloc.reallocs),
+        static_cast<unsigned long long>(alloc.components),
+        static_cast<unsigned long long>(alloc.flows_touched),
+        static_cast<unsigned long long>(alloc.sweeps),
+        static_cast<double>(alloc.alloc_ns) / 1e6,
+        static_cast<unsigned long long>(summary.wall_ms));
+    return 0;
+  }
+
+  std::printf("grid scenario: %zu sites, %zu links, %s, %.0f sim-seconds\n",
+              world.topology().site_count(), world.topology().link_count(),
+              workload::scenario_name(scenario.scenario),
+              summary.sim_elapsed);
+  util::TextTable table({"metric", "value"});
+  table.add_row({"flows started", std::to_string(summary.flows_started)});
+  table.add_row({"flows completed", std::to_string(summary.flows_completed)});
+  table.add_row({"flows shed", std::to_string(summary.flows_shed)});
+  table.add_row({"peak concurrent", std::to_string(summary.peak_concurrent)});
+  table.add_row({"active at end", std::to_string(summary.active_at_end)});
+  table.add_row({"bytes moved", util::format_bytes(static_cast<std::uint64_t>(
+                                    summary.bytes_moved))});
+  table.add_row({"link util max",
+                 util::format("%.1f%%", summary.utilization.max * 100.0)});
+  table.add_row({"link util mean",
+                 util::format("%.1f%%", summary.utilization.mean * 100.0)});
+  table.add_row({"reallocations", std::to_string(alloc.reallocs)});
+  table.add_row({"dirty components", std::to_string(alloc.components)});
+  table.add_row({"flow entries", std::to_string(alloc.flows_touched)});
+  table.add_row({"coalescing sweeps", std::to_string(alloc.sweeps)});
+  table.add_row({"allocator time",
+                 util::format("%.3f ms",
+                              static_cast<double>(alloc.alloc_ns) / 1e6)});
+  table.add_row({"wall time",
+                 util::format("%llu ms", static_cast<unsigned long long>(
+                                             summary.wall_ms))});
+  std::printf("%s", table.render().c_str());
   return 0;
 }
 
@@ -1040,7 +1146,8 @@ int main(int argc, char** argv) {
   for (const char* name : {"campaign", "seed", "days", "out", "training",
                            "size", "predictor", "host", "limit", "rate",
                            "transfers", "shift", "tree", "queries", "batch",
-                           "files", "overload"}) {
+                           "files", "overload", "sites", "links", "flows",
+                           "duration", "scenario"}) {
     args.add_option(name);
   }
   args.add_option("extended", /*is_boolean=*/true);
@@ -1053,6 +1160,7 @@ int main(int argc, char** argv) {
 
   const auto& command = args.positionals().front();
   if (command == "campaign") return cmd_campaign(args);
+  if (command == "simgrid") return cmd_simgrid(args);
   if (command == "analyze") return cmd_analyze(args);
   if (command == "predict") return cmd_predict(args);
   if (command == "provider") return cmd_provider(args);
