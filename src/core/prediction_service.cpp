@@ -9,6 +9,7 @@
 #include "obs/events.hpp"
 #include "obs/trace.hpp"
 #include "predict/extended.hpp"
+#include "predict/regression.hpp"
 #include "util/error.hpp"
 
 namespace wadp::core {
@@ -59,13 +60,18 @@ PredictionService::PredictionService(ServiceConfig config)
 PredictionService::PredictionService(
     std::shared_ptr<history::HistoryStore> store, ServiceConfig config)
     : config_(std::move(config)),
-      suite_(config_.use_extended_battery
+      suite_(config_.use_regression_battery
+                 ? predict::regression_suite(config_.classifier)
+             : config_.use_extended_battery
                  ? predict::extended_suite(config_.classifier)
                  : predict::PredictorSuite::paper_suite(config_.classifier)),
       store_(std::move(store)) {
   WADP_CHECK_MSG(store_ != nullptr, "prediction service needs a store");
   WADP_CHECK_MSG(suite_.find(config_.default_predictor) != nullptr,
                  "default predictor not in the battery");
+  WADP_CHECK_MSG(config_.challenger_predictor.empty() ||
+                     suite_.find(config_.challenger_predictor) != nullptr,
+                 "challenger predictor not in the battery");
   auto& registry = obs::Registry::global();
   metrics_.ingested = &registry.counter(
       "wadp_ingest_records_total", {},
@@ -82,6 +88,12 @@ PredictionService::PredictionService(
   metrics_.replays = &registry.counter(
       "wadp_battery_replays_total", {},
       "Streaming-battery replays forced by prefix-invalidating ingest");
+  metrics_.arbitration_default = &registry.counter(
+      "wadp_predict_arbitrations_total", {{"winner", "default"}},
+      "Champion/challenger arbitration decisions for unnamed queries");
+  metrics_.arbitration_challenger = &registry.counter(
+      "wadp_predict_arbitrations_total", {{"winner", "challenger"}},
+      "Champion/challenger arbitration decisions for unnamed queries");
   metrics_.predict_latency =
       &registry.histogram("wadp_predict_latency_seconds", {},
                           "Wall-clock latency of predict()");
@@ -149,6 +161,27 @@ std::optional<Bandwidth> PredictionService::predict_at(
   return predictor.predict(snapshot.span(), query);
 }
 
+std::string_view PredictionService::arbitrate(const std::string& site) const {
+  if (quality_ == nullptr || config_.challenger_predictor.empty()) {
+    return config_.default_predictor;
+  }
+  // The challenger takes the query only when it has joined quality data
+  // that beats the incumbent's, and it isn't in a drift demotion window
+  // — the same gate the broker applies to ranking candidates.
+  const auto incumbent =
+      quality_->mean_error(site, config_.default_predictor);
+  const auto challenger =
+      quality_->mean_error(site, config_.challenger_predictor);
+  const bool challenger_wins =
+      challenger.has_value() && (!incumbent || *challenger < *incumbent) &&
+      !quality_->drifting(site, config_.challenger_predictor);
+  (challenger_wins ? metrics_.arbitration_challenger
+                   : metrics_.arbitration_default)
+      ->inc();
+  return challenger_wins ? config_.challenger_predictor
+                         : config_.default_predictor;
+}
+
 std::optional<Bandwidth> PredictionService::predict(
     const SeriesKey& key, Bytes size, SimTime now,
     std::string_view predictor_name) const {
@@ -163,7 +196,7 @@ std::optional<Bandwidth> PredictionService::predict(
     return std::nullopt;
   }
   const auto index = suite_.index_of(
-      predictor_name.empty() ? config_.default_predictor : predictor_name);
+      predictor_name.empty() ? arbitrate(key.host) : predictor_name);
   if (!index) {
     span.set_attr("RESULT", "unknown_predictor");
     return std::nullopt;
@@ -223,7 +256,7 @@ std::vector<std::optional<Bandwidth>> PredictionService::predict_many(
     return answers;
   }
   const auto index = suite_.index_of(
-      predictor_name.empty() ? config_.default_predictor : predictor_name);
+      predictor_name.empty() ? arbitrate(key.host) : predictor_name);
   if (!index) {
     span.set_attr("RESULT", "unknown_predictor");
     return answers;

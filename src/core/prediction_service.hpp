@@ -46,6 +46,20 @@ struct ServiceConfig {
   /// Use the extended battery (paper's 30 plus EWMA / SREG / ADAPT
   /// variants from predict/extended.hpp) instead of the paper's 30.
   bool use_extended_battery = false;
+  /// Use the regression battery (the extended battery plus the
+  /// disk/probe regression and hybrid predictors from
+  /// predict/regression.hpp).  Takes precedence over
+  /// use_extended_battery (the regression suite contains it).
+  bool use_regression_battery = false;
+  /// Online champion/challenger arbitration: when non-empty (and a
+  /// QualityTracker is bound via bind_quality), a predict() call that
+  /// names no predictor is answered by whichever of
+  /// {default_predictor, challenger_predictor} currently has the lower
+  /// joined mean percent error for the series' site.  The challenger
+  /// must exist in the battery and must not be drifting to win; with no
+  /// quality data yet, the default answers.  Decisions are counted in
+  /// wadp_predict_arbitrations_total{winner=...}.
+  std::string challenger_predictor;
 };
 
 /// The series key now lives with the history plane; core re-exports it
@@ -162,8 +176,15 @@ class PredictionService {
     obs::Counter* fallback_no_stream = nullptr;
     obs::Counter* fallback_time_travel = nullptr;
     obs::Counter* replays = nullptr;
+    obs::Counter* arbitration_default = nullptr;
+    obs::Counter* arbitration_challenger = nullptr;
     obs::Histogram* predict_latency = nullptr;
   };
+
+  /// Resolves the predictor answering an unnamed query for `site`:
+  /// the configured default, unless the challenger currently scores
+  /// better (see ServiceConfig::challenger_predictor).
+  std::string_view arbitrate(const std::string& site) const;
 
   ServiceConfig config_;
   predict::PredictorSuite suite_;

@@ -45,11 +45,16 @@ QualityDemoResult run_quality_demo(const QualityDemoConfig& config) {
   storage::StorageSystem anl_store("anl", quiet_storage, 1, 0.0);
   storage::StorageSystem lbl_store("lbl", quiet_storage, 2, 0.0);
   storage::StorageSystem isi_store("isi", quiet_storage, 3, 0.0);
-  gridftp::GridFtpServer lbl(
-      {.site = "lbl", .host = "dpsslx04.lbl.gov", .ip = "131.243.2.91"},
-      lbl_store);
-  gridftp::GridFtpServer isi(
-      {.site = "isi", .host = "jet.isi.edu", .ip = "128.9.160.100"}, isi_store);
+  gridftp::GridFtpServer lbl({.site = "lbl",
+                              .host = "dpsslx04.lbl.gov",
+                              .ip = "131.243.2.91",
+                              .sample_disk = true},
+                             lbl_store);
+  gridftp::GridFtpServer isi({.site = "isi",
+                              .host = "jet.isi.edu",
+                              .ip = "128.9.160.100",
+                              .sample_disk = true},
+                             isi_store);
   const std::string client_ip = "140.221.65.69";
   constexpr Bytes kFileSize = 10 * kMB;
   for (gridftp::GridFtpServer* s : {&lbl, &isi}) {
@@ -80,10 +85,12 @@ QualityDemoResult run_quality_demo(const QualityDemoConfig& config) {
       });
 
   // Full battery answers per fetch, filed under the fetch's trace so
-  // every one of the 30 predictors is scored against the transfer that
-  // follows.  Short training prefix: the warmup is only 5 deep.
+  // every predictor — the paper's 30, the extended variants, and the
+  // disk/probe regression battery — is scored against the transfer
+  // that follows.  Short training prefix: the warmup is only 5 deep.
   ServiceConfig service_config;
   service_config.training_count = 5;
+  service_config.use_regression_battery = true;
   PredictionService service(result.store, service_config);
   service.bind_quality(result.tracker.get());
 

@@ -159,6 +159,9 @@ void encode_fields(ByteWriter& w, std::uint64_t lsn,
   w.u64(r.tcp_buffer);
   w.u8(r.ok ? 1 : 0);
   w.u64(r.trace_id);
+  // v2 fields.
+  w.f64(r.disk_throughput);
+  w.f64(r.net_probe);
 }
 
 }  // namespace
@@ -174,7 +177,8 @@ std::optional<WalEntry> decode_entry(std::string_view payload) {
   std::uint8_t version = 0;
   if (!reader.u8(version)) return std::nullopt;
   // Versions newer than ours may have *reordered* fields; only trust
-  // versions we know.  (Appending fields keeps the version at 1.)
+  // versions we know.  Every version we do know decodes: the shared
+  // prefix reads identically and version-gated fields default.
   if (version == 0 || version > kRecordVersion) return std::nullopt;
   WalEntry entry;
   auto& r = entry.record;
@@ -191,6 +195,11 @@ std::optional<WalEntry> decode_entry(std::string_view payload) {
   r.op = op == 1 ? gridftp::Operation::kWrite : gridftp::Operation::kRead;
   r.streams = static_cast<int>(streams);
   r.ok = ok != 0;
+  // v2 appended the regression fields; v1 payloads leave them at 0.
+  if (version >= 2 &&
+      (!reader.f64(r.disk_throughput) || !reader.f64(r.net_probe))) {
+    return std::nullopt;
+  }
   // Trailing bytes are a future field from a same-version writer that
   // appended to the encoding; ignore them.
   return entry;

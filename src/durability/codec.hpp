@@ -86,7 +86,10 @@ class ByteReader {
 };
 
 /// Current version of the TransferRecord payload encoding.
-inline constexpr std::uint8_t kRecordVersion = 1;
+/// v1: the original Fig. 3 field set (through trace_id).
+/// v2: appends f64 disk_throughput + f64 net_probe (the regression
+///     battery's regressors); v1 payloads decode with both fields 0.
+inline constexpr std::uint8_t kRecordVersion = 2;
 
 /// One WAL entry: a transfer record plus its log sequence number.
 /// LSNs are assigned by the WAL, monotone from 1, and are the

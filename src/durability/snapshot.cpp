@@ -20,7 +20,10 @@ namespace {
 namespace fs = std::filesystem;
 
 constexpr std::string_view kShardMagic = "WADPSNP\x01";
-constexpr std::uint32_t kSnapshotVersion = 1;
+// v1: per-observation {time, value, file_size, ok}.
+// v2: appends f64 disk + f64 probe per observation (the regression
+//     battery's regressors); v1 shards load with both fields 0.
+constexpr std::uint32_t kSnapshotVersion = 2;
 
 std::string shard_file_name(std::uint64_t seq, std::size_t shard) {
   return util::format("snap-%08llu-%03zu.shard",
@@ -87,6 +90,8 @@ std::string encode_shard_body(const std::vector<history::SeriesExport>& series) 
       w.f64(obs.value);
       w.u64(obs.file_size);
       w.u8(obs.ok ? 1 : 0);
+      w.f64(obs.disk);
+      w.f64(obs.probe);
     }
     w.u64(exported.hashes.size());
     for (const std::uint64_t hash : exported.hashes) w.u64(hash);
@@ -103,7 +108,7 @@ struct DecodedSeries {
   std::vector<std::uint64_t> hashes;
 };
 
-bool decode_shard_body(std::string_view body,
+bool decode_shard_body(std::string_view body, std::uint32_t version,
                        std::vector<DecodedSeries>& out) {
   ByteReader reader(body);
   std::uint64_t series_count = 0;
@@ -127,6 +132,10 @@ bool decode_shard_body(std::string_view body,
       std::uint8_t ok = 1;
       if (!reader.f64(obs.time) || !reader.f64(obs.value) ||
           !reader.u64(obs.file_size) || !reader.u8(ok)) {
+        return false;
+      }
+      // v2 appended the regression regressors; v1 leaves them at 0.
+      if (version >= 2 && (!reader.f64(obs.disk) || !reader.f64(obs.probe))) {
         return false;
       }
       obs.ok = ok != 0;
@@ -169,7 +178,11 @@ std::optional<Manifest> parse_manifest(const std::string& text) {
     if (!kind) continue;
     if (*kind == "snapshot") {
       const auto version = record->get_int("VERSION");
-      if (!version || *version != kSnapshotVersion) return std::nullopt;
+      // Any version up to ours loads (older shard bodies decode with
+      // version-gated fields defaulted); newer ones do not.
+      if (!version || *version < 1 || *version > kSnapshotVersion) {
+        return std::nullopt;
+      }
       manifest.meta.seq = static_cast<std::uint64_t>(
           record->get_int("SEQ").value_or(0));
       manifest.meta.sealed_lsn = static_cast<std::uint64_t>(
@@ -346,12 +359,24 @@ Expected<SnapshotMeta> load_snapshot(const std::string& dir,
         std::string_view(data).substr(0, kShardMagic.size()) != kShardMagic) {
       return Expected<SnapshotMeta>::failure(path + ": bad shard header");
     }
+    // Header: magic, then u32 format version, then u32 shard index.
+    // The per-file version drives the body decode so a store can load
+    // snapshots written before the current format.
+    std::uint32_t version = 0;
+    {
+      ByteReader header(
+          std::string_view(data).substr(kShardMagic.size(), 4));
+      header.u32(version);
+    }
+    if (version < 1 || version > kSnapshotVersion) {
+      return Expected<SnapshotMeta>::failure(path + ": bad shard version");
+    }
     const std::string_view body = std::string_view(data).substr(kHeaderBytes);
     if (crc32c(body) != shard.crc) {
       return Expected<SnapshotMeta>::failure(path + ": checksum mismatch");
     }
     std::vector<DecodedSeries> decoded;
-    if (!decode_shard_body(body, decoded)) {
+    if (!decode_shard_body(body, version, decoded)) {
       return Expected<SnapshotMeta>::failure(path + ": truncated body");
     }
     for (auto& series : decoded) {

@@ -1,5 +1,6 @@
 #include "gridftp/client.hpp"
 
+#include <algorithm>
 #include <memory>
 #include <tuple>
 #include <utility>
@@ -545,6 +546,20 @@ void GridFtpClient::execute_plan(DataPlan plan,
     if (attempt->done) return;     // timed out / truncated during setup
     if (attempt->stalled) return;  // stalled channel: bytes never start
 
+    // NWS-style route probe at data-phase start: the minimum available
+    // capacity across the route's segments right now.  Logged alongside
+    // the transfer (PROBE=) so hybrid predictors can regress measured
+    // bandwidth against it.
+    Bandwidth net_probe = 0.0;
+    if (route.path != nullptr) {
+      net_probe = route.path->capacity_at(sim_.now());
+    } else {
+      for (const net::CapacityProvider* link : route.links) {
+        const Bandwidth c = link->capacity_at(sim_.now());
+        net_probe = net_probe == 0.0 ? c : std::min(net_probe, c);
+      }
+    }
+
     net::FlowSpec spec;
     spec.path = route.path;
     spec.links = std::move(route.links);
@@ -558,7 +573,7 @@ void GridFtpClient::execute_plan(DataPlan plan,
     if (plan.writer_port != nullptr)
       spec.extra_resources.push_back(plan.writer_port);
 
-    spec.on_complete = [this, plan, timed_start,
+    spec.on_complete = [this, plan, timed_start, net_probe,
                         attempt](const net::FlowStats& stats) {
       if (attempt->done) return;
       attempt->done = true;
@@ -582,7 +597,7 @@ void GridFtpClient::execute_plan(DataPlan plan,
         const TransferRecord r = plan.read_logger->record_transfer(
             plan.read_remote_ip, plan.read_path, plan.bytes, timed_start,
             stats.end, Operation::kRead, attempt->options.streams,
-            attempt->options.buffer);
+            attempt->options.buffer, net_probe);
         logging_overhead = std::max(
             logging_overhead, plan.read_logger->config().logging_overhead);
         if (plan.primary_op == Operation::kRead) primary = r;
@@ -594,7 +609,7 @@ void GridFtpClient::execute_plan(DataPlan plan,
         const TransferRecord r = plan.write_logger->record_transfer(
             plan.write_remote_ip, plan.write_path, plan.bytes, timed_start,
             stats.end, Operation::kWrite, attempt->options.streams,
-            attempt->options.buffer);
+            attempt->options.buffer, net_probe);
         logging_overhead = std::max(
             logging_overhead, plan.write_logger->config().logging_overhead);
         if (plan.primary_op == Operation::kWrite) primary = r;

@@ -1,5 +1,7 @@
 #include "gridftp/record.hpp"
 
+#include <cmath>
+
 #include "util/error.hpp"
 #include "util/strings.hpp"
 #include "util/time.hpp"
@@ -47,6 +49,12 @@ util::UlmRecord TransferRecord::to_ulm() const {
   if (trace_id != 0) {
     ulm.set_int("TRACE", static_cast<std::int64_t>(trace_id));
   }
+  if (disk_throughput > 0.0) {
+    ulm.set_double("DISK", to_kb_per_sec(disk_throughput), 3);
+  }
+  if (net_probe > 0.0) {
+    ulm.set_double("PROBE", to_kb_per_sec(net_probe), 3);
+  }
   return ulm;
 }
 
@@ -90,6 +98,18 @@ std::optional<TransferRecord> TransferRecord::from_ulm(
   r.ok = ok_flag;
   const auto trace = ulm.get_int("TRACE");
   if (trace && *trace > 0) r.trace_id = static_cast<std::uint64_t>(*trace);
+  // DISK=/PROBE= are optional (format version: absent on pre-regression
+  // logs); a present-but-invalid value rejects the line.
+  if (ulm.get("DISK")) {
+    const auto disk = ulm.get_double("DISK");
+    if (!disk || !std::isfinite(*disk) || *disk < 0.0) return std::nullopt;
+    r.disk_throughput = *disk * static_cast<double>(kKB);
+  }
+  if (ulm.get("PROBE")) {
+    const auto probe = ulm.get_double("PROBE");
+    if (!probe || !std::isfinite(*probe) || *probe < 0.0) return std::nullopt;
+    r.net_probe = *probe * static_cast<double>(kKB);
+  }
   return r;
 }
 

@@ -48,6 +48,15 @@ struct TransferRecord {
   /// obs/context.hpp).  Serialized as TRACE= only when non-zero, so
   /// untraced logs stay byte-identical to earlier PRs.
   std::uint64_t trace_id = 0;
+  /// Disk-I/O throughput sampled at the serving host at transfer end
+  /// (bytes/s; the read port for reads, write port for writes).
+  /// Serialized as DISK= (KB/s) only when positive, so logs from
+  /// servers without disk sampling stay byte-identical.
+  Bandwidth disk_throughput = 0.0;
+  /// Network probe bandwidth along the transfer route at start
+  /// (bytes/s).  Serialized as PROBE= (KB/s) only when positive,
+  /// same versioning contract as DISK=.
+  Bandwidth net_probe = 0.0;
 
   /// Transfer duration in seconds.
   Duration total_time() const { return end_time - start_time; }

@@ -39,7 +39,8 @@ TransferRecord GridFtpServer::record_transfer(const std::string& remote_ip,
                                               const std::string& path,
                                               Bytes bytes_moved, SimTime start,
                                               SimTime end, Operation op,
-                                              int streams, Bytes buffer) {
+                                              int streams, Bytes buffer,
+                                              Bandwidth net_probe) {
   TransferRecord record;
   record.host = config_.host;
   record.source_ip = remote_ip;
@@ -53,6 +54,14 @@ TransferRecord GridFtpServer::record_transfer(const std::string& remote_ip,
   record.tcp_buffer = buffer;
   // The request's causal trace, when the client attempt installed one.
   record.trace_id = obs::TraceContext::current().trace_id;
+  if (config_.sample_disk) {
+    // The port the payload actually crossed: reads stream from the read
+    // port, writes land on the write port.
+    auto& port = op == Operation::kRead ? storage_.read_port()
+                                        : storage_.write_port();
+    record.disk_throughput = port.capacity_at(end);
+  }
+  record.net_probe = net_probe;
   log_.append(record);
   ++transfers_logged_;
 

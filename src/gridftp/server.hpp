@@ -31,6 +31,11 @@ struct ServerConfig {
   /// measures ~25 ms, "insignificant compared with the total transfer
   /// time"); charged after the transfer, outside the timed window.
   Duration logging_overhead = 0.025;
+  /// When true the server samples its storage ports at transfer end and
+  /// logs the disk-I/O throughput (DISK= key, feeding the regression
+  /// battery).  Off by default so existing deployments and goldens keep
+  /// byte-identical logs.
+  bool sample_disk = false;
 };
 
 class GridFtpServer {
@@ -57,7 +62,8 @@ class GridFtpServer {
   TransferRecord record_transfer(const std::string& remote_ip,
                                  const std::string& path, Bytes bytes_moved,
                                  SimTime start, SimTime end, Operation op,
-                                 int streams, Bytes buffer);
+                                 int streams, Bytes buffer,
+                                 Bandwidth net_probe = 0.0);
 
   std::uint64_t transfers_logged() const { return transfers_logged_; }
 

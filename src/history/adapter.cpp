@@ -11,7 +11,9 @@ predict::Observation to_observation(const gridftp::TransferRecord& record) {
   return predict::Observation{.time = record.end_time,
                               .value = record.bandwidth(),
                               .file_size = record.file_size,
-                              .ok = record.ok};
+                              .ok = record.ok,
+                              .disk = record.disk_throughput,
+                              .probe = record.net_probe};
 }
 
 bool SeriesFilter::matches(const gridftp::TransferRecord& record) const {

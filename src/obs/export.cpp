@@ -71,16 +71,9 @@ std::string number(double v) {
 }
 
 std::string json_escape(const std::string& s) {
-  std::string out;
-  for (const char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      default: out += c;
-    }
-  }
-  return out;
+  // The one shared escaper (util::json_escape) — kept as a forwarding
+  // alias so this file's emitters stay terse.
+  return util::json_escape(s);
 }
 
 /// JSON key for one instrument: name plus serialized labels.

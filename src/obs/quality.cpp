@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <tuple>
 
 namespace wadp::obs {
@@ -202,6 +203,26 @@ bool QualityTracker::drifting(const std::string& site,
   const std::lock_guard<std::mutex> lock(mu_);
   const auto it = detectors_.find(std::tie(site, predictor));
   return it != detectors_.end() && it->second.drifting;
+}
+
+std::optional<double> QualityTracker::mean_error(
+    const std::string& site, const std::string& predictor) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  double weighted = 0.0;
+  std::size_t total = 0;
+  // Cells are keyed (site, predictor, class); the map is ordered, so
+  // every class of the pair sits in one contiguous range.
+  const int lowest_class = std::numeric_limits<int>::min();
+  for (auto it = cells_.lower_bound(std::tie(site, predictor, lowest_class));
+       it != cells_.end(); ++it) {
+    const auto& [cell_site, cell_predictor, cls] = it->first;
+    if (cell_site != site || cell_predictor != predictor) break;
+    weighted += it->second.stats.mean() *
+                static_cast<double>(it->second.stats.count());
+    total += it->second.stats.count();
+  }
+  if (total == 0) return std::nullopt;
+  return weighted / static_cast<double>(total);
 }
 
 bool QualityTracker::site_drifting(const std::string& site) const {

@@ -1,6 +1,7 @@
 #include "predict/classifier.hpp"
 
 #include <algorithm>
+#include <limits>
 
 #include "util/error.hpp"
 #include "util/strings.hpp"
@@ -55,11 +56,18 @@ std::string SizeClassifier::class_label(int cls) const {
 Bytes SizeClassifier::representative_size(int cls) const {
   WADP_CHECK(cls >= 0 && cls < num_classes());
   if (cls == static_cast<int>(boundaries_.size())) {
-    return boundaries_.back() + boundaries_.back() / 3;
+    // 4/3 of the top boundary, saturating: `top + top / 3` would wrap
+    // for boundaries in the top quarter of the Bytes range.
+    const Bytes top = boundaries_.back();
+    const Bytes headroom = std::numeric_limits<Bytes>::max() - top;
+    return top + std::min(headroom, top / 3);
   }
   const Bytes lo = cls == 0 ? 0 : boundaries_[static_cast<std::size_t>(cls) - 1];
   const Bytes hi = boundaries_[static_cast<std::size_t>(cls)];
-  return lo + (hi - lo + 1) / 2;
+  // Upward midpoint without the `hi - lo + 1` wrap when the class spans
+  // the whole range.
+  const Bytes d = hi - lo;
+  return lo + d / 2 + d % 2;
 }
 
 }  // namespace wadp::predict

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 
 namespace wadp::predict {
@@ -9,7 +10,18 @@ namespace wadp::predict {
 void CrossSiteEstimator::observe(const std::string& source_site,
                                  const std::string& sink_site,
                                  Bandwidth value) {
-  WADP_CHECK_MSG(value > 0.0, "bandwidth must be positive");
+  // A failed attempt reaches us with a zero (or, through a corrupt log,
+  // negative/non-finite) rate.  log() is undefined there and aborting
+  // on hostile input took the whole process down — skip and count
+  // instead (the PR 4 bad-filter fix pattern).
+  if (!std::isfinite(value) || value <= 0.0) {
+    obs::Registry::global()
+        .counter("wadp_predict_rejected_observations_total",
+                 {{"reason", "nonpositive_bandwidth"}},
+                 "Observations the prediction path skipped as unusable")
+        .inc();
+    return;
+  }
   auto& stats = pairs_[{source_site, sink_site}];
   stats.log_sum += std::log(value);
   ++stats.count;

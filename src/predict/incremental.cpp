@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "predict/regression.hpp"
 #include "util/error.hpp"
 
 namespace wadp::predict {
@@ -390,6 +391,10 @@ std::unique_ptr<StreamingPredictor> make_streaming(const Predictor& predictor) {
   if (const auto* ar = dynamic_cast<const ArPredictor*>(&predictor)) {
     return std::make_unique<StreamingAr>(ar->name(), ar->window(),
                                          ar->min_samples());
+  }
+  if (const auto* reg = dynamic_cast<const RegressionPredictor*>(&predictor)) {
+    return std::make_unique<StreamingRegression>(
+        reg->name(), reg->model(), reg->window(), reg->min_samples());
   }
   if (const auto* classified =
           dynamic_cast<const ClassifiedPredictor*>(&predictor)) {

@@ -19,6 +19,13 @@ struct Observation {
   /// failure observations drag the estimate down through an outage
   /// window; publication-side summary stats skip them instead.
   bool ok = true;
+  /// Disk-I/O throughput sampled at the serving host when the transfer
+  /// completed (bytes/s).  0 when the log line carried no DISK= key —
+  /// regression predictors skip such observations.
+  Bandwidth disk = 0.0;
+  /// Network probe bandwidth (NWS-style) along the route at transfer
+  /// start (bytes/s).  0 when absent, same contract as disk.
+  Bandwidth probe = 0.0;
 
   bool operator==(const Observation&) const = default;
 };

@@ -223,8 +223,10 @@ std::optional<Selection> ReplicaBroker::select(
   }
 
   // What the broker consults is the provider's classified last-15 mean,
-  // i.e. the paper's AVG15/fs predictor — the name the quality plane
-  // files these served predictions under.
+  // i.e. the paper's AVG15/fs predictor by default; the quality plane
+  // files these served predictions under ranking_predictor_ so a
+  // deployment serving the regression battery scores and demotes the
+  // name it actually ranks on.
   struct Candidate {
     const PhysicalReplica* replica;
     Bandwidth bandwidth;
@@ -241,10 +243,10 @@ std::optional<Selection> ReplicaBroker::select(
           .site = replica.server_host,
           .file_size = size,
           .time = now,
-          .predictor = "AVG15/fs",
+          .predictor = ranking_predictor_,
           .value = *bw,
       });
-      drifting = quality_->drifting(replica.server_host, "AVG15/fs");
+      drifting = quality_->drifting(replica.server_host, ranking_predictor_);
     }
     informed.push_back(Candidate{&replica, *bw, drifting});
   }

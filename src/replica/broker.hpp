@@ -110,6 +110,17 @@ class ReplicaBroker {
   /// at lower predicted bandwidth.  The tracker must outlive the broker.
   void bind_quality(obs::QualityTracker* quality) { quality_ = quality; }
 
+  /// Name the quality plane files this broker's served predictions
+  /// under (and checks drift against).  The broker's ranking input is
+  /// the provider's classified last-15 mean, i.e. AVG15/fs — the
+  /// default — but a deployment arbitrating the regression battery can
+  /// point ranking at the challenger (e.g. "MREG25/fs") so demotions
+  /// track the battery actually serving.
+  void set_ranking_predictor(std::string name) {
+    ranking_predictor_ = std::move(name);
+  }
+  const std::string& ranking_predictor() const { return ranking_predictor_; }
+
  private:
   std::optional<Bandwidth> predicted_for(const PhysicalReplica& replica,
                                          const std::string& client_ip,
@@ -137,6 +148,7 @@ class ReplicaBroker {
   const history::HistoryStore* history_ = nullptr;
   obs::QualityTracker* quality_ = nullptr;
   SelectionPolicy policy_;
+  std::string ranking_predictor_ = "AVG15/fs";
   util::Rng rng_;
   predict::SizeClassifier classifier_;
   std::size_t round_robin_next_ = 0;

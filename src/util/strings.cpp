@@ -105,6 +105,29 @@ std::string format(const char* fmt, ...) {
   return out;
 }
 
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += format("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
 std::string format_bytes(std::uint64_t bytes) {
   if (bytes >= 1000000000ULL && bytes % 1000000000ULL == 0) {
     return format("%llu GB", static_cast<unsigned long long>(bytes / 1000000000ULL));

@@ -39,6 +39,12 @@ std::string join(const std::vector<std::string>& parts, std::string_view sep);
 /// printf-style formatting into a std::string.
 std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
 
+/// Escapes `s` for interpolation inside a JSON string literal: quote,
+/// backslash, and control characters (RFC 8259).  Every hand-rolled
+/// JSON emitter must route string values through this — a host name
+/// containing `"` or `\` otherwise produces invalid JSON.
+std::string json_escape(std::string_view s);
+
 /// Human-readable byte count using the paper's decimal units
 /// ("10 MB", "1 GB", "512 KB").
 std::string format_bytes(std::uint64_t bytes);

@@ -148,6 +148,9 @@ void Testbed::add_site(const std::string& site, const std::string& host,
   server_config.site = site;
   server_config.host = host;
   server_config.ip = ip;
+  // The calibrated testbed feeds the regression battery: every logged
+  // transfer carries the serving host's disk throughput (DISK=).
+  server_config.sample_disk = true;
   auto server = std::make_unique<gridftp::GridFtpServer>(server_config, *store);
 
   // Stage the paper's file set (Fig. 3 paths) on every server.

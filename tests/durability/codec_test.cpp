@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <string_view>
 
 namespace wadp::durability {
 namespace {
@@ -92,10 +93,42 @@ TEST(DurabilityCodecTest, GoldenBytes) {
   r.tcp_buffer = 5;
   r.ok = true;
   r.trace_id = 6;
+  r.disk_throughput = 2.5;
+  r.net_probe = 0.75;
   const std::string encoded = encode_entry(WalEntry{.lsn = 2, .record = r});
 
   const unsigned char expected[] = {
-      0x01,                                            // record version
+      0x02,                                            // record version
+      0x02, 0, 0, 0, 0, 0, 0, 0,                       // lsn = 2
+      0x01, 0x00, 'h',                                 // host
+      0x01, 0x00, 'i',                                 // source_ip
+      0x01, 0x00, 'f',                                 // file_name
+      0x01, 0x00, 'v',                                 // volume
+      0x03, 0, 0, 0, 0, 0, 0, 0,                       // file_size = 3
+      0, 0, 0, 0, 0, 0, 0, 0,                          // start_time = 0.0
+      0, 0, 0, 0, 0, 0, 0xF8, 0x3F,                    // end_time = 1.5
+      0x00,                                            // op = kRead
+      0x04, 0, 0, 0,                                   // streams = 4
+      0x05, 0, 0, 0, 0, 0, 0, 0,                       // tcp_buffer = 5
+      0x01,                                            // ok
+      0x06, 0, 0, 0, 0, 0, 0, 0,                       // trace_id = 6
+      0, 0, 0, 0, 0, 0, 0x04, 0x40,                    // disk_throughput = 2.5
+      0, 0, 0, 0, 0, 0, 0xE8, 0x3F,                    // net_probe = 0.75
+  };
+  ASSERT_EQ(encoded.size(), sizeof(expected));
+  for (std::size_t i = 0; i < sizeof(expected); ++i) {
+    EXPECT_EQ(static_cast<unsigned char>(encoded[i]), expected[i])
+        << "byte " << i;
+  }
+}
+
+TEST(DurabilityCodecTest, DecodesVersion1PayloadsWithDefaultedFields) {
+  // A v1 WAL written before the regression fields existed: the exact
+  // golden bytes of the previous format.  It must keep decoding, with
+  // the v2 fields defaulting to zero — crash recovery across the
+  // version bump depends on it.
+  const unsigned char v1[] = {
+      0x01,                                            // record version 1
       0x02, 0, 0, 0, 0, 0, 0, 0,                       // lsn = 2
       0x01, 0x00, 'h',                                 // host
       0x01, 0x00, 'i',                                 // source_ip
@@ -110,11 +143,16 @@ TEST(DurabilityCodecTest, GoldenBytes) {
       0x01,                                            // ok
       0x06, 0, 0, 0, 0, 0, 0, 0,                       // trace_id = 6
   };
-  ASSERT_EQ(encoded.size(), sizeof(expected));
-  for (std::size_t i = 0; i < sizeof(expected); ++i) {
-    EXPECT_EQ(static_cast<unsigned char>(encoded[i]), expected[i])
-        << "byte " << i;
-  }
+  const auto decoded = decode_entry(
+      std::string_view(reinterpret_cast<const char*>(v1), sizeof(v1)));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->lsn, 2u);
+  EXPECT_EQ(decoded->record.host, "h");
+  EXPECT_EQ(decoded->record.file_size, 3u);
+  EXPECT_EQ(decoded->record.end_time, 1.5);
+  EXPECT_EQ(decoded->record.trace_id, 6u);
+  EXPECT_EQ(decoded->record.disk_throughput, 0.0);
+  EXPECT_EQ(decoded->record.net_probe, 0.0);
 }
 
 TEST(DurabilityCodecTest, OutOfOrderTimestampsRoundTripVerbatim) {

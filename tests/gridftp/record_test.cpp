@@ -57,6 +57,54 @@ TEST(TransferRecordTest, UlmCarriesFig3Fields) {
   EXPECT_DOUBLE_EQ(*ulm.get_double("BW"), 2560.0);
 }
 
+TEST(TransferRecordTest, DiskAndProbeRoundTripWhenSampled) {
+  auto r = sample_record();
+  r.disk_throughput = 37'500'000.0;  // 37500.000 KB/s, exact in 3 decimals
+  r.net_probe = 6'250'000.0;         // 6250.000 KB/s
+  const auto ulm = r.to_ulm();
+  EXPECT_DOUBLE_EQ(*ulm.get_double("DISK"), 37'500.0);
+  EXPECT_DOUBLE_EQ(*ulm.get_double("PROBE"), 6'250.0);
+  const auto parsed = TransferRecord::from_ulm(ulm);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, r);
+}
+
+TEST(TransferRecordTest, UnsampledRecordsOmitDiskAndProbeKeys) {
+  // Records from servers that never sampled (disk/probe 0) must log
+  // byte-identically to the pre-instrumentation format: no new keys.
+  const auto ulm = sample_record().to_ulm();
+  EXPECT_FALSE(ulm.get("DISK").has_value());
+  EXPECT_FALSE(ulm.get("PROBE").has_value());
+  // And a key-free line parses with both fields defaulted.
+  const auto parsed = TransferRecord::from_ulm(ulm);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->disk_throughput, 0.0);
+  EXPECT_EQ(parsed->net_probe, 0.0);
+}
+
+TEST(TransferRecordTest, FromUlmRejectsCorruptDiskOrProbe) {
+  {
+    auto ulm = sample_record().to_ulm();
+    ulm.set_double("DISK", -100.0, 3);
+    EXPECT_FALSE(TransferRecord::from_ulm(ulm).has_value());
+  }
+  {
+    auto ulm = sample_record().to_ulm();
+    ulm.set("PROBE", "inf");
+    EXPECT_FALSE(TransferRecord::from_ulm(ulm).has_value());
+  }
+  {
+    auto ulm = sample_record().to_ulm();
+    ulm.set("DISK", "nan");
+    EXPECT_FALSE(TransferRecord::from_ulm(ulm).has_value());
+  }
+  {
+    auto ulm = sample_record().to_ulm();
+    ulm.set("DISK", "fast");  // present but unparseable
+    EXPECT_FALSE(TransferRecord::from_ulm(ulm).has_value());
+  }
+}
+
 TEST(TransferRecordTest, FromUlmRejectsMissingFields) {
   auto ulm = sample_record().to_ulm();
   util::UlmRecord incomplete;

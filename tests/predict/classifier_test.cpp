@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 namespace wadp::predict {
 namespace {
 
@@ -73,6 +75,50 @@ TEST(SizeClassifierTest, RepresentativeSizeClassifiesIntoItsClass) {
   for (int cls = 0; cls < c.num_classes(); ++cls) {
     EXPECT_EQ(c.classify(c.representative_size(cls)), cls) << "cls=" << cls;
   }
+}
+
+TEST(SizeClassifierTest, ClassifyExactlyAtEachBoundary) {
+  // Upper bounds are inclusive: a file exactly at a boundary belongs to
+  // the class below it; one byte more crosses over.
+  const auto c = SizeClassifier::paper_classes();
+  EXPECT_EQ(c.classify(0), 0);
+  EXPECT_EQ(c.classify(50 * kMB), 0);
+  EXPECT_EQ(c.classify(50 * kMB + 1), 1);
+  EXPECT_EQ(c.classify(250 * kMB), 1);
+  EXPECT_EQ(c.classify(250 * kMB + 1), 2);
+  EXPECT_EQ(c.classify(750 * kMB), 2);
+  EXPECT_EQ(c.classify(750 * kMB + 1), 3);
+  EXPECT_EQ(c.classify(std::numeric_limits<Bytes>::max()), 3);
+}
+
+TEST(SizeClassifierTest, RepresentativeSizeSaturatesNearTypeMax) {
+  // The open class used to compute 4/3 of its boundary in Bytes
+  // arithmetic, which wrapped for boundaries in the top quarter of the
+  // range and produced a "representative" size in the smallest class.
+  constexpr Bytes kMax = std::numeric_limits<Bytes>::max();
+  const SizeClassifier at_max({kMax - 1});
+  EXPECT_EQ(at_max.representative_size(1), kMax);  // saturated, not wrapped
+  EXPECT_EQ(at_max.classify(at_max.representative_size(1)), 1);
+
+  const SizeClassifier top_quarter({kMax / 4 * 3 + 42});
+  const Bytes rep = top_quarter.representative_size(1);
+  EXPECT_GT(rep, kMax / 4 * 3 + 42);  // still above its boundary
+  EXPECT_EQ(top_quarter.classify(rep), 1);
+
+  // Far from the edge the 4/3 rule is unchanged.
+  const auto paper = SizeClassifier::paper_classes();
+  EXPECT_EQ(paper.representative_size(3), 750 * kMB + 750 * kMB / 3);
+}
+
+TEST(SizeClassifierTest, RepresentativeSizeMidpointDoesNotWrap) {
+  // A bounded class spanning most of the Bytes range: the upward
+  // midpoint must stay inside [lo, hi] instead of overflowing through
+  // `hi - lo + 1`.
+  constexpr Bytes kMax = std::numeric_limits<Bytes>::max();
+  const SizeClassifier wide({kMax});  // class 0 = [0, max]
+  const Bytes rep = wide.representative_size(0);
+  EXPECT_EQ(rep, kMax / 2 + 1);
+  EXPECT_EQ(wide.classify(rep), 0);
 }
 
 TEST(SizeClassifierDeathTest, UnsortedBoundariesAbort) {

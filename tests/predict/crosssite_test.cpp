@@ -3,7 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
+#include "gridftp/record.hpp"
+#include "obs/metrics.hpp"
 #include "util/rng.hpp"
 
 namespace wadp::predict {
@@ -123,9 +126,38 @@ TEST(CrossSiteTest, NewObservationsRefreshTheFit) {
   EXPECT_EQ(estimator.observations(), 101u);
 }
 
-TEST(CrossSiteDeathTest, NonPositiveBandwidthAborts) {
+TEST(CrossSiteTest, UnusableObservationsAreSkippedAndCounted) {
+  // A failed transfer reaches the estimator with a zero rate (and a
+  // corrupt log can deliver worse); these used to abort the process.
+  // Now they are skipped and surface as a rejection counter.
+  auto& rejected = obs::Registry::global().counter(
+      "wadp_predict_rejected_observations_total",
+      {{"reason", "nonpositive_bandwidth"}});
+  const auto before = rejected.value();
+
   CrossSiteEstimator estimator;
-  EXPECT_DEATH(estimator.observe("a", "b", 0.0), "positive");
+  estimator.observe("lbl", "anl", 5e6);  // one good observation
+
+  // An ok=false record: the attempt moved nothing, bandwidth() is 0.
+  gridftp::TransferRecord failed;
+  failed.host = "dpsslx04.lbl.gov";
+  failed.file_size = 0;
+  failed.start_time = 10.0;
+  failed.end_time = 12.0;
+  failed.ok = false;
+  estimator.observe("lbl", "anl", failed.bandwidth());
+
+  estimator.observe("lbl", "anl", 0.0);
+  estimator.observe("lbl", "anl", -3e6);
+  estimator.observe("lbl", "anl", std::numeric_limits<double>::quiet_NaN());
+  estimator.observe("lbl", "anl", std::numeric_limits<double>::infinity());
+
+  EXPECT_EQ(estimator.observations(), 1u);
+  EXPECT_EQ(rejected.value(), before + 5);
+  // The surviving observation still answers.
+  const auto estimate = estimator.estimate("lbl", "anl");
+  ASSERT_TRUE(estimate.has_value());
+  EXPECT_NEAR(*estimate, 5e6, 1.0);
 }
 
 }  // namespace

@@ -105,5 +105,33 @@ TEST(FormatBytesTest, PaperUnits) {
   EXPECT_EQ(format_bytes(1'500'000), "1500 KB");  // not a whole MB
 }
 
+TEST(JsonEscapeTest, PassesCleanStringsThrough) {
+  EXPECT_EQ(json_escape("dpsslx04.lbl.gov"), "dpsslx04.lbl.gov");
+  EXPECT_EQ(json_escape(""), "");
+  EXPECT_EQ(json_escape("/home/ftp/vazhkuda/10 MB"),
+            "/home/ftp/vazhkuda/10 MB");
+}
+
+TEST(JsonEscapeTest, EscapesQuotesBackslashesAndShortEscapes) {
+  EXPECT_EQ(json_escape("he said \"hi\""), "he said \\\"hi\\\"");
+  EXPECT_EQ(json_escape("C:\\data\\log"), "C:\\\\data\\\\log");
+  EXPECT_EQ(json_escape("a\nb\tc\rd"), "a\\nb\\tc\\rd");
+  EXPECT_EQ(json_escape(std::string("x\by\fz")), "x\\by\\fz");
+}
+
+TEST(JsonEscapeTest, ControlCharactersBecomeUnicodeEscapes) {
+  EXPECT_EQ(json_escape(std::string_view("\x01", 1)), "\\u0001");
+  EXPECT_EQ(json_escape(std::string_view("\x1f", 1)), "\\u001f");
+  // NUL embedded mid-string must not truncate the output.
+  EXPECT_EQ(json_escape(std::string_view("a\0b", 3)), "a\\u0000b");
+}
+
+TEST(JsonEscapeTest, HostileHostNameYieldsValidJsonFragment) {
+  // The shape of the original bug: a host name with a quote spliced
+  // raw into a hand-rolled --json emitter broke the document.
+  const std::string hostile = "evil\"host\\.example\n.org";
+  EXPECT_EQ(json_escape(hostile), "evil\\\"host\\\\.example\\n.org");
+}
+
 }  // namespace
 }  // namespace wadp::util

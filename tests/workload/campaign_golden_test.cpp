@@ -4,12 +4,17 @@
 // allocation, spec-driven testbed construction) must not perturb the
 // calibrated three-site world: the ULM transfer logs of short
 // controlled campaigns must reproduce the pre-refactor bytes exactly.
-// The fingerprints below were captured from the pre-refactor engine
-// (`wadp campaign --seed 42 --days 3`); any drift in event ordering,
-// float accumulation, or load-seed draws changes them.
+// The fingerprints below were captured from `wadp campaign --seed 42
+// --days 3` after the testbed started sampling disk throughput and the
+// network probe (DISK=/PROBE= keys); any drift in event ordering,
+// float accumulation, or load-seed draws changes them.  Stripping the
+// two sampled keys must reproduce the pre-sampling log byte for byte —
+// that is the proof that instrumentation changed only what the records
+// *carry*, never when or how the transfers ran.
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <regex>
 #include <string>
 
 #include "workload/campaign.hpp"
@@ -27,6 +32,13 @@ std::uint64_t fnv1a64(const std::string& text) {
   return h;
 }
 
+/// The log with the sampled regressor keys removed: what the same
+/// campaign logged before disk/probe sampling existed.
+std::string without_sampled_keys(const std::string& text) {
+  static const std::regex keys(" (DISK|PROBE)=[^ \n]*");
+  return std::regex_replace(text, keys, "");
+}
+
 TEST(CampaignGoldenTest, AugustCampaignReproducesPreRefactorRecords) {
   CampaignConfig config;
   config.days = 3;
@@ -34,10 +46,18 @@ TEST(CampaignGoldenTest, AugustCampaignReproducesPreRefactorRecords) {
       run_paper_campaign(Campaign::kAugust2001, 42, config);
   const auto lbl = result.testbed->server("lbl").log().to_ulm_text();
   const auto isi = result.testbed->server("isi").log().to_ulm_text();
-  EXPECT_EQ(lbl.size(), 24069u);
-  EXPECT_EQ(fnv1a64(lbl), 0x7c3ee85edcaa54d2ULL);
-  EXPECT_EQ(isi.size(), 26140u);
-  EXPECT_EQ(fnv1a64(isi), 0x3e828f8883e020dcULL);
+  EXPECT_EQ(lbl.size(), 26912u);
+  EXPECT_EQ(fnv1a64(lbl), 0xa2c46ffe7ec79b3fULL);
+  EXPECT_EQ(isi.size(), 29289u);
+  EXPECT_EQ(fnv1a64(isi), 0xf887be392ad05291ULL);
+  // Disk/probe sampling is additive: minus the two keys, the logs are
+  // the pre-sampling goldens exactly.
+  const auto lbl_stripped = without_sampled_keys(lbl);
+  const auto isi_stripped = without_sampled_keys(isi);
+  EXPECT_EQ(lbl_stripped.size(), 24069u);
+  EXPECT_EQ(fnv1a64(lbl_stripped), 0x7c3ee85edcaa54d2ULL);
+  EXPECT_EQ(isi_stripped.size(), 26140u);
+  EXPECT_EQ(fnv1a64(isi_stripped), 0x3e828f8883e020dcULL);
 }
 
 TEST(CampaignGoldenTest, DecemberCampaignReproducesPreRefactorRecords) {
@@ -47,10 +67,16 @@ TEST(CampaignGoldenTest, DecemberCampaignReproducesPreRefactorRecords) {
       run_paper_campaign(Campaign::kDecember2001, 42, config);
   const auto lbl = result.testbed->server("lbl").log().to_ulm_text();
   const auto isi = result.testbed->server("isi").log().to_ulm_text();
-  EXPECT_EQ(lbl.size(), 29446u);
-  EXPECT_EQ(fnv1a64(lbl), 0xa9608bd02ce298c0ULL);
-  EXPECT_EQ(isi.size(), 15467u);
-  EXPECT_EQ(fnv1a64(isi), 0x478617a863392265ULL);
+  EXPECT_EQ(lbl.size(), 32922u);
+  EXPECT_EQ(fnv1a64(lbl), 0xc27fa95aec9bdfc3ULL);
+  EXPECT_EQ(isi.size(), 17323u);
+  EXPECT_EQ(fnv1a64(isi), 0xf10b50e3270397faULL);
+  const auto lbl_stripped = without_sampled_keys(lbl);
+  const auto isi_stripped = without_sampled_keys(isi);
+  EXPECT_EQ(lbl_stripped.size(), 29446u);
+  EXPECT_EQ(fnv1a64(lbl_stripped), 0xa9608bd02ce298c0ULL);
+  EXPECT_EQ(isi_stripped.size(), 15467u);
+  EXPECT_EQ(fnv1a64(isi_stripped), 0x478617a863392265ULL);
 }
 
 TEST(TestbedSpecTest, PaperSpecIsTheDefault) {

@@ -1,0 +1,40 @@
+# Hostile-name JSON smoke test: a log whose host name carries a quote
+# and a backslash must come out of `wadp history --json` escaped, not
+# spliced raw into the document (the bug every hand-rolled emitter in
+# wadp.cpp had before util::json_escape).
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+set(LOG "${WORK_DIR}/hostile.ulm")
+# ULM-quoted HOST value: evil"host\grid.example.org
+file(WRITE "${LOG}"
+  "HOST=\"evil\\\"host\\\\grid.example.org\" SOURCE=10.0.0.1 FILE=/data/f SIZE=1000000 VOLUME=/data START=100.000 END=104.000 OP=read STREAMS=4 BUFFER=1000000\n")
+
+execute_process(COMMAND "${WADP_CLI}" history "${LOG}" --json
+                RESULT_VARIABLE code OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT code EQUAL 0)
+  message(FATAL_ERROR "wadp history --json failed (${code}):\n${out}\n${err}")
+endif()
+
+# The escaped form evil\"host\\grid must appear...
+string(FIND "${out}" "evil\\\"host\\\\grid.example.org" escaped_at)
+if(escaped_at EQUAL -1)
+  message(FATAL_ERROR "JSON output missing escaped host name:\n${out}")
+endif()
+# ...and the raw unescaped quote (l directly followed by ") must not.
+string(FIND "${out}" "evil\"host" raw_at)
+if(NOT raw_at EQUAL -1)
+  message(FATAL_ERROR "JSON output contains unescaped host name:\n${out}")
+endif()
+
+# When an interpreter is around, prove the whole document parses.
+if(PYTHON AND EXISTS "${PYTHON}")
+  file(WRITE "${WORK_DIR}/out.json" "${out}")
+  execute_process(
+    COMMAND "${PYTHON}" -c "import json,sys; json.load(open(sys.argv[1]))"
+            "${WORK_DIR}/out.json"
+    RESULT_VARIABLE pycode OUTPUT_VARIABLE pyout ERROR_VARIABLE pyerr)
+  if(NOT pycode EQUAL 0)
+    message(FATAL_ERROR "JSON output does not parse:\n${pyerr}\n${out}")
+  endif()
+endif()

@@ -31,6 +31,7 @@
 //
 // Every subcommand is deterministic given its inputs; simulated
 // campaigns never touch the network.
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <filesystem>
@@ -194,7 +195,8 @@ int cmd_simgrid(const util::ArgParser& args) {
         "  \"wall_ms\": %llu\n"
         "}\n",
         world.topology().site_count(), world.topology().link_count(),
-        workload::scenario_name(scenario.scenario), summary.sim_elapsed,
+        util::json_escape(workload::scenario_name(scenario.scenario)).c_str(),
+        summary.sim_elapsed,
         static_cast<unsigned long long>(summary.flows_started),
         static_cast<unsigned long long>(summary.flows_completed),
         static_cast<unsigned long long>(summary.flows_shed),
@@ -580,7 +582,7 @@ int cmd_history(const util::ArgParser& args) {
       json += util::format(
           "{\"key\": \"%s\", \"shard\": %zu, \"observations\": %zu, "
           "\"epoch\": %llu, \"generation\": %llu, \"evicted\": %llu}",
-          series[i].key.to_string().c_str(), series[i].shard,
+          util::json_escape(series[i].key.to_string()).c_str(), series[i].shard,
           series[i].observations,
           static_cast<unsigned long long>(series[i].epoch),
           static_cast<unsigned long long>(series[i].generation),
@@ -697,13 +699,14 @@ int cmd_durability(const util::ArgParser& args) {
         "\"records_applied\": %zu, \"records_deduped\": %zu, "
         "\"torn_frames\": %zu, \"seconds\": %.6f}, "
         "\"recovered_identical\": %s, \"batteries_warmed\": %zu}\n",
-        root.c_str(), static_cast<unsigned long long>(status.wal_bytes),
+        util::json_escape(root).c_str(),
+        static_cast<unsigned long long>(status.wal_bytes),
         status.wal.segments,
         static_cast<unsigned long long>(status.wal.appended),
         static_cast<unsigned long long>(status.wal.batches),
         static_cast<unsigned long long>(status.wal.fsyncs),
         static_cast<unsigned long long>(status.wal.last_lsn),
-        durability::to_string(dconfig.fsync),
+        util::json_escape(durability::to_string(dconfig.fsync)).c_str(),
         static_cast<unsigned long long>(snapshot.value().seq),
         static_cast<unsigned long long>(snapshot.value().sealed_lsn),
         snapshot.value().series, snapshot.value().observations,
@@ -1060,6 +1063,36 @@ int cmd_quality(const util::ArgParser& args) {
   const auto result = core::run_quality_demo(config);
   const auto report = result.tracker->report();
 
+  // Head-to-head aggregate: one row per predictor, count-weighted mean
+  // percent error across every site and size class — the arbitration
+  // view (which battery member is winning overall, old or new).
+  struct HeadToHead {
+    std::string predictor;
+    std::size_t count = 0;
+    double mean_error_pct = 0.0;
+    bool drifting = false;
+  };
+  std::vector<HeadToHead> head_to_head;
+  {
+    std::map<std::string, HeadToHead> by_predictor;
+    for (const auto& cell : report.cells) {
+      auto& agg = by_predictor[cell.predictor];
+      agg.predictor = cell.predictor;
+      agg.mean_error_pct +=
+          cell.mean_error_pct * static_cast<double>(cell.count);
+      agg.count += cell.count;
+      agg.drifting = agg.drifting || cell.drifting;
+    }
+    for (auto& [name, agg] : by_predictor) {
+      if (agg.count > 0) agg.mean_error_pct /= static_cast<double>(agg.count);
+      head_to_head.push_back(std::move(agg));
+    }
+    std::stable_sort(head_to_head.begin(), head_to_head.end(),
+                     [](const HeadToHead& a, const HeadToHead& b) {
+                       return a.mean_error_pct < b.mean_error_pct;
+                     });
+  }
+
   if (args.has("json")) {
     std::string json = util::format(
         "{\"transfers_ok\": %d, \"transfers_failed\": %d, "
@@ -1083,9 +1116,21 @@ int cmd_quality(const util::ArgParser& args) {
           "{\"site\": \"%s\", \"predictor\": \"%s\", \"class\": \"%s\", "
           "\"count\": %zu, \"mean_error_pct\": %.2f, "
           "\"stddev_error_pct\": %.2f, \"drifting\": %s}",
-          cell.site.c_str(), cell.predictor.c_str(), cell.class_label.c_str(),
+          util::json_escape(cell.site).c_str(),
+          util::json_escape(cell.predictor).c_str(),
+          util::json_escape(cell.class_label).c_str(),
           cell.count, cell.mean_error_pct, cell.stddev_error_pct,
           cell.drifting ? "true" : "false");
+    }
+    json += "], \"head_to_head\": [";
+    for (std::size_t i = 0; i < head_to_head.size(); ++i) {
+      const auto& row = head_to_head[i];
+      if (i > 0) json += ", ";
+      json += util::format(
+          "{\"predictor\": \"%s\", \"count\": %zu, "
+          "\"mean_error_pct\": %.2f, \"drifting\": %s}",
+          util::json_escape(row.predictor).c_str(), row.count,
+          row.mean_error_pct, row.drifting ? "true" : "false");
     }
     json += "]}";
     std::printf("%s\n", json.c_str());
@@ -1132,6 +1177,24 @@ int cmd_quality(const util::ArgParser& args) {
   std::printf("%s", table.render().c_str());
   if (cells.size() > limit) {
     std::printf("(%zu more cells; raise --limit)\n", cells.size() - limit);
+  }
+
+  // Head-to-head leaderboard: best battery members first.  This is
+  // where a regression predictor beating the paper's univariate
+  // battery becomes visible online, not just in an offline evaluator.
+  std::printf("\npredictor head-to-head (count-weighted across all cells)\n");
+  util::TextTable leaderboard({"predictor", "n", "mean % err", "drift"});
+  leaderboard.set_align(0, util::TextTable::Align::Left);
+  for (std::size_t i = 0; i < head_to_head.size() && i < limit; ++i) {
+    const auto& row = head_to_head[i];
+    leaderboard.add_row({row.predictor, std::to_string(row.count),
+                         util::format("%.1f", row.mean_error_pct),
+                         row.drifting ? "DRIFT" : "-"});
+  }
+  std::printf("%s", leaderboard.render().c_str());
+  if (head_to_head.size() > limit) {
+    std::printf("(%zu more predictors; raise --limit)\n",
+                head_to_head.size() - limit);
   }
   return 0;
 }
