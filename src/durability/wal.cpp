@@ -3,6 +3,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -118,6 +119,10 @@ WriteAheadLog::WriteAheadLog(WalConfig config) : config_(std::move(config)) {
         "wadp_wal_size_bytes", {}, "Bytes on disk across WAL segments");
     metrics_.segments = &registry.gauge(
         "wadp_wal_segments", {}, "WAL segment files on disk");
+    metrics_.fsync_seconds = &registry.histogram(
+        "wadp_wal_fsync_seconds", {},
+        "Wall-clock latency of WAL fsync() calls — the wal.fsync_p99 "
+        "SLO rule watches this");
   }
 
   // Continue the LSN sequence past whatever segments already exist.
@@ -226,7 +231,17 @@ void WriteAheadLog::flush_with_lock(std::unique_lock<std::mutex>& lock) {
   WADP_CHECK_MSG(written == io_buf_.size(), "short WAL write");
   std::fflush(file);
   const bool synced = config_.fsync != FsyncPolicy::kNone;
-  if (synced) ::fsync(fileno(file));
+  if (synced) {
+    // Timed off-lock: the histogram record is lock-free and the fsync
+    // latency distribution is what the wal.fsync_p99 SLO rule watches.
+    const auto fsync_start = std::chrono::steady_clock::now();
+    ::fsync(fileno(file));
+    if (metrics_.fsync_seconds != nullptr) {
+      const std::chrono::duration<double> elapsed =
+          std::chrono::steady_clock::now() - fsync_start;
+      metrics_.fsync_seconds->record(elapsed.count());
+    }
+  }
   lock.lock();
 
   segment_written_ += io_buf_.size();

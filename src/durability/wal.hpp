@@ -158,6 +158,7 @@ class WriteAheadLog {
     obs::Counter* truncated_segments = nullptr;
     obs::Gauge* size_bytes = nullptr;
     obs::Gauge* segments = nullptr;
+    obs::Histogram* fsync_seconds = nullptr;
   };
   Metrics metrics_;
 };

@@ -47,6 +47,10 @@ struct NetMetrics {
   obs::Counter& sweeps = obs::Registry::global().counter(
       "wadp_net_sweeps_total", {},
       "Lazy-mode dirty-set coalescing sweeps");
+  obs::Counter& verify_mismatches = obs::Registry::global().counter(
+      "wadp_net_verify_mismatches_total", {},
+      "Incremental-allocator rates diverging from the reference "
+      "recompute — the net.verify_mismatch SLO rule watches this");
   obs::Gauge& active = obs::Registry::global().gauge(
       "wadp_net_active_flows", {}, "Currently active flows");
   obs::Gauge& util_max = obs::Registry::global().gauge(
@@ -598,6 +602,7 @@ void FluidEngine::reference_shadow(SimTime t, bool verify) {
     const Flow& f = flows_.at(ids[i]);
     if (f.rate != scratch[i]) {
       ++stats_.verify_mismatches;
+      NetMetrics::get().verify_mismatches.inc();
       if (first_mismatch_.empty()) {
         first_mismatch_ = "flow " + std::to_string(ids[i]) + " at t=" +
                           std::to_string(t) + ": incremental=" +

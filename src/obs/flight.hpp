@@ -1,0 +1,86 @@
+// Flight recorder: bounded post-mortem bundles for staged incidents.
+//
+// When an SLO alert fires (or an operator asks), the interesting state
+// is about to scroll out of the rings: the minutes of series history
+// leading into the violation, the span ring, the self-event log, and
+// the quality cells.  The FlightRecorder freezes all four into one
+// bundle — a JSON file for tooling and an ULM file whose lines
+// round-trip through util/ulm, the same dual form every other wadp
+// artifact uses — written atomically via temp+rename so a crash
+// mid-capture never leaves a half bundle for the post-mortem reader.
+//
+// Bundles are bounded (points per series, span count, event count) and
+// state their own completeness: the tracer's dropped-span count and
+// the recorder's dropped-series count ride in the meta section, so a
+// reader knows whether "no span" means "did not happen" or "evicted".
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "obs/events.hpp"
+#include "obs/metrics.hpp"
+#include "obs/quality.hpp"
+#include "obs/timeseries.hpp"
+#include "obs/trace.hpp"
+#include "util/error.hpp"
+
+namespace wadp::obs {
+
+struct FlightConfig {
+  std::string dir = "flight";  ///< bundles land here (created on demand)
+  /// Newest samples kept per series in the bundle.
+  std::size_t max_points_per_series = 64;
+  std::size_t max_spans = 256;
+  std::size_t max_events = 512;
+  /// Registry for wadp_flight_* metrics; nullptr = Registry::global().
+  Registry* registry = nullptr;
+};
+
+/// What one capture wrote, for the CLI and the bench gates.
+struct BundleInfo {
+  std::string json_path;
+  std::string ulm_path;
+  std::uint64_t seq = 0;
+  std::size_t series = 0;
+  std::size_t points = 0;
+  std::size_t spans = 0;
+  std::size_t events = 0;
+  std::size_t quality_cells = 0;
+  std::uint64_t dropped_spans = 0;  ///< tracer evictions at capture time
+  std::size_t json_bytes = 0;
+};
+
+class FlightRecorder {
+ public:
+  /// Any source may be null — the bundle simply omits that section.
+  FlightRecorder(const MetricsRecorder* recorder, const Tracer* tracer,
+                 const EventSink* events, FlightConfig config = {});
+
+  /// Attaches the quality plane (lives in a higher layer, hence late
+  /// binding rather than a constructor argument).
+  void set_quality(const QualityTracker* quality) { quality_ = quality; }
+
+  /// Dumps one bundle stamped `now`, tagged with `reason` (an alert
+  /// rule name or "manual").  Returns what was written, or the first
+  /// filesystem error.
+  Expected<BundleInfo> capture(const std::string& reason, double now);
+
+  std::uint64_t captures() const;
+  const FlightConfig& config() const { return config_; }
+
+ private:
+  FlightConfig config_;
+  const MetricsRecorder* recorder_;
+  const Tracer* tracer_;
+  const EventSink* events_;
+  const QualityTracker* quality_ = nullptr;
+  Registry& registry_;
+  Counter& captures_total_;
+
+  mutable std::mutex mu_;  ///< serializes captures; seq_ under it
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace wadp::obs

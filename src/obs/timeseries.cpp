@@ -1,0 +1,357 @@
+#include "obs/timeseries.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+namespace wadp::obs {
+namespace {
+
+constexpr const char* kRateSuffix = ":rate";
+constexpr const char* kP50Suffix = ":p50";
+constexpr const char* kP99Suffix = ":p99";
+
+/// `name{k="v",k2="v2"}` — same key shape as the JSON exporter, so a
+/// series name pasted from `wadp metrics --json` resolves here.
+std::string series_key(const std::string& name, const Labels& labels) {
+  if (labels.empty()) return name;
+  std::string out = name + "{";
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) out += ",";
+    out += labels[i].first + "=\"" + labels[i].second + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+/// p50 and p99 from ONE cumulative-bucket snapshot.  The registry's
+/// Histogram::quantile() re-snapshots all ~2k buckets per call; at
+/// scrape cadence over dozens of histograms that walk dominates, so
+/// the recorder interpolates both targets in a single pass.
+struct QuantilePair {
+  double p50 = 0.0;
+  double p99 = 0.0;
+};
+
+QuantilePair quantiles_from_buckets(
+    const std::vector<std::pair<double, std::uint64_t>>& buckets) {
+  QuantilePair out;
+  if (buckets.empty()) return out;
+  const double total = static_cast<double>(buckets.back().second);
+  if (total <= 0.0) return out;
+
+  const double targets[2] = {0.5 * total, 0.99 * total};
+  double* slots[2] = {&out.p50, &out.p99};
+  std::size_t t = 0;
+  double prev_upper = 0.0;
+  double prev_cum = 0.0;
+  for (const auto& [upper, cumulative] : buckets) {
+    const double cum = static_cast<double>(cumulative);
+    while (t < 2 && cum >= targets[t]) {
+      const double span = cum - prev_cum;
+      const double frac = span > 0.0 ? (targets[t] - prev_cum) / span : 1.0;
+      *slots[t] = prev_upper + frac * (upper - prev_upper);
+      ++t;
+    }
+    if (t == 2) break;
+    prev_upper = upper;
+    prev_cum = cum;
+  }
+  // Ranks past the last bucket (rounding) land on the max bound.
+  for (; t < 2; ++t) *slots[t] = buckets.back().first;
+  return out;
+}
+
+}  // namespace
+
+void MetricsRecorder::Ring::push(TsSample sample) {
+  if (data.empty()) return;
+  data[head] = sample;
+  head = (head + 1) % data.size();
+  if (size < data.size()) ++size;
+}
+
+MetricsRecorder::MetricsRecorder(RecorderConfig config)
+    : config_(config),
+      registry_(config.registry != nullptr ? *config.registry
+                                           : Registry::global()),
+      scrapes_total_(registry_.counter(
+          "wadp_ts_scrapes_total", {},
+          "Registry scrapes recorded into the time-series rings")),
+      points_total_(registry_.counter(
+          "wadp_ts_points_total", {},
+          "Samples appended across all time-series rings")),
+      skipped_total_(registry_.counter(
+          "wadp_ts_scrapes_skipped_total", {},
+          "Scrapes skipped because the clock had not advanced")),
+      dropped_total_(registry_.counter(
+          "wadp_ts_dropped_series_total", {},
+          "Series discarded because the recorder hit max_series")),
+      series_gauge_(registry_.gauge("wadp_ts_series", {},
+                                    "Distinct series currently recorded")),
+      scrape_seconds_(registry_.histogram(
+          "wadp_ts_scrape_seconds", {},
+          "Wall-clock cost of one registry scrape")) {
+  if (config_.ring_capacity == 0) config_.ring_capacity = 1;
+}
+
+MetricsRecorder::~MetricsRecorder() { stop_wall_clock(); }
+
+MetricsRecorder::Ring* MetricsRecorder::ring_for(const std::string& series) {
+  auto it = rings_.find(series);
+  if (it != rings_.end()) return &it->second;
+  if (rings_.size() >= config_.max_series) {
+    ++dropped_series_;
+    dropped_total_.inc();
+    return nullptr;
+  }
+  return &rings_.emplace(series, Ring(config_.ring_capacity)).first->second;
+}
+
+void MetricsRecorder::record_point(const std::string& series, double now,
+                                   double value, std::size_t* points) {
+  Ring* ring = ring_for(series);
+  if (ring == nullptr) return;
+  ring->push({now, value});
+  ++*points;
+}
+
+void MetricsRecorder::record_rate(const std::string& series, double now,
+                                  double raw, std::size_t* points) {
+  Cumulative& prev = cumulative_[series];
+  // A counter first seen after scraping has begun implicitly sat at
+  // zero until its first increment — synthesize that origin so the
+  // series yields a rate on its FIRST scrape.  Without this, a metric
+  // born mid-incident (retry exhaustion, torn frames) costs the SLO
+  // monitor two extra intervals of detection latency.
+  if (!prev.seen && scraped_once_) {
+    prev.value = 0.0;
+    prev.time = last_time_;
+    prev.seen = true;
+  }
+  if (prev.seen) {
+    const double dt = now - prev.time;
+    // Counters are monotone; a negative delta means the instrument was
+    // re-registered under us — record a zero rate rather than a spike.
+    const double delta = std::max(0.0, raw - prev.value);
+    if (dt > 0.0) {
+      record_point(series, now, delta / dt, points);
+    }
+  }
+  prev.value = raw;
+  prev.time = now;
+  prev.seen = true;
+}
+
+std::size_t MetricsRecorder::scrape(double now) {
+  const auto wall_start = std::chrono::steady_clock::now();
+  // families() snapshots under the registry lock; instrument reads are
+  // the same relaxed loads the exporters use — writers never stall.
+  const std::vector<Registry::Family> families = registry_.families();
+
+  std::size_t points = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (scraped_once_ && now <= last_time_) {
+      ++local_skipped_;
+      skipped_total_.inc();
+      return 0;
+    }
+    for (const auto& family : families) {
+      double family_sum = 0.0;
+      bool labeled = false;
+      for (const auto& instrument : family.instruments) {
+        const std::string key = series_key(family.name, instrument.labels);
+        labeled = labeled || !instrument.labels.empty();
+        switch (family.kind) {
+          case Registry::Kind::kCounter: {
+            const double raw =
+                static_cast<double>(instrument.counter->value());
+            family_sum += raw;
+            record_point(key, now, raw, &points);
+            record_rate(key + kRateSuffix, now, raw, &points);
+            break;
+          }
+          case Registry::Kind::kGauge:
+            record_point(key, now, instrument.gauge->value(), &points);
+            break;
+          case Registry::Kind::kHistogram: {
+            const Histogram& h = *instrument.histogram;
+            const auto buckets = h.cumulative_buckets();
+            const QuantilePair q = quantiles_from_buckets(buckets);
+            record_rate(key + kRateSuffix, now,
+                        static_cast<double>(h.count()), &points);
+            record_point(key + kP50Suffix, now, q.p50, &points);
+            record_point(key + kP99Suffix, now, q.p99, &points);
+            break;
+          }
+        }
+      }
+      // Ratio rules (hit rate, shed ratio, join rate) want the family
+      // total, not one label cell — derive the label-summed rate too.
+      if (family.kind == Registry::Kind::kCounter && labeled) {
+        record_rate(family.name + kRateSuffix, now, family_sum, &points);
+      }
+    }
+    last_time_ = now;
+    scraped_once_ = true;
+    ++local_scrapes_;
+    series_gauge_.set(static_cast<double>(rings_.size()));
+  }
+
+  scrapes_total_.inc();
+  points_total_.inc(points);
+  const std::chrono::duration<double> wall =
+      std::chrono::steady_clock::now() - wall_start;
+  scrape_seconds_.record(wall.count());
+  return points;
+}
+
+void MetricsRecorder::start_wall_clock(double interval_seconds) {
+  stop_wall_clock();
+  if (interval_seconds <= 0.0) interval_seconds = 1.0;
+  wall_running_.store(true, std::memory_order_release);
+  wall_thread_ = std::thread([this, interval_seconds] {
+    const auto start = std::chrono::steady_clock::now();
+    auto next = start;
+    while (wall_running_.load(std::memory_order_acquire)) {
+      next += std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(interval_seconds));
+      // Sleep in short slices so stop_wall_clock() returns promptly
+      // even with multi-second intervals.
+      while (wall_running_.load(std::memory_order_acquire) &&
+             std::chrono::steady_clock::now() < next) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+      if (!wall_running_.load(std::memory_order_acquire)) break;
+      const std::chrono::duration<double> since =
+          std::chrono::steady_clock::now() - start;
+      scrape(since.count());
+    }
+  });
+}
+
+void MetricsRecorder::stop_wall_clock() {
+  wall_running_.store(false, std::memory_order_release);
+  if (wall_thread_.joinable()) wall_thread_.join();
+}
+
+std::vector<std::string> MetricsRecorder::series_names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(rings_.size());
+  for (const auto& [name, ring] : rings_) out.push_back(name);
+  return out;
+}
+
+std::vector<TsSample> MetricsRecorder::samples(
+    const std::string& series) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = rings_.find(series);
+  if (it == rings_.end()) return {};
+  const Ring& ring = it->second;
+  std::vector<TsSample> out;
+  out.reserve(ring.size);
+  const std::size_t cap = ring.data.size();
+  const std::size_t start = (ring.head + cap - ring.size) % cap;
+  for (std::size_t i = 0; i < ring.size; ++i) {
+    out.push_back(ring.data[(start + i) % cap]);
+  }
+  return out;
+}
+
+std::optional<TsSample> MetricsRecorder::latest(
+    const std::string& series) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = rings_.find(series);
+  if (it == rings_.end() || it->second.size == 0) return std::nullopt;
+  const Ring& ring = it->second;
+  const std::size_t cap = ring.data.size();
+  return ring.data[(ring.head + cap - 1) % cap];
+}
+
+TsWindow MetricsRecorder::window(const std::string& series,
+                                 double window_seconds, double now) const {
+  TsWindow out;
+  const double since = now - window_seconds;
+  for (const TsSample& sample : samples(series)) {
+    if (sample.time <= since || sample.time > now) continue;
+    if (out.samples == 0) {
+      out.min = out.max = sample.value;
+    } else {
+      out.min = std::min(out.min, sample.value);
+      out.max = std::max(out.max, sample.value);
+    }
+    out.mean += sample.value;
+    out.last = sample.value;
+    ++out.samples;
+  }
+  if (out.samples > 0) out.mean /= static_cast<double>(out.samples);
+  return out;
+}
+
+std::vector<HotSeries> MetricsRecorder::hottest(std::size_t limit,
+                                                double window_seconds,
+                                                double now) const {
+  std::vector<std::string> names = series_names();
+  std::vector<HotSeries> out;
+  for (const std::string& name : names) {
+    // Rank rate aspects only: cumulative counters grow without bound
+    // and would drown every gauge; rates are comparable across series.
+    if (name.size() < 5 ||
+        name.compare(name.size() - 5, 5, kRateSuffix) != 0) {
+      continue;
+    }
+    const TsWindow w = window(name, window_seconds, now);
+    if (w.empty()) continue;
+    out.push_back({name, w.mean, w.last, w.samples});
+  }
+  std::sort(out.begin(), out.end(), [](const HotSeries& a, const HotSeries& b) {
+    if (a.mean != b.mean) return a.mean > b.mean;
+    return a.name < b.name;
+  });
+  if (out.size() > limit) out.resize(limit);
+  return out;
+}
+
+// Accessors report this recorder's own tallies, not the registry
+// counters — those are shared when two recorders (e.g. `wadp serve`'s
+// wall-clock and query-time instances) scrape the same registry.
+std::uint64_t MetricsRecorder::scrapes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return local_scrapes_;
+}
+
+std::uint64_t MetricsRecorder::skipped_scrapes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return local_skipped_;
+}
+
+std::uint64_t MetricsRecorder::dropped_series() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_series_;
+}
+
+std::size_t MetricsRecorder::series_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rings_.size();
+}
+
+double MetricsRecorder::last_scrape_time() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_time_;
+}
+
+std::string MetricsRecorder::rate_series(const std::string& metric_key) {
+  return metric_key + kRateSuffix;
+}
+
+std::string MetricsRecorder::p50_series(const std::string& metric_key) {
+  return metric_key + kP50Suffix;
+}
+
+std::string MetricsRecorder::p99_series(const std::string& metric_key) {
+  return metric_key + kP99Suffix;
+}
+
+}  // namespace wadp::obs

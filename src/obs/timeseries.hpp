@@ -1,0 +1,186 @@
+// Metric time-series recorder: the registry, remembered.
+//
+// The paper's thesis is that *logged history* makes a system
+// predictable; obs/metrics only ever answered "what is the value now".
+// The MetricsRecorder closes that gap: on a fixed cadence it scrapes a
+// Registry snapshot into fixed-capacity per-series ring buffers, so a
+// shed storm, an fsync stall, or a drift episode leaves an inspectable
+// trail instead of a single post-hoc gauge reading.
+//
+// Derived series, one ring each (names are `<metric key>` plus an
+// aspect suffix):
+//
+//   counter    `name{labels}`        cumulative value
+//              `name{labels}:rate`   per-second delta vs previous scrape
+//              `name:rate`           label-summed family rate (only when
+//                                    the family is labeled — ratio rules
+//                                    want the aggregate)
+//   gauge      `name{labels}`        instantaneous value
+//   histogram  `name{labels}:rate`   samples/second
+//              `name{labels}:p50`    } quantiles interpolated from ONE
+//              `name{labels}:p99`    } cumulative-bucket snapshot per
+//                                      scrape (never three walks)
+//
+// Cadence contract (docs/OBSERVABILITY.md): under the simulator the
+// caller drives scrape(now) from a sim::PeriodicTask, so sample times
+// are simulated seconds and runs stay deterministic; under a live
+// process (`wadp serve`) start_wall_clock() runs a background thread
+// stamping seconds-since-start.  scrape() never blocks metric writers:
+// instruments are read with the same relaxed loads the exporters use,
+// and only the recorder's own ring map takes a lock.  A scrape whose
+// `now` does not advance past the previous one is skipped (counted),
+// which makes double-wiring a tick harmless.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "util/types.hpp"
+
+namespace wadp::obs {
+
+struct RecorderConfig {
+  /// Samples kept per series; the oldest falls off first.
+  std::size_t ring_capacity = 512;
+  /// Bound on distinct series; past it new series are dropped+counted.
+  std::size_t max_series = 8192;
+  /// Registry to scrape (and where wadp_ts_* self-metrics register);
+  /// nullptr = Registry::global().
+  Registry* registry = nullptr;
+};
+
+/// One recorded point of one series.
+struct TsSample {
+  double time = 0.0;  ///< scrape instant (sim seconds or wall seconds)
+  double value = 0.0;
+};
+
+/// Windowed aggregate the SLO evaluator and `wadp top` consume.
+struct TsWindow {
+  std::size_t samples = 0;
+  double mean = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double last = 0.0;  ///< newest sample inside the window
+
+  bool empty() const { return samples == 0; }
+};
+
+/// One row of the `wadp top` ranking.
+struct HotSeries {
+  std::string name;
+  double mean = 0.0;  ///< windowed mean (rate series: events/second)
+  double last = 0.0;
+  std::size_t samples = 0;
+};
+
+class MetricsRecorder {
+ public:
+  explicit MetricsRecorder(RecorderConfig config = {});
+  ~MetricsRecorder();
+
+  MetricsRecorder(const MetricsRecorder&) = delete;
+  MetricsRecorder& operator=(const MetricsRecorder&) = delete;
+
+  /// Scrapes every instrument into the rings, stamped `now`.  Returns
+  /// the number of points recorded (0 when the scrape was skipped
+  /// because `now` had not advanced).  Thread-safe.
+  std::size_t scrape(double now);
+
+  /// Spawns a background thread scraping every `interval_seconds` of
+  /// wall time, stamping seconds since this call.  stop_wall_clock()
+  /// (or destruction) joins it.  The sim path never uses this — it
+  /// drives scrape(now) itself so runs stay deterministic.
+  void start_wall_clock(double interval_seconds);
+  void stop_wall_clock();
+
+  /// Name-sorted list of every recorded series.
+  std::vector<std::string> series_names() const;
+
+  /// All samples of one series, oldest first (empty when unknown).
+  std::vector<TsSample> samples(const std::string& series) const;
+
+  /// Newest sample, or nullopt when the series is unknown/empty.
+  std::optional<TsSample> latest(const std::string& series) const;
+
+  /// Aggregate over samples with time in (now - window, now].
+  TsWindow window(const std::string& series, double window_seconds,
+                  double now) const;
+
+  /// Rate-aspect series ranked by windowed mean, highest first — the
+  /// "hottest series" view behind `wadp top`.
+  std::vector<HotSeries> hottest(std::size_t limit, double window_seconds,
+                                 double now) const;
+
+  std::uint64_t scrapes() const;
+  std::uint64_t skipped_scrapes() const;
+  std::uint64_t dropped_series() const;
+  std::size_t series_count() const;
+  double last_scrape_time() const;
+
+  const RecorderConfig& config() const { return config_; }
+
+  /// Aspect-suffix helpers, so rule catalogs and tests never hand-roll
+  /// the separator.
+  static std::string rate_series(const std::string& metric_key);
+  static std::string p50_series(const std::string& metric_key);
+  static std::string p99_series(const std::string& metric_key);
+
+ private:
+  struct Ring {
+    explicit Ring(std::size_t capacity) : data(capacity) {}
+    std::vector<TsSample> data;  ///< fixed capacity, circular
+    std::size_t head = 0;        ///< next write slot
+    std::size_t size = 0;
+
+    void push(TsSample sample);
+  };
+
+  /// Last raw cumulative value per counter/histogram-count series, for
+  /// rate derivation.
+  struct Cumulative {
+    double value = 0.0;
+    double time = 0.0;
+    bool seen = false;
+  };
+
+  Ring* ring_for(const std::string& series);
+  void record_point(const std::string& series, double now, double value,
+                    std::size_t* points);
+  void record_rate(const std::string& series, double now, double raw,
+                   std::size_t* points);
+
+  RecorderConfig config_;
+  Registry& registry_;
+
+  Counter& scrapes_total_;
+  Counter& points_total_;
+  Counter& skipped_total_;
+  Counter& dropped_total_;
+  Gauge& series_gauge_;
+  Histogram& scrape_seconds_;
+
+  mutable std::mutex mu_;
+  std::map<std::string, Ring, std::less<>> rings_;
+  std::map<std::string, Cumulative, std::less<>> cumulative_;
+  double last_time_ = 0.0;
+  bool scraped_once_ = false;
+  std::uint64_t dropped_series_ = 0;
+  /// Per-recorder tallies; the wadp_ts_* counters are shared across
+  /// every recorder scraping the same registry.
+  std::uint64_t local_scrapes_ = 0;
+  std::uint64_t local_skipped_ = 0;
+
+  std::thread wall_thread_;
+  std::atomic<bool> wall_running_{false};
+};
+
+}  // namespace wadp::obs

@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "obs/context.hpp"
+#include "obs/metrics.hpp"
 #include "util/strings.hpp"
 
 namespace wadp::obs {
@@ -102,7 +103,19 @@ void Tracer::finish(SpanRecord record) {
   const std::lock_guard<std::mutex> lock(mu_);
   finished_.push_back(std::move(record));
   ++recorded_total_;
-  while (finished_.size() > capacity_) finished_.pop_front();
+  while (finished_.size() > capacity_) {
+    finished_.pop_front();
+    ++dropped_total_;
+    // Resolved on first eviction, not at construction: the global
+    // tracer may outlive static-init ordering guarantees, and the
+    // no-eviction hot path should never touch the registry at all.
+    if (dropped_counter_ == nullptr) {
+      dropped_counter_ = &Registry::global().counter(
+          "wadp_trace_dropped_spans_total", {},
+          "Finished spans evicted from the bounded span ring");
+    }
+    static_cast<Counter*>(dropped_counter_)->inc();
+  }
 }
 
 std::vector<SpanRecord> Tracer::finished() const {
@@ -113,6 +126,11 @@ std::vector<SpanRecord> Tracer::finished() const {
 std::uint64_t Tracer::recorded_total() const {
   const std::lock_guard<std::mutex> lock(mu_);
   return recorded_total_;
+}
+
+std::uint64_t Tracer::dropped_total() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return dropped_total_;
 }
 
 void Tracer::clear() {

@@ -118,6 +118,9 @@ class Tracer {
   std::size_t capacity() const { return capacity_; }
   /// Total spans ever finished (ring evictions included).
   std::uint64_t recorded_total() const;
+  /// Spans silently evicted from the finished ring — flight-recorder
+  /// bundles quote this to state their own completeness.
+  std::uint64_t dropped_total() const;
 
   /// Drops every finished span (the CLI resets between demo phases).
   void clear();
@@ -137,6 +140,8 @@ class Tracer {
   mutable std::mutex mu_;
   std::deque<SpanRecord> finished_;
   std::uint64_t recorded_total_ = 0;
+  std::uint64_t dropped_total_ = 0;  // guarded by mu_
+  void* dropped_counter_ = nullptr;  // obs::Counter*, resolved lazily
   std::uint64_t next_id_ = 1;  // guarded by mu_
 };
 

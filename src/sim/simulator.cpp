@@ -226,8 +226,9 @@ std::size_t Simulator::run_batch(Duration horizon) {
 bool Simulator::step() { return fire_next(); }
 
 PeriodicTask::PeriodicTask(Simulator& sim, Duration period,
-                           std::function<void()> body, bool immediate)
-    : sim_(sim), period_(period), body_(std::move(body)) {
+                           std::function<void()> body, bool immediate,
+                           SimTime until)
+    : sim_(sim), period_(period), body_(std::move(body)), until_(until) {
   WADP_CHECK(period_ > 0.0);
   WADP_CHECK(body_ != nullptr);
   if (immediate) {
@@ -243,6 +244,11 @@ PeriodicTask::PeriodicTask(Simulator& sim, Duration period,
 PeriodicTask::~PeriodicTask() { stop(); }
 
 void PeriodicTask::arm() {
+  if (sim_.now() + period_ > until_) {
+    running_ = false;
+    pending_ = 0;
+    return;
+  }
   pending_ = sim_.schedule_after(period_, [this] {
     body_();
     if (running_) arm();

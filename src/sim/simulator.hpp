@@ -157,13 +157,17 @@ class Simulator {
 };
 
 /// Periodic task helper: re-schedules itself every `period` seconds
-/// until stop() is called.  Used by NWS sensors and GIIS refresh.
+/// until stop() is called (or, optionally, a deadline passes).  Used
+/// by NWS sensors, GIIS refresh, and health-plane scrape ticks.
 class PeriodicTask {
  public:
   /// `body` runs at start + period, start + 2*period, ...  When
-  /// `immediate` is true it also runs once at `start`.
+  /// `immediate` is true it also runs once at `start`.  A finite
+  /// `until` bounds the task: no firing is scheduled past that instant,
+  /// so an open-ended `sim.run()` still terminates — essential for
+  /// drives (resilience, health) that run the queue dry.
   PeriodicTask(Simulator& sim, Duration period, std::function<void()> body,
-               bool immediate = false);
+               bool immediate = false, SimTime until = kNeverTime);
   ~PeriodicTask();
 
   PeriodicTask(const PeriodicTask&) = delete;
@@ -178,6 +182,7 @@ class PeriodicTask {
   Simulator& sim_;
   Duration period_;
   std::function<void()> body_;
+  SimTime until_ = kNeverTime;
   bool running_ = true;
   EventId pending_ = 0;
 };

@@ -1,5 +1,7 @@
 #include "workload/campaign.hpp"
 
+#include <optional>
+
 #include "util/error.hpp"
 #include "util/time.hpp"
 
@@ -85,8 +87,16 @@ CampaignResult run_paper_campaign(Campaign campaign, std::uint64_t seed,
       *result.testbed, "anl", "isi", config, seeder.next_u64());
   result.lbl_to_anl->start();
   result.isi_to_anl->start();
-  result.testbed->sim().run_until(result.lbl_to_anl->end_time() +
-                                  util::kSecondsPerDay);
+  const SimTime end = result.lbl_to_anl->end_time() + util::kSecondsPerDay;
+  std::optional<sim::PeriodicTask> health;
+  if (config.health_interval > 0.0 && config.health_tick) {
+    auto& sim = result.testbed->sim();
+    health.emplace(
+        sim, config.health_interval,
+        [&sim, cb = config.health_tick] { cb(sim.now()); },
+        /*immediate=*/false, /*until=*/end);
+  }
+  result.testbed->sim().run_until(end);
   return result;
 }
 

@@ -43,6 +43,11 @@ struct CampaignConfig {
   SleepDistribution sleeps;
   gridftp::TransferOptions options{.streams = 8,
                                    .buffer = net::kTunedTcpBuffer};
+  /// Health-plane hook (see ScenarioConfig::health_tick): when > 0,
+  /// `health_tick(now)` fires every `health_interval` simulated
+  /// seconds over the campaign span.
+  Duration health_interval = 0.0;
+  std::function<void(SimTime now)> health_tick;
 };
 
 /// Drives one wide-area link: `client_site` fetching from `server_site`.

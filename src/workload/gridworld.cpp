@@ -271,6 +271,15 @@ GridWorld::Summary GridWorld::run(const ScenarioConfig& scenario,
       st->rng.uniform_int(0, static_cast<std::int64_t>(names.size()) - 1));
 
   const auto wall_start = std::chrono::steady_clock::now();
+  // Health-plane scrape/evaluate tick, bounded to the scenario window
+  // so the run loop below still drains to quiescence.
+  std::optional<sim::PeriodicTask> health;
+  if (scenario.health_interval > 0.0 && scenario.health_tick) {
+    health.emplace(
+        sim_, scenario.health_interval,
+        [this, cb = scenario.health_tick] { cb(sim_.now()); },
+        /*immediate=*/false, /*until=*/st->end);
+  }
   arm_arrival(*this, st);
   while (sim_.now() < st->end) {
     sim_.run_batch(std::min(scenario.batch_horizon, st->end - sim_.now()));

@@ -25,6 +25,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -124,6 +125,13 @@ struct ScenarioConfig {
   double locality = 0.0;
   /// Lookahead window handed to Simulator::run_batch per iteration.
   Duration batch_horizon = 1.0;
+  /// Health-plane hook: when > 0, `health_tick(now)` fires every
+  /// `health_interval` simulated seconds for the scenario's duration —
+  /// the caller points it at MetricsRecorder::scrape +
+  /// HealthMonitor::evaluate.  A generic callback keeps workload/ free
+  /// of an obs dependency choice; it observes, never steers.
+  Duration health_interval = 0.0;
+  std::function<void(SimTime now)> health_tick;
 };
 
 /// A self-contained grid-scale world: event core + random topology +

@@ -1,0 +1,159 @@
+#include "obs/flight.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/events.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
+#include "obs/trace.hpp"
+#include "util/ulm.hpp"
+
+namespace wadp::obs {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream body;
+  body << in.rdbuf();
+  return body.str();
+}
+
+/// Registry + recorder with a few scraped series, a fake-clock tracer,
+/// and an event sink — enough state for a bundle with every section.
+class FlightTest : public ::testing::Test {
+ protected:
+  FlightTest()
+      : recorder_([this] {
+          RecorderConfig config;
+          config.registry = &registry_;
+          return config;
+        }()),
+        tracer_(/*capacity=*/4, [this] { return clock_ns_ += 1000; }) {
+    // Keyed by test name: ctest runs cases as parallel processes, so a
+    // shared directory would let one case's teardown race another.
+    dir_ = (fs::temp_directory_path() /
+            (std::string("wadp_flight_test_") +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name()))
+               .string();
+    fs::remove_all(dir_);
+
+    Counter& c = registry_.counter("wadp_x_total");
+    for (int i = 0; i < 10; ++i) {
+      c.inc(5);
+      recorder_.scrape(static_cast<double>(i + 1));
+    }
+    for (int i = 0; i < 3; ++i) tracer_.start("phase").end();
+    events_.emit("test.event", "wadp.test");
+  }
+
+  ~FlightTest() override { fs::remove_all(dir_); }
+
+  FlightConfig flight_config() {
+    FlightConfig config;
+    config.dir = dir_;
+    config.registry = &registry_;
+    return config;
+  }
+
+  Registry registry_;
+  MetricsRecorder recorder_;
+  std::uint64_t clock_ns_ = 0;
+  Tracer tracer_;
+  EventSink events_;
+  std::string dir_;
+};
+
+TEST_F(FlightTest, CaptureWritesJsonAndUlmHalves) {
+  FlightRecorder flight(&recorder_, &tracer_, &events_, flight_config());
+  const auto bundle = flight.capture("manual", 10.0);
+  ASSERT_TRUE(bundle.ok()) << bundle.error();
+
+  EXPECT_TRUE(fs::exists(bundle.value().json_path));
+  EXPECT_TRUE(fs::exists(bundle.value().ulm_path));
+  EXPECT_GT(bundle.value().series, 0u);
+  EXPECT_GT(bundle.value().points, 0u);
+  EXPECT_EQ(bundle.value().spans, 3u);
+  EXPECT_GE(bundle.value().events, 1u);
+  EXPECT_EQ(bundle.value().json_bytes,
+            read_file(bundle.value().json_path).size());
+  EXPECT_EQ(flight.captures(), 1u);
+}
+
+TEST_F(FlightTest, UlmHalfRoundTripsThroughTheSharedParser) {
+  FlightRecorder flight(&recorder_, &tracer_, &events_, flight_config());
+  const auto bundle = flight.capture("manual", 10.0);
+  ASSERT_TRUE(bundle.ok()) << bundle.error();
+
+  const auto parsed = util::parse_ulm_log(read_file(bundle.value().ulm_path));
+  EXPECT_EQ(parsed.skipped_lines, 0u);
+  EXPECT_FALSE(parsed.records.empty());
+}
+
+TEST_F(FlightTest, BundlePointsAreBoundedPerSeries) {
+  FlightConfig config = flight_config();
+  config.max_points_per_series = 3;
+  FlightRecorder flight(&recorder_, &tracer_, &events_, config);
+  const auto bundle = flight.capture("manual", 10.0);
+  ASSERT_TRUE(bundle.ok()) << bundle.error();
+  EXPECT_LE(bundle.value().points, bundle.value().series * 3);
+}
+
+TEST_F(FlightTest, CaptureStatesTracerEvictionsForCompleteness) {
+  // Overflow the 4-slot span ring: the silent evictions must surface
+  // both on the tracer and in the bundle's completeness meta.
+  for (int i = 0; i < 6; ++i) tracer_.start("extra").end();
+  EXPECT_EQ(tracer_.dropped_total(), 5u);  // 9 finished, 4 kept
+
+  FlightRecorder flight(&recorder_, &tracer_, &events_, flight_config());
+  const auto bundle = flight.capture("manual", 10.0);
+  ASSERT_TRUE(bundle.ok()) << bundle.error();
+  EXPECT_EQ(bundle.value().dropped_spans, 5u);
+  EXPECT_EQ(bundle.value().spans, 4u);
+}
+
+TEST_F(FlightTest, AtomicRenameLeavesNoTempFiles) {
+  FlightRecorder flight(&recorder_, &tracer_, &events_, flight_config());
+  ASSERT_TRUE(flight.capture("manual", 10.0).ok());
+  ASSERT_TRUE(flight.capture("manual", 11.0).ok());
+
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    const std::string name = entry.path().filename().string();
+    EXPECT_TRUE(name.rfind("flight-", 0) == 0 &&
+                (name.ends_with(".json") || name.ends_with(".ulm")))
+        << "stray file in bundle dir: " << name;
+  }
+}
+
+TEST_F(FlightTest, SequenceNumbersAdvanceAcrossCaptures) {
+  FlightRecorder flight(&recorder_, &tracer_, &events_, flight_config());
+  const auto first = flight.capture("manual", 10.0);
+  const auto second = flight.capture("alert.test", 11.0);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_LT(first.value().seq, second.value().seq);
+  EXPECT_NE(first.value().json_path, second.value().json_path);
+  EXPECT_EQ(flight.captures(), 2u);
+  EXPECT_EQ(registry_.counter("wadp_flight_captures_total").value(), 2u);
+}
+
+TEST_F(FlightTest, NullSourcesJustOmitTheirSections) {
+  FlightRecorder flight(nullptr, nullptr, nullptr, flight_config());
+  const auto bundle = flight.capture("manual", 10.0);
+  ASSERT_TRUE(bundle.ok()) << bundle.error();
+  EXPECT_EQ(bundle.value().series, 0u);
+  EXPECT_EQ(bundle.value().spans, 0u);
+  EXPECT_EQ(bundle.value().events, 0u);
+  const auto parsed = util::parse_ulm_log(read_file(bundle.value().ulm_path));
+  EXPECT_EQ(parsed.skipped_lines, 0u);
+}
+
+}  // namespace
+}  // namespace wadp::obs

@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Merge every BENCH_*.json artifact into one BENCH_trajectory.json.
+
+CI emits one JSON file per bench, in two shapes:
+
+  * the obs exporter's ``write_bench_json`` form —
+    ``{"bench": name, "metrics": {counters, gauges, histograms}}``;
+  * google-benchmark's ``--benchmark_out`` form —
+    ``{"context": {...}, "benchmarks": [{"name", "cpu_time", ...}]}``.
+
+This script flattens both into one document keyed by bench name, so a
+single artifact carries the whole performance trajectory of a commit
+and downstream tooling can diff two commits' trajectories without
+knowing which harness produced which number.
+
+Scalar extraction:
+
+  * obs form: counters and gauges pass through as ``metric -> value``;
+    histograms contribute ``metric:count`` and ``metric:sum``.
+  * google-benchmark form: each benchmark contributes
+    ``name:cpu_ns`` and ``name:real_ns`` (times normalized to ns) plus
+    any user counters.
+
+Usage: ``bench_trajectory.py [--out FILE] [BENCH_*.json ...]``
+With no file arguments, globs ``BENCH_*.json`` in the working
+directory (skipping the output file itself).  Exits non-zero when no
+input parses — an empty trajectory upload would silently hide a broken
+bench step.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+TIME_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+# google-benchmark per-run bookkeeping fields that are not measurements.
+GBENCH_META = {
+    "name", "family_index", "per_family_instance_index", "run_name",
+    "run_type", "repetitions", "repetition_index", "threads", "iterations",
+    "real_time", "cpu_time", "time_unit", "aggregate_name", "aggregate_unit",
+    "label", "error_occurred", "error_message",
+}
+
+
+def flatten_obs(doc: dict) -> tuple[str, dict[str, float]]:
+    """Flattens a write_bench_json document to (bench, scalars)."""
+    scalars: dict[str, float] = {}
+    metrics = doc.get("metrics", {})
+    for section in ("counters", "gauges"):
+        for name, value in metrics.get(section, {}).items():
+            scalars[name] = float(value)
+    for name, hist in metrics.get("histograms", {}).items():
+        scalars[f"{name}:count"] = float(hist.get("count", 0))
+        scalars[f"{name}:sum"] = float(hist.get("sum", 0.0))
+    return str(doc["bench"]), scalars
+
+
+def flatten_gbench(doc: dict, stem: str) -> tuple[str, dict[str, float]]:
+    """Flattens a --benchmark_out document to (bench, scalars)."""
+    scalars: dict[str, float] = {}
+    for run in doc.get("benchmarks", []):
+        name = run.get("name", "?")
+        unit = TIME_UNIT_NS.get(run.get("time_unit", "ns"), 1.0)
+        if "cpu_time" in run:
+            scalars[f"{name}:cpu_ns"] = float(run["cpu_time"]) * unit
+        if "real_time" in run:
+            scalars[f"{name}:real_ns"] = float(run["real_time"]) * unit
+        for key, value in run.items():
+            if key not in GBENCH_META and isinstance(value, (int, float)):
+                scalars[f"{name}:{key}"] = float(value)
+    # The gbench document does not name the suite; use the file stem
+    # (BENCH_predictor.json -> predictor).
+    bench = stem.removeprefix("BENCH_").lower()
+    return bench, scalars
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="BENCH_trajectory.json")
+    parser.add_argument("inputs", nargs="*")
+    args = parser.parse_args(argv[1:])
+
+    out_path = pathlib.Path(args.out)
+    paths = [pathlib.Path(p) for p in args.inputs]
+    if not paths:
+        paths = sorted(pathlib.Path(".").glob("BENCH_*.json"))
+    paths = [p for p in paths if p.resolve() != out_path.resolve()]
+
+    benches: dict[str, dict[str, float]] = {}
+    skipped: list[str] = []
+    for path in paths:
+        try:
+            doc = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as err:
+            skipped.append(f"{path}: {err}")
+            continue
+        if "metrics" in doc and "bench" in doc:
+            bench, scalars = flatten_obs(doc)
+        elif "benchmarks" in doc:
+            bench, scalars = flatten_gbench(doc, path.stem)
+        else:
+            skipped.append(f"{path}: unrecognized schema")
+            continue
+        # Same bench emitted twice (e.g. re-runs): later files win per
+        # key, which matches "the freshest number is the trajectory".
+        benches.setdefault(bench, {}).update(scalars)
+
+    for message in skipped:
+        print(f"bench_trajectory: skipped {message}", file=sys.stderr)
+    if not benches:
+        print("bench_trajectory: no inputs parsed", file=sys.stderr)
+        return 1
+
+    doc = {
+        "benches": {name: dict(sorted(scalars.items()))
+                    for name, scalars in sorted(benches.items())},
+        "bench_count": len(benches),
+        "scalar_count": sum(len(s) for s in benches.values()),
+        "skipped": len(skipped),
+    }
+    out_path.write_text(json.dumps(doc, indent=1, sort_keys=False) + "\n",
+                        encoding="utf-8")
+    print(f"bench_trajectory: merged {len(benches)} bench(es), "
+          f"{doc['scalar_count']} scalars -> {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

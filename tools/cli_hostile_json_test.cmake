@@ -38,3 +38,29 @@ if(PYTHON AND EXISTS "${PYTHON}")
     message(FATAL_ERROR "JSON output does not parse:\n${pyerr}\n${out}")
   endif()
 endif()
+
+# Health plane: `wadp health --json` and the flight bundle it captures
+# are both hand-rolled emitters — prove each parses, and that the
+# bundle's ULM twin exists alongside the JSON.
+execute_process(COMMAND "${WADP_CLI}" health --transfers 10 --interval 60
+                        --capture "${WORK_DIR}/flight" --json
+                RESULT_VARIABLE code OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT code EQUAL 0)
+  message(FATAL_ERROR "wadp health --json failed (${code}):\n${out}\n${err}")
+endif()
+file(GLOB bundle_json "${WORK_DIR}/flight/flight-*.json")
+file(GLOB bundle_ulm "${WORK_DIR}/flight/flight-*.ulm")
+if(NOT bundle_json OR NOT bundle_ulm)
+  message(FATAL_ERROR "health --capture left no flight bundle in ${WORK_DIR}/flight")
+endif()
+if(PYTHON AND EXISTS "${PYTHON}")
+  file(WRITE "${WORK_DIR}/health.json" "${out}")
+  list(GET bundle_json 0 first_bundle)
+  execute_process(
+    COMMAND "${PYTHON}" -c "import json,sys; json.load(open(sys.argv[1])); json.load(open(sys.argv[2]))"
+            "${WORK_DIR}/health.json" "${first_bundle}"
+    RESULT_VARIABLE pycode OUTPUT_VARIABLE pyout ERROR_VARIABLE pyerr)
+  if(NOT pycode EQUAL 0)
+    message(FATAL_ERROR "health/bundle JSON does not parse:\n${pyerr}")
+  endif()
+endif()

@@ -13,7 +13,10 @@ enforces the naming contract documented in docs/OBSERVABILITY.md:
     ``_mbps``, ``_pct``, ``_ratio``, ``_ns``);
   * gauges carry a unit suffix too, except the documented
     dimensionless ones (``wadp_build_info``, the info-metric idiom, and
-    ``wadp_resilience_servers_down``, a live count).
+    ``wadp_resilience_servers_down``, a live count);
+  * health-plane self-metrics (``wadp_ts_*``, ``wadp_health_*``,
+    ``wadp_flight_*``) are registered only from ``src/obs/`` — other
+    layers consume the plane, they do not mint its names.
 
 Exits non-zero listing every violation, so CI fails when a new metric
 breaks the taxonomy.  Usage: ``lint_metrics.py [src-dir ...]``.
@@ -31,17 +34,27 @@ UNIT_SUFFIXES = ("_seconds", "_bytes", "_mbps", "_pct", "_ratio", "_ns")
 # Dimensionless gauges the taxonomy explicitly documents.
 GAUGE_ALLOWLIST = {
     "wadp_build_info",
+    "wadp_health_rules_firing",
     "wadp_net_active_flows",
     "wadp_resilience_servers_down",
     "wadp_serving_inflight_queries",
+    "wadp_ts_series",
     "wadp_wal_segments",
 }
 
+# Health-plane self-metric prefixes: owned by src/obs/ (timeseries,
+# health, flight).  Benches may report on the plane via wadp_bench_*,
+# but nothing outside obs/ registers these names.
+HEALTH_PLANE_PREFIXES = ("wadp_ts_", "wadp_health_", "wadp_flight_")
 
-def check(kind: str, name: str) -> str | None:
+
+def check(kind: str, name: str, path: pathlib.Path) -> str | None:
     """Returns the violation message for one registration, or None."""
     if not name.startswith("wadp_"):
         return f"{kind} '{name}' is missing the 'wadp_' prefix"
+    if name.startswith(HEALTH_PLANE_PREFIXES) and "obs" not in path.parts:
+        return (f"{kind} '{name}' uses a health-plane prefix but is "
+                f"registered outside src/obs/")
     if kind == "counter":
         if not name.endswith("_total"):
             return f"counter '{name}' must end in '_total'"
@@ -73,7 +86,7 @@ def main(argv: list[str]) -> int:
             for match in REGISTRATION.finditer(text):
                 kind, name = match.group(1), match.group(2)
                 seen += 1
-                message = check(kind, name)
+                message = check(kind, name, path)
                 if message:
                     line = text.count("\n", 0, match.start()) + 1
                     violations.append(f"{path}:{line}: {message}")

@@ -28,6 +28,11 @@
 //       closed-loop demo: online accuracy join, drift alarm, demotion
 //   wadp trace --quality [--tree ID]
 //       span tree of one traced fetch from the quality demo
+//   wadp health    [--rate PCT] [--transfers N] [--interval S] [--json]
+//       SLO rule table over a recorded incident drive; --capture DIR
+//       also dumps a flight-recorder bundle
+//   wadp top       [--limit N] [--interval S] [--json]
+//       one-shot ranked view: hottest series and worst SLOs
 //
 // Every subcommand is deterministic given its inputs; simulated
 // campaigns never touch the network.
@@ -43,8 +48,12 @@
 #include "core/quality_demo.hpp"
 #include "core/wadp.hpp"
 #include "durability/manager.hpp"
+#include "obs/events.hpp"
 #include "obs/export.hpp"
+#include "obs/flight.hpp"
+#include "obs/health.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 #include "serving/frontend.hpp"
 #include "util/args.hpp"
@@ -86,7 +95,11 @@ int usage(const char* error = nullptr) {
                "[--limit N] [--json]\n"
                "  wadp trace     --quality [--tree ID] [--limit N]\n"
                "  wadp serve     [--queries N] [--batch N] [--files N] "
-               "[--overload X] [--seed N]\n");
+               "[--overload X] [--seed N]\n"
+               "  wadp health    [--rate PCT] [--transfers N] [--interval S] "
+               "[--seed N] [--capture DIR] [--json]\n"
+               "  wadp top       [--limit N] [--rate PCT] [--transfers N] "
+               "[--interval S] [--seed N] [--json]\n");
   return error != nullptr ? 2 : 0;
 }
 
@@ -127,6 +140,17 @@ int cmd_campaign(const util::ArgParser& args) {
     return 1;
   }
 
+  // Health plane over the campaign: hourly sim-time scrapes keep a
+  // trail of the gridftp client/server counters the run produces.
+  obs::MetricsRecorder recorder;
+  obs::HealthMonitor monitor(recorder);
+  config.health_interval = 3600.0;
+  monitor.add_rules(obs::HealthMonitor::builtin_rules(config.health_interval));
+  config.health_tick = [&recorder, &monitor](SimTime now) {
+    recorder.scrape(now);
+    monitor.evaluate(now);
+  };
+
   auto result = workload::run_paper_campaign(campaign, seed, config);
   for (const char* site : {"lbl", "isi"}) {
     const auto& log = result.testbed->server(site).log();
@@ -138,6 +162,9 @@ int cmd_campaign(const util::ArgParser& args) {
     }
     std::printf("%s: %zu transfers\n", path.c_str(), log.size());
   }
+  std::printf("health: %llu scrapes, %zu series, %zu rule(s) firing\n",
+              static_cast<unsigned long long>(recorder.scrapes()),
+              recorder.series_count(), monitor.firing_count());
   return 0;
 }
 
@@ -168,6 +195,18 @@ int cmd_simgrid(const util::ArgParser& args) {
     scenario.max_concurrent = static_cast<std::size_t>(*flows);
   }
 
+  // Health plane riding along: scrape + evaluate on a sim-time cadence
+  // scaled to the scenario (~60 ticks over the run).
+  obs::MetricsRecorder recorder;
+  obs::HealthMonitor monitor(recorder);
+  scenario.health_interval = std::max(1.0, scenario.duration / 60.0);
+  monitor.add_rules(
+      obs::HealthMonitor::builtin_rules(scenario.health_interval));
+  scenario.health_tick = [&recorder, &monitor](SimTime now) {
+    recorder.scrape(now);
+    monitor.evaluate(now);
+  };
+
   workload::GridWorld world(spec, seed);
   const auto summary = world.run(scenario, seed ^ 0x5ce0ULL);
   const auto& alloc = summary.alloc;
@@ -192,7 +231,10 @@ int cmd_simgrid(const util::ArgParser& args) {
         "  \"realloc_flow_entries\": %llu,\n"
         "  \"sweeps\": %llu,\n"
         "  \"alloc_ms\": %.3f,\n"
-        "  \"wall_ms\": %llu\n"
+        "  \"wall_ms\": %llu,\n"
+        "  \"health_scrapes\": %llu,\n"
+        "  \"ts_series\": %zu,\n"
+        "  \"rules_firing\": %zu\n"
         "}\n",
         world.topology().site_count(), world.topology().link_count(),
         util::json_escape(workload::scenario_name(scenario.scenario)).c_str(),
@@ -207,7 +249,9 @@ int cmd_simgrid(const util::ArgParser& args) {
         static_cast<unsigned long long>(alloc.flows_touched),
         static_cast<unsigned long long>(alloc.sweeps),
         static_cast<double>(alloc.alloc_ns) / 1e6,
-        static_cast<unsigned long long>(summary.wall_ms));
+        static_cast<unsigned long long>(summary.wall_ms),
+        static_cast<unsigned long long>(recorder.scrapes()),
+        recorder.series_count(), monitor.firing_count());
     return 0;
   }
 
@@ -237,6 +281,9 @@ int cmd_simgrid(const util::ArgParser& args) {
   table.add_row({"wall time",
                  util::format("%llu ms", static_cast<unsigned long long>(
                                              summary.wall_ms))});
+  table.add_row({"health scrapes", std::to_string(recorder.scrapes())});
+  table.add_row({"series recorded", std::to_string(recorder.series_count())});
+  table.add_row({"SLO rules firing", std::to_string(monitor.firing_count())});
   std::printf("%s", table.render().c_str());
   return 0;
 }
@@ -758,6 +805,140 @@ int cmd_durability(const util::ArgParser& args) {
   return identical ? 0 : 1;
 }
 
+/// Outcome tallies of one fault drive (see run_fault_drive).
+struct FaultDriveStats {
+  int ok = 0;
+  util::RunningStats start_delay;
+  SimTime end = 0.0;  ///< issue horizon the drive ran to
+};
+
+/// Drives the two-replica delivery stack (the resilience-plane world:
+/// gridftp client + servers, MDS, broker, failover fetcher) under a
+/// seeded fault injector for `transfers` fetches.  `attach`, when
+/// non-null, runs after the world is built and before the simulation
+/// drains — health drives hang their scrape/evaluate PeriodicTask
+/// there, bounded by the passed issue horizon so sim.run() still
+/// terminates.
+FaultDriveStats run_fault_drive(
+    double rate, int transfers, std::uint64_t seed, bool resilient,
+    const std::function<void(sim::Simulator&, SimTime end)>& attach =
+        nullptr) {
+  sim::Simulator sim(0.0);
+  net::FluidEngine engine(sim);
+  net::Topology topology;
+  net::PathParams fast, slow;
+  fast.bottleneck = 10'000'000.0;
+  slow.bottleneck = 5'000'000.0;
+  for (net::PathParams* p : {&fast, &slow}) {
+    p->rtt = 0.05;
+    p->load.base = 0.0;
+    p->load.diurnal_amplitude = 0.0;
+    p->load.ar_sigma = 0.0;
+    p->load.episode_rate_per_hour = 0.0;
+  }
+  topology.add_path("lbl", "anl", fast, 1, 0.0);
+  topology.add_path("anl", "lbl", fast, 2, 0.0);
+  topology.add_path("isi", "anl", slow, 3, 0.0);
+  topology.add_path("anl", "isi", slow, 4, 0.0);
+
+  storage::StorageParams quiet_storage;
+  quiet_storage.local_load.reset();
+  storage::StorageSystem anl_store("anl", quiet_storage, 1, 0.0);
+  storage::StorageSystem lbl_store("lbl", quiet_storage, 2, 0.0);
+  storage::StorageSystem isi_store("isi", quiet_storage, 3, 0.0);
+  gridftp::GridFtpServer lbl(
+      {.site = "lbl", .host = "dpsslx04.lbl.gov", .ip = "131.243.2.91"},
+      lbl_store);
+  gridftp::GridFtpServer isi(
+      {.site = "isi", .host = "jet.isi.edu", .ip = "128.9.160.100"},
+      isi_store);
+  const std::string client_ip = "140.221.65.69";
+  constexpr Bytes kFileSize = 10 * kMB;
+  for (gridftp::GridFtpServer* s : {&lbl, &isi}) {
+    s->fs().add_volume("/data");
+    s->fs().add_file("/data/demo", kFileSize);
+  }
+  for (int i = 0; i < 5; ++i) {
+    const double t = 100.0 * i;
+    lbl.record_transfer(client_ip, "/data/demo", kFileSize, t, t + 1.25,
+                        gridftp::Operation::kRead, 8, 1'000'000);
+    isi.record_transfer(client_ip, "/data/demo", kFileSize, t, t + 5.0,
+                        gridftp::Operation::kRead, 8, 1'000'000);
+  }
+  mds::GridFtpInfoProvider lbl_provider(
+      lbl,
+      {.base = *mds::Dn::parse("hostname=dpsslx04.lbl.gov, dc=lbl, o=grid")});
+  mds::GridFtpInfoProvider isi_provider(
+      isi,
+      {.base = *mds::Dn::parse("hostname=jet.isi.edu, dc=isi, o=grid")});
+  mds::Gris lbl_gris("lbl-gris", *mds::Dn::parse("dc=lbl, o=grid"));
+  mds::Gris isi_gris("isi-gris", *mds::Dn::parse("dc=isi, o=grid"));
+  lbl_gris.register_provider(&lbl_provider, 300.0);
+  isi_gris.register_provider(&isi_provider, 300.0);
+  mds::Giis giis("top");
+  giis.register_gris(lbl_gris, 0.0, 1e9);
+  giis.register_gris(isi_gris, 0.0, 1e9);
+  replica::ReplicaCatalog catalog;
+  catalog.add_replica("lfn://demo", {.site = "lbl",
+                                     .server_host = "dpsslx04.lbl.gov",
+                                     .path = "/data/demo"});
+  catalog.add_replica("lfn://demo", {.site = "isi",
+                                     .server_host = "jet.isi.edu",
+                                     .path = "/data/demo"});
+
+  gridftp::GridFtpClient client(sim, engine, topology, "anl", client_ip,
+                                &anl_store);
+  replica::ReplicaBroker broker(catalog, giis,
+                                replica::SelectionPolicy::kPredictedBest,
+                                seed);
+  replica::FailoverFetcher fetcher(
+      sim, broker, client, [&](const replica::PhysicalReplica& replica) {
+        return replica.site == "lbl" ? &lbl : &isi;
+      });
+
+  resilience::FaultSpec spec;
+  spec.connect_failure_rate = 0.5 * rate;
+  spec.truncation_rate = 0.3 * rate;
+  spec.stall_rate = 0.2 * rate;
+  spec.mean_fault_delay = 1.0;
+  spec.mean_uptime = 2400.0;
+  spec.mean_outage = 90.0;
+  spec.outage_horizon = 600.0 + transfers * 400.0 + 4000.0;
+  resilience::FaultInjector injector(sim, spec, seed ^ 0x4e5);
+  client.set_fault_injector(&injector);
+  injector.watch_outages("dpsslx04.lbl.gov",
+                         [&](bool up) { lbl.set_accepting(up); });
+  injector.watch_outages("jet.isi.edu",
+                         [&](bool up) { isi.set_accepting(up); });
+
+  resilience::RetryPolicy policy = resilience::default_wan_policy();
+  replica::FetchOptions options;
+  if (!resilient) {
+    policy.max_attempts = 1;
+    options.max_replicas = 1;
+  }
+  client.set_retry_policy(policy, seed);
+
+  FaultDriveStats stats;
+  stats.end = 600.0 + transfers * 400.0 + 4000.0;
+  for (int i = 0; i < transfers; ++i) {
+    const SimTime issue = 600.0 + i * 400.0;
+    sim.schedule_at(issue, [&, issue] {
+      fetcher.fetch("lfn://demo", kFileSize, options,
+                    [&stats, issue](const replica::FetchOutcome& outcome) {
+                      if (outcome.ok) {
+                        ++stats.ok;
+                        stats.start_delay.add(
+                            outcome.transfer.record.start_time - issue);
+                      }
+                    });
+    });
+  }
+  if (attach) attach(sim, stats.end);
+  sim.run();
+  return stats;
+}
+
 /// Demonstrates the resilience plane: a two-replica delivery stack
 /// under a seeded fault injector, single-shot vs retry+failover on the
 /// same fault schedule.
@@ -771,133 +952,16 @@ int cmd_resilience(const util::ArgParser& args) {
   if (rate < 0.0 || rate > 1.0) return usage("--rate must be 0..100");
   if (transfers <= 0) return usage("--transfers must be positive");
 
-  struct CellStats {
-    int ok = 0;
-    util::RunningStats start_delay;
-  };
-  const auto run_cell = [&](bool resilient) {
-    sim::Simulator sim(0.0);
-    net::FluidEngine engine(sim);
-    net::Topology topology;
-    net::PathParams fast, slow;
-    fast.bottleneck = 10'000'000.0;
-    slow.bottleneck = 5'000'000.0;
-    for (net::PathParams* p : {&fast, &slow}) {
-      p->rtt = 0.05;
-      p->load.base = 0.0;
-      p->load.diurnal_amplitude = 0.0;
-      p->load.ar_sigma = 0.0;
-      p->load.episode_rate_per_hour = 0.0;
-    }
-    topology.add_path("lbl", "anl", fast, 1, 0.0);
-    topology.add_path("anl", "lbl", fast, 2, 0.0);
-    topology.add_path("isi", "anl", slow, 3, 0.0);
-    topology.add_path("anl", "isi", slow, 4, 0.0);
-
-    storage::StorageParams quiet_storage;
-    quiet_storage.local_load.reset();
-    storage::StorageSystem anl_store("anl", quiet_storage, 1, 0.0);
-    storage::StorageSystem lbl_store("lbl", quiet_storage, 2, 0.0);
-    storage::StorageSystem isi_store("isi", quiet_storage, 3, 0.0);
-    gridftp::GridFtpServer lbl(
-        {.site = "lbl", .host = "dpsslx04.lbl.gov", .ip = "131.243.2.91"},
-        lbl_store);
-    gridftp::GridFtpServer isi(
-        {.site = "isi", .host = "jet.isi.edu", .ip = "128.9.160.100"},
-        isi_store);
-    const std::string client_ip = "140.221.65.69";
-    constexpr Bytes kFileSize = 10 * kMB;
-    for (gridftp::GridFtpServer* s : {&lbl, &isi}) {
-      s->fs().add_volume("/data");
-      s->fs().add_file("/data/demo", kFileSize);
-    }
-    for (int i = 0; i < 5; ++i) {
-      const double t = 100.0 * i;
-      lbl.record_transfer(client_ip, "/data/demo", kFileSize, t, t + 1.25,
-                          gridftp::Operation::kRead, 8, 1'000'000);
-      isi.record_transfer(client_ip, "/data/demo", kFileSize, t, t + 5.0,
-                          gridftp::Operation::kRead, 8, 1'000'000);
-    }
-    mds::GridFtpInfoProvider lbl_provider(
-        lbl,
-        {.base = *mds::Dn::parse("hostname=dpsslx04.lbl.gov, dc=lbl, o=grid")});
-    mds::GridFtpInfoProvider isi_provider(
-        isi,
-        {.base = *mds::Dn::parse("hostname=jet.isi.edu, dc=isi, o=grid")});
-    mds::Gris lbl_gris("lbl-gris", *mds::Dn::parse("dc=lbl, o=grid"));
-    mds::Gris isi_gris("isi-gris", *mds::Dn::parse("dc=isi, o=grid"));
-    lbl_gris.register_provider(&lbl_provider, 300.0);
-    isi_gris.register_provider(&isi_provider, 300.0);
-    mds::Giis giis("top");
-    giis.register_gris(lbl_gris, 0.0, 1e9);
-    giis.register_gris(isi_gris, 0.0, 1e9);
-    replica::ReplicaCatalog catalog;
-    catalog.add_replica("lfn://demo", {.site = "lbl",
-                                       .server_host = "dpsslx04.lbl.gov",
-                                       .path = "/data/demo"});
-    catalog.add_replica("lfn://demo", {.site = "isi",
-                                       .server_host = "jet.isi.edu",
-                                       .path = "/data/demo"});
-
-    gridftp::GridFtpClient client(sim, engine, topology, "anl", client_ip,
-                                  &anl_store);
-    replica::ReplicaBroker broker(catalog, giis,
-                                  replica::SelectionPolicy::kPredictedBest,
-                                  seed);
-    replica::FailoverFetcher fetcher(
-        sim, broker, client, [&](const replica::PhysicalReplica& replica) {
-          return replica.site == "lbl" ? &lbl : &isi;
-        });
-
-    resilience::FaultSpec spec;
-    spec.connect_failure_rate = 0.5 * rate;
-    spec.truncation_rate = 0.3 * rate;
-    spec.stall_rate = 0.2 * rate;
-    spec.mean_fault_delay = 1.0;
-    spec.mean_uptime = 2400.0;
-    spec.mean_outage = 90.0;
-    spec.outage_horizon = 600.0 + transfers * 400.0 + 4000.0;
-    resilience::FaultInjector injector(sim, spec, seed ^ 0x4e5);
-    client.set_fault_injector(&injector);
-    injector.watch_outages("dpsslx04.lbl.gov",
-                           [&](bool up) { lbl.set_accepting(up); });
-    injector.watch_outages("jet.isi.edu",
-                           [&](bool up) { isi.set_accepting(up); });
-
-    resilience::RetryPolicy policy = resilience::default_wan_policy();
-    replica::FetchOptions options;
-    if (!resilient) {
-      policy.max_attempts = 1;
-      options.max_replicas = 1;
-    }
-    client.set_retry_policy(policy, seed);
-
-    CellStats stats;
-    for (int i = 0; i < transfers; ++i) {
-      const SimTime issue = 600.0 + i * 400.0;
-      sim.schedule_at(issue, [&, issue] {
-        fetcher.fetch("lfn://demo", kFileSize, options,
-                      [&stats, issue](const replica::FetchOutcome& outcome) {
-                        if (outcome.ok) {
-                          ++stats.ok;
-                          stats.start_delay.add(
-                              outcome.transfer.record.start_time - issue);
-                        }
-                      });
-      });
-    }
-    sim.run();
-    return stats;
-  };
-
-  const CellStats single = run_cell(false);
-  const CellStats resil = run_cell(true);
+  const FaultDriveStats single =
+      run_fault_drive(rate, transfers, seed, /*resilient=*/false);
+  const FaultDriveStats resil =
+      run_fault_drive(rate, transfers, seed, /*resilient=*/true);
 
   std::printf("fault rate %.0f%%, %d transfers, seed %llu\n\n", 100.0 * rate,
               transfers, static_cast<unsigned long long>(seed));
   util::TextTable table({"configuration", "ok", "success %", "start delay s"});
   table.set_align(0, util::TextTable::Align::Left);
-  const auto row = [&](const char* label, const CellStats& stats) {
+  const auto row = [&](const char* label, const FaultDriveStats& stats) {
     table.add_row(
         {label, std::to_string(stats.ok),
          util::format("%.1f", 100.0 * stats.ok / double(transfers)),
@@ -908,6 +972,258 @@ int cmd_resilience(const util::ArgParser& args) {
   row("single-shot (pre-resilience)", single);
   row("retry + failover", resil);
   std::printf("%s", table.render().c_str());
+  return 0;
+}
+
+/// Runs the resilient fault drive with a health tick armed: every
+/// `interval` simulated seconds the recorder scrapes the registry and
+/// the monitor evaluates its rules.  The tick optional is destroyed
+/// only after run_fault_drive returns; by then the drive has run past
+/// the tick's deadline, so arm() already cleared its running flag and
+/// the destructor never touches the dead simulator.
+FaultDriveStats run_monitored_drive(obs::MetricsRecorder& recorder,
+                                    obs::HealthMonitor& monitor, double rate,
+                                    int transfers, double interval,
+                                    std::uint64_t seed) {
+  std::optional<sim::PeriodicTask> tick;
+  return run_fault_drive(
+      rate, transfers, seed, /*resilient=*/true,
+      [&](sim::Simulator& sim, SimTime end) {
+        tick.emplace(
+            sim, interval,
+            [&recorder, &monitor, &sim] {
+              recorder.scrape(sim.now());
+              monitor.evaluate(sim.now());
+            },
+            /*immediate=*/false, /*until=*/end);
+      });
+}
+
+const char* slo_state(const obs::SloStatus& status) {
+  if (status.firing) return "FIRING";
+  return status.alerts > 0 ? "cleared" : "ok";
+}
+
+std::string slo_status_json(const obs::SloStatus& status) {
+  return util::format(
+      "{\"rule\": \"%s\", \"description\": \"%s\", \"series\": \"%s\", "
+      "\"denominator\": \"%s\", \"direction\": \"%s\", \"threshold\": %g, "
+      "\"firing\": %s, \"fast_value\": %g, \"slow_value\": %g, "
+      "\"fast_samples\": %zu, \"slow_samples\": %zu, \"alerts\": %llu}",
+      util::json_escape(status.rule.name).c_str(),
+      util::json_escape(status.rule.description).c_str(),
+      util::json_escape(status.rule.series).c_str(),
+      util::json_escape(status.rule.denominator).c_str(),
+      status.rule.direction == obs::SloDirection::kAbove ? "above" : "below",
+      status.rule.threshold, status.firing ? "true" : "false",
+      status.fast_value, status.slow_value, status.fast_samples,
+      status.slow_samples, static_cast<unsigned long long>(status.alerts));
+}
+
+/// SLO rule table over a recorded incident: the quality demo (drift
+/// and join signal, spans for the bundle) followed by the resilient
+/// fault drive, scraped and evaluated every --interval sim-seconds.
+/// --capture DIR dumps a flight bundle per fire transition plus one
+/// "manual" bundle at the end of the drive.
+int cmd_health(const util::ArgParser& args) {
+  const double rate =
+      static_cast<double>(args.get_int("rate").value_or(30)) / 100.0;
+  const int transfers =
+      static_cast<int>(args.get_int("transfers").value_or(40));
+  const double interval = args.get_double("interval").value_or(30.0);
+  const auto seed =
+      static_cast<std::uint64_t>(args.get_int("seed").value_or(42));
+  if (rate < 0.0 || rate > 1.0) return usage("--rate must be 0..100");
+  if (transfers <= 0) return usage("--transfers must be positive");
+  if (interval <= 0.0) return usage("--interval must be > 0");
+
+  // Quality plane first: its drift alarms, accuracy joins, and spans
+  // are the signal the quality.* rules and the flight bundle read.
+  core::QualityDemoConfig quality_config;
+  quality_config.seed = seed;
+  const auto quality = core::run_quality_demo(quality_config);
+
+  obs::MetricsRecorder recorder;
+  obs::HealthMonitor monitor(recorder);
+  monitor.add_rules(obs::HealthMonitor::builtin_rules(interval));
+
+  std::optional<obs::FlightRecorder> flight;
+  std::vector<obs::BundleInfo> bundles;
+  if (const auto dir = args.get("capture")) {
+    obs::FlightConfig flight_config;
+    flight_config.dir = *dir;
+    flight.emplace(&recorder, &obs::Tracer::global(),
+                   &obs::EventSink::global(), flight_config);
+    flight->set_quality(quality.tracker.get());
+    monitor.set_on_alert([&](const obs::SloStatus& status, double now) {
+      auto bundle = flight->capture(status.rule.name, now);
+      if (bundle.ok()) bundles.push_back(std::move(bundle.value()));
+    });
+  }
+
+  run_monitored_drive(recorder, monitor, rate, transfers, interval, seed);
+  if (flight.has_value()) {
+    // Deterministic end-of-drive bundle: present even when no rule
+    // fired, so tooling always has an artifact to parse.
+    auto bundle = flight->capture("manual", recorder.last_scrape_time());
+    if (!bundle.ok()) {
+      std::fprintf(stderr, "%s\n", bundle.error().c_str());
+      return 1;
+    }
+    bundles.push_back(std::move(bundle.value()));
+  }
+
+  const auto status = monitor.status();
+  if (args.has("json")) {
+    std::string json = util::format(
+        "{\"interval\": %g, \"scrapes\": %llu, \"series\": %zu, "
+        "\"firing\": %zu, \"rules\": [",
+        interval, static_cast<unsigned long long>(recorder.scrapes()),
+        recorder.series_count(), monitor.firing_count());
+    for (std::size_t i = 0; i < status.size(); ++i) {
+      if (i > 0) json += ", ";
+      json += slo_status_json(status[i]);
+    }
+    json += "], \"bundles\": [";
+    for (std::size_t i = 0; i < bundles.size(); ++i) {
+      const auto& bundle = bundles[i];
+      if (i > 0) json += ", ";
+      json += util::format(
+          "{\"json_path\": \"%s\", \"ulm_path\": \"%s\", \"series\": %zu, "
+          "\"points\": %zu, \"spans\": %zu, \"events\": %zu, "
+          "\"quality_cells\": %zu}",
+          util::json_escape(bundle.json_path).c_str(),
+          util::json_escape(bundle.ulm_path).c_str(), bundle.series,
+          bundle.points, bundle.spans, bundle.events, bundle.quality_cells);
+    }
+    json += "]}";
+    std::printf("%s\n", json.c_str());
+    return 0;
+  }
+
+  std::printf(
+      "health drive: fault rate %.0f%%, %d transfers, scrape every %.0fs, "
+      "seed %llu\n%llu scrapes, %zu series, %llu evaluation rounds, "
+      "%zu rule(s) firing\n\n",
+      100.0 * rate, transfers, interval,
+      static_cast<unsigned long long>(seed),
+      static_cast<unsigned long long>(recorder.scrapes()),
+      recorder.series_count(),
+      static_cast<unsigned long long>(monitor.evaluations()),
+      monitor.firing_count());
+  util::TextTable table(
+      {"rule", "state", "fast", "slow", "threshold", "alerts"});
+  table.set_align(0, util::TextTable::Align::Left);
+  table.set_align(1, util::TextTable::Align::Left);
+  for (const auto& row : status) {
+    table.add_row({row.rule.name, slo_state(row),
+                   row.fast_samples > 0 ? util::format("%.3f", row.fast_value)
+                                        : std::string("-"),
+                   row.slow_samples > 0 ? util::format("%.3f", row.slow_value)
+                                        : std::string("-"),
+                   util::format("%s%g",
+                                row.rule.direction == obs::SloDirection::kAbove
+                                    ? ">"
+                                    : "<",
+                                row.rule.threshold),
+                   std::to_string(row.alerts)});
+  }
+  std::printf("%s", table.render().c_str());
+  for (const auto& bundle : bundles) {
+    std::printf("flight bundle: %s (%zu series, %zu spans, %zu events)\n",
+                bundle.json_path.c_str(), bundle.series, bundle.spans,
+                bundle.events);
+  }
+  return 0;
+}
+
+/// One-shot ranked view over the same recorded drive: the hottest rate
+/// series by windowed mean, then the worst SLO rules (firing first).
+int cmd_top(const util::ArgParser& args) {
+  const auto limit =
+      static_cast<std::size_t>(args.get_int("limit").value_or(10));
+  const double interval = args.get_double("interval").value_or(30.0);
+  const double rate =
+      static_cast<double>(args.get_int("rate").value_or(30)) / 100.0;
+  const int transfers =
+      static_cast<int>(args.get_int("transfers").value_or(40));
+  const auto seed =
+      static_cast<std::uint64_t>(args.get_int("seed").value_or(42));
+  if (limit == 0) return usage("--limit must be positive");
+  if (interval <= 0.0) return usage("--interval must be > 0");
+  if (rate < 0.0 || rate > 1.0) return usage("--rate must be 0..100");
+  if (transfers <= 0) return usage("--transfers must be positive");
+
+  core::QualityDemoConfig quality_config;
+  quality_config.seed = seed;
+  core::run_quality_demo(quality_config);
+
+  obs::MetricsRecorder recorder;
+  obs::HealthMonitor monitor(recorder);
+  monitor.add_rules(obs::HealthMonitor::builtin_rules(interval));
+  run_monitored_drive(recorder, monitor, rate, transfers, interval, seed);
+
+  // Rank over the slow-rule window so `top` and `health` agree on what
+  // "recent" means.
+  const double window = 10.0 * interval;
+  const double now = recorder.last_scrape_time();
+  const auto hot = recorder.hottest(limit, window, now);
+  auto status = monitor.status();
+  std::stable_sort(status.begin(), status.end(),
+                   [](const obs::SloStatus& a, const obs::SloStatus& b) {
+                     if (a.firing != b.firing) return a.firing;
+                     return a.alerts > b.alerts;
+                   });
+  if (status.size() > limit) status.resize(limit);
+
+  if (args.has("json")) {
+    std::string json = util::format(
+        "{\"window\": %g, \"scrapes\": %llu, \"series\": %zu, \"hottest\": [",
+        window, static_cast<unsigned long long>(recorder.scrapes()),
+        recorder.series_count());
+    for (std::size_t i = 0; i < hot.size(); ++i) {
+      if (i > 0) json += ", ";
+      json += util::format(
+          "{\"series\": \"%s\", \"mean\": %g, \"last\": %g, "
+          "\"samples\": %zu}",
+          util::json_escape(hot[i].name).c_str(), hot[i].mean, hot[i].last,
+          hot[i].samples);
+    }
+    json += "], \"slos\": [";
+    for (std::size_t i = 0; i < status.size(); ++i) {
+      if (i > 0) json += ", ";
+      json += slo_status_json(status[i]);
+    }
+    json += "]}";
+    std::printf("%s\n", json.c_str());
+    return 0;
+  }
+
+  std::printf("hottest series (windowed mean over %.0fs, %zu recorded)\n",
+              window, recorder.series_count());
+  util::TextTable hot_table({"series", "mean/s", "last/s", "samples"});
+  hot_table.set_align(0, util::TextTable::Align::Left);
+  for (const auto& row : hot) {
+    hot_table.add_row({row.name, util::format("%.3f", row.mean),
+                       util::format("%.3f", row.last),
+                       std::to_string(row.samples)});
+  }
+  std::printf("%s\n", hot_table.render().c_str());
+
+  std::printf("worst SLOs\n");
+  util::TextTable slo_table({"rule", "state", "fast", "slow", "alerts"});
+  slo_table.set_align(0, util::TextTable::Align::Left);
+  slo_table.set_align(1, util::TextTable::Align::Left);
+  for (const auto& row : status) {
+    slo_table.add_row(
+        {row.rule.name, slo_state(row),
+         row.fast_samples > 0 ? util::format("%.3f", row.fast_value)
+                              : std::string("-"),
+         row.slow_samples > 0 ? util::format("%.3f", row.slow_value)
+                              : std::string("-"),
+         std::to_string(row.alerts)});
+  }
+  std::printf("%s", slo_table.render().c_str());
   return 0;
 }
 
@@ -991,6 +1307,20 @@ int cmd_serve(const util::ArgParser& args) {
   double now = 3600.0;  // after the seeded history
   std::size_t issued = 0;
   std::size_t ingest_tick = 0;
+
+  // Health plane, both cadences: a wall-clock recorder samples the
+  // registry from its background thread while the loop runs (the live
+  // process path), and a query-time recorder driven from the loop
+  // feeds the SLO monitor so the health footer is deterministic.
+  obs::MetricsRecorder wall_recorder;
+  wall_recorder.start_wall_clock(0.05);
+  obs::MetricsRecorder recorder;
+  obs::HealthMonitor monitor(recorder);
+  const double scrape_interval =
+      static_cast<double>(total) / offered_rate / 40.0;
+  monitor.add_rules(obs::HealthMonitor::builtin_rules(scrape_interval));
+  double next_scrape = now + scrape_interval;
+
   while (issued < total) {
     const std::size_t n = std::min(batch, total - issued);
     for (std::size_t i = 0; i < n; ++i) {
@@ -1009,6 +1339,11 @@ int cmd_serve(const util::ArgParser& args) {
     }
     issued += n;
     now += static_cast<double>(n) / offered_rate;
+    while (now >= next_scrape) {
+      recorder.scrape(next_scrape);
+      monitor.evaluate(next_scrape);
+      next_scrape += scrape_interval;
+    }
     // Closed loop: every ~50 batches one series takes a fresh
     // observation, bumping its watermark and invalidating its entries.
     if (++ingest_tick % 50 == 0) {
@@ -1045,6 +1380,18 @@ int cmd_serve(const util::ArgParser& args) {
               worked == 0 ? 0.0
                           : 100.0 * static_cast<double>(tallies[0]) /
                                 static_cast<double>(worked));
+  wall_recorder.stop_wall_clock();
+  std::printf(
+      "health: %llu scrapes (%zu series), %llu wall-clock scrapes, "
+      "%zu rule(s) firing",
+      static_cast<unsigned long long>(recorder.scrapes()),
+      recorder.series_count(),
+      static_cast<unsigned long long>(wall_recorder.scrapes()),
+      monitor.firing_count());
+  for (const auto& slo : monitor.status()) {
+    if (slo.firing) std::printf(" [%s]", slo.rule.name.c_str());
+  }
+  std::printf("\n");
   return 0;
 }
 
@@ -1210,7 +1557,7 @@ int main(int argc, char** argv) {
                            "size", "predictor", "host", "limit", "rate",
                            "transfers", "shift", "tree", "queries", "batch",
                            "files", "overload", "sites", "links", "flows",
-                           "duration", "scenario"}) {
+                           "duration", "scenario", "interval", "capture"}) {
     args.add_option(name);
   }
   args.add_option("extended", /*is_boolean=*/true);
@@ -1236,6 +1583,8 @@ int main(int argc, char** argv) {
   if (command == "resilience") return cmd_resilience(args);
   if (command == "quality") return cmd_quality(args);
   if (command == "serve") return cmd_serve(args);
+  if (command == "health") return cmd_health(args);
+  if (command == "top") return cmd_top(args);
   if (command == "help") return usage();
   return usage(("unknown subcommand: " + command).c_str());
 }
